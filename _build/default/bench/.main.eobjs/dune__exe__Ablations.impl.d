@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Bench_common Cm Engines Harness List Memory Printf Rbtree Runtime Stm_intf Stmbench7 Swisstm

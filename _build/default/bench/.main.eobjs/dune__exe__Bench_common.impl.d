@@ -1,0 +1,1 @@
+bench/bench_common.ml: Cm Engines Harness Printf String Sys

@@ -1,0 +1,1 @@
+bench/fairness.ml: Array Bench_common Engines Float List Printf Runtime Stm_intf Stmbench7

@@ -1,0 +1,1 @@
+bench/fig10.ml: Array Bench_common Cm Engines Harness List Printf Rbtree

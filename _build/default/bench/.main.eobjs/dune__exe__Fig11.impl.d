@@ -1,0 +1,1 @@
+bench/fig11.ml: Array Bench_common Cm Engines Harness List Printf Stamp

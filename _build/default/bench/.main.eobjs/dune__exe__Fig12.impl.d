@@ -1,0 +1,1 @@
+bench/fig12.ml: Array Bench_common Cm Engines Harness List Printf Stmbench7

@@ -1,0 +1,1 @@
+bench/fig13.ml: Array Bench_common Granularity Harness Lazy List Printf

@@ -1,0 +1,1 @@
+bench/fig3.ml: Array Bench_common Engines Harness List Printf Stamp

@@ -1,0 +1,1 @@
+bench/fig5.ml: Array Bench_common Harness List Printf Rbtree

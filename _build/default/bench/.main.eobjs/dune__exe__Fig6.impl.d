@@ -1,0 +1,1 @@
+bench/fig6.ml: Array Bench_common Engines List Memory Printf Runtime Stm_intf

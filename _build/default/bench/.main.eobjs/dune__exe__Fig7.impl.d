@@ -1,0 +1,1 @@
+bench/fig7.ml: Array Bench_common Cm Engines Harness List Printf Rstm Stmbench7

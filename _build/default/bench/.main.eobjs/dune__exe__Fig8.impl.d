@@ -1,0 +1,1 @@
+bench/fig8.ml: Array Bench_common Harness Leetm List Printf

@@ -1,0 +1,1 @@
+bench/fig9.ml: Array Bench_common Cm Engines Harness List Printf Stmbench7

@@ -1,0 +1,1 @@
+bench/granularity.ml: Bench_common Engines Harness Lazy Leetm List Memory Option Rbtree Stamp Stmbench7

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Bench_common Fairness Fig10 Fig11 Fig12 Fig13 Fig2 Fig3 Fig4 Fig5 Fig6 Fig7 Fig8 Fig9 List Micro Printf String Sys Tbl1 Tbl2 Unix

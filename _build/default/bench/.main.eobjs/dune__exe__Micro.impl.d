@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Bench_common Benchmark Engines Float Hashtbl Instance List Measure Memory Printf Staged Stm_intf Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/tbl1.ml: Bench_common Cm Engines Float List Printf Rstm Stmbench7

@@ -1,0 +1,1 @@
+bench/tbl2.ml: Array Bench_common Granularity Harness Lazy List

@@ -1,0 +1,36 @@
+(* Shared configuration for the figure/table harness.
+
+   [scale] (env SWISSTM_BENCH_SCALE, default 1.0) multiplies the simulated
+   duration of every duration-type run; raise it for tighter confidence at
+   the cost of wall time.  Thread counts follow the paper's 8-core sweep. *)
+
+let scale =
+  match Sys.getenv_opt "SWISSTM_BENCH_SCALE" with
+  | Some s -> ( try float_of_string s with _ -> 1.0)
+  | None -> 1.0
+
+let threads = [ 1; 2; 4; 8 ]
+
+let duration base = int_of_float (float_of_int base *. scale)
+
+(* Simulated durations (cycles) per benchmark family. *)
+let sb7_duration () = duration 20_000_000
+let rbtree_duration () = duration 4_000_000
+
+let ktps (r : Harness.Workload.result) = Harness.Workload.throughput r /. 1e3
+let mtps (r : Harness.Workload.result) = Harness.Workload.throughput r /. 1e6
+let ms (r : Harness.Workload.result) = Harness.Workload.elapsed_seconds r *. 1e3
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let note fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* The paper's engine line-up (§4): RSTM uses Serializer for STMBench7 and
+   Lee-TM (its best-performing large-workload configuration, as the paper
+   itself selects) and Polka elsewhere. *)
+let swisstm = Engines.swisstm
+let tl2 = Engines.tl2
+let tinystm = Engines.tinystm
+let rstm_polka = Engines.rstm
+let rstm_serializer = Engines.rstm_with ~cm:Cm.Cm_intf.Serializer ()

@@ -1,0 +1,37 @@
+(* Figure 10: the two-phase contention manager vs pure Greedy inside
+   SwissTM on the red-black tree.  Paper: Greedy's per-transaction shared
+   timestamp counter becomes a cache hot spot for short transactions and
+   wrecks scalability; two-phase keeps short transactions off the counter
+   and scales. *)
+
+open Bench_common
+
+let engines =
+  [
+    ("Two-phase", swisstm);
+    ("Greedy", Engines.swisstm_with ~cm:Cm.Cm_intf.Greedy ());
+  ]
+
+let run () =
+  section "Figure 10: two-phase vs Greedy (SwissTM), red-black tree";
+  let rows =
+    List.map
+      (fun (name, spec) ->
+        {
+          Harness.Report.label = name;
+          cells =
+            Array.of_list
+              (List.map
+                 (fun t ->
+                   mtps
+                     (Rbtree.Rbtree_bench.run ~spec ~threads:t
+                        ~duration_cycles:(rbtree_duration ()) ()))
+                 threads);
+        })
+      engines
+  in
+  Harness.Report.print
+    (Harness.Report.make ~title:"Red-black tree (range 16384, 20% updates)"
+       ~unit_:"10^6 tx/s"
+       ~columns:(List.map (fun t -> Printf.sprintf "%dT" t) threads)
+       rows)

@@ -1,0 +1,35 @@
+(* Figure 11: back-off vs no back-off in SwissTM on STAMP intruder.
+   Paper: restarting immediately after a rollback collapses scalability at
+   8 threads on intruder's queue hot spot; randomized linear back-off
+   restores it. *)
+
+open Bench_common
+
+let engines =
+  [
+    ("No backoff", Engines.swisstm_with ~cm:(Cm.Cm_intf.Two_phase { wn = 10; backoff = false }) ());
+    ("Linear backoff", swisstm);
+  ]
+
+let run () =
+  section "Figure 11: back-off vs no back-off (SwissTM), STAMP intruder";
+  let rows =
+    List.map
+      (fun (name, spec) ->
+        {
+          Harness.Report.label = name;
+          cells =
+            Array.of_list
+              (List.map
+                 (fun t ->
+                   let r, _ok = Stamp.Intruder.run ~spec ~threads:t () in
+                   ms r)
+                 threads);
+        })
+      engines
+  in
+  Harness.Report.print
+    (Harness.Report.make ~title:"STAMP intruder execution time"
+       ~unit_:"ms (simulated)"
+       ~columns:(List.map (fun t -> Printf.sprintf "%dT" t) threads)
+       rows)

@@ -1,0 +1,40 @@
+(* Figure 12: speedup (minus 1) of the two-phase contention manager over
+   timid inside SwissTM on STMBench7, per workload and thread count.
+   Paper: up to 16 % in the high-contention (write) workload, small in the
+   read-dominated one. *)
+
+open Bench_common
+
+let timid = Engines.swisstm_with ~cm:Cm.Cm_intf.Timid ()
+
+let run () =
+  section "Figure 12: two-phase vs timid (SwissTM), STMBench7 speedup - 1";
+  let rows =
+    List.map
+      (fun workload ->
+        {
+          Harness.Report.label = Stmbench7.Sb7_bench.workload_name workload;
+          cells =
+            Array.of_list
+              (List.map
+                 (fun t ->
+                   (* long update transactions are rare: double the window
+                      to keep cell noise below the measured effect *)
+                   let tp spec =
+                     Harness.Workload.throughput
+                       (Stmbench7.Sb7_bench.run ~spec ~workload ~threads:t
+                          ~duration_cycles:(2 * sb7_duration ()) ())
+                   in
+                   (tp swisstm /. tp timid) -. 1.)
+                 threads);
+        })
+      [
+        Stmbench7.Sb7_bench.Read_dominated;
+        Stmbench7.Sb7_bench.Read_write;
+        Stmbench7.Sb7_bench.Write_dominated;
+      ]
+  in
+  Harness.Report.print
+    (Harness.Report.make ~title:"two-phase CM speedup over timid" ~unit_:"ratio - 1"
+       ~columns:(List.map (fun t -> Printf.sprintf "%dT" t) threads)
+       rows)

@@ -1,0 +1,37 @@
+(* Figure 13: average speedup (minus 1) of each lock granularity against
+   all the others, across all benchmarks, 8 threads.  Paper: 2^4 bytes
+   (4 words) wins; word (2^2) and cache-line (2^6) granularity lose 4-5 %. *)
+
+open Bench_common
+
+let run () =
+  section "Figure 13: average speedup of lock granularities (8 threads)";
+  let scores = Lazy.force Granularity.scores in
+  let n_g = List.length Granularity.grans in
+  (* avg over benchmarks of avg over other granularities of (perf_g / perf_g' - 1) *)
+  let cells =
+    List.mapi
+      (fun gi _g ->
+        let per_bench =
+          List.map
+            (fun (_name, perfs) ->
+              let mine = List.nth perfs gi in
+              let others =
+                List.filteri (fun j _ -> j <> gi) perfs
+              in
+              let ratios = List.map (fun o -> (mine /. o) -. 1.) others in
+              List.fold_left ( +. ) 0. ratios /. float_of_int (n_g - 1))
+            scores
+        in
+        List.fold_left ( +. ) 0. per_bench /. float_of_int (List.length per_bench))
+      Granularity.grans
+  in
+  Harness.Report.print
+    (Harness.Report.make
+       ~title:"average speedup - 1 by lock granularity (log2 bytes, 32-bit words)"
+       ~unit_:"ratio - 1"
+       ~columns:
+         (List.map
+            (fun g -> Printf.sprintf "2^%d" (Granularity.paper_log2_bytes g))
+            Granularity.grans)
+       [ { Harness.Report.label = "all benchmarks"; cells = Array.of_list cells } ])

@@ -1,0 +1,48 @@
+(* Figure 2: STMBench7 throughput of SwissTM, TinySTM, RSTM and TL2 for
+   1..8 threads; read-dominated, read-write and write-dominated mixes.
+   Paper result: SwissTM wins everywhere (up to 65 % in read-dominated,
+   ~10 % in write-dominated); TL2 trails and stops scaling early. *)
+
+open Bench_common
+
+let engines =
+  [
+    ("SwissTM", swisstm);
+    ("TinySTM", tinystm);
+    ("RSTM", rstm_serializer);
+    ("TL2", tl2);
+  ]
+
+let run () =
+  section "Figure 2: STMBench7 throughput [10^3 tx/s] vs threads";
+  List.iter
+    (fun workload ->
+      let rows =
+        List.map
+          (fun (name, spec) ->
+            {
+              Harness.Report.label = name;
+              cells =
+                Array.of_list
+                  (List.map
+                     (fun t ->
+                       ktps
+                         (Stmbench7.Sb7_bench.run ~spec ~workload ~threads:t
+                            ~duration_cycles:(sb7_duration ()) ()))
+                     threads);
+            })
+          engines
+      in
+      Harness.Report.print
+        (Harness.Report.make
+           ~title:
+             (Printf.sprintf "STMBench7 %s workload"
+                (Stmbench7.Sb7_bench.workload_name workload))
+           ~unit_:"10^3 tx/s"
+           ~columns:(List.map (fun t -> Printf.sprintf "%dT" t) threads)
+           rows))
+    [
+      Stmbench7.Sb7_bench.Read_dominated;
+      Stmbench7.Sb7_bench.Read_write;
+      Stmbench7.Sb7_bench.Write_dominated;
+    ]

@@ -1,0 +1,40 @@
+(* Figure 3: STAMP — speedup of SwissTM over TL2 (top) and over TinySTM
+   (bottom), minus 1, for each of the ten workloads at 1, 2, 4, 8 threads.
+   Positive = SwissTM faster.  Paper: SwissTM wins everywhere at 8 threads
+   (except vacation-low vs TL2 at parity and kmeans-low vs TinySTM -1 %),
+   by >50 % on bayes/intruder/yada vs TL2. *)
+
+open Bench_common
+
+let makespan spec (w : Stamp.workload) t =
+  let r, ok = w.run ~spec ~threads:t () in
+  if not ok then note "  !! %s failed verification under %s" w.name (Engines.name spec);
+  float_of_int r.elapsed_cycles
+
+let run () =
+  section "Figure 3: STAMP speedup of SwissTM (minus 1)";
+  List.iter
+    (fun (vs_name, vs_spec) ->
+      let rows =
+        List.map
+          (fun (w : Stamp.workload) ->
+            {
+              Harness.Report.label = w.name;
+              cells =
+                Array.of_list
+                  (List.map
+                     (fun t ->
+                       let base = makespan vs_spec w t in
+                       let swiss = makespan swisstm w t in
+                       (base /. swiss) -. 1.)
+                     threads);
+            })
+          Stamp.workloads
+      in
+      Harness.Report.print
+        (Harness.Report.make
+           ~title:(Printf.sprintf "SwissTM vs %s (speedup - 1)" vs_name)
+           ~unit_:"ratio - 1"
+           ~columns:(List.map (fun t -> Printf.sprintf "%dT" t) threads)
+           rows))
+    [ ("TL2", tl2); ("TinySTM", tinystm) ]

@@ -1,0 +1,43 @@
+(* Figure 4: Lee-TM execution time vs threads for the memory and main
+   boards.  Paper: RSTM slowest (per-access overhead on one-word objects),
+   SwissTM and TinySTM close with SwissTM slightly ahead; time drops with
+   threads then flattens. *)
+
+open Bench_common
+
+let engines = [ ("RSTM", rstm_serializer); ("TinySTM", tinystm); ("SwissTM", swisstm) ]
+
+let boards () =
+  [
+    ("memory", Leetm.Board.memory ~width:128 ~height:128 ~routes:160 ());
+    ("main", Leetm.Board.main ~width:128 ~height:128 ~routes:160 ());
+  ]
+
+let run () =
+  section "Figure 4: Lee-TM execution time [simulated ms] vs threads";
+  List.iter
+    (fun (bname, board) ->
+      let rows =
+        List.map
+          (fun (name, spec) ->
+            {
+              Harness.Report.label = name;
+              cells =
+                Array.of_list
+                  (List.map
+                     (fun t ->
+                       let r, state = Leetm.Router.run ~spec ~threads:t board in
+                       if not (Leetm.Router.verify state) then
+                         note "  !! %s produced crossing nets" name;
+                       ms r)
+                     threads);
+            })
+          engines
+      in
+      Harness.Report.print
+        (Harness.Report.make
+           ~title:(Printf.sprintf "Lee-TM %s board" bname)
+           ~unit_:"ms (simulated)"
+           ~columns:(List.map (fun t -> Printf.sprintf "%dT" t) threads)
+           rows))
+    (boards ())

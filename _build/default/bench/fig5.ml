@@ -1,0 +1,32 @@
+(* Figure 5: red-black tree throughput, range 16384, 20 % updates.
+   Paper: RSTM far below (per-access overhead); SwissTM below TL2/TinySTM
+   at 1 thread (two locks vs one) but overtakes above 4 threads. *)
+
+open Bench_common
+
+let engines =
+  [ ("SwissTM", swisstm); ("TL2", tl2); ("TinySTM", tinystm); ("RSTM", rstm_polka) ]
+
+let run () =
+  section "Figure 5: red-black tree throughput [10^6 tx/s] vs threads";
+  let rows =
+    List.map
+      (fun (name, spec) ->
+        {
+          Harness.Report.label = name;
+          cells =
+            Array.of_list
+              (List.map
+                 (fun t ->
+                   mtps
+                     (Rbtree.Rbtree_bench.run ~spec ~threads:t
+                        ~duration_cycles:(rbtree_duration ()) ()))
+                 threads);
+        })
+      engines
+  in
+  Harness.Report.print
+    (Harness.Report.make ~title:"Red-black tree (range 16384, 20% updates)"
+       ~unit_:"10^6 tx/s"
+       ~columns:(List.map (fun t -> Printf.sprintf "%dT" t) threads)
+       rows)

@@ -1,0 +1,38 @@
+(* Figure 7: eager vs lazy conflict detection in the read-dominated
+   STMBench7 workload — TinySTM (eager), RSTM eager, RSTM lazy, TL2 (lazy).
+   Paper: the eager schemes outperform the lazy ones; both RSTM variants
+   sit between TinySTM and TL2. *)
+
+open Bench_common
+
+let engines =
+  [
+    ("TinySTM (eager)", tinystm);
+    ("RSTM eager", Engines.rstm_with ~acquire:Rstm.Rstm_engine.Eager ~cm:Cm.Cm_intf.Serializer ());
+    ("RSTM lazy", Engines.rstm_with ~acquire:Rstm.Rstm_engine.Lazy ~cm:Cm.Cm_intf.Serializer ());
+    ("TL2 (lazy)", tl2);
+  ]
+
+let run () =
+  section "Figure 7: eager vs lazy schemes, STMBench7 read-dominated";
+  let rows =
+    List.map
+      (fun (name, spec) ->
+        {
+          Harness.Report.label = name;
+          cells =
+            Array.of_list
+              (List.map
+                 (fun t ->
+                   ktps
+                     (Stmbench7.Sb7_bench.run ~spec
+                        ~workload:Stmbench7.Sb7_bench.Read_dominated ~threads:t
+                        ~duration_cycles:(sb7_duration ()) ()))
+                 threads);
+        })
+      engines
+  in
+  Harness.Report.print
+    (Harness.Report.make ~title:"STMBench7 read-dominated" ~unit_:"10^3 tx/s"
+       ~columns:(List.map (fun t -> Printf.sprintf "%dT" t) threads)
+       rows)

@@ -1,0 +1,43 @@
+(* Figure 8: the "irregular" Lee-TM — every route reads a hot object, a
+   ratio R of routes also updates it.  Paper (memory board): TinySTM
+   degrades badly already at R = 5 % and stops scaling at R = 20 %;
+   SwissTM degrades only slightly — the r/w-conflict optimism at work. *)
+
+open Bench_common
+
+let board () = Leetm.Board.memory ~width:128 ~height:128 ~routes:160 ()
+
+let configs =
+  [
+    ("TinySTM 20%", tinystm, 0.20);
+    ("TinySTM 5%", tinystm, 0.05);
+    ("SwissTM 20%", swisstm, 0.20);
+    ("TinySTM", tinystm, 0.0);
+    ("SwissTM 5%", swisstm, 0.05);
+    ("SwissTM", swisstm, 0.0);
+  ]
+
+let run () =
+  section "Figure 8: irregular Lee-TM (memory board), execution time";
+  let b = board () in
+  let rows =
+    List.map
+      (fun (name, spec, hot_ratio) ->
+        {
+          Harness.Report.label = name;
+          cells =
+            Array.of_list
+              (List.map
+                 (fun t ->
+                   let r, state = Leetm.Router.run ~hot_ratio ~spec ~threads:t b in
+                   ignore state;
+                   ms r)
+                 threads);
+        })
+      configs
+  in
+  Harness.Report.print
+    (Harness.Report.make ~title:"irregular Lee-TM, memory board"
+       ~unit_:"ms (simulated)"
+       ~columns:(List.map (fun t -> Printf.sprintf "%dT" t) threads)
+       rows)

@@ -1,0 +1,35 @@
+(* Figure 9: Polka vs Greedy inside RSTM on the read-dominated STMBench7
+   workload.  Paper: Greedy beats Polka on this large-scale benchmark
+   (reversing Polka's small-benchmark reputation). *)
+
+open Bench_common
+
+let engines =
+  [
+    ("RSTM Greedy", Engines.rstm_with ~cm:Cm.Cm_intf.Greedy ());
+    ("RSTM Polka", Engines.rstm_with ~cm:Cm.Cm_intf.Polka ());
+  ]
+
+let run () =
+  section "Figure 9: Polka vs Greedy (RSTM), STMBench7 read-dominated";
+  let rows =
+    List.map
+      (fun (name, spec) ->
+        {
+          Harness.Report.label = name;
+          cells =
+            Array.of_list
+              (List.map
+                 (fun t ->
+                   ktps
+                     (Stmbench7.Sb7_bench.run ~spec
+                        ~workload:Stmbench7.Sb7_bench.Read_dominated ~threads:t
+                        ~duration_cycles:(sb7_duration ()) ()))
+                 threads);
+        })
+      engines
+  in
+  Harness.Report.print
+    (Harness.Report.make ~title:"STMBench7 read-dominated" ~unit_:"10^3 tx/s"
+       ~columns:(List.map (fun t -> Printf.sprintf "%dT" t) threads)
+       rows)

@@ -1,0 +1,60 @@
+(* Shared machinery for the lock-granularity study (Figure 13 + Table 2).
+
+   Runs SwissTM with stripe sizes of 2^0..2^6 *words* (the paper's 2^2..2^8
+   bytes on its 32-bit platform) over all sixteen benchmark workloads of
+   Table 2 at 8 threads, and reports higher-is-better performance scores
+   (throughput, or inverse makespan for fixed-work benchmarks). *)
+
+open Bench_common
+
+let grans = [ 1; 2; 4; 8; 16; 32; 64 ]
+
+(* log2 of granularity in BYTES on the paper's 32-bit platform *)
+let paper_log2_bytes g = 2 + Memory.Stripe.log2 g
+
+let spec_of_gran g = Engines.with_granularity g swisstm
+
+let stamp_perf name g =
+  let w = Option.get (Stamp.find name) in
+  let r, _ok = w.run ~spec:(spec_of_gran g) ~threads:8 () in
+  1e9 /. float_of_int (max 1 r.elapsed_cycles)
+
+let lee_perf board g =
+  let r, _state = Leetm.Router.run ~spec:(spec_of_gran g) ~threads:8 board in
+  1e9 /. float_of_int (max 1 r.elapsed_cycles)
+
+let rbtree_perf g =
+  Harness.Workload.throughput
+    (Rbtree.Rbtree_bench.run ~spec:(spec_of_gran g) ~threads:8
+       ~duration_cycles:(rbtree_duration ()) ())
+
+let sb7_perf workload g =
+  Harness.Workload.throughput
+    (Stmbench7.Sb7_bench.run ~spec:(spec_of_gran g) ~workload ~threads:8
+       ~duration_cycles:(sb7_duration () / 2) ())
+
+let benchmarks : (string * (int -> float)) list =
+  List.map (fun n -> (n, stamp_perf n)) Stamp.names
+  @ [
+      ("red-black tree", rbtree_perf);
+      ( "Lee-TM memory",
+        let b = lazy (Leetm.Board.memory ~width:96 ~height:96 ~routes:128 ()) in
+        fun g -> lee_perf (Lazy.force b) g );
+      ( "Lee-TM main",
+        let b = lazy (Leetm.Board.main ~width:96 ~height:96 ~routes:128 ()) in
+        fun g -> lee_perf (Lazy.force b) g );
+      ("STMBench7 read", sb7_perf Stmbench7.Sb7_bench.Read_dominated);
+      ("STMBench7 read-write", sb7_perf Stmbench7.Sb7_bench.Read_write);
+      ("STMBench7 write", sb7_perf Stmbench7.Sb7_bench.Write_dominated);
+    ]
+
+(* Measured scores, computed once and shared by fig13 and tbl2:
+   scores.(bench_index).(gran_index). *)
+let scores =
+  lazy
+    (List.map
+       (fun (name, perf) ->
+         note "  measuring %-22s across %d granularities..." name
+           (List.length grans);
+         (name, List.map perf grans))
+       benchmarks)

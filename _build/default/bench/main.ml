@@ -1,0 +1,55 @@
+(* Benchmark harness entry point: regenerates every table and figure of the
+   paper's evaluation (PLDI'09, §4-§5).
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- fig5 fig10   # a subset
+     SWISSTM_BENCH_SCALE=4 dune exec bench/main.exe   # longer runs
+
+   Results are simulated-time measurements on the discrete-event
+   multiprocessor (see DESIGN.md); the Bechamel "micro" section uses real
+   time. *)
+
+let all : (string * string * (unit -> unit)) list =
+  [
+    ("tbl1", "Table 1: design-choice combinations", Tbl1.run);
+    ("fig2", "Figure 2: STMBench7 throughput", Fig2.run);
+    ("fig3", "Figure 3: STAMP speedups", Fig3.run);
+    ("fig4", "Figure 4: Lee-TM execution time", Fig4.run);
+    ("fig5", "Figure 5: red-black tree throughput", Fig5.run);
+    ("fig6", "Figure 6: lazy/eager pathologies (scenario)", Fig6.run);
+    ("fig7", "Figure 7: eager vs lazy conflict detection", Fig7.run);
+    ("fig8", "Figure 8: irregular Lee-TM", Fig8.run);
+    ("fig9", "Figure 9: Polka vs Greedy (RSTM)", Fig9.run);
+    ("fig10", "Figure 10: two-phase vs Greedy (SwissTM)", Fig10.run);
+    ("fig11", "Figure 11: back-off vs no back-off", Fig11.run);
+    ("fig12", "Figure 12: two-phase vs timid (SwissTM)", Fig12.run);
+    ("fig13", "Figure 13: lock granularity sweep", Fig13.run);
+    ("tbl2", "Table 2: per-benchmark granularity", Tbl2.run);
+    ("micro", "Bechamel per-op overhead", Micro.run);
+    ("ablations", "Extensions: nesting, multi-versioning, privatization, CMs", Ablations.run);
+    ("fairness", "Extension: long-transaction latency / starvation", Fairness.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map (fun (n, _, _) -> n) all
+  in
+  Printf.printf
+    "SwissTM reproduction benchmark harness (scale=%.2g, threads=%s)\n"
+    Bench_common.scale
+    (String.concat "," (List.map string_of_int Bench_common.threads));
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.find_opt (fun (n, _, _) -> n = name) all with
+      | Some (_, _, run) ->
+          let t = Unix.gettimeofday () in
+          run ();
+          Printf.printf "  [%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t)
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" name
+            (String.concat ", " (List.map (fun (n, _, _) -> n) all)))
+    requested;
+  Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

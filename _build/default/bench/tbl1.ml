@@ -1,0 +1,43 @@
+(* Table 1: effectiveness of STM design-choice combinations in mixed
+   workloads.  The paper summarises it qualitatively (+ .. ++++); we
+   measure each combination on the STMBench7 read-write mix at 4 and 8
+   threads and derive the rating from throughput relative to the best. *)
+
+open Bench_common
+
+let combos =
+  [
+    ("lazy    invisible any (TL2)", tl2);
+    ("eager   visible   any (RSTM-vis)",
+      Engines.rstm_with ~visibility:Rstm.Rstm_engine.Visible ~cm:Cm.Cm_intf.Serializer ());
+    ("eager   invisible Polka (RSTM)", rstm_polka);
+    ("eager   invisible timid (TinySTM)", tinystm);
+    ("mixed   invisible timid (SwissTM-)",
+      Engines.swisstm_with ~cm:Cm.Cm_intf.Timid ());
+    ("mixed   invisible 2-phase (SwissTM)", swisstm);
+  ]
+
+let stars best v =
+  let ratio = v /. best in
+  if ratio > 0.95 then "++++"
+  else if ratio > 0.80 then "+++"
+  else if ratio > 0.60 then "++"
+  else "+"
+
+let run () =
+  section "Table 1: design-choice combinations, STMBench7 read-write mix";
+  let measure spec t =
+    ktps
+      (Stmbench7.Sb7_bench.run ~spec ~workload:Stmbench7.Sb7_bench.Read_write
+         ~threads:t ~duration_cycles:(sb7_duration ()) ())
+  in
+  let results =
+    List.map (fun (name, spec) -> (name, measure spec 4, measure spec 8)) combos
+  in
+  let best8 = List.fold_left (fun b (_, _, v) -> Float.max b v) 0. results in
+  Printf.printf "%-38s %10s %10s   %s\n" "acquire/reads/CM" "4T[ktx/s]"
+    "8T[ktx/s]" "rating";
+  List.iter
+    (fun (name, v4, v8) ->
+      Printf.printf "%-38s %10.1f %10.1f   %s\n" name v4 v8 (stars best8 v8))
+    results

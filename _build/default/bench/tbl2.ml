@@ -1,0 +1,46 @@
+(* Table 2: per-benchmark relative speedups of three granularities —
+   2^4 vs 2^2, 2^4 vs 2^6 and 2^2 vs 2^6 bytes (4 words vs 1 word vs 16
+   words here), 8 threads, plus the average row. *)
+
+open Bench_common
+
+let idx_of_gran g =
+  let rec go i = function
+    | [] -> invalid_arg "gran"
+    | x :: _ when x = g -> i
+    | _ :: tl -> go (i + 1) tl
+  in
+  go 0 Granularity.grans
+
+let run () =
+  section "Table 2: lock-granularity comparison (relative speedup - 1)";
+  let scores = Lazy.force Granularity.scores in
+  let i1 = idx_of_gran 1 and i4 = idx_of_gran 4 and i16 = idx_of_gran 16 in
+  let rows =
+    List.map
+      (fun (name, perfs) ->
+        let p g = List.nth perfs g in
+        {
+          Harness.Report.label = name;
+          cells =
+            [|
+              (p i4 /. p i1) -. 1.;
+              (p i4 /. p i16) -. 1.;
+              (p i1 /. p i16) -. 1.;
+            |];
+        })
+      scores
+  in
+  let avg col =
+    List.fold_left (fun a (r : Harness.Report.row) -> a +. r.cells.(col)) 0. rows
+    /. float_of_int (List.length rows)
+  in
+  let rows =
+    rows
+    @ [ { Harness.Report.label = "Average"; cells = [| avg 0; avg 1; avg 2 |] } ]
+  in
+  Harness.Report.print
+    (Harness.Report.make ~title:"granularity speedups (paper's byte notation)"
+       ~unit_:"ratio - 1"
+       ~columns:[ "2^4 vs 2^2"; "2^4 vs 2^6"; "2^2 vs 2^6" ]
+       rows)

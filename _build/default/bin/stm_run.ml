@@ -1,0 +1,169 @@
+(* stm_run — command-line driver for every benchmark × engine combination.
+
+     stm_run rbtree --stm swisstm --threads 4
+     stm_run sb7    --workload read --stm tl2 --threads 8
+     stm_run lee    --board memory --stm tinystm --threads 2
+     stm_run stamp  --app intruder --stm swisstm --threads 8
+     stm_run list
+
+   Prints one summary line per run plus the abort/commit breakdown. *)
+
+open Cmdliner
+
+let spec_conv =
+  let parse s =
+    match Engines.of_string s with
+    | Some spec -> Ok spec
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown engine %S (expected one of: %s)" s
+                (String.concat ", " Engines.known_names)))
+  in
+  let print ppf spec = Format.pp_print_string ppf (Engines.name spec) in
+  Arg.conv (parse, print)
+
+let stm_arg =
+  let doc = "STM engine (see `stm_run list`)." in
+  Arg.(value & opt spec_conv Engines.swisstm & info [ "stm" ] ~docv:"ENGINE" ~doc)
+
+let threads_arg =
+  let doc = "Number of simulated threads." in
+  Arg.(value & opt int 4 & info [ "t"; "threads" ] ~docv:"N" ~doc)
+
+let duration_arg =
+  let doc = "Simulated duration in megacycles (duration-type benchmarks)." in
+  Arg.(value & opt int 10 & info [ "duration" ] ~docv:"MCYCLES" ~doc)
+
+let print_result ~label spec ~threads (r : Harness.Workload.result) =
+  Printf.printf
+    "%s  engine=%s threads=%d  ops=%d  elapsed=%.3f ms (simulated)  \
+     throughput=%.1f ops/s\n"
+    label (Engines.name spec) threads r.ops
+    (Harness.Workload.elapsed_seconds r *. 1e3)
+    (Harness.Workload.throughput r);
+  Format.printf "  %a@." Stm_intf.Stats.pp r.stats;
+  Printf.printf "  abort rate: %.4f\n" (Harness.Workload.abort_rate r)
+
+(* --- rbtree ------------------------------------------------------------ *)
+
+let rbtree_cmd =
+  let run spec threads duration update_pct range =
+    let params =
+      {
+        Rbtree.Rbtree_bench.default with
+        update_ratio = float_of_int update_pct /. 100.;
+        range;
+      }
+    in
+    let r =
+      Rbtree.Rbtree_bench.run ~params ~spec ~threads
+        ~duration_cycles:(duration * 1_000_000) ()
+    in
+    print_result ~label:"rbtree" spec ~threads r
+  in
+  let update_arg =
+    Arg.(value & opt int 20 & info [ "updates" ] ~docv:"PCT" ~doc:"Update percentage.")
+  in
+  let range_arg =
+    Arg.(value & opt int 16384 & info [ "range" ] ~docv:"N" ~doc:"Key range.")
+  in
+  Cmd.v
+    (Cmd.info "rbtree" ~doc:"Red-black tree microbenchmark (paper Figure 5)")
+    Term.(const run $ stm_arg $ threads_arg $ duration_arg $ update_arg $ range_arg)
+
+(* --- STMBench7 ---------------------------------------------------------- *)
+
+let sb7_cmd =
+  let run spec threads duration workload =
+    let workload =
+      match workload with
+      | "read" -> Stmbench7.Sb7_bench.Read_dominated
+      | "read-write" | "rw" -> Stmbench7.Sb7_bench.Read_write
+      | "write" -> Stmbench7.Sb7_bench.Write_dominated
+      | s -> failwith (Printf.sprintf "unknown workload %S" s)
+    in
+    let r =
+      Stmbench7.Sb7_bench.run ~spec ~workload ~threads
+        ~duration_cycles:(duration * 1_000_000) ()
+    in
+    print_result ~label:"stmbench7" spec ~threads r
+  in
+  let workload_arg =
+    Arg.(
+      value & opt string "read"
+      & info [ "workload" ] ~docv:"MIX" ~doc:"read | read-write | write.")
+  in
+  Cmd.v
+    (Cmd.info "sb7" ~doc:"STMBench7 (paper Figure 2)")
+    Term.(const run $ stm_arg $ threads_arg $ duration_arg $ workload_arg)
+
+(* --- Lee-TM -------------------------------------------------------------- *)
+
+let lee_cmd =
+  let run spec threads board hot =
+    let board =
+      match board with
+      | "memory" -> Leetm.Board.memory ()
+      | "main" -> Leetm.Board.main ()
+      | s -> failwith (Printf.sprintf "unknown board %S" s)
+    in
+    let r, state = Leetm.Router.run ~hot_ratio:hot ~spec ~threads board in
+    print_result ~label:(Printf.sprintf "lee-%s" board.name) spec ~threads r;
+    Printf.printf "  routed=%d failed=%d connected=%b\n"
+      (Leetm.Router.total_routed state)
+      (Leetm.Router.total_failed state)
+      (Leetm.Router.verify state)
+  in
+  let board_arg =
+    Arg.(value & opt string "memory" & info [ "board" ] ~docv:"B" ~doc:"memory | main.")
+  in
+  let hot_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "hot-ratio" ]
+          ~doc:"Irregular variant: fraction of routes updating the hot object.")
+  in
+  Cmd.v
+    (Cmd.info "lee" ~doc:"Lee-TM circuit routing (paper Figures 4 and 8)")
+    Term.(const run $ stm_arg $ threads_arg $ board_arg $ hot_arg)
+
+(* --- STAMP --------------------------------------------------------------- *)
+
+let stamp_cmd =
+  let run spec threads app =
+    match Stamp.find app with
+    | None ->
+        failwith
+          (Printf.sprintf "unknown app %S (expected one of: %s)" app
+             (String.concat ", " Stamp.names))
+    | Some w ->
+        let r, ok = w.run ~spec ~threads () in
+        print_result ~label:(Printf.sprintf "stamp-%s" app) spec ~threads r;
+        Printf.printf "  verified=%b\n" ok
+  in
+  let app_arg =
+    Arg.(value & opt string "intruder" & info [ "app" ] ~docv:"APP" ~doc:"STAMP application.")
+  in
+  Cmd.v
+    (Cmd.info "stamp" ~doc:"STAMP applications (paper Figure 3)")
+    Term.(const run $ stm_arg $ threads_arg $ app_arg)
+
+(* --- list ----------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "engines:\n";
+    List.iter (Printf.printf "  %s\n") Engines.known_names;
+    Printf.printf "stamp apps:\n";
+    List.iter (Printf.printf "  %s\n") Stamp.names
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List engines and STAMP applications")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "stm_run" ~version:"1.0"
+      ~doc:"SwissTM reproduction: run any benchmark under any STM engine"
+  in
+  exit (Cmd.eval (Cmd.group info [ rbtree_cmd; sb7_cmd; lee_cmd; stamp_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/composed_ops.ml: Array Engines List Memory Option Printf Runtime Stm_intf Txds

@@ -1,0 +1,1 @@
+examples/concurrent_set.ml: Engines List Memory Printf Rbtree Runtime Stm_intf

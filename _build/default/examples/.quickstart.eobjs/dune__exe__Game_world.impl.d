@@ -1,0 +1,1 @@
+examples/game_world.ml: Array Engines Memory Printf Runtime Stm_intf

@@ -1,0 +1,1 @@
+examples/pipeline.ml: Engines List Memory Option Printf Runtime Stm_intf Txds

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Engines Memory Printf Runtime Stm_intf

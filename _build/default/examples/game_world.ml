@@ -1,0 +1,88 @@
+(* Game-world simulation — the paper's motivating workload (§1).
+
+   "A video gameplay simulation can use up to 10,000 active interacting
+   game objects, each having mutable state, being updated 30-60 times per
+   second, and causing changes to 5-10 other objects on every update."
+   (Sweeney, POPL'06 invited talk, as cited by the paper.)
+
+   Each object has position, velocity and hit points; an update transaction
+   moves one object and applies interactions (damage/heal) to 5-10 spatial
+   neighbours.  With a TM, the per-object update code is written as if
+   single-threaded; the engine extracts the parallelism.
+
+     dune exec examples/game_world.exe *)
+
+let n_objects = 4_096
+let threads = 8
+let ticks_per_thread = 1_500
+
+(* object layout: [x; y; vx; vy; hp] *)
+let o_x = 0
+let o_y = 1
+let o_vx = 2
+let o_vy = 3
+let o_hp = 4
+let obj_words = 5
+
+let world = 256 (* coordinates wrap modulo [world] *)
+
+let () =
+  let heap = Memory.Heap.create ~words:((n_objects * obj_words) + (1 lsl 16)) in
+  let rng0 = Runtime.Rng.create 7 in
+  let objs =
+    Array.init n_objects (fun _ ->
+        let a = Memory.Heap.alloc heap obj_words in
+        Memory.Heap.write heap (a + o_x) (Runtime.Rng.int rng0 world);
+        Memory.Heap.write heap (a + o_y) (Runtime.Rng.int rng0 world);
+        Memory.Heap.write heap (a + o_vx) (Runtime.Rng.int rng0 3 - 1);
+        Memory.Heap.write heap (a + o_vy) (Runtime.Rng.int rng0 3 - 1);
+        Memory.Heap.write heap (a + o_hp) 100;
+        a)
+  in
+  let engine = Engines.make Engines.swisstm heap in
+  let total_hp () =
+    Array.fold_left (fun acc a -> acc + Memory.Heap.read heap (a + o_hp)) 0 objs
+  in
+  let before = total_hp () in
+
+  let body tid =
+    let rng = Runtime.Rng.for_thread ~seed:99 ~tid in
+    for _ = 1 to ticks_per_thread do
+      let me = objs.(Runtime.Rng.int rng n_objects) in
+      let interactions = 5 + Runtime.Rng.int rng 6 in
+      let targets =
+        Array.init interactions (fun _ -> objs.(Runtime.Rng.int rng n_objects))
+      in
+      Stm_intf.Engine.atomic engine ~tid (fun tx ->
+          (* Move. *)
+          let x = tx.read (me + o_x) and vx = tx.read (me + o_vx) in
+          let y = tx.read (me + o_y) and vy = tx.read (me + o_vy) in
+          tx.write (me + o_x) ((x + vx + world) mod world);
+          tx.write (me + o_y) ((y + vy + world) mod world);
+          (* Interact: siphon one hit point from each neighbour (total hit
+             points are conserved — our atomicity witness). *)
+          Array.iter
+            (fun other ->
+              if other <> me then begin
+                let hp = tx.read (other + o_hp) in
+                tx.write (other + o_hp) (hp - 1);
+                tx.write (me + o_hp) (tx.read (me + o_hp) + 1)
+              end)
+            targets)
+    done
+  in
+  let makespan = Runtime.Sim.run_threads ~threads body in
+  let after = total_hp () in
+  let stats = Stm_intf.Engine.stats engine in
+  Printf.printf "objects        : %d, %d updates on %d threads\n" n_objects
+    (threads * ticks_per_thread) threads;
+  Printf.printf "hit points     : %d -> %d (conserved: %b)\n" before after
+    (before = after);
+  Printf.printf "commits/aborts : %d / %d (abort rate %.3f)\n" stats.s_commits
+    (Stm_intf.Stats.total_aborts stats)
+    (Stm_intf.Stats.abort_rate stats);
+  Printf.printf "simulated time : %.3f ms  (~%.0f updates/s/thread at 2.4 GHz)\n"
+    (Runtime.Costs.seconds_of_cycles makespan *. 1e3)
+    (float_of_int ticks_per_thread /. Runtime.Costs.seconds_of_cycles makespan);
+  assert (before = after);
+  print_endline "OK"

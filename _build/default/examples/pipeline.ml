@@ -1,0 +1,90 @@
+(* Producer/consumer pipeline over a transactional queue and map — the
+   shape of STAMP's intruder, written against the public API.
+
+   Producers enqueue jobs (several parts per job) into a shared queue;
+   consumers dequeue a part, assemble it in a shared hash map, and whoever
+   completes a job retires it.  Every handoff is a short transaction on a
+   contended queue head — run it with and without an engine whose
+   contention manager backs off and compare the wait counts.
+
+     dune exec examples/pipeline.exe *)
+
+let jobs = 600
+let parts_per_job = 4
+let threads = 8
+
+let run spec =
+  let heap = Memory.Heap.create ~words:(1 lsl 19) in
+  let queue = Txds.Tx_queue.create heap ~capacity:(jobs * parts_per_job + 1) in
+  let assembly = Txds.Tx_hashmap.create heap ~buckets:512 in
+  let engine = Engines.make spec heap in
+  let produced = Runtime.Tmatomic.make 0 in
+  let retired = Runtime.Tmatomic.make 0 in
+  let body tid =
+    let rng = Runtime.Rng.for_thread ~seed:5 ~tid in
+    let live = ref true in
+    while !live do
+      if tid < 2 then begin
+        (* Producers: two threads enqueue until all jobs are out. *)
+        let j = Runtime.Tmatomic.fetch_and_add produced 1 in
+        if j >= jobs then live := false
+        else
+          for part = 0 to parts_per_job - 1 do
+            let token = (j * parts_per_job) + part in
+            ignore
+              (Stm_intf.Engine.atomic engine ~tid (fun tx ->
+                   Txds.Tx_queue.push tx queue token)
+                : bool)
+          done
+      end
+      else begin
+        (* Consumers: drain and assemble. *)
+        let completed_job =
+          Stm_intf.Engine.atomic engine ~tid (fun tx ->
+              match Txds.Tx_queue.pop tx queue with
+              | None -> None
+              | Some token ->
+                  let job = token / parts_per_job in
+                  let count =
+                    Option.value
+                      (Txds.Tx_hashmap.find assembly tx job)
+                      ~default:0
+                  in
+                  ignore (Txds.Tx_hashmap.add assembly tx job (count + 1) : bool);
+                  if count + 1 = parts_per_job then begin
+                    ignore (Txds.Tx_hashmap.remove assembly tx job : bool);
+                    Some job
+                  end
+                  else None)
+        in
+        (match completed_job with
+        | Some _ ->
+            ignore (Runtime.Tmatomic.fetch_and_add retired 1);
+            Runtime.Exec.tick ((Runtime.Costs.get ()).work * 32)
+        | None -> ());
+        (* Consumers stop once everything is retired. *)
+        if Runtime.Tmatomic.get retired >= jobs then live := false
+        else if Runtime.Rng.int rng 64 = 0 then Runtime.Exec.pause ()
+      end
+    done
+  in
+  let makespan = Runtime.Sim.run_threads ~threads body in
+  let stats = Stm_intf.Engine.stats engine in
+  (Runtime.Tmatomic.unsafe_get retired, makespan, stats)
+
+let () =
+  List.iter
+    (fun (label, spec) ->
+      let retired, makespan, stats = run spec in
+      Printf.printf
+        "%-16s retired=%d/%d  simulated=%.3f ms  aborts=%d  waits=%d\n%!" label
+        retired jobs
+        (Runtime.Costs.seconds_of_cycles makespan *. 1e3)
+        (Stm_intf.Stats.total_aborts stats)
+        stats.s_waits)
+    [
+      ("swisstm", Engines.swisstm);
+      ("tl2", Engines.tl2);
+      ("tinystm", Engines.tinystm);
+    ];
+  print_endline "OK"

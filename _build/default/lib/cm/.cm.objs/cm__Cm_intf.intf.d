@@ -1,0 +1,1 @@
+lib/cm/cm_intf.mli: Runtime

@@ -1,0 +1,1 @@
+lib/cm/factory.ml: Cm_intf Runtime

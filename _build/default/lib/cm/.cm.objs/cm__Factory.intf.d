@@ -1,0 +1,1 @@
+lib/cm/factory.mli: Cm_intf

@@ -1,0 +1,105 @@
+(* Contention-manager interface shared by the SwissTM and RSTM engines.
+
+   Engines embed a [txinfo] record in each per-thread transaction
+   descriptor and invoke the hooks at the points the paper identifies
+   (Algorithm 2): transaction (re)start, each successful write, each
+   write/write conflict, and rollback.  [resolve] is called repeatedly
+   while a conflict persists; the manager keeps whatever per-conflict state
+   it needs inside the attacker's [txinfo]. *)
+
+type txinfo = {
+  tid : int;
+  rng : Runtime.Rng.t;
+  kill : Runtime.Tmatomic.t;
+      (** remote-abort flag: a winning attacker sets it to 1; the victim
+          polls it on every transactional access and self-aborts *)
+  mutable cm_ts : int;  (** Greedy/Serializer timestamp; [max_int] = none *)
+  mutable accesses : int;  (** locations accessed so far (Polka priority) *)
+  mutable conflict_waits : int;  (** resolve calls spent on current conflict *)
+  mutable succ_aborts : int;  (** successive aborts of this transaction *)
+  mutable attempts : int;  (** attempts of the current transaction, >= 1 *)
+  mutable karma : int;
+      (** cumulative work carried across aborts (Karma manager) *)
+}
+
+let make_txinfo ~tid ~seed =
+  {
+    tid;
+    rng = Runtime.Rng.for_thread ~seed ~tid;
+    kill = Runtime.Tmatomic.make 0;
+    cm_ts = max_int;
+    accesses = 0;
+    conflict_waits = 0;
+    succ_aborts = 0;
+    attempts = 0;
+    karma = 0;
+  }
+
+(** What the attacker should do about a write/write conflict. *)
+type decision =
+  | Abort_self  (** roll back and retry *)
+  | Wait  (** back off briefly, then re-examine the lock *)
+  | Killed_victim  (** the victim was aborted remotely; wait for release *)
+
+type t = {
+  name : string;
+  on_start : txinfo -> restart:bool -> unit;
+  on_write : txinfo -> writes:int -> unit;
+  resolve : attacker:txinfo -> victim:txinfo -> decision;
+  on_rollback : txinfo -> unit;
+  on_commit : txinfo -> unit;
+}
+
+(** Specification of a manager; [Factory.make] instantiates it with fresh
+    shared counters for one engine instance. *)
+type spec =
+  | Timid  (** abort the attacker immediately (TL2/TinySTM default) *)
+  | Greedy  (** timestamp at first start; older always wins *)
+  | Serializer  (** like Greedy but re-timestamped on every restart *)
+  | Polka  (** priority = accesses; attacker waits with exponential back-off *)
+  | Karma
+      (** Polka's ancestor: priority accumulates across aborts, so a
+          repeatedly-victimised transaction eventually wins *)
+  | Timestamp
+      (** Scherer & Scott: older transactions win, but only after the
+          attacker waited out a grace period *)
+  | Two_phase of { wn : int; backoff : bool }
+      (** the paper's manager: timid until the [wn]-th write, then Greedy;
+          randomized linear back-off after rollback unless [backoff=false] *)
+
+let spec_name = function
+  | Timid -> "timid"
+  | Greedy -> "greedy"
+  | Serializer -> "serializer"
+  | Polka -> "polka"
+  | Karma -> "karma"
+  | Timestamp -> "timestamp"
+  | Two_phase { wn; backoff } ->
+      if backoff then Printf.sprintf "two-phase(wn=%d)" wn
+      else Printf.sprintf "two-phase(wn=%d,nobackoff)" wn
+
+let default_two_phase = Two_phase { wn = 10; backoff = true }
+
+(* Shared helpers *)
+
+(* Polling your own kill flag reads your own descriptor's cache line: it
+   stays local (a remote kill invalidates it exactly once), so the poll is
+   not charged in the cost model. *)
+let kill_requested info = Runtime.Tmatomic.unsafe_get info.kill <> 0
+let clear_kill info = Runtime.Tmatomic.unsafe_set info.kill 0
+let request_kill victim = Runtime.Tmatomic.set victim.kill 1
+
+(* [succ_aborts] is advanced by [on_rollback] (it must be up to date when the
+   rollback back-off computes its delay); [note_start] only resets it when a
+   brand-new transaction begins. *)
+let note_start info ~restart =
+  if restart then info.attempts <- info.attempts + 1
+  else begin
+    info.attempts <- 1;
+    info.succ_aborts <- 0
+  end;
+  info.accesses <- 0;
+  info.conflict_waits <- 0;
+  clear_kill info
+
+let note_rollback info = info.succ_aborts <- info.succ_aborts + 1

@@ -1,0 +1,57 @@
+(** Contention-manager interface shared by the SwissTM and RSTM engines
+    (paper §2.1 and Algorithm 2).
+
+    Engines embed a {!txinfo} in each per-thread descriptor and invoke the
+    hooks at transaction (re)start, successful writes, write/write
+    conflicts and rollback.  [resolve] may be called repeatedly while a
+    conflict persists. *)
+
+type txinfo = {
+  tid : int;
+  rng : Runtime.Rng.t;
+  kill : Runtime.Tmatomic.t;
+      (** remote-abort flag: a winning attacker sets it; the victim polls
+          and self-aborts *)
+  mutable cm_ts : int;  (** Greedy/Serializer timestamp; [max_int] = none *)
+  mutable accesses : int;  (** locations accessed so far (Polka priority) *)
+  mutable conflict_waits : int;  (** resolve calls spent on this conflict *)
+  mutable succ_aborts : int;  (** successive aborts of this transaction *)
+  mutable attempts : int;  (** attempts of the current transaction *)
+  mutable karma : int;  (** work carried across aborts (Karma) *)
+}
+
+val make_txinfo : tid:int -> seed:int -> txinfo
+
+type decision =
+  | Abort_self  (** roll back and retry *)
+  | Wait  (** back off briefly, then re-examine the lock *)
+  | Killed_victim  (** the victim was aborted remotely; await release *)
+
+type t = {
+  name : string;
+  on_start : txinfo -> restart:bool -> unit;
+  on_write : txinfo -> writes:int -> unit;
+  resolve : attacker:txinfo -> victim:txinfo -> decision;
+  on_rollback : txinfo -> unit;
+  on_commit : txinfo -> unit;
+}
+
+type spec =
+  | Timid  (** abort the attacker immediately (TL2/TinySTM default) *)
+  | Greedy  (** timestamp at first start; older always wins *)
+  | Serializer  (** Greedy re-timestamped on every restart *)
+  | Polka  (** priority = accesses; waits with exponential back-off *)
+  | Karma  (** Polka with priority accumulated across aborts *)
+  | Timestamp  (** older wins after a bounded grace period *)
+  | Two_phase of { wn : int; backoff : bool }
+      (** the paper's manager (Algorithm 2): timid until the [wn]-th
+          write, then Greedy; randomized linear back-off on rollback *)
+
+val spec_name : spec -> string
+val default_two_phase : spec
+
+val kill_requested : txinfo -> bool
+val clear_kill : txinfo -> unit
+val request_kill : txinfo -> unit
+val note_start : txinfo -> restart:bool -> unit
+val note_rollback : txinfo -> unit

@@ -1,0 +1,228 @@
+(* Concrete contention managers (paper §2.1 and Algorithm 2).
+
+   [make spec] instantiates fresh shared counters, so distinct engine
+   instances never share contention-manager state. *)
+
+open Cm_intf
+
+(* --- Timid: always abort the attacker, optionally after a tiny random
+   back-off (the TL2 / TinySTM default behaviour). --- *)
+let timid () =
+  {
+    name = spec_name Timid;
+    on_start = (fun info ~restart -> note_start info ~restart);
+    on_write = (fun _ ~writes:_ -> ());
+    resolve = (fun ~attacker:_ ~victim:_ -> Abort_self);
+    on_rollback =
+      (fun info ->
+        note_rollback info;
+        (* uncapped attempts: a transaction repeatedly losing to a long
+           writer must eventually out-wait the writer's commit instead of
+           thrashing (TL2/TinySTM ship comparable back-off escalation) *)
+        Runtime.Backoff.wait Runtime.Backoff.default_linear info.rng
+          ~attempt:info.succ_aborts);
+    on_commit = (fun _ -> ());
+  }
+
+(* --- Greedy: a unique monotonically increasing timestamp at transaction
+   start; kept across restarts; the lower (older) timestamp always wins.
+   The shared [clock] increment on *every* transaction start is the cache
+   hot spot the paper blames for Greedy's poor small-transaction
+   performance (Figure 10). --- *)
+let greedy () =
+  let clock = Runtime.Tmatomic.make 0 in
+  {
+    name = spec_name Greedy;
+    on_start =
+      (fun info ~restart ->
+        note_start info ~restart;
+        if not restart then info.cm_ts <- Runtime.Tmatomic.incr_get clock);
+    on_write = (fun _ ~writes:_ -> ());
+    resolve =
+      (fun ~attacker ~victim ->
+        if attacker.cm_ts < victim.cm_ts then begin
+          request_kill victim;
+          Killed_victim
+        end
+        else Abort_self);
+    on_rollback =
+      (fun info ->
+        note_rollback info;
+        Runtime.Backoff.wait Runtime.Backoff.default_linear info.rng
+          ~attempt:(min info.succ_aborts 4));
+    on_commit = (fun _ -> ());
+  }
+
+(* --- Serializer: Greedy re-timestamped on every restart; loses Greedy's
+   starvation-freedom (paper §2.1). --- *)
+let serializer () =
+  let clock = Runtime.Tmatomic.make 0 in
+  {
+    name = spec_name Serializer;
+    on_start =
+      (fun info ~restart ->
+        note_start info ~restart;
+        info.cm_ts <- Runtime.Tmatomic.incr_get clock);
+    on_write = (fun _ ~writes:_ -> ());
+    resolve =
+      (fun ~attacker ~victim ->
+        if attacker.cm_ts < victim.cm_ts then begin
+          request_kill victim;
+          Killed_victim
+        end
+        else Abort_self);
+    on_rollback =
+      (fun info ->
+        note_rollback info;
+        Runtime.Backoff.wait Runtime.Backoff.default_linear info.rng
+          ~attempt:(min info.succ_aborts 4));
+    on_commit = (fun _ -> ());
+  }
+
+(* --- Polka: priority = number of locations accessed so far; on conflict
+   the attacker waits (exponential back-off), gaining one point of
+   temporary priority per wait; once attacker priority + waits exceeds the
+   victim's priority, the victim is aborted. --- *)
+let polka () =
+  {
+    name = spec_name Polka;
+    on_start = (fun info ~restart -> note_start info ~restart);
+    on_write = (fun _ ~writes:_ -> ());
+    resolve =
+      (fun ~attacker ~victim ->
+        if attacker.accesses + attacker.conflict_waits >= victim.accesses
+        then begin
+          request_kill victim;
+          Killed_victim
+        end
+        else begin
+          attacker.conflict_waits <- attacker.conflict_waits + 1;
+          Runtime.Backoff.wait Runtime.Backoff.default_exponential attacker.rng
+            ~attempt:attacker.conflict_waits;
+          Wait
+        end);
+    on_rollback =
+      (fun info ->
+        note_rollback info;
+        (* A killed victim must not re-announce itself instantly or it gets
+           re-killed forever; uncapped attempts let the exponential window
+           grow past the length of the longest transactions, which is what
+           breaks mutual-kill livelocks between equal-priority giants. *)
+        Runtime.Backoff.wait Runtime.Backoff.default_exponential info.rng
+          ~attempt:info.succ_aborts);
+    on_commit = (fun _ -> ());
+  }
+
+(* --- Karma (Scherer & Scott, CSJP'04): like Polka but the priority is
+   the work accumulated over ALL attempts of the transaction, so a
+   transaction that keeps losing gains enough karma to win eventually. --- *)
+let karma () =
+  {
+    name = spec_name Karma;
+    on_start =
+      (fun info ~restart ->
+        (* carry the previous attempt's work into the new one *)
+        if restart then info.karma <- info.karma + info.accesses
+        else info.karma <- 0;
+        note_start info ~restart);
+    on_write = (fun _ ~writes:_ -> ());
+    resolve =
+      (fun ~attacker ~victim ->
+        let prio i = i.karma + i.accesses in
+        if prio attacker + attacker.conflict_waits >= prio victim then begin
+          request_kill victim;
+          Killed_victim
+        end
+        else begin
+          attacker.conflict_waits <- attacker.conflict_waits + 1;
+          Runtime.Backoff.wait Runtime.Backoff.default_exponential attacker.rng
+            ~attempt:attacker.conflict_waits;
+          Wait
+        end);
+    on_rollback =
+      (fun info ->
+        note_rollback info;
+        Runtime.Backoff.wait Runtime.Backoff.default_exponential info.rng
+          ~attempt:info.succ_aborts);
+    on_commit = (fun info -> info.karma <- 0);
+  }
+
+(* --- Timestamp (Scherer & Scott): the older transaction wins, but the
+   attacker grants the victim a bounded grace period first. --- *)
+let timestamp () =
+  let clock = Runtime.Tmatomic.make 0 in
+  let grace = 8 in
+  {
+    name = spec_name Timestamp;
+    on_start =
+      (fun info ~restart ->
+        note_start info ~restart;
+        if not restart then info.cm_ts <- Runtime.Tmatomic.incr_get clock);
+    on_write = (fun _ ~writes:_ -> ());
+    resolve =
+      (fun ~attacker ~victim ->
+        if attacker.cm_ts >= victim.cm_ts then Abort_self
+        else if attacker.conflict_waits < grace then begin
+          attacker.conflict_waits <- attacker.conflict_waits + 1;
+          Runtime.Backoff.wait Runtime.Backoff.default_exponential attacker.rng
+            ~attempt:attacker.conflict_waits;
+          Wait
+        end
+        else begin
+          request_kill victim;
+          Killed_victim
+        end);
+    on_rollback =
+      (fun info ->
+        note_rollback info;
+        Runtime.Backoff.wait Runtime.Backoff.default_linear info.rng
+          ~attempt:(min info.succ_aborts 6));
+    on_commit = (fun _ -> ());
+  }
+
+(* --- The paper's two-phase manager (Algorithm 2).
+
+   Phase one (cm_ts = infinity, i.e. [max_int]): behave like Timid — abort
+   the attacker on any conflict.  A transaction enters phase two on its
+   [wn]-th write by drawing a Greedy timestamp, *kept across restarts*
+   (cm-start only resets cm-ts when the transaction is not a restart), which
+   gives long transactions Greedy's starvation-freedom while short ones
+   never touch the shared clock.  After rollback: randomized linear back-off
+   proportional to the number of successive aborts. --- *)
+let two_phase ~wn ~backoff () =
+  let clock = Runtime.Tmatomic.make 0 in
+  {
+    name = spec_name (Two_phase { wn; backoff });
+    on_start =
+      (fun info ~restart ->
+        note_start info ~restart;
+        if not restart then info.cm_ts <- max_int);
+    on_write =
+      (fun info ~writes ->
+        if info.cm_ts = max_int && writes = wn then
+          info.cm_ts <- Runtime.Tmatomic.incr_get clock);
+    resolve =
+      (fun ~attacker ~victim ->
+        if attacker.cm_ts = max_int then Abort_self
+        else if victim.cm_ts < attacker.cm_ts then Abort_self
+        else begin
+          request_kill victim;
+          Killed_victim
+        end);
+    on_rollback =
+      (fun info ->
+        note_rollback info;
+        if backoff then
+          Runtime.Backoff.wait Runtime.Backoff.default_linear info.rng
+            ~attempt:info.succ_aborts);
+    on_commit = (fun _ -> ());
+  }
+
+let make = function
+  | Timid -> timid ()
+  | Greedy -> greedy ()
+  | Serializer -> serializer ()
+  | Polka -> polka ()
+  | Karma -> karma ()
+  | Timestamp -> timestamp ()
+  | Two_phase { wn; backoff } -> two_phase ~wn ~backoff ()

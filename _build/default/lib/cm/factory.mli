@@ -1,0 +1,4 @@
+(** Instantiate a contention manager with fresh shared counters (one per
+    engine instance). *)
+
+val make : Cm_intf.spec -> Cm_intf.t

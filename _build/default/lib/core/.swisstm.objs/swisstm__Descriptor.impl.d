@@ -1,0 +1,1 @@
+lib/core/descriptor.ml: Cm Hashtbl Stm_intf

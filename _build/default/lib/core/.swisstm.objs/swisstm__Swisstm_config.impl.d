@@ -1,0 +1,1 @@
+lib/core/swisstm_config.ml: Cm

@@ -1,0 +1,1 @@
+lib/core/swisstm_engine.ml: Array Cm Descriptor Engine Fun Hashtbl Ivec List Lock_table Memory Runtime Stats Stm_intf Swisstm_config Tx_signal

@@ -1,0 +1,57 @@
+(* Per-thread SwissTM transaction descriptor (paper §3: "transaction
+   descriptor tx").
+
+   Holds the validation timestamp, the read log (stripe index + observed
+   version per read), the set of stripes whose w-locks the transaction owns,
+   and the word-granular redo log.  One descriptor per logical thread,
+   reused across transactions. *)
+
+type t = {
+  tid : int;
+  info : Cm.Cm_intf.txinfo;
+  mutable valid_ts : int;  (** tx.valid-ts: commit-ts value last validated *)
+  read_stripes : Stm_intf.Ivec.t;  (** read log: stripe indices *)
+  read_versions : Stm_intf.Ivec.t;  (** read log: versions observed *)
+  acq_stripes : Stm_intf.Ivec.t;  (** stripes whose w-lock we hold *)
+  acq_saved : Stm_intf.Ivec.t;  (** r-lock values saved while commit-locking *)
+  wset : (int, int) Hashtbl.t;  (** redo log: word address -> new value *)
+  mutable depth : int;  (** flat-nesting depth; only depth 0 commits *)
+  mutable savepoint : savepoint option;
+      (** active closed-nesting scope (at most one level deep) *)
+}
+
+(** Snapshot of the transaction logs at the start of a closed-nested scope
+    (paper §6: "we also experimented with nested transactions (closed
+    nesting)").  An inner abort rolls the logs back to this point instead
+    of restarting the whole transaction. *)
+and savepoint = {
+  sp_read_len : int;
+  sp_acq_len : int;
+  mutable sp_wset_undo : (int * int option) list;
+      (** redo-log entries shadowed inside the scope: address and the
+          value it had before (None = absent) *)
+}
+
+let create ~tid ~seed =
+  {
+    tid;
+    info = Cm.Cm_intf.make_txinfo ~tid ~seed;
+    valid_ts = 0;
+    read_stripes = Stm_intf.Ivec.create ();
+    read_versions = Stm_intf.Ivec.create ();
+    acq_stripes = Stm_intf.Ivec.create ();
+    acq_saved = Stm_intf.Ivec.create ();
+    wset = Hashtbl.create 64;
+    depth = 0;
+    savepoint = None;
+  }
+
+let clear_logs d =
+  d.savepoint <- None;
+  Stm_intf.Ivec.clear d.read_stripes;
+  Stm_intf.Ivec.clear d.read_versions;
+  Stm_intf.Ivec.clear d.acq_stripes;
+  Stm_intf.Ivec.clear d.acq_saved;
+  Hashtbl.reset d.wset
+
+let is_read_only d = Stm_intf.Ivec.length d.acq_stripes = 0

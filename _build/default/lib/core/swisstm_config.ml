@@ -1,0 +1,32 @@
+(* SwissTM tunables.
+
+   Defaults follow the paper: two-phase contention manager with
+   [wn = 10] and randomized linear back-off, 4-word stripes (2^4 bytes on
+   the paper's 32-bit platform).  The granularity and table size are the
+   knobs swept by Figure 13 / Table 2; [cm] and the back-off switch drive
+   Figures 10–12. *)
+
+type t = {
+  cm : Cm.Cm_intf.spec;
+  granularity_words : int;
+  table_bits : int;
+  seed : int;
+  privatization_safe : bool;
+      (** §6 extension: quiescence at commit — every committing update
+          transaction waits until all transactions that started before its
+          commit have validated, committed or aborted, making the
+          privatization idiom safe at a measurable cost *)
+}
+
+let default =
+  {
+    cm = Cm.Cm_intf.default_two_phase;
+    granularity_words = 4;
+    table_bits = 18;
+    seed = 0xC0FFEE;
+    privatization_safe = false;
+  }
+
+let with_cm cm t = { t with cm }
+let with_granularity granularity_words t = { t with granularity_words }
+let with_seed seed t = { t with seed }

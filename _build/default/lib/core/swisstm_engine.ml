@@ -1,0 +1,420 @@
+(* SwissTM — the paper's Algorithm 1 + Algorithm 2.
+
+   Lock- and word-based STM with:
+   - invisible reads validated against a global commit counter
+     ([commit_ts]), with timestamp *extension* on successful revalidation;
+   - *eager* write/write conflict detection: writers acquire a stripe's
+     w-lock with a CAS at their first write (encounter time), so a doomed
+     transaction learns about a w/w conflict immediately;
+   - *lazy* read/write conflict detection: readers are never blocked by a
+     w-lock holder (they read the old value from memory — redo logging);
+     r-locks are taken only for the duration of commit;
+   - a pluggable contention manager invoked **only** on w/w conflicts
+     (paper §5: a reader never aborts a committing writer; it waits for the
+     quick commit and revalidates). *)
+
+open Stm_intf
+
+type t = {
+  heap : Memory.Heap.t;
+  locks : Lock_table.t;
+  commit_ts : Runtime.Tmatomic.t;
+  cm : Cm.Cm_intf.t;
+  descs : Descriptor.t array;
+  stats : Stats.t;
+  privatization_safe : bool;
+  active : Runtime.Tmatomic.t array;
+      (** per-thread snapshot timestamp while inside a transaction,
+          [max_int] when idle — the quiescence table (paper §6) *)
+}
+
+let name = "swisstm"
+
+let create ?(config = Swisstm_config.default) heap =
+  let stripe =
+    Memory.Stripe.create ~granularity_words:config.Swisstm_config.granularity_words
+      ~table_bits:config.table_bits ()
+  in
+  {
+    heap;
+    locks = Lock_table.create stripe;
+    commit_ts = Runtime.Tmatomic.make 0;
+    cm = Cm.Factory.make config.cm;
+    descs =
+      Array.init Stats.max_threads (fun tid ->
+          Descriptor.create ~tid ~seed:config.seed);
+    stats = Stats.create ();
+    privatization_safe = config.privatization_safe;
+    active = Array.init Stats.max_threads (fun _ -> Runtime.Tmatomic.make max_int);
+  }
+
+(* --- rollback ------------------------------------------------------- *)
+
+let release_w_locks t (d : Descriptor.t) =
+  Ivec.iter
+    (fun idx -> Runtime.Tmatomic.set (Lock_table.w_lock t.locks idx) Lock_table.w_unlocked)
+    d.acq_stripes
+
+(** Roll back: release held w-locks, record the abort, let the contention
+    manager back off, and unwind to the retry loop.  R-locks are only ever
+    held inside [commit], which restores them itself before calling this.
+
+    Closed nesting (paper §6): a write/write conflict raised inside an
+    active nested scope only concerns state acquired within that scope, so
+    the logs are rolled back to the savepoint and just the inner scope
+    retries.  Validation failures and kills condemn the whole transaction
+    (the stale read may predate the scope). *)
+let rollback t (d : Descriptor.t) reason =
+  match (d.savepoint, reason) with
+  | Some sp, Tx_signal.Ww_conflict ->
+      (* release only the w-locks acquired inside the scope *)
+      let n = Ivec.length d.acq_stripes in
+      for i = sp.sp_acq_len to n - 1 do
+        Runtime.Tmatomic.set
+          (Lock_table.w_lock t.locks (Ivec.unsafe_get d.acq_stripes i))
+          Lock_table.w_unlocked
+      done;
+      Ivec.truncate d.acq_stripes sp.sp_acq_len;
+      Ivec.truncate d.read_stripes sp.sp_read_len;
+      Ivec.truncate d.read_versions sp.sp_read_len;
+      List.iter
+        (fun (addr, prev) ->
+          match prev with
+          | Some v -> Hashtbl.replace d.wset addr v
+          | None -> Hashtbl.remove d.wset addr)
+        sp.sp_wset_undo;
+      sp.sp_wset_undo <- [];
+      Stats.abort t.stats ~tid:d.tid reason;
+      Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
+      t.cm.on_rollback d.info;
+      raise Tx_signal.Inner_abort
+  | _ ->
+      release_w_locks t d;
+      if t.privatization_safe then
+        Runtime.Tmatomic.set t.active.(d.tid) max_int;
+      Stats.abort t.stats ~tid:d.tid reason;
+      Descriptor.clear_logs d;
+      Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
+      t.cm.on_rollback d.info;
+      Tx_signal.abort ()
+
+let check_kill t (d : Descriptor.t) =
+  if Cm.Cm_intf.kill_requested d.info then rollback t d Tx_signal.Killed
+
+(* --- validation ----------------------------------------------------- *)
+
+(** [validate t d] re-checks every read-log entry: the stripe's r-lock must
+    still hold the version observed at read time, or be locked by [d]
+    itself (its own commit-time r-lock).  Paper, function validate. *)
+let validate t (d : Descriptor.t) =
+  let costs = Runtime.Costs.get () in
+  let n = Ivec.length d.read_stripes in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    Runtime.Exec.tick costs.validate_entry;
+    let idx = Ivec.unsafe_get d.read_stripes !i in
+    let logged = Ivec.unsafe_get d.read_versions !i in
+    let cur = Runtime.Tmatomic.get (Lock_table.r_lock t.locks idx) in
+    if cur <> Lock_table.encode_version logged then begin
+      (* A mismatch is fine only when the r-lock is commit-locked by *us*
+         (we hold the stripe's w-lock and froze it ourselves).  Merely
+         owning the w-lock is NOT enough: the version may have moved
+         between our read and our acquisition, in which case this read is
+         stale and the transaction must abort. *)
+      if
+        not
+          (cur = Lock_table.r_locked
+          && Runtime.Tmatomic.get (Lock_table.w_lock t.locks idx)
+             = Lock_table.encode_w_owner d.tid)
+      then ok := false
+    end;
+    incr i
+  done;
+  !ok
+
+(** Extend the validation timestamp (paper, function extend): if the read
+    set is still valid, advance valid-ts to the current commit-ts. *)
+let extend t (d : Descriptor.t) =
+  let ts = Runtime.Tmatomic.get t.commit_ts in
+  if validate t d then begin
+    d.valid_ts <- ts;
+    (* quiescence: publishing our newer snapshot releases waiting
+       committers (they only wait for transactions older than them) *)
+    if t.privatization_safe then Runtime.Tmatomic.set t.active.(d.tid) ts;
+    true
+  end
+  else false
+
+(* Quiescence barrier (paper §6): wait until no in-flight transaction has a
+   snapshot older than [ts].  Once they all validated past [ts] (or
+   finished), memory we made private can never be read through stale
+   transactional snapshots. *)
+let quiesce t (d : Descriptor.t) ~ts =
+  if t.privatization_safe then
+    Array.iteri
+      (fun u cell ->
+        if u <> d.tid then
+          while Runtime.Tmatomic.get cell <= ts do
+            Stats.wait t.stats ~tid:d.tid;
+            Runtime.Exec.pause ()
+          done)
+      t.active
+
+(* --- read ------------------------------------------------------------ *)
+
+let read_word t (d : Descriptor.t) addr =
+  let costs = Runtime.Costs.get () in
+  Stats.read t.stats ~tid:d.tid;
+  check_kill t d;
+  let idx = Lock_table.index t.locks addr in
+  let wv = Runtime.Tmatomic.get (Lock_table.w_lock t.locks idx) in
+  if wv = Lock_table.encode_w_owner d.tid then begin
+    (* Read-after-write: return the redo-log value if this word was
+       written; otherwise memory is stable (we own the stripe). *)
+    Runtime.Exec.tick costs.log_lookup;
+    match Hashtbl.find_opt d.wset addr with
+    | Some v -> v
+    | None ->
+        Runtime.Exec.tick costs.mem;
+        Memory.Heap.unsafe_read t.heap addr
+  end
+  else begin
+    (* Consistent double-read of (r-lock, word, r-lock); spin while a
+       committing writer holds the r-lock.  Note: a stripe merely
+       *w-locked* by another transaction does not stop us — that is the
+       lazy read/write side of mixed invalidation. *)
+    let r_lock = Lock_table.r_lock t.locks idx in
+    let rec snapshot () =
+      let rv = Runtime.Tmatomic.get r_lock in
+      if Lock_table.is_r_locked rv then begin
+        Stats.wait t.stats ~tid:d.tid;
+        check_kill t d;
+        Runtime.Exec.pause ();
+        snapshot ()
+      end
+      else begin
+        Runtime.Exec.tick costs.mem;
+        let value = Memory.Heap.unsafe_read t.heap addr in
+        let rv2 = Runtime.Tmatomic.get r_lock in
+        if rv2 <> rv then snapshot () else (Lock_table.version_of rv, value)
+      end
+    in
+    let version, value = snapshot () in
+    Runtime.Exec.tick costs.log_append;
+    Ivec.push d.read_stripes idx;
+    Ivec.push d.read_versions version;
+    d.info.accesses <- d.info.accesses + 1;
+    if version > d.valid_ts && not (extend t d) then
+      rollback t d Tx_signal.Rw_validation;
+    value
+  end
+
+(* --- write ------------------------------------------------------------ *)
+
+(* Closed nesting: remember what the redo log held for [addr] before the
+   inner scope shadows it, so a partial rollback can restore it. *)
+let record_undo (d : Descriptor.t) addr =
+  match d.savepoint with
+  | None -> ()
+  | Some sp ->
+      if not (List.mem_assoc addr sp.sp_wset_undo) then
+        sp.sp_wset_undo <- (addr, Hashtbl.find_opt d.wset addr) :: sp.sp_wset_undo
+
+let write_word t (d : Descriptor.t) addr value =
+  let costs = Runtime.Costs.get () in
+  Stats.write t.stats ~tid:d.tid;
+  check_kill t d;
+  let idx = Lock_table.index t.locks addr in
+  let w_lock = Lock_table.w_lock t.locks idx in
+  let mine = Lock_table.encode_w_owner d.tid in
+  let wv = Runtime.Tmatomic.get w_lock in
+  if wv = mine then begin
+    Runtime.Exec.tick costs.log_append;
+    record_undo d addr;
+    Hashtbl.replace d.wset addr value
+  end
+  else begin
+    (* Acquire the stripe eagerly; on conflict, defer to the contention
+       manager (paper, write-word lines 24–30). *)
+    let rec acquire wv =
+      if wv <> Lock_table.w_unlocked then begin
+        check_kill t d;
+        let victim = (t.descs.(Lock_table.w_owner_of wv)).info in
+        match t.cm.resolve ~attacker:d.info ~victim with
+        | Cm.Cm_intf.Abort_self -> rollback t d Tx_signal.Ww_conflict
+        | Cm.Cm_intf.Wait | Cm.Cm_intf.Killed_victim ->
+            Stats.wait t.stats ~tid:d.tid;
+            Runtime.Exec.pause ();
+            acquire (Runtime.Tmatomic.get w_lock)
+      end
+      else if
+        not (Runtime.Tmatomic.cas w_lock ~expect:Lock_table.w_unlocked ~replace:mine)
+      then acquire (Runtime.Tmatomic.get w_lock)
+    in
+    acquire wv;
+    Ivec.push d.acq_stripes idx;
+    Runtime.Exec.tick costs.log_append;
+    record_undo d addr;
+    Hashtbl.replace d.wset addr value;
+    d.info.accesses <- d.info.accesses + 1;
+    (* Opacity: if the stripe moved past our snapshot, revalidate. *)
+    let rv = Runtime.Tmatomic.get (Lock_table.r_lock t.locks idx) in
+    if
+      (not (Lock_table.is_r_locked rv))
+      && Lock_table.version_of rv > d.valid_ts
+      && not (extend t d)
+    then rollback t d Tx_signal.Rw_validation;
+    t.cm.on_write d.info ~writes:(Ivec.length d.acq_stripes)
+  end
+
+(* --- commit ------------------------------------------------------------ *)
+
+let commit t (d : Descriptor.t) =
+  let costs = Runtime.Costs.get () in
+  Runtime.Exec.tick costs.tx_end;
+  if Descriptor.is_read_only d then begin
+    if t.privatization_safe then
+      Runtime.Tmatomic.set t.active.(d.tid) max_int;
+    Stats.commit t.stats ~tid:d.tid;
+    Descriptor.clear_logs d;
+    t.cm.on_commit d.info
+  end
+  else begin
+    check_kill t d;
+    (* Lock the r-locks of every written stripe to freeze readers. *)
+    Ivec.iter
+      (fun idx ->
+        let r_lock = Lock_table.r_lock t.locks idx in
+        Ivec.push d.acq_saved (Runtime.Tmatomic.get r_lock);
+        Runtime.Tmatomic.set r_lock Lock_table.r_locked)
+      d.acq_stripes;
+    let ts = Runtime.Tmatomic.incr_get t.commit_ts in
+    if ts > d.valid_ts + 1 && not (validate t d) then begin
+      (* Failed commit-time validation: restore r-locks, then roll back. *)
+      let n = Ivec.length d.acq_stripes in
+      for i = 0 to n - 1 do
+        Runtime.Tmatomic.set
+          (Lock_table.r_lock t.locks (Ivec.unsafe_get d.acq_stripes i))
+          (Ivec.unsafe_get d.acq_saved i)
+      done;
+      rollback t d Tx_signal.Rw_validation
+    end;
+    (* Write back the redo log while all written stripes are frozen... *)
+    Hashtbl.iter
+      (fun addr value ->
+        Runtime.Exec.tick costs.mem;
+        Memory.Heap.unsafe_write t.heap addr value)
+      d.wset;
+    (* ...then publish the new version and release both locks. *)
+    Ivec.iter
+      (fun idx ->
+        Runtime.Tmatomic.set (Lock_table.r_lock t.locks idx)
+          (Lock_table.encode_version ts);
+        Runtime.Tmatomic.set (Lock_table.w_lock t.locks idx) Lock_table.w_unlocked)
+      d.acq_stripes;
+    if t.privatization_safe then
+      Runtime.Tmatomic.set t.active.(d.tid) max_int;
+    Stats.commit t.stats ~tid:d.tid;
+    Descriptor.clear_logs d;
+    t.cm.on_commit d.info;
+    (* an update commit may have privatized data: wait out older readers *)
+    quiesce t d ~ts
+  end
+
+(* --- transaction driver ------------------------------------------------ *)
+
+let start t (d : Descriptor.t) ~restart =
+  Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
+  Descriptor.clear_logs d;
+  d.valid_ts <- Runtime.Tmatomic.get t.commit_ts;
+  if t.privatization_safe then
+    Runtime.Tmatomic.set t.active.(d.tid) d.valid_ts;
+  t.cm.on_start d.info ~restart
+
+(** Release everything on a non-[Abort] exception escaping the body, so a
+    user bug cannot wedge the lock table. *)
+let emergency_release t (d : Descriptor.t) =
+  release_w_locks t d;
+  Descriptor.clear_logs d;
+  d.depth <- 0
+
+let atomic t ~tid f =
+  let d = t.descs.(tid) in
+  if d.depth > 0 then begin
+    (* Flat nesting: an inner atomic block joins the enclosing one. *)
+    d.depth <- d.depth + 1;
+    Fun.protect ~finally:(fun () -> d.depth <- d.depth - 1) (fun () -> f d)
+  end
+  else begin
+    let rec attempt ~restart =
+      start t d ~restart;
+      d.depth <- 1;
+      match f d with
+      | v ->
+          d.depth <- 0;
+          (try
+             commit t d;
+             v
+           with Tx_signal.Abort -> attempt ~restart:true)
+      | exception Tx_signal.Abort ->
+          d.depth <- 0;
+          attempt ~restart:true
+      | exception e ->
+          emergency_release t d;
+          raise e
+    in
+    attempt ~restart:false
+  end
+
+(* --- closed nesting (paper §6 extension) -------------------------------- *)
+
+(** [atomic_closed t d f] runs [f] as a closed-nested scope of the current
+    transaction of descriptor [d]: a write/write conflict inside the scope
+    rolls back and retries only the scope.  Must be called from inside
+    [atomic]; one level deep (inner scopes flatten). *)
+let atomic_closed (d : Descriptor.t) f =
+  if d.depth = 0 then invalid_arg "atomic_closed: no enclosing transaction";
+  match d.savepoint with
+  | Some _ ->
+      (* already inside a scope: flatten *)
+      f d
+  | None ->
+      let rec attempt () =
+        d.savepoint <-
+          Some
+            {
+              Descriptor.sp_read_len = Ivec.length d.read_stripes;
+              sp_acq_len = Ivec.length d.acq_stripes;
+              sp_wset_undo = [];
+            };
+        match f d with
+        | v ->
+            d.savepoint <- None;
+            v
+        | exception Tx_signal.Inner_abort -> attempt ()
+        | exception e ->
+            d.savepoint <- None;
+            raise e
+      in
+      Fun.protect ~finally:(fun () -> d.savepoint <- None) attempt
+
+(* --- packaging as a uniform engine ------------------------------------- *)
+
+let engine ?config heap : Engine.t =
+  let t = create ?config heap in
+  {
+    Engine.name;
+    heap;
+    atomic =
+      (fun ~tid f ->
+        atomic t ~tid (fun d ->
+            f
+              {
+                Engine.read = (fun addr -> read_word t d addr);
+                write = (fun addr v -> write_word t d addr v);
+                alloc = (fun n -> Memory.Heap.alloc heap n);
+              }));
+    stats = (fun () -> Stats.snapshot t.stats);
+    reset_stats = (fun () -> Stats.reset t.stats);
+  }

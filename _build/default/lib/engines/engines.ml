@@ -1,0 +1,106 @@
+(* Registry: build any engine from a declarative spec.
+
+   Benchmarks and the CLI manipulate [spec] values; [make] instantiates a
+   fresh engine over a heap.  Every experiment in the paper is a choice of
+   (benchmark, spec list, thread counts). *)
+
+type spec =
+  | Swisstm of Swisstm.Swisstm_config.t
+  | Tl2 of Tl2.Tl2_engine.config
+  | Tinystm of Tinystm.Tinystm_engine.config
+  | Rstm of Rstm.Rstm_engine.config
+  | Mvstm of Mvstm.Mvstm_engine.config
+  | Glock
+
+(* The paper's default configurations (§4): RSTM with eager conflict
+   detection, invisible reads + commit-counter heuristic, Polka; TL2 with
+   lazy detection and GV4; TinySTM with encounter-time locking and timid. *)
+let swisstm = Swisstm Swisstm.Swisstm_config.default
+let tl2 = Tl2 Tl2.Tl2_engine.default_config
+let tinystm = Tinystm Tinystm.Tinystm_engine.default_config
+let rstm = Rstm Rstm.Rstm_engine.default_config
+
+(* §6 extensions: multi-version reads; quiescence-based privatization. *)
+let mvstm = Mvstm Mvstm.Mvstm_engine.default_config
+
+let swisstm_priv_safe =
+  Swisstm { Swisstm.Swisstm_config.default with privatization_safe = true }
+
+let rstm_with ?acquire ?visibility ?cm () =
+  let c = Rstm.Rstm_engine.default_config in
+  Rstm
+    {
+      c with
+      acquire = Option.value acquire ~default:c.acquire;
+      visibility = Option.value visibility ~default:c.visibility;
+      cm = Option.value cm ~default:c.cm;
+    }
+
+let swisstm_with ?cm ?granularity_words ?table_bits () =
+  let c = Swisstm.Swisstm_config.default in
+  Swisstm
+    {
+      c with
+      cm = Option.value cm ~default:c.Swisstm.Swisstm_config.cm;
+      granularity_words =
+        Option.value granularity_words ~default:c.granularity_words;
+      table_bits = Option.value table_bits ~default:c.table_bits;
+    }
+
+let name = function
+  | Swisstm c ->
+      let base =
+        if c.Swisstm.Swisstm_config.cm = Swisstm.Swisstm_config.default.cm then
+          "swisstm"
+        else Printf.sprintf "swisstm(%s)" (Cm.Cm_intf.spec_name c.cm)
+      in
+      if c.privatization_safe then base ^ "+quiescence" else base
+  | Tl2 _ -> "tl2"
+  | Tinystm _ -> "tinystm"
+  | Rstm c -> Rstm.Rstm_engine.name_of_config c
+  | Mvstm _ -> "mvstm"
+  | Glock -> "glock"
+
+let make spec heap : Stm_intf.Engine.t =
+  match spec with
+  | Swisstm config -> Swisstm.Swisstm_engine.engine ~config heap
+  | Tl2 config -> Tl2.Tl2_engine.engine ~config heap
+  | Tinystm config -> Tinystm.Tinystm_engine.engine ~config heap
+  | Rstm config -> Rstm.Rstm_engine.engine ~config heap
+  | Mvstm config -> Mvstm.Mvstm_engine.engine ~config heap
+  | Glock -> Glock.Glock_engine.engine heap
+
+(* Granularity override across engine families (Figure 13 / Table 2). *)
+let with_granularity gran spec =
+  match spec with
+  | Swisstm c -> Swisstm { c with granularity_words = gran }
+  | Tl2 c -> Tl2 { c with granularity_words = gran }
+  | Tinystm c -> Tinystm { c with granularity_words = gran }
+  | Rstm c -> Rstm { c with granularity_words = gran }
+  | Mvstm c -> Mvstm { c with granularity_words = gran }
+  | Glock -> Glock
+
+let of_string = function
+  | "swisstm" -> Some swisstm
+  | "tl2" -> Some tl2
+  | "tinystm" -> Some tinystm
+  | "rstm" -> Some rstm
+  | "rstm-lazy" -> Some (rstm_with ~acquire:Rstm.Rstm_engine.Lazy ())
+  | "rstm-visible" -> Some (rstm_with ~visibility:Rstm.Rstm_engine.Visible ())
+  | "rstm-serializer" -> Some (rstm_with ~cm:Cm.Cm_intf.Serializer ())
+  | "rstm-greedy" -> Some (rstm_with ~cm:Cm.Cm_intf.Greedy ())
+  | "swisstm-timid" -> Some (swisstm_with ~cm:Cm.Cm_intf.Timid ())
+  | "swisstm-greedy" -> Some (swisstm_with ~cm:Cm.Cm_intf.Greedy ())
+  | "swisstm-priv" -> Some swisstm_priv_safe
+  | "mvstm" -> Some mvstm
+  | "rstm-karma" -> Some (rstm_with ~cm:Cm.Cm_intf.Karma ())
+  | "rstm-timestamp" -> Some (rstm_with ~cm:Cm.Cm_intf.Timestamp ())
+  | "glock" -> Some Glock
+  | _ -> None
+
+let known_names =
+  [
+    "swisstm"; "tl2"; "tinystm"; "rstm"; "rstm-lazy"; "rstm-visible";
+    "rstm-serializer"; "rstm-greedy"; "rstm-karma"; "rstm-timestamp";
+    "swisstm-timid"; "swisstm-greedy"; "swisstm-priv"; "mvstm"; "glock";
+  ]

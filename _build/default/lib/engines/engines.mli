@@ -1,0 +1,55 @@
+(** Engine registry: build any STM engine from a declarative spec.
+
+    Every experiment in the paper is a choice of
+    (benchmark, spec list, thread counts). *)
+
+type spec =
+  | Swisstm of Swisstm.Swisstm_config.t
+  | Tl2 of Tl2.Tl2_engine.config
+  | Tinystm of Tinystm.Tinystm_engine.config
+  | Rstm of Rstm.Rstm_engine.config
+  | Mvstm of Mvstm.Mvstm_engine.config
+  | Glock
+
+val swisstm : spec
+(** The paper's SwissTM: mixed invalidation, two-phase CM, 4-word stripes. *)
+
+val tl2 : spec
+(** TL2 defaults: lazy acquisition, GV4 clock, timid. *)
+
+val tinystm : spec
+(** TinySTM defaults: encounter-time locking, extension, timid. *)
+
+val rstm : spec
+(** RSTM defaults as configured in the paper §4: eager acquisition,
+    invisible reads with commit-counter heuristic, Polka. *)
+
+val mvstm : spec
+(** Multi-version extension (paper §6): TL2-style updates plus version
+    chains serving consistent old snapshots to read-only transactions. *)
+
+val swisstm_priv_safe : spec
+(** SwissTM with the §6 quiescence barrier (privatization-safe commits). *)
+
+val rstm_with :
+  ?acquire:Rstm.Rstm_engine.acquire ->
+  ?visibility:Rstm.Rstm_engine.visibility ->
+  ?cm:Cm.Cm_intf.spec ->
+  unit ->
+  spec
+
+val swisstm_with :
+  ?cm:Cm.Cm_intf.spec ->
+  ?granularity_words:int ->
+  ?table_bits:int ->
+  unit ->
+  spec
+
+val name : spec -> string
+val make : spec -> Memory.Heap.t -> Stm_intf.Engine.t
+
+val with_granularity : int -> spec -> spec
+(** Override the stripe size (Figure 13 / Table 2 sweeps). *)
+
+val of_string : string -> spec option
+val known_names : string list

@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Array Domain Runtime Stm_intf

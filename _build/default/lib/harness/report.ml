@@ -1,0 +1,63 @@
+(* Plain-text result rendering for the benchmark harness: aligned tables on
+   stdout (one per figure/table of the paper) and optional CSV lines for
+   downstream plotting. *)
+
+type row = { label : string; cells : float array }
+
+type table = {
+  title : string;
+  columns : string list;  (* header for each numeric column *)
+  rows : row list;
+  unit_ : string;
+}
+
+let make ~title ~unit_ ~columns rows = { title; columns; rows; unit_ }
+
+let fmt_cell v =
+  if Float.is_nan v then "-"
+  else if Float.abs v >= 1000. then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 10. then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.3f" v
+
+let render ppf t =
+  let headers = "" :: t.columns in
+  let body =
+    List.map (fun r -> r.label :: List.map fmt_cell (Array.to_list r.cells)) t.rows
+  in
+  let all = headers :: body in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m r -> max m (String.length (List.nth_opt r c |> Option.value ~default:"")))
+      0 all
+  in
+  let widths = List.init ncols width in
+  Format.fprintf ppf "## %s  [%s]@." t.title t.unit_;
+  let print_row r =
+    List.iteri
+      (fun c w ->
+        let cell = List.nth_opt r c |> Option.value ~default:"" in
+        if c = 0 then Format.fprintf ppf "  %-*s" w cell
+        else Format.fprintf ppf "  %*s" w cell)
+      widths;
+    Format.fprintf ppf "@."
+  in
+  print_row headers;
+  Format.fprintf ppf "  %s@."
+    (String.make (List.fold_left ( + ) 0 widths + (2 * ncols)) '-');
+  List.iter print_row body
+
+let print t = render Format.std_formatter t
+
+let to_csv t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (String.concat "," ("" :: t.columns));
+  Buffer.add_char b '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (String.concat ","
+           (r.label :: List.map string_of_float (Array.to_list r.cells)));
+      Buffer.add_char b '\n')
+    t.rows;
+  Buffer.contents b

@@ -1,0 +1,16 @@
+(** Plain-text rendering of benchmark results: one aligned table per paper
+    figure, plus CSV for downstream plotting. *)
+
+type row = { label : string; cells : float array }
+
+type table = {
+  title : string;
+  columns : string list;
+  rows : row list;
+  unit_ : string;
+}
+
+val make : title:string -> unit_:string -> columns:string list -> row list -> table
+val render : Format.formatter -> table -> unit
+val print : table -> unit
+val to_csv : table -> string

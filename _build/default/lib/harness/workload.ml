@@ -1,0 +1,91 @@
+(* Workload drivers: run N logical threads over an engine, in the simulator
+   or on real domains, and collect throughput/abort statistics.
+
+   Two shapes cover every experiment in the paper:
+   - *duration* runs (STMBench7, red-black tree): threads execute operations
+     until a time budget elapses; the metric is committed transactions per
+     second (Figures 2, 5, 7, 9, 10, 12);
+   - *fixed-work* runs (Lee-TM, STAMP): threads drain a work pool; the
+     metric is the makespan (Figures 3, 4, 8, 11). *)
+
+type result = {
+  threads : int;
+  elapsed_cycles : int;  (** simulated makespan *)
+  stats : Stm_intf.Stats.snapshot;
+  ops : int;  (** benchmark-level operations completed *)
+}
+
+let elapsed_seconds r = Runtime.Costs.seconds_of_cycles r.elapsed_cycles
+
+(** Committed benchmark operations per second of simulated time. *)
+let throughput r =
+  let s = elapsed_seconds r in
+  if s <= 0. then 0. else float_of_int r.ops /. s
+
+let abort_rate r = Stm_intf.Stats.abort_rate r.stats
+
+(* Per-thread op counters, sharded to keep the fast path contention-free. *)
+let count_ops counters = Array.fold_left ( + ) 0 counters
+
+(** [run_for_duration engine ~threads ~duration_cycles step] runs
+    [step ~tid ~op] repeatedly on each simulated thread until the thread's
+    virtual clock exceeds [duration_cycles].  [op] is the thread-local
+    operation sequence number (drives deterministic operation choice). *)
+let run_for_duration (engine : Stm_intf.Engine.t) ~threads ~duration_cycles step
+    =
+  Stm_intf.Engine.reset_stats engine;
+  let ops = Array.make threads 0 in
+  let body tid =
+    while Runtime.Exec.now () < duration_cycles do
+      step ~tid ~op:ops.(tid);
+      ops.(tid) <- ops.(tid) + 1
+    done
+  in
+  let elapsed = Runtime.Sim.run_threads ~threads body in
+  {
+    threads;
+    elapsed_cycles = elapsed;
+    stats = Stm_intf.Engine.stats engine;
+    ops = count_ops ops;
+  }
+
+(** [run_fixed_work engine ~threads step] runs [step ~tid] on every thread
+    until it returns [false] (work pool exhausted).  The result's
+    [elapsed_cycles] is the simulated makespan. *)
+let run_fixed_work (engine : Stm_intf.Engine.t) ~threads step =
+  Stm_intf.Engine.reset_stats engine;
+  let ops = Array.make threads 0 in
+  let body tid =
+    while step ~tid do
+      ops.(tid) <- ops.(tid) + 1
+    done
+  in
+  let elapsed = Runtime.Sim.run_threads ~threads body in
+  {
+    threads;
+    elapsed_cycles = elapsed;
+    stats = Stm_intf.Engine.stats engine;
+    ops = count_ops ops;
+  }
+
+(** Native-mode counterpart of [run_fixed_work], used by the stress test
+    suite: real [Domain]s, wall-clock measurement is not meaningful here so
+    only statistics are returned. *)
+let run_fixed_work_native (engine : Stm_intf.Engine.t) ~threads step =
+  Stm_intf.Engine.reset_stats engine;
+  let ops = Array.make threads 0 in
+  let domains =
+    Array.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            Runtime.Exec.set_native_tid tid;
+            while step ~tid do
+              ops.(tid) <- ops.(tid) + 1
+            done))
+  in
+  Array.iter Domain.join domains;
+  {
+    threads;
+    elapsed_cycles = 0;
+    stats = Stm_intf.Engine.stats engine;
+    ops = count_ops ops;
+  }

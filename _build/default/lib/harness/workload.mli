@@ -1,0 +1,34 @@
+(** Workload drivers: run N logical threads over an engine and collect
+    throughput/abort statistics.
+
+    Duration-type runs (STMBench7, red-black tree) measure committed
+    operations per simulated second; fixed-work runs (Lee-TM, STAMP)
+    measure the simulated makespan. *)
+
+type result = {
+  threads : int;
+  elapsed_cycles : int;  (** simulated makespan *)
+  stats : Stm_intf.Stats.snapshot;
+  ops : int;  (** benchmark-level operations completed *)
+}
+
+val elapsed_seconds : result -> float
+val throughput : result -> float
+val abort_rate : result -> float
+
+val run_for_duration :
+  Stm_intf.Engine.t ->
+  threads:int ->
+  duration_cycles:int ->
+  (tid:int -> op:int -> unit) ->
+  result
+(** Each simulated thread runs the step function until its virtual clock
+    passes [duration_cycles]; [op] is the thread-local sequence number. *)
+
+val run_fixed_work :
+  Stm_intf.Engine.t -> threads:int -> (tid:int -> bool) -> result
+(** Threads call the step until it returns [false] (work exhausted). *)
+
+val run_fixed_work_native :
+  Stm_intf.Engine.t -> threads:int -> (tid:int -> bool) -> result
+(** Same, on real [Domain]s; only statistics are meaningful. *)

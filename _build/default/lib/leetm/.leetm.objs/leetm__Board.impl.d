@@ -1,0 +1,1 @@
+lib/leetm/board.ml: Array Hashtbl List Runtime

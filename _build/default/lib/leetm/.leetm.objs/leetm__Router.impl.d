@@ -1,0 +1,1 @@
+lib/leetm/router.ml: Array Board Engines Harness Hashtbl Memory Queue Runtime Stm_intf

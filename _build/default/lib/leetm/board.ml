@@ -1,0 +1,100 @@
+(* Synthetic circuit boards for Lee-TM.
+
+   The original benchmark ships two real boards ("memory" and "main",
+   600×600×2 cells with 1506 and 1245 connections).  Those input files are
+   not available offline, so we generate boards with the same structural
+   signatures at simulator scale (documented substitution, DESIGN.md):
+
+   - [memory]: a memory circuit is highly regular — banks of parallel,
+     medium-length bus connections.  We emit row-aligned groups of parallel
+     routes, so neighbouring routes contend for adjacent channels.
+   - [main]:   a mixed logic board — random placement, a broad mix of
+     short local and long cross-board connections (25 % long).
+
+   Every endpoint cell is unique across the board (pins cannot share a
+   pad), which the generators enforce by re-rolling collisions. *)
+
+type route = { x1 : int; y1 : int; x2 : int; y2 : int }
+
+type t = {
+  name : string;
+  width : int;
+  height : int;
+  layers : int;
+  routes : route array;
+}
+
+let in_bounds b x y = x >= 0 && x < b.width && y >= 0 && y < b.height
+
+(* Endpoint-uniqueness bookkeeping shared by both generators. *)
+let make_claim () =
+  let used = Hashtbl.create 256 in
+  let free (x, y) = not (Hashtbl.mem used (x, y)) in
+  let claim (x, y) = Hashtbl.add used (x, y) () in
+  (free, claim)
+
+let memory ?(width = 96) ?(height = 96) ?(routes = 160) ?(seed = 0x1EE) () =
+  let rng = Runtime.Rng.create seed in
+  let free, claim = make_claim () in
+  let out = ref [] in
+  let n = ref 0 in
+  let attempts = ref 0 in
+  (* Parallel buses: groups of up to 8 adjacent connections spanning a
+     bank. *)
+  while !n < routes && !attempts < 100_000 do
+    incr attempts;
+    let group = min 8 (routes - !n) in
+    let y0 = 2 + Runtime.Rng.int rng (height - group - 4) in
+    let x1 = 2 + Runtime.Rng.int rng (width / 4) in
+    let len = (width / 3) + Runtime.Rng.int rng (width / 3) in
+    let x2 = min (width - 2) (x1 + len) in
+    let rows = List.init group (fun i -> y0 + i) in
+    if List.for_all (fun y -> free (x1, y) && free (x2, y)) rows then begin
+      List.iter
+        (fun y ->
+          claim (x1, y);
+          claim (x2, y);
+          out := { x1; y1 = y; x2; y2 = y } :: !out)
+        rows;
+      n := !n + group
+    end
+  done;
+  {
+    name = "memory";
+    width;
+    height;
+    layers = 2;
+    routes = Array.of_list (List.rev !out);
+  }
+
+let main ?(width = 96) ?(height = 96) ?(routes = 140) ?(seed = 0xA11) () =
+  let rng = Runtime.Rng.create seed in
+  let free, claim = make_claim () in
+  let fresh_point () =
+    let rec go n =
+      let x = Runtime.Rng.int rng width and y = Runtime.Rng.int rng height in
+      if free (x, y) || n > 1000 then (x, y) else go (n + 1)
+    in
+    let p = go 0 in
+    claim p;
+    p
+  in
+  let near (x1, y1) =
+    let rec go n =
+      let dx = Runtime.Rng.int rng 17 - 8 and dy = Runtime.Rng.int rng 17 - 8 in
+      let x2 = max 0 (min (width - 1) (x1 + dx)) in
+      let y2 = max 0 (min (height - 1) (y1 + dy)) in
+      if ((x2, y2) <> (x1, y1) && free (x2, y2)) || n > 1000 then (x2, y2)
+      else go (n + 1)
+    in
+    let p = go 0 in
+    claim p;
+    p
+  in
+  let route_array =
+    Array.init routes (fun i ->
+        let ((x1, y1) as p1) = fresh_point () in
+        let x2, y2 = if i mod 4 = 0 then fresh_point () else near p1 in
+        { x1; y1; x2; y2 })
+  in
+  { name = "main"; width; height; layers = 2; routes = route_array }

@@ -1,0 +1,264 @@
+(* Lee's circuit-routing algorithm over a transactional grid (Lee-TM,
+   paper §2.2 and Figures 4 and 8).
+
+   Each connection is routed by one transaction with the benchmark's
+   signature shape: a *large read phase* (breadth-first wave expansion over
+   the grid, reading every examined cell transactionally) followed by a
+   *short write phase* (laying the path by writing one word per path cell).
+
+   The grid is width × height × 2 layers of heap words: 0 = free, net id
+   otherwise.  Expansion moves in-plane (4 directions) or between layers
+   (vias anywhere), as in the original benchmark.  Expansion bookkeeping
+   (the BFS cost map) is thread-private and rebuilt per attempt, like the
+   original's thread-local temporary grid.
+
+   The "irregular" variant (paper §5, Figure 8) adds one shared cell [hot]
+   that *every* route reads at transaction start and a fraction [R] of
+   routes also update at the end, creating long-lasting read/write
+   conflicts between the long routing transactions. *)
+
+open Stm_intf.Engine
+
+type t = {
+  board : Board.t;
+  heap : Memory.Heap.t;
+  grid : int;  (** base heap address of the grid *)
+  hot : int;  (** the irregular variant's shared cell (0 = disabled) *)
+  hot_ratio : float;  (** fraction of routes that update [hot] *)
+  next_route : Runtime.Tmatomic.t;  (** work-pool index *)
+  routed : int array;  (** per-thread success counters *)
+  failed : int array;
+}
+
+let cells (b : Board.t) = b.width * b.height * b.layers
+let heap_words b = (4 * cells b) + (1 lsl 16)
+
+let cell_index (b : Board.t) ~x ~y ~layer =
+  (((layer * b.height) + y) * b.width) + x
+
+let setup ?(hot_ratio = 0.) heap (board : Board.t) =
+  let grid = Memory.Heap.alloc heap (cells board) in
+  for i = 0 to cells board - 1 do
+    Memory.Heap.write heap (grid + i) 0
+  done;
+  let hot = Memory.Heap.alloc heap 1 in
+  Memory.Heap.write heap hot 0;
+  (* Pre-occupy every endpoint with its net id.  Pins sit on the surface
+     layer only: wires may pass *over* a foreign pin on layer 1, as on a
+     real two-layer board. *)
+  Array.iteri
+    (fun i (r : Board.route) ->
+      let net = i + 1 in
+      Memory.Heap.write heap (grid + cell_index board ~x:r.x1 ~y:r.y1 ~layer:0) net;
+      Memory.Heap.write heap (grid + cell_index board ~x:r.x2 ~y:r.y2 ~layer:0) net)
+    board.routes;
+  {
+    board;
+    heap;
+    grid;
+    hot = (if hot_ratio > 0. then hot else 0);
+    hot_ratio;
+    next_route = Runtime.Tmatomic.make 0;
+    routed = Array.make Stm_intf.Stats.max_threads 0;
+    failed = Array.make Stm_intf.Stats.max_threads 0;
+  }
+
+(* Thread-private expansion scratch: BFS cost per cell, with a generation
+   stamp so clearing between attempts is O(1). *)
+type scratch = {
+  cost : int array;
+  stamp : int array;
+  mutable gen : int;
+  queue : int Queue.t;
+}
+
+let make_scratch b =
+  let n = cells b in
+  {
+    cost = Array.make n 0;
+    stamp = Array.make n 0;
+    gen = 0;
+    queue = Queue.create ();
+  }
+
+let get_cost s i = if s.stamp.(i) = s.gen then s.cost.(i) else -1
+
+let set_cost s i c =
+  s.stamp.(i) <- s.gen;
+  s.cost.(i) <- c
+
+(* Neighbours of cell [i]: 4 in-plane + the corresponding cell on the other
+   layer. *)
+let iter_neighbours (b : Board.t) i f =
+  let plane = b.width * b.height in
+  let layer = i / plane in
+  let xy = i mod plane in
+  let x = xy mod b.width and y = xy / b.width in
+  if x > 0 then f (i - 1);
+  if x < b.width - 1 then f (i + 1);
+  if y > 0 then f (i - b.width);
+  if y < b.height - 1 then f (i + b.width);
+  if b.layers = 2 then f (if layer = 0 then i + plane else i - plane)
+
+(** Route connection number [net] (1-based) inside transaction [tx]:
+    BFS expansion reading cells transactionally, then backtrack writing the
+    path.  Returns [false] when the connection cannot be routed. *)
+let route_one t tx scratch ~net =
+  let b = t.board in
+  let r = b.routes.(net - 1) in
+  (* Irregular variant: every route reads the hot object at start; the
+     selected ratio R also updates it immediately — so under encounter-time
+     locking the updater holds the hot object for its WHOLE (long) run,
+     aborting every other route's initial read, while SwissTM's readers
+     pass the w-lock and only revalidate at the writer's commit. *)
+  if t.hot <> 0 then begin
+    ignore (read tx t.hot : int);
+    let h = Hashtbl.hash (net * 2654435761) in
+    if float_of_int (h land 0xFFFF) /. 65536. < t.hot_ratio then
+      write tx t.hot net
+  end;
+  scratch.gen <- scratch.gen + 1;
+  Queue.clear scratch.queue;
+  (* Expansion is confined to the route's bounding box plus a margin, as
+     in the original implementation: it bounds the read set (and hence
+     false conflicts with unrelated routes) without noticeably raising the
+     failure rate. *)
+  let margin = 10 in
+  let x_lo = max 0 (min r.x1 r.x2 - margin)
+  and x_hi = min (b.width - 1) (max r.x1 r.x2 + margin)
+  and y_lo = max 0 (min r.y1 r.y2 - margin)
+  and y_hi = min (b.height - 1) (max r.y1 r.y2 + margin) in
+  let in_box i =
+    let xy = i mod (b.width * b.height) in
+    let x = xy mod b.width and y = xy / b.width in
+    x >= x_lo && x <= x_hi && y >= y_lo && y <= y_hi
+  in
+  let src = cell_index b ~x:r.x1 ~y:r.y1 ~layer:0 in
+  let dst0 = cell_index b ~x:r.x2 ~y:r.y2 ~layer:0 in
+  let is_dst i =
+    let plane = b.width * b.height in
+    let xy = i mod plane in
+    xy = (r.y2 * b.width) + r.x2
+  in
+  set_cost scratch src 0;
+  Queue.push src scratch.queue;
+  let found = ref (-1) in
+  while !found < 0 && not (Queue.is_empty scratch.queue) do
+    let i = Queue.pop scratch.queue in
+    let c = get_cost scratch i + 1 in
+    iter_neighbours b i (fun j ->
+        if !found < 0 && get_cost scratch j < 0 && in_box j then begin
+          let v = read tx (t.grid + j) in
+          Runtime.Exec.tick (Runtime.Costs.get ()).work;
+          (* A destination cell counts only when it is our own pre-marked
+             pin or still free (the layer-1 cell over the pin may already
+             carry a foreign wire, which must stay untouched). *)
+          if is_dst j && (v = net || v = 0) then begin
+            set_cost scratch j c;
+            found := j
+          end
+          else if v = 0 then begin
+            set_cost scratch j c;
+            Queue.push j scratch.queue
+          end
+        end)
+  done;
+  let success = !found >= 0 in
+  if success then begin
+    (* Backtrack from the destination towards cost 0, writing our net id
+       into every intermediate cell. *)
+    let rec backtrack i =
+      let c = get_cost scratch i in
+      if c > 0 then begin
+        (* Write every path cell except the two pre-marked pins; in
+           particular the layer-1 cell above a pin IS written, so the laid
+           net is a connected component of net-owned cells. *)
+        if i <> src && i <> dst0 then write tx (t.grid + i) net;
+        let next = ref (-1) in
+        iter_neighbours b i (fun j ->
+            if !next < 0 && get_cost scratch j = c - 1 then next := j);
+        if !next >= 0 then backtrack !next
+      end
+    in
+    backtrack !found
+  end;
+  success
+
+(** Run the whole benchmark and return [(workload result, router state)] —
+    the state carries routed/failed counts and supports [verify]. *)
+let run ?(hot_ratio = 0.) ~spec ~threads (board : Board.t) =
+  let heap = Memory.Heap.create ~words:(heap_words board) in
+  let t = setup ~hot_ratio heap board in
+  let engine = Engines.make spec heap in
+  let scratches =
+    Array.init Stm_intf.Stats.max_threads (fun _ -> make_scratch board)
+  in
+  Harness.Workload.run_fixed_work engine ~threads (fun ~tid ->
+      let i = Runtime.Tmatomic.fetch_and_add t.next_route 1 in
+      if i >= Array.length board.routes then false
+      else begin
+        let ok =
+          Stm_intf.Engine.atomic engine ~tid (fun tx ->
+              route_one t tx scratches.(tid) ~net:(i + 1))
+        in
+        if ok then t.routed.(tid) <- t.routed.(tid) + 1
+        else t.failed.(tid) <- t.failed.(tid) + 1;
+        true
+      end)
+  |> fun result -> (result, t)
+
+(* --- verification (tests; quiescent state) ----------------------------- *)
+
+(** Check that every laid path is a connected net: for each net id present
+    in the grid, its cells plus endpoints form one connected component, and
+    no cell holds a net id without belonging to that net's route. *)
+let verify t =
+  let b = t.board in
+  let n = cells b in
+  let owner = Array.init n (fun i -> Memory.Heap.read t.heap (t.grid + i)) in
+  let ok = ref true in
+  Array.iteri
+    (fun idx (r : Board.route) ->
+      let net = idx + 1 in
+      let src = cell_index b ~x:r.x1 ~y:r.y1 ~layer:0 in
+      let dst = cell_index b ~x:r.x2 ~y:r.y2 ~layer:0 in
+      (* Endpoints keep their net id. *)
+      if owner.(src) <> net || owner.(dst) <> net then ok := false
+      else begin
+        (* If any non-endpoint cell carries this net, the net must connect
+           src to dst through its own cells. *)
+        let has_path =
+          let seen = Array.make n false in
+          let q = Queue.create () in
+          Queue.push src q;
+          seen.(src) <- true;
+          let reached = ref false in
+          while (not !reached) && not (Queue.is_empty q) do
+            let i = Queue.pop q in
+            if i = dst || (i mod (b.width * b.height)) = (dst mod (b.width * b.height))
+            then reached := true
+            else
+              iter_neighbours b i (fun j ->
+                  if (not seen.(j)) && owner.(j) = net then begin
+                    seen.(j) <- true;
+                    Queue.push j q
+                  end)
+          done;
+          !reached
+        in
+        let routed_cells =
+          let count = ref 0 in
+          Array.iteri
+            (fun i o -> if o = net && i <> src && i <> dst then incr count)
+            owner;
+          !count
+        in
+        (* Nets with laid wire must connect; endpoint-only nets are routes
+           that failed (allowed). *)
+        if routed_cells > b.layers * 2 && not has_path then ok := false
+      end)
+    b.routes;
+  !ok
+
+let total_routed t = Array.fold_left ( + ) 0 t.routed
+let total_failed t = Array.fold_left ( + ) 0 t.failed

@@ -1,0 +1,1 @@
+lib/memory/heap.ml: Array Printf Runtime

@@ -1,0 +1,23 @@
+(* Fixed-point encoding of real values into heap words.
+
+   Transactional words are OCaml [int]s; benchmarks that need fractional
+   arithmetic (kmeans centroids, bayes log-likelihood scores) store values
+   as fixed-point with 20 fractional bits.  The precision (about 1e-6) is
+   far below the noise floor of any measured effect, and fixed-point keeps
+   simulated runs bit-for-bit deterministic across platforms. *)
+
+let frac_bits = 20
+let one = 1 lsl frac_bits
+let scale = float_of_int one
+
+let of_float f = int_of_float (Float.round (f *. scale))
+let to_float w = float_of_int w /. scale
+
+(* Arithmetic directly on encoded words. *)
+let add = ( + )
+let sub = ( - )
+let mul a b = (a * b) asr frac_bits
+let div a b = if b = 0 then invalid_arg "Fixedpoint.div" else (a lsl frac_bits) / b
+
+let of_int i = i lsl frac_bits
+let to_int_round w = (w + (one / 2)) asr frac_bits

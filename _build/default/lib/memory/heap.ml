@@ -1,0 +1,94 @@
+(* The word-addressable transactional heap.
+
+   The paper's STMs operate on raw memory words; here the universe of a
+   benchmark is one [Heap.t]: a flat array of OCaml [int]s.  An *address* is
+   a word index into that array; address 0 is reserved as the null pointer
+   (the first word is never handed out by the allocator).
+
+   Plain [read]/[write] are non-transactional and are meant for data
+   structure construction before threads start and for verification after
+   they join; during a run all accesses must go through an STM engine,
+   which guards them with its lock table.  In native mode concurrent plain
+   [int array] accesses are atomic per-word on OCaml 5 (no tearing), the
+   same assumption word-based C STMs make about aligned word accesses.
+
+   Allocation is a bump pointer sharded into per-thread chunks so that
+   parallel allocation does not create a synthetic hot spot.  Memory
+   allocated by transactions that later abort is leaked, as in TL2's simple
+   mode; [free] would be a no-op and is deliberately not provided. *)
+
+type t = {
+  words : int array;
+  brk : Runtime.Tmatomic.t;  (* next unshared word *)
+  chunk_next : int array;  (* per-thread bump pointer *)
+  chunk_limit : int array;  (* per-thread chunk end *)
+}
+
+let chunk_words = 8192
+let max_threads = 64
+
+exception Out_of_memory of { capacity : int; requested : int }
+
+let null = 0
+
+let create ~words =
+  if words < 1 then invalid_arg "Heap.create";
+  {
+    words = Array.make words 0;
+    brk = Runtime.Tmatomic.make 1 (* skip the null word *);
+    chunk_next = Array.make max_threads 0;
+    chunk_limit = Array.make max_threads 0;
+  }
+
+let capacity t = Array.length t.words
+
+let check t addr =
+  if addr <= 0 || addr >= Array.length t.words then
+    invalid_arg (Printf.sprintf "Heap: address %d out of bounds" addr)
+
+(** Non-transactional read (setup / verification only during quiescence). *)
+let read t addr =
+  check t addr;
+  Array.unsafe_get t.words addr
+
+(** Non-transactional write (setup / verification only during quiescence). *)
+let write t addr v =
+  check t addr;
+  Array.unsafe_set t.words addr v
+
+(* Raw accessors used by STM engines on addresses they have already
+   validated; bounds were checked when the address was allocated. *)
+let unsafe_read t addr = Array.unsafe_get t.words addr
+let unsafe_write t addr v = Array.unsafe_set t.words addr v
+
+(** Allocate [n] words and return the address of the first.  Thread-safe;
+    the caller's logical thread id shards the bump pointer. *)
+let alloc t n =
+  if n <= 0 then invalid_arg "Heap.alloc: size must be positive";
+  let tid = Runtime.Exec.self () land (max_threads - 1) in
+  if n > chunk_words then begin
+    (* Large block: grab it directly from the shared break. *)
+    let addr = Runtime.Tmatomic.fetch_and_add t.brk n in
+    if addr + n > Array.length t.words then
+      raise (Out_of_memory { capacity = Array.length t.words; requested = n });
+    addr
+  end
+  else begin
+    if t.chunk_next.(tid) + n > t.chunk_limit.(tid) then begin
+      (* Claim a whole chunk; the claimed range is exclusively ours, so if
+         it sticks out past the end we can still use its in-bounds prefix —
+         small heaps stay usable down to their last words. *)
+      let base = Runtime.Tmatomic.fetch_and_add t.brk chunk_words in
+      let limit = min (base + chunk_words) (Array.length t.words) in
+      if base + n > limit then
+        raise (Out_of_memory { capacity = Array.length t.words; requested = n });
+      t.chunk_next.(tid) <- base;
+      t.chunk_limit.(tid) <- limit
+    end;
+    let addr = t.chunk_next.(tid) in
+    t.chunk_next.(tid) <- addr + n;
+    addr
+  end
+
+(** Words handed out so far (upper bound; includes unused chunk tails). *)
+let used t = Runtime.Tmatomic.unsafe_get t.brk

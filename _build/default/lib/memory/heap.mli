@@ -1,0 +1,38 @@
+(** The word-addressable transactional heap.
+
+    A heap is the universe of one benchmark/application: a flat array of
+    OCaml [int] words.  An {e address} is a word index; address 0 is the
+    reserved null pointer.
+
+    Plain {!read}/{!write} are non-transactional and intended for
+    construction before threads start and verification after they stop;
+    during a run, all shared accesses must go through an STM engine. *)
+
+type t
+
+exception Out_of_memory of { capacity : int; requested : int }
+
+val null : int
+
+val create : words:int -> t
+val capacity : t -> int
+
+val read : t -> int -> int
+(** Bounds-checked non-transactional read (quiescent state only). *)
+
+val write : t -> int -> int -> unit
+(** Bounds-checked non-transactional write (quiescent state only). *)
+
+val alloc : t -> int -> int
+(** [alloc t n] returns n fresh zeroed words.  Thread-safe (per-thread
+    sharded bump pointer); words allocated by transactions that abort are
+    leaked, as in TL2's simple allocator. *)
+
+val used : t -> int
+(** Upper bound on words handed out. *)
+
+(**/**)
+
+(* Unchecked accessors for engine internals (addresses pre-validated). *)
+val unsafe_read : t -> int -> int
+val unsafe_write : t -> int -> int -> unit

@@ -1,0 +1,1 @@
+lib/rbtree/rbtree_bench.ml: Array Engines Harness Memory Runtime Stm_intf Tx_rbtree

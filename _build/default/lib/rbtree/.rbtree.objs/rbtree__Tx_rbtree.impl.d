@@ -1,0 +1,1 @@
+lib/rbtree/tx_rbtree.ml: Memory Stm_intf

@@ -1,0 +1,1 @@
+lib/rbtree/tx_rbtree.mli: Memory Stm_intf

@@ -1,0 +1,64 @@
+(* The red-black tree microbenchmark (paper §2.2, Figure 5).
+
+   Keys are drawn uniformly from [0, range); an operation is an update with
+   probability [update_ratio] (half inserts, half removes) and a lookup
+   otherwise.  The paper's configuration: range 16384, 20% updates, tree
+   pre-populated to half capacity. *)
+
+type params = { range : int; update_ratio : float; init_fill : float; seed : int }
+
+let default = { range = 16384; update_ratio = 0.2; init_fill = 0.5; seed = 99 }
+
+type t = { tree : Tx_rbtree.t; params : params; engine : Stm_intf.Engine.t }
+
+let heap_words params =
+  (* nodes (live + leaked by aborted allocs) + slack *)
+  (Tx_rbtree.node_words * params.range * 8) + (1 lsl 16)
+
+(** Build the tree and populate it to [init_fill] using the engine itself
+    (single-threaded setup transactions). *)
+let setup ?(params = default) spec =
+  let heap = Memory.Heap.create ~words:(heap_words params) in
+  let tree = Tx_rbtree.create heap in
+  let engine = Engines.make spec heap in
+  let rng = Runtime.Rng.create params.seed in
+  let target = int_of_float (float_of_int params.range *. params.init_fill) in
+  let inserted = ref 0 in
+  while !inserted < target do
+    let k = Runtime.Rng.int rng params.range in
+    if
+      Stm_intf.Engine.atomic engine ~tid:0 (fun tx ->
+          Tx_rbtree.insert tree tx k (k * 2))
+    then incr inserted
+  done;
+  Stm_intf.Engine.reset_stats engine;
+  { tree; params; engine }
+
+(** One benchmark operation for thread [tid], op number [op]. *)
+let operation t ~tid ~op:_ rng =
+  let p = t.params in
+  let k = Runtime.Rng.int rng p.range in
+  let dice = Runtime.Rng.float rng 1.0 in
+  if dice < p.update_ratio /. 2. then
+    ignore
+      (Stm_intf.Engine.atomic t.engine ~tid (fun tx ->
+           Tx_rbtree.insert t.tree tx k (k * 2))
+        : bool)
+  else if dice < p.update_ratio then
+    ignore
+      (Stm_intf.Engine.atomic t.engine ~tid (fun tx -> Tx_rbtree.remove t.tree tx k)
+        : bool)
+  else
+    ignore
+      (Stm_intf.Engine.atomic t.engine ~tid (fun tx -> Tx_rbtree.lookup t.tree tx k)
+        : int option)
+
+(** Run the microbenchmark for [duration_cycles] of simulated time. *)
+let run ?(params = default) ~spec ~threads ~duration_cycles () =
+  let t = setup ~params spec in
+  let rngs =
+    Array.init Stm_intf.Stats.max_threads (fun tid ->
+        Runtime.Rng.for_thread ~seed:params.seed ~tid)
+  in
+  Harness.Workload.run_for_duration t.engine ~threads ~duration_cycles
+    (fun ~tid ~op -> operation t ~tid ~op rngs.(tid))

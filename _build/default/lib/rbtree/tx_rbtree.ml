@@ -1,0 +1,358 @@
+(* Transactional red-black tree over the word heap.
+
+   The classic STM microbenchmark data structure (paper §2.2, Figure 5):
+   short transactions of a dozen-odd reads and O(1)..O(log n) writes.  The
+   implementation is the CLRS algorithm with parent pointers and a shared
+   nil sentinel, with every node field access going through the engine's
+   transactional word operations.
+
+   Node layout (6 words): key, value, color, left, right, parent.
+   A tree instance is 1 header word (root pointer) plus the sentinel. *)
+
+open Stm_intf.Engine
+
+let red = 0
+let black = 1
+
+(* field offsets *)
+let f_key = 0
+let f_val = 1
+let f_color = 2
+let f_left = 3
+let f_right = 4
+let f_parent = 5
+let node_words = 6
+
+type t = {
+  root_ptr : int;  (** heap address of the root pointer word *)
+  nil : int;  (** shared sentinel node (black, never rebalanced) *)
+}
+
+(** Allocate an empty tree.  Non-transactional: call during setup, or wrap
+    in a transaction via [create_tx]. *)
+let create heap =
+  let root_ptr = Memory.Heap.alloc heap 1 in
+  let nil = Memory.Heap.alloc heap node_words in
+  Memory.Heap.write heap (nil + f_color) black;
+  Memory.Heap.write heap (nil + f_left) 0;
+  Memory.Heap.write heap (nil + f_right) 0;
+  Memory.Heap.write heap (nil + f_parent) 0;
+  Memory.Heap.write heap root_ptr nil;
+  { root_ptr; nil }
+
+(* --- transactional accessors ------------------------------------------ *)
+
+let key tx n = read tx (n + f_key)
+let value tx n = read tx (n + f_val)
+let color tx n = read tx (n + f_color)
+let left tx n = read tx (n + f_left)
+let right tx n = read tx (n + f_right)
+let parent tx n = read tx (n + f_parent)
+
+let set_color tx n c = write tx (n + f_color) c
+let set_left tx n x = write tx (n + f_left) x
+let set_right tx n x = write tx (n + f_right) x
+let set_parent tx n x = write tx (n + f_parent) x
+
+let root t tx = read tx t.root_ptr
+let set_root t tx n = write tx t.root_ptr n
+
+(* --- rotations (CLRS 13.2) -------------------------------------------- *)
+
+let rotate_left t tx x =
+  let y = right tx x in
+  let yl = left tx y in
+  set_right tx x yl;
+  if yl <> t.nil then set_parent tx yl x;
+  let xp = parent tx x in
+  set_parent tx y xp;
+  if xp = t.nil then set_root t tx y
+  else if x = left tx xp then set_left tx xp y
+  else set_right tx xp y;
+  set_left tx y x;
+  set_parent tx x y
+
+let rotate_right t tx x =
+  let y = left tx x in
+  let yr = right tx y in
+  set_left tx x yr;
+  if yr <> t.nil then set_parent tx yr x;
+  let xp = parent tx x in
+  set_parent tx y xp;
+  if xp = t.nil then set_root t tx y
+  else if x = right tx xp then set_right tx xp y
+  else set_left tx xp y;
+  set_right tx y x;
+  set_parent tx x y
+
+(* --- lookup ------------------------------------------------------------ *)
+
+let find_node t tx k =
+  let rec go n =
+    if n = t.nil then t.nil
+    else
+      let nk = key tx n in
+      if k = nk then n else if k < nk then go (left tx n) else go (right tx n)
+  in
+  go (root t tx)
+
+(** [lookup t tx k] returns the value bound to [k], if any. *)
+let lookup t tx k =
+  let n = find_node t tx k in
+  if n = t.nil then None else Some (value tx n)
+
+let mem t tx k = find_node t tx k <> t.nil
+
+(* --- insert (CLRS 13.3) ------------------------------------------------ *)
+
+let rec insert_fixup t tx z =
+  let zp = parent tx z in
+  if zp <> t.nil && color tx zp = red then begin
+    let zpp = parent tx zp in
+    if zp = left tx zpp then begin
+      let y = right tx zpp in
+      if y <> t.nil && color tx y = red then begin
+        set_color tx zp black;
+        set_color tx y black;
+        set_color tx zpp red;
+        insert_fixup t tx zpp
+      end
+      else begin
+        let z = if z = right tx zp then (rotate_left t tx zp; zp) else z in
+        let zp = parent tx z in
+        let zpp = parent tx zp in
+        set_color tx zp black;
+        set_color tx zpp red;
+        rotate_right t tx zpp;
+        insert_fixup t tx z
+      end
+    end
+    else begin
+      let y = left tx zpp in
+      if y <> t.nil && color tx y = red then begin
+        set_color tx zp black;
+        set_color tx y black;
+        set_color tx zpp red;
+        insert_fixup t tx zpp
+      end
+      else begin
+        let z = if z = left tx zp then (rotate_right t tx zp; zp) else z in
+        let zp = parent tx z in
+        let zpp = parent tx zp in
+        set_color tx zp black;
+        set_color tx zpp red;
+        rotate_left t tx zpp;
+        insert_fixup t tx z
+      end
+    end
+  end;
+  let r = root t tx in
+  if color tx r = red then set_color tx r black
+
+(** [insert t tx k v] binds [k] to [v]; returns [false] (updating the
+    existing value) when [k] was already present. *)
+let insert t tx k v =
+  let rec descend y n =
+    if n = t.nil then (y, t.nil)
+    else
+      let nk = key tx n in
+      if k = nk then (y, n)
+      else if k < nk then descend n (left tx n)
+      else descend n (right tx n)
+  in
+  let y, existing = descend t.nil (root t tx) in
+  if existing <> t.nil then begin
+    write tx (existing + f_val) v;
+    false
+  end
+  else begin
+    let z = alloc tx node_words in
+    write tx (z + f_key) k;
+    write tx (z + f_val) v;
+    write tx (z + f_color) red;
+    set_left tx z t.nil;
+    set_right tx z t.nil;
+    set_parent tx z y;
+    if y = t.nil then set_root t tx z
+    else if k < key tx y then set_left tx y z
+    else set_right tx y z;
+    insert_fixup t tx z;
+    true
+  end
+
+(* --- delete (CLRS 13.4) ------------------------------------------------ *)
+
+let rec minimum t tx n =
+  let l = left tx n in
+  if l = t.nil then n else minimum t tx l
+
+let transplant t tx u v =
+  let up = parent tx u in
+  if up = t.nil then set_root t tx v
+  else if u = left tx up then set_left tx up v
+  else set_right tx up v;
+  set_parent tx v up
+
+let rec delete_fixup t tx x =
+  if x <> root t tx && color tx x = black then begin
+    let xp = parent tx x in
+    if x = left tx xp then begin
+      let w = right tx xp in
+      let w =
+        if color tx w = red then begin
+          set_color tx w black;
+          set_color tx xp red;
+          rotate_left t tx xp;
+          right tx xp
+        end
+        else w
+      in
+      if color tx (left tx w) = black && color tx (right tx w) = black then begin
+        set_color tx w red;
+        delete_fixup t tx xp
+      end
+      else begin
+        let w =
+          if color tx (right tx w) = black then begin
+            set_color tx (left tx w) black;
+            set_color tx w red;
+            rotate_right t tx w;
+            right tx xp
+          end
+          else w
+        in
+        set_color tx w (color tx xp);
+        set_color tx xp black;
+        set_color tx (right tx w) black;
+        rotate_left t tx xp;
+        delete_fixup t tx (root t tx)
+      end
+    end
+    else begin
+      let w = left tx xp in
+      let w =
+        if color tx w = red then begin
+          set_color tx w black;
+          set_color tx xp red;
+          rotate_right t tx xp;
+          left tx xp
+        end
+        else w
+      in
+      if color tx (right tx w) = black && color tx (left tx w) = black then begin
+        set_color tx w red;
+        delete_fixup t tx xp
+      end
+      else begin
+        let w =
+          if color tx (left tx w) = black then begin
+            set_color tx (right tx w) black;
+            set_color tx w red;
+            rotate_left t tx w;
+            left tx xp
+          end
+          else w
+        in
+        set_color tx w (color tx xp);
+        set_color tx xp black;
+        set_color tx (left tx w) black;
+        rotate_right t tx xp;
+        delete_fixup t tx (root t tx)
+      end
+    end
+  end
+  else set_color tx x black
+
+(** [remove t tx k] deletes the binding of [k]; returns [false] when [k]
+    was absent.  The removed node's words are leaked (no transactional
+    free), as in the C benchmarks run with TL2's simple allocator. *)
+let remove t tx k =
+  let z = find_node t tx k in
+  if z = t.nil then false
+  else begin
+    let y_color = ref (color tx z) in
+    let x =
+      if left tx z = t.nil then begin
+        let x = right tx z in
+        transplant t tx z x;
+        x
+      end
+      else if right tx z = t.nil then begin
+        let x = left tx z in
+        transplant t tx z x;
+        x
+      end
+      else begin
+        let y = minimum t tx (right tx z) in
+        y_color := color tx y;
+        let x = right tx y in
+        if parent tx y = z then set_parent tx x y
+        else begin
+          transplant t tx y x;
+          set_right tx y (right tx z);
+          set_parent tx (right tx y) y
+        end;
+        transplant t tx z y;
+        set_left tx y (left tx z);
+        set_parent tx (left tx y) y;
+        set_color tx y (color tx z);
+        x
+      end
+    in
+    if !y_color = black then delete_fixup t tx x;
+    true
+  end
+
+(* --- non-transactional verification (tests; quiescent state only) ------ *)
+
+type check_error =
+  | Red_red of int
+  | Black_height of int
+  | Order of int
+  | Root_not_black
+
+(** Verify every red-black invariant plus BST ordering; returns the element
+    count.  Reads the heap directly — only sound when no transactions are
+    in flight. *)
+let check t heap =
+  let rd a = Memory.Heap.read heap a in
+  let root = rd t.root_ptr in
+  if root <> t.nil && rd (root + f_color) <> black then Error Root_not_black
+  else begin
+    let exception Bad of check_error in
+    let rec go n lo hi =
+      if n = t.nil then 1
+      else begin
+        let k = rd (n + f_key) in
+        (match lo with Some l when k <= l -> raise (Bad (Order n)) | _ -> ());
+        (match hi with Some h when k >= h -> raise (Bad (Order n)) | _ -> ());
+        let c = rd (n + f_color) in
+        let l = rd (n + f_left) and r = rd (n + f_right) in
+        if c = red then begin
+          if l <> t.nil && rd (l + f_color) = red then raise (Bad (Red_red n));
+          if r <> t.nil && rd (r + f_color) = red then raise (Bad (Red_red n))
+        end;
+        let bl = go l lo (Some k) in
+        let br = go r (Some k) hi in
+        if bl <> br then raise (Bad (Black_height n));
+        bl + if c = black then 1 else 0
+      end
+    in
+    match go root None None with
+    | (_ : int) ->
+        let rec count n =
+          if n = t.nil then 0
+          else 1 + count (rd (n + f_left)) + count (rd (n + f_right))
+        in
+        Ok (count root)
+    | exception Bad e -> Error e
+  end
+
+(** In-order key list (non-transactional; quiescent state only). *)
+let keys t heap =
+  let rd a = Memory.Heap.read heap a in
+  let rec go n acc =
+    if n = t.nil then acc
+    else go (rd (n + f_left)) (rd (n + f_key) :: go (rd (n + f_right)) acc)
+  in
+  go (rd t.root_ptr) []

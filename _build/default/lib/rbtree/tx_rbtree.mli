@@ -1,0 +1,34 @@
+(** Transactional red-black tree over the word heap (paper §2.2's
+    microbenchmark data structure).
+
+    CLRS with parent pointers and a shared nil sentinel; every node access
+    goes through the engine's transactional word operations.  Keys and
+    values are ints. *)
+
+type t
+
+val node_words : int
+
+val create : Memory.Heap.t -> t
+(** Non-transactional allocation (setup time). *)
+
+val insert : t -> Stm_intf.Engine.tx_ops -> int -> int -> bool
+(** [insert t tx k v] binds [k]; [false] when [k] existed (value updated). *)
+
+val remove : t -> Stm_intf.Engine.tx_ops -> int -> bool
+val lookup : t -> Stm_intf.Engine.tx_ops -> int -> int option
+val mem : t -> Stm_intf.Engine.tx_ops -> int -> bool
+
+(** Verification (tests; quiescent state only). *)
+
+type check_error =
+  | Red_red of int
+  | Black_height of int
+  | Order of int
+  | Root_not_black
+
+val check : t -> Memory.Heap.t -> (int, check_error) result
+(** Verify every red-black + BST invariant; [Ok size] on success. *)
+
+val keys : t -> Memory.Heap.t -> int list
+(** In-order key list. *)

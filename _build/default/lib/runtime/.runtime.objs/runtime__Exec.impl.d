@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Array Costs Domain Effect

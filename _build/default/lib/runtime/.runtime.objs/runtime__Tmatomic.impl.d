@@ -1,0 +1,1 @@
+lib/runtime/tmatomic.ml: Atomic Costs Exec

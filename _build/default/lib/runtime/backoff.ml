@@ -1,0 +1,43 @@
+(* Back-off policies used by contention managers after a rollback.
+
+   SwissTM uses a randomized *linear* back-off: the wait is uniform in
+   [0, base * successive_aborts] cycles (paper, Algorithm 2, line 11).
+   Polka-style managers use capped exponential back-off. *)
+
+type policy =
+  | No_backoff
+  | Linear of { base : int; cap : int }
+  | Exponential of { base : int; cap : int }
+
+let default_linear = Linear { base = 3_000; cap = 3_000_000 }
+
+(* The exponential cap must exceed the length of the longest transactions
+   (millions of cycles for Lee-TM routes / STMBench7 traversals): Polka-
+   style managers escape mutual-kill livelocks only when the back-off can
+   grow into a window long enough for one victim to finish. *)
+let default_exponential = Exponential { base = 1_000; cap = 64_000_000 }
+
+(** Number of cycles to wait before the [attempt]-th retry (1-based). *)
+let delay policy rng ~attempt =
+  let attempt = max 1 attempt in
+  match policy with
+  | No_backoff -> 0
+  | Linear { base; cap } ->
+      let span = min cap (base * attempt) in
+      Rng.int rng (span + 1)
+  | Exponential { base; cap } ->
+      let span = min cap (base * (1 lsl min attempt 20)) in
+      Rng.int rng (span + 1)
+
+(** Wait for [cycles]: virtual time in a simulation, a bounded spin loop
+    natively. *)
+let wait_cycles cycles =
+  if cycles > 0 then
+    if Exec.in_sim () then Exec.tick cycles
+    else
+      let spins = cycles / 8 in
+      for _ = 1 to spins do
+        Domain.cpu_relax ()
+      done
+
+let wait policy rng ~attempt = wait_cycles (delay policy rng ~attempt)

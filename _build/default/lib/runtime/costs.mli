@@ -1,0 +1,36 @@
+(** Cycle-level cost model of the simulated multiprocessor.
+
+    The constants approximate the paper's 2.4 GHz Opteron; only the ratios
+    between local work, synchronisation and cross-core traffic matter for
+    reproducing the evaluation's shapes.  The model is a process-wide
+    setting read on the simulator's fast path; override it from test or
+    bench setup code only, never while simulated threads run. *)
+
+type t = {
+  mem : int;  (** plain heap word access *)
+  atomic_hit : int;  (** atomic access, line already local *)
+  cache_miss : int;  (** access to a remote cache line *)
+  cas : int;  (** extra cost of a read-modify-write *)
+  log_append : int;  (** appending a read/write-log entry *)
+  log_lookup : int;  (** redo-log lookup (read-after-write) *)
+  validate_entry : int;  (** revalidating one read-log entry *)
+  tx_begin : int;  (** transaction-start overhead *)
+  tx_end : int;  (** commit/rollback bookkeeping *)
+  pause : int;  (** one spin-wait iteration *)
+  work : int;  (** one unit of application-level compute *)
+}
+
+val default : t
+val get : unit -> t
+val set : t -> unit
+val reset : unit -> unit
+
+val cycles_per_second : float
+(** Simulated clock rate used to convert virtual cycles to seconds. *)
+
+val seconds_of_cycles : int -> float
+val pp : Format.formatter -> t -> unit
+
+val apply_env : unit -> unit
+(** Re-read the [SWISSTM_COSTS] override ("mem=3,cache_miss=200,...");
+    applied once automatically at program start. *)

@@ -1,0 +1,69 @@
+(* Execution-mode dispatch between the discrete-event simulator and native
+   [Domain]-based execution.
+
+   STM engines and benchmarks call [tick]/[pause]/[self]/[now] on every
+   simulated instruction.  Under [Sim.run] these charge virtual cycles to the
+   calling simulated thread and yield to the scheduler when the thread is no
+   longer the earliest one; outside a simulation they are (nearly) free
+   no-ops, so the very same engine code runs unmodified on real domains.
+
+   The mutable scheduler state below is written only by [Sim] from the single
+   simulation domain; native-mode domains never write it.  Mixing a running
+   simulation with concurrent native-mode domains in one process is not
+   supported. *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+(* Current simulated thread id, or -1 when not inside a simulation. *)
+let cur = ref (-1)
+
+(* Per-thread virtual clocks (cycles), owned by the running simulation. *)
+let vtimes = ref [||]
+
+(* Virtual time at which the current thread stops being the earliest
+   runnable one; ticking past it yields to the scheduler.  [max_int] when
+   the current thread is the only one left. *)
+let next_deadline = ref max_int
+
+let in_sim () = !cur >= 0
+
+(** Charge [n] virtual cycles to the calling simulated thread; no-op in
+    native mode.  May transfer control to another simulated thread. *)
+let tick n =
+  let c = !cur in
+  if c >= 0 then begin
+    let v = !vtimes in
+    v.(c) <- v.(c) + n;
+    if v.(c) > !next_deadline then Effect.perform Yield
+  end
+
+(** Yield unconditionally (used by spin loops that made no progress). *)
+let yield () = if !cur >= 0 then Effect.perform Yield
+
+(* Thread id for native mode, assigned by the workload harness. *)
+let native_tid : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+let set_native_tid tid = Domain.DLS.set native_tid tid
+
+(** Logical thread id: simulated thread id inside a simulation, otherwise
+    the id registered with [set_native_tid] (0 by default). *)
+let self () =
+  let c = !cur in
+  if c >= 0 then c else Domain.DLS.get native_tid
+
+(** Virtual time of the calling simulated thread; 0 in native mode. *)
+let now () =
+  let c = !cur in
+  if c >= 0 then (!vtimes).(c) else 0
+
+(** One spin-wait iteration: charges [Costs.pause] cycles in a simulation,
+    issues a CPU relax hint natively. *)
+let pause () =
+  let c = !cur in
+  if c >= 0 then begin
+    let v = !vtimes in
+    v.(c) <- v.(c) + (Costs.get ()).pause;
+    (* A spinning thread must always let the lock owner run, even when the
+       spinner is still the earliest thread. *)
+    Effect.perform Yield
+  end
+  else Domain.cpu_relax ()

@@ -1,0 +1,37 @@
+(** Execution-mode dispatch between the simulator and native domains.
+
+    Engine and benchmark code calls these on every simulated instruction;
+    under {!Sim.run} they charge virtual cycles and cooperate with the
+    scheduler, natively they are (nearly) free no-ops. *)
+
+val in_sim : unit -> bool
+
+val tick : int -> unit
+(** Charge virtual cycles to the calling simulated thread (no-op natively).
+    May switch to another simulated thread. *)
+
+val yield : unit -> unit
+(** Yield to the scheduler unconditionally (no-op natively). *)
+
+val self : unit -> int
+(** Logical thread id: simulated tid, or the id registered with
+    {!set_native_tid} (0 by default). *)
+
+val now : unit -> int
+(** Virtual time of the calling simulated thread; 0 natively. *)
+
+val pause : unit -> unit
+(** One spin-wait iteration: charges {!Costs.t.pause} and yields in a
+    simulation; [Domain.cpu_relax] natively. *)
+
+val set_native_tid : int -> unit
+(** Register the calling domain's logical thread id (native mode). *)
+
+(**/**)
+
+(* Scheduler internals shared with {!Sim}; not part of the public API. *)
+type _ Effect.t += Yield : unit Effect.t
+
+val cur : int ref
+val vtimes : int array ref
+val next_deadline : int ref

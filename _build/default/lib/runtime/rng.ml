@@ -1,0 +1,52 @@
+(* SplitMix64 pseudo-random generator.
+
+   Each simulated thread owns one generator, seeded deterministically from
+   (global seed, thread id), so every experiment is reproducible and
+   independent of scheduling.  The stdlib [Random] module is avoided because
+   its global state would make runs depend on call order across threads. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(** Derive a thread-local generator from a global seed and a thread id.
+    The golden-ratio increment decorrelates nearby seeds. *)
+let for_thread ~seed ~tid =
+  {
+    state =
+      Int64.add
+        (Int64.mul (Int64.of_int (tid + 1)) 0x9E3779B97F4A7C15L)
+        (Int64.of_int seed);
+  }
+
+let next64 t =
+  let z = Int64.add t.state 0x9E3779B97F4A7C15L in
+  t.state <- z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Non-negative int drawn uniformly from the full 62-bit range. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+(** [int t n] is uniform in [0, n). Requires [n > 0]. *)
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod n
+
+(** [float t x] is uniform in [0, x). *)
+let float t x =
+  let f = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  f /. 9007199254740992. *. x
+
+(** Bernoulli draw: true with probability [p]. *)
+let chance t p = float t 1.0 < p
+
+(** Fisher-Yates shuffle of an array, in place. *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,109 @@
+(* Deterministic discrete-event scheduler for simulated threads.
+
+   Each thread is an OCaml 5 fiber.  Threads advance their private virtual
+   clocks through [Exec.tick]; the scheduler always resumes the runnable
+   thread with the smallest virtual time (ties broken by thread id), so a
+   run is a deterministic function of the thread bodies and their seeds.
+
+   A thread keeps running without a context switch for as long as it remains
+   the earliest thread ([Exec.next_deadline]); the resulting schedule is
+   identical to switching on every tick, minus the overhead. *)
+
+exception Timeout of int
+(** Raised when every live thread's virtual clock passed the [cap_cycles]
+    safety limit — in this codebase that means a livelock bug. *)
+
+exception Nested_simulation
+
+type state = {
+  conts : (unit, unit) Effect.Deep.continuation option array;
+  started : bool array;
+  finished : bool array;
+  vtimes : int array;
+}
+
+let make_handler st tid =
+  {
+    Effect.Deep.retc = (fun () -> st.finished.(tid) <- true);
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Exec.Yield ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                st.conts.(tid) <- Some k)
+        | _ -> None);
+  }
+
+(** [run bodies] executes all thread bodies to completion under the
+    simulated scheduler and returns the final per-thread virtual times.
+    [cap_cycles] (default 10^12) bounds any thread's virtual clock and turns
+    livelocks into a [Timeout]. *)
+let run ?(cap_cycles = 1_000_000_000_000) (bodies : (unit -> unit) array) =
+  if Exec.in_sim () then raise Nested_simulation;
+  let n = Array.length bodies in
+  if n = 0 then [||]
+  else begin
+    let st =
+      {
+        conts = Array.make n None;
+        started = Array.make n false;
+        finished = Array.make n false;
+        vtimes = Array.make n 0;
+      }
+    in
+    let saved_vtimes = !Exec.vtimes and saved_deadline = !Exec.next_deadline in
+    Exec.vtimes := st.vtimes;
+    let cleanup () =
+      Exec.cur := -1;
+      Exec.vtimes := saved_vtimes;
+      Exec.next_deadline := saved_deadline
+    in
+    Fun.protect ~finally:cleanup (fun () ->
+        let alive = ref n in
+        while !alive > 0 do
+          (* Select the earliest live thread and the deadline after which it
+             must yield back (the second-earliest live thread's clock). *)
+          let best = ref (-1) and best_t = ref max_int and second = ref max_int in
+          for i = 0 to n - 1 do
+            if not st.finished.(i) then begin
+              let t = st.vtimes.(i) in
+              if t < !best_t then begin
+                second := !best_t;
+                best_t := t;
+                best := i
+              end
+              else if t < !second then second := t
+            end
+          done;
+          let tid = !best in
+          if !best_t > cap_cycles then raise (Timeout !best_t);
+          Exec.cur := tid;
+          (* Clamp to the cap so even a lone runaway thread yields back and
+             the timeout check above fires. *)
+          Exec.next_deadline := min !second cap_cycles;
+          (match st.conts.(tid) with
+          | Some k ->
+              st.conts.(tid) <- None;
+              Effect.Deep.continue k ()
+          | None ->
+              if st.started.(tid) then
+                (* A started thread with no continuation yielded nothing and
+                   did not finish: impossible by construction. *)
+                assert false
+              else begin
+                st.started.(tid) <- true;
+                Effect.Deep.match_with bodies.(tid) () (make_handler st tid)
+              end);
+          Exec.cur := -1;
+          if st.finished.(tid) then decr alive
+        done;
+        Array.copy st.vtimes)
+  end
+
+(** Convenience wrapper: run [threads] copies of [body tid] and return the
+    maximum final virtual time (the simulated makespan, in cycles). *)
+let run_threads ?cap_cycles ~threads body =
+  let vts = run ?cap_cycles (Array.init threads (fun tid () -> body tid)) in
+  Array.fold_left max 0 vts

@@ -1,0 +1,22 @@
+(** Deterministic discrete-event scheduler for simulated threads.
+
+    Each thread body runs as an OCaml 5 fiber and advances a private
+    virtual clock through {!Exec.tick}; the scheduler always resumes the
+    earliest thread (ties by id), so a run is a pure function of the
+    bodies and their seeds.  See DESIGN.md for how this substitutes for
+    the paper's 8-core machine. *)
+
+exception Timeout of int
+(** Raised when every live thread passed the [cap_cycles] limit —
+    in this codebase, a livelock bug. *)
+
+exception Nested_simulation
+(** Raised when [run] is called from inside a simulated thread. *)
+
+val run : ?cap_cycles:int -> (unit -> unit) array -> int array
+(** [run bodies] executes all bodies to completion and returns final
+    per-thread virtual times (cycles).  [cap_cycles] defaults to 10^12. *)
+
+val run_threads : ?cap_cycles:int -> threads:int -> (int -> unit) -> int
+(** [run_threads ~threads body] runs [body tid] on each thread and returns
+    the simulated makespan (max final virtual time). *)

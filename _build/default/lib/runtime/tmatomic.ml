@@ -1,0 +1,123 @@
+(* Atomic integer cells with a cache-coherence cost model.
+
+   In a simulation, every access charges virtual cycles according to a small
+   MESI-style approximation.  Cells can *share a cache line* ([make_shared]):
+   SwissTM's r/w lock pair occupies adjacent words of one lock-table entry,
+   and RSTM's ownership record packs owner/version/readers together — the
+   second access to the same line is a cheap hit, which matters for the
+   paper's single-thread overhead comparisons (Figure 5).
+
+   Reads hit if this thread already touched the line since its last writer;
+   writes are cheap only with the line held exclusively.  This is the
+   mechanism that reproduces the paper's hot-spot effects (Greedy's shared
+   timestamp counter, Figure 10; the intruder queue head, Figure 11).
+
+   In native mode the model fields are never touched and operations reduce
+   to plain [Atomic] calls (real caches provide the behaviour). *)
+
+type line = {
+  mutable owner : int;  (** last writing thread, or -1 *)
+  mutable readers : int;  (** bitmask of threads that read since last write *)
+  mutable last_miss : int;  (** virtual time of the last coherence miss *)
+  mutable queue : int;  (** back-to-back misses: queuing on a hot line *)
+  mutable last_accessor : int;
+      (** consecutive accesses by one thread to one line cost ~a register
+          compare, not a fresh L1 probe — this is what makes SwissTM's
+          two-locks-in-one-entry layout nearly as cheap as a single lock *)
+}
+
+type t = { v : int Atomic.t; line : line }
+
+let fresh_line () =
+  (* [last_miss] must be far in the past, with a magnitude small enough
+     that [now - last_miss] cannot overflow for any reachable virtual
+     time. *)
+  {
+    owner = -1;
+    readers = 0;
+    last_miss = -(1 lsl 50);
+    queue = 0;
+    last_accessor = -1;
+  }
+
+(* A line whose coherence misses arrive within [queue_window] virtual
+   cycles of each other is being fought over by several cores; each
+   waiter queues behind the previous transfer.  This superlinear penalty
+   on genuinely hot lines is what makes a single shared counter (Greedy's
+   timestamp, an eagerly retried queue head) collapse scalability, as in
+   the paper's Figures 10 and 11. *)
+let queue_window = 1000
+let max_queue = 16
+
+let miss_cost (costs : Costs.t) line =
+  let now = Exec.now () in
+  if now - line.last_miss < queue_window then
+    line.queue <- min (line.queue + 1) max_queue
+  else line.queue <- 0;
+  line.last_miss <- now;
+  costs.cache_miss * (1 + line.queue)
+
+let make init = { v = Atomic.make init; line = fresh_line () }
+
+(** A cell placed on an existing cache line (adjacent metadata words). *)
+let make_shared line init = { v = Atomic.make init; line }
+
+let charge_read t =
+  let c = !Exec.cur in
+  if c >= 0 then begin
+    let costs = Costs.get () in
+    let line = t.line in
+    let bit = 1 lsl (c land 63) in
+    if line.readers land bit <> 0 then begin
+      Exec.tick (if line.last_accessor = c then 1 else costs.atomic_hit);
+      line.last_accessor <- c
+    end
+    else begin
+      line.readers <- line.readers lor bit;
+      line.last_accessor <- c;
+      Exec.tick (miss_cost costs line)
+    end
+  end
+
+let charge_write t ~rmw =
+  let c = !Exec.cur in
+  if c >= 0 then begin
+    let costs = Costs.get () in
+    let line = t.line in
+    let bit = 1 lsl (c land 63) in
+    let exclusive = line.owner = c && line.readers = bit in
+    let base =
+      if exclusive then
+        if line.last_accessor = c then 1 else costs.atomic_hit
+      else miss_cost costs line
+    in
+    line.owner <- c;
+    line.readers <- bit;
+    line.last_accessor <- c;
+    Exec.tick (base + if rmw then costs.cas else 0)
+  end
+
+let get t =
+  charge_read t;
+  Atomic.get t.v
+
+let set t x =
+  charge_write t ~rmw:false;
+  Atomic.set t.v x
+
+(** Compare-and-swap; charges the full RMW cost whether or not it succeeds
+    (a failing CAS still acquires the line exclusively). *)
+let cas t ~expect ~replace =
+  charge_write t ~rmw:true;
+  Atomic.compare_and_set t.v expect replace
+
+let fetch_and_add t n =
+  charge_write t ~rmw:true;
+  Atomic.fetch_and_add t.v n
+
+(** Atomically increment and return the new value. *)
+let incr_get t = fetch_and_add t 1 + 1
+
+(* Cost-free accessors for initialisation and for assertions in tests. *)
+let unsafe_get t = Atomic.get t.v
+let unsafe_set t x = Atomic.set t.v x

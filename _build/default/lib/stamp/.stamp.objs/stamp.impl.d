@@ -1,0 +1,1 @@
+lib/stamp/stamp.ml: Bayes Engines Genome Harness Intruder Kmeans Labyrinth List Ssca2 Vacation Yada

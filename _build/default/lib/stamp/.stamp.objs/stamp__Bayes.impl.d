@@ -1,0 +1,1 @@
+lib/stamp/bayes.ml: Array Engines Harness Hashtbl Memory Runtime Stm_intf

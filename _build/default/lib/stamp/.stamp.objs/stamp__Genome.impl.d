@@ -1,0 +1,1 @@
+lib/stamp/genome.ml: Array Engines Harness Memory Runtime Stm_intf Txds

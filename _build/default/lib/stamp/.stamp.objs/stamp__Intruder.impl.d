@@ -1,0 +1,1 @@
+lib/stamp/intruder.ml: Array Engines Harness Memory Runtime Stm_intf Txds

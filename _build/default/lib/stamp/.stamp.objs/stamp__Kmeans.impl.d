@@ -1,0 +1,1 @@
+lib/stamp/kmeans.ml: Array Engines Harness List Memory Runtime Stm_intf

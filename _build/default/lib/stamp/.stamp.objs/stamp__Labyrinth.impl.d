@@ -1,0 +1,1 @@
+lib/stamp/labyrinth.ml: Leetm

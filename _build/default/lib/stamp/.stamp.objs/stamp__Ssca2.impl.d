@@ -1,0 +1,1 @@
+lib/stamp/ssca2.ml: Array Engines Harness Memory Runtime Stm_intf

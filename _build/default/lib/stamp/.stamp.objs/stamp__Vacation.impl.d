@@ -1,0 +1,1 @@
+lib/stamp/vacation.ml: Array Engines Harness Hashtbl List Memory Option Runtime Stm_intf Txds

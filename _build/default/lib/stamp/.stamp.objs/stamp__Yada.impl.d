@@ -1,0 +1,1 @@
+lib/stamp/yada.ml: Array Engines Harness Hashtbl List Memory Runtime Stm_intf Txds

@@ -1,0 +1,141 @@
+(* STAMP genome: gene sequencing by segment matching.
+
+   A random gene over the 4-letter alphabet is sampled into overlapping
+   segments (every start position, shuffled).  Phase 1 deduplicates the
+   segments into a shared hash set; phase 2 links each unique segment to
+   its unique successor (the segment starting one position later) through a
+   shared prefix index.  Both phases are transactional with the original's
+   hashtable-dominated access pattern: medium transactions, mostly reads,
+   a few writes, low-to-moderate contention.
+
+   Segments are at most 30 letters so a segment packs exactly into one
+   63-bit word (2 bits per letter + a length tag), replacing the C
+   version's string hashing with exact integer keys.
+
+   Verification walks the successor chain from the gene's first segment and
+   checks that it reconstructs the gene. *)
+
+type params = { gene_length : int; segment_length : int; seed : int }
+
+let default = { gene_length = 2048; segment_length = 12; seed = 0x6E0 }
+
+let encode seg = Array.fold_left (fun acc c -> (acc lsl 2) lor c) 1 seg
+
+let segment_at gene ~pos ~len = encode (Array.sub gene pos len)
+
+type t = {
+  params : params;
+  gene : int array;
+  heap : Memory.Heap.t;
+  segments : int array;  (** shuffled encoded segments (with duplicates) *)
+  unique : Txds.Tx_hashmap.t;  (** segment -> 1 (dedup set) *)
+  by_prefix : Txds.Tx_hashmap.t;  (** (length-1)-prefix -> segment *)
+  succ : Txds.Tx_hashmap.t;  (** segment -> successor segment *)
+  next_work : Runtime.Tmatomic.t;
+  phase : Runtime.Tmatomic.t;
+}
+
+let setup ?(params = default) () =
+  let p = params in
+  if p.segment_length > 30 then invalid_arg "genome: segment too long";
+  let rng = Runtime.Rng.create p.seed in
+  let gene = Array.init p.gene_length (fun _ -> Runtime.Rng.int rng 4) in
+  let n_positions = p.gene_length - p.segment_length + 1 in
+  (* Oversample (x2 coverage) to create duplicates, as in the original. *)
+  let segments =
+    Array.init (2 * n_positions) (fun i ->
+        segment_at gene ~pos:(i mod n_positions) ~len:p.segment_length)
+  in
+  Runtime.Rng.shuffle rng segments;
+  let heap =
+    Memory.Heap.create
+      ~words:((Array.length segments * 8 * Txds.Tx_hashmap.node_words) + (1 lsl 18))
+  in
+  {
+    params = p;
+    gene;
+    heap;
+    segments;
+    unique = Txds.Tx_hashmap.create heap ~buckets:4096;
+    by_prefix = Txds.Tx_hashmap.create heap ~buckets:4096;
+    succ = Txds.Tx_hashmap.create heap ~buckets:4096;
+    next_work = Runtime.Tmatomic.make 0;
+    phase = Runtime.Tmatomic.make 0;
+  }
+
+let prefix_of t seg =
+  (* drop the last letter, keep the tag *)
+  ignore t;
+  seg lsr 2
+
+let suffix_of t seg =
+  let p = t.params in
+  let body = seg land ((1 lsl (2 * p.segment_length)) - 1) in
+  (1 lsl (2 * (p.segment_length - 1))) lor (body land ((1 lsl (2 * (p.segment_length - 1))) - 1))
+
+(* Phase 1: dedup all segments into [unique] and index them by prefix. *)
+let phase1_step t engine ~tid =
+  let i = Runtime.Tmatomic.fetch_and_add t.next_work 1 in
+  if i >= Array.length t.segments then false
+  else begin
+    let seg = t.segments.(i) in
+    Stm_intf.Engine.atomic engine ~tid (fun tx ->
+        if Txds.Tx_hashmap.add t.unique tx seg 1 then
+          ignore (Txds.Tx_hashmap.add t.by_prefix tx (prefix_of t seg) seg : bool));
+    true
+  end
+
+(* Phase 2: link each unique segment to its successor via the prefix
+   index: successor = the segment whose prefix equals our suffix. *)
+let phase2_step t engine ~tid =
+  let n_positions = t.params.gene_length - t.params.segment_length + 1 in
+  let i = Runtime.Tmatomic.fetch_and_add t.next_work 1 in
+  if i >= n_positions then false
+  else begin
+    let seg = segment_at t.gene ~pos:i ~len:t.params.segment_length in
+    Stm_intf.Engine.atomic engine ~tid (fun tx ->
+        match Txds.Tx_hashmap.find t.by_prefix tx (suffix_of t seg) with
+        | Some next -> ignore (Txds.Tx_hashmap.add t.succ tx seg next : bool)
+        | None -> ());
+    true
+  end
+
+(** Run both phases; returns (result over both phases, verified). *)
+let run ?(params = default) ~spec ~threads () =
+  let t = setup ~params () in
+  let engine = Engines.make spec t.heap in
+  let r1 = Harness.Workload.run_fixed_work engine ~threads (phase1_step t engine) in
+  Runtime.Tmatomic.unsafe_set t.next_work 0;
+  let r2 = Harness.Workload.run_fixed_work engine ~threads (phase2_step t engine) in
+  (* Verification: follow the successor chain from the first segment and
+     compare against the gene. *)
+  let p = t.params in
+  let direct =
+    {
+      Stm_intf.Engine.read = (fun a -> Memory.Heap.read t.heap a);
+      write = (fun a v -> Memory.Heap.write t.heap a v);
+      alloc = (fun n -> Memory.Heap.alloc t.heap n);
+    }
+  in
+  let ok = ref true in
+  let seg = ref (segment_at t.gene ~pos:0 ~len:p.segment_length) in
+  let n_positions = p.gene_length - p.segment_length + 1 in
+  for pos = 1 to n_positions - 1 do
+    (match Txds.Tx_hashmap.find t.succ direct !seg with
+    | Some next ->
+        if next <> segment_at t.gene ~pos ~len:p.segment_length then
+          (* A repeated (length-1)-substring can legally link to a different
+             occurrence; accept any segment matching our suffix. *)
+          if prefix_of t next <> suffix_of t !seg then ok := false;
+        seg := next
+    | None -> ok := false)
+  done;
+  let combined =
+    {
+      r2 with
+      Harness.Workload.elapsed_cycles = r1.elapsed_cycles + r2.elapsed_cycles;
+      ops = r1.ops + r2.ops;
+      stats = Stm_intf.Stats.add r1.stats r2.stats;
+    }
+  in
+  (combined, !ok)

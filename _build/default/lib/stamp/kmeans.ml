@@ -1,0 +1,179 @@
+(* STAMP kmeans: iterative K-means clustering.
+
+   Points are read-only input; the shared state is the per-cluster
+   accumulator (vector sum + count).  In the assignment phase each
+   transaction processes one point: it finds the nearest center (private
+   reads of a stable snapshot) and adds the point into that center's
+   accumulator (D+1 transactional read-modify-writes).  A barrier ends the
+   phase; centers are recomputed and the next iteration starts.
+
+   Contention is governed by the number of clusters: *high contention* =
+   few clusters (paper runs kmeans-high and kmeans-low).  Coordinates are
+   20-bit fixed point (Memory.Fixedpoint), keeping runs deterministic. *)
+
+type params = {
+  points : int;
+  dims : int;
+  clusters : int;
+  iterations : int;
+  seed : int;
+}
+
+(* STAMP's kmeans inputs are 16/32-dimensional; 16 dims puts the D+1-write
+   update transactions past SwissTM's two-phase threshold (Wn = 10), as in
+   the original runs. *)
+let high_contention = { points = 2048; dims = 16; clusters = 4; iterations = 3; seed = 0x43 }
+let low_contention = { points = 2048; dims = 16; clusters = 24; iterations = 3; seed = 0x43 }
+
+type t = {
+  params : params;
+  heap : Memory.Heap.t;
+  points : int array;  (** points.(p*dims+d), fixed-point, read-only *)
+  centers : int array;  (** current coords (stable during a phase) *)
+  acc : int;  (** heap base: per-cluster [count; sum_0..sum_{D-1}] *)
+  next_point : Runtime.Tmatomic.t;
+  barrier_count : Runtime.Tmatomic.t;
+  barrier_gen : Runtime.Tmatomic.t;
+}
+
+let acc_words p = p.clusters * (1 + p.dims)
+
+let setup ?(params = high_contention) () =
+  let p = params in
+  let rng = Runtime.Rng.create p.seed in
+  (* Points drawn from [clusters] gaussian-ish blobs so clustering is
+     meaningful and the verification can check convergence. *)
+  let blob_centers =
+    Array.init (p.clusters * p.dims) (fun _ ->
+        Memory.Fixedpoint.of_float (Runtime.Rng.float rng 100.))
+  in
+  let points =
+    Array.init (p.points * p.dims) (fun i ->
+        let d = i mod p.dims in
+        let blob = i / p.dims mod p.clusters in
+        let noise = Runtime.Rng.float rng 8. -. 4. in
+        blob_centers.((blob * p.dims) + d) + Memory.Fixedpoint.of_float noise)
+  in
+  let heap = Memory.Heap.create ~words:(acc_words p + (1 lsl 16)) in
+  let acc = Memory.Heap.alloc heap (acc_words p) in
+  for i = 0 to acc_words p - 1 do
+    Memory.Heap.write heap (acc + i) 0
+  done;
+  (* Initial centers: first K points. *)
+  let centers =
+    Array.init (p.clusters * p.dims) (fun i -> points.(i))
+  in
+  {
+    params = p;
+    heap;
+    points;
+    centers;
+    acc;
+    next_point = Runtime.Tmatomic.make 0;
+    barrier_count = Runtime.Tmatomic.make 0;
+    barrier_gen = Runtime.Tmatomic.make 0;
+  }
+
+let nearest t ~point =
+  let p = t.params in
+  let best = ref 0 and best_d = ref max_int in
+  for c = 0 to p.clusters - 1 do
+    let dist = ref 0 in
+    for d = 0 to p.dims - 1 do
+      let diff =
+        Memory.Fixedpoint.to_float
+          (t.points.((point * p.dims) + d) - t.centers.((c * p.dims) + d))
+      in
+      dist := !dist + int_of_float (diff *. diff)
+    done;
+    Runtime.Exec.tick ((Runtime.Costs.get ()).work * p.dims);
+    if !dist < !best_d then begin
+      best_d := !dist;
+      best := c
+    end
+  done;
+  !best
+
+(* Sense-reversing barrier over simulated/native threads. *)
+let barrier t ~threads =
+  let gen = Runtime.Tmatomic.unsafe_get t.barrier_gen in
+  let arrived = Runtime.Tmatomic.incr_get t.barrier_count in
+  if arrived = threads then begin
+    Runtime.Tmatomic.unsafe_set t.barrier_count 0;
+    ignore (Runtime.Tmatomic.incr_get t.barrier_gen)
+  end
+  else
+    while Runtime.Tmatomic.get t.barrier_gen = gen do
+      Runtime.Exec.pause ()
+    done
+
+(* Recompute centers from accumulators (single thread, between phases). *)
+let recompute t =
+  let p = t.params in
+  for c = 0 to p.clusters - 1 do
+    let base = t.acc + (c * (1 + p.dims)) in
+    let count = Memory.Heap.read t.heap base in
+    if count > 0 then
+      for d = 0 to p.dims - 1 do
+        t.centers.((c * p.dims) + d) <-
+          Memory.Heap.read t.heap (base + 1 + d) / count
+      done;
+    Memory.Heap.write t.heap base 0;
+    for d = 0 to p.dims - 1 do
+      Memory.Heap.write t.heap (base + 1 + d) 0
+    done
+  done
+
+let assign_point t engine ~tid point =
+  let p = t.params in
+  let c = nearest t ~point in
+  Stm_intf.Engine.atomic engine ~tid (fun tx ->
+      let base = t.acc + (c * (1 + p.dims)) in
+      Stm_intf.Engine.write tx base (Stm_intf.Engine.read tx base + 1);
+      for d = 0 to p.dims - 1 do
+        let a = base + 1 + d in
+        Stm_intf.Engine.write tx a
+          (Stm_intf.Engine.read tx a + t.points.((point * p.dims) + d))
+      done)
+
+(** Run [iterations] assignment phases; verified when every point lands in
+    a cluster and the final centers are finite (accumulator bookkeeping
+    balanced: counts sum to the point count each iteration). *)
+let run ?(params = high_contention) ~spec ~threads () =
+  let t = setup ~params () in
+  let engine = Engines.make spec t.heap in
+  let p = t.params in
+  let balanced = ref true in
+  let results = ref [] in
+  for _iter = 1 to p.iterations do
+    Runtime.Tmatomic.unsafe_set t.next_point 0;
+    let r =
+      Harness.Workload.run_fixed_work engine ~threads (fun ~tid ->
+          let i = Runtime.Tmatomic.fetch_and_add t.next_point 1 in
+          if i >= p.points then false
+          else begin
+            assign_point t engine ~tid i;
+            true
+          end)
+    in
+    results := r :: !results;
+    (* check accumulator balance, then recompute centers *)
+    let total = ref 0 in
+    for c = 0 to p.clusters - 1 do
+      total := !total + Memory.Heap.read t.heap (t.acc + (c * (1 + p.dims)))
+    done;
+    if !total <> p.points then balanced := false;
+    recompute t
+  done;
+  let combined =
+    List.fold_left
+      (fun acc (r : Harness.Workload.result) ->
+        {
+          r with
+          elapsed_cycles = acc.Harness.Workload.elapsed_cycles + r.elapsed_cycles;
+          ops = acc.ops + r.ops;
+          stats = Stm_intf.Stats.add acc.stats r.stats;
+        })
+      (List.hd !results) (List.tl !results)
+  in
+  (combined, !balanced)

@@ -1,0 +1,21 @@
+(* STAMP labyrinth: 3D grid path routing.
+
+   The same Lee routing algorithm as Lee-TM (the paper notes labyrinth
+   *is* Lee's algorithm; the difference is the synthetic input rather than
+   real circuit boards).  We reuse the Leetm router over a dense random
+   board with a higher share of long paths, which is what gives labyrinth
+   its long-transaction profile in STAMP. *)
+
+type params = { width : int; height : int; paths : int; seed : int }
+
+let default = { width = 64; height = 64; paths = 64; seed = 0x1AB }
+
+let board ?(params = default) () =
+  Leetm.Board.main ~width:params.width ~height:params.height
+    ~routes:params.paths ~seed:params.seed ()
+
+(** Run all paths; verified by the router's connectivity check. *)
+let run ?(params = default) ~spec ~threads () =
+  let b = board ~params () in
+  let result, state = Leetm.Router.run ~spec ~threads b in
+  (result, Leetm.Router.verify state)

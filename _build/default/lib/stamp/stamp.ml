@@ -1,0 +1,67 @@
+(* STAMP suite registry: the paper's ten workloads (Figure 3).
+
+   Every entry runs the whole application as fixed work and returns the
+   simulated makespan plus an application-level verification verdict. *)
+
+(* Re-export the per-application modules: [stamp.ml] is the library's main
+   module, so everything reachable from outside goes through here. *)
+module Bayes = Bayes
+module Genome = Genome
+module Intruder = Intruder
+module Kmeans = Kmeans
+module Labyrinth = Labyrinth
+module Ssca2 = Ssca2
+module Vacation = Vacation
+module Yada = Yada
+
+type workload = {
+  name : string;
+  run :
+    spec:Engines.spec ->
+    threads:int ->
+    unit ->
+    Harness.Workload.result * bool;
+}
+
+let workloads =
+  [
+    { name = "bayes"; run = (fun ~spec ~threads () -> Bayes.run ~spec ~threads ()) };
+    { name = "genome"; run = (fun ~spec ~threads () -> Genome.run ~spec ~threads ()) };
+    {
+      name = "intruder";
+      run = (fun ~spec ~threads () -> Intruder.run ~spec ~threads ());
+    };
+    {
+      name = "kmeans-high";
+      run =
+        (fun ~spec ~threads () ->
+          Kmeans.run ~params:Kmeans.high_contention ~spec ~threads ());
+    };
+    {
+      name = "kmeans-low";
+      run =
+        (fun ~spec ~threads () ->
+          Kmeans.run ~params:Kmeans.low_contention ~spec ~threads ());
+    };
+    {
+      name = "labyrinth";
+      run = (fun ~spec ~threads () -> Labyrinth.run ~spec ~threads ());
+    };
+    { name = "ssca2"; run = (fun ~spec ~threads () -> Ssca2.run ~spec ~threads ()) };
+    {
+      name = "vacation-high";
+      run =
+        (fun ~spec ~threads () ->
+          Vacation.run ~params:Vacation.high_contention ~spec ~threads ());
+    };
+    {
+      name = "vacation-low";
+      run =
+        (fun ~spec ~threads () ->
+          Vacation.run ~params:Vacation.low_contention ~spec ~threads ());
+    };
+    { name = "yada"; run = (fun ~spec ~threads () -> Yada.run ~spec ~threads ()) };
+  ]
+
+let find name = List.find_opt (fun w -> w.name = name) workloads
+let names = List.map (fun w -> w.name) workloads

@@ -1,0 +1,241 @@
+(* STAMP vacation: travel-reservation database.
+
+   Three resource relations (cars, rooms, flights: id -> record
+   [total; avail; price]) plus a customer relation (id -> reservation
+   list), all in transactional data structures.  Each client session is
+   one transaction:
+
+   - make_reservation: query [queries] random items across the three
+     resource tables, pick the cheapest available one of a random kind,
+     reserve it (decrement availability, append to the customer's list);
+   - delete_customer: release every reservation the customer holds;
+   - update_tables: add/remove availability of random items.
+
+   Contention level follows STAMP: *high* = sessions query a narrow slice
+   of the tables with more queries per session; *low* = wide range, fewer
+   queries.
+
+   Invariant checked at the end: for every resource,
+   total = available + (reservations held by customers). *)
+
+type params = {
+  relations : int;  (** rows per resource table *)
+  customers : int;
+  sessions : int;  (** total transactions to run *)
+  queries : int;  (** items examined per reservation session *)
+  range_pct : int;  (** % of the table a session's queries span *)
+  mix_reserve : int;  (** %; remainder split between delete and update *)
+  seed : int;
+}
+
+let high_contention =
+  {
+    relations = 256;
+    customers = 128;
+    sessions = 1024;
+    queries = 8;
+    range_pct = 10;
+    mix_reserve = 80;
+    seed = 0xACA;
+  }
+
+let low_contention =
+  {
+    relations = 256;
+    customers = 128;
+    sessions = 1024;
+    queries = 4;
+    range_pct = 90;
+    mix_reserve = 80;
+    seed = 0xACA;
+  }
+
+(* resource record layout: [total; avail; price] *)
+let r_total = 0
+let r_avail = 1
+let r_price = 2
+let record_words = 3
+
+let n_kinds = 3 (* cars, rooms, flights *)
+
+type t = {
+  params : params;
+  heap : Memory.Heap.t;
+  tables : Txds.Tx_hashmap.t array;  (** per kind: id -> record address *)
+  customer_lists : Txds.Tx_list.t array;  (** customer id -> (key, kind) list *)
+  next_session : Runtime.Tmatomic.t;
+}
+
+let setup ?(params = high_contention) () =
+  let p = params in
+  let rng = Runtime.Rng.create p.seed in
+  let heap =
+    Memory.Heap.create
+      ~words:
+        ((n_kinds * p.relations * 16 * (record_words + Txds.Tx_hashmap.node_words))
+        + (p.customers * 4 * Txds.Tx_list.node_words * 32)
+        + (1 lsl 19))
+  in
+  let direct =
+    {
+      Stm_intf.Engine.read = (fun a -> Memory.Heap.read heap a);
+      write = (fun a v -> Memory.Heap.write heap a v);
+      alloc = (fun n -> Memory.Heap.alloc heap n);
+    }
+  in
+  let tables =
+    Array.init n_kinds (fun _ ->
+        let tbl = Txds.Tx_hashmap.create heap ~buckets:512 in
+        for id = 1 to p.relations do
+          let rec_ = Memory.Heap.alloc heap record_words in
+          let total = 5 + Runtime.Rng.int rng 10 in
+          Memory.Heap.write heap (rec_ + r_total) total;
+          Memory.Heap.write heap (rec_ + r_avail) total;
+          Memory.Heap.write heap (rec_ + r_price) (50 + Runtime.Rng.int rng 450);
+          ignore (Txds.Tx_hashmap.add tbl direct id rec_ : bool)
+        done;
+        tbl)
+  in
+  let customer_lists =
+    Array.init (p.customers + 1) (fun _ -> Txds.Tx_list.create heap)
+  in
+  {
+    params = p;
+    heap;
+    tables;
+    customer_lists;
+    next_session = Runtime.Tmatomic.make 0;
+  }
+
+(* Reservation list entries encode (kind, id) in the key. *)
+let encode_res ~kind ~id = (id * n_kinds) + kind
+let decode_res k = (k mod n_kinds, k / n_kinds)
+
+let pick_id t rng =
+  let p = t.params in
+  let span = max 1 (p.relations * p.range_pct / 100) in
+  1 + Runtime.Rng.int rng span
+
+let make_reservation t tx rng =
+  let p = t.params in
+  let customer = 1 + Runtime.Rng.int rng p.customers in
+  (* Query phase: examine [queries] random rows, remember the cheapest
+     available row of a randomly preferred kind. *)
+  let best = ref None in
+  for _ = 1 to p.queries do
+    let kind = Runtime.Rng.int rng n_kinds in
+    let id = pick_id t rng in
+    match Txds.Tx_hashmap.find t.tables.(kind) tx id with
+    | None -> ()
+    | Some rec_ ->
+        let avail = Stm_intf.Engine.read tx (rec_ + r_avail) in
+        let price = Stm_intf.Engine.read tx (rec_ + r_price) in
+        Runtime.Exec.tick ((Runtime.Costs.get ()).work * 4);
+        if avail > 0 then
+          match !best with
+          | Some (_, _, _, bp) when bp <= price -> ()
+          | _ -> best := Some (kind, id, rec_, price)
+  done;
+  match !best with
+  | None -> false
+  | Some (kind, id, rec_, _) ->
+      let avail = Stm_intf.Engine.read tx (rec_ + r_avail) in
+      if avail <= 0 then false
+      else if
+        (* Insert first: a customer already holding this resource keeps a
+           single reservation and must not decrement availability twice. *)
+        Txds.Tx_list.insert tx t.customer_lists.(customer)
+          (encode_res ~kind ~id)
+          1
+      then begin
+        Stm_intf.Engine.write tx (rec_ + r_avail) (avail - 1);
+        true
+      end
+      else false
+
+let delete_customer t tx rng =
+  let customer = 1 + Runtime.Rng.int rng t.params.customers in
+  let lst = t.customer_lists.(customer) in
+  let rec drain released =
+    match Txds.Tx_list.pop_min tx lst with
+    | None -> released
+    | Some (key, _count) ->
+        let kind, id = decode_res key in
+        (match Txds.Tx_hashmap.find t.tables.(kind) tx id with
+        | Some rec_ ->
+            Stm_intf.Engine.write tx (rec_ + r_avail)
+              (Stm_intf.Engine.read tx (rec_ + r_avail) + 1)
+        | None -> ());
+        drain (released + 1)
+  in
+  drain 0 > 0
+
+let update_tables t tx rng =
+  let p = t.params in
+  let updates = 1 + Runtime.Rng.int rng 3 in
+  for _ = 1 to updates do
+    let kind = Runtime.Rng.int rng n_kinds in
+    let id = pick_id t rng in
+    match Txds.Tx_hashmap.find t.tables.(kind) tx id with
+    | None -> ()
+    | Some rec_ ->
+        (* Re-price the resource (STAMP's update operation). *)
+        Stm_intf.Engine.write tx (rec_ + r_price) (50 + Runtime.Rng.int rng 450)
+  done;
+  ignore p;
+  true
+
+let step t engine ~tid rngs =
+  let i = Runtime.Tmatomic.fetch_and_add t.next_session 1 in
+  if i >= t.params.sessions then false
+  else begin
+    let rng = rngs.(tid) in
+    let dice = Runtime.Rng.int rng 100 in
+    let state = Runtime.Rng.bits rng in
+    ignore
+      (Stm_intf.Engine.atomic engine ~tid (fun tx ->
+           let rng = Runtime.Rng.create state in
+           if dice < t.params.mix_reserve then make_reservation t tx rng
+           else if dice < t.params.mix_reserve + 10 then delete_customer t tx rng
+           else update_tables t tx rng)
+        : bool);
+    true
+  end
+
+(** Run all sessions; verified when the availability invariant holds for
+    every resource row. *)
+let run ?(params = high_contention) ~spec ~threads () =
+  let t = setup ~params () in
+  let engine = Engines.make spec t.heap in
+  let rngs =
+    Array.init Stm_intf.Stats.max_threads (fun tid ->
+        Runtime.Rng.for_thread ~seed:params.seed ~tid)
+  in
+  let result =
+    Harness.Workload.run_fixed_work engine ~threads (fun ~tid ->
+        step t engine ~tid rngs)
+  in
+  (* Verification: reserved counts per (kind, id) from customer lists must
+     equal total - avail in the tables. *)
+  let reserved = Hashtbl.create 256 in
+  Array.iter
+    (fun lst ->
+      List.iter
+        (fun (key, _count) ->
+          Hashtbl.replace reserved key
+            (1 + Option.value (Hashtbl.find_opt reserved key) ~default:0))
+        (Txds.Tx_list.to_list_quiescent t.heap lst))
+    t.customer_lists;
+  let ok = ref true in
+  for kind = 0 to n_kinds - 1 do
+    List.iter
+      (fun (id, rec_) ->
+        let total = Memory.Heap.read t.heap (rec_ + r_total) in
+        let avail = Memory.Heap.read t.heap (rec_ + r_avail) in
+        let res =
+          Option.value (Hashtbl.find_opt reserved (encode_res ~kind ~id)) ~default:0
+        in
+        if total <> avail + res then ok := false)
+      (Txds.Tx_hashmap.bindings_quiescent t.tables.(kind) t.heap)
+  done;
+  (result, !ok)

@@ -1,0 +1,194 @@
+(* STAMP yada: Delaunay mesh refinement (Ruppert's algorithm).
+
+   The original refines a triangulation: pick a bad triangle, collect the
+   *cavity* of surrounding triangles, retriangulate the cavity (killing
+   its triangles, creating slightly more new ones), and requeue any new
+   bad triangles.  Real Delaunay geometry is irrelevant to its STM
+   behaviour; what matters is the transaction shape: a shared work queue
+   pop, a medium read phase discovering a connected cavity in a shared
+   mesh, a write burst replacing it, and new work pushed back.
+
+   This kernel keeps exactly that shape on a mesh graph (documented
+   substitution, DESIGN.md): triangles are heap records
+   [bad_level; alive; nbr0; nbr1; nbr2]; refinement replaces a cavity of
+   up to [max_cavity] live triangles with cavity+1 new ones whose bad
+   level decreases, so the refinement terminates.
+
+   Verified when the work list is empty and no live triangle is bad. *)
+
+type params = {
+  triangles : int;  (** initial mesh size *)
+  bad_ratio : float;  (** initially bad fraction *)
+  max_level : int;  (** initial badness level (work per bad region) *)
+  max_cavity : int;
+  seed : int;
+}
+
+let default =
+  { triangles = 1024; bad_ratio = 0.15; max_level = 3; max_cavity = 4; seed = 0xADA }
+
+let f_level = 0
+let f_alive = 1
+let f_nbr = 2
+let tri_words = 5
+
+type t = {
+  params : params;
+  heap : Memory.Heap.t;
+  worklist : Txds.Tx_list.t;
+  created : Runtime.Tmatomic.t;
+  refined : Runtime.Tmatomic.t;
+}
+
+let setup ?(params = default) () =
+  let p = params in
+  let rng = Runtime.Rng.create p.seed in
+  let heap =
+    Memory.Heap.create
+      ~words:
+        ((p.triangles * tri_words * (p.max_level + 2) * 8)
+        + (p.triangles * Txds.Tx_list.node_words * 8)
+        + (1 lsl 18))
+  in
+  let worklist = Txds.Tx_list.create heap in
+  let tris =
+    Array.init p.triangles (fun _ -> Memory.Heap.alloc heap tri_words)
+  in
+  let n_bad = ref 0 in
+  Array.iteri
+    (fun i a ->
+      let bad = Runtime.Rng.chance rng p.bad_ratio in
+      let level = if bad then 1 + Runtime.Rng.int rng p.max_level else 0 in
+      if bad then incr n_bad;
+      Memory.Heap.write heap (a + f_level) level;
+      Memory.Heap.write heap (a + f_alive) 1;
+      (* ring + chords: a connected bounded-degree mesh graph *)
+      Memory.Heap.write heap (a + f_nbr) tris.((i + 1) mod p.triangles);
+      Memory.Heap.write heap
+        (a + f_nbr + 1)
+        tris.((i + p.triangles - 1) mod p.triangles);
+      Memory.Heap.write heap
+        (a + f_nbr + 2)
+        tris.(Runtime.Rng.int rng p.triangles))
+    tris;
+  let direct =
+    {
+      Stm_intf.Engine.read = (fun a -> Memory.Heap.read heap a);
+      write = (fun a v -> Memory.Heap.write heap a v);
+      alloc = (fun n -> Memory.Heap.alloc heap n);
+    }
+  in
+  Array.iter
+    (fun a ->
+      if Memory.Heap.read heap (a + f_level) > 0 then
+        ignore (Txds.Tx_list.insert direct worklist a a : bool))
+    tris;
+  {
+    params = p;
+    heap;
+    worklist;
+    created = Runtime.Tmatomic.make 0;
+    refined = Runtime.Tmatomic.make 0;
+  }
+
+(* One refinement transaction; returns false when the work list is empty. *)
+let refine_one t engine ~tid rng =
+  let open Stm_intf.Engine in
+  let did =
+    atomic engine ~tid (fun tx ->
+        match Txds.Tx_list.pop_min tx t.worklist with
+        | None -> false
+        | Some (_key, tri) ->
+            if read tx (tri + f_alive) = 0 || read tx (tri + f_level) = 0 then
+              true (* stale work item; nothing to do *)
+            else begin
+              let level = read tx (tri + f_level) in
+              (* Build the cavity: BFS over live neighbours. *)
+              let cavity = ref [ tri ] in
+              let border = ref [] in
+              let seen = Hashtbl.create 16 in
+              Hashtbl.add seen tri ();
+              let consider n =
+                if n <> 0 && not (Hashtbl.mem seen n) then begin
+                  Hashtbl.add seen n ();
+                  if
+                    read tx (n + f_alive) = 1
+                    && List.length !cavity < t.params.max_cavity
+                  then cavity := n :: !cavity
+                  else if read tx (n + f_alive) = 1 then border := n :: !border
+                end
+              in
+              List.iter
+                (fun c ->
+                  for k = 0 to 2 do
+                    consider (read tx (c + f_nbr + k))
+                  done)
+                !cavity;
+              Runtime.Exec.tick
+                ((Runtime.Costs.get ()).work * 16 * List.length !cavity);
+              (* Kill the cavity. *)
+              List.iter (fun c -> write tx (c + f_alive) 0) !cavity;
+              (* Create |cavity| + 1 replacement triangles in a ring,
+                 stitched to the border. *)
+              let n_new = List.length !cavity + 1 in
+              let fresh =
+                Array.init n_new (fun _ ->
+                    let a = alloc tx tri_words in
+                    write tx (a + f_alive) 1;
+                    a)
+              in
+              ignore (Runtime.Tmatomic.fetch_and_add t.created n_new);
+              let border_arr = Array.of_list !border in
+              Array.iteri
+                (fun i a ->
+                  let lvl =
+                    if i = 0 && level > 1 then level - 1
+                    else if Runtime.Rng.chance rng 0.08 then 1
+                    else 0
+                  in
+                  write tx (a + f_level) lvl;
+                  write tx (a + f_nbr) fresh.((i + 1) mod n_new);
+                  write tx (a + f_nbr + 1) fresh.((i + n_new - 1) mod n_new);
+                  let third =
+                    if Array.length border_arr > 0 then
+                      border_arr.(i mod Array.length border_arr)
+                    else fresh.((i + 1) mod n_new)
+                  in
+                  write tx (a + f_nbr + 2) third;
+                  if lvl > 0 then
+                    ignore (Txds.Tx_list.insert tx t.worklist a a : bool))
+                fresh;
+              (* Point each border triangle's first dead link at a new one. *)
+              Array.iteri
+                (fun i b ->
+                  let patched = ref false in
+                  for k = 0 to 2 do
+                    if not !patched then begin
+                      let n = read tx (b + f_nbr + k) in
+                      if n = 0 || read tx (n + f_alive) = 0 then begin
+                        write tx (b + f_nbr + k) fresh.(i mod n_new);
+                        patched := true
+                      end
+                    end
+                  done)
+                border_arr;
+              ignore (Runtime.Tmatomic.fetch_and_add t.refined 1);
+              true
+            end)
+  in
+  did
+
+(** Run to an empty work list; verified when no live triangle stays bad. *)
+let run ?(params = default) ~spec ~threads () =
+  let t = setup ~params () in
+  let engine = Engines.make spec t.heap in
+  let rngs =
+    Array.init Stm_intf.Stats.max_threads (fun tid ->
+        Runtime.Rng.for_thread ~seed:params.seed ~tid)
+  in
+  let result =
+    Harness.Workload.run_fixed_work engine ~threads (fun ~tid ->
+        refine_one t engine ~tid rngs.(tid))
+  in
+  let ok = Txds.Tx_list.to_list_quiescent t.heap t.worklist = [] in
+  (result, ok)

@@ -1,0 +1,1 @@
+lib/stm_glock/glock_engine.ml: Array Engine Fun Memory Runtime Stats Stm_intf

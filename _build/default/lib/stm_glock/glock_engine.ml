@@ -1,0 +1,80 @@
+(* Single-global-lock "STM": every atomic block serialises on one test-and-
+   test-and-set lock and accesses the heap directly.
+
+   Not part of the paper's comparison, but the canonical sanity baseline:
+   it bounds what serial execution achieves (no aborts, no logging, but no
+   parallelism either), is useful in tests as a trivially correct reference,
+   and illustrates in examples what TM buys over coarse locking. *)
+
+open Stm_intf
+
+type t = {
+  heap : Memory.Heap.t;
+  lock : Runtime.Tmatomic.t;
+  stats : Stats.t;
+}
+
+let name = "glock"
+
+let create heap = { heap; lock = Runtime.Tmatomic.make 0; stats = Stats.create () }
+
+let acquire t ~tid =
+  let rec go () =
+    (* test-and-test-and-set: spin on the read before retrying the CAS *)
+    if Runtime.Tmatomic.get t.lock <> 0 then begin
+      Stats.wait t.stats ~tid;
+      Runtime.Exec.pause ();
+      go ()
+    end
+    else if not (Runtime.Tmatomic.cas t.lock ~expect:0 ~replace:(tid + 1)) then go ()
+  in
+  go ()
+
+let release t = Runtime.Tmatomic.set t.lock 0
+
+let engine heap : Engine.t =
+  let t = create heap in
+  let depth = Array.make Stats.max_threads 0 in
+  let costs () = Runtime.Costs.get () in
+  let ops tid =
+    {
+      Engine.read =
+        (fun addr ->
+          Stats.read t.stats ~tid;
+          Runtime.Exec.tick (costs ()).mem;
+          Memory.Heap.unsafe_read t.heap addr);
+      write =
+        (fun addr v ->
+          Stats.write t.stats ~tid;
+          Runtime.Exec.tick (costs ()).mem;
+          Memory.Heap.unsafe_write t.heap addr v);
+      alloc = (fun n -> Memory.Heap.alloc heap n);
+    }
+  in
+  {
+    Engine.name;
+    heap;
+    atomic =
+      (fun ~tid f ->
+        if depth.(tid) > 0 then begin
+          depth.(tid) <- depth.(tid) + 1;
+          Fun.protect ~finally:(fun () -> depth.(tid) <- depth.(tid) - 1)
+            (fun () -> f (ops tid))
+        end
+        else begin
+          Runtime.Exec.tick (costs ()).tx_begin;
+          acquire t ~tid;
+          depth.(tid) <- 1;
+          Fun.protect
+            ~finally:(fun () ->
+              depth.(tid) <- 0;
+              release t;
+              Runtime.Exec.tick (costs ()).tx_end)
+            (fun () ->
+              let v = f (ops tid) in
+              Stats.commit t.stats ~tid;
+              v)
+        end);
+    stats = (fun () -> Stats.snapshot t.stats);
+    reset_stats = (fun () -> Stats.reset t.stats);
+  }

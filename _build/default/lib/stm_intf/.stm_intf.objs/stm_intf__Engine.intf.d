@@ -1,0 +1,1 @@
+lib/stm_intf/engine.mli: Memory Stats

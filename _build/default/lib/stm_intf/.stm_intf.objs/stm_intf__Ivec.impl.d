@@ -1,0 +1,1 @@
+lib/stm_intf/ivec.ml: Array List

@@ -1,0 +1,1 @@
+lib/stm_intf/stats.ml: Array Format Tx_signal

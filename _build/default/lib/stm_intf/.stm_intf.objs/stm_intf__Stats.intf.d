@@ -1,0 +1,1 @@
+lib/stm_intf/stats.mli: Format Tx_signal

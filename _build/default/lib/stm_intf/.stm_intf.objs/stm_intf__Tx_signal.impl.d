@@ -1,0 +1,1 @@
+lib/stm_intf/tx_signal.ml:

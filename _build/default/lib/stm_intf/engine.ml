@@ -1,0 +1,35 @@
+(* The uniform engine interface every benchmark is written against.
+
+   An [Engine.t] packages one STM instance over one heap.  [atomic] runs a
+   transaction body to successful commit, retrying internally on aborts; the
+   body receives a [tx_ops] record of word-level operations — the same
+   "read word / write word" API the paper's SwissTM exposes.
+
+   Transaction bodies must be restartable: they may run many times and must
+   not perform irrevocable side effects.  They must also let the internal
+   [Tx_signal.Abort] exception propagate. *)
+
+type tx_ops = {
+  read : int -> int;  (** transactional read of a heap word *)
+  write : int -> int -> unit;  (** transactional write of a heap word *)
+  alloc : int -> int;  (** allocate n fresh words (leaked if the tx aborts) *)
+}
+
+type t = {
+  name : string;
+  heap : Memory.Heap.t;
+  atomic : 'a. tid:int -> (tx_ops -> 'a) -> 'a;
+  stats : unit -> Stats.snapshot;
+  reset_stats : unit -> unit;
+}
+
+let name t = t.name
+let heap t = t.heap
+let atomic t ~tid f = t.atomic ~tid f
+let stats t = t.stats ()
+let reset_stats t = t.reset_stats ()
+
+(* Convenience accessors used pervasively by benchmark code. *)
+let read (ops : tx_ops) addr = ops.read addr
+let write (ops : tx_ops) addr v = ops.write addr v
+let alloc (ops : tx_ops) n = ops.alloc n

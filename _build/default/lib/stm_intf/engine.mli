@@ -1,0 +1,36 @@
+(** The uniform engine interface every benchmark is written against.
+
+    An [Engine.t] packages one STM instance over one heap.  [atomic] runs
+    a transaction body to successful commit, retrying internally on
+    aborts; the body receives word-level operations — the same
+    "read word / write word" API the paper's SwissTM exposes (§3.1).
+
+    Transaction bodies must be restartable (no irrevocable side effects)
+    and must let the internal {!Tx_signal.Abort} exception propagate. *)
+
+type tx_ops = {
+  read : int -> int;  (** transactional read of a heap word *)
+  write : int -> int -> unit;  (** transactional write of a heap word *)
+  alloc : int -> int;  (** allocate n fresh words (leaked on abort) *)
+}
+
+type t = {
+  name : string;
+  heap : Memory.Heap.t;
+  atomic : 'a. tid:int -> (tx_ops -> 'a) -> 'a;
+  stats : unit -> Stats.snapshot;
+  reset_stats : unit -> unit;
+}
+
+val name : t -> string
+val heap : t -> Memory.Heap.t
+
+val atomic : t -> tid:int -> (tx_ops -> 'a) -> 'a
+(** Run a transaction from logical thread [tid] (0 .. 61). *)
+
+val stats : t -> Stats.snapshot
+val reset_stats : t -> unit
+
+val read : tx_ops -> int -> int
+val write : tx_ops -> int -> int -> unit
+val alloc : tx_ops -> int -> int

@@ -1,0 +1,49 @@
+(* Growable int vector used for read/write logs.
+
+   Logs are append-heavy and cleared wholesale on commit/rollback; a plain
+   resizable array avoids per-entry allocation on the transactional fast
+   path. *)
+
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 64) () = { data = Array.make (max 1 capacity) 0; len = 0 }
+
+let length t = t.len
+let clear t = t.len <- 0
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * t.len) 0 in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ivec.get";
+  t.data.(i)
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Ivec.set";
+  t.data.(i) <- x
+
+(* Unchecked accessors for engine hot loops; indices come from [length]. *)
+let unsafe_get t i = Array.unsafe_get t.data i
+let unsafe_set t i x = Array.unsafe_set t.data i x
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.data i)
+  done
+
+let exists f t =
+  let rec go i = i < t.len && (f (Array.unsafe_get t.data i) || go (i + 1)) in
+  go 0
+
+let to_list t = List.init t.len (fun i -> t.data.(i))
+
+(** Truncate to the first [n] elements (closed-nesting partial rollback). *)
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Ivec.truncate";
+  t.len <- n

@@ -1,0 +1,23 @@
+(** Growable int vector for read/write logs: append-heavy, cleared
+    wholesale, allocation-free on the hot path. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val clear : t -> unit
+val push : t -> int -> unit
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+val truncate : t -> int -> unit
+(** Keep only the first [n] elements (closed-nesting partial rollback). *)
+
+val iter : (int -> unit) -> t -> unit
+val exists : (int -> bool) -> t -> bool
+val to_list : t -> int list
+
+(**/**)
+
+val unsafe_get : t -> int -> int
+val unsafe_set : t -> int -> int -> unit

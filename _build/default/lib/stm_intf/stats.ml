@@ -1,0 +1,99 @@
+(* Per-run transaction statistics.
+
+   Counters are sharded per logical thread: each simulated or native thread
+   writes only its own slot, so no synchronisation is needed and counting
+   does not perturb the cache model. *)
+
+let max_threads = 64
+
+type t = {
+  commits : int array;
+  aborts_ww : int array;
+  aborts_rw : int array;
+  aborts_killed : int array;
+  waits : int array;
+  reads : int array;
+  writes : int array;
+}
+
+type snapshot = {
+  s_commits : int;
+  s_aborts_ww : int;
+  s_aborts_rw : int;
+  s_aborts_killed : int;
+  s_waits : int;
+  s_reads : int;
+  s_writes : int;
+}
+
+let create () =
+  {
+    commits = Array.make max_threads 0;
+    aborts_ww = Array.make max_threads 0;
+    aborts_rw = Array.make max_threads 0;
+    aborts_killed = Array.make max_threads 0;
+    waits = Array.make max_threads 0;
+    reads = Array.make max_threads 0;
+    writes = Array.make max_threads 0;
+  }
+
+let slot tid = tid land (max_threads - 1)
+let bump arr tid = arr.(slot tid) <- arr.(slot tid) + 1
+
+let commit t ~tid = bump t.commits tid
+let wait t ~tid = bump t.waits tid
+let read t ~tid = bump t.reads tid
+let write t ~tid = bump t.writes tid
+
+let abort t ~tid (reason : Tx_signal.abort_reason) =
+  match reason with
+  | Ww_conflict -> bump t.aborts_ww tid
+  | Rw_validation -> bump t.aborts_rw tid
+  | Killed -> bump t.aborts_killed tid
+
+let sum = Array.fold_left ( + ) 0
+
+let snapshot t =
+  {
+    s_commits = sum t.commits;
+    s_aborts_ww = sum t.aborts_ww;
+    s_aborts_rw = sum t.aborts_rw;
+    s_aborts_killed = sum t.aborts_killed;
+    s_waits = sum t.waits;
+    s_reads = sum t.reads;
+    s_writes = sum t.writes;
+  }
+
+let reset t =
+  let z a = Array.fill a 0 (Array.length a) 0 in
+  z t.commits;
+  z t.aborts_ww;
+  z t.aborts_rw;
+  z t.aborts_killed;
+  z t.waits;
+  z t.reads;
+  z t.writes
+
+let total_aborts s = s.s_aborts_ww + s.s_aborts_rw + s.s_aborts_killed
+
+let abort_rate s =
+  let attempts = s.s_commits + total_aborts s in
+  if attempts = 0 then 0. else float_of_int (total_aborts s) /. float_of_int attempts
+
+let pp ppf s =
+  Format.fprintf ppf
+    "commits=%d aborts(w/w=%d r/w=%d killed=%d) waits=%d reads=%d writes=%d"
+    s.s_commits s.s_aborts_ww s.s_aborts_rw s.s_aborts_killed s.s_waits
+    s.s_reads s.s_writes
+
+(** Sum two snapshots (multi-phase benchmarks). *)
+let add a b =
+  {
+    s_commits = a.s_commits + b.s_commits;
+    s_aborts_ww = a.s_aborts_ww + b.s_aborts_ww;
+    s_aborts_rw = a.s_aborts_rw + b.s_aborts_rw;
+    s_aborts_killed = a.s_aborts_killed + b.s_aborts_killed;
+    s_waits = a.s_waits + b.s_waits;
+    s_reads = a.s_reads + b.s_reads;
+    s_writes = a.s_writes + b.s_writes;
+  }

@@ -1,0 +1,34 @@
+(** Per-run transaction statistics, sharded per logical thread. *)
+
+val max_threads : int
+
+type t
+
+type snapshot = {
+  s_commits : int;
+  s_aborts_ww : int;  (** write/write conflicts lost *)
+  s_aborts_rw : int;  (** read-set validation failures *)
+  s_aborts_killed : int;  (** remote aborts by a contention manager *)
+  s_waits : int;  (** spin-wait iterations *)
+  s_reads : int;
+  s_writes : int;
+}
+
+val create : unit -> t
+
+val commit : t -> tid:int -> unit
+val abort : t -> tid:int -> Tx_signal.abort_reason -> unit
+val wait : t -> tid:int -> unit
+val read : t -> tid:int -> unit
+val write : t -> tid:int -> unit
+
+val snapshot : t -> snapshot
+val reset : t -> unit
+val add : snapshot -> snapshot -> snapshot
+
+val total_aborts : snapshot -> int
+
+val abort_rate : snapshot -> float
+(** aborts / (commits + aborts), in [0, 1]. *)
+
+val pp : Format.formatter -> snapshot -> unit

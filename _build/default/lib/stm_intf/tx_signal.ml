@@ -1,0 +1,25 @@
+(* Transaction control-flow signals.
+
+   [Abort] unwinds a transaction body back to the engine's retry loop.  It
+   is an implementation detail of the engines: user code running inside
+   [atomic] must let it propagate (catching it would break atomicity).
+   [abort ()] is the one sanctioned way for engine internals to raise it. *)
+
+exception Abort
+
+let abort () = raise Abort
+
+(** Reasons a transaction attempt failed; recorded in {!Stats}. *)
+type abort_reason =
+  | Ww_conflict  (** write/write conflict: lost a write-lock fight *)
+  | Rw_validation  (** read-set validation failed *)
+  | Killed  (** aborted remotely by a contention manager *)
+
+let reason_label = function
+  | Ww_conflict -> "w/w"
+  | Rw_validation -> "r/w"
+  | Killed -> "killed"
+
+exception Inner_abort
+(** Unwinds only the innermost closed-nested scope (SwissTM extension);
+    caught by [atomic_closed]'s retry loop. *)

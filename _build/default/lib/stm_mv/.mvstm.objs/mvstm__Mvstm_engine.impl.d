@@ -1,0 +1,1 @@
+lib/stm_mv/mvstm_engine.ml: Array Cm Engine Fun Hashtbl Ivec List Memory Runtime Stats Stm_intf Tx_signal

@@ -1,0 +1,423 @@
+(* Multi-version STM — the paper's §6 side experiment.
+
+   "We also experimented with ... multi-versioning, but we could not see a
+   clear advantage of those techniques in the considered workloads."
+
+   This engine lets the ablation harness reproduce that finding.  It is a
+   TL2-style word-based STM (lazy acquisition, global version clock)
+   extended with per-stripe *version chains*, in the spirit of LSA-STM and
+   JVSTM (paper §2.1):
+
+   - each committing writer, while holding the stripe lock, prepends a
+     version record containing the words it is about to overwrite, stamped
+     with the stripe's new version;
+   - a transaction that reads a stripe newer than its snapshot and has an
+     empty write set switches to *snapshot mode*: instead of aborting it
+     reconstructs the value at its snapshot from the chains — read-only
+     transactions never abort (unless the chain was truncated);
+   - writes are not allowed in snapshot mode (the transaction restarts as a
+     normal update transaction, with snapshot mode disabled).
+
+   Version records live in the transactional heap:
+   [new_version; prev_record; nwords; (addr, old_value) x nwords].
+   Chains are truncated at [max_chain] records; a snapshot older than the
+   chain aborts with a "snapshot too old" validation failure.
+
+   Intended for the simulator: chain heads are plain (non-atomic) words,
+   fine under the cooperative scheduler but racy on native domains (a
+   native reader may briefly miss the newest record and retry via the
+   lock double-check). *)
+
+open Stm_intf
+
+type config = {
+  granularity_words : int;
+  table_bits : int;
+  max_chain : int;
+  seed : int;
+}
+
+let default_config =
+  { granularity_words = 4; table_bits = 18; max_chain = 8; seed = 0xC0FFEE }
+
+(* version record layout *)
+let vr_version = 0
+let vr_prev = 1
+let vr_nwords = 2
+let vr_pairs = 3
+
+type desc = {
+  tid : int;
+  info : Cm.Cm_intf.txinfo;
+  mutable rv : int;
+  mutable snapshot : bool;  (* serving old versions; write set must stay empty *)
+  mutable allow_snapshot : bool;  (* disabled after a write hits snapshot mode *)
+  read_stripes : Ivec.t;
+  wset : (int, int) Hashtbl.t;
+  wstripes : Ivec.t;
+  wstripe_seen : (int, unit) Hashtbl.t;
+  acq_saved : Ivec.t;
+  acq_version : (int, int) Hashtbl.t;
+  mutable depth : int;
+}
+
+type t = {
+  heap : Memory.Heap.t;
+  stripe : Memory.Stripe.t;
+  locks : Runtime.Tmatomic.t array;
+  hist : int array;  (** per-stripe version-chain head (heap address or 0) *)
+  chain_len : int array;
+  clock : Runtime.Tmatomic.t;
+  descs : desc array;
+  stats : Stats.t;
+  backoff : Runtime.Backoff.policy;
+  max_chain : int;
+  snapshot_reads : Runtime.Tmatomic.t;  (** telemetry: old-version serves *)
+}
+
+let name = "mvstm"
+
+let unlocked_of_version v = v lsl 1
+let is_locked lv = lv land 1 = 1
+let version_of lv = lv lsr 1
+let locked_by tid = ((tid + 1) lsl 1) lor 1
+
+let create ?(config = default_config) heap =
+  let stripe =
+    Memory.Stripe.create ~granularity_words:config.granularity_words
+      ~table_bits:config.table_bits ()
+  in
+  let n = Memory.Stripe.table_size stripe in
+  {
+    heap;
+    stripe;
+    locks = Array.init n (fun _ -> Runtime.Tmatomic.make 0);
+    hist = Array.make n 0;
+    chain_len = Array.make n 0;
+    clock = Runtime.Tmatomic.make 0;
+    descs =
+      Array.init Stats.max_threads (fun tid ->
+          {
+            tid;
+            info = Cm.Cm_intf.make_txinfo ~tid ~seed:config.seed;
+            rv = 0;
+            snapshot = false;
+            allow_snapshot = true;
+            read_stripes = Ivec.create ();
+            wset = Hashtbl.create 64;
+            wstripes = Ivec.create ();
+            wstripe_seen = Hashtbl.create 64;
+            acq_saved = Ivec.create ();
+            acq_version = Hashtbl.create 16;
+            depth = 0;
+          });
+    stats = Stats.create ();
+    backoff = Runtime.Backoff.default_linear;
+    max_chain = config.max_chain;
+    snapshot_reads = Runtime.Tmatomic.make 0;
+  }
+
+let clear_logs d =
+  Ivec.clear d.read_stripes;
+  Hashtbl.reset d.wset;
+  Ivec.clear d.wstripes;
+  Hashtbl.reset d.wstripe_seen;
+  Hashtbl.reset d.acq_version;
+  Ivec.clear d.acq_saved;
+  d.snapshot <- false
+
+let rollback t d reason =
+  Stats.abort t.stats ~tid:d.tid reason;
+  clear_logs d;
+  Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
+  Cm.Cm_intf.note_rollback d.info;
+  Runtime.Backoff.wait t.backoff d.info.rng ~attempt:(min d.info.succ_aborts 4);
+  Tx_signal.abort ()
+
+(* Reconstruct the value [addr] had at snapshot [rv] by walking the
+   stripe's version chain newest-to-oldest; every record newer than [rv]
+   that touched [addr] pushes the reconstruction further into the past. *)
+let snapshot_read t d addr idx =
+  let costs = Runtime.Costs.get () in
+  let rec stable_attempt () =
+    let lv = Runtime.Tmatomic.get t.locks.(idx) in
+    if is_locked lv then begin
+      Stats.wait t.stats ~tid:d.tid;
+      Runtime.Exec.pause ();
+      stable_attempt ()
+    end
+    else begin
+      Runtime.Exec.tick costs.mem;
+      let current = Memory.Heap.unsafe_read t.heap addr in
+      let value = ref current in
+      let found = ref false in
+      (* prev = 0 terminates a COMPLETE chain (reconstruction sound even
+         if no record mentioned [addr]: it was never overwritten); prev =
+         -1 marks a truncation point (older values were dropped). *)
+      let rec walk rec_addr =
+        if rec_addr = -1 then
+          (* truncated before reaching rv: the old value is gone *)
+          rollback t d Tx_signal.Rw_validation
+        else if rec_addr <> 0 then begin
+          Runtime.Exec.tick (costs.mem * 2);
+          let v = Memory.Heap.unsafe_read t.heap (rec_addr + vr_version) in
+          if v > d.rv then begin
+            let n = Memory.Heap.unsafe_read t.heap (rec_addr + vr_nwords) in
+            for k = 0 to n - 1 do
+              if Memory.Heap.unsafe_read t.heap (rec_addr + vr_pairs + (2 * k)) = addr
+              then begin
+                value :=
+                  Memory.Heap.unsafe_read t.heap (rec_addr + vr_pairs + (2 * k) + 1);
+                found := true
+              end
+            done;
+            walk (Memory.Heap.unsafe_read t.heap (rec_addr + vr_prev))
+          end
+          (* records at or below rv: the reconstruction is complete *)
+        end
+      in
+      ignore !found;
+      if version_of lv > d.rv then walk t.hist.(idx);
+      (* re-check the stripe did not move under us *)
+      let lv2 = Runtime.Tmatomic.get t.locks.(idx) in
+      if lv2 <> lv then stable_attempt ()
+      else begin
+        ignore (Runtime.Tmatomic.fetch_and_add t.snapshot_reads 1);
+        !value
+      end
+    end
+  in
+  stable_attempt ()
+
+let read_word t d addr =
+  let costs = Runtime.Costs.get () in
+  Stats.read t.stats ~tid:d.tid;
+  let idx = Memory.Stripe.index t.stripe addr in
+  match
+    (if Hashtbl.length d.wset = 0 then None
+     else begin
+       Runtime.Exec.tick costs.log_lookup;
+       Hashtbl.find_opt d.wset addr
+     end)
+  with
+  | Some v -> v
+  | None ->
+      if d.snapshot then snapshot_read t d addr idx
+      else begin
+        let lock = t.locks.(idx) in
+        let lv1 = Runtime.Tmatomic.get lock in
+        Runtime.Exec.tick costs.mem;
+        let value = Memory.Heap.unsafe_read t.heap addr in
+        let lv2 = Runtime.Tmatomic.get lock in
+        if is_locked lv1 || lv1 <> lv2 || version_of lv1 > d.rv then begin
+          if
+            d.allow_snapshot
+            && Hashtbl.length d.wset = 0
+            && not (is_locked lv1)
+          then begin
+            (* switch to snapshot mode: prior reads were all <= rv, and
+               from now on the chains serve the rv-consistent values *)
+            d.snapshot <- true;
+            snapshot_read t d addr idx
+          end
+          else rollback t d Tx_signal.Rw_validation
+        end
+        else begin
+          Runtime.Exec.tick costs.log_append;
+          Ivec.push d.read_stripes idx;
+          value
+        end
+      end
+
+let write_word t d addr value =
+  let costs = Runtime.Costs.get () in
+  Stats.write t.stats ~tid:d.tid;
+  if d.snapshot then begin
+    (* writes are incompatible with serving old versions: restart as a
+       plain update transaction *)
+    d.allow_snapshot <- false;
+    rollback t d Tx_signal.Rw_validation
+  end;
+  Runtime.Exec.tick costs.log_append;
+  Hashtbl.replace d.wset addr value;
+  let idx = Memory.Stripe.index t.stripe addr in
+  if not (Hashtbl.mem d.wstripe_seen idx) then begin
+    Hashtbl.add d.wstripe_seen idx ();
+    Ivec.push d.wstripes idx
+  end
+
+let release_acquired t d ~upto =
+  for i = 0 to upto - 1 do
+    Runtime.Tmatomic.set
+      t.locks.(Ivec.unsafe_get d.wstripes i)
+      (Ivec.unsafe_get d.acq_saved i)
+  done
+
+(* Record the pre-commit values of the words we are about to overwrite in
+   stripe [idx]; called with the stripe lock held. *)
+let push_version_record t d idx ~new_version =
+  let costs = Runtime.Costs.get () in
+  let words =
+    Hashtbl.fold
+      (fun addr _ acc ->
+        if Memory.Stripe.index t.stripe addr = idx then addr :: acc else acc)
+      d.wset []
+  in
+  let n = List.length words in
+  if n > 0 then begin
+    let rec_addr = Memory.Heap.alloc t.heap (vr_pairs + (2 * n)) in
+    Memory.Heap.unsafe_write t.heap (rec_addr + vr_version) new_version;
+    Memory.Heap.unsafe_write t.heap (rec_addr + vr_prev) t.hist.(idx);
+    Memory.Heap.unsafe_write t.heap (rec_addr + vr_nwords) n;
+    List.iteri
+      (fun k addr ->
+        Runtime.Exec.tick (2 * costs.mem);
+        Memory.Heap.unsafe_write t.heap (rec_addr + vr_pairs + (2 * k)) addr;
+        Memory.Heap.unsafe_write t.heap
+          (rec_addr + vr_pairs + (2 * k) + 1)
+          (Memory.Heap.unsafe_read t.heap addr))
+      words;
+    t.hist.(idx) <- rec_addr;
+    (* bound the chain: drop the tail once it exceeds max_chain *)
+    if t.chain_len.(idx) >= t.max_chain then begin
+      let rec cut r depth =
+        if r > 0 then
+          if depth = t.max_chain - 1 then
+            Memory.Heap.unsafe_write t.heap (r + vr_prev) (-1)
+          else cut (Memory.Heap.unsafe_read t.heap (r + vr_prev)) (depth + 1)
+      in
+      cut t.hist.(idx) 0
+    end
+    else t.chain_len.(idx) <- t.chain_len.(idx) + 1
+  end
+
+let gv4_bump t ~rv =
+  let cur = Runtime.Tmatomic.get t.clock in
+  if Runtime.Tmatomic.cas t.clock ~expect:cur ~replace:(cur + 1) then
+    (cur + 1, cur = rv)
+  else (Runtime.Tmatomic.get t.clock, false)
+
+let commit t d =
+  let costs = Runtime.Costs.get () in
+  Runtime.Exec.tick costs.tx_end;
+  if Hashtbl.length d.wset = 0 then begin
+    Stats.commit t.stats ~tid:d.tid;
+    clear_logs d;
+    d.allow_snapshot <- true
+  end
+  else begin
+    let n = Ivec.length d.wstripes in
+    let i = ref 0 in
+    (try
+       while !i < n do
+         let idx = Ivec.unsafe_get d.wstripes !i in
+         let lock = t.locks.(idx) in
+         let lv = Runtime.Tmatomic.get lock in
+         if is_locked lv then raise Exit
+         else if not (Runtime.Tmatomic.cas lock ~expect:lv ~replace:(locked_by d.tid))
+         then raise Exit
+         else begin
+           Ivec.push d.acq_saved lv;
+           Hashtbl.replace d.acq_version idx (version_of lv);
+           incr i
+         end
+       done
+     with Exit ->
+       release_acquired t d ~upto:!i;
+       rollback t d Tx_signal.Ww_conflict);
+    let wv, quiescent = gv4_bump t ~rv:d.rv in
+    if not quiescent then begin
+      let ok = ref true in
+      let j = ref 0 in
+      let nr = Ivec.length d.read_stripes in
+      while !ok && !j < nr do
+        Runtime.Exec.tick costs.validate_entry;
+        let idx = Ivec.unsafe_get d.read_stripes !j in
+        let lv = Runtime.Tmatomic.get t.locks.(idx) in
+        (if is_locked lv then begin
+           if lv <> locked_by d.tid then ok := false
+           else
+             match Hashtbl.find_opt d.acq_version idx with
+             | Some v -> if v > d.rv then ok := false
+             | None -> ok := false
+         end
+         else if version_of lv > d.rv then ok := false);
+        incr j
+      done;
+      if not !ok then begin
+        release_acquired t d ~upto:n;
+        rollback t d Tx_signal.Rw_validation
+      end
+    end;
+    (* preserve the overwritten values, then write back *)
+    Ivec.iter (fun idx -> push_version_record t d idx ~new_version:wv) d.wstripes;
+    Hashtbl.iter
+      (fun addr value ->
+        Runtime.Exec.tick costs.mem;
+        Memory.Heap.unsafe_write t.heap addr value)
+      d.wset;
+    Ivec.iter
+      (fun idx -> Runtime.Tmatomic.set t.locks.(idx) (unlocked_of_version wv))
+      d.wstripes;
+    Stats.commit t.stats ~tid:d.tid;
+    clear_logs d;
+    d.allow_snapshot <- true
+  end
+
+let start t d ~restart =
+  Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
+  clear_logs d;
+  Cm.Cm_intf.note_start d.info ~restart;
+  if not restart then d.allow_snapshot <- true;
+  d.rv <- Runtime.Tmatomic.get t.clock
+
+let emergency_release d =
+  clear_logs d;
+  d.depth <- 0
+
+let atomic t ~tid f =
+  let d = t.descs.(tid) in
+  if d.depth > 0 then begin
+    d.depth <- d.depth + 1;
+    Fun.protect ~finally:(fun () -> d.depth <- d.depth - 1) (fun () -> f d)
+  end
+  else
+    let rec attempt ~restart =
+      start t d ~restart;
+      d.depth <- 1;
+      match f d with
+      | v ->
+          d.depth <- 0;
+          (try
+             commit t d;
+             v
+           with Tx_signal.Abort -> attempt ~restart:true)
+      | exception Tx_signal.Abort ->
+          d.depth <- 0;
+          attempt ~restart:true
+      | exception e ->
+          emergency_release d;
+          raise e
+    in
+    attempt ~restart:false
+
+(** Old-version reads served so far (ablation telemetry). *)
+let snapshot_reads t = Runtime.Tmatomic.unsafe_get t.snapshot_reads
+
+let engine ?config heap : Engine.t =
+  let t = create ?config heap in
+  {
+    Engine.name;
+    heap;
+    atomic =
+      (fun ~tid f ->
+        atomic t ~tid (fun d ->
+            f
+              {
+                Engine.read = (fun addr -> read_word t d addr);
+                write = (fun addr v -> write_word t d addr v);
+                alloc = (fun n -> Memory.Heap.alloc heap n);
+              }));
+    stats = (fun () -> Stats.snapshot t.stats);
+    reset_stats = (fun () -> Stats.reset t.stats);
+  }

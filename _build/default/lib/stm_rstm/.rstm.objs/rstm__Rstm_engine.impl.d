@@ -1,0 +1,1 @@
+lib/stm_rstm/rstm_engine.ml: Array Cm Engine Fun Hashtbl Ivec Memory Printf Runtime Stats Stm_intf Tx_signal

@@ -1,0 +1,489 @@
+(* RSTM-style engine (Marathe et al., TRANSACT 2006), the paper's
+   design-space baseline.
+
+   RSTM v3 is object-based and obstruction-free; what the paper exercises
+   are its *policy* axes: eager vs lazy acquisition, visible vs invisible
+   reads (the latter validated with a global commit-counter heuristic), and
+   pluggable contention managers (Polka, Greedy, Serializer, timid).  This
+   engine reproduces those axes over the shared word heap, treating each
+   stripe as an "object" with an ownership record:
+
+   - [owner]   : acquiring writer (0 = unowned) — eager mode CASes it at
+                 first write, lazy mode at commit;
+   - [version] : (counter value << 1) | busy-bit; busy while the committing
+                 owner writes back;
+   - [readers] : bitmask of visible readers.
+
+   Per-access overheads are deliberately RSTM-like and higher than the
+   word-based engines': every access walks a three-word ownership record,
+   acquisition pays an object-clone cost, invisible reads revalidate the
+   whole read set whenever the global commit counter moved, and visible
+   reads CAS a shared reader bitmap (cache-line ping-pong under the cost
+   model).  These are the effects behind the paper's Lee-TM and red-black
+   tree results for RSTM (Figures 4 and 5).
+
+   Conflicts consult the contention manager on BOTH read/write and
+   write/write encounters (eager conflict detection on both axes), unlike
+   SwissTM's reader-transparent w-locks. *)
+
+open Stm_intf
+
+type acquire = Eager | Lazy
+type visibility = Visible | Invisible
+
+type config = {
+  acquire : acquire;
+  visibility : visibility;
+  cm : Cm.Cm_intf.spec;
+  granularity_words : int;
+  table_bits : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    acquire = Eager;
+    visibility = Invisible;
+    cm = Cm.Cm_intf.Polka;
+    granularity_words = 4;
+    table_bits = 18;
+    seed = 0xC0FFEE;
+  }
+
+type desc = {
+  tid : int;
+  info : Cm.Cm_intf.txinfo;
+  mutable snap : int;  (* commit-counter value the read set was validated at *)
+  read_stripes : Ivec.t;  (* invisible-mode read log *)
+  read_versions : Ivec.t;
+  vread_stripes : Ivec.t;  (* visible-mode: stripes where our bit is set *)
+  vread_seen : (int, unit) Hashtbl.t;
+  wset : (int, int) Hashtbl.t;
+  wstripes : Ivec.t;  (* lazy mode: unique stripes to acquire at commit *)
+  wstripe_seen : (int, unit) Hashtbl.t;
+  acq : Ivec.t;  (* stripes whose [owner] we hold *)
+  mutable depth : int;
+}
+
+type t = {
+  heap : Memory.Heap.t;
+  stripe : Memory.Stripe.t;
+  owners : Runtime.Tmatomic.t array;
+  versions : Runtime.Tmatomic.t array;
+  readers : Runtime.Tmatomic.t array;
+  counter : Runtime.Tmatomic.t;  (* global commit counter *)
+  cm : Cm.Cm_intf.t;
+  config : config;
+  descs : desc array;
+  stats : Stats.t;
+}
+
+let name_of_config c =
+  Printf.sprintf "rstm(%s,%s,%s)"
+    (match c.acquire with Eager -> "eager" | Lazy -> "lazy")
+    (match c.visibility with Visible -> "vis" | Invisible -> "inv")
+    (Cm.Cm_intf.spec_name c.cm)
+
+let busy lv = lv land 1 = 1
+let version_of lv = lv lsr 1
+let encode_version v = v lsl 1
+
+let create ?(config = default_config) heap =
+  let stripe =
+    Memory.Stripe.create ~granularity_words:config.granularity_words
+      ~table_bits:config.table_bits ()
+  in
+  let n = Memory.Stripe.table_size stripe in
+  (* owner/version/readers form one RSTM object header: one cache line. *)
+  let lines = Array.init n (fun _ -> Runtime.Tmatomic.fresh_line ()) in
+  {
+    heap;
+    stripe;
+    owners = Array.init n (fun i -> Runtime.Tmatomic.make_shared lines.(i) 0);
+    versions = Array.init n (fun i -> Runtime.Tmatomic.make_shared lines.(i) 0);
+    readers = Array.init n (fun i -> Runtime.Tmatomic.make_shared lines.(i) 0);
+    counter = Runtime.Tmatomic.make 0;
+    cm = Cm.Factory.make config.cm;
+    config;
+    descs =
+      Array.init Stats.max_threads (fun tid ->
+          {
+            tid;
+            info = Cm.Cm_intf.make_txinfo ~tid ~seed:config.seed;
+            snap = 0;
+            read_stripes = Ivec.create ();
+            read_versions = Ivec.create ();
+            vread_stripes = Ivec.create ();
+            vread_seen = Hashtbl.create 64;
+            wset = Hashtbl.create 64;
+            wstripes = Ivec.create ();
+            wstripe_seen = Hashtbl.create 64;
+            acq = Ivec.create ();
+            depth = 0;
+          });
+    stats = Stats.create ();
+  }
+
+let clear_logs d =
+  Ivec.clear d.read_stripes;
+  Ivec.clear d.read_versions;
+  Ivec.clear d.vread_stripes;
+  Hashtbl.reset d.vread_seen;
+  Hashtbl.reset d.wset;
+  Ivec.clear d.wstripes;
+  Hashtbl.reset d.wstripe_seen;
+  Ivec.clear d.acq
+
+(* Clear our visible-reader bits (commit and abort paths). *)
+let retract_visible t d =
+  Ivec.iter
+    (fun idx ->
+      let r = t.readers.(idx) in
+      let bit = 1 lsl d.tid in
+      let rec clear () =
+        let cur = Runtime.Tmatomic.get r in
+        if cur land bit <> 0 then
+          if not (Runtime.Tmatomic.cas r ~expect:cur ~replace:(cur land lnot bit))
+          then clear ()
+      in
+      clear ())
+    d.vread_stripes
+
+let release_owned t d =
+  Ivec.iter
+    (fun idx ->
+      (* A rollback can land mid-commit (remote kill noticed while
+         validating), after the busy bits were set: clear them before
+         releasing ownership or readers spin on the stripe forever. *)
+      let v = t.versions.(idx) in
+      let lv = Runtime.Tmatomic.unsafe_get v in
+      if busy lv then Runtime.Tmatomic.set v (lv land lnot 1);
+      Runtime.Tmatomic.set t.owners.(idx) 0)
+    d.acq
+
+let rollback t d reason =
+  release_owned t d;
+  retract_visible t d;
+  Stats.abort t.stats ~tid:d.tid reason;
+  clear_logs d;
+  Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
+  t.cm.on_rollback d.info;
+  Tx_signal.abort ()
+
+let check_kill t d =
+  if Cm.Cm_intf.kill_requested d.info then rollback t d Tx_signal.Killed
+
+(* Spin until a stripe stops being busy (a committer is writing back). *)
+let wait_unbusy t d idx =
+  let v = t.versions.(idx) in
+  let rec go lv =
+    if busy lv then begin
+      Stats.wait t.stats ~tid:d.tid;
+      check_kill t d;
+      Runtime.Exec.pause ();
+      go (Runtime.Tmatomic.get v)
+    end
+    else lv
+  in
+  go (Runtime.Tmatomic.get v)
+
+(* Invisible-mode read-set validation.
+
+   A stripe frozen (busy) by another committer is a commit-time r/w
+   conflict: blindly waiting would deadlock two committers validating
+   against each other's frozen stripes, so the contention manager
+   arbitrates — either we roll back, or the victim gets killed and notices
+   in its own wait loops. *)
+let validate t d =
+  let costs = Runtime.Costs.get () in
+  let n = Ivec.length d.read_stripes in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    Runtime.Exec.tick costs.validate_entry;
+    let idx = Ivec.unsafe_get d.read_stripes !i in
+    let logged = Ivec.unsafe_get d.read_versions !i in
+    let rec settle () =
+      let lv = Runtime.Tmatomic.get t.versions.(idx) in
+      if not (busy lv) then lv
+      else begin
+        let ov = Runtime.Tmatomic.get t.owners.(idx) in
+        if ov = d.tid + 1 then lv
+        else begin
+          check_kill t d;
+          (if ov <> 0 then
+             let victim = (t.descs.(ov - 1)).info in
+             match t.cm.resolve ~attacker:d.info ~victim with
+             | Cm.Cm_intf.Abort_self -> rollback t d Tx_signal.Rw_validation
+             | Cm.Cm_intf.Wait | Cm.Cm_intf.Killed_victim -> ());
+          Stats.wait t.stats ~tid:d.tid;
+          Runtime.Exec.pause ();
+          settle ()
+        end
+      end
+    in
+    let lv = settle () in
+    if version_of lv <> logged then ok := false;
+    incr i
+  done;
+  !ok
+
+(* Commit-counter heuristic: revalidate the read set only when some update
+   transaction committed since we last looked. *)
+let maybe_validate t d =
+  if t.config.visibility = Invisible then begin
+    let cc = Runtime.Tmatomic.get t.counter in
+    if cc <> d.snap then begin
+      if not (validate t d) then rollback t d Tx_signal.Rw_validation;
+      d.snap <- cc
+    end
+  end
+
+(* Resolve a conflict against the owner of [idx]; returns when the stripe
+   is no longer owned by that victim (or aborts/unwinds). *)
+let rec contend t d idx ~reason =
+  let ov = Runtime.Tmatomic.get t.owners.(idx) in
+  if ov <> 0 && ov <> d.tid + 1 then begin
+    check_kill t d;
+    let victim = (t.descs.(ov - 1)).info in
+    match t.cm.resolve ~attacker:d.info ~victim with
+    | Cm.Cm_intf.Abort_self -> rollback t d reason
+    | Cm.Cm_intf.Wait | Cm.Cm_intf.Killed_victim ->
+        Stats.wait t.stats ~tid:d.tid;
+        Runtime.Exec.pause ();
+        contend t d idx ~reason
+  end
+
+let read_word t d addr =
+  let costs = Runtime.Costs.get () in
+  Stats.read t.stats ~tid:d.tid;
+  check_kill t d;
+  let idx = Memory.Stripe.index t.stripe addr in
+  if Runtime.Tmatomic.get t.owners.(idx) = d.tid + 1 then begin
+    (* Our own acquired object: redo log, else stable memory. *)
+    Runtime.Exec.tick costs.log_lookup;
+    match Hashtbl.find_opt d.wset addr with
+    | Some v -> v
+    | None ->
+        Runtime.Exec.tick costs.mem;
+        Memory.Heap.unsafe_read t.heap addr
+  end
+  else begin
+    (* Lazy mode may have buffered a write without owning the object. *)
+    (match t.config.acquire with
+    | Lazy when Hashtbl.length d.wset <> 0 -> Runtime.Exec.tick costs.log_lookup
+    | _ -> ());
+    match
+      (if t.config.acquire = Lazy then Hashtbl.find_opt d.wset addr else None)
+    with
+    | Some v -> v
+    | None ->
+        (* Visible readers announce themselves FIRST: a writer acquiring the
+           object afterwards is guaranteed to see the bit and drain us;
+           writers that already drained are caught by the ownership check
+           below.  Either side of the race is covered. *)
+        (match t.config.visibility with
+        | Visible ->
+            if not (Hashtbl.mem d.vread_seen idx) then begin
+              let r = t.readers.(idx) in
+              let bit = 1 lsl d.tid in
+              let rec announce () =
+                let cur = Runtime.Tmatomic.get r in
+                if cur land bit = 0 then
+                  if
+                    not
+                      (Runtime.Tmatomic.cas r ~expect:cur ~replace:(cur lor bit))
+                  then announce ()
+              in
+              announce ();
+              Hashtbl.add d.vread_seen idx ();
+              Ivec.push d.vread_stripes idx
+            end
+        | Invisible -> ());
+        (* Eager conflict detection on the read/write axis: an owned object
+           sends the reader to the contention manager. *)
+        contend t d idx ~reason:Tx_signal.Rw_validation;
+        let rec snapshot () =
+          let lv = wait_unbusy t d idx in
+          Runtime.Exec.tick costs.mem;
+          let value = Memory.Heap.unsafe_read t.heap addr in
+          let lv2 = Runtime.Tmatomic.get t.versions.(idx) in
+          if lv2 <> lv then snapshot () else (version_of lv, value)
+        in
+        let version, value = snapshot () in
+        d.info.accesses <- d.info.accesses + 1;
+        (match t.config.visibility with
+        | Invisible ->
+            Runtime.Exec.tick costs.log_append;
+            Ivec.push d.read_stripes idx;
+            Ivec.push d.read_versions version;
+            maybe_validate t d
+        | Visible -> ());
+        value
+  end
+
+(* Abort or wait out every visible reader of [idx] other than ourselves. *)
+let drain_readers t d idx =
+  let r = t.readers.(idx) in
+  let mine = 1 lsl d.tid in
+  let rec go () =
+    let cur = Runtime.Tmatomic.get r in
+    let others = cur land lnot mine in
+    if others <> 0 then begin
+      check_kill t d;
+      let victim_tid =
+        (* lowest set bit *)
+        let b = others land -others in
+        let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
+        log2 b 0
+      in
+      let victim = (t.descs.(victim_tid)).info in
+      (match t.cm.resolve ~attacker:d.info ~victim with
+      | Cm.Cm_intf.Abort_self -> rollback t d Tx_signal.Rw_validation
+      | Cm.Cm_intf.Wait | Cm.Cm_intf.Killed_victim ->
+          Stats.wait t.stats ~tid:d.tid;
+          Runtime.Exec.pause ());
+      go ()
+    end
+  in
+  go ()
+
+(* Acquire ownership of [idx]; pays the RSTM object-clone cost. *)
+let acquire_stripe t d idx =
+  let costs = Runtime.Costs.get () in
+  let o = t.owners.(idx) in
+  let rec go () =
+    contend t d idx ~reason:Tx_signal.Ww_conflict;
+    if not (Runtime.Tmatomic.cas o ~expect:0 ~replace:(d.tid + 1)) then go ()
+  in
+  go ();
+  Ivec.push d.acq idx;
+  (* Clone the object into the speculative copy. *)
+  Runtime.Exec.tick (costs.mem * Memory.Stripe.granularity_words t.stripe);
+  if t.config.visibility = Visible then drain_readers t d idx;
+  d.info.accesses <- d.info.accesses + 1;
+  t.cm.on_write d.info ~writes:(Ivec.length d.acq)
+
+let write_word t d addr value =
+  let costs = Runtime.Costs.get () in
+  Stats.write t.stats ~tid:d.tid;
+  check_kill t d;
+  let idx = Memory.Stripe.index t.stripe addr in
+  (match t.config.acquire with
+  | Eager -> if Runtime.Tmatomic.get t.owners.(idx) <> d.tid + 1 then acquire_stripe t d idx
+  | Lazy ->
+      if not (Hashtbl.mem d.wstripe_seen idx) then begin
+        Hashtbl.add d.wstripe_seen idx ();
+        Ivec.push d.wstripes idx
+      end);
+  Runtime.Exec.tick costs.log_append;
+  Hashtbl.replace d.wset addr value
+
+let commit t d =
+  let costs = Runtime.Costs.get () in
+  Runtime.Exec.tick costs.tx_end;
+  check_kill t d;
+  if Hashtbl.length d.wset = 0 then begin
+    (* Read-only commit: every read was validated by the counter heuristic;
+       retract visible-reader bits and finish. *)
+    retract_visible t d;
+    Stats.commit t.stats ~tid:d.tid;
+    clear_logs d;
+    t.cm.on_commit d.info
+  end
+  else begin
+    (* Lazy mode acquires its whole write set now. *)
+    if t.config.acquire = Lazy then
+      Ivec.iter
+        (fun idx ->
+          if Runtime.Tmatomic.get t.owners.(idx) <> d.tid + 1 then
+            acquire_stripe t d idx)
+        d.wstripes;
+    (* Freeze the acquired objects, publish the commit. *)
+    Ivec.iter
+      (fun idx ->
+        let v = t.versions.(idx) in
+        Runtime.Tmatomic.set v (Runtime.Tmatomic.get v lor 1))
+      d.acq;
+    let cc = Runtime.Tmatomic.incr_get t.counter in
+    (if t.config.visibility = Invisible && not (validate t d) then begin
+       (* Unfreeze with the old version, release, abort. *)
+       Ivec.iter
+         (fun idx ->
+           let v = t.versions.(idx) in
+           Runtime.Tmatomic.set v (Runtime.Tmatomic.get v land lnot 1))
+         d.acq;
+       rollback t d Tx_signal.Rw_validation
+     end);
+    Hashtbl.iter
+      (fun addr value ->
+        Runtime.Exec.tick costs.mem;
+        Memory.Heap.unsafe_write t.heap addr value)
+      d.wset;
+    Ivec.iter
+      (fun idx ->
+        Runtime.Tmatomic.set t.versions.(idx) (encode_version cc);
+        Runtime.Tmatomic.set t.owners.(idx) 0)
+      d.acq;
+    retract_visible t d;
+    Stats.commit t.stats ~tid:d.tid;
+    clear_logs d;
+    t.cm.on_commit d.info
+  end
+
+let start t d ~restart =
+  Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
+  clear_logs d;
+  t.cm.on_start d.info ~restart;
+  d.snap <- Runtime.Tmatomic.get t.counter
+
+let emergency_release t d =
+  release_owned t d;
+  retract_visible t d;
+  clear_logs d;
+  d.depth <- 0
+
+let atomic t ~tid f =
+  if tid >= 62 then invalid_arg "rstm: visible-reader bitmap limits tid < 62";
+  let d = t.descs.(tid) in
+  if d.depth > 0 then begin
+    d.depth <- d.depth + 1;
+    Fun.protect ~finally:(fun () -> d.depth <- d.depth - 1) (fun () -> f d)
+  end
+  else
+    let rec attempt ~restart =
+      start t d ~restart;
+      d.depth <- 1;
+      match f d with
+      | v ->
+          d.depth <- 0;
+          (try
+             commit t d;
+             v
+           with Tx_signal.Abort -> attempt ~restart:true)
+      | exception Tx_signal.Abort ->
+          d.depth <- 0;
+          attempt ~restart:true
+      | exception e ->
+          emergency_release t d;
+          raise e
+    in
+    attempt ~restart:false
+
+let engine ?config heap : Engine.t =
+  let t = create ?config heap in
+  {
+    Engine.name = name_of_config t.config;
+    heap;
+    atomic =
+      (fun ~tid f ->
+        atomic t ~tid (fun d ->
+            f
+              {
+                Engine.read = (fun addr -> read_word t d addr);
+                write = (fun addr v -> write_word t d addr v);
+                alloc = (fun n -> Memory.Heap.alloc heap n);
+              }));
+    stats = (fun () -> Stats.snapshot t.stats);
+    reset_stats = (fun () -> Stats.reset t.stats);
+  }

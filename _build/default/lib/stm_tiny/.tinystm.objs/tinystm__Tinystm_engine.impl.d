@@ -1,0 +1,1 @@
+lib/stm_tiny/tinystm_engine.ml: Array Cm Engine Fun Hashtbl Ivec Memory Runtime Stats Stm_intf Tx_signal

@@ -1,0 +1,289 @@
+(* TinySTM (Felber, Fetzer, Riegel — PPoPP 2008), the paper's eager
+   baseline.
+
+   Word-based, *encounter-time* locking with write-back, invisible reads
+   with LSA-style timestamp extension, timid contention management:
+
+   - one versioned lock per stripe: unlocked = version << 1;
+     locked = ((owner+1) << 1) | 1;
+   - [write] acquires the lock immediately (eager w/w detection, like
+     SwissTM);
+   - [read] of a stripe locked by another transaction aborts the *reader*
+     immediately — the eager r/w behaviour the paper criticises (§1 point
+     2): a long writer blocks every reader of its write set for its whole
+     duration;
+   - commit increments the global clock, validates if needed, writes back
+     and releases with the new version; aborts restore the version saved at
+     acquisition time. *)
+
+open Stm_intf
+
+type config = { granularity_words : int; table_bits : int; seed : int }
+
+let default_config = { granularity_words = 4; table_bits = 18; seed = 0xC0FFEE }
+
+type desc = {
+  tid : int;
+  info : Cm.Cm_intf.txinfo;
+  mutable valid_ts : int;
+  read_stripes : Ivec.t;
+  read_versions : Ivec.t;
+  acq_stripes : Ivec.t;
+  acq_saved : Ivec.t;  (* lock value (version) at acquisition, for abort *)
+  acq_version : (int, int) Hashtbl.t;
+      (* stripe -> version at acquisition; validation of a read-log entry
+         for a stripe we now own must compare against this, not give the
+         entry a free pass *)
+  wset : (int, int) Hashtbl.t;
+  mutable depth : int;
+}
+
+type t = {
+  heap : Memory.Heap.t;
+  stripe : Memory.Stripe.t;
+  locks : Runtime.Tmatomic.t array;
+  clock : Runtime.Tmatomic.t;
+  descs : desc array;
+  stats : Stats.t;
+  backoff : Runtime.Backoff.policy;
+}
+
+let name = "tinystm"
+
+let unlocked_of_version v = v lsl 1
+let is_locked lv = lv land 1 = 1
+let version_of lv = lv lsr 1
+let locked_by tid = ((tid + 1) lsl 1) lor 1
+
+let create ?(config = default_config) heap =
+  let stripe =
+    Memory.Stripe.create ~granularity_words:config.granularity_words
+      ~table_bits:config.table_bits ()
+  in
+  {
+    heap;
+    stripe;
+    locks =
+      Array.init (Memory.Stripe.table_size stripe) (fun _ ->
+          Runtime.Tmatomic.make 0);
+    clock = Runtime.Tmatomic.make 0;
+    descs =
+      Array.init Stats.max_threads (fun tid ->
+          {
+            tid;
+            info = Cm.Cm_intf.make_txinfo ~tid ~seed:config.seed;
+            valid_ts = 0;
+            read_stripes = Ivec.create ();
+            read_versions = Ivec.create ();
+            acq_stripes = Ivec.create ();
+            acq_saved = Ivec.create ();
+            acq_version = Hashtbl.create 16;
+            wset = Hashtbl.create 64;
+            depth = 0;
+          });
+    stats = Stats.create ();
+    backoff = Runtime.Backoff.default_linear;
+  }
+
+let clear_logs d =
+  Ivec.clear d.read_stripes;
+  Ivec.clear d.read_versions;
+  Ivec.clear d.acq_stripes;
+  Ivec.clear d.acq_saved;
+  Hashtbl.reset d.acq_version;
+  Hashtbl.reset d.wset
+
+(* Abort path: restore the pre-acquisition version into every lock we own. *)
+let release_restoring t d =
+  let n = Ivec.length d.acq_stripes in
+  for i = 0 to n - 1 do
+    Runtime.Tmatomic.set
+      t.locks.(Ivec.unsafe_get d.acq_stripes i)
+      (Ivec.unsafe_get d.acq_saved i)
+  done
+
+let rollback t d reason =
+  release_restoring t d;
+  Stats.abort t.stats ~tid:d.tid reason;
+  clear_logs d;
+  Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
+  Cm.Cm_intf.note_rollback d.info;
+  (* short bounded back-off: the stock TL2/TinySTM retry policy *)
+  Runtime.Backoff.wait t.backoff d.info.rng ~attempt:(min d.info.succ_aborts 4);
+  Tx_signal.abort ()
+
+let validate t d =
+  let costs = Runtime.Costs.get () in
+  let n = Ivec.length d.read_stripes in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    Runtime.Exec.tick costs.validate_entry;
+    let idx = Ivec.unsafe_get d.read_stripes !i in
+    let logged = Ivec.unsafe_get d.read_versions !i in
+    let lv = Runtime.Tmatomic.get t.locks.(idx) in
+    (if is_locked lv then begin
+       if lv <> locked_by d.tid then ok := false
+       else begin
+         (* We own this stripe: the read is valid only if the version we
+            logged is the one the stripe still had when we acquired it. *)
+         match Hashtbl.find_opt d.acq_version idx with
+         | Some acquired -> if acquired <> logged then ok := false
+         | None -> ok := false
+       end
+     end
+     else if version_of lv <> logged then ok := false);
+    incr i
+  done;
+  !ok
+
+let extend t d =
+  let ts = Runtime.Tmatomic.get t.clock in
+  if validate t d then begin
+    d.valid_ts <- ts;
+    true
+  end
+  else false
+
+let read_word t d addr =
+  let costs = Runtime.Costs.get () in
+  Stats.read t.stats ~tid:d.tid;
+  let idx = Memory.Stripe.index t.stripe addr in
+  let lock = t.locks.(idx) in
+  let lv = Runtime.Tmatomic.get lock in
+  if is_locked lv then begin
+    if lv = locked_by d.tid then begin
+      (* Read-after-write: serve from the redo log / stable memory. *)
+      Runtime.Exec.tick costs.log_lookup;
+      match Hashtbl.find_opt d.wset addr with
+      | Some v -> v
+      | None ->
+          Runtime.Exec.tick costs.mem;
+          Memory.Heap.unsafe_read t.heap addr
+    end
+    else
+      (* Encounter-time r/w conflict: timid — the reader aborts at once. *)
+      rollback t d Tx_signal.Rw_validation
+  end
+  else begin
+    Runtime.Exec.tick costs.mem;
+    let value = Memory.Heap.unsafe_read t.heap addr in
+    let lv2 = Runtime.Tmatomic.get lock in
+    if lv2 <> lv then rollback t d Tx_signal.Rw_validation;
+    let version = version_of lv in
+    Runtime.Exec.tick costs.log_append;
+    Ivec.push d.read_stripes idx;
+    Ivec.push d.read_versions version;
+    if version > d.valid_ts && not (extend t d) then
+      rollback t d Tx_signal.Rw_validation;
+    value
+  end
+
+let write_word t d addr value =
+  let costs = Runtime.Costs.get () in
+  Stats.write t.stats ~tid:d.tid;
+  let idx = Memory.Stripe.index t.stripe addr in
+  let lock = t.locks.(idx) in
+  let mine = locked_by d.tid in
+  let lv = Runtime.Tmatomic.get lock in
+  if lv = mine then begin
+    Runtime.Exec.tick costs.log_append;
+    Hashtbl.replace d.wset addr value
+  end
+  else begin
+    let rec acquire lv =
+      if is_locked lv then
+        (* Encounter-time w/w conflict: timid — abort the attacker. *)
+        rollback t d Tx_signal.Ww_conflict
+      else if not (Runtime.Tmatomic.cas lock ~expect:lv ~replace:mine) then
+        acquire (Runtime.Tmatomic.get lock)
+      else begin
+        Ivec.push d.acq_stripes idx;
+        Ivec.push d.acq_saved lv;
+        Hashtbl.replace d.acq_version idx (version_of lv);
+        if version_of lv > d.valid_ts && not (extend t d) then
+          rollback t d Tx_signal.Rw_validation
+      end
+    in
+    acquire lv;
+    Runtime.Exec.tick costs.log_append;
+    Hashtbl.replace d.wset addr value
+  end
+
+let commit t d =
+  let costs = Runtime.Costs.get () in
+  Runtime.Exec.tick costs.tx_end;
+  if Ivec.length d.acq_stripes = 0 then begin
+    Stats.commit t.stats ~tid:d.tid;
+    clear_logs d
+  end
+  else begin
+    let ts = Runtime.Tmatomic.incr_get t.clock in
+    if ts > d.valid_ts + 1 && not (validate t d) then
+      rollback t d Tx_signal.Rw_validation;
+    Hashtbl.iter
+      (fun addr value ->
+        Runtime.Exec.tick costs.mem;
+        Memory.Heap.unsafe_write t.heap addr value)
+      d.wset;
+    Ivec.iter
+      (fun idx -> Runtime.Tmatomic.set t.locks.(idx) (unlocked_of_version ts))
+      d.acq_stripes;
+    Stats.commit t.stats ~tid:d.tid;
+    clear_logs d
+  end
+
+let start t d ~restart =
+  Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
+  clear_logs d;
+  Cm.Cm_intf.note_start d.info ~restart;
+  d.valid_ts <- Runtime.Tmatomic.get t.clock
+
+let emergency_release t d =
+  release_restoring t d;
+  clear_logs d;
+  d.depth <- 0
+
+let atomic t ~tid f =
+  let d = t.descs.(tid) in
+  if d.depth > 0 then begin
+    d.depth <- d.depth + 1;
+    Fun.protect ~finally:(fun () -> d.depth <- d.depth - 1) (fun () -> f d)
+  end
+  else
+    let rec attempt ~restart =
+      start t d ~restart;
+      d.depth <- 1;
+      match f d with
+      | v ->
+          d.depth <- 0;
+          (try
+             commit t d;
+             v
+           with Tx_signal.Abort -> attempt ~restart:true)
+      | exception Tx_signal.Abort ->
+          d.depth <- 0;
+          attempt ~restart:true
+      | exception e ->
+          emergency_release t d;
+          raise e
+    in
+    attempt ~restart:false
+
+let engine ?config heap : Engine.t =
+  let t = create ?config heap in
+  {
+    Engine.name;
+    heap;
+    atomic =
+      (fun ~tid f ->
+        atomic t ~tid (fun d ->
+            f
+              {
+                Engine.read = (fun addr -> read_word t d addr);
+                write = (fun addr v -> write_word t d addr v);
+                alloc = (fun n -> Memory.Heap.alloc heap n);
+              }));
+    stats = (fun () -> Stats.snapshot t.stats);
+    reset_stats = (fun () -> Stats.reset t.stats);
+  }

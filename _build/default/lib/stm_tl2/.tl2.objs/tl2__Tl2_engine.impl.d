@@ -1,0 +1,1 @@
+lib/stm_tl2/tl2_engine.ml: Array Cm Engine Fun Hashtbl Ivec Memory Runtime Stats Stm_intf Tx_signal

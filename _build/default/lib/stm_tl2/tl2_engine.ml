@@ -1,0 +1,283 @@
+(* TL2 (Dice, Shalev, Shavit — DISC 2006), the paper's lazy baseline.
+
+   Word-based, commit-time locking (lazy acquisition), invisible reads
+   against a global version clock, redo logging:
+
+   - one versioned lock per stripe: unlocked = version << 1;
+     locked = ((owner+1) << 1) | 1;
+   - [start]: sample the clock into [rv];
+   - [read]: redo-log lookup, then lock/word/lock double read; abort if the
+     stripe is locked or its version exceeds [rv] (TL2 has *no* timestamp
+     extension — that is one of the differences from TinySTM/SwissTM);
+   - [write]: buffer in the redo log only — write/write conflicts stay
+     undetected until commit, which is precisely the behaviour the paper
+     blames for TL2's wasted work on long transactions (Figure 6a);
+   - [commit]: acquire all write locks (abort on any conflict — timid),
+     bump the clock GV4-style, validate the read set, write back, release
+     with the new version. *)
+
+open Stm_intf
+
+type config = { granularity_words : int; table_bits : int; seed : int }
+
+let default_config = { granularity_words = 4; table_bits = 18; seed = 0xC0FFEE }
+
+type desc = {
+  tid : int;
+  info : Cm.Cm_intf.txinfo;  (* used for back-off bookkeeping *)
+  mutable rv : int;  (* read version: clock sample at start *)
+  read_stripes : Ivec.t;
+  wset : (int, int) Hashtbl.t;  (* addr -> value *)
+  wstripes : Ivec.t;  (* unique stripes written, in first-write order *)
+  wstripe_seen : (int, unit) Hashtbl.t;
+  acq_saved : Ivec.t;  (* lock values saved during commit acquisition *)
+  acq_version : (int, int) Hashtbl.t;
+      (* stripe -> version at commit-time acquisition; a read-log entry for
+         a stripe we locked ourselves validates against this *)
+  mutable depth : int;
+}
+
+type t = {
+  heap : Memory.Heap.t;
+  stripe : Memory.Stripe.t;
+  locks : Runtime.Tmatomic.t array;
+  clock : Runtime.Tmatomic.t;
+  descs : desc array;
+  stats : Stats.t;
+  backoff : Runtime.Backoff.policy;
+}
+
+let name = "tl2"
+
+let unlocked_of_version v = v lsl 1
+let is_locked lv = lv land 1 = 1
+let version_of lv = lv lsr 1
+let locked_by tid = ((tid + 1) lsl 1) lor 1
+
+let create ?(config = default_config) heap =
+  let stripe =
+    Memory.Stripe.create ~granularity_words:config.granularity_words
+      ~table_bits:config.table_bits ()
+  in
+  {
+    heap;
+    stripe;
+    locks =
+      Array.init (Memory.Stripe.table_size stripe) (fun _ ->
+          Runtime.Tmatomic.make 0);
+    clock = Runtime.Tmatomic.make 0;
+    descs =
+      Array.init Stats.max_threads (fun tid ->
+          {
+            tid;
+            info = Cm.Cm_intf.make_txinfo ~tid ~seed:config.seed;
+            rv = 0;
+            read_stripes = Ivec.create ();
+            wset = Hashtbl.create 64;
+            wstripes = Ivec.create ();
+            wstripe_seen = Hashtbl.create 64;
+            acq_saved = Ivec.create ();
+            acq_version = Hashtbl.create 16;
+            depth = 0;
+          });
+    stats = Stats.create ();
+    backoff = Runtime.Backoff.default_linear;
+  }
+
+let clear_logs d =
+  Ivec.clear d.read_stripes;
+  Hashtbl.reset d.wset;
+  Ivec.clear d.wstripes;
+  Hashtbl.reset d.wstripe_seen;
+  Hashtbl.reset d.acq_version;
+  Ivec.clear d.acq_saved
+
+let rollback t d reason =
+  Stats.abort t.stats ~tid:d.tid reason;
+  clear_logs d;
+  Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
+  Cm.Cm_intf.note_rollback d.info;
+  (* short bounded back-off: the stock TL2/TinySTM retry policy *)
+  Runtime.Backoff.wait t.backoff d.info.rng ~attempt:(min d.info.succ_aborts 4);
+  Tx_signal.abort ()
+
+let read_word t d addr =
+  let costs = Runtime.Costs.get () in
+  Stats.read t.stats ~tid:d.tid;
+  let idx = Memory.Stripe.index t.stripe addr in
+  (* Redo-log lookup; free for read-only transactions (TL2's Bloom filter
+     makes the common miss cheap). *)
+  match
+    (if Hashtbl.length d.wset = 0 then None
+     else begin
+       Runtime.Exec.tick costs.log_lookup;
+       Hashtbl.find_opt d.wset addr
+     end)
+  with
+  | Some v -> v
+  | None ->
+      let lock = t.locks.(idx) in
+      let lv1 = Runtime.Tmatomic.get lock in
+      Runtime.Exec.tick costs.mem;
+      let value = Memory.Heap.unsafe_read t.heap addr in
+      let lv2 = Runtime.Tmatomic.get lock in
+      if is_locked lv1 || lv1 <> lv2 || version_of lv1 > d.rv then
+        (* Locked or moved past our snapshot: TL2 aborts (no extension). *)
+        rollback t d Tx_signal.Rw_validation;
+      Runtime.Exec.tick costs.log_append;
+      Ivec.push d.read_stripes idx;
+      value
+
+let write_word t d addr value =
+  let costs = Runtime.Costs.get () in
+  Stats.write t.stats ~tid:d.tid;
+  Runtime.Exec.tick costs.log_append;
+  Hashtbl.replace d.wset addr value;
+  let idx = Memory.Stripe.index t.stripe addr in
+  if not (Hashtbl.mem d.wstripe_seen idx) then begin
+    Hashtbl.add d.wstripe_seen idx ();
+    Ivec.push d.wstripes idx
+  end
+
+let release_acquired t d ~upto =
+  for i = 0 to upto - 1 do
+    Runtime.Tmatomic.set
+      t.locks.(Ivec.unsafe_get d.wstripes i)
+      (Ivec.unsafe_get d.acq_saved i)
+  done
+
+(* GV4 clock bump: try to CAS the sampled value forward; on failure another
+   committer already advanced the clock and its value can be reused, saving
+   a second RMW on the hot line.  Returns the commit version and whether the
+   read set provably cannot have been invalidated: that is the case exactly
+   when OUR CAS advanced the clock from OUR start value [rv] (so no update
+   transaction committed in between).  A reused value equal to rv+1 gives no
+   such guarantee — some other transaction committed with it. *)
+let gv4_bump t ~rv =
+  let cur = Runtime.Tmatomic.get t.clock in
+  if Runtime.Tmatomic.cas t.clock ~expect:cur ~replace:(cur + 1) then
+    (cur + 1, cur = rv)
+  else (Runtime.Tmatomic.get t.clock, false)
+
+let commit t d =
+  let costs = Runtime.Costs.get () in
+  Runtime.Exec.tick costs.tx_end;
+  if Hashtbl.length d.wset = 0 then begin
+    (* Read-only: every read was validated against [rv]; nothing to do. *)
+    Stats.commit t.stats ~tid:d.tid;
+    clear_logs d
+  end
+  else begin
+    (* Acquire every write lock; any conflict aborts (timid). *)
+    let n = Ivec.length d.wstripes in
+    let i = ref 0 in
+    (try
+       while !i < n do
+         let idx = Ivec.unsafe_get d.wstripes !i in
+         let lock = t.locks.(idx) in
+         let lv = Runtime.Tmatomic.get lock in
+         if is_locked lv then raise Exit
+         else if not (Runtime.Tmatomic.cas lock ~expect:lv ~replace:(locked_by d.tid))
+         then raise Exit
+         else begin
+           Ivec.push d.acq_saved lv;
+           Hashtbl.replace d.acq_version idx (version_of lv);
+           incr i
+         end
+       done
+     with Exit ->
+       release_acquired t d ~upto:!i;
+       rollback t d Tx_signal.Ww_conflict);
+    let wv, quiescent = gv4_bump t ~rv:d.rv in
+    (* Validate the read set unless nobody else committed since start. *)
+    if not quiescent then begin
+      let ok = ref true in
+      let j = ref 0 in
+      let nr = Ivec.length d.read_stripes in
+      while !ok && !j < nr do
+        Runtime.Exec.tick costs.validate_entry;
+        let idx = Ivec.unsafe_get d.read_stripes !j in
+        let lv = Runtime.Tmatomic.get t.locks.(idx) in
+        (if is_locked lv then begin
+           if lv <> locked_by d.tid then ok := false
+           else begin
+             (* We hold this lock for commit: the read is valid only if the
+                version at acquisition had not passed our snapshot. *)
+             match Hashtbl.find_opt d.acq_version idx with
+             | Some v -> if v > d.rv then ok := false
+             | None -> ok := false
+           end
+         end
+         else if version_of lv > d.rv then ok := false);
+        incr j
+      done;
+      if not !ok then begin
+        release_acquired t d ~upto:n;
+        rollback t d Tx_signal.Rw_validation
+      end
+    end;
+    Hashtbl.iter
+      (fun addr value ->
+        Runtime.Exec.tick costs.mem;
+        Memory.Heap.unsafe_write t.heap addr value)
+      d.wset;
+    Ivec.iter
+      (fun idx -> Runtime.Tmatomic.set t.locks.(idx) (unlocked_of_version wv))
+      d.wstripes;
+    Stats.commit t.stats ~tid:d.tid;
+    clear_logs d
+  end
+
+let start t d ~restart =
+  Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
+  clear_logs d;
+  Cm.Cm_intf.note_start d.info ~restart;
+  d.rv <- Runtime.Tmatomic.get t.clock
+
+let emergency_release d =
+  clear_logs d;
+  d.depth <- 0
+
+let atomic t ~tid f =
+  let d = t.descs.(tid) in
+  if d.depth > 0 then begin
+    d.depth <- d.depth + 1;
+    Fun.protect ~finally:(fun () -> d.depth <- d.depth - 1) (fun () -> f d)
+  end
+  else
+    let rec attempt ~restart =
+      start t d ~restart;
+      d.depth <- 1;
+      match f d with
+      | v ->
+          d.depth <- 0;
+          (try
+             commit t d;
+             v
+           with Tx_signal.Abort -> attempt ~restart:true)
+      | exception Tx_signal.Abort ->
+          d.depth <- 0;
+          attempt ~restart:true
+      | exception e ->
+          emergency_release d;
+          raise e
+    in
+    attempt ~restart:false
+
+let engine ?config heap : Engine.t =
+  let t = create ?config heap in
+  {
+    Engine.name;
+    heap;
+    atomic =
+      (fun ~tid f ->
+        atomic t ~tid (fun d ->
+            f
+              {
+                Engine.read = (fun addr -> read_word t d addr);
+                write = (fun addr v -> write_word t d addr v);
+                alloc = (fun n -> Memory.Heap.alloc heap n);
+              }));
+    stats = (fun () -> Stats.snapshot t.stats);
+    reset_stats = (fun () -> Stats.reset t.stats);
+  }

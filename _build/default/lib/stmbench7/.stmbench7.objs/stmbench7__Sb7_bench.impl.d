@@ -1,0 +1,1 @@
+lib/stmbench7/sb7_bench.ml: Array Engines Harness Runtime Sb7_model Sb7_ops Sb7_params Stm_intf

@@ -1,0 +1,1 @@
+lib/stmbench7/sb7_model.ml: Array Memory Runtime Sb7_params Stm_intf Txds

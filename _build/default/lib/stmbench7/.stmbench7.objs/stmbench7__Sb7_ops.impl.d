@@ -1,0 +1,1 @@
+lib/stmbench7/sb7_ops.ml: Array Hashtbl Runtime Sb7_model Sb7_params Stm_intf Txds

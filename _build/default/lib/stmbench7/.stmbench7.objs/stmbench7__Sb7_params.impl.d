@@ -1,0 +1,1 @@
+lib/stmbench7/sb7_params.ml:

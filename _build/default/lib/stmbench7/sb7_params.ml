@@ -1,0 +1,53 @@
+(* STMBench7 structure parameters.
+
+   The original benchmark's "medium" configuration (Guerraoui, Kapałka,
+   Vitek — EuroSys 2007) uses 500 composite parts of 200 atomic parts each
+   under a 7-level assembly hierarchy — hundreds of megabytes.  These
+   defaults keep the same *shape* (multi-level hierarchy of shared
+   composite parts, each a connected graph of atomic parts plus a document,
+   with id indexes) at a size the discrete-event simulator sweeps in
+   minutes.  All counts scale linearly through this record, so larger sizes
+   remain reachable (`with_scale`). *)
+
+type t = {
+  levels : int;  (** assembly hierarchy depth (complex levels + base) *)
+  fanout : int;  (** subassemblies per complex assembly *)
+  comps_per_base : int;  (** composite-part references per base assembly *)
+  num_composites : int;  (** size of the shared composite-part pool *)
+  parts_per_composite : int;  (** atomic parts per composite part *)
+  conns_per_part : int;  (** outgoing connections per atomic part *)
+  doc_words : int;  (** words of "text" per document *)
+  part_capacity_slack : int;  (** extra atomic-part slots for SM-create ops *)
+  index_buckets : int;
+  seed : int;
+}
+
+let default =
+  {
+    levels = 5;
+    fanout = 3;
+    comps_per_base = 3;
+    num_composites = 64;
+    parts_per_composite = 20;
+    conns_per_part = 3;
+    doc_words = 48;
+    part_capacity_slack = 20;
+    index_buckets = 1024;
+    seed = 0x5B7;
+  }
+
+let num_base_assemblies p =
+  let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+  pow p.fanout (p.levels - 1)
+
+let total_parts p = p.num_composites * p.parts_per_composite
+
+(** Scale every population count by [f] (structure depth unchanged). *)
+let with_scale f p =
+  let s x = max 1 (int_of_float (float_of_int x *. f)) in
+  {
+    p with
+    num_composites = s p.num_composites;
+    parts_per_composite = s p.parts_per_composite;
+    doc_words = s p.doc_words;
+  }

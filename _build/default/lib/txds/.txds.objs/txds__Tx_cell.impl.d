@@ -1,0 +1,1 @@
+lib/txds/tx_cell.ml: Memory Stm_intf

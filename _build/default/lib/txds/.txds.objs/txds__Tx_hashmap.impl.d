@@ -1,0 +1,1 @@
+lib/txds/tx_hashmap.ml: Memory Stm_intf

@@ -1,0 +1,1 @@
+lib/txds/tx_hashmap.mli: Memory Stm_intf

@@ -1,0 +1,1 @@
+lib/txds/tx_list.ml: List Memory Stm_intf

@@ -1,0 +1,1 @@
+lib/txds/tx_list.mli: Memory Stm_intf

@@ -1,0 +1,1 @@
+lib/txds/tx_queue.ml: Memory Stm_intf

@@ -1,0 +1,1 @@
+lib/txds/tx_queue.mli: Memory Stm_intf

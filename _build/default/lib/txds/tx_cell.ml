@@ -1,0 +1,62 @@
+(* Typed single-word transactional cells and fixed arrays.
+
+   Thin sugar over raw addresses for application code (examples, user
+   programs): allocation at setup time, all access through [Engine.tx_ops].
+   Counters get read-modify-write helpers. *)
+
+open Stm_intf.Engine
+
+type t = { addr : int }
+
+let create heap ~init =
+  let addr = Memory.Heap.alloc heap 1 in
+  Memory.Heap.write heap addr init;
+  { addr }
+
+let get tx c = read tx c.addr
+let set tx c v = write tx c.addr v
+let update tx c f = write tx c.addr (f (read tx c.addr))
+let incr tx c = update tx c (fun v -> v + 1)
+let add tx c n = update tx c (fun v -> v + n)
+
+(** Non-transactional peek for quiescent verification. *)
+let peek heap c = Memory.Heap.read heap c.addr
+
+module Array = struct
+  type t = { base : int; length : int }
+
+  let create heap ~length ~init =
+    if length <= 0 then invalid_arg "Tx_cell.Array.create";
+    let base = Memory.Heap.alloc heap length in
+    for i = 0 to length - 1 do
+      Memory.Heap.write heap (base + i) init
+    done;
+    { base; length }
+
+  let length t = t.length
+
+  let check t i =
+    if i < 0 || i >= t.length then invalid_arg "Tx_cell.Array: index out of bounds"
+
+  let get tx t i =
+    check t i;
+    read tx (t.base + i)
+
+  let set tx t i v =
+    check t i;
+    write tx (t.base + i) v
+
+  let update tx t i f = set tx t i (f (get tx t i))
+
+  (** Transactional fold over the whole array (one consistent snapshot). *)
+  let fold tx t f init =
+    let acc = ref init in
+    for i = 0 to t.length - 1 do
+      acc := f !acc (read tx (t.base + i))
+    done;
+    !acc
+
+  let peek heap t i =
+    check t i;
+    Memory.Heap.read heap (t.base + i)
+end

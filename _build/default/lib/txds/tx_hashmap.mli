@@ -1,0 +1,27 @@
+(** Transactional chained hash map over the word heap (int keys/values).
+
+    Fixed power-of-two bucket count, no resizing — C benchmarks size their
+    tables up front the same way. *)
+
+type t
+
+val node_words : int
+
+val create : Memory.Heap.t -> buckets:int -> t
+(** Non-transactional allocation (setup time). *)
+
+val find : t -> Stm_intf.Engine.tx_ops -> int -> int option
+val mem : t -> Stm_intf.Engine.tx_ops -> int -> bool
+
+val add : t -> Stm_intf.Engine.tx_ops -> int -> int -> bool
+(** Insert or update; [true] iff the key was new. *)
+
+val remove : t -> Stm_intf.Engine.tx_ops -> int -> bool
+
+val fold : t -> Stm_intf.Engine.tx_ops -> ('a -> int -> int -> 'a) -> 'a -> 'a
+(** Full transactional scan. *)
+
+val cardinal : t -> Stm_intf.Engine.tx_ops -> int
+
+val bindings_quiescent : t -> Memory.Heap.t -> (int * int) list
+(** Non-transactional dump for verification (quiescent state only). *)

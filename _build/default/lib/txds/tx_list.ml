@@ -1,0 +1,90 @@
+(* Transactional sorted singly-linked list (set of ints) over the word heap.
+
+   Used by STAMP kernels that keep small ordered collections (yada's bad-
+   triangle work list, vacation's per-customer reservation lists).
+   Node layout: [key; value; next].  Header word holds the first node. *)
+
+open Stm_intf.Engine
+
+let f_key = 0
+let f_val = 1
+let f_next = 2
+let node_words = 3
+
+type t = { head : int }
+
+let create heap =
+  let head = Memory.Heap.alloc heap 1 in
+  Memory.Heap.write heap head 0;
+  { head }
+
+(** [insert tx t k v] adds [k] keeping the list sorted; returns [false] if
+    [k] was already present (value untouched). *)
+let insert tx t k v =
+  let rec go prev node =
+    if node = 0 || read tx (node + f_key) > k then begin
+      let fresh = alloc tx node_words in
+      write tx (fresh + f_key) k;
+      write tx (fresh + f_val) v;
+      write tx (fresh + f_next) node;
+      (if prev = 0 then write tx t.head fresh
+       else write tx (prev + f_next) fresh);
+      true
+    end
+    else if read tx (node + f_key) = k then false
+    else go node (read tx (node + f_next))
+  in
+  go 0 (read tx t.head)
+
+let find tx t k =
+  let rec go node =
+    if node = 0 then None
+    else
+      let nk = read tx (node + f_key) in
+      if nk = k then Some (read tx (node + f_val))
+      else if nk > k then None
+      else go (read tx (node + f_next))
+  in
+  go (read tx t.head)
+
+let mem tx t k = find tx t k <> None
+
+let remove tx t k =
+  let rec go prev node =
+    if node = 0 then false
+    else
+      let nk = read tx (node + f_key) in
+      if nk = k then begin
+        let next = read tx (node + f_next) in
+        (if prev = 0 then write tx t.head next
+         else write tx (prev + f_next) next);
+        true
+      end
+      else if nk > k then false
+      else go node (read tx (node + f_next))
+  in
+  go 0 (read tx t.head)
+
+(** Remove and return the smallest key, if any. *)
+let pop_min tx t =
+  let node = read tx t.head in
+  if node = 0 then None
+  else begin
+    write tx t.head (read tx (node + f_next));
+    Some (read tx (node + f_key), read tx (node + f_val))
+  end
+
+let length tx t =
+  let rec go n node = if node = 0 then n else go (n + 1) (read tx (node + f_next)) in
+  go 0 (read tx t.head)
+
+let to_list_quiescent heap t =
+  let rec go node acc =
+    if node = 0 then List.rev acc
+    else
+      go
+        (Memory.Heap.read heap (node + f_next))
+        ((Memory.Heap.read heap (node + f_key), Memory.Heap.read heap (node + f_val))
+        :: acc)
+  in
+  go (Memory.Heap.read heap t.head) []

@@ -1,0 +1,21 @@
+(** Transactional sorted singly-linked list (int set with values). *)
+
+type t
+
+val node_words : int
+val create : Memory.Heap.t -> t
+
+val insert : Stm_intf.Engine.tx_ops -> t -> int -> int -> bool
+(** Keeps the list sorted; [false] if the key already exists. *)
+
+val find : Stm_intf.Engine.tx_ops -> t -> int -> int option
+val mem : Stm_intf.Engine.tx_ops -> t -> int -> bool
+val remove : Stm_intf.Engine.tx_ops -> t -> int -> bool
+
+val pop_min : Stm_intf.Engine.tx_ops -> t -> (int * int) option
+(** Remove and return the smallest binding (work-list usage). *)
+
+val length : Stm_intf.Engine.tx_ops -> t -> int
+
+val to_list_quiescent : Memory.Heap.t -> t -> (int * int) list
+(** Non-transactional dump for verification (quiescent state only). *)

@@ -1,0 +1,63 @@
+(* Transactional bounded FIFO queue (ring buffer) over the word heap.
+
+   STAMP's intruder dequeues packet fragments from exactly such a shared
+   queue; its head/tail words are the benchmark's cache hot spot
+   (paper Figure 11). Layout: [head; tail; capacity; slots...]. *)
+
+open Stm_intf.Engine
+
+let f_head = 0
+let f_tail = 1
+let f_cap = 2
+let slots = 3
+
+type t = { base : int }
+
+let create heap ~capacity =
+  if capacity <= 0 then invalid_arg "Tx_queue.create";
+  let base = Memory.Heap.alloc heap (slots + capacity) in
+  Memory.Heap.write heap (base + f_head) 0;
+  Memory.Heap.write heap (base + f_tail) 0;
+  Memory.Heap.write heap (base + f_cap) capacity;
+  { base }
+
+let length tx t =
+  read tx (t.base + f_tail) - read tx (t.base + f_head)
+
+let is_empty tx t = length tx t = 0
+
+(** [push tx t v] enqueues [v]; returns [false] when full. *)
+let push tx t v =
+  let cap = read tx (t.base + f_cap) in
+  let head = read tx (t.base + f_head) in
+  let tail = read tx (t.base + f_tail) in
+  if tail - head >= cap then false
+  else begin
+    write tx (t.base + slots + (tail mod cap)) v;
+    write tx (t.base + f_tail) (tail + 1);
+    true
+  end
+
+(** [pop tx t] dequeues the oldest element, if any. *)
+let pop tx t =
+  let head = read tx (t.base + f_head) in
+  let tail = read tx (t.base + f_tail) in
+  if tail = head then None
+  else begin
+    let cap = read tx (t.base + f_cap) in
+    let v = read tx (t.base + slots + (head mod cap)) in
+    write tx (t.base + f_head) (head + 1);
+    Some v
+  end
+
+(* Non-transactional fill for benchmark setup. *)
+let push_quiescent heap t v =
+  let cap = Memory.Heap.read heap (t.base + f_cap) in
+  let head = Memory.Heap.read heap (t.base + f_head) in
+  let tail = Memory.Heap.read heap (t.base + f_tail) in
+  if tail - head >= cap then false
+  else begin
+    Memory.Heap.write heap (t.base + slots + (tail mod cap)) v;
+    Memory.Heap.write heap (t.base + f_tail) (tail + 1);
+    true
+  end

@@ -1,0 +1,18 @@
+(** Transactional bounded FIFO queue (ring buffer) over the word heap.
+    Its head/tail words are a deliberate contention hot spot — the shape
+    of STAMP intruder's shared packet queue (paper Figure 11). *)
+
+type t
+
+val create : Memory.Heap.t -> capacity:int -> t
+
+val length : Stm_intf.Engine.tx_ops -> t -> int
+val is_empty : Stm_intf.Engine.tx_ops -> t -> bool
+
+val push : Stm_intf.Engine.tx_ops -> t -> int -> bool
+(** [false] when full. *)
+
+val pop : Stm_intf.Engine.tx_ops -> t -> int option
+
+val push_quiescent : Memory.Heap.t -> t -> int -> bool
+(** Non-transactional fill for benchmark setup. *)

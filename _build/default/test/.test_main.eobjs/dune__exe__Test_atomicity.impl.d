@@ -1,0 +1,1 @@
+test/test_atomicity.ml: Alcotest Array Cm Engines List Memory Printf Rstm Runtime Stm_intf

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Engines List Memory Printf QCheck QCheck_alcotest Rstm Runtime Stm_intf String

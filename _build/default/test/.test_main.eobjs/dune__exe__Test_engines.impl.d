@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Cm Engines List Memory Printf Rstm Stm_intf Swisstm Tinystm Tl2

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Cm Engines Memory Mvstm Printf Runtime Stm_intf Swisstm

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Buffer Engines Float Format Harness List Memory Printf Runtime Stm_intf String

@@ -1,0 +1,1 @@
+test/test_leetm.ml: Alcotest Array Engines Leetm List Printf Stm_intf

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Array Float Fun List Memory QCheck QCheck_alcotest Runtime

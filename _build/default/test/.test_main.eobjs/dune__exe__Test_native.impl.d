@@ -1,0 +1,1 @@
+test/test_native.ml: Alcotest Array Atomic Domain Engines Harness List Memory Printf Rbtree Runtime Stm_intf

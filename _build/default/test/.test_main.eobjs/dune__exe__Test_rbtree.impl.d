@@ -1,0 +1,1 @@
+test/test_rbtree.ml: Alcotest Array Engines Fun Int List Memory Printf QCheck QCheck_alcotest Rbtree Runtime Set Stm_intf String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Buffer Fun List Printf QCheck QCheck_alcotest Runtime Stm_intf Unix

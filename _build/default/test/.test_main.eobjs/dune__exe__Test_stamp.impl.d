@@ -1,0 +1,1 @@
+test/test_stamp.ml: Alcotest Engines List Printf Stamp

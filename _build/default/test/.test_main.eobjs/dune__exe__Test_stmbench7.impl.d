@@ -1,0 +1,1 @@
+test/test_stmbench7.ml: Alcotest Array Engines List Memory Option Runtime Stm_intf Stmbench7 Txds

@@ -1,0 +1,1 @@
+test/test_txds.ml: Alcotest Array Engines Fun Hashtbl Int List Memory Printf QCheck QCheck_alcotest Runtime Set Stm_intf String Txds

@@ -1,0 +1,174 @@
+(* Contention-manager unit tests (Algorithm 2 and §2.1 semantics). *)
+
+let check = Alcotest.check
+
+let mk_info tid = Cm.Cm_intf.make_txinfo ~tid ~seed:1
+
+let test_timid_always_aborts_attacker () =
+  let cm = Cm.Factory.make Cm.Cm_intf.Timid in
+  let a = mk_info 0 and v = mk_info 1 in
+  cm.on_start a ~restart:false;
+  cm.on_start v ~restart:false;
+  Alcotest.(check bool) "abort self" true
+    (cm.resolve ~attacker:a ~victim:v = Cm.Cm_intf.Abort_self)
+
+let test_greedy_older_wins () =
+  let cm = Cm.Factory.make Cm.Cm_intf.Greedy in
+  let a = mk_info 0 and b = mk_info 1 in
+  cm.on_start a ~restart:false;
+  cm.on_start b ~restart:false;
+  Alcotest.(check bool) "older kills younger" true
+    (cm.resolve ~attacker:a ~victim:b = Cm.Cm_intf.Killed_victim);
+  Alcotest.(check bool) "victim marked" true (Cm.Cm_intf.kill_requested b);
+  Alcotest.(check bool) "younger aborts itself" true
+    (cm.resolve ~attacker:b ~victim:a = Cm.Cm_intf.Abort_self)
+
+let test_greedy_keeps_timestamp_across_restarts () =
+  let cm = Cm.Factory.make Cm.Cm_intf.Greedy in
+  let a = mk_info 0 and b = mk_info 1 in
+  cm.on_start a ~restart:false;
+  cm.on_start b ~restart:false;
+  let ts = a.cm_ts in
+  cm.on_rollback a;
+  cm.on_start a ~restart:true;
+  check Alcotest.int "timestamp preserved" ts a.cm_ts;
+  (* so the restarted older transaction still beats the younger one *)
+  Alcotest.(check bool) "still older" true
+    (cm.resolve ~attacker:a ~victim:b = Cm.Cm_intf.Killed_victim)
+
+let test_serializer_rets_timestamp_on_restart () =
+  let cm = Cm.Factory.make Cm.Cm_intf.Serializer in
+  let a = mk_info 0 and b = mk_info 1 in
+  cm.on_start a ~restart:false;
+  cm.on_start b ~restart:false;
+  Alcotest.(check bool) "a older first" true (a.cm_ts < b.cm_ts);
+  cm.on_rollback a;
+  cm.on_start a ~restart:true;
+  Alcotest.(check bool) "a younger after restart" true (a.cm_ts > b.cm_ts);
+  Alcotest.(check bool) "a now loses" true
+    (cm.resolve ~attacker:a ~victim:b = Cm.Cm_intf.Abort_self)
+
+let test_two_phase_first_phase_is_timid () =
+  let cm = Cm.Factory.make (Cm.Cm_intf.Two_phase { wn = 10; backoff = false }) in
+  let a = mk_info 0 and v = mk_info 1 in
+  cm.on_start a ~restart:false;
+  cm.on_start v ~restart:false;
+  check Alcotest.int "phase-1 marker" max_int a.cm_ts;
+  (* fewer than wn writes: stays in phase 1 and aborts itself *)
+  for w = 1 to 9 do
+    cm.on_write a ~writes:w
+  done;
+  check Alcotest.int "still phase 1" max_int a.cm_ts;
+  Alcotest.(check bool) "timid in phase 1" true
+    (cm.resolve ~attacker:a ~victim:v = Cm.Cm_intf.Abort_self)
+
+let test_two_phase_enters_greedy_at_wn () =
+  let cm = Cm.Factory.make (Cm.Cm_intf.Two_phase { wn = 10; backoff = false }) in
+  let a = mk_info 0 and v = mk_info 1 in
+  cm.on_start a ~restart:false;
+  cm.on_start v ~restart:false;
+  for w = 1 to 10 do
+    cm.on_write a ~writes:w
+  done;
+  Alcotest.(check bool) "greedy timestamp drawn" true (a.cm_ts < max_int);
+  (* phase-2 vs phase-1: the long transaction always wins *)
+  Alcotest.(check bool) "phase-2 beats phase-1" true
+    (cm.resolve ~attacker:a ~victim:v = Cm.Cm_intf.Killed_victim);
+  (* phase-2 vs older phase-2 *)
+  for w = 1 to 10 do
+    cm.on_write v ~writes:w
+  done;
+  Alcotest.(check bool) "younger phase-2 loses" true
+    (cm.resolve ~attacker:v ~victim:a = Cm.Cm_intf.Abort_self)
+
+let test_two_phase_timestamp_survives_restart () =
+  (* Algorithm 2, line 2: cm-ts reset only when NOT a restart. *)
+  let cm = Cm.Factory.make (Cm.Cm_intf.Two_phase { wn = 2; backoff = false }) in
+  let a = mk_info 0 in
+  cm.on_start a ~restart:false;
+  cm.on_write a ~writes:1;
+  cm.on_write a ~writes:2;
+  let ts = a.cm_ts in
+  Alcotest.(check bool) "got ts" true (ts < max_int);
+  cm.on_rollback a;
+  cm.on_start a ~restart:true;
+  check Alcotest.int "kept across restart (starvation freedom)" ts a.cm_ts;
+  cm.on_start a ~restart:false;
+  check Alcotest.int "fresh tx resets" max_int a.cm_ts
+
+let test_two_phase_short_tx_never_touches_clock () =
+  (* The whole point of phase 1: short transactions never increment the
+     shared Greedy clock, so two engines' short transactions get no
+     timestamps at all. *)
+  let cm = Cm.Factory.make (Cm.Cm_intf.Two_phase { wn = 10; backoff = false }) in
+  let infos = Array.init 8 mk_info in
+  Array.iter
+    (fun i ->
+      cm.on_start i ~restart:false;
+      for w = 1 to 5 do
+        cm.on_write i ~writes:w
+      done;
+      cm.on_commit i)
+    infos;
+  Array.iter (fun i -> check Alcotest.int "no ts drawn" max_int i.Cm.Cm_intf.cm_ts) infos
+
+let test_polka_waits_then_kills () =
+  let cm = Cm.Factory.make Cm.Cm_intf.Polka in
+  let a = mk_info 0 and v = mk_info 1 in
+  cm.on_start a ~restart:false;
+  cm.on_start v ~restart:false;
+  a.accesses <- 2;
+  v.accesses <- 5;
+  (* attacker priority 2 < victim 5: three waits, then the kill *)
+  let rec drive n =
+    match cm.resolve ~attacker:a ~victim:v with
+    | Cm.Cm_intf.Wait -> if n > 10 then failwith "too many waits" else drive (n + 1)
+    | Cm.Cm_intf.Killed_victim -> n
+    | Cm.Cm_intf.Abort_self -> failwith "polka attacker never aborts itself"
+  in
+  let waits = drive 0 in
+  check Alcotest.int "waits until priority catches up" 3 waits;
+  Alcotest.(check bool) "victim killed" true (Cm.Cm_intf.kill_requested v)
+
+let test_kill_flag_cleared_on_start () =
+  let a = mk_info 0 in
+  Cm.Cm_intf.request_kill a;
+  Alcotest.(check bool) "flagged" true (Cm.Cm_intf.kill_requested a);
+  Cm.Cm_intf.note_start a ~restart:true;
+  Alcotest.(check bool) "cleared at (re)start" false (Cm.Cm_intf.kill_requested a)
+
+let test_succ_aborts_accounting () =
+  let a = mk_info 0 in
+  Cm.Cm_intf.note_start a ~restart:false;
+  Cm.Cm_intf.note_rollback a;
+  Cm.Cm_intf.note_start a ~restart:true;
+  Cm.Cm_intf.note_rollback a;
+  check Alcotest.int "two successive aborts" 2 a.succ_aborts;
+  check Alcotest.int "attempts" 2 a.attempts;
+  Cm.Cm_intf.note_start a ~restart:false;
+  check Alcotest.int "fresh tx resets aborts" 0 a.succ_aborts
+
+let suite =
+  [
+    ( "contention-managers",
+      [
+        Alcotest.test_case "timid aborts attacker" `Quick
+          test_timid_always_aborts_attacker;
+        Alcotest.test_case "greedy: older wins" `Quick test_greedy_older_wins;
+        Alcotest.test_case "greedy: ts across restarts" `Quick
+          test_greedy_keeps_timestamp_across_restarts;
+        Alcotest.test_case "serializer: re-timestamps" `Quick
+          test_serializer_rets_timestamp_on_restart;
+        Alcotest.test_case "two-phase: phase 1 timid" `Quick
+          test_two_phase_first_phase_is_timid;
+        Alcotest.test_case "two-phase: greedy at wn" `Quick
+          test_two_phase_enters_greedy_at_wn;
+        Alcotest.test_case "two-phase: ts survives restart" `Quick
+          test_two_phase_timestamp_survives_restart;
+        Alcotest.test_case "two-phase: short tx off the clock" `Quick
+          test_two_phase_short_tx_never_touches_clock;
+        Alcotest.test_case "polka: wait then kill" `Quick test_polka_waits_then_kills;
+        Alcotest.test_case "kill flag lifecycle" `Quick test_kill_flag_cleared_on_start;
+        Alcotest.test_case "succ-abort accounting" `Quick test_succ_aborts_accounting;
+      ] );
+  ]

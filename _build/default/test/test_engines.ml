@@ -1,0 +1,211 @@
+(* Per-engine semantics tests, run against every engine configuration:
+   read-own-write, write visibility, flat nesting, allocation, exception
+   safety, stats accounting. *)
+
+let check = Alcotest.check
+
+let all_specs =
+  [
+    ("swisstm", Engines.swisstm);
+    ("swisstm-timid", Engines.swisstm_with ~cm:Cm.Cm_intf.Timid ());
+    ("swisstm-greedy", Engines.swisstm_with ~cm:Cm.Cm_intf.Greedy ());
+    ("tl2", Engines.tl2);
+    ("tinystm", Engines.tinystm);
+    ("rstm-eager-inv", Engines.rstm);
+    ("rstm-lazy-inv", Engines.rstm_with ~acquire:Rstm.Rstm_engine.Lazy ());
+    ("rstm-eager-vis", Engines.rstm_with ~visibility:Rstm.Rstm_engine.Visible ());
+    ( "rstm-lazy-vis",
+      Engines.rstm_with ~acquire:Rstm.Rstm_engine.Lazy
+        ~visibility:Rstm.Rstm_engine.Visible () );
+    ("rstm-greedy", Engines.rstm_with ~cm:Cm.Cm_intf.Greedy ());
+    ("rstm-serializer", Engines.rstm_with ~cm:Cm.Cm_intf.Serializer ());
+    ("mvstm", Engines.mvstm);
+    ("swisstm-priv", Engines.swisstm_priv_safe);
+    ("glock", Engines.Glock);
+  ]
+
+let with_engine spec f =
+  let heap = Memory.Heap.create ~words:(1 lsl 16) in
+  let engine = Engines.make spec heap in
+  f heap engine
+
+let atomic e f = Stm_intf.Engine.atomic e ~tid:0 f
+
+let test_read_write spec () =
+  with_engine spec (fun heap e ->
+      let a = Memory.Heap.alloc heap 8 in
+      atomic e (fun tx -> tx.write a 123);
+      check Alcotest.int "committed write visible to next tx" 123
+        (atomic e (fun tx -> tx.read a));
+      check Alcotest.int "and to raw memory" 123 (Memory.Heap.read heap a))
+
+let test_read_own_write spec () =
+  with_engine spec (fun heap e ->
+      let a = Memory.Heap.alloc heap 8 in
+      Memory.Heap.write heap a 1;
+      let observed =
+        atomic e (fun tx ->
+            tx.write a 2;
+            let mid = tx.read a in
+            tx.write a 3;
+            (mid, tx.read a))
+      in
+      check Alcotest.(pair int int) "reads own redo log" (2, 3) observed;
+      check Alcotest.int "final value" 3 (Memory.Heap.read heap a))
+
+let test_read_own_write_same_stripe spec () =
+  (* Write word 0 of a stripe, read word 1 of the same stripe: must see the
+     pre-transaction value, not garbage from the redo log. *)
+  with_engine spec (fun heap e ->
+      let a = Memory.Heap.alloc heap 8 in
+      Memory.Heap.write heap a 10;
+      Memory.Heap.write heap (a + 1) 20;
+      let observed =
+        atomic e (fun tx ->
+            tx.write a 99;
+            tx.read (a + 1))
+      in
+      check Alcotest.int "unwritten neighbour word" 20 observed)
+
+let test_flat_nesting spec () =
+  with_engine spec (fun heap e ->
+      let a = Memory.Heap.alloc heap 4 in
+      atomic e (fun tx ->
+          tx.write a 1;
+          (* The inner atomic must join the outer transaction. *)
+          atomic e (fun tx2 ->
+              check Alcotest.int "inner sees outer write" 1 (tx2.read a);
+              tx2.write a 2);
+          check Alcotest.int "outer sees inner write" 2 (tx.read a));
+      check Alcotest.int "committed once" 2 (Memory.Heap.read heap a))
+
+let test_alloc_in_tx spec () =
+  with_engine spec (fun heap e ->
+      let cell =
+        atomic e (fun tx ->
+            let p = tx.alloc 4 in
+            tx.write p 7;
+            tx.write (p + 3) 8;
+            p)
+      in
+      check Alcotest.int "allocated and initialised" 7 (Memory.Heap.read heap cell);
+      check Alcotest.int "last word" 8 (Memory.Heap.read heap (cell + 3)))
+
+let test_user_exception_releases spec () =
+  with_engine spec (fun heap e ->
+      let a = Memory.Heap.alloc heap 4 in
+      Memory.Heap.write heap a 5;
+      (try
+         atomic e (fun tx ->
+             tx.write a 6;
+             failwith "user bug")
+       with Failure _ -> ());
+      (* Whatever locks the failed transaction took must be free again and
+         (for encounter-time engines) the value restored. *)
+      atomic e (fun tx -> tx.write a (tx.read a + 1));
+      let v = Memory.Heap.read heap a in
+      Alcotest.(check bool)
+        (Printf.sprintf "usable after user exception (got %d)" v)
+        true
+        (v = 6 || v = 7))
+
+let test_stats_accounting spec () =
+  with_engine spec (fun heap e ->
+      let a = Memory.Heap.alloc heap 4 in
+      Stm_intf.Engine.reset_stats e;
+      for _ = 1 to 10 do
+        atomic e (fun tx -> tx.write a (tx.read a + 1))
+      done;
+      let s = Stm_intf.Engine.stats e in
+      check Alcotest.int "10 commits" 10 s.s_commits;
+      check Alcotest.int "no aborts single-threaded" 0 (Stm_intf.Stats.total_aborts s);
+      Alcotest.(check bool) "reads counted" true (s.s_reads >= 10);
+      Alcotest.(check bool) "writes counted" true (s.s_writes >= 10);
+      Stm_intf.Engine.reset_stats e;
+      check Alcotest.int "reset" 0 (Stm_intf.Engine.stats e).s_commits)
+
+let test_read_only_no_writes spec () =
+  with_engine spec (fun heap e ->
+      let a = Memory.Heap.alloc heap 4 in
+      Memory.Heap.write heap a 11;
+      Stm_intf.Engine.reset_stats e;
+      for _ = 1 to 5 do
+        ignore (atomic e (fun tx -> tx.read a) : int)
+      done;
+      let s = Stm_intf.Engine.stats e in
+      check Alcotest.int "5 commits" 5 s.s_commits;
+      check Alcotest.int "no writes" 0 s.s_writes)
+
+let test_return_value spec () =
+  with_engine spec (fun _heap e ->
+      check Alcotest.string "atomic returns body value" "hello"
+        (atomic e (fun _tx -> "hello")))
+
+let test_many_words spec () =
+  (* A transaction touching hundreds of stripes commits atomically. *)
+  with_engine spec (fun heap e ->
+      let n = 400 in
+      let a = Memory.Heap.alloc heap n in
+      atomic e (fun tx ->
+          for i = 0 to n - 1 do
+            tx.write (a + i) (i * 3)
+          done);
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if Memory.Heap.read heap (a + i) <> i * 3 then ok := false
+      done;
+      Alcotest.(check bool) "all words written" true !ok)
+
+let per_engine_cases (name, spec) =
+  ( "engine:" ^ name,
+    [
+      Alcotest.test_case "read/write" `Quick (test_read_write spec);
+      Alcotest.test_case "read-own-write" `Quick (test_read_own_write spec);
+      Alcotest.test_case "read-own-stripe" `Quick
+        (test_read_own_write_same_stripe spec);
+      Alcotest.test_case "flat nesting" `Quick (test_flat_nesting spec);
+      Alcotest.test_case "alloc in tx" `Quick (test_alloc_in_tx spec);
+      Alcotest.test_case "user exception releases" `Quick
+        (test_user_exception_releases spec);
+      Alcotest.test_case "stats accounting" `Quick (test_stats_accounting spec);
+      Alcotest.test_case "read-only tx" `Quick (test_read_only_no_writes spec);
+      Alcotest.test_case "return value" `Quick (test_return_value spec);
+      Alcotest.test_case "large write set" `Quick (test_many_words spec);
+    ] )
+
+(* --- lock-encoding units (engine internals) -------------------------------- *)
+
+let test_swisstm_lock_encoding () =
+  check Alcotest.int "version encode/decode" 37
+    (Swisstm.Lock_table.version_of (Swisstm.Lock_table.encode_version 37));
+  Alcotest.(check bool) "locked flag" true
+    (Swisstm.Lock_table.is_r_locked Swisstm.Lock_table.r_locked);
+  Alcotest.(check bool) "version not locked" false
+    (Swisstm.Lock_table.is_r_locked (Swisstm.Lock_table.encode_version 12));
+  check Alcotest.int "w owner roundtrip" 5
+    (Swisstm.Lock_table.w_owner_of (Swisstm.Lock_table.encode_w_owner 5))
+
+let test_tl2_lock_encoding () =
+  let open Tl2.Tl2_engine in
+  check Alcotest.int "version roundtrip" 99 (version_of (unlocked_of_version 99));
+  Alcotest.(check bool) "unlocked not locked" false
+    (is_locked (unlocked_of_version 99));
+  Alcotest.(check bool) "locked" true (is_locked (locked_by 3))
+
+let test_tinystm_lock_encoding () =
+  let open Tinystm.Tinystm_engine in
+  check Alcotest.int "version roundtrip" 41 (version_of (unlocked_of_version 41));
+  Alcotest.(check bool) "locked" true (is_locked (locked_by 0));
+  Alcotest.(check bool) "distinct owners distinct" true
+    (locked_by 1 <> locked_by 2)
+
+let suite =
+  List.map per_engine_cases all_specs
+  @ [
+      ( "lock-encodings",
+        [
+          Alcotest.test_case "swisstm" `Quick test_swisstm_lock_encoding;
+          Alcotest.test_case "tl2" `Quick test_tl2_lock_encoding;
+          Alcotest.test_case "tinystm" `Quick test_tinystm_lock_encoding;
+        ] );
+    ]

@@ -1,0 +1,121 @@
+(* Harness units: workload drivers and report rendering; plus safety under
+   swept lock granularities (false conflicts must never break atomicity,
+   only performance — the precondition for Figure 13 / Table 2). *)
+
+let check = Alcotest.check
+
+let test_run_for_duration_stops () =
+  let heap = Memory.Heap.create ~words:4096 in
+  let cell = Memory.Heap.alloc heap 1 in
+  let e = Engines.make Engines.swisstm heap in
+  let r =
+    Harness.Workload.run_for_duration e ~threads:3 ~duration_cycles:200_000
+      (fun ~tid ~op:_ ->
+        Stm_intf.Engine.atomic e ~tid (fun tx -> tx.write cell (tx.read cell + 1)))
+  in
+  Alcotest.(check bool) "past deadline" true (r.elapsed_cycles >= 200_000);
+  check Alcotest.int "ops = commits" r.ops r.stats.s_commits;
+  check Alcotest.int "counter matches ops" r.ops (Memory.Heap.read heap cell);
+  Alcotest.(check bool) "throughput positive" true (Harness.Workload.throughput r > 0.)
+
+let test_run_fixed_work_drains () =
+  let heap = Memory.Heap.create ~words:4096 in
+  let cell = Memory.Heap.alloc heap 1 in
+  let e = Engines.make Engines.tinystm heap in
+  let remaining = Runtime.Tmatomic.make 500 in
+  let r =
+    Harness.Workload.run_fixed_work e ~threads:4 (fun ~tid ->
+        if Runtime.Tmatomic.fetch_and_add remaining (-1) <= 0 then false
+        else begin
+          Stm_intf.Engine.atomic e ~tid (fun tx -> tx.write cell (tx.read cell + 1));
+          true
+        end)
+  in
+  check Alcotest.int "all work done" 500 r.ops;
+  check Alcotest.int "counter" 500 (Memory.Heap.read heap cell);
+  ignore r.elapsed_cycles
+
+(* tiny substring helper; avoids a dependency just for this check *)
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_report_rendering () =
+  let t =
+    Harness.Report.make ~title:"demo" ~unit_:"tx/s" ~columns:[ "1T"; "2T" ]
+      [
+        { Harness.Report.label = "a"; cells = [| 1.5; 20000. |] };
+        { Harness.Report.label = "bb"; cells = [| Float.nan; 0.25 |] };
+      ]
+  in
+  let buf = Buffer.create 128 in
+  let ppf = Format.formatter_of_buffer buf in
+  Harness.Report.render ppf t;
+  Format.pp_print_flush ppf ();
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "title present" true (contains s "demo");
+  Alcotest.(check bool) "labels present" true (contains s "bb");
+  Alcotest.(check bool) "nan rendered as dash" true (contains s "-");
+  let csv = Harness.Report.to_csv t in
+  Alcotest.(check bool) "csv has rows" true
+    (List.length (String.split_on_char '\n' csv) >= 3)
+
+(* --- granularity sweep safety ------------------------------------------ *)
+
+let bank_under_granularity spec_of_gran gran () =
+  let heap = Memory.Heap.create ~words:(1 lsl 16) in
+  let base = Memory.Heap.alloc heap 32 in
+  for i = 0 to 31 do
+    Memory.Heap.write heap (base + i) 100
+  done;
+  let e = Engines.make (spec_of_gran gran) heap in
+  let body tid () =
+    let rng = Runtime.Rng.for_thread ~seed:5 ~tid in
+    for _ = 1 to 150 do
+      let a = Runtime.Rng.int rng 32 in
+      let b = (a + 1 + Runtime.Rng.int rng 31) mod 32 in
+      Stm_intf.Engine.atomic e ~tid (fun tx ->
+          tx.write (base + a) (tx.read (base + a) - 1);
+          tx.write (base + b) (tx.read (base + b) + 1))
+    done
+  in
+  ignore
+    (Runtime.Sim.run ~cap_cycles:1_000_000_000_000
+       (Array.init 4 (fun tid () -> body tid ())));
+  let sum = ref 0 in
+  for i = 0 to 31 do
+    sum := !sum + Memory.Heap.read heap (base + i)
+  done;
+  check Alcotest.int
+    (Printf.sprintf "conserved at granularity %d" gran)
+    3200 !sum
+
+let granularity_cases =
+  List.concat_map
+    (fun (ename, spec_of) ->
+      List.map
+        (fun g ->
+          Alcotest.test_case
+            (Printf.sprintf "%s gran=%d" ename g)
+            `Quick
+            (bank_under_granularity spec_of g))
+        [ 1; 2; 8; 64 ])
+    [
+      ("swisstm", fun g -> Engines.with_granularity g Engines.swisstm);
+      ("tl2", fun g -> Engines.with_granularity g Engines.tl2);
+      ("tinystm", fun g -> Engines.with_granularity g Engines.tinystm);
+      ("rstm", fun g -> Engines.with_granularity g Engines.rstm);
+      ("mvstm", fun g -> Engines.with_granularity g Engines.mvstm);
+    ]
+
+let suite =
+  [
+    ( "harness",
+      [
+        Alcotest.test_case "duration driver" `Quick test_run_for_duration_stops;
+        Alcotest.test_case "fixed-work driver" `Quick test_run_fixed_work_drains;
+        Alcotest.test_case "report rendering" `Quick test_report_rendering;
+      ] );
+    ("granularity-safety", granularity_cases);
+  ]

@@ -1,0 +1,9 @@
+(* Test entry point: every suite, unit + property + integration + stress. *)
+
+let () =
+  Alcotest.run "swisstm-repro"
+    (Test_runtime.suite @ Test_memory.suite @ Test_txds.suite @ Test_cm.suite
+   @ Test_engines.suite @ Test_atomicity.suite @ Test_rbtree.suite
+   @ Test_stmbench7.suite @ Test_leetm.suite @ Test_stamp.suite
+   @ Test_extensions.suite @ Test_differential.suite @ Test_harness.suite
+   @ Test_native.suite)

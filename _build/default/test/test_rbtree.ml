@@ -1,0 +1,192 @@
+(* Transactional red-black tree: model-based sequential tests, invariant
+   checks, and concurrent stress. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+module IS = Set.Make (Int)
+
+let with_tree spec f =
+  let heap = Memory.Heap.create ~words:(1 lsl 21) in
+  let tree = Rbtree.Tx_rbtree.create heap in
+  let engine = Engines.make spec heap in
+  f heap tree engine
+
+let test_empty () =
+  with_tree Engines.swisstm (fun heap tree engine ->
+      check Alcotest.(option int) "lookup on empty" None
+        (Stm_intf.Engine.atomic engine ~tid:0 (fun tx ->
+             Rbtree.Tx_rbtree.lookup tree tx 5));
+      check
+        (Alcotest.result Alcotest.int Alcotest.reject)
+        "empty is valid" (Ok 0)
+        (match Rbtree.Tx_rbtree.check tree heap with
+        | Ok n -> Ok n
+        | Error _ -> assert false))
+
+type op = Ins of int | Del of int | Look of int
+
+let op_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun k -> Ins (k land 127)) nat;
+        map (fun k -> Del (k land 127)) nat;
+        map (fun k -> Look (k land 127)) nat;
+      ])
+
+let op_print = function
+  | Ins k -> Printf.sprintf "I%d" k
+  | Del k -> Printf.sprintf "D%d" k
+  | Look k -> Printf.sprintf "L%d" k
+
+let prop_vs_set_model =
+  QCheck.Test.make ~name:"rbtree behaves like Set (and stays balanced)"
+    ~count:40
+    (QCheck.make
+       ~print:(fun l -> String.concat ";" (List.map op_print l))
+       (QCheck.Gen.list_size (QCheck.Gen.int_range 1 300) op_gen))
+    (fun ops ->
+      with_tree Engines.swisstm (fun heap tree engine ->
+          let atomic f = Stm_intf.Engine.atomic engine ~tid:0 f in
+          let model = ref IS.empty in
+          List.for_all
+            (fun op ->
+              let ok =
+                match op with
+                | Ins k ->
+                    let added =
+                      atomic (fun tx -> Rbtree.Tx_rbtree.insert tree tx k k)
+                    in
+                    let expected = not (IS.mem k !model) in
+                    model := IS.add k !model;
+                    added = expected
+                | Del k ->
+                    let removed =
+                      atomic (fun tx -> Rbtree.Tx_rbtree.remove tree tx k)
+                    in
+                    let expected = IS.mem k !model in
+                    model := IS.remove k !model;
+                    removed = expected
+                | Look k ->
+                    atomic (fun tx -> Rbtree.Tx_rbtree.mem tree tx k)
+                    = IS.mem k !model
+              in
+              ok
+              &&
+              match Rbtree.Tx_rbtree.check tree heap with
+              | Ok n -> n = IS.cardinal !model
+              | Error _ -> false)
+            ops
+          && Rbtree.Tx_rbtree.keys tree heap = IS.elements !model))
+
+let test_insert_updates_value () =
+  with_tree Engines.swisstm (fun _heap tree engine ->
+      let atomic f = Stm_intf.Engine.atomic engine ~tid:0 f in
+      Alcotest.(check bool) "fresh" true
+        (atomic (fun tx -> Rbtree.Tx_rbtree.insert tree tx 5 50));
+      Alcotest.(check bool) "duplicate returns false" false
+        (atomic (fun tx -> Rbtree.Tx_rbtree.insert tree tx 5 55));
+      check Alcotest.(option int) "value updated" (Some 55)
+        (atomic (fun tx -> Rbtree.Tx_rbtree.lookup tree tx 5)))
+
+let test_ascending_descending_insert () =
+  (* Degenerate insertion orders stress the rebalancing code. *)
+  List.iter
+    (fun order ->
+      with_tree Engines.swisstm (fun heap tree engine ->
+          let atomic f = Stm_intf.Engine.atomic engine ~tid:0 f in
+          List.iter
+            (fun k -> ignore (atomic (fun tx -> Rbtree.Tx_rbtree.insert tree tx k k) : bool))
+            order;
+          match Rbtree.Tx_rbtree.check tree heap with
+          | Ok n -> check Alcotest.int "all present" (List.length order) n
+          | Error _ -> Alcotest.fail "unbalanced"))
+    [ List.init 200 Fun.id; List.rev (List.init 200 Fun.id) ]
+
+let test_delete_all () =
+  with_tree Engines.swisstm (fun heap tree engine ->
+      let atomic f = Stm_intf.Engine.atomic engine ~tid:0 f in
+      let keys = List.init 100 (fun i -> (i * 37) mod 101) in
+      List.iter
+        (fun k -> ignore (atomic (fun tx -> Rbtree.Tx_rbtree.insert tree tx k k) : bool))
+        keys;
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) "removed" true
+            (atomic (fun tx -> Rbtree.Tx_rbtree.remove tree tx k));
+          match Rbtree.Tx_rbtree.check tree heap with
+          | Ok _ -> ()
+          | Error _ -> Alcotest.fail "invariant broken during deletion")
+        (List.sort_uniq compare keys);
+      check Alcotest.(list int) "empty at the end" [] (Rbtree.Tx_rbtree.keys tree heap))
+
+let concurrent_stress spec () =
+  with_tree spec (fun heap tree engine ->
+      let range = 256 in
+      let body tid () =
+        let rng = Runtime.Rng.for_thread ~seed:23 ~tid in
+        for _ = 1 to 400 do
+          let k = Runtime.Rng.int rng range in
+          let dice = Runtime.Rng.int rng 10 in
+          if dice < 4 then
+            ignore
+              (Stm_intf.Engine.atomic engine ~tid (fun tx ->
+                   Rbtree.Tx_rbtree.insert tree tx k k)
+                : bool)
+          else if dice < 8 then
+            ignore
+              (Stm_intf.Engine.atomic engine ~tid (fun tx ->
+                   Rbtree.Tx_rbtree.remove tree tx k)
+                : bool)
+          else
+            ignore
+              (Stm_intf.Engine.atomic engine ~tid (fun tx ->
+                   Rbtree.Tx_rbtree.mem tree tx k)
+                : bool)
+        done
+      in
+      ignore
+        (Runtime.Sim.run ~cap_cycles:1_000_000_000_000
+           (Array.init 6 (fun tid () -> body tid ())));
+      match Rbtree.Tx_rbtree.check tree heap with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "red-black invariants broken by concurrency")
+
+let test_linearizable_counting () =
+  (* Each thread inserts a private key range; every insert must report
+     fresh=true exactly once, and the final tree holds exactly the union. *)
+  with_tree Engines.swisstm (fun heap tree engine ->
+      let per = 150 in
+      let fresh_count = Array.make 4 0 in
+      let body tid () =
+        for i = 0 to per - 1 do
+          let k = (tid * 1000) + i in
+          if
+            Stm_intf.Engine.atomic engine ~tid (fun tx ->
+                Rbtree.Tx_rbtree.insert tree tx k k)
+          then fresh_count.(tid) <- fresh_count.(tid) + 1
+        done
+      in
+      ignore (Runtime.Sim.run (Array.init 4 (fun tid () -> body tid ())));
+      Array.iter (fun c -> check Alcotest.int "every insert fresh" per c) fresh_count;
+      check Alcotest.int "final size" (4 * per)
+        (List.length (Rbtree.Tx_rbtree.keys tree heap)))
+
+let suite =
+  [
+    ( "rbtree",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        qtest prop_vs_set_model;
+        Alcotest.test_case "insert updates value" `Quick test_insert_updates_value;
+        Alcotest.test_case "degenerate orders" `Quick
+          test_ascending_descending_insert;
+        Alcotest.test_case "delete all" `Quick test_delete_all;
+        Alcotest.test_case "linearizable counting" `Quick test_linearizable_counting;
+        Alcotest.test_case "stress swisstm" `Slow (concurrent_stress Engines.swisstm);
+        Alcotest.test_case "stress tl2" `Slow (concurrent_stress Engines.tl2);
+        Alcotest.test_case "stress tinystm" `Slow (concurrent_stress Engines.tinystm);
+        Alcotest.test_case "stress rstm" `Slow (concurrent_stress Engines.rstm);
+      ] );
+  ]

@@ -1,0 +1,346 @@
+(* Unit tests for the runtime: RNG, simulator, cost-charging atomics,
+   back-off. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Rng ----------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Runtime.Rng.create 42 and b = Runtime.Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Runtime.Rng.int a 1000) (Runtime.Rng.int b 1000)
+  done
+
+let test_rng_thread_streams_differ () =
+  let a = Runtime.Rng.for_thread ~seed:1 ~tid:0 in
+  let b = Runtime.Rng.for_thread ~seed:1 ~tid:1 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Runtime.Rng.int a 1_000_000 = Runtime.Rng.int b 1_000_000 then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let prop_rng_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, n) ->
+      let rng = Runtime.Rng.create seed in
+      let x = Runtime.Rng.int rng n in
+      x >= 0 && x < n)
+
+let prop_rng_float_bounds =
+  QCheck.Test.make ~name:"Rng.float stays in bounds" ~count:500
+    QCheck.(pair small_int (float_range 0.001 1000.))
+    (fun (seed, x) ->
+      let rng = Runtime.Rng.create seed in
+      let f = Runtime.Rng.float rng x in
+      f >= 0. && f < x)
+
+let test_rng_uniformity () =
+  let rng = Runtime.Rng.create 7 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Runtime.Rng.int rng 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "bucket within 5% of uniform" true
+        (abs (c - (n / 10)) < n / 20))
+    buckets
+
+let test_rng_shuffle_permutation () =
+  let rng = Runtime.Rng.create 3 in
+  let arr = Array.init 100 Fun.id in
+  Runtime.Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "is a permutation" (Array.init 100 Fun.id) sorted
+
+(* --- Sim ------------------------------------------------------------------ *)
+
+let test_sim_min_time_order () =
+  (* Thread i ticks i+1 per step: events must interleave in virtual-time
+     order, as checked via a recorded trace. *)
+  let log = ref [] in
+  let body tid () =
+    for step = 1 to 3 do
+      Runtime.Exec.tick (100 * (tid + 1));
+      log := (Runtime.Exec.now (), tid, step) :: !log
+    done
+  in
+  ignore (Runtime.Sim.run (Array.init 3 body));
+  let events = List.rev !log in
+  let times = List.map (fun (t, _, _) -> t) events in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "virtual times nondecreasing" true (nondecreasing times)
+
+let test_sim_deterministic () =
+  let run () =
+    let log = Buffer.create 64 in
+    let body tid () =
+      let rng = Runtime.Rng.for_thread ~seed:5 ~tid in
+      for _ = 1 to 20 do
+        Runtime.Exec.tick (1 + Runtime.Rng.int rng 50);
+        Buffer.add_string log (Printf.sprintf "%d@%d;" tid (Runtime.Exec.now ()))
+      done
+    in
+    ignore (Runtime.Sim.run (Array.init 4 body));
+    Buffer.contents log
+  in
+  check Alcotest.string "identical traces" (run ()) (run ())
+
+let test_sim_final_vtimes () =
+  let body tid () = Runtime.Exec.tick (10 * (tid + 1)) in
+  let vts = Runtime.Sim.run (Array.init 3 body) in
+  check Alcotest.(array int) "per-thread totals" [| 10; 20; 30 |] vts
+
+let test_sim_timeout () =
+  let body () = while true do Runtime.Exec.tick 1000 done in
+  Alcotest.check_raises "livelock detected"
+    (Runtime.Sim.Timeout 1_001_000)
+    (fun () -> ignore (Runtime.Sim.run ~cap_cycles:1_000_000 [| body |]))
+
+let test_sim_nested_rejected () =
+  let body () = ignore (Runtime.Sim.run [| (fun () -> ()) |]) in
+  Alcotest.check_raises "nested sim rejected" Runtime.Sim.Nested_simulation
+    (fun () -> ignore (Runtime.Sim.run [| body |]))
+
+let test_sim_empty () =
+  check Alcotest.(array int) "empty run" [||] (Runtime.Sim.run [||])
+
+let test_sim_exception_propagates_and_resets () =
+  (try ignore (Runtime.Sim.run [| (fun () -> failwith "boom") |]) with
+  | Failure _ -> ());
+  Alcotest.(check bool) "exec state reset" false (Runtime.Exec.in_sim ());
+  (* The simulator must be reusable after a crash. *)
+  let vts = Runtime.Sim.run [| (fun () -> Runtime.Exec.tick 5) |] in
+  check Alcotest.(array int) "usable after crash" [| 5 |] vts
+
+let test_exec_outside_sim () =
+  Alcotest.(check bool) "not in sim" false (Runtime.Exec.in_sim ());
+  Runtime.Exec.tick 1_000;
+  check Alcotest.int "now is 0 outside" 0 (Runtime.Exec.now ());
+  check Alcotest.int "self is 0 outside" 0 (Runtime.Exec.self ())
+
+let test_exec_pause_advances_time () =
+  let final = ref 0 in
+  let body () =
+    for _ = 1 to 10 do
+      Runtime.Exec.pause ()
+    done;
+    final := Runtime.Exec.now ()
+  in
+  ignore (Runtime.Sim.run [| body |]);
+  check Alcotest.int "10 pauses" (10 * (Runtime.Costs.get ()).pause) !final
+
+(* --- Tmatomic ------------------------------------------------------------- *)
+
+let costs = Runtime.Costs.default
+
+let measure body =
+  let v = Runtime.Sim.run [| body |] in
+  v.(0)
+
+let test_tmatomic_read_miss_then_hit () =
+  let a = Runtime.Tmatomic.make 1 in
+  let t =
+    measure (fun () ->
+        ignore (Runtime.Tmatomic.get a);
+        ignore (Runtime.Tmatomic.get a))
+  in
+  (* First access misses; an immediately repeated access by the same
+     thread takes the ~free local fast path. *)
+  check Alcotest.int "miss + local re-access" (costs.cache_miss + 1) t
+
+let test_tmatomic_write_invalidate () =
+  let a = Runtime.Tmatomic.make 0 in
+  (* Thread 1 writes after thread 0 read: both pay misses; thread 0's
+     second read misses again (invalidated). *)
+  let t0_second_read = ref 0 in
+  let body tid () =
+    if tid = 0 then begin
+      ignore (Runtime.Tmatomic.get a);
+      Runtime.Exec.tick 1_000;
+      let before = Runtime.Exec.now () in
+      ignore (Runtime.Tmatomic.get a);
+      t0_second_read := Runtime.Exec.now () - before
+    end
+    else begin
+      Runtime.Exec.tick 300;
+      Runtime.Tmatomic.set a 5
+    end
+  in
+  ignore (Runtime.Sim.run (Array.init 2 body));
+  (* A remote write invalidates the line: the re-read is a coherence miss
+     (possibly amplified by the hot-line queue model, never below base). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "second read misses after remote write (%d)" !t0_second_read)
+    true
+    (!t0_second_read >= costs.cache_miss)
+
+let test_tmatomic_shared_line () =
+  let line = Runtime.Tmatomic.fresh_line () in
+  let a = Runtime.Tmatomic.make_shared line 0 in
+  let b = Runtime.Tmatomic.make_shared line 0 in
+  let t =
+    measure (fun () ->
+        ignore (Runtime.Tmatomic.get a);
+        ignore (Runtime.Tmatomic.get b))
+  in
+  check Alcotest.int "second cell on same line is a local re-access"
+    (costs.cache_miss + 1) t
+
+let test_tmatomic_semantics () =
+  let a = Runtime.Tmatomic.make 10 in
+  Alcotest.(check bool) "cas succeeds" true
+    (Runtime.Tmatomic.cas a ~expect:10 ~replace:20);
+  Alcotest.(check bool) "cas fails" false
+    (Runtime.Tmatomic.cas a ~expect:10 ~replace:30);
+  check Alcotest.int "value" 20 (Runtime.Tmatomic.unsafe_get a);
+  check Alcotest.int "faa returns old" 20 (Runtime.Tmatomic.fetch_and_add a 5);
+  check Alcotest.int "incr_get returns new" 26 (Runtime.Tmatomic.incr_get a)
+
+let test_tmatomic_native_mode_uncharged () =
+  (* Outside a simulation the model fields must not be touched. *)
+  let a = Runtime.Tmatomic.make 0 in
+  ignore (Runtime.Tmatomic.get a);
+  Runtime.Tmatomic.set a 1;
+  check Alcotest.int "native ops work" 1 (Runtime.Tmatomic.unsafe_get a)
+
+(* --- Backoff --------------------------------------------------------------- *)
+
+let prop_backoff_linear_bounds =
+  QCheck.Test.make ~name:"linear backoff bounded" ~count:300
+    QCheck.(pair small_int (int_range 1 50))
+    (fun (seed, attempt) ->
+      let rng = Runtime.Rng.create seed in
+      let d =
+        Runtime.Backoff.delay
+          (Runtime.Backoff.Linear { base = 100; cap = 2_000 })
+          rng ~attempt
+      in
+      d >= 0 && d <= min 2_000 (100 * attempt))
+
+let prop_backoff_exponential_bounds =
+  QCheck.Test.make ~name:"exponential backoff bounded" ~count:300
+    QCheck.(pair small_int (int_range 1 64))
+    (fun (seed, attempt) ->
+      let rng = Runtime.Rng.create seed in
+      let d =
+        Runtime.Backoff.delay
+          (Runtime.Backoff.Exponential { base = 10; cap = 5_000 })
+          rng ~attempt
+      in
+      d >= 0 && d <= 5_000)
+
+let test_backoff_none () =
+  let rng = Runtime.Rng.create 1 in
+  check Alcotest.int "no backoff" 0
+    (Runtime.Backoff.delay Runtime.Backoff.No_backoff rng ~attempt:10)
+
+let test_backoff_waits_in_sim () =
+  let t =
+    measure (fun () -> Runtime.Backoff.wait_cycles 12_345)
+  in
+  check Alcotest.int "wait charges virtual time" 12_345 t
+
+(* --- Costs ------------------------------------------------------------------ *)
+
+let test_costs_override () =
+  let saved = Runtime.Costs.get () in
+  Runtime.Costs.set { saved with mem = 99 };
+  check Alcotest.int "override visible" 99 (Runtime.Costs.get ()).mem;
+  Runtime.Costs.reset ();
+  check Alcotest.int "reset restores" Runtime.Costs.default.mem
+    (Runtime.Costs.get ()).mem
+
+let suite =
+  [
+    ( "rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "thread streams differ" `Quick
+          test_rng_thread_streams_differ;
+        Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+        Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+        qtest prop_rng_bounds;
+        qtest prop_rng_float_bounds;
+      ] );
+    ( "sim",
+      [
+        Alcotest.test_case "virtual-time order" `Quick test_sim_min_time_order;
+        Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+        Alcotest.test_case "final vtimes" `Quick test_sim_final_vtimes;
+        Alcotest.test_case "timeout on livelock" `Quick test_sim_timeout;
+        Alcotest.test_case "nested rejected" `Quick test_sim_nested_rejected;
+        Alcotest.test_case "empty run" `Quick test_sim_empty;
+        Alcotest.test_case "exception resets state" `Quick
+          test_sim_exception_propagates_and_resets;
+        Alcotest.test_case "exec outside sim" `Quick test_exec_outside_sim;
+        Alcotest.test_case "pause advances time" `Quick
+          test_exec_pause_advances_time;
+      ] );
+    ( "tmatomic",
+      [
+        Alcotest.test_case "read miss then hit" `Quick
+          test_tmatomic_read_miss_then_hit;
+        Alcotest.test_case "write invalidates readers" `Quick
+          test_tmatomic_write_invalidate;
+        Alcotest.test_case "shared cache line" `Quick test_tmatomic_shared_line;
+        Alcotest.test_case "cas/faa semantics" `Quick test_tmatomic_semantics;
+        Alcotest.test_case "native mode" `Quick test_tmatomic_native_mode_uncharged;
+      ] );
+    ( "backoff",
+      [
+        qtest prop_backoff_linear_bounds;
+        qtest prop_backoff_exponential_bounds;
+        Alcotest.test_case "none" `Quick test_backoff_none;
+        Alcotest.test_case "wait charges time" `Quick test_backoff_waits_in_sim;
+      ] );
+    ( "costs",
+      [ Alcotest.test_case "override/reset" `Quick test_costs_override ] );
+  ]
+
+(* --- Ivec -------------------------------------------------------------- *)
+
+let test_ivec () =
+  let v = Stm_intf.Ivec.create ~capacity:2 () in
+  for i = 1 to 10 do
+    Stm_intf.Ivec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 10 (Stm_intf.Ivec.length v);
+  Alcotest.(check int) "get" 49 (Stm_intf.Ivec.get v 6);
+  Stm_intf.Ivec.set v 6 0;
+  Alcotest.(check int) "set" 0 (Stm_intf.Ivec.get v 6);
+  Stm_intf.Ivec.truncate v 3;
+  Alcotest.(check (list int)) "truncate" [ 1; 4; 9 ] (Stm_intf.Ivec.to_list v);
+  Alcotest.(check bool) "exists" true (Stm_intf.Ivec.exists (fun x -> x = 4) v);
+  Alcotest.(check bool) "bounds" true
+    (try
+       ignore (Stm_intf.Ivec.get v 3);
+       false
+     with Invalid_argument _ -> true);
+  Stm_intf.Ivec.clear v;
+  Alcotest.(check int) "clear" 0 (Stm_intf.Ivec.length v)
+
+let test_costs_env () =
+  Unix.putenv "SWISSTM_COSTS" "mem=42,cache_miss=99,bogus=1";
+  Runtime.Costs.apply_env ();
+  Alcotest.(check int) "mem overridden" 42 (Runtime.Costs.get ()).mem;
+  Alcotest.(check int) "miss overridden" 99 (Runtime.Costs.get ()).cache_miss;
+  Unix.putenv "SWISSTM_COSTS" "";
+  Runtime.Costs.reset ();
+  Alcotest.(check int) "reset" Runtime.Costs.default.mem (Runtime.Costs.get ()).mem
+
+let suite =
+  suite
+  @ [
+      ("ivec", [ Alcotest.test_case "basic ops" `Quick test_ivec ]);
+      ("costs-env", [ Alcotest.test_case "SWISSTM_COSTS" `Quick test_costs_env ]);
+    ]

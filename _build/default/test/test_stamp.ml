@@ -1,0 +1,106 @@
+(* STAMP kernels: every application must complete and verify under several
+   engines and thread counts, plus kernel-specific correctness checks. *)
+
+let check = Alcotest.check
+
+let engines =
+  [ ("swisstm", Engines.swisstm); ("tl2", Engines.tl2); ("tinystm", Engines.tinystm) ]
+
+let app_test (w : Stamp.workload) (ename, spec) threads () =
+  let r, ok = w.run ~spec ~threads () in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s verifies under %s x%d" w.name ename threads)
+    true ok;
+  Alcotest.(check bool) "did work" true (r.stats.s_commits > 0)
+
+let matrix_cases =
+  List.concat_map
+    (fun (w : Stamp.workload) ->
+      List.concat_map
+        (fun engine ->
+          List.map
+            (fun threads ->
+              Alcotest.test_case
+                (Printf.sprintf "%s/%s/t%d" w.name (fst engine) threads)
+                `Slow
+                (app_test w engine threads))
+            [ 1; 4 ])
+        engines)
+    Stamp.workloads
+
+(* --- kernel-specific checks ------------------------------------------------ *)
+
+let test_genome_reconstruction () =
+  (* Small gene, exact check through the run's built-in verifier. *)
+  let params = { Stamp.Genome.default with gene_length = 512; segment_length = 10 } in
+  let _, ok = Stamp.Genome.run ~params ~spec:Engines.swisstm ~threads:4 () in
+  Alcotest.(check bool) "gene reconstructed" true ok
+
+let test_genome_segment_encoding () =
+  let gene = [| 0; 1; 2; 3; 0; 1 |] in
+  let s1 = Stamp.Genome.segment_at gene ~pos:0 ~len:4 in
+  let s2 = Stamp.Genome.segment_at gene ~pos:1 ~len:4 in
+  Alcotest.(check bool) "distinct segments distinct codes" true (s1 <> s2);
+  check Alcotest.int "deterministic encoding" s1
+    (Stamp.Genome.segment_at gene ~pos:0 ~len:4)
+
+let test_intruder_counts () =
+  let params = { Stamp.Intruder.default with flows = 128 } in
+  let r, ok = Stamp.Intruder.run ~params ~spec:Engines.tinystm ~threads:6 () in
+  Alcotest.(check bool) "all flows reassembled and attacks found" true ok;
+  Alcotest.(check bool) "one commit per fragment at least" true
+    (r.stats.s_commits >= 128)
+
+let test_kmeans_balance () =
+  List.iter
+    (fun params ->
+      let _, ok = Stamp.Kmeans.run ~params ~spec:Engines.swisstm ~threads:4 () in
+      Alcotest.(check bool) "accumulators balanced" true ok)
+    [
+      { Stamp.Kmeans.high_contention with points = 512; iterations = 2 };
+      { Stamp.Kmeans.low_contention with points = 512; iterations = 2 };
+    ]
+
+let test_vacation_invariant_under_contention () =
+  let params =
+    { Stamp.Vacation.high_contention with sessions = 600; range_pct = 5 }
+  in
+  let _, ok = Stamp.Vacation.run ~params ~spec:Engines.tl2 ~threads:6 () in
+  Alcotest.(check bool) "total = avail + reserved" true ok
+
+let test_yada_terminates_and_drains () =
+  let params = { Stamp.Yada.default with triangles = 256 } in
+  let r, ok = Stamp.Yada.run ~params ~spec:Engines.swisstm ~threads:4 () in
+  Alcotest.(check bool) "worklist drained" true ok;
+  Alcotest.(check bool) "did refinements" true (r.ops > 0)
+
+let test_bayes_acyclic_by_construction () =
+  let r, ok = Stamp.Bayes.run ~spec:Engines.swisstm ~threads:4 () in
+  Alcotest.(check bool) "parent counts consistent" true ok;
+  Alcotest.(check bool) "processed all candidates" true (r.stats.s_commits > 0)
+
+let test_registry_complete () =
+  check Alcotest.int "ten workloads (paper Figure 3)" 10 (List.length Stamp.workloads);
+  List.iter
+    (fun n -> Alcotest.(check bool) n true (Stamp.find n <> None))
+    [
+      "bayes"; "genome"; "intruder"; "kmeans-high"; "kmeans-low"; "labyrinth";
+      "ssca2"; "vacation-high"; "vacation-low"; "yada";
+    ]
+
+let suite =
+  [
+    ("stamp-matrix", matrix_cases);
+    ( "stamp-kernels",
+      [
+        Alcotest.test_case "genome reconstruction" `Quick test_genome_reconstruction;
+        Alcotest.test_case "genome encoding" `Quick test_genome_segment_encoding;
+        Alcotest.test_case "intruder counts" `Quick test_intruder_counts;
+        Alcotest.test_case "kmeans balance" `Quick test_kmeans_balance;
+        Alcotest.test_case "vacation invariant" `Quick
+          test_vacation_invariant_under_contention;
+        Alcotest.test_case "yada terminates" `Quick test_yada_terminates_and_drains;
+        Alcotest.test_case "bayes consistent" `Quick test_bayes_acyclic_by_construction;
+        Alcotest.test_case "registry complete" `Quick test_registry_complete;
+      ] );
+  ]

@@ -1,0 +1,307 @@
+(* Transactional data structures: model-based tests against stdlib
+   references, sequentially (single-threaded transactions) and under
+   concurrency (invariants after parallel runs). *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let with_engine f =
+  let heap = Memory.Heap.create ~words:(1 lsl 20) in
+  let engine = Engines.make Engines.swisstm heap in
+  f heap engine
+
+let atomic engine f = Stm_intf.Engine.atomic engine ~tid:0 f
+
+(* --- Tx_hashmap ---------------------------------------------------------- *)
+
+type map_op = Add of int * int | Remove of int | Find of int
+
+let map_op_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun (k, v) -> Add (k land 255, v)) (pair nat nat);
+        map (fun k -> Remove (k land 255)) nat;
+        map (fun k -> Find (k land 255)) nat;
+      ])
+
+let map_op_print = function
+  | Add (k, v) -> Printf.sprintf "Add(%d,%d)" k v
+  | Remove k -> Printf.sprintf "Remove %d" k
+  | Find k -> Printf.sprintf "Find %d" k
+
+let prop_hashmap_vs_model =
+  QCheck.Test.make ~name:"Tx_hashmap behaves like Hashtbl" ~count:60
+    (QCheck.make
+       ~print:(fun l -> String.concat ";" (List.map map_op_print l))
+       (QCheck.Gen.list_size (QCheck.Gen.int_range 1 200) map_op_gen))
+    (fun ops ->
+      with_engine (fun heap engine ->
+          let m = Txds.Tx_hashmap.create heap ~buckets:64 in
+          let model : (int, int) Hashtbl.t = Hashtbl.create 64 in
+          List.for_all
+            (fun op ->
+              match op with
+              | Add (k, v) ->
+                  let fresh = atomic engine (fun tx -> Txds.Tx_hashmap.add m tx k v) in
+                  let expected = not (Hashtbl.mem model k) in
+                  Hashtbl.replace model k v;
+                  fresh = expected
+              | Remove k ->
+                  let removed =
+                    atomic engine (fun tx -> Txds.Tx_hashmap.remove m tx k)
+                  in
+                  let expected = Hashtbl.mem model k in
+                  Hashtbl.remove model k;
+                  removed = expected
+              | Find k ->
+                  atomic engine (fun tx -> Txds.Tx_hashmap.find m tx k)
+                  = Hashtbl.find_opt model k)
+            ops
+          && atomic engine (fun tx -> Txds.Tx_hashmap.cardinal m tx)
+             = Hashtbl.length model))
+
+let test_hashmap_fold () =
+  with_engine (fun heap engine ->
+      let m = Txds.Tx_hashmap.create heap ~buckets:32 in
+      atomic engine (fun tx ->
+          for k = 1 to 50 do
+            ignore (Txds.Tx_hashmap.add m tx k (k * k) : bool)
+          done);
+      let sum = atomic engine (fun tx -> Txds.Tx_hashmap.fold m tx (fun a _ v -> a + v) 0) in
+      check Alcotest.int "fold sums values"
+        (List.fold_left (fun a k -> a + (k * k)) 0 (List.init 50 (fun i -> i + 1)))
+        sum)
+
+let test_hashmap_concurrent_disjoint () =
+  with_engine (fun heap engine ->
+      let m = Txds.Tx_hashmap.create heap ~buckets:256 in
+      let body tid () =
+        for i = 0 to 199 do
+          let k = (tid * 1000) + i in
+          ignore
+            (Stm_intf.Engine.atomic engine ~tid (fun tx ->
+                 Txds.Tx_hashmap.add m tx k tid)
+              : bool)
+        done
+      in
+      ignore (Runtime.Sim.run (Array.init 4 body));
+      let bindings = Txds.Tx_hashmap.bindings_quiescent m heap in
+      check Alcotest.int "all bindings present" 800 (List.length bindings);
+      List.iter
+        (fun (k, v) -> check Alcotest.int "value is writer tid" (k / 1000) v)
+        bindings)
+
+let test_hashmap_concurrent_same_keys () =
+  (* All threads fight over the same 8 keys with add/remove; afterwards the
+     structure must still be a function (no duplicate keys). *)
+  with_engine (fun heap engine ->
+      let m = Txds.Tx_hashmap.create heap ~buckets:16 in
+      let body tid () =
+        let rng = Runtime.Rng.for_thread ~seed:17 ~tid in
+        for _ = 1 to 300 do
+          let k = Runtime.Rng.int rng 8 in
+          if Runtime.Rng.chance rng 0.5 then
+            ignore
+              (Stm_intf.Engine.atomic engine ~tid (fun tx ->
+                   Txds.Tx_hashmap.add m tx k tid)
+                : bool)
+          else
+            ignore
+              (Stm_intf.Engine.atomic engine ~tid (fun tx ->
+                   Txds.Tx_hashmap.remove m tx k)
+                : bool)
+        done
+      in
+      ignore (Runtime.Sim.run (Array.init 4 body));
+      let keys = List.map fst (Txds.Tx_hashmap.bindings_quiescent m heap) in
+      let sorted = List.sort_uniq compare keys in
+      check Alcotest.int "no duplicate keys" (List.length sorted) (List.length keys))
+
+(* --- Tx_queue -------------------------------------------------------------- *)
+
+let test_queue_fifo () =
+  with_engine (fun heap engine ->
+      let q = Txds.Tx_queue.create heap ~capacity:64 in
+      atomic engine (fun tx ->
+          for i = 1 to 10 do
+            Alcotest.(check bool) "push ok" true (Txds.Tx_queue.push tx q i)
+          done);
+      for i = 1 to 10 do
+        check Alcotest.(option int) "fifo order" (Some i)
+          (atomic engine (fun tx -> Txds.Tx_queue.pop tx q))
+      done;
+      check Alcotest.(option int) "empty" None
+        (atomic engine (fun tx -> Txds.Tx_queue.pop tx q)))
+
+let test_queue_capacity () =
+  with_engine (fun heap engine ->
+      let q = Txds.Tx_queue.create heap ~capacity:3 in
+      atomic engine (fun tx ->
+          Alcotest.(check bool) "1" true (Txds.Tx_queue.push tx q 1);
+          Alcotest.(check bool) "2" true (Txds.Tx_queue.push tx q 2);
+          Alcotest.(check bool) "3" true (Txds.Tx_queue.push tx q 3);
+          Alcotest.(check bool) "full" false (Txds.Tx_queue.push tx q 4));
+      ignore (atomic engine (fun tx -> Txds.Tx_queue.pop tx q));
+      atomic engine (fun tx ->
+          Alcotest.(check bool) "slot freed (wraps)" true (Txds.Tx_queue.push tx q 5)))
+
+let test_queue_concurrent_drain () =
+  (* Every pushed element is popped exactly once across threads. *)
+  with_engine (fun heap engine ->
+      let n = 500 in
+      let q = Txds.Tx_queue.create heap ~capacity:(n + 1) in
+      for i = 1 to n do
+        assert (Txds.Tx_queue.push_quiescent heap q i)
+      done;
+      let seen = Array.make (n + 1) 0 in
+      let body tid () =
+        let live = ref true in
+        while !live do
+          match
+            Stm_intf.Engine.atomic engine ~tid (fun tx -> Txds.Tx_queue.pop tx q)
+          with
+          | Some v -> seen.(v) <- seen.(v) + 1
+          | None -> live := false
+        done
+      in
+      ignore (Runtime.Sim.run (Array.init 4 body));
+      for i = 1 to n do
+        check Alcotest.int (Printf.sprintf "element %d popped once" i) 1 seen.(i)
+      done)
+
+(* --- Tx_list ---------------------------------------------------------------- *)
+
+let prop_list_sorted_set =
+  QCheck.Test.make ~name:"Tx_list is a sorted set" ~count:60
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 100) (int_range 0 63))
+    (fun keys ->
+      with_engine (fun heap engine ->
+          let l = Txds.Tx_list.create heap in
+          let module IS = Set.Make (Int) in
+          let model =
+            List.fold_left
+              (fun acc k ->
+                let fresh = atomic engine (fun tx -> Txds.Tx_list.insert tx l k k) in
+                if fresh <> not (IS.mem k acc) then failwith "insert result";
+                IS.add k acc)
+              IS.empty keys
+          in
+          List.map fst (Txds.Tx_list.to_list_quiescent heap l) = IS.elements model))
+
+let test_list_remove_pop () =
+  with_engine (fun heap engine ->
+      let l = Txds.Tx_list.create heap in
+      atomic engine (fun tx ->
+          List.iter (fun k -> ignore (Txds.Tx_list.insert tx l k (k * 10) : bool)) [ 5; 1; 9; 3 ]);
+      check Alcotest.(option int) "find" (Some 30)
+        (atomic engine (fun tx -> Txds.Tx_list.find tx l 3));
+      Alcotest.(check bool) "remove present" true
+        (atomic engine (fun tx -> Txds.Tx_list.remove tx l 5));
+      Alcotest.(check bool) "remove absent" false
+        (atomic engine (fun tx -> Txds.Tx_list.remove tx l 5));
+      check
+        Alcotest.(option (pair int int))
+        "pop_min" (Some (1, 10))
+        (atomic engine (fun tx -> Txds.Tx_list.pop_min tx l));
+      check Alcotest.int "length" 2
+        (atomic engine (fun tx -> Txds.Tx_list.length tx l)))
+
+let test_list_concurrent_inserts () =
+  with_engine (fun heap engine ->
+      let l = Txds.Tx_list.create heap in
+      let body tid () =
+        for i = 0 to 99 do
+          ignore
+            (Stm_intf.Engine.atomic engine ~tid (fun tx ->
+                 Txds.Tx_list.insert tx l ((i * 4) + tid) tid)
+              : bool)
+        done
+      in
+      ignore (Runtime.Sim.run (Array.init 4 body));
+      let keys = List.map fst (Txds.Tx_list.to_list_quiescent heap l) in
+      check Alcotest.(list int) "all keys present, sorted"
+        (List.init 400 Fun.id) keys)
+
+let suite =
+  [
+    ( "tx_hashmap",
+      [
+        qtest prop_hashmap_vs_model;
+        Alcotest.test_case "fold" `Quick test_hashmap_fold;
+        Alcotest.test_case "concurrent disjoint" `Quick
+          test_hashmap_concurrent_disjoint;
+        Alcotest.test_case "concurrent same keys" `Quick
+          test_hashmap_concurrent_same_keys;
+      ] );
+    ( "tx_queue",
+      [
+        Alcotest.test_case "fifo" `Quick test_queue_fifo;
+        Alcotest.test_case "capacity" `Quick test_queue_capacity;
+        Alcotest.test_case "concurrent drain" `Quick test_queue_concurrent_drain;
+      ] );
+    ( "tx_list",
+      [
+        qtest prop_list_sorted_set;
+        Alcotest.test_case "remove/pop" `Quick test_list_remove_pop;
+        Alcotest.test_case "concurrent inserts" `Quick test_list_concurrent_inserts;
+      ] );
+  ]
+
+(* --- Tx_cell ---------------------------------------------------------- *)
+
+let test_cell_ops () =
+  with_engine (fun heap engine ->
+      let c = Txds.Tx_cell.create heap ~init:5 in
+      atomic engine (fun tx -> Txds.Tx_cell.incr tx c);
+      atomic engine (fun tx -> Txds.Tx_cell.add tx c 10);
+      check Alcotest.int "peek" 16 (Txds.Tx_cell.peek heap c);
+      check Alcotest.int "get" 16 (atomic engine (fun tx -> Txds.Tx_cell.get tx c));
+      atomic engine (fun tx -> Txds.Tx_cell.update tx c (fun v -> v * 2));
+      check Alcotest.int "update" 32 (Txds.Tx_cell.peek heap c))
+
+let test_cell_array () =
+  with_engine (fun heap engine ->
+      let a = Txds.Tx_cell.Array.create heap ~length:10 ~init:1 in
+      check Alcotest.int "length" 10 (Txds.Tx_cell.Array.length a);
+      atomic engine (fun tx ->
+          for i = 0 to 9 do
+            Txds.Tx_cell.Array.set tx a i (i * i)
+          done);
+      check Alcotest.int "fold" 285
+        (atomic engine (fun tx -> Txds.Tx_cell.Array.fold tx a ( + ) 0));
+      Alcotest.(check bool) "bounds checked" true
+        (try
+           ignore (atomic engine (fun tx -> Txds.Tx_cell.Array.get tx a 10));
+           false
+         with Invalid_argument _ -> true))
+
+let test_cell_array_concurrent () =
+  with_engine (fun heap engine ->
+      let a = Txds.Tx_cell.Array.create heap ~length:8 ~init:0 in
+      let body tid () =
+        for _ = 1 to 200 do
+          Stm_intf.Engine.atomic engine ~tid (fun tx ->
+              (* move a unit from slot tid to slot (tid+1) mod 8, preserving
+                 the sum *)
+              Txds.Tx_cell.Array.update tx a (tid mod 8) (fun v -> v - 1);
+              Txds.Tx_cell.Array.update tx a ((tid + 1) mod 8) (fun v -> v + 1))
+        done
+      in
+      ignore (Runtime.Sim.run (Array.init 4 (fun tid () -> body tid ())));
+      let sum = ref 0 in
+      for i = 0 to 7 do
+        sum := !sum + Txds.Tx_cell.Array.peek heap a i
+      done;
+      check Alcotest.int "sum conserved" 0 !sum)
+
+let suite =
+  suite
+  @ [
+      ( "tx_cell",
+        [
+          Alcotest.test_case "cell ops" `Quick test_cell_ops;
+          Alcotest.test_case "array ops" `Quick test_cell_array;
+          Alcotest.test_case "array concurrent" `Quick test_cell_array_concurrent;
+        ] );
+    ]
