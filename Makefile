@@ -1,0 +1,24 @@
+# Convenience targets; the source of truth is dune.
+
+.PHONY: all build test bench check clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# CI gate: full build, full test suite, and a perf-gate smoke run that
+# checks the write-log fast path still beats the Hashtbl representation
+# by >= 20% (see bench/perf_gate.ml; JSON lands in BENCH_PR1.json).
+check: build
+	dune runtest
+	dune exec bench/perf_gate.exe -- --smoke --out /tmp/bench_gate_smoke.json
+
+clean:
+	dune clean

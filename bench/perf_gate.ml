@@ -1,0 +1,302 @@
+(* Perf regression gate: a fixed micro + Figure-2-style workload matrix,
+   emitted as JSON (default [BENCH_PR1.json]) so successive PRs can be
+   diffed mechanically.
+
+   Three sections:
+
+   - "wlog_fastpath": the redo-log access pattern of one 8-write /
+     8-read-after-write transaction run directly against [Stm_intf.Wlog]
+     and against a reference [Hashtbl] (the seed representation), ns/tx
+     and improvement %.  This is the live, re-runnable form of the PR's
+     acceptance bar.
+   - "micro_ns_per_tx": wall-clock ns per committed transaction for each
+     engine over the ro / rw / wo / raw shapes (manual monotonic timing,
+     best of 3 batches), plus improvement of swisstm rw against the frozen
+     seed baseline measured with the Hashtbl write log.
+   - "sb7": simulated STMBench7 matrix (engine x workload x threads) with
+     ktps, simulated elapsed cycles and abort rate — cycle numbers are
+     deterministic, so any diff against a previous BENCH_PR*.json flags a
+     cost-model change.
+
+   The gate exits non-zero when the wlog fast path or the swisstm rw micro
+   regresses below the 20 % improvement bar.
+
+     dune exec bench/perf_gate.exe                  # full matrix
+     dune exec bench/perf_gate.exe -- --smoke       # quick CI smoke
+     dune exec bench/perf_gate.exe -- --out f.json  *)
+
+let smoke = ref false
+let out = ref "BENCH_PR1.json"
+
+let () =
+  Arg.parse
+    [
+      ("--smoke", Arg.Set smoke, " quick mode: fewer iterations and threads");
+      ("--out", Arg.Set_string out, "FILE output path (default BENCH_PR1.json)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "perf_gate [--smoke] [--out FILE]"
+
+(* Frozen seed baseline: swisstm rw-8r8w ns/tx with the (int, int) Hashtbl
+   write log, measured on the seed commit by bench/main.exe micro. *)
+let seed_swisstm_rw_ns = 9912.4
+let required_improvement_pct = 20.0
+
+let jfloat f =
+  if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
+
+let now = Unix.gettimeofday
+
+(* Best-of-[batches] ns/iteration of [f] run [iters] times. *)
+let time_ns ~batches ~iters f =
+  let best = ref infinity in
+  for _ = 1 to batches do
+    let t0 = now () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let per = (now () -. t0) *. 1e9 /. float_of_int iters in
+    if per < !best then best := per
+  done;
+  !best
+
+(* ---------- section 1: wlog vs hashtbl fast path ---------- *)
+
+let wlog_fastpath ~iters =
+  let open Stm_intf in
+  let wl = Wlog.create () in
+  let acc = ref 0 in
+  let wlog_tx () =
+    for i = 0 to 7 do
+      Wlog.replace wl (1 + (i * 8)) i
+    done;
+    for i = 0 to 7 do
+      let s = Wlog.probe wl (1 + (i * 8)) in
+      acc := !acc + Wlog.slot_value wl s
+    done;
+    for i = 0 to 7 do
+      (* the read-before-write misses an update transaction also issues *)
+      if Wlog.probe wl (1000 + i) >= 0 then incr acc
+    done;
+    Wlog.clear wl
+  in
+  let ht : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let ht_tx () =
+    for i = 0 to 7 do
+      Hashtbl.replace ht (1 + (i * 8)) i
+    done;
+    for i = 0 to 7 do
+      match Hashtbl.find_opt ht (1 + (i * 8)) with
+      | Some v -> acc := !acc + v
+      | None -> ()
+    done;
+    for i = 0 to 7 do
+      if Hashtbl.find_opt ht (1000 + i) <> None then incr acc
+    done;
+    Hashtbl.reset ht
+  in
+  (* warm up both *)
+  for _ = 1 to 1000 do
+    wlog_tx ();
+    ht_tx ()
+  done;
+  let wl_ns = time_ns ~batches:3 ~iters wlog_tx in
+  let ht_ns = time_ns ~batches:3 ~iters ht_tx in
+  ignore !acc;
+  let improvement = (ht_ns -. wl_ns) /. ht_ns *. 100.0 in
+  (wl_ns, ht_ns, improvement)
+
+(* ---------- section 2: engine micro ---------- *)
+
+let engines =
+  [
+    ("swisstm", Engines.swisstm);
+    ("tl2", Engines.tl2);
+    ("tinystm", Engines.tinystm);
+    ("rstm", Engines.rstm);
+    ("glock", Engines.Glock);
+  ]
+
+let micro_shapes = [ "ro"; "rw"; "wo"; "raw" ]
+
+let micro_tx engine base shape =
+  let open Stm_intf in
+  match shape with
+  | "ro" ->
+      Engine.atomic engine ~tid:0 (fun tx ->
+          for i = 0 to 7 do
+            ignore (tx.Engine.read (base + i) : int)
+          done)
+  | "rw" ->
+      Engine.atomic engine ~tid:0 (fun tx ->
+          for i = 0 to 7 do
+            ignore (tx.Engine.read (base + i) : int)
+          done;
+          for i = 0 to 7 do
+            tx.Engine.write (base + i) i
+          done)
+  | "wo" ->
+      Engine.atomic engine ~tid:0 (fun tx ->
+          for i = 0 to 7 do
+            tx.Engine.write (base + i) i
+          done)
+  | "raw" ->
+      Engine.atomic engine ~tid:0 (fun tx ->
+          for i = 0 to 7 do
+            tx.Engine.write (base + i) i
+          done;
+          for i = 0 to 7 do
+            ignore (tx.Engine.read (base + i) : int)
+          done;
+          ignore (tx.Engine.read (base + 128) : int))
+  | _ -> assert false
+
+let micro ~iters =
+  List.map
+    (fun (name, spec) ->
+      let heap = Memory.Heap.create ~words:(1 lsl 16) in
+      let base = Memory.Heap.alloc heap 256 in
+      let engine = Engines.make spec heap in
+      let rows =
+        List.map
+          (fun shape ->
+            for _ = 1 to 500 do
+              micro_tx engine base shape
+            done;
+            (shape, time_ns ~batches:3 ~iters (fun () ->
+                 micro_tx engine base shape)))
+          micro_shapes
+      in
+      (name, rows))
+    engines
+
+(* ---------- section 3: sb7 matrix ---------- *)
+
+let sb7_workloads =
+  [
+    ("read_dominated", Stmbench7.Sb7_bench.Read_dominated);
+    ("read_write", Stmbench7.Sb7_bench.Read_write);
+    ("write_dominated", Stmbench7.Sb7_bench.Write_dominated);
+  ]
+
+let sb7_engines =
+  [
+    ("swisstm", Bench_common.swisstm);
+    ("tinystm", Bench_common.tinystm);
+    ("rstm", Bench_common.rstm_serializer);
+    ("tl2", Bench_common.tl2);
+  ]
+
+let sb7 ~threads ~duration_cycles =
+  List.concat_map
+    (fun (wname, workload) ->
+      List.concat_map
+        (fun (ename, spec) ->
+          List.map
+            (fun t ->
+              let r =
+                Stmbench7.Sb7_bench.run ~spec ~workload ~threads:t
+                  ~duration_cycles ()
+              in
+              ( wname,
+                ename,
+                t,
+                Bench_common.ktps r,
+                r.Harness.Workload.elapsed_cycles,
+                Harness.Workload.abort_rate r ))
+            threads)
+        sb7_engines)
+    sb7_workloads
+
+(* ---------- JSON emission ---------- *)
+
+let () =
+  let micro_iters = if !smoke then 2_000 else 20_000 in
+  let fast_iters = if !smoke then 20_000 else 200_000 in
+  let sb7_threads = if !smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let sb7_cycles = if !smoke then 200_000 else 2_000_000 in
+  Printf.printf "perf_gate: wlog fast path...\n%!";
+  let wl_ns, ht_ns, wl_imp = wlog_fastpath ~iters:fast_iters in
+  Printf.printf "  wlog %.1f ns/tx, hashtbl %.1f ns/tx (%.1f%% better)\n%!"
+    wl_ns ht_ns wl_imp;
+  Printf.printf "perf_gate: engine micro...\n%!";
+  let m = micro ~iters:micro_iters in
+  List.iter
+    (fun (name, rows) ->
+      Printf.printf "  %-10s" name;
+      List.iter (fun (s, ns) -> Printf.printf " %s=%.1fns" s ns) rows;
+      print_newline ())
+    m;
+  let swisstm_rw =
+    match List.assoc_opt "swisstm" m with
+    | Some rows -> ( try List.assoc "rw" rows with Not_found -> nan)
+    | None -> nan
+  in
+  let rw_imp = (seed_swisstm_rw_ns -. swisstm_rw) /. seed_swisstm_rw_ns *. 100. in
+  Printf.printf "  swisstm rw vs seed baseline %.1f ns: %.1f%% better\n%!"
+    seed_swisstm_rw_ns rw_imp;
+  Printf.printf "perf_gate: sb7 matrix (%s)...\n%!"
+    (if !smoke then "smoke" else "full");
+  let s = sb7 ~threads:sb7_threads ~duration_cycles:sb7_cycles in
+  let buf = Buffer.create 4096 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n";
+  bpf "  \"schema\": \"swisstm-repro/perf-gate/1\",\n";
+  bpf "  \"mode\": \"%s\",\n" (if !smoke then "smoke" else "full");
+  bpf "  \"wlog_fastpath\": {\n";
+  bpf "    \"wlog_ns_per_tx\": %s,\n" (jfloat wl_ns);
+  bpf "    \"hashtbl_ns_per_tx\": %s,\n" (jfloat ht_ns);
+  bpf "    \"improvement_pct\": %s\n" (jfloat wl_imp);
+  bpf "  },\n";
+  bpf "  \"micro_ns_per_tx\": {\n";
+  List.iteri
+    (fun i (name, rows) ->
+      bpf "    \"%s\": {" name;
+      List.iteri
+        (fun j (shape, ns) ->
+          bpf "%s\"%s\": %s" (if j > 0 then ", " else " ") shape (jfloat ns))
+        rows;
+      bpf " }%s\n" (if i < List.length m - 1 then "," else ""))
+    m;
+  bpf "  },\n";
+  bpf "  \"swisstm_rw_vs_seed\": {\n";
+  bpf "    \"seed_hashtbl_ns_per_tx\": %s,\n" (jfloat seed_swisstm_rw_ns);
+  bpf "    \"current_ns_per_tx\": %s,\n" (jfloat swisstm_rw);
+  bpf "    \"improvement_pct\": %s,\n" (jfloat rw_imp);
+  bpf
+    "    \"note\": \"seed number was bechamel-measured; the apples-to-apples \
+     check is `dune exec bench/main.exe -- micro` vs the seed commit\"\n";
+  bpf "  },\n";
+  bpf "  \"sb7\": [\n";
+  List.iteri
+    (fun i (w, e, t, ktps, cycles, ar) ->
+      bpf
+        "    { \"workload\": \"%s\", \"engine\": \"%s\", \"threads\": %d, \
+         \"ktps\": %s, \"elapsed_cycles\": %d, \"abort_rate\": %s }%s\n"
+        w e t (jfloat ktps) cycles (jfloat ar)
+        (if i < List.length s - 1 then "," else ""))
+    s;
+  bpf "  ]\n";
+  bpf "}\n";
+  let oc = open_out !out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "perf_gate: wrote %s\n%!" !out;
+  let fail = ref false in
+  if wl_imp < required_improvement_pct then begin
+    Printf.eprintf
+      "perf_gate: FAIL wlog fast path only %.1f%% better than hashtbl \
+       (need >= %.0f%%)\n"
+      wl_imp required_improvement_pct;
+    fail := true
+  end;
+  if rw_imp < required_improvement_pct then begin
+    Printf.eprintf
+      "perf_gate: FAIL swisstm rw only %.1f%% better than seed baseline \
+       (need >= %.0f%%)\n"
+      rw_imp required_improvement_pct;
+    fail := true
+  end;
+  if !fail then exit 1;
+  Printf.printf "perf_gate: OK (both improvements >= %.0f%%)\n%!"
+    required_improvement_pct

@@ -14,7 +14,10 @@ type t = {
   read_versions : Stm_intf.Ivec.t;  (** read log: versions observed *)
   acq_stripes : Stm_intf.Ivec.t;  (** stripes whose w-lock we hold *)
   acq_saved : Stm_intf.Ivec.t;  (** r-lock values saved while commit-locking *)
-  wset : (int, int) Hashtbl.t;  (** redo log: word address -> new value *)
+  wset : Stm_intf.Wlog.t;  (** redo log: word address -> new value *)
+  sp_undo_addrs : Stm_intf.Ivec.t;  (** savepoint shadow log: addresses *)
+  sp_undo_vals : Stm_intf.Ivec.t;  (** ... redo values they had before *)
+  sp_undo_present : Stm_intf.Ivec.t;  (** ... 1 = had a value, 0 = absent *)
   mutable depth : int;  (** flat-nesting depth; only depth 0 commits *)
   mutable savepoint : savepoint option;
       (** active closed-nesting scope (at most one level deep) *)
@@ -23,14 +26,10 @@ type t = {
 (** Snapshot of the transaction logs at the start of a closed-nested scope
     (paper §6: "we also experimented with nested transactions (closed
     nesting)").  An inner abort rolls the logs back to this point instead
-    of restarting the whole transaction. *)
-and savepoint = {
-  sp_read_len : int;
-  sp_acq_len : int;
-  mutable sp_wset_undo : (int * int option) list;
-      (** redo-log entries shadowed inside the scope: address and the
-          value it had before (None = absent) *)
-}
+    of restarting the whole transaction.  Redo-log entries shadowed inside
+    the scope live in the descriptor's [sp_undo_*] vectors; [Wlog]'s mark
+    stamps keep each address shadow-logged at most once per scope. *)
+and savepoint = { sp_read_len : int; sp_acq_len : int }
 
 let create ~tid ~seed =
   {
@@ -41,17 +40,26 @@ let create ~tid ~seed =
     read_versions = Stm_intf.Ivec.create ();
     acq_stripes = Stm_intf.Ivec.create ();
     acq_saved = Stm_intf.Ivec.create ();
-    wset = Hashtbl.create 64;
+    wset = Stm_intf.Wlog.create ();
+    sp_undo_addrs = Stm_intf.Ivec.create ();
+    sp_undo_vals = Stm_intf.Ivec.create ();
+    sp_undo_present = Stm_intf.Ivec.create ();
     depth = 0;
     savepoint = None;
   }
 
+let clear_sp_undo d =
+  Stm_intf.Ivec.clear d.sp_undo_addrs;
+  Stm_intf.Ivec.clear d.sp_undo_vals;
+  Stm_intf.Ivec.clear d.sp_undo_present
+
 let clear_logs d =
   d.savepoint <- None;
+  clear_sp_undo d;
   Stm_intf.Ivec.clear d.read_stripes;
   Stm_intf.Ivec.clear d.read_versions;
   Stm_intf.Ivec.clear d.acq_stripes;
   Stm_intf.Ivec.clear d.acq_saved;
-  Hashtbl.reset d.wset
+  Stm_intf.Wlog.clear d.wset
 
 let is_read_only d = Stm_intf.Ivec.length d.acq_stripes = 0

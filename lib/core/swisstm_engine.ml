@@ -77,13 +77,13 @@ let rollback t (d : Descriptor.t) reason =
       Ivec.truncate d.acq_stripes sp.sp_acq_len;
       Ivec.truncate d.read_stripes sp.sp_read_len;
       Ivec.truncate d.read_versions sp.sp_read_len;
-      List.iter
-        (fun (addr, prev) ->
-          match prev with
-          | Some v -> Hashtbl.replace d.wset addr v
-          | None -> Hashtbl.remove d.wset addr)
-        sp.sp_wset_undo;
-      sp.sp_wset_undo <- [];
+      for i = Ivec.length d.sp_undo_addrs - 1 downto 0 do
+        let addr = Ivec.unsafe_get d.sp_undo_addrs i in
+        if Ivec.unsafe_get d.sp_undo_present i = 1 then
+          Wlog.replace d.wset addr (Ivec.unsafe_get d.sp_undo_vals i)
+        else Wlog.remove d.wset addr
+      done;
+      Descriptor.clear_sp_undo d;
       Stats.abort t.stats ~tid:d.tid reason;
       Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
       t.cm.on_rollback d.info;
@@ -163,6 +163,38 @@ let quiesce t (d : Descriptor.t) ~ts =
 
 (* --- read ------------------------------------------------------------ *)
 
+(* Consistent double-read of (r-lock, word, r-lock); spin while a
+   committing writer holds the r-lock.  Note: a stripe merely *w-locked*
+   by another transaction does not stop us — that is the lazy read/write
+   side of mixed invalidation.  A module-level recursion (rather than a
+   local closure returning a tuple) keeps the per-read fast path
+   allocation-free. *)
+let rec read_fresh t (d : Descriptor.t) r_lock idx addr
+    (costs : Runtime.Costs.t) =
+  let rv = Runtime.Tmatomic.get r_lock in
+  if Lock_table.is_r_locked rv then begin
+    Stats.wait t.stats ~tid:d.tid;
+    check_kill t d;
+    Runtime.Exec.pause ();
+    read_fresh t d r_lock idx addr costs
+  end
+  else begin
+    Runtime.Exec.tick costs.mem;
+    let value = Memory.Heap.unsafe_read t.heap addr in
+    let rv2 = Runtime.Tmatomic.get r_lock in
+    if rv2 <> rv then read_fresh t d r_lock idx addr costs
+    else begin
+      let version = Lock_table.version_of rv in
+      Runtime.Exec.tick costs.log_append;
+      Ivec.push d.read_stripes idx;
+      Ivec.push d.read_versions version;
+      d.info.accesses <- d.info.accesses + 1;
+      if version > d.valid_ts && not (extend t d) then
+        rollback t d Tx_signal.Rw_validation;
+      value
+    end
+  end
+
 let read_word t (d : Descriptor.t) addr =
   let costs = Runtime.Costs.get () in
   Stats.read t.stats ~tid:d.tid;
@@ -171,55 +203,40 @@ let read_word t (d : Descriptor.t) addr =
   let wv = Runtime.Tmatomic.get (Lock_table.w_lock t.locks idx) in
   if wv = Lock_table.encode_w_owner d.tid then begin
     (* Read-after-write: return the redo-log value if this word was
-       written; otherwise memory is stable (we own the stripe). *)
+       written; otherwise memory is stable (we own the stripe).  The
+       bloom filter inside [Wlog.probe] makes the miss case (a read of an
+       owned stripe's unwritten word) skip the probe loop entirely. *)
     Runtime.Exec.tick costs.log_lookup;
-    match Hashtbl.find_opt d.wset addr with
-    | Some v -> v
-    | None ->
-        Runtime.Exec.tick costs.mem;
-        Memory.Heap.unsafe_read t.heap addr
+    let s = Wlog.probe d.wset addr in
+    if s >= 0 then Wlog.slot_value d.wset s
+    else begin
+      Runtime.Exec.tick costs.mem;
+      Memory.Heap.unsafe_read t.heap addr
+    end
   end
-  else begin
-    (* Consistent double-read of (r-lock, word, r-lock); spin while a
-       committing writer holds the r-lock.  Note: a stripe merely
-       *w-locked* by another transaction does not stop us — that is the
-       lazy read/write side of mixed invalidation. *)
-    let r_lock = Lock_table.r_lock t.locks idx in
-    let rec snapshot () =
-      let rv = Runtime.Tmatomic.get r_lock in
-      if Lock_table.is_r_locked rv then begin
-        Stats.wait t.stats ~tid:d.tid;
-        check_kill t d;
-        Runtime.Exec.pause ();
-        snapshot ()
-      end
-      else begin
-        Runtime.Exec.tick costs.mem;
-        let value = Memory.Heap.unsafe_read t.heap addr in
-        let rv2 = Runtime.Tmatomic.get r_lock in
-        if rv2 <> rv then snapshot () else (Lock_table.version_of rv, value)
-      end
-    in
-    let version, value = snapshot () in
-    Runtime.Exec.tick costs.log_append;
-    Ivec.push d.read_stripes idx;
-    Ivec.push d.read_versions version;
-    d.info.accesses <- d.info.accesses + 1;
-    if version > d.valid_ts && not (extend t d) then
-      rollback t d Tx_signal.Rw_validation;
-    value
-  end
+  else read_fresh t d (Lock_table.r_lock t.locks idx) idx addr costs
 
 (* --- write ------------------------------------------------------------ *)
 
 (* Closed nesting: remember what the redo log held for [addr] before the
-   inner scope shadows it, so a partial rollback can restore it. *)
+   inner scope shadows it, so a partial rollback can restore it.  The
+   Wlog mark stamp makes the "already shadow-logged this scope?" check
+   O(1) — this used to be a [List.mem_assoc] scan, O(n²) over the scope's
+   writes. *)
 let record_undo (d : Descriptor.t) addr =
   match d.savepoint with
   | None -> ()
-  | Some sp ->
-      if not (List.mem_assoc addr sp.sp_wset_undo) then
-        sp.sp_wset_undo <- (addr, Hashtbl.find_opt d.wset addr) :: sp.sp_wset_undo
+  | Some _ -> (
+      match Wlog.record_once d.wset addr with
+      | -2 -> ()  (* already shadow-logged since the scope began *)
+      | -1 ->
+          Ivec.push d.sp_undo_addrs addr;
+          Ivec.push d.sp_undo_vals 0;
+          Ivec.push d.sp_undo_present 0
+      | s ->
+          Ivec.push d.sp_undo_addrs addr;
+          Ivec.push d.sp_undo_vals (Wlog.slot_value d.wset s);
+          Ivec.push d.sp_undo_present 1)
 
 let write_word t (d : Descriptor.t) addr value =
   let costs = Runtime.Costs.get () in
@@ -232,7 +249,7 @@ let write_word t (d : Descriptor.t) addr value =
   if wv = mine then begin
     Runtime.Exec.tick costs.log_append;
     record_undo d addr;
-    Hashtbl.replace d.wset addr value
+    Wlog.replace d.wset addr value
   end
   else begin
     (* Acquire the stripe eagerly; on conflict, defer to the contention
@@ -256,7 +273,7 @@ let write_word t (d : Descriptor.t) addr value =
     Ivec.push d.acq_stripes idx;
     Runtime.Exec.tick costs.log_append;
     record_undo d addr;
-    Hashtbl.replace d.wset addr value;
+    Wlog.replace d.wset addr value;
     d.info.accesses <- d.info.accesses + 1;
     (* Opacity: if the stripe moved past our snapshot, revalidate. *)
     let rv = Runtime.Tmatomic.get (Lock_table.r_lock t.locks idx) in
@@ -301,7 +318,7 @@ let commit t (d : Descriptor.t) =
       rollback t d Tx_signal.Rw_validation
     end;
     (* Write back the redo log while all written stripes are frozen... *)
-    Hashtbl.iter
+    Wlog.iter
       (fun addr value ->
         Runtime.Exec.tick costs.mem;
         Memory.Heap.unsafe_write t.heap addr value)
@@ -381,12 +398,13 @@ let atomic_closed (d : Descriptor.t) f =
       f d
   | None ->
       let rec attempt () =
+        Wlog.bump_mark d.wset;
+        Descriptor.clear_sp_undo d;
         d.savepoint <-
           Some
             {
               Descriptor.sp_read_len = Ivec.length d.read_stripes;
               sp_acq_len = Ivec.length d.acq_stripes;
-              sp_wset_undo = [];
             };
         match f d with
         | v ->
@@ -403,18 +421,21 @@ let atomic_closed (d : Descriptor.t) f =
 
 let engine ?config heap : Engine.t =
   let t = create ?config heap in
+  (* One [tx_ops] per descriptor, built up front: the per-transaction fast
+     path allocates no closures. *)
+  let ops =
+    Array.init Stats.max_threads (fun tid ->
+        let d = t.descs.(tid) in
+        {
+          Engine.read = (fun addr -> read_word t d addr);
+          write = (fun addr v -> write_word t d addr v);
+          alloc = (fun n -> Memory.Heap.alloc heap n);
+        })
+  in
   {
     Engine.name;
     heap;
-    atomic =
-      (fun ~tid f ->
-        atomic t ~tid (fun d ->
-            f
-              {
-                Engine.read = (fun addr -> read_word t d addr);
-                write = (fun addr v -> write_word t d addr v);
-                alloc = (fun n -> Memory.Heap.alloc heap n);
-              }));
+    atomic = (fun ~tid f -> atomic t ~tid (fun _ -> f ops.(tid)));
     stats = (fun () -> Stats.snapshot t.stats);
     reset_stats = (fun () -> Stats.reset t.stats);
   }

@@ -1,0 +1,53 @@
+(** Allocation-free int->int write log for the transactional redo path.
+
+    Open-addressing hash table over unboxed arrays with generation-stamped
+    O(1) wholesale {!clear} and a word-sized bloom filter that rejects most
+    lookup misses without probing.  One table per descriptor, reused across
+    transactions — no allocation on lookup, overwrite, or clear.
+
+    Lookups are split into {!probe} (slot or -1) and {!slot_value} so the
+    miss fast path never allocates an option and values carry no sentinel
+    restriction. *)
+
+type t
+
+val create : ?bits:int -> unit -> t
+(** [create ~bits ()] sizes the table at [2^bits] slots (default 64). *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Drop every entry: one generation bump, O(1), no rehash. *)
+
+val probe : t -> int -> int
+(** [probe t k] is the slot of [k], or [-1] if absent. *)
+
+val slot_value : t -> int -> int
+(** Value in a slot returned by a (successful) {!probe} — valid until the
+    next mutation of [t]. *)
+
+val mem : t -> int -> bool
+val replace : t -> int -> int -> unit
+
+val remove : t -> int -> unit
+(** Savepoint rollback only; leaves a tombstone that dies at {!clear}. *)
+
+val iter : (int -> int -> unit) -> t -> unit
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** {2 Closed-nesting savepoint support}
+
+    A savepoint scope calls {!bump_mark} on entry; each write then asks
+    {!record_once} whether the address still needs a shadow-log entry for
+    partial rollback.  Marks are per-table and monotone, so scopes never
+    need to un-stamp. *)
+
+val bump_mark : t -> unit
+
+val record_once : t -> int -> int
+(** [record_once t k] stamps [k] with the current mark.  Returns the slot
+    of [k] ([>= 0], caller shadow-logs the current value) on the first call
+    since {!bump_mark} when [k] is present, [-1] when [k] is absent (caller
+    shadow-logs "was absent" — a subsequent {!replace} of [k] self-stamps),
+    and [-2] when [k] was already stamped in this scope. *)

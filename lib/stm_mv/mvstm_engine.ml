@@ -53,11 +53,11 @@ type desc = {
   mutable snapshot : bool;  (* serving old versions; write set must stay empty *)
   mutable allow_snapshot : bool;  (* disabled after a write hits snapshot mode *)
   read_stripes : Ivec.t;
-  wset : (int, int) Hashtbl.t;
+  wset : Wlog.t;
   wstripes : Ivec.t;
-  wstripe_seen : (int, unit) Hashtbl.t;
+  wstripe_seen : Wlog.t;
   acq_saved : Ivec.t;
-  acq_version : (int, int) Hashtbl.t;
+  acq_version : Wlog.t;
   mutable depth : int;
 }
 
@@ -104,11 +104,11 @@ let create ?(config = default_config) heap =
             snapshot = false;
             allow_snapshot = true;
             read_stripes = Ivec.create ();
-            wset = Hashtbl.create 64;
+            wset = Wlog.create ();
             wstripes = Ivec.create ();
-            wstripe_seen = Hashtbl.create 64;
+            wstripe_seen = Wlog.create ();
             acq_saved = Ivec.create ();
-            acq_version = Hashtbl.create 16;
+            acq_version = Wlog.create ~bits:4 ();
             depth = 0;
           });
     stats = Stats.create ();
@@ -119,10 +119,10 @@ let create ?(config = default_config) heap =
 
 let clear_logs d =
   Ivec.clear d.read_stripes;
-  Hashtbl.reset d.wset;
+  Wlog.clear d.wset;
   Ivec.clear d.wstripes;
-  Hashtbl.reset d.wstripe_seen;
-  Hashtbl.reset d.acq_version;
+  Wlog.clear d.wstripe_seen;
+  Wlog.clear d.acq_version;
   Ivec.clear d.acq_saved;
   d.snapshot <- false
 
@@ -193,41 +193,37 @@ let read_word t d addr =
   let costs = Runtime.Costs.get () in
   Stats.read t.stats ~tid:d.tid;
   let idx = Memory.Stripe.index t.stripe addr in
-  match
-    (if Hashtbl.length d.wset = 0 then None
-     else begin
-       Runtime.Exec.tick costs.log_lookup;
-       Hashtbl.find_opt d.wset addr
-     end)
-  with
-  | Some v -> v
-  | None ->
-      if d.snapshot then snapshot_read t d addr idx
-      else begin
-        let lock = t.locks.(idx) in
-        let lv1 = Runtime.Tmatomic.get lock in
-        Runtime.Exec.tick costs.mem;
-        let value = Memory.Heap.unsafe_read t.heap addr in
-        let lv2 = Runtime.Tmatomic.get lock in
-        if is_locked lv1 || lv1 <> lv2 || version_of lv1 > d.rv then begin
-          if
-            d.allow_snapshot
-            && Hashtbl.length d.wset = 0
-            && not (is_locked lv1)
-          then begin
-            (* switch to snapshot mode: prior reads were all <= rv, and
-               from now on the chains serve the rv-consistent values *)
-            d.snapshot <- true;
-            snapshot_read t d addr idx
-          end
-          else rollback t d Tx_signal.Rw_validation
-        end
-        else begin
-          Runtime.Exec.tick costs.log_append;
-          Ivec.push d.read_stripes idx;
-          value
-        end
+  let s =
+    if Wlog.is_empty d.wset then -1
+    else begin
+      Runtime.Exec.tick costs.log_lookup;
+      Wlog.probe d.wset addr
+    end
+  in
+  if s >= 0 then Wlog.slot_value d.wset s
+  else if d.snapshot then snapshot_read t d addr idx
+  else begin
+    let lock = t.locks.(idx) in
+    let lv1 = Runtime.Tmatomic.get lock in
+    Runtime.Exec.tick costs.mem;
+    let value = Memory.Heap.unsafe_read t.heap addr in
+    let lv2 = Runtime.Tmatomic.get lock in
+    if is_locked lv1 || lv1 <> lv2 || version_of lv1 > d.rv then begin
+      if d.allow_snapshot && Wlog.is_empty d.wset && not (is_locked lv1)
+      then begin
+        (* switch to snapshot mode: prior reads were all <= rv, and
+           from now on the chains serve the rv-consistent values *)
+        d.snapshot <- true;
+        snapshot_read t d addr idx
       end
+      else rollback t d Tx_signal.Rw_validation
+    end
+    else begin
+      Runtime.Exec.tick costs.log_append;
+      Ivec.push d.read_stripes idx;
+      value
+    end
+  end
 
 let write_word t d addr value =
   let costs = Runtime.Costs.get () in
@@ -239,10 +235,10 @@ let write_word t d addr value =
     rollback t d Tx_signal.Rw_validation
   end;
   Runtime.Exec.tick costs.log_append;
-  Hashtbl.replace d.wset addr value;
+  Wlog.replace d.wset addr value;
   let idx = Memory.Stripe.index t.stripe addr in
-  if not (Hashtbl.mem d.wstripe_seen idx) then begin
-    Hashtbl.add d.wstripe_seen idx ();
+  if not (Wlog.mem d.wstripe_seen idx) then begin
+    Wlog.replace d.wstripe_seen idx 1;
     Ivec.push d.wstripes idx
   end
 
@@ -258,7 +254,7 @@ let release_acquired t d ~upto =
 let push_version_record t d idx ~new_version =
   let costs = Runtime.Costs.get () in
   let words =
-    Hashtbl.fold
+    Wlog.fold
       (fun addr _ acc ->
         if Memory.Stripe.index t.stripe addr = idx then addr :: acc else acc)
       d.wset []
@@ -300,7 +296,7 @@ let gv4_bump t ~rv =
 let commit t d =
   let costs = Runtime.Costs.get () in
   Runtime.Exec.tick costs.tx_end;
-  if Hashtbl.length d.wset = 0 then begin
+  if Wlog.is_empty d.wset then begin
     Stats.commit t.stats ~tid:d.tid;
     clear_logs d;
     d.allow_snapshot <- true
@@ -318,7 +314,7 @@ let commit t d =
          then raise Exit
          else begin
            Ivec.push d.acq_saved lv;
-           Hashtbl.replace d.acq_version idx (version_of lv);
+           Wlog.replace d.acq_version idx (version_of lv);
            incr i
          end
        done
@@ -336,10 +332,11 @@ let commit t d =
         let lv = Runtime.Tmatomic.get t.locks.(idx) in
         (if is_locked lv then begin
            if lv <> locked_by d.tid then ok := false
-           else
-             match Hashtbl.find_opt d.acq_version idx with
-             | Some v -> if v > d.rv then ok := false
-             | None -> ok := false
+           else begin
+             let s = Wlog.probe d.acq_version idx in
+             if s < 0 || Wlog.slot_value d.acq_version s > d.rv then
+               ok := false
+           end
          end
          else if version_of lv > d.rv then ok := false);
         incr j
@@ -351,7 +348,7 @@ let commit t d =
     end;
     (* preserve the overwritten values, then write back *)
     Ivec.iter (fun idx -> push_version_record t d idx ~new_version:wv) d.wstripes;
-    Hashtbl.iter
+    Wlog.iter
       (fun addr value ->
         Runtime.Exec.tick costs.mem;
         Memory.Heap.unsafe_write t.heap addr value)
@@ -406,18 +403,21 @@ let snapshot_reads t = Runtime.Tmatomic.unsafe_get t.snapshot_reads
 
 let engine ?config heap : Engine.t =
   let t = create ?config heap in
+  (* One [tx_ops] per descriptor, built up front: the per-transaction fast
+     path allocates no closures. *)
+  let ops =
+    Array.init Stats.max_threads (fun tid ->
+        let d = t.descs.(tid) in
+        {
+          Engine.read = (fun addr -> read_word t d addr);
+          write = (fun addr v -> write_word t d addr v);
+          alloc = (fun n -> Memory.Heap.alloc heap n);
+        })
+  in
   {
     Engine.name;
     heap;
-    atomic =
-      (fun ~tid f ->
-        atomic t ~tid (fun d ->
-            f
-              {
-                Engine.read = (fun addr -> read_word t d addr);
-                write = (fun addr v -> write_word t d addr v);
-                alloc = (fun n -> Memory.Heap.alloc heap n);
-              }));
+    atomic = (fun ~tid f -> atomic t ~tid (fun _ -> f ops.(tid)));
     stats = (fun () -> Stats.snapshot t.stats);
     reset_stats = (fun () -> Stats.reset t.stats);
   }

@@ -57,10 +57,10 @@ type desc = {
   read_stripes : Ivec.t;  (* invisible-mode read log *)
   read_versions : Ivec.t;
   vread_stripes : Ivec.t;  (* visible-mode: stripes where our bit is set *)
-  vread_seen : (int, unit) Hashtbl.t;
-  wset : (int, int) Hashtbl.t;
+  vread_seen : Wlog.t;
+  wset : Wlog.t;  (* redo log: addr -> value *)
   wstripes : Ivec.t;  (* lazy mode: unique stripes to acquire at commit *)
-  wstripe_seen : (int, unit) Hashtbl.t;
+  wstripe_seen : Wlog.t;
   acq : Ivec.t;  (* stripes whose [owner] we hold *)
   mutable depth : int;
 }
@@ -114,10 +114,10 @@ let create ?(config = default_config) heap =
             read_stripes = Ivec.create ();
             read_versions = Ivec.create ();
             vread_stripes = Ivec.create ();
-            vread_seen = Hashtbl.create 64;
-            wset = Hashtbl.create 64;
+            vread_seen = Wlog.create ();
+            wset = Wlog.create ();
             wstripes = Ivec.create ();
-            wstripe_seen = Hashtbl.create 64;
+            wstripe_seen = Wlog.create ();
             acq = Ivec.create ();
             depth = 0;
           });
@@ -128,10 +128,10 @@ let clear_logs d =
   Ivec.clear d.read_stripes;
   Ivec.clear d.read_versions;
   Ivec.clear d.vread_stripes;
-  Hashtbl.reset d.vread_seen;
-  Hashtbl.reset d.wset;
+  Wlog.clear d.vread_seen;
+  Wlog.clear d.wset;
   Ivec.clear d.wstripes;
-  Hashtbl.reset d.wstripe_seen;
+  Wlog.clear d.wstripe_seen;
   Ivec.clear d.acq
 
 (* Clear our visible-reader bits (commit and abort paths). *)
@@ -262,29 +262,31 @@ let read_word t d addr =
   if Runtime.Tmatomic.get t.owners.(idx) = d.tid + 1 then begin
     (* Our own acquired object: redo log, else stable memory. *)
     Runtime.Exec.tick costs.log_lookup;
-    match Hashtbl.find_opt d.wset addr with
-    | Some v -> v
-    | None ->
-        Runtime.Exec.tick costs.mem;
-        Memory.Heap.unsafe_read t.heap addr
+    let s = Wlog.probe d.wset addr in
+    if s >= 0 then Wlog.slot_value d.wset s
+    else begin
+      Runtime.Exec.tick costs.mem;
+      Memory.Heap.unsafe_read t.heap addr
+    end
   end
   else begin
     (* Lazy mode may have buffered a write without owning the object. *)
-    (match t.config.acquire with
-    | Lazy when Hashtbl.length d.wset <> 0 -> Runtime.Exec.tick costs.log_lookup
-    | _ -> ());
-    match
-      (if t.config.acquire = Lazy then Hashtbl.find_opt d.wset addr else None)
-    with
-    | Some v -> v
-    | None ->
+    let s =
+      match t.config.acquire with
+      | Lazy when not (Wlog.is_empty d.wset) ->
+          Runtime.Exec.tick costs.log_lookup;
+          Wlog.probe d.wset addr
+      | _ -> -1
+    in
+    if s >= 0 then Wlog.slot_value d.wset s
+    else begin
         (* Visible readers announce themselves FIRST: a writer acquiring the
            object afterwards is guaranteed to see the bit and drain us;
            writers that already drained are caught by the ownership check
            below.  Either side of the race is covered. *)
         (match t.config.visibility with
         | Visible ->
-            if not (Hashtbl.mem d.vread_seen idx) then begin
+            if not (Wlog.mem d.vread_seen idx) then begin
               let r = t.readers.(idx) in
               let bit = 1 lsl d.tid in
               let rec announce () =
@@ -296,7 +298,7 @@ let read_word t d addr =
                   then announce ()
               in
               announce ();
-              Hashtbl.add d.vread_seen idx ();
+              Wlog.replace d.vread_seen idx 1;
               Ivec.push d.vread_stripes idx
             end
         | Invisible -> ());
@@ -320,6 +322,7 @@ let read_word t d addr =
             maybe_validate t d
         | Visible -> ());
         value
+    end
   end
 
 (* Abort or wait out every visible reader of [idx] other than ourselves. *)
@@ -372,18 +375,18 @@ let write_word t d addr value =
   (match t.config.acquire with
   | Eager -> if Runtime.Tmatomic.get t.owners.(idx) <> d.tid + 1 then acquire_stripe t d idx
   | Lazy ->
-      if not (Hashtbl.mem d.wstripe_seen idx) then begin
-        Hashtbl.add d.wstripe_seen idx ();
+      if not (Wlog.mem d.wstripe_seen idx) then begin
+        Wlog.replace d.wstripe_seen idx 1;
         Ivec.push d.wstripes idx
       end);
   Runtime.Exec.tick costs.log_append;
-  Hashtbl.replace d.wset addr value
+  Wlog.replace d.wset addr value
 
 let commit t d =
   let costs = Runtime.Costs.get () in
   Runtime.Exec.tick costs.tx_end;
   check_kill t d;
-  if Hashtbl.length d.wset = 0 then begin
+  if Wlog.is_empty d.wset then begin
     (* Read-only commit: every read was validated by the counter heuristic;
        retract visible-reader bits and finish. *)
     retract_visible t d;
@@ -415,7 +418,7 @@ let commit t d =
          d.acq;
        rollback t d Tx_signal.Rw_validation
      end);
-    Hashtbl.iter
+    Wlog.iter
       (fun addr value ->
         Runtime.Exec.tick costs.mem;
         Memory.Heap.unsafe_write t.heap addr value)
@@ -472,18 +475,21 @@ let atomic t ~tid f =
 
 let engine ?config heap : Engine.t =
   let t = create ?config heap in
+  (* One [tx_ops] per descriptor, built up front: the per-transaction fast
+     path allocates no closures. *)
+  let ops =
+    Array.init Stats.max_threads (fun tid ->
+        let d = t.descs.(tid) in
+        {
+          Engine.read = (fun addr -> read_word t d addr);
+          write = (fun addr v -> write_word t d addr v);
+          alloc = (fun n -> Memory.Heap.alloc heap n);
+        })
+  in
   {
     Engine.name = name_of_config t.config;
     heap;
-    atomic =
-      (fun ~tid f ->
-        atomic t ~tid (fun d ->
-            f
-              {
-                Engine.read = (fun addr -> read_word t d addr);
-                write = (fun addr v -> write_word t d addr v);
-                alloc = (fun n -> Memory.Heap.alloc heap n);
-              }));
+    atomic = (fun ~tid f -> atomic t ~tid (fun _ -> f ops.(tid)));
     stats = (fun () -> Stats.snapshot t.stats);
     reset_stats = (fun () -> Stats.reset t.stats);
   }

@@ -30,11 +30,11 @@ type desc = {
   read_versions : Ivec.t;
   acq_stripes : Ivec.t;
   acq_saved : Ivec.t;  (* lock value (version) at acquisition, for abort *)
-  acq_version : (int, int) Hashtbl.t;
+  acq_version : Wlog.t;
       (* stripe -> version at acquisition; validation of a read-log entry
          for a stripe we now own must compare against this, not give the
          entry a free pass *)
-  wset : (int, int) Hashtbl.t;
+  wset : Wlog.t;
   mutable depth : int;
 }
 
@@ -77,8 +77,8 @@ let create ?(config = default_config) heap =
             read_versions = Ivec.create ();
             acq_stripes = Ivec.create ();
             acq_saved = Ivec.create ();
-            acq_version = Hashtbl.create 16;
-            wset = Hashtbl.create 64;
+            acq_version = Wlog.create ~bits:4 ();
+            wset = Wlog.create ();
             depth = 0;
           });
     stats = Stats.create ();
@@ -90,8 +90,8 @@ let clear_logs d =
   Ivec.clear d.read_versions;
   Ivec.clear d.acq_stripes;
   Ivec.clear d.acq_saved;
-  Hashtbl.reset d.acq_version;
-  Hashtbl.reset d.wset
+  Wlog.clear d.acq_version;
+  Wlog.clear d.wset
 
 (* Abort path: restore the pre-acquisition version into every lock we own. *)
 let release_restoring t d =
@@ -127,9 +127,9 @@ let validate t d =
        else begin
          (* We own this stripe: the read is valid only if the version we
             logged is the one the stripe still had when we acquired it. *)
-         match Hashtbl.find_opt d.acq_version idx with
-         | Some acquired -> if acquired <> logged then ok := false
-         | None -> ok := false
+         let s = Wlog.probe d.acq_version idx in
+         if s < 0 || Wlog.slot_value d.acq_version s <> logged then
+           ok := false
        end
      end
      else if version_of lv <> logged then ok := false);
@@ -153,13 +153,15 @@ let read_word t d addr =
   let lv = Runtime.Tmatomic.get lock in
   if is_locked lv then begin
     if lv = locked_by d.tid then begin
-      (* Read-after-write: serve from the redo log / stable memory. *)
+      (* Read-after-write: serve from the redo log / stable memory; the
+         bloom filter lets the miss case skip the probe. *)
       Runtime.Exec.tick costs.log_lookup;
-      match Hashtbl.find_opt d.wset addr with
-      | Some v -> v
-      | None ->
-          Runtime.Exec.tick costs.mem;
-          Memory.Heap.unsafe_read t.heap addr
+      let s = Wlog.probe d.wset addr in
+      if s >= 0 then Wlog.slot_value d.wset s
+      else begin
+        Runtime.Exec.tick costs.mem;
+        Memory.Heap.unsafe_read t.heap addr
+      end
     end
     else
       (* Encounter-time r/w conflict: timid — the reader aborts at once. *)
@@ -188,7 +190,7 @@ let write_word t d addr value =
   let lv = Runtime.Tmatomic.get lock in
   if lv = mine then begin
     Runtime.Exec.tick costs.log_append;
-    Hashtbl.replace d.wset addr value
+    Wlog.replace d.wset addr value
   end
   else begin
     let rec acquire lv =
@@ -200,14 +202,14 @@ let write_word t d addr value =
       else begin
         Ivec.push d.acq_stripes idx;
         Ivec.push d.acq_saved lv;
-        Hashtbl.replace d.acq_version idx (version_of lv);
+        Wlog.replace d.acq_version idx (version_of lv);
         if version_of lv > d.valid_ts && not (extend t d) then
           rollback t d Tx_signal.Rw_validation
       end
     in
     acquire lv;
     Runtime.Exec.tick costs.log_append;
-    Hashtbl.replace d.wset addr value
+    Wlog.replace d.wset addr value
   end
 
 let commit t d =
@@ -221,7 +223,7 @@ let commit t d =
     let ts = Runtime.Tmatomic.incr_get t.clock in
     if ts > d.valid_ts + 1 && not (validate t d) then
       rollback t d Tx_signal.Rw_validation;
-    Hashtbl.iter
+    Wlog.iter
       (fun addr value ->
         Runtime.Exec.tick costs.mem;
         Memory.Heap.unsafe_write t.heap addr value)
@@ -272,18 +274,21 @@ let atomic t ~tid f =
 
 let engine ?config heap : Engine.t =
   let t = create ?config heap in
+  (* One [tx_ops] per descriptor, built up front: the per-transaction fast
+     path allocates no closures. *)
+  let ops =
+    Array.init Stats.max_threads (fun tid ->
+        let d = t.descs.(tid) in
+        {
+          Engine.read = (fun addr -> read_word t d addr);
+          write = (fun addr v -> write_word t d addr v);
+          alloc = (fun n -> Memory.Heap.alloc heap n);
+        })
+  in
   {
     Engine.name;
     heap;
-    atomic =
-      (fun ~tid f ->
-        atomic t ~tid (fun d ->
-            f
-              {
-                Engine.read = (fun addr -> read_word t d addr);
-                write = (fun addr v -> write_word t d addr v);
-                alloc = (fun n -> Memory.Heap.alloc heap n);
-              }));
+    atomic = (fun ~tid f -> atomic t ~tid (fun _ -> f ops.(tid)));
     stats = (fun () -> Stats.snapshot t.stats);
     reset_stats = (fun () -> Stats.reset t.stats);
   }

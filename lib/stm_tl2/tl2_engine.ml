@@ -27,11 +27,11 @@ type desc = {
   info : Cm.Cm_intf.txinfo;  (* used for back-off bookkeeping *)
   mutable rv : int;  (* read version: clock sample at start *)
   read_stripes : Ivec.t;
-  wset : (int, int) Hashtbl.t;  (* addr -> value *)
+  wset : Wlog.t;  (* redo log: addr -> value *)
   wstripes : Ivec.t;  (* unique stripes written, in first-write order *)
-  wstripe_seen : (int, unit) Hashtbl.t;
+  wstripe_seen : Wlog.t;  (* stripe membership for [wstripes] *)
   acq_saved : Ivec.t;  (* lock values saved during commit acquisition *)
-  acq_version : (int, int) Hashtbl.t;
+  acq_version : Wlog.t;
       (* stripe -> version at commit-time acquisition; a read-log entry for
          a stripe we locked ourselves validates against this *)
   mutable depth : int;
@@ -73,11 +73,11 @@ let create ?(config = default_config) heap =
             info = Cm.Cm_intf.make_txinfo ~tid ~seed:config.seed;
             rv = 0;
             read_stripes = Ivec.create ();
-            wset = Hashtbl.create 64;
+            wset = Wlog.create ();
             wstripes = Ivec.create ();
-            wstripe_seen = Hashtbl.create 64;
+            wstripe_seen = Wlog.create ();
             acq_saved = Ivec.create ();
-            acq_version = Hashtbl.create 16;
+            acq_version = Wlog.create ~bits:4 ();
             depth = 0;
           });
     stats = Stats.create ();
@@ -86,10 +86,10 @@ let create ?(config = default_config) heap =
 
 let clear_logs d =
   Ivec.clear d.read_stripes;
-  Hashtbl.reset d.wset;
+  Wlog.clear d.wset;
   Ivec.clear d.wstripes;
-  Hashtbl.reset d.wstripe_seen;
-  Hashtbl.reset d.acq_version;
+  Wlog.clear d.wstripe_seen;
+  Wlog.clear d.acq_version;
   Ivec.clear d.acq_saved
 
 let rollback t d reason =
@@ -105,37 +105,39 @@ let read_word t d addr =
   let costs = Runtime.Costs.get () in
   Stats.read t.stats ~tid:d.tid;
   let idx = Memory.Stripe.index t.stripe addr in
-  (* Redo-log lookup; free for read-only transactions (TL2's Bloom filter
-     makes the common miss cheap). *)
-  match
-    (if Hashtbl.length d.wset = 0 then None
-     else begin
-       Runtime.Exec.tick costs.log_lookup;
-       Hashtbl.find_opt d.wset addr
-     end)
-  with
-  | Some v -> v
-  | None ->
-      let lock = t.locks.(idx) in
-      let lv1 = Runtime.Tmatomic.get lock in
-      Runtime.Exec.tick costs.mem;
-      let value = Memory.Heap.unsafe_read t.heap addr in
-      let lv2 = Runtime.Tmatomic.get lock in
-      if is_locked lv1 || lv1 <> lv2 || version_of lv1 > d.rv then
-        (* Locked or moved past our snapshot: TL2 aborts (no extension). *)
-        rollback t d Tx_signal.Rw_validation;
-      Runtime.Exec.tick costs.log_append;
-      Ivec.push d.read_stripes idx;
-      value
+  (* Redo-log lookup; free for read-only transactions, and [Wlog]'s bloom
+     filter makes the common miss cheap for update ones (TL2's own
+     write-set Bloom filter trick). *)
+  let s =
+    if Wlog.is_empty d.wset then -1
+    else begin
+      Runtime.Exec.tick costs.log_lookup;
+      Wlog.probe d.wset addr
+    end
+  in
+  if s >= 0 then Wlog.slot_value d.wset s
+  else begin
+    let lock = t.locks.(idx) in
+    let lv1 = Runtime.Tmatomic.get lock in
+    Runtime.Exec.tick costs.mem;
+    let value = Memory.Heap.unsafe_read t.heap addr in
+    let lv2 = Runtime.Tmatomic.get lock in
+    if is_locked lv1 || lv1 <> lv2 || version_of lv1 > d.rv then
+      (* Locked or moved past our snapshot: TL2 aborts (no extension). *)
+      rollback t d Tx_signal.Rw_validation;
+    Runtime.Exec.tick costs.log_append;
+    Ivec.push d.read_stripes idx;
+    value
+  end
 
 let write_word t d addr value =
   let costs = Runtime.Costs.get () in
   Stats.write t.stats ~tid:d.tid;
   Runtime.Exec.tick costs.log_append;
-  Hashtbl.replace d.wset addr value;
+  Wlog.replace d.wset addr value;
   let idx = Memory.Stripe.index t.stripe addr in
-  if not (Hashtbl.mem d.wstripe_seen idx) then begin
-    Hashtbl.add d.wstripe_seen idx ();
+  if not (Wlog.mem d.wstripe_seen idx) then begin
+    Wlog.replace d.wstripe_seen idx 1;
     Ivec.push d.wstripes idx
   end
 
@@ -162,7 +164,7 @@ let gv4_bump t ~rv =
 let commit t d =
   let costs = Runtime.Costs.get () in
   Runtime.Exec.tick costs.tx_end;
-  if Hashtbl.length d.wset = 0 then begin
+  if Wlog.is_empty d.wset then begin
     (* Read-only: every read was validated against [rv]; nothing to do. *)
     Stats.commit t.stats ~tid:d.tid;
     clear_logs d
@@ -181,7 +183,7 @@ let commit t d =
          then raise Exit
          else begin
            Ivec.push d.acq_saved lv;
-           Hashtbl.replace d.acq_version idx (version_of lv);
+           Wlog.replace d.acq_version idx (version_of lv);
            incr i
          end
        done
@@ -203,9 +205,9 @@ let commit t d =
            else begin
              (* We hold this lock for commit: the read is valid only if the
                 version at acquisition had not passed our snapshot. *)
-             match Hashtbl.find_opt d.acq_version idx with
-             | Some v -> if v > d.rv then ok := false
-             | None -> ok := false
+             let s = Wlog.probe d.acq_version idx in
+             if s < 0 || Wlog.slot_value d.acq_version s > d.rv then
+               ok := false
            end
          end
          else if version_of lv > d.rv then ok := false);
@@ -216,7 +218,7 @@ let commit t d =
         rollback t d Tx_signal.Rw_validation
       end
     end;
-    Hashtbl.iter
+    Wlog.iter
       (fun addr value ->
         Runtime.Exec.tick costs.mem;
         Memory.Heap.unsafe_write t.heap addr value)
@@ -266,18 +268,21 @@ let atomic t ~tid f =
 
 let engine ?config heap : Engine.t =
   let t = create ?config heap in
+  (* One [tx_ops] per descriptor, built up front: the per-transaction fast
+     path allocates no closures. *)
+  let ops =
+    Array.init Stats.max_threads (fun tid ->
+        let d = t.descs.(tid) in
+        {
+          Engine.read = (fun addr -> read_word t d addr);
+          write = (fun addr v -> write_word t d addr v);
+          alloc = (fun n -> Memory.Heap.alloc heap n);
+        })
+  in
   {
     Engine.name;
     heap;
-    atomic =
-      (fun ~tid f ->
-        atomic t ~tid (fun d ->
-            f
-              {
-                Engine.read = (fun addr -> read_word t d addr);
-                write = (fun addr v -> write_word t d addr v);
-                alloc = (fun n -> Memory.Heap.alloc heap n);
-              }));
+    atomic = (fun ~tid f -> atomic t ~tid (fun _ -> f ops.(tid)));
     stats = (fun () -> Stats.snapshot t.stats);
     reset_stats = (fun () -> Stats.reset t.stats);
   }

@@ -1,0 +1,227 @@
+(* Wlog: the open-addressing int->int write log behind every engine's redo
+   log.  Unit tests for the basics and the generation-stamped O(1) clear;
+   QCheck differential tests against a reference Hashtbl (including remove
+   and clear); savepoint-mark (record_once / bump_mark) semantics. *)
+
+open Stm_intf
+
+let check = Alcotest.check
+
+(* ---------- unit: basics ---------- *)
+
+let test_basics () =
+  let t = Wlog.create () in
+  check Alcotest.bool "fresh empty" true (Wlog.is_empty t);
+  check Alcotest.int "fresh len" 0 (Wlog.length t);
+  Wlog.replace t 42 1;
+  Wlog.replace t 7 2;
+  Wlog.replace t 42 3;
+  check Alcotest.int "len after overwrite" 2 (Wlog.length t);
+  check Alcotest.bool "mem hit" true (Wlog.mem t 42);
+  check Alcotest.bool "mem miss" false (Wlog.mem t 5);
+  let s = Wlog.probe t 42 in
+  check Alcotest.bool "probe hit" true (s >= 0);
+  check Alcotest.int "overwritten value" 3 (Wlog.slot_value t s);
+  check Alcotest.int "probe miss" (-1) (Wlog.probe t 9999);
+  Wlog.remove t 42;
+  check Alcotest.int "len after remove" 1 (Wlog.length t);
+  check Alcotest.int "probe removed" (-1) (Wlog.probe t 42);
+  check Alcotest.bool "other survives" true (Wlog.mem t 7)
+
+let test_iter_fold () =
+  let t = Wlog.create () in
+  for i = 1 to 100 do
+    Wlog.replace t (i * 37) i
+  done;
+  check Alcotest.int "len 100" 100 (Wlog.length t);
+  let sum = Wlog.fold (fun _k v acc -> acc + v) t 0 in
+  check Alcotest.int "fold sum" (100 * 101 / 2) sum;
+  let n = ref 0 in
+  Wlog.iter (fun k v -> if k = v * 37 then incr n) t;
+  check Alcotest.int "iter sees all pairs" 100 !n
+
+(* ---------- unit: clear / generation reuse ---------- *)
+
+let test_clear_generations () =
+  let t = Wlog.create ~bits:2 () in
+  (* many clear cycles re-using the same slots: stale generations must
+     never leak old entries, and growth across generations must work *)
+  for round = 1 to 200 do
+    check Alcotest.bool
+      (Printf.sprintf "round %d starts empty" round)
+      true (Wlog.is_empty t);
+    check Alcotest.int "stale entry invisible" (-1) (Wlog.probe t round);
+    for i = 0 to 15 do
+      Wlog.replace t (round + (i * 1000)) (round * i)
+    done;
+    check Alcotest.int "len" 16 (Wlog.length t);
+    for i = 0 to 15 do
+      let s = Wlog.probe t (round + (i * 1000)) in
+      check Alcotest.bool "hit" true (s >= 0);
+      check Alcotest.int "value" (round * i) (Wlog.slot_value t s)
+    done;
+    Wlog.clear t
+  done
+
+let test_tombstone_churn () =
+  (* Insert/remove churn within one generation must not wedge the probe
+     loop or lose entries: tombstone pressure triggers a same-size rehash. *)
+  let t = Wlog.create ~bits:2 () in
+  for i = 0 to 10_000 do
+    Wlog.replace t i i;
+    check Alcotest.bool "present" true (Wlog.mem t i);
+    Wlog.remove t i;
+    check Alcotest.bool "gone" false (Wlog.mem t i)
+  done;
+  check Alcotest.bool "empty after churn" true (Wlog.is_empty t);
+  (* and the table still works *)
+  Wlog.replace t 5 50;
+  check Alcotest.int "usable after churn" 50
+    (Wlog.slot_value t (Wlog.probe t 5))
+
+(* ---------- property: differential vs reference Hashtbl ---------- *)
+
+type op = Put of int * int | Del of int | Clear
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map2 (fun k v -> Put (k, v)) (int_bound 500) (int_bound 10_000));
+        (2, map (fun k -> Del k) (int_bound 500));
+        (1, return Clear);
+      ])
+
+let pp_op = function
+  | Put (k, v) -> Printf.sprintf "Put(%d,%d)" k v
+  | Del k -> Printf.sprintf "Del %d" k
+  | Clear -> "Clear"
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map pp_op l))
+    QCheck.Gen.(list_size (int_bound 400) op_gen)
+
+let same_as_reference ops =
+  let t = Wlog.create ~bits:2 () in
+  let r : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun op ->
+      (match op with
+      | Put (k, v) ->
+          Wlog.replace t k v;
+          Hashtbl.replace r k v
+      | Del k ->
+          Wlog.remove t k;
+          Hashtbl.remove r k
+      | Clear ->
+          Wlog.clear t;
+          Hashtbl.reset r);
+      (* full-state equivalence after every step *)
+      if Wlog.length t <> Hashtbl.length r then
+        QCheck.Test.fail_reportf "length: wlog=%d ref=%d" (Wlog.length t)
+          (Hashtbl.length r);
+      Hashtbl.iter
+        (fun k v ->
+          let s = Wlog.probe t k in
+          if s < 0 then QCheck.Test.fail_reportf "missing key %d" k;
+          if Wlog.slot_value t s <> v then
+            QCheck.Test.fail_reportf "key %d: wlog=%d ref=%d" k
+              (Wlog.slot_value t s) v)
+        r;
+      Wlog.iter
+        (fun k v ->
+          match Hashtbl.find_opt r k with
+          | Some v' when v' = v -> ()
+          | Some v' ->
+              QCheck.Test.fail_reportf "iter key %d: wlog=%d ref=%d" k v v'
+          | None -> QCheck.Test.fail_reportf "phantom key %d" k)
+        t)
+    ops;
+  true
+
+let differential =
+  QCheck.Test.make ~count:300 ~name:"wlog matches reference Hashtbl" ops_arb
+    same_as_reference
+
+(* ---------- savepoint marks: record_once / bump_mark ---------- *)
+
+let test_record_once () =
+  let t = Wlog.create () in
+  Wlog.replace t 10 100;
+  Wlog.bump_mark t;
+  (* first record of an existing key returns its slot *)
+  let s = Wlog.record_once t 10 in
+  check Alcotest.bool "first record: slot" true (s >= 0);
+  check Alcotest.int "slot holds current value" 100 (Wlog.slot_value t s);
+  (* second record within the same mark is deduped *)
+  check Alcotest.int "second record deduped" (-2) (Wlog.record_once t 10);
+  (* absent key *)
+  check Alcotest.int "absent key" (-1) (Wlog.record_once t 99);
+  (* a key inserted after the bump is born stamped: no undo entry needed *)
+  Wlog.replace t 20 200;
+  check Alcotest.int "scope-created entry already stamped" (-2)
+    (Wlog.record_once t 20);
+  (* a new mark re-arms recording for pre-existing keys *)
+  Wlog.bump_mark t;
+  check Alcotest.bool "new mark re-arms" true (Wlog.record_once t 10 >= 0);
+  check Alcotest.bool "new mark re-arms (was scope-created)" true
+    (Wlog.record_once t 20 >= 0)
+
+let test_savepoint_undo_pattern () =
+  (* Simulate the engines' closed-nesting undo: record old values once per
+     savepoint, mutate, then replay the undo records. *)
+  let t = Wlog.create ~bits:2 () in
+  for i = 0 to 31 do
+    Wlog.replace t i (i * 10)
+  done;
+  Wlog.bump_mark t;
+  let undo = ref [] in
+  let shadow k =
+    match Wlog.record_once t k with
+    | -2 -> ()
+    | -1 -> undo := (k, None) :: !undo
+    | s -> undo := (k, Some (Wlog.slot_value t s)) :: !undo
+  in
+  (* inner scope: overwrite some, create some, touch each several times *)
+  for pass = 1 to 3 do
+    for i = 0 to 15 do
+      shadow i;
+      Wlog.replace t i (1000 + (pass * 100) + i)
+    done;
+    for i = 100 to 107 do
+      shadow i;
+      Wlog.replace t i pass
+    done
+  done;
+  (* rollback: replay in reverse *)
+  List.iter
+    (fun (k, prev) ->
+      match prev with Some v -> Wlog.replace t k v | None -> Wlog.remove t k)
+    !undo;
+  check Alcotest.int "len restored" 32 (Wlog.length t);
+  for i = 0 to 31 do
+    check Alcotest.int
+      (Printf.sprintf "cell %d restored" i)
+      (i * 10)
+      (Wlog.slot_value t (Wlog.probe t i))
+  done;
+  for i = 100 to 107 do
+    check Alcotest.bool
+      (Printf.sprintf "scope-created %d gone" i)
+      false (Wlog.mem t i)
+  done
+
+let suite =
+  [
+    ( "wlog",
+      [
+        Alcotest.test_case "basics" `Quick test_basics;
+        Alcotest.test_case "iter-fold" `Quick test_iter_fold;
+        Alcotest.test_case "clear-generations" `Quick test_clear_generations;
+        Alcotest.test_case "tombstone-churn" `Quick test_tombstone_churn;
+        QCheck_alcotest.to_alcotest differential;
+        Alcotest.test_case "record-once" `Quick test_record_once;
+        Alcotest.test_case "savepoint-undo" `Quick test_savepoint_undo_pattern;
+      ] );
+  ]
