@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: all build test bench check clean
+.PHONY: all build test bench check fuzz-smoke clean
 
 all: build
 
@@ -19,6 +19,16 @@ bench:
 check: build
 	dune runtest
 	dune exec bench/perf_gate.exe -- --smoke --out /tmp/bench_gate_smoke.json
+	$(MAKE) fuzz-smoke
+
+# Quick schedule-exploration pass (seconds): a few engines under perturbed
+# schedules with opacity checking, plus the broken-engine self-check that
+# proves the checker has teeth.  bin/stm_fuzz has the full knobs.
+fuzz-smoke: build
+	dune exec bin/stm_fuzz.exe -- --engine swisstm --policy pct --seeds 8 --progs 3
+	dune exec bin/stm_fuzz.exe -- --engine tl2 --policy random --seeds 8 --progs 3
+	dune exec bin/stm_fuzz.exe -- --engine mvstm --policy pct --seeds 8 --progs 3
+	dune exec bin/stm_fuzz.exe -- --self-check --policy random --seeds 8 --progs 10
 
 clean:
 	dune clean

@@ -1,0 +1,151 @@
+(* Parse a flat Trace event stream into per-thread transaction attempts.
+
+   An attempt is one execution of a transaction body between a Begin and
+   the matching Commit/Abort on the same thread.  The [seq] of each event
+   (its index in the recorded array) is kept because the opacity checker
+   derives real-time edges from it: attempt A really-precedes attempt B
+   iff A's terminating event comes before B's Begin in the stream.  The
+   engines record Begin before sampling their snapshot and Commit after
+   their linearization point, so every derived edge is a true precedence
+   (see stm_intf/trace.ml). *)
+
+type op = { addr : int; value : int; seq : int }
+
+type outcome = Committed | Aborted | Live
+
+type attempt = {
+  tid : int;
+  begin_seq : int;
+  end_seq : int; (* max_int while Live *)
+  reads : op list; (* program order *)
+  writes : op list; (* program order *)
+  outcome : outcome;
+}
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+(* Accumulator for the attempt currently open on one thread. *)
+type open_attempt = {
+  o_begin_seq : int;
+  mutable o_reads : op list; (* reversed *)
+  mutable o_writes : op list; (* reversed *)
+}
+
+let attempts (events : Stm_intf.Trace.event array) : attempt list =
+  let open Stm_intf.Trace in
+  let current : (int, open_attempt) Hashtbl.t = Hashtbl.create 16 in
+  let done_ = ref [] in
+  let close tid seq outcome =
+    match Hashtbl.find_opt current tid with
+    | None -> malformed "event %d: %s on tid %d with no open attempt" seq
+                (match outcome with Committed -> "commit" | _ -> "abort")
+                tid
+    | Some o ->
+        Hashtbl.remove current tid;
+        done_ :=
+          {
+            tid;
+            begin_seq = o.o_begin_seq;
+            end_seq = seq;
+            reads = List.rev o.o_reads;
+            writes = List.rev o.o_writes;
+            outcome;
+          }
+          :: !done_
+  in
+  let op tid seq addr value kind =
+    match Hashtbl.find_opt current tid with
+    | None -> malformed "event %d: %s on tid %d outside any attempt" seq kind tid
+    | Some o ->
+        let x = { addr; value; seq } in
+        if kind = "read" then o.o_reads <- x :: o.o_reads
+        else o.o_writes <- x :: o.o_writes
+  in
+  Array.iteri
+    (fun seq ev ->
+      match ev with
+      | Begin { tid; _ } ->
+          if Hashtbl.mem current tid then
+            malformed "event %d: nested Begin on tid %d" seq tid;
+          Hashtbl.add current tid
+            { o_begin_seq = seq; o_reads = []; o_writes = [] }
+      | Read { tid; addr; value; _ } -> op tid seq addr value "read"
+      | Write { tid; addr; value; _ } -> op tid seq addr value "write"
+      | Commit { tid; _ } -> close tid seq Committed
+      | Abort { tid; _ } -> close tid seq Aborted)
+    events;
+  Hashtbl.iter
+    (fun tid o ->
+      done_ :=
+        {
+          tid;
+          begin_seq = o.o_begin_seq;
+          end_seq = max_int;
+          reads = List.rev o.o_reads;
+          writes = List.rev o.o_writes;
+          outcome = Live;
+        }
+        :: !done_)
+    current;
+  List.sort (fun a b -> compare a.begin_seq b.begin_seq) !done_
+
+(* Per-attempt local views.  A read is internal when the same attempt wrote
+   the address earlier in program order; it must return the latest such
+   write (read-your-own-writes).  External reads of the same address must
+   all return the same value (repeatable reads) and are collapsed to one
+   observation.  Both properties hold in any opaque history, so failure is
+   reported as a violation rather than tolerated. *)
+
+type view = {
+  ext_reads : (int * int) list; (* addr, value — first-read order *)
+  final_writes : (int * int) list; (* addr, last value — first-write order *)
+}
+
+let view (a : attempt) : (view, string) result =
+  let written : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let seen_ext : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let ext_rev = ref [] in
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+  (* Merge reads and writes back into program order by seq. *)
+  let tagged =
+    List.merge
+      (fun (s1, _) (s2, _) -> compare s1 s2)
+      (List.map (fun o -> (o.seq, `R o)) a.reads)
+      (List.map (fun o -> (o.seq, `W o)) a.writes)
+  in
+  List.iter
+    (fun (_, x) ->
+      match x with
+      | `W o -> Hashtbl.replace written o.addr o.value
+      | `R o -> (
+          match Hashtbl.find_opt written o.addr with
+          | Some v ->
+              if v <> o.value then
+                fail "tid %d: read of own write at addr %d saw %d, wrote %d"
+                  a.tid o.addr o.value v
+          | None -> (
+              match Hashtbl.find_opt seen_ext o.addr with
+              | Some v ->
+                  if v <> o.value then
+                    fail "tid %d: non-repeatable read at addr %d: %d then %d"
+                      a.tid o.addr v o.value
+              | None ->
+                  Hashtbl.add seen_ext o.addr o.value;
+                  ext_rev := (o.addr, o.value) :: !ext_rev)))
+    tagged;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      let fw_rev = ref [] in
+      let first : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun o ->
+          if not (Hashtbl.mem first o.addr) then begin
+            Hashtbl.add first o.addr ();
+            fw_rev := (o.addr, Hashtbl.find written o.addr) :: !fw_rev
+          end)
+        a.writes;
+      Ok { ext_reads = List.rev !ext_rev; final_writes = List.rev !fw_rev }

@@ -1,0 +1,37 @@
+(** Grouping a flat {!Stm_intf.Trace} event stream into transaction
+    attempts, plus per-attempt local consistency views. *)
+
+type op = { addr : int; value : int; seq : int }
+(** One read or write; [seq] is the event's index in the recorded array
+    and orders operations across the whole history. *)
+
+type outcome = Committed | Aborted | Live
+
+type attempt = {
+  tid : int;
+  begin_seq : int;
+  end_seq : int;  (** [max_int] while {!Live} *)
+  reads : op list;  (** program order *)
+  writes : op list;  (** program order *)
+  outcome : outcome;
+}
+
+exception Malformed of string
+(** Raised by {!attempts} on an event stream that violates the recording
+    contract (op outside an attempt, nested Begin, ...). *)
+
+val attempts : Stm_intf.Trace.event array -> attempt list
+(** All attempts, sorted by [begin_seq].  Attempts still open when the
+    trace ended are returned as {!Live}. *)
+
+type view = {
+  ext_reads : (int * int) list;
+      (** externally-sourced (addr, value) observations, deduplicated;
+          first-read order *)
+  final_writes : (int * int) list;
+      (** last value written per address; first-write order *)
+}
+
+val view : attempt -> (view, string) result
+(** Check read-your-own-writes and repeatable external reads inside one
+    attempt; [Error] describes the intra-attempt violation. *)

@@ -1,0 +1,53 @@
+(** The fuzzer's transactional-program DSL: generation, printing/parsing
+    (corpus format), shrinking, and execution under a scheduler policy
+    with history recording. *)
+
+type action =
+  | Rd of int  (** read cell i *)
+  | Wr of int * int  (** cell i <- v *)
+  | Acc of int * int  (** cell i <- cell i + cell j + 1 *)
+  | Nest of action list  (** flat-nested atomic block *)
+
+type t = { cells : int; threads : action list list array }
+
+val init_value : int -> int
+(** Initial value of cell [i] (the convention is [i]). *)
+
+val to_lines : t -> string list
+val to_string : t -> string
+
+val of_lines : string list -> (t, string) result
+(** Inverse of {!to_lines}; skips blank lines and [#] comments, rejects
+    unknown keys. *)
+
+val of_string : string -> (t, string) result
+
+type outcome = {
+  events : Stm_intf.Trace.event array;
+  scope_aborts : int;
+  init : (int * int) list;  (** tracked (addr, value) before the run *)
+  final : (int * int) list;  (** tracked (addr, value) after the run *)
+  timed_out : bool;  (** [Sim.Timeout] — don't check the partial trace *)
+}
+
+val run :
+  ?cap_cycles:int ->
+  spec:Engines.spec ->
+  policy:Runtime.Sim.policy ->
+  t ->
+  outcome
+(** Execute the program on a fresh heap + engine under [policy], with
+    {!Stm_intf.Trace} recording on for the duration of the run. *)
+
+val gen : ?cells:int -> threads:int -> unit -> t QCheck.Gen.t
+
+val generate : ?cells:int -> threads:int -> seed:int -> unit -> t
+(** Deterministic: the same [seed] always yields the same program. *)
+
+val shrink : t -> t list
+(** Single-step shrink candidates (drop a thread's work, drop a
+    transaction, drop/simplify an action, splice a nested block).  Every
+    candidate is strictly smaller under a well-founded measure, so greedy
+    re-shrinking terminates. *)
+
+val size : t -> int

@@ -16,6 +16,11 @@ type t = {
           transaction waits until all transactions that started before its
           commit have validated, committed or aborted, making the
           privatization idiom safe at a measurable cost *)
+  debug_no_validation : bool;
+      (** DEBUG ONLY: make read-set validation vacuously succeed, so stale
+          reads survive extension and commit.  Deliberately breaks opacity;
+          exists so the fuzzer's checker can prove it catches a broken
+          engine ([stm_fuzz --self-check]). *)
 }
 
 let default =
@@ -25,6 +30,7 @@ let default =
     table_bits = 18;
     seed = 0xC0FFEE;
     privatization_safe = false;
+    debug_no_validation = false;
   }
 
 let with_cm cm t = { t with cm }

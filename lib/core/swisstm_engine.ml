@@ -23,6 +23,7 @@ type t = {
   descs : Descriptor.t array;
   stats : Stats.t;
   privatization_safe : bool;
+  debug_no_validation : bool;
   active : Runtime.Tmatomic.t array;
       (** per-thread snapshot timestamp while inside a transaction,
           [max_int] when idle — the quiescence table (paper §6) *)
@@ -45,6 +46,7 @@ let create ?(config = Swisstm_config.default) heap =
           Descriptor.create ~tid ~seed:config.seed);
     stats = Stats.create ();
     privatization_safe = config.privatization_safe;
+    debug_no_validation = config.debug_no_validation;
     active = Array.init Stats.max_threads (fun _ -> Runtime.Tmatomic.make max_int);
   }
 
@@ -84,6 +86,7 @@ let rollback t (d : Descriptor.t) reason =
         else Wlog.remove d.wset addr
       done;
       Descriptor.clear_sp_undo d;
+      if !Trace.enabled then Trace.on_scope_abort ~tid:d.tid;
       Stats.abort t.stats ~tid:d.tid reason;
       Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
       t.cm.on_rollback d.info;
@@ -92,6 +95,7 @@ let rollback t (d : Descriptor.t) reason =
       release_w_locks t d;
       if t.privatization_safe then
         Runtime.Tmatomic.set t.active.(d.tid) max_int;
+      if !Trace.enabled then Trace.on_abort ~tid:d.tid;
       Stats.abort t.stats ~tid:d.tid reason;
       Descriptor.clear_logs d;
       Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
@@ -107,6 +111,8 @@ let check_kill t (d : Descriptor.t) =
     still hold the version observed at read time, or be locked by [d]
     itself (its own commit-time r-lock).  Paper, function validate. *)
 let validate t (d : Descriptor.t) =
+  if t.debug_no_validation then true
+  else begin
   let costs = Runtime.Costs.get () in
   let n = Ivec.length d.read_stripes in
   let ok = ref true in
@@ -132,6 +138,7 @@ let validate t (d : Descriptor.t) =
     incr i
   done;
   !ok
+  end
 
 (** Extend the validation timestamp (paper, function extend): if the read
     set is still valid, advance valid-ts to the current commit-ts. *)
@@ -293,6 +300,7 @@ let commit t (d : Descriptor.t) =
   if Descriptor.is_read_only d then begin
     if t.privatization_safe then
       Runtime.Tmatomic.set t.active.(d.tid) max_int;
+    if !Trace.enabled then Trace.on_commit ~tid:d.tid;
     Stats.commit t.stats ~tid:d.tid;
     Descriptor.clear_logs d;
     t.cm.on_commit d.info
@@ -332,6 +340,7 @@ let commit t (d : Descriptor.t) =
       d.acq_stripes;
     if t.privatization_safe then
       Runtime.Tmatomic.set t.active.(d.tid) max_int;
+    if !Trace.enabled then Trace.on_commit ~tid:d.tid;
     Stats.commit t.stats ~tid:d.tid;
     Descriptor.clear_logs d;
     t.cm.on_commit d.info;
@@ -342,6 +351,8 @@ let commit t (d : Descriptor.t) =
 (* --- transaction driver ------------------------------------------------ *)
 
 let start t (d : Descriptor.t) ~restart =
+  (* Begin is recorded BEFORE the snapshot is taken (Trace contract). *)
+  if !Trace.enabled then Trace.on_begin ~tid:d.tid;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
   Descriptor.clear_logs d;
   d.valid_ts <- Runtime.Tmatomic.get t.commit_ts;
@@ -427,8 +438,15 @@ let engine ?config heap : Engine.t =
     Array.init Stats.max_threads (fun tid ->
         let d = t.descs.(tid) in
         {
-          Engine.read = (fun addr -> read_word t d addr);
-          write = (fun addr v -> write_word t d addr v);
+          Engine.read =
+            (fun addr ->
+              let v = read_word t d addr in
+              if !Trace.enabled then Trace.on_read ~tid ~addr ~value:v;
+              v);
+          write =
+            (fun addr v ->
+              write_word t d addr v;
+              if !Trace.enabled then Trace.on_write ~tid ~addr ~value:v);
           alloc = (fun n -> Memory.Heap.alloc heap n);
         })
   in

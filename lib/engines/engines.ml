@@ -26,6 +26,12 @@ let mvstm = Mvstm Mvstm.Mvstm_engine.default_config
 let swisstm_priv_safe =
   Swisstm { Swisstm.Swisstm_config.default with privatization_safe = true }
 
+(* Deliberately broken debug variant (validation disabled): exists so the
+   fuzzer can prove its opacity checker catches a buggy engine.  Hidden
+   from [known_names] so no benchmark picks it up by accident. *)
+let swisstm_broken =
+  Swisstm { Swisstm.Swisstm_config.default with debug_no_validation = true }
+
 let rstm_with ?acquire ?visibility ?cm () =
   let c = Rstm.Rstm_engine.default_config in
   Rstm
@@ -54,12 +60,29 @@ let name = function
           "swisstm"
         else Printf.sprintf "swisstm(%s)" (Cm.Cm_intf.spec_name c.cm)
       in
+      let base = if c.debug_no_validation then base ^ "!noval" else base in
       if c.privatization_safe then base ^ "+quiescence" else base
   | Tl2 _ -> "tl2"
   | Tinystm _ -> "tinystm"
   | Rstm c -> Rstm.Rstm_engine.name_of_config c
   | Mvstm _ -> "mvstm"
   | Glock -> "glock"
+
+(* What each engine promises about the reads of *aborted* transactions.
+   Timestamp-validated engines (SwissTM, TL2, TinySTM), multi-version
+   reads, visible readers and the global lock give every attempt a
+   consistent snapshot (opacity).  RSTM's invisible-read mode only
+   validates lazily — a read of an own eagerly-acquired stripe skips the
+   commit-counter heuristic entirely — so doomed transactions can observe
+   inconsistent state before commit-time validation aborts them; it
+   promises serializability of committed transactions only.  The checker
+   holds each engine to exactly its contract. *)
+type contract = Opaque | Serializable
+
+let contract = function
+  | Rstm c when c.Rstm.Rstm_engine.visibility = Rstm.Rstm_engine.Invisible ->
+      Serializable
+  | _ -> Opaque
 
 let make spec heap : Stm_intf.Engine.t =
   match spec with
@@ -80,6 +103,19 @@ let with_granularity gran spec =
   | Mvstm c -> Mvstm { c with granularity_words = gran }
   | Glock -> Glock
 
+(* Smaller lock/version tables for workloads touching few addresses (the
+   fuzzer builds a fresh engine per run; 2^18-entry tables dominate its
+   runtime otherwise).  Hash collisions only add false conflicts, never
+   hide real ones, so correctness checking stays sound. *)
+let with_table_bits bits spec =
+  match spec with
+  | Swisstm c -> Swisstm { c with table_bits = bits }
+  | Tl2 c -> Tl2 { c with table_bits = bits }
+  | Tinystm c -> Tinystm { c with table_bits = bits }
+  | Rstm c -> Rstm { c with table_bits = bits }
+  | Mvstm c -> Mvstm { c with table_bits = bits }
+  | Glock -> Glock
+
 let of_string = function
   | "swisstm" -> Some swisstm
   | "tl2" -> Some tl2
@@ -92,6 +128,7 @@ let of_string = function
   | "swisstm-timid" -> Some (swisstm_with ~cm:Cm.Cm_intf.Timid ())
   | "swisstm-greedy" -> Some (swisstm_with ~cm:Cm.Cm_intf.Greedy ())
   | "swisstm-priv" -> Some swisstm_priv_safe
+  | "swisstm-broken" -> Some swisstm_broken
   | "mvstm" -> Some mvstm
   | "rstm-karma" -> Some (rstm_with ~cm:Cm.Cm_intf.Karma ())
   | "rstm-timestamp" -> Some (rstm_with ~cm:Cm.Cm_intf.Timestamp ())

@@ -31,6 +31,12 @@ val mvstm : spec
 val swisstm_priv_safe : spec
 (** SwissTM with the §6 quiescence barrier (privatization-safe commits). *)
 
+val swisstm_broken : spec
+(** DEBUG ONLY: SwissTM with read-set validation disabled
+    ([debug_no_validation]).  Breaks opacity on purpose; the fuzzer uses it
+    to prove the history checker catches a buggy engine.  Accepted by
+    {!of_string} as ["swisstm-broken"] but hidden from {!known_names}. *)
+
 val rstm_with :
   ?acquire:Rstm.Rstm_engine.acquire ->
   ?visibility:Rstm.Rstm_engine.visibility ->
@@ -48,8 +54,23 @@ val swisstm_with :
 val name : spec -> string
 val make : spec -> Memory.Heap.t -> Stm_intf.Engine.t
 
+type contract = Opaque | Serializable
+
+val contract : spec -> contract
+(** What the engine guarantees about aborted transactions' reads:
+    [Opaque] engines give every attempt a consistent snapshot; RSTM's
+    invisible-read mode is [Serializable] — committed transactions
+    serialize, but doomed ones may observe inconsistent state before
+    validation aborts them (the motivating weakness for timestamp-based
+    designs). *)
+
 val with_granularity : int -> spec -> spec
 (** Override the stripe size (Figure 13 / Table 2 sweeps). *)
+
+val with_table_bits : int -> spec -> spec
+(** Override the lock/version-table size.  The fuzzer uses small tables
+    so per-run engine construction stays cheap; collisions only add false
+    conflicts. *)
 
 val of_string : string -> spec option
 val known_names : string list

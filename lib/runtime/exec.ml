@@ -25,6 +25,13 @@ let vtimes = ref [||]
    the current thread is the only one left. *)
 let next_deadline = ref max_int
 
+(* Whether the last yield back to the scheduler was a blocked/no-progress
+   yield ([pause]/[yield] from a spin loop) rather than a deadline
+   preemption from [tick].  Scheduler policies that do not run the
+   earliest thread (PCT) read this to demote spinners so a lock owner can
+   run; [Sim] clears it before resuming a thread. *)
+let blocked_yield = ref false
+
 let in_sim () = !cur >= 0
 
 (** Charge [n] virtual cycles to the calling simulated thread; no-op in
@@ -38,7 +45,11 @@ let tick n =
   end
 
 (** Yield unconditionally (used by spin loops that made no progress). *)
-let yield () = if !cur >= 0 then Effect.perform Yield
+let yield () =
+  if !cur >= 0 then begin
+    blocked_yield := true;
+    Effect.perform Yield
+  end
 
 (* Thread id for native mode, assigned by the workload harness. *)
 let native_tid : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
@@ -64,6 +75,7 @@ let pause () =
     v.(c) <- v.(c) + (Costs.get ()).pause;
     (* A spinning thread must always let the lock owner run, even when the
        spinner is still the earliest thread. *)
+    blocked_yield := true;
     Effect.perform Yield
   end
   else Domain.cpu_relax ()

@@ -35,3 +35,8 @@ type _ Effect.t += Yield : unit Effect.t
 val cur : int ref
 val vtimes : int array ref
 val next_deadline : int ref
+
+val blocked_yield : bool ref
+(* Set by [pause]/[yield] (a no-progress yield), cleared by [Sim] before
+   resuming a thread.  Lets non-earliest-first scheduler policies demote
+   spinners instead of livelocking on them. *)

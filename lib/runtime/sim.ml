@@ -1,19 +1,60 @@
 (* Deterministic discrete-event scheduler for simulated threads.
 
    Each thread is an OCaml 5 fiber.  Threads advance their private virtual
-   clocks through [Exec.tick]; the scheduler always resumes the runnable
-   thread with the smallest virtual time (ties broken by thread id), so a
-   run is a deterministic function of the thread bodies and their seeds.
+   clocks through [Exec.tick]; which runnable thread gets resumed — and for
+   how long — is decided by a pluggable *policy*:
 
-   A thread keeps running without a context switch for as long as it remains
-   the earliest thread ([Exec.next_deadline]); the resulting schedule is
-   identical to switching on every tick, minus the overhead. *)
+   - [Earliest_first] (the default): always resume the runnable thread with
+     the smallest virtual time (ties broken by thread id).  A thread keeps
+     running without a context switch for as long as it remains the
+     earliest one; the resulting schedule is identical to switching on
+     every tick, minus the overhead.  This is the policy every benchmark
+     runs under: it is the one that makes virtual makespans meaningful.
+
+   - [Random _]: seeded perturbation for schedule exploration.  Each
+     decision picks uniformly among the live threads whose clocks are
+     within [window] cycles of the minimum and runs the winner for a
+     random quantum.  Clocks still advance monotonically, so no thread
+     starves (a lagging thread is eventually the minimum and therefore
+     always a candidate), but tie-breaks and preemption points differ per
+     seed — each seed is one more interleaving of the same program.
+
+   - [Pct _]: PCT-style priority scheduling (Burckhardt et al., ASPLOS
+     2010) with [depth - 1] priority-change points spread over [horizon]
+     virtual cycles.  The highest-priority live thread runs; at each
+     change point the running thread's priority drops below everyone
+     else's.  A thread that yields without progress (a spin loop blocked
+     on a lock, [Exec.blocked_yield]) is likewise demoted so the lock
+     owner can run — the standard PCT treatment of yields, and the reason
+     the policy cannot livelock on the engines' spin-wait loops.
+
+   All three are deterministic functions of (bodies, policy): same seed,
+   same schedule — which is what makes a failing fuzzer triple
+   (policy, seed, program) replayable. *)
 
 exception Timeout of int
 (** Raised when every live thread's virtual clock passed the [cap_cycles]
     safety limit — in this codebase that means a livelock bug. *)
 
 exception Nested_simulation
+
+type policy =
+  | Earliest_first
+  | Random of { seed : int; window : int; quantum : int }
+  | Pct of { seed : int; depth : int; horizon : int }
+
+let default_policy = Earliest_first
+
+let random_policy ?(window = 5_000) ?(quantum = 2_000) seed =
+  Random { seed; window; quantum }
+
+let pct_policy ?(depth = 3) ?(horizon = 2_000_000) seed =
+  Pct { seed; depth; horizon }
+
+let policy_name = function
+  | Earliest_first -> "earliest"
+  | Random { seed; _ } -> Printf.sprintf "random:%d" seed
+  | Pct { seed; depth; _ } -> Printf.sprintf "pct:%d(d=%d)" seed depth
 
 type state = {
   conts : (unit, unit) Effect.Deep.continuation option array;
@@ -36,11 +77,165 @@ let make_handler st tid =
         | _ -> None);
   }
 
+(* Resume thread [tid] until it yields or finishes; decrement [alive] when
+   it finished.  Shared by every policy loop. *)
+let step st bodies alive tid =
+  Exec.cur := tid;
+  Exec.blocked_yield := false;
+  (match st.conts.(tid) with
+  | Some k ->
+      st.conts.(tid) <- None;
+      Effect.Deep.continue k ()
+  | None ->
+      if st.started.(tid) then
+        (* A started thread with no continuation yielded nothing and
+           did not finish: impossible by construction. *)
+        assert false
+      else begin
+        st.started.(tid) <- true;
+        Effect.Deep.match_with bodies.(tid) () (make_handler st tid)
+      end);
+  Exec.cur := -1;
+  if st.finished.(tid) then decr alive
+
+(* --- policy loops ------------------------------------------------------ *)
+
+(* The benchmark policy: always the earliest live thread, preempted when it
+   ticks past the second-earliest clock. *)
+let run_earliest st bodies alive n cap_cycles =
+  while !alive > 0 do
+    (* Select the earliest live thread and the deadline after which it
+       must yield back (the second-earliest live thread's clock). *)
+    let best = ref (-1) and best_t = ref max_int and second = ref max_int in
+    for i = 0 to n - 1 do
+      if not st.finished.(i) then begin
+        let t = st.vtimes.(i) in
+        if t < !best_t then begin
+          second := !best_t;
+          best_t := t;
+          best := i
+        end
+        else if t < !second then second := t
+      end
+    done;
+    if !best_t > cap_cycles then raise (Timeout !best_t);
+    (* Clamp to the cap so even a lone runaway thread yields back and
+       the timeout check above fires. *)
+    Exec.next_deadline := min !second cap_cycles;
+    step st bodies alive !best
+  done
+
+(* Seeded perturbation: pick uniformly among live threads within [window]
+   cycles of the minimum clock, run the winner for a random quantum. *)
+let run_random st bodies alive n cap_cycles ~seed ~window ~quantum =
+  let rng = Rng.create seed in
+  while !alive > 0 do
+    let min_t = ref max_int in
+    for i = 0 to n - 1 do
+      if (not st.finished.(i)) && st.vtimes.(i) < !min_t then
+        min_t := st.vtimes.(i)
+    done;
+    if !min_t > cap_cycles then raise (Timeout !min_t);
+    let limit = !min_t + window in
+    let candidates = ref 0 in
+    for i = 0 to n - 1 do
+      if (not st.finished.(i)) && st.vtimes.(i) <= limit then incr candidates
+    done;
+    let pick = Rng.int rng !candidates in
+    let tid = ref (-1) and seen = ref 0 in
+    (try
+       for i = 0 to n - 1 do
+         if (not st.finished.(i)) && st.vtimes.(i) <= limit then begin
+           if !seen = pick then begin
+             tid := i;
+             raise Exit
+           end;
+           incr seen
+         end
+       done
+     with Exit -> ());
+    Exec.next_deadline :=
+      min (st.vtimes.(!tid) + 1 + Rng.int rng quantum) cap_cycles;
+    step st bodies alive !tid
+  done
+
+(* PCT: random static priorities, [depth - 1] change points over [horizon]
+   cycles of cumulative progress, blocked yields demote the spinner.
+
+   One addition over textbook PCT: no thread may run more than [4 *
+   horizon] cycles ahead of the slowest live thread without being
+   demoted.  PCT assumes the running thread makes global progress, but an
+   abort-retry duel (e.g. the timid CM aborting the attacker against a
+   preempted lock holder) spins at top priority without ever performing a
+   blocked yield; under earliest-first the duel self-heals because the
+   spinner's clock overtakes the victim's, so only priority policies need
+   the explicit lag bound.  It restores starvation freedom and keeps the
+   schedule deterministic. *)
+let run_pct st bodies alive n cap_cycles ~seed ~depth ~horizon =
+  let rng = Rng.create seed in
+  let prio = Array.init n (fun i -> i) in
+  Rng.shuffle rng prio;
+  (* Monotone source of fresh lowest priorities for demotions. *)
+  let floor_prio = ref (-1) in
+  let change_points =
+    Array.init (max 0 (depth - 1)) (fun _ -> Rng.int rng horizon)
+  in
+  Array.sort compare change_points;
+  let next_change = ref 0 in
+  let progressed = ref 0 in
+  let lag = 4 * horizon in
+  while !alive > 0 do
+    let best = ref (-1) and min_t = ref max_int in
+    for i = 0 to n - 1 do
+      if not st.finished.(i) then begin
+        if st.vtimes.(i) < !min_t then min_t := st.vtimes.(i);
+        if !best < 0 || prio.(i) > prio.(!best) then best := i
+      end
+    done;
+    if !min_t > cap_cycles then raise (Timeout !min_t);
+    let tid = !best in
+    (* Run until the next change point (translated into this thread's
+       virtual clock via cumulative progress) or the lag bound. *)
+    let until_change =
+      if !next_change < Array.length change_points then
+        max 1 (change_points.(!next_change) - !progressed)
+      else max_int
+    in
+    let before = st.vtimes.(tid) in
+    let lag_deadline = !min_t + lag in
+    let change_deadline =
+      if until_change = max_int then max_int else before + until_change
+    in
+    Exec.next_deadline := min (min change_deadline lag_deadline) cap_cycles;
+    step st bodies alive tid;
+    progressed := !progressed + (st.vtimes.(tid) - before);
+    if
+      !next_change < Array.length change_points
+      && !progressed >= change_points.(!next_change)
+    then begin
+      (* Change point: the running thread's priority drops below all. *)
+      prio.(tid) <- !floor_prio;
+      decr floor_prio;
+      incr next_change
+    end
+    else if
+      (not st.finished.(tid))
+      && (!Exec.blocked_yield || st.vtimes.(tid) >= lag_deadline)
+    then begin
+      (* A blocked spinner — or a monopolist that hit the lag bound —
+         must let the thread it is (transitively) waiting on run. *)
+      prio.(tid) <- !floor_prio;
+      decr floor_prio
+    end
+  done
+
 (** [run bodies] executes all thread bodies to completion under the
     simulated scheduler and returns the final per-thread virtual times.
     [cap_cycles] (default 10^12) bounds any thread's virtual clock and turns
-    livelocks into a [Timeout]. *)
-let run ?(cap_cycles = 1_000_000_000_000) (bodies : (unit -> unit) array) =
+    livelocks into a [Timeout].  [policy] selects the schedule (default
+    {!Earliest_first}); all policies are deterministic given their seed. *)
+let run ?(cap_cycles = 1_000_000_000_000) ?(policy = Earliest_first)
+    (bodies : (unit -> unit) array) =
   if Exec.in_sim () then raise Nested_simulation;
   let n = Array.length bodies in
   if n = 0 then [||]
@@ -62,48 +257,19 @@ let run ?(cap_cycles = 1_000_000_000_000) (bodies : (unit -> unit) array) =
     in
     Fun.protect ~finally:cleanup (fun () ->
         let alive = ref n in
-        while !alive > 0 do
-          (* Select the earliest live thread and the deadline after which it
-             must yield back (the second-earliest live thread's clock). *)
-          let best = ref (-1) and best_t = ref max_int and second = ref max_int in
-          for i = 0 to n - 1 do
-            if not st.finished.(i) then begin
-              let t = st.vtimes.(i) in
-              if t < !best_t then begin
-                second := !best_t;
-                best_t := t;
-                best := i
-              end
-              else if t < !second then second := t
-            end
-          done;
-          let tid = !best in
-          if !best_t > cap_cycles then raise (Timeout !best_t);
-          Exec.cur := tid;
-          (* Clamp to the cap so even a lone runaway thread yields back and
-             the timeout check above fires. *)
-          Exec.next_deadline := min !second cap_cycles;
-          (match st.conts.(tid) with
-          | Some k ->
-              st.conts.(tid) <- None;
-              Effect.Deep.continue k ()
-          | None ->
-              if st.started.(tid) then
-                (* A started thread with no continuation yielded nothing and
-                   did not finish: impossible by construction. *)
-                assert false
-              else begin
-                st.started.(tid) <- true;
-                Effect.Deep.match_with bodies.(tid) () (make_handler st tid)
-              end);
-          Exec.cur := -1;
-          if st.finished.(tid) then decr alive
-        done;
+        (match policy with
+        | Earliest_first -> run_earliest st bodies alive n cap_cycles
+        | Random { seed; window; quantum } ->
+            run_random st bodies alive n cap_cycles ~seed ~window ~quantum
+        | Pct { seed; depth; horizon } ->
+            run_pct st bodies alive n cap_cycles ~seed ~depth ~horizon);
         Array.copy st.vtimes)
   end
 
 (** Convenience wrapper: run [threads] copies of [body tid] and return the
     maximum final virtual time (the simulated makespan, in cycles). *)
-let run_threads ?cap_cycles ~threads body =
-  let vts = run ?cap_cycles (Array.init threads (fun tid () -> body tid)) in
+let run_threads ?cap_cycles ?policy ~threads body =
+  let vts =
+    run ?cap_cycles ?policy (Array.init threads (fun tid () -> body tid))
+  in
   Array.fold_left max 0 vts

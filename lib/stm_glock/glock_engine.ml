@@ -42,12 +42,15 @@ let engine heap : Engine.t =
         (fun addr ->
           Stats.read t.stats ~tid;
           Runtime.Exec.tick (costs ()).mem;
-          Memory.Heap.unsafe_read t.heap addr);
+          let v = Memory.Heap.unsafe_read t.heap addr in
+          if !Trace.enabled then Trace.on_read ~tid ~addr ~value:v;
+          v);
       write =
         (fun addr v ->
           Stats.write t.stats ~tid;
           Runtime.Exec.tick (costs ()).mem;
-          Memory.Heap.unsafe_write t.heap addr v);
+          Memory.Heap.unsafe_write t.heap addr v;
+          if !Trace.enabled then Trace.on_write ~tid ~addr ~value:v);
       alloc = (fun n -> Memory.Heap.alloc heap n);
     }
   in
@@ -62,6 +65,8 @@ let engine heap : Engine.t =
             (fun () -> f (ops tid))
         end
         else begin
+          (* Begin recorded before the lock (= snapshot) is taken. *)
+          if !Trace.enabled then Trace.on_begin ~tid;
           Runtime.Exec.tick (costs ()).tx_begin;
           acquire t ~tid;
           depth.(tid) <- 1;
@@ -72,6 +77,7 @@ let engine heap : Engine.t =
               Runtime.Exec.tick (costs ()).tx_end)
             (fun () ->
               let v = f (ops tid) in
+              if !Trace.enabled then Trace.on_commit ~tid;
               Stats.commit t.stats ~tid;
               v)
         end);

@@ -164,6 +164,7 @@ let release_owned t d =
 let rollback t d reason =
   release_owned t d;
   retract_visible t d;
+  if !Trace.enabled then Trace.on_abort ~tid:d.tid;
   Stats.abort t.stats ~tid:d.tid reason;
   clear_logs d;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
@@ -390,6 +391,7 @@ let commit t d =
     (* Read-only commit: every read was validated by the counter heuristic;
        retract visible-reader bits and finish. *)
     retract_visible t d;
+    if !Trace.enabled then Trace.on_commit ~tid:d.tid;
     Stats.commit t.stats ~tid:d.tid;
     clear_logs d;
     t.cm.on_commit d.info
@@ -429,12 +431,15 @@ let commit t d =
         Runtime.Tmatomic.set t.owners.(idx) 0)
       d.acq;
     retract_visible t d;
+    if !Trace.enabled then Trace.on_commit ~tid:d.tid;
     Stats.commit t.stats ~tid:d.tid;
     clear_logs d;
     t.cm.on_commit d.info
   end
 
 let start t d ~restart =
+  (* Begin is recorded BEFORE the snapshot is taken (Trace contract). *)
+  if !Trace.enabled then Trace.on_begin ~tid:d.tid;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
   clear_logs d;
   t.cm.on_start d.info ~restart;
@@ -481,8 +486,15 @@ let engine ?config heap : Engine.t =
     Array.init Stats.max_threads (fun tid ->
         let d = t.descs.(tid) in
         {
-          Engine.read = (fun addr -> read_word t d addr);
-          write = (fun addr v -> write_word t d addr v);
+          Engine.read =
+            (fun addr ->
+              let v = read_word t d addr in
+              if !Trace.enabled then Trace.on_read ~tid ~addr ~value:v;
+              v);
+          write =
+            (fun addr v ->
+              write_word t d addr v;
+              if !Trace.enabled then Trace.on_write ~tid ~addr ~value:v);
           alloc = (fun n -> Memory.Heap.alloc heap n);
         })
   in

@@ -104,6 +104,7 @@ let release_restoring t d =
 
 let rollback t d reason =
   release_restoring t d;
+  if !Trace.enabled then Trace.on_abort ~tid:d.tid;
   Stats.abort t.stats ~tid:d.tid reason;
   clear_logs d;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
@@ -216,6 +217,7 @@ let commit t d =
   let costs = Runtime.Costs.get () in
   Runtime.Exec.tick costs.tx_end;
   if Ivec.length d.acq_stripes = 0 then begin
+    if !Trace.enabled then Trace.on_commit ~tid:d.tid;
     Stats.commit t.stats ~tid:d.tid;
     clear_logs d
   end
@@ -231,11 +233,14 @@ let commit t d =
     Ivec.iter
       (fun idx -> Runtime.Tmatomic.set t.locks.(idx) (unlocked_of_version ts))
       d.acq_stripes;
+    if !Trace.enabled then Trace.on_commit ~tid:d.tid;
     Stats.commit t.stats ~tid:d.tid;
     clear_logs d
   end
 
 let start t d ~restart =
+  (* Begin is recorded BEFORE the snapshot is taken (Trace contract). *)
+  if !Trace.enabled then Trace.on_begin ~tid:d.tid;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
   clear_logs d;
   Cm.Cm_intf.note_start d.info ~restart;
@@ -280,8 +285,15 @@ let engine ?config heap : Engine.t =
     Array.init Stats.max_threads (fun tid ->
         let d = t.descs.(tid) in
         {
-          Engine.read = (fun addr -> read_word t d addr);
-          write = (fun addr v -> write_word t d addr v);
+          Engine.read =
+            (fun addr ->
+              let v = read_word t d addr in
+              if !Trace.enabled then Trace.on_read ~tid ~addr ~value:v;
+              v);
+          write =
+            (fun addr v ->
+              write_word t d addr v;
+              if !Trace.enabled then Trace.on_write ~tid ~addr ~value:v);
           alloc = (fun n -> Memory.Heap.alloc heap n);
         })
   in

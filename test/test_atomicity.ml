@@ -28,7 +28,7 @@ let all_specs =
 
 (* --- bank conservation + opacity probe ------------------------------------- *)
 
-let bank_test ?(threads = 6) ?(iters = 250) ?(accounts = 64) spec () =
+let bank_test ?(threads = 6) ?(iters = 250) ?(accounts = 64) ?policy spec () =
   let heap = Memory.Heap.create ~words:(1 lsl 16) in
   let base = Memory.Heap.alloc heap accounts in
   for i = 0 to accounts - 1 do
@@ -58,7 +58,9 @@ let bank_test ?(threads = 6) ?(iters = 250) ?(accounts = 64) spec () =
       if snap <> accounts * 100 then incr bad_snapshots
     done
   in
-  ignore (Runtime.Sim.run ~cap_cycles:1_000_000_000_000 (Array.init threads (fun tid () -> body tid ())));
+  ignore
+    (Runtime.Sim.run ?policy ~cap_cycles:1_000_000_000_000
+       (Array.init threads (fun tid () -> body tid ())));
   let sum = ref 0 in
   for i = 0 to accounts - 1 do
     sum := !sum + Memory.Heap.read heap (base + i)
@@ -106,7 +108,7 @@ let skew_test spec () =
 
 (* --- isolation: dirty reads never visible ----------------------------------- *)
 
-let dirty_read_test spec () =
+let dirty_read_test ?(iters = 400) ?policy spec () =
   (* Writer repeatedly sets (a, b) from (even, even) to (odd, odd) inside a
      transaction; readers must never observe mixed parity. *)
   let heap = Memory.Heap.create ~words:(1 lsl 14) in
@@ -114,7 +116,7 @@ let dirty_read_test spec () =
   let engine = Engines.make spec heap in
   let mixed = ref 0 in
   let writer () =
-    for i = 1 to 400 do
+    for i = 1 to iters do
       Stm_intf.Engine.atomic engine ~tid:0 (fun tx ->
           tx.write a i;
           (* interleave-prone gap: lots of unrelated reads *)
@@ -123,7 +125,7 @@ let dirty_read_test spec () =
     done
   in
   let reader tid () =
-    for _ = 1 to 400 do
+    for _ = 1 to iters do
       let va, vb =
         Stm_intf.Engine.atomic engine ~tid (fun tx -> (tx.read a, tx.read b))
       in
@@ -131,7 +133,8 @@ let dirty_read_test spec () =
     done
   in
   ignore
-    (Runtime.Sim.run ~cap_cycles:1_000_000_000_000 [| writer; reader 1; reader 2 |]);
+    (Runtime.Sim.run ?policy ~cap_cycles:1_000_000_000_000
+       [| writer; reader 1; reader 2 |]);
   check Alcotest.int "no torn transactional state" 0 !mixed
 
 let per_engine (name, spec) =
@@ -142,4 +145,45 @@ let per_engine (name, spec) =
       Alcotest.test_case "no dirty reads" `Quick (dirty_read_test spec);
     ] )
 
-let suite = List.map per_engine all_specs
+(* --- schedule-perturbation matrix ------------------------------------------ *)
+
+(* The tests above all run under the default earliest-first scheduler, so
+   they only ever see one interleaving per engine.  Re-run the invariant
+   tests under a small matrix of perturbed schedules — fuzz-scale random
+   seeds plus a PCT seed — with reduced iteration counts so the whole
+   matrix stays within a few seconds.  Seeds are fixed: any failure here
+   is replayable as (engine, policy, seed). *)
+
+let policy_matrix =
+  [
+    ("random:1", Check.Fuzz.fuzz_random_policy 1);
+    ("random:2", Check.Fuzz.fuzz_random_policy 2);
+    ("pct:1", Check.Fuzz.fuzz_pct_policy 1);
+  ]
+
+let sched_specs =
+  [
+    ("swisstm", Engines.swisstm);
+    ("swisstm-timid", Engines.swisstm_with ~cm:Cm.Cm_intf.Timid ());
+    ("tl2", Engines.tl2);
+    ("tinystm", Engines.tinystm);
+    ("rstm-eager-inv", Engines.rstm);
+    ("rstm-eager-vis", Engines.rstm_with ~visibility:Rstm.Rstm_engine.Visible ());
+    ("mvstm", Engines.mvstm);
+    ("glock", Engines.Glock);
+  ]
+
+let per_engine_schedules (name, spec) =
+  ( "atomicity-sched:" ^ name,
+    List.concat_map
+      (fun (pname, policy) ->
+        [
+          Alcotest.test_case (pname ^ " bank") `Slow
+            (bank_test ~threads:4 ~iters:60 ~accounts:16 ~policy spec);
+          Alcotest.test_case (pname ^ " dirty reads") `Slow
+            (dirty_read_test ~iters:120 ~policy spec);
+        ])
+      policy_matrix )
+
+let suite =
+  List.map per_engine all_specs @ List.map per_engine_schedules sched_specs

@@ -1,0 +1,39 @@
+(* Regression corpus: every (engine, policy, program) triple under
+   test/corpus/ must parse and replay with a clean verdict.  Triples are
+   the fuzzer's replay format, so any violation it ever finds can be
+   checked in here verbatim and will keep reproducing the exact
+   schedule. *)
+
+(* Under `dune runtest` the cwd is the test directory (the dune stanza
+   lists corpus/*.txt as deps); under `dune exec` from the repo root fall
+   back to the source tree. *)
+let corpus_dir =
+  if Sys.file_exists "corpus" then "corpus" else "test/corpus"
+
+let corpus_files () =
+  if not (Sys.file_exists corpus_dir) then []
+  else
+    Sys.readdir corpus_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".txt")
+    |> List.sort compare
+
+let replay_file file () =
+  let path = Filename.concat corpus_dir file in
+  match Check.Fuzz.load_corpus path with
+  | Error m -> Alcotest.failf "%s: parse error: %s" file m
+  | Ok entry -> (
+      match Check.Fuzz.replay entry with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" file m)
+
+let test_nonempty () =
+  Alcotest.(check bool) "corpus directory has entries" true (corpus_files () <> [])
+
+let suite =
+  [
+    ( "corpus",
+      Alcotest.test_case "corpus present" `Quick test_nonempty
+      :: List.map
+           (fun f -> Alcotest.test_case f `Quick (replay_file f))
+           (corpus_files ()) );
+  ]

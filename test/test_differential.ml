@@ -79,27 +79,39 @@ let differential (name, spec) =
 (* Concurrent determinism: a commutative program (each thread increments a
    disjoint counter and a shared accumulator) must produce the same final
    sums under every engine. *)
-let test_concurrent_commutative (name, spec) () =
+let test_concurrent_commutative ?(iters = 120) ?policy (name, spec) () =
   let heap = Memory.Heap.create ~words:(1 lsl 16) in
   let shared = Memory.Heap.alloc heap 1 in
   let mine = Memory.Heap.alloc heap 8 in
   let e = Engines.make spec heap in
   let body tid () =
-    for _ = 1 to 120 do
+    for _ = 1 to iters do
       Stm_intf.Engine.atomic e ~tid (fun tx ->
           tx.write (mine + tid) (tx.read (mine + tid) + 1);
           tx.write shared (tx.read shared + 1))
     done
   in
   ignore
-    (Runtime.Sim.run ~cap_cycles:1_000_000_000_000
+    (Runtime.Sim.run ?policy ~cap_cycles:1_000_000_000_000
        (Array.init 4 (fun tid () -> body tid ())));
   check Alcotest.int
     (Printf.sprintf "%s shared total" name)
-    480 (Memory.Heap.read heap shared);
+    (4 * iters)
+    (Memory.Heap.read heap shared);
   for tid = 0 to 3 do
-    check Alcotest.int "private total" 120 (Memory.Heap.read heap (mine + tid))
+    check Alcotest.int "private total" iters (Memory.Heap.read heap (mine + tid))
   done
+
+(* The commutative-program check is schedule-independent by construction,
+   so re-run it under perturbed schedules: fixed random and PCT seeds at
+   fuzz scale (the benchmark-scale defaults barely reorder these short
+   transactions).  Replayable as (engine, policy-spec, this program). *)
+let policy_matrix =
+  [
+    ("random:1", Check.Fuzz.fuzz_random_policy 1);
+    ("random:2", Check.Fuzz.fuzz_random_policy 2);
+    ("pct:1", Check.Fuzz.fuzz_pct_policy 1);
+  ]
 
 let suite =
   [
@@ -111,5 +123,15 @@ let suite =
               ("concurrent commutative " ^ fst e)
               `Quick
               (test_concurrent_commutative e))
+          engines
+      @ List.concat_map
+          (fun e ->
+            List.map
+              (fun (pname, policy) ->
+                Alcotest.test_case
+                  (Printf.sprintf "concurrent commutative %s [%s]" (fst e) pname)
+                  `Slow
+                  (test_concurrent_commutative ~iters:60 ~policy e))
+              policy_matrix)
           engines );
   ]
