@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: all build test bench check fuzz-smoke clean
+.PHONY: all build test bench check fuzz-smoke obs-smoke clean
 
 all: build
 
@@ -13,13 +13,21 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# CI gate: full build, full test suite, and a perf-gate smoke run that
-# checks the write-log fast path still beats the Hashtbl representation
-# by >= 20% (see bench/perf_gate.ml; JSON lands in BENCH_PR1.json).
+# CI gate: full build, full test suite, a perf-gate smoke run (write-log
+# fast path >= 20% better than Hashtbl, observability-off overhead <= 2%
+# vs the PR-2 baseline, sb7 cycles bit-identical to PR-2), the
+# observability smoke, and the fuzz smoke.
 check: build
 	dune runtest
 	dune exec bench/perf_gate.exe -- --smoke --out /tmp/bench_gate_smoke.json
+	$(MAKE) obs-smoke
 	$(MAKE) fuzz-smoke
+
+# Observability smoke (seconds): metrics + profiler + trace export on a
+# 2-thread contended micro over swisstm and tl2, with the emitted JSON
+# schema-checked (catapult trace parsed back and validated).
+obs-smoke: build
+	dune exec bin/stm_run.exe -- obs-check
 
 # Quick schedule-exploration pass (seconds): a few engines under perturbed
 # schedules with opacity checking, plus the broken-engine self-check that

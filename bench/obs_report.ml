@@ -1,0 +1,143 @@
+(* obs_report — per-figure observability sidecars.
+
+   Runs the Figure-2 (STMBench7) and Figure-5 (red-black tree) line-ups
+   with the metrics registry and the simulated-time profiler armed, and
+   writes one JSON sidecar per figure:
+
+     OBS_FIG2.json — sb7 read/read-write/write × four engines
+     OBS_FIG5.json — rbtree 20 %-update × four engines
+
+   Each row carries the run's stats (including the PR-3 backoffs /
+   wasted-cycles counters), the per-phase cycle breakdown, and the
+   metrics-registry summary for that engine (histograms, abort causes,
+   CM decisions, hottest stripes).  Collectors charge no simulated
+   cycles, so the throughput numbers match the uninstrumented figures.
+
+     dune exec bench/obs_report.exe                 # both figures
+     dune exec bench/obs_report.exe -- --smoke      # quick CI variant *)
+
+let smoke = ref false
+
+let () =
+  Arg.parse
+    [ ("--smoke", Arg.Set smoke, " quick mode: fewer cycles and threads") ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "obs_report [--smoke]"
+
+let engines =
+  [
+    ("swisstm", Bench_common.swisstm);
+    ("tl2", Bench_common.tl2);
+    ("tinystm", Bench_common.tinystm);
+    ("rstm", Bench_common.rstm_serializer);
+  ]
+
+let stats_json (s : Stm_intf.Stats.snapshot) =
+  Obs.Json.Obj
+    [
+      ("commits", Obs.Json.Int s.s_commits);
+      ("aborts_ww", Obs.Json.Int s.s_aborts_ww);
+      ("aborts_rw", Obs.Json.Int s.s_aborts_rw);
+      ("aborts_killed", Obs.Json.Int s.s_aborts_killed);
+      ("waits", Obs.Json.Int s.s_waits);
+      ("backoffs", Obs.Json.Int s.s_backoffs);
+      ("cycles_wasted", Obs.Json.Int s.s_cycles_wasted);
+      ("reads", Obs.Json.Int s.s_reads);
+      ("writes", Obs.Json.Int s.s_writes);
+    ]
+
+(* Run one (engine, workload) cell with collectors armed; per-engine
+   attribution is by harvest: reset before, snapshot after. *)
+let cell ~run =
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  Obs.Profile.reset ();
+  Obs.Profile.enable ();
+  let r : Harness.Workload.result = run () in
+  Obs.Profile.disable ();
+  Obs.Metrics.disable ();
+  let prof = Obs.Profile.snapshot () in
+  ( r,
+    Obs.Json.Obj
+      [
+        ("ktps", Obs.Json.Float (Bench_common.ktps r));
+        ("elapsed_cycles", Obs.Json.Int r.elapsed_cycles);
+        ("abort_rate", Obs.Json.Float (Harness.Workload.abort_rate r));
+        ("stats", stats_json r.stats);
+        ("profile", Obs.Profile.to_json prof);
+        ("metrics", Obs.Metrics.to_json ());
+      ] )
+
+let write_sidecar path rows =
+  let j =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "swisstm-repro/obs-report/1");
+        ("mode", Obs.Json.Str (if !smoke then "smoke" else "full"));
+        ("rows", Obs.Json.List rows);
+      ]
+  in
+  let oc = open_out path in
+  Obs.Json.to_channel oc j;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "obs_report: wrote %s (%d rows)\n%!" path (List.length rows)
+
+let () =
+  let threads = if !smoke then [ 2 ] else [ 1; 2; 4; 8 ] in
+  let sb7_cycles = if !smoke then 200_000 else Bench_common.sb7_duration () in
+  let rb_cycles = if !smoke then 200_000 else Bench_common.rbtree_duration () in
+  (* Figure 2: STMBench7 *)
+  let fig2_rows =
+    List.concat_map
+      (fun (wname, workload) ->
+        List.concat_map
+          (fun (ename, spec) ->
+            List.map
+              (fun t ->
+                let r, j =
+                  cell ~run:(fun () ->
+                      Stmbench7.Sb7_bench.run ~spec ~workload ~threads:t
+                        ~duration_cycles:sb7_cycles ())
+                in
+                Printf.printf "  sb7 %-14s %-10s t=%d ktps=%.1f\n%!" wname
+                  ename t (Bench_common.ktps r);
+                Obs.Json.Obj
+                  [
+                    ("workload", Obs.Json.Str wname);
+                    ("engine", Obs.Json.Str ename);
+                    ("threads", Obs.Json.Int t);
+                    ("result", j);
+                  ])
+              threads)
+          engines)
+      [
+        ("read_dominated", Stmbench7.Sb7_bench.Read_dominated);
+        ("read_write", Stmbench7.Sb7_bench.Read_write);
+        ("write_dominated", Stmbench7.Sb7_bench.Write_dominated);
+      ]
+  in
+  write_sidecar "OBS_FIG2.json" fig2_rows;
+  (* Figure 5: red-black tree, 20 % updates *)
+  let fig5_rows =
+    List.concat_map
+      (fun (ename, spec) ->
+        List.map
+          (fun t ->
+            let r, j =
+              cell ~run:(fun () ->
+                  Rbtree.Rbtree_bench.run ~spec ~threads:t
+                    ~duration_cycles:rb_cycles ())
+            in
+            Printf.printf "  rbtree %-10s t=%d mtps=%.2f\n%!" ename t
+              (Bench_common.mtps r);
+            Obs.Json.Obj
+              [
+                ("engine", Obs.Json.Str ename);
+                ("threads", Obs.Json.Int t);
+                ("result", j);
+              ])
+          threads)
+      engines
+  in
+  write_sidecar "OBS_FIG5.json" fig5_rows

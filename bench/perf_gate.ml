@@ -42,6 +42,32 @@ let () =
 let seed_swisstm_rw_ns = 9912.4
 let required_improvement_pct = 20.0
 
+(* PR-2 baseline for the observability-off overhead gate: swisstm rw-8r8w
+   ns/tx at commit 9f367bb on the reference machine (min over alternated
+   short batches, two process runs).  The PR-3 hook guards must stay
+   within [obs_overhead_limit_pct] of it.  Transient machine load
+   inflates a whole measurement by more than the bar, so the gate
+   re-measures up to [obs_max_attempts] times (short pause between) and
+   gates on the best attempt: a quiet window recovers the true floor,
+   while a real off-path regression shifts the floor itself and fails
+   every attempt.  A wlog-only calibration loop (untouched since PR 1)
+   is timed in the same windows as a load diagnostic. *)
+let pr2_swisstm_rw_ns = 1198.0
+let obs_overhead_limit_pct = 2.0
+let obs_max_attempts = 5
+
+(* Frozen PR-2 smoke-mode sb7 simulated cycles (3 workloads x 4 engines x
+   threads [1;2], emission order).  Simulated time is deterministic, so
+   with every collector off the instrumented engines must reproduce these
+   bit for bit; any diff means an observability hook perturbed a schedule
+   or charged cycles. *)
+let pr2_sb7_smoke_cycles =
+  [
+    893698; 937325; 868111; 911902; 945069; 1046955; 868111; 911906;
+    1221803; 1357077; 1199020; 2020354; 1414755; 2329958; 1333839; 1355741;
+    1221704; 2485122; 1198923; 2420259; 1414698; 2824387; 1333752; 2464149;
+  ]
+
 let jfloat f =
   if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
 
@@ -62,11 +88,15 @@ let time_ns ~batches ~iters f =
 
 (* ---------- section 1: wlog vs hashtbl fast path ---------- *)
 
-let wlog_fastpath ~iters =
+(* The 8-write / 8-read-after-write / 8-miss wlog access pattern, used
+   both as the fast-path benchmark and as the observability gate's
+   load-calibration loop (the wlog is untouched since PR 1, so its speed
+   tracks the machine, not this PR). *)
+let make_wlog_tx () =
   let open Stm_intf in
   let wl = Wlog.create () in
   let acc = ref 0 in
-  let wlog_tx () =
+  fun () ->
     for i = 0 to 7 do
       Wlog.replace wl (1 + (i * 8)) i
     done;
@@ -79,7 +109,10 @@ let wlog_fastpath ~iters =
       if Wlog.probe wl (1000 + i) >= 0 then incr acc
     done;
     Wlog.clear wl
-  in
+
+let wlog_fastpath ~iters =
+  let wlog_tx = make_wlog_tx () in
+  let acc = ref 0 in
   let ht : (int, int) Hashtbl.t = Hashtbl.create 32 in
   let ht_tx () =
     for i = 0 to 7 do
@@ -100,8 +133,16 @@ let wlog_fastpath ~iters =
     wlog_tx ();
     ht_tx ()
   done;
-  let wl_ns = time_ns ~batches:3 ~iters wlog_tx in
-  let ht_ns = time_ns ~batches:3 ~iters ht_tx in
+  (* Alternated batches: a load burst hits both representations instead
+     of skewing whichever happened to be in flight. *)
+  let wl_ns = ref infinity and ht_ns = ref infinity in
+  for _ = 1 to 3 do
+    let b = time_ns ~batches:1 ~iters wlog_tx in
+    if b < !wl_ns then wl_ns := b;
+    let b = time_ns ~batches:1 ~iters ht_tx in
+    if b < !ht_ns then ht_ns := b
+  done;
+  let wl_ns = !wl_ns and ht_ns = !ht_ns in
   ignore !acc;
   let improvement = (ht_ns -. wl_ns) /. ht_ns *. 100.0 in
   (wl_ns, ht_ns, improvement)
@@ -215,6 +256,64 @@ let () =
   let fast_iters = if !smoke then 20_000 else 200_000 in
   let sb7_threads = if !smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
   let sb7_cycles = if !smoke then 200_000 else 2_000_000 in
+  (* Measured FIRST, in a clean heap: the 2 % bar is tighter than the GC
+     noise the later sections leave behind, and the PR-2 baseline was
+     taken under the same fresh-process conditions. *)
+  Printf.printf "perf_gate: observability-off overhead...\n%!";
+  let measure_rw_cal =
+    let heap = Memory.Heap.create ~words:(1 lsl 16) in
+    let base = Memory.Heap.alloc heap 256 in
+    let engine = Engines.make Engines.swisstm heap in
+    let rw () = micro_tx engine base "rw" in
+    let cal = make_wlog_tx () in
+    for _ = 1 to 2000 do
+      rw ();
+      cal ()
+    done;
+    fun () ->
+      (* Many short alternated batches: load bursts shorter than a round
+         hit both workloads, and the two mins are both taken from quiet
+         windows. *)
+      let best_rw = ref infinity and best_cal = ref infinity in
+      for _ = 1 to 30 do
+        let one f best =
+          let t0 = now () in
+          for _ = 1 to 5_000 do
+            f ()
+          done;
+          let per = (now () -. t0) *. 1e9 /. 5_000. in
+          if per < !best then best := per
+        in
+        one rw best_rw;
+        one cal best_cal
+      done;
+      (!best_rw, !best_cal)
+  in
+  let obs_rw_ns, obs_cal_ns, obs_attempts =
+    let rec go attempt (rw_ns, cal_ns) =
+      let pct = (rw_ns -. pr2_swisstm_rw_ns) /. pr2_swisstm_rw_ns *. 100. in
+      if pct <= obs_overhead_limit_pct || attempt >= obs_max_attempts then
+        (rw_ns, cal_ns, attempt)
+      else begin
+        Printf.printf
+          "  attempt %d/%d: rw %.1f ns (%+.1f%%) over the bar, re-measuring \
+           after a pause...\n%!"
+          attempt obs_max_attempts rw_ns pct;
+        Unix.sleepf 0.3;
+        let rw_ns', cal_ns' = measure_rw_cal () in
+        go (attempt + 1) (Float.min rw_ns rw_ns', Float.min cal_ns cal_ns')
+      end
+    in
+    go 1 (measure_rw_cal ())
+  in
+  let obs_overhead_pct =
+    (obs_rw_ns -. pr2_swisstm_rw_ns) /. pr2_swisstm_rw_ns *. 100.
+  in
+  Printf.printf
+    "  swisstm rw %.1f ns vs PR-2 baseline %.1f ns: %+.1f%% (cal %.1f ns, \
+     %d attempt%s)\n%!"
+    obs_rw_ns pr2_swisstm_rw_ns obs_overhead_pct obs_cal_ns obs_attempts
+    (if obs_attempts = 1 then "" else "s");
   Printf.printf "perf_gate: wlog fast path...\n%!";
   let wl_ns, ht_ns, wl_imp = wlog_fastpath ~iters:fast_iters in
   Printf.printf "  wlog %.1f ns/tx, hashtbl %.1f ns/tx (%.1f%% better)\n%!"
@@ -238,6 +337,14 @@ let () =
   Printf.printf "perf_gate: sb7 matrix (%s)...\n%!"
     (if !smoke then "smoke" else "full");
   let s = sb7 ~threads:sb7_threads ~duration_cycles:sb7_cycles in
+  let sb7_identity_ok =
+    (not !smoke)
+    || List.map (fun (_, _, _, _, cycles, _) -> cycles) s
+       = pr2_sb7_smoke_cycles
+  in
+  if !smoke then
+    Printf.printf "  sb7 cycles vs frozen PR-2 matrix: %s\n%!"
+      (if sb7_identity_ok then "bit-identical" else "DIVERGED");
   let buf = Buffer.create 4096 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   bpf "{\n";
@@ -266,6 +373,15 @@ let () =
   bpf
     "    \"note\": \"seed number was bechamel-measured; the apples-to-apples \
      check is `dune exec bench/main.exe -- micro` vs the seed commit\"\n";
+  bpf "  },\n";
+  bpf "  \"observability\": {\n";
+  bpf "    \"off_rw_ns_per_tx\": %s,\n" (jfloat obs_rw_ns);
+  bpf "    \"cal_ns_per_tx\": %s,\n" (jfloat obs_cal_ns);
+  bpf "    \"pr2_rw_ns_per_tx\": %s,\n" (jfloat pr2_swisstm_rw_ns);
+  bpf "    \"overhead_pct\": %s,\n" (jfloat obs_overhead_pct);
+  bpf "    \"measure_attempts\": %d,\n" obs_attempts;
+  bpf "    \"sb7_identity_checked\": %b,\n" !smoke;
+  bpf "    \"sb7_identity_ok\": %b\n" sb7_identity_ok;
   bpf "  },\n";
   bpf "  \"sb7\": [\n";
   List.iteri
@@ -297,6 +413,23 @@ let () =
       rw_imp required_improvement_pct;
     fail := true
   end;
+  if obs_overhead_pct > obs_overhead_limit_pct then begin
+    Printf.eprintf
+      "perf_gate: FAIL observability-off swisstm rw %.1f ns is %.1f%% over \
+       the PR-2 baseline %.1f ns (limit %.0f%%, best of %d attempts)\n"
+      obs_rw_ns obs_overhead_pct pr2_swisstm_rw_ns obs_overhead_limit_pct
+      obs_attempts;
+    fail := true
+  end;
+  if not sb7_identity_ok then begin
+    Printf.eprintf
+      "perf_gate: FAIL sb7 simulated cycles diverged from the frozen PR-2 \
+       matrix (observability hooks perturbed a schedule)\n";
+    fail := true
+  end;
   if !fail then exit 1;
-  Printf.printf "perf_gate: OK (both improvements >= %.0f%%)\n%!"
-    required_improvement_pct
+  Printf.printf
+    "perf_gate: OK (improvements >= %.0f%%, obs-off overhead %+.1f%% <= \
+     %.0f%%%s)\n%!"
+    required_improvement_pct obs_overhead_pct obs_overhead_limit_pct
+    (if !smoke then ", sb7 cycles bit-identical to PR-2" else "")

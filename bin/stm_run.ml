@@ -5,8 +5,12 @@
      stm_run lee    --board memory --stm tinystm --threads 2
      stm_run stamp  --app intruder --stm swisstm --threads 8
      stm_run list
+     stm_run --profile --metrics              # six-engine demo micro
+     stm_run sb7 --trace-out sb7.trace.json   # Chrome/Perfetto trace
 
-   Prints one summary line per run plus the abort/commit breakdown. *)
+   Prints one summary line per run plus the abort/commit breakdown.
+   The observability flags (--metrics, --profile, --trace-out) work on
+   every benchmark subcommand and on the default six-engine demo. *)
 
 open Cmdliner
 
@@ -35,6 +39,70 @@ let duration_arg =
   let doc = "Simulated duration in megacycles (duration-type benchmarks)." in
   Arg.(value & opt int 10 & info [ "duration" ] ~docv:"MCYCLES" ~doc)
 
+(* --- observability ------------------------------------------------------ *)
+
+type obs_opts = { metrics : bool; profile : bool; trace_out : string option }
+
+let obs_term =
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the metrics registry report (latency histograms, abort \
+                breakdown, stripe heat map) after the run.")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Print the simulated-cycle phase breakdown (read / write / \
+                validate / commit / spin / backoff) after the run.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Record the transactional event stream and write it as Chrome \
+                trace_event JSON; open the file in Perfetto \
+                (https://ui.perfetto.dev) or chrome://tracing.")
+  in
+  Term.(
+    const (fun metrics profile trace_out -> { metrics; profile; trace_out })
+    $ metrics $ profile $ trace_out)
+
+(* Wrap one benchmark run: arm the requested collectors before, report and
+   disarm after.  Collectors never charge simulated cycles, so the run's
+   cycle numbers match an uninstrumented run bit for bit. *)
+let with_obs (o : obs_opts) ~section f =
+  if o.metrics then begin
+    Obs.Metrics.reset ();
+    Obs.Metrics.enable ()
+  end;
+  if o.profile then begin
+    Obs.Profile.reset ();
+    Obs.Profile.enable ()
+  end;
+  if o.trace_out <> None then Stm_intf.Trace.start ();
+  Fun.protect
+    ~finally:(fun () ->
+      (match o.trace_out with
+      | Some path ->
+          let events = Stm_intf.Trace.stop () in
+          Obs.Export.write_file path [ (section, events) ];
+          Printf.printf "trace: wrote %s (%d events)\n" path
+            (Array.length events)
+      | None -> ());
+      if o.profile then begin
+        Format.printf "%a@." Obs.Profile.pp (Obs.Profile.snapshot ());
+        Obs.Profile.disable ()
+      end;
+      if o.metrics then begin
+        Format.printf "%a@." Obs.Metrics.pp ();
+        Obs.Metrics.disable ()
+      end)
+    f
+
 let print_result ~label spec ~threads (r : Harness.Workload.result) =
   Printf.printf
     "%s  engine=%s threads=%d  ops=%d  elapsed=%.3f ms (simulated)  \
@@ -48,7 +116,7 @@ let print_result ~label spec ~threads (r : Harness.Workload.result) =
 (* --- rbtree ------------------------------------------------------------ *)
 
 let rbtree_cmd =
-  let run spec threads duration update_pct range =
+  let run obs spec threads duration update_pct range =
     let params =
       {
         Rbtree.Rbtree_bench.default with
@@ -56,11 +124,12 @@ let rbtree_cmd =
         range;
       }
     in
-    let r =
-      Rbtree.Rbtree_bench.run ~params ~spec ~threads
-        ~duration_cycles:(duration * 1_000_000) ()
-    in
-    print_result ~label:"rbtree" spec ~threads r
+    with_obs obs ~section:(Engines.name spec) (fun () ->
+        let r =
+          Rbtree.Rbtree_bench.run ~params ~spec ~threads
+            ~duration_cycles:(duration * 1_000_000) ()
+        in
+        print_result ~label:"rbtree" spec ~threads r)
   in
   let update_arg =
     Arg.(value & opt int 20 & info [ "updates" ] ~docv:"PCT" ~doc:"Update percentage.")
@@ -70,12 +139,14 @@ let rbtree_cmd =
   in
   Cmd.v
     (Cmd.info "rbtree" ~doc:"Red-black tree microbenchmark (paper Figure 5)")
-    Term.(const run $ stm_arg $ threads_arg $ duration_arg $ update_arg $ range_arg)
+    Term.(
+      const run $ obs_term $ stm_arg $ threads_arg $ duration_arg $ update_arg
+      $ range_arg)
 
 (* --- STMBench7 ---------------------------------------------------------- *)
 
 let sb7_cmd =
-  let run spec threads duration workload =
+  let run obs spec threads duration workload =
     let workload =
       match workload with
       | "read" -> Stmbench7.Sb7_bench.Read_dominated
@@ -83,11 +154,12 @@ let sb7_cmd =
       | "write" -> Stmbench7.Sb7_bench.Write_dominated
       | s -> failwith (Printf.sprintf "unknown workload %S" s)
     in
-    let r =
-      Stmbench7.Sb7_bench.run ~spec ~workload ~threads
-        ~duration_cycles:(duration * 1_000_000) ()
-    in
-    print_result ~label:"stmbench7" spec ~threads r
+    with_obs obs ~section:(Engines.name spec) (fun () ->
+        let r =
+          Stmbench7.Sb7_bench.run ~spec ~workload ~threads
+            ~duration_cycles:(duration * 1_000_000) ()
+        in
+        print_result ~label:"stmbench7" spec ~threads r)
   in
   let workload_arg =
     Arg.(
@@ -96,24 +168,26 @@ let sb7_cmd =
   in
   Cmd.v
     (Cmd.info "sb7" ~doc:"STMBench7 (paper Figure 2)")
-    Term.(const run $ stm_arg $ threads_arg $ duration_arg $ workload_arg)
+    Term.(
+      const run $ obs_term $ stm_arg $ threads_arg $ duration_arg $ workload_arg)
 
 (* --- Lee-TM -------------------------------------------------------------- *)
 
 let lee_cmd =
-  let run spec threads board hot =
+  let run obs spec threads board hot =
     let board =
       match board with
       | "memory" -> Leetm.Board.memory ()
       | "main" -> Leetm.Board.main ()
       | s -> failwith (Printf.sprintf "unknown board %S" s)
     in
-    let r, state = Leetm.Router.run ~hot_ratio:hot ~spec ~threads board in
-    print_result ~label:(Printf.sprintf "lee-%s" board.name) spec ~threads r;
-    Printf.printf "  routed=%d failed=%d connected=%b\n"
-      (Leetm.Router.total_routed state)
-      (Leetm.Router.total_failed state)
-      (Leetm.Router.verify state)
+    with_obs obs ~section:(Engines.name spec) (fun () ->
+        let r, state = Leetm.Router.run ~hot_ratio:hot ~spec ~threads board in
+        print_result ~label:(Printf.sprintf "lee-%s" board.name) spec ~threads r;
+        Printf.printf "  routed=%d failed=%d connected=%b\n"
+          (Leetm.Router.total_routed state)
+          (Leetm.Router.total_failed state)
+          (Leetm.Router.verify state))
   in
   let board_arg =
     Arg.(value & opt string "memory" & info [ "board" ] ~docv:"B" ~doc:"memory | main.")
@@ -126,28 +200,164 @@ let lee_cmd =
   in
   Cmd.v
     (Cmd.info "lee" ~doc:"Lee-TM circuit routing (paper Figures 4 and 8)")
-    Term.(const run $ stm_arg $ threads_arg $ board_arg $ hot_arg)
+    Term.(const run $ obs_term $ stm_arg $ threads_arg $ board_arg $ hot_arg)
 
 (* --- STAMP --------------------------------------------------------------- *)
 
 let stamp_cmd =
-  let run spec threads app =
+  let run obs spec threads app =
     match Stamp.find app with
     | None ->
         failwith
           (Printf.sprintf "unknown app %S (expected one of: %s)" app
              (String.concat ", " Stamp.names))
     | Some w ->
-        let r, ok = w.run ~spec ~threads () in
-        print_result ~label:(Printf.sprintf "stamp-%s" app) spec ~threads r;
-        Printf.printf "  verified=%b\n" ok
+        with_obs obs ~section:(Engines.name spec) (fun () ->
+            let r, ok = w.run ~spec ~threads () in
+            print_result ~label:(Printf.sprintf "stamp-%s" app) spec ~threads r;
+            Printf.printf "  verified=%b\n" ok)
   in
   let app_arg =
     Arg.(value & opt string "intruder" & info [ "app" ] ~docv:"APP" ~doc:"STAMP application.")
   in
   Cmd.v
     (Cmd.info "stamp" ~doc:"STAMP applications (paper Figure 3)")
-    Term.(const run $ stm_arg $ threads_arg $ app_arg)
+    Term.(const run $ obs_term $ stm_arg $ threads_arg $ app_arg)
+
+(* --- demo (default command) ---------------------------------------------- *)
+
+let demo_specs =
+  [
+    Engines.swisstm;
+    Engines.tl2;
+    Engines.tinystm;
+    Engines.rstm;
+    Engines.mvstm;
+    Engines.Glock;
+  ]
+
+(* Small contended counter-array micro: enough conflicts at 2 threads to
+   exercise aborts, backoff and CM decisions on every engine. *)
+let demo_micro spec ~threads ~duration_cycles =
+  let heap = Memory.Heap.create ~words:(1 lsl 16) in
+  let base = Memory.Heap.alloc heap 512 in
+  let engine = Engines.make spec heap in
+  let step ~tid ~op =
+    Stm_intf.Engine.atomic engine ~tid (fun tx ->
+        let slot = base + (((op * 7) + (tid * 13)) land 63) in
+        let v = tx.Stm_intf.Engine.read slot in
+        tx.Stm_intf.Engine.write slot (v + 1);
+        ignore (tx.Stm_intf.Engine.read (base + ((op + tid) land 255)) : int))
+  in
+  Harness.Workload.run_for_duration engine ~threads ~duration_cycles step
+
+let demo obs threads =
+  if obs.metrics then begin
+    Obs.Metrics.reset ();
+    Obs.Metrics.enable ()
+  end;
+  let sections = ref [] in
+  List.iter
+    (fun spec ->
+      if obs.profile then begin
+        Obs.Profile.reset ();
+        Obs.Profile.enable ()
+      end;
+      if obs.trace_out <> None then Stm_intf.Trace.start ();
+      let r = demo_micro spec ~threads ~duration_cycles:300_000 in
+      if obs.trace_out <> None then
+        sections := (Engines.name spec, Stm_intf.Trace.stop ()) :: !sections;
+      Printf.printf "%-28s ops=%-6d elapsed=%d cycles\n" (Engines.name spec)
+        r.ops r.elapsed_cycles;
+      Format.printf "  %a@." Stm_intf.Stats.pp r.stats;
+      if obs.profile then begin
+        Format.printf "%a@." Obs.Profile.pp (Obs.Profile.snapshot ());
+        Obs.Profile.disable ()
+      end)
+    demo_specs;
+  (match obs.trace_out with
+  | Some path ->
+      Obs.Export.write_file path (List.rev !sections);
+      Printf.printf "trace: wrote %s\n" path
+  | None -> ());
+  if obs.metrics then begin
+    Format.printf "%a@." Obs.Metrics.pp ();
+    Obs.Metrics.disable ()
+  end
+
+let demo_term = Term.(const demo $ obs_term $ threads_arg)
+
+(* --- obs-check ------------------------------------------------------------ *)
+
+(* CI smoke for the observability layer: run the demo micro with every
+   collector armed, then schema-check everything that came out.  Exits 1
+   on any failure. *)
+let obs_check_cmd =
+  let run () =
+    let failures = ref [] in
+    let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+    Obs.Metrics.reset ();
+    Obs.Metrics.enable ();
+    Obs.Profile.reset ();
+    Obs.Profile.enable ();
+    let sections = ref [] in
+    List.iter
+      (fun spec ->
+        Stm_intf.Trace.start ();
+        let r = demo_micro spec ~threads:2 ~duration_cycles:100_000 in
+        sections := (Engines.name spec, Stm_intf.Trace.stop ()) :: !sections;
+        if r.ops = 0 then fail "%s: demo micro made no progress" (Engines.name spec))
+      [ Engines.swisstm; Engines.tl2 ];
+    Obs.Profile.disable ();
+    Obs.Metrics.disable ();
+    (* profile: the run must have attributed cycles to named phases *)
+    let snap = Obs.Profile.snapshot () in
+    if Obs.Profile.total snap = 0 then fail "profile: no cycles attributed";
+    (match Obs.Json.member "phases" (Obs.Profile.to_json snap) with
+    | Some (Obs.Json.Obj _) -> ()
+    | _ -> fail "profile json: missing phases object");
+    (* metrics: both engines registered, commits counted *)
+    let mj = Obs.Metrics.to_json () in
+    (match Obs.Json.member "engines" mj with
+    | Some (Obs.Json.List engines) ->
+        List.iter
+          (fun name ->
+            let found =
+              List.exists
+                (fun e ->
+                  match Obs.Json.member "name" e with
+                  | Some (Obs.Json.Str n) -> n = name
+                  | _ -> false)
+                engines
+            in
+            if not found then fail "metrics json: engine %s missing" name)
+          [ "swisstm"; "tl2" ]
+    | _ -> fail "metrics json: missing engines list");
+    (* trace: write a real file, parse it back, schema-check *)
+    let path = Filename.temp_file "stm_obs_check" ".trace.json" in
+    Obs.Export.write_file path (List.rev !sections);
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let raw = really_input_string ic len in
+    close_in ic;
+    Sys.remove path;
+    (match Obs.Json.of_string raw with
+    | exception Obs.Json.Parse_error e -> fail "trace json unparsable: %s" e
+    | j -> (
+        match Obs.Export.validate_catapult j with
+        | Ok () -> ()
+        | Error e -> fail "trace schema: %s" e));
+    match !failures with
+    | [] ->
+        Printf.printf "obs-check: OK (metrics + profile + trace schema)\n"
+    | fs ->
+        List.iter (Printf.eprintf "obs-check: FAIL %s\n") (List.rev fs);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "obs-check"
+       ~doc:"Smoke-test the observability layer (CI; exits 1 on failure)")
+    Term.(const run $ const ())
 
 (* --- list ----------------------------------------------------------------- *)
 
@@ -164,6 +374,12 @@ let list_cmd =
 let () =
   let info =
     Cmd.info "stm_run" ~version:"1.0"
-      ~doc:"SwissTM reproduction: run any benchmark under any STM engine"
+      ~doc:
+        "SwissTM reproduction: run any benchmark under any STM engine.  With \
+         no subcommand, runs a contended demo micro across all six engines \
+         (combine with --profile / --metrics / --trace-out)."
   in
-  exit (Cmd.eval (Cmd.group info [ rbtree_cmd; sb7_cmd; lee_cmd; stamp_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default:demo_term info
+          [ rbtree_cmd; sb7_cmd; lee_cmd; stamp_cmd; obs_check_cmd; list_cmd ]))

@@ -74,7 +74,9 @@ let attempts (events : Stm_intf.Trace.event array) : attempt list =
       | Read { tid; addr; value; _ } -> op tid seq addr value "read"
       | Write { tid; addr; value; _ } -> op tid seq addr value "write"
       | Commit { tid; _ } -> close tid seq Committed
-      | Abort { tid; _ } -> close tid seq Aborted)
+      | Abort { tid; _ } -> close tid seq Aborted
+      (* Observability annotations: no effect on the attempt structure. *)
+      | CmDecision _ -> ())
     events;
   Hashtbl.iter
     (fun tid o ->

@@ -20,6 +20,9 @@ type txinfo = {
   mutable attempts : int;  (** attempts of the current transaction, >= 1 *)
   mutable karma : int;
       (** cumulative work carried across aborts (Karma manager) *)
+  mutable backoffs : int;
+      (** back-off waits taken on behalf of this thread (statistics only;
+          engines harvest the delta into [Stats.backoff]) *)
 }
 
 let make_txinfo ~tid ~seed =
@@ -33,6 +36,7 @@ let make_txinfo ~tid ~seed =
     succ_aborts = 0;
     attempts = 0;
     karma = 0;
+    backoffs = 0;
   }
 
 (** What the attacker should do about a write/write conflict. *)

@@ -18,6 +18,7 @@ type txinfo = {
   mutable succ_aborts : int;  (** successive aborts of this transaction *)
   mutable attempts : int;  (** attempts of the current transaction *)
   mutable karma : int;  (** work carried across aborts (Karma) *)
+  mutable backoffs : int;  (** back-off waits taken (statistics only) *)
 }
 
 val make_txinfo : tid:int -> seed:int -> txinfo

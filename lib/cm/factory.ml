@@ -5,6 +5,14 @@
 
 open Cm_intf
 
+(* Every manager back-off goes through here so the count lands in the
+   waiting thread's [txinfo]; engines harvest the delta into
+   [Stats.backoff].  The increment is unconditional (a plain field write,
+   no RNG draw), so schedules are unchanged. *)
+let backoff_wait info policy ~attempt =
+  info.backoffs <- info.backoffs + 1;
+  Runtime.Backoff.wait policy info.rng ~attempt
+
 (* --- Timid: always abort the attacker, optionally after a tiny random
    back-off (the TL2 / TinySTM default behaviour). --- *)
 let timid () =
@@ -19,7 +27,7 @@ let timid () =
         (* uncapped attempts: a transaction repeatedly losing to a long
            writer must eventually out-wait the writer's commit instead of
            thrashing (TL2/TinySTM ship comparable back-off escalation) *)
-        Runtime.Backoff.wait Runtime.Backoff.default_linear info.rng
+        backoff_wait info Runtime.Backoff.default_linear
           ~attempt:info.succ_aborts);
     on_commit = (fun _ -> ());
   }
@@ -48,7 +56,7 @@ let greedy () =
     on_rollback =
       (fun info ->
         note_rollback info;
-        Runtime.Backoff.wait Runtime.Backoff.default_linear info.rng
+        backoff_wait info Runtime.Backoff.default_linear
           ~attempt:(min info.succ_aborts 4));
     on_commit = (fun _ -> ());
   }
@@ -74,7 +82,7 @@ let serializer () =
     on_rollback =
       (fun info ->
         note_rollback info;
-        Runtime.Backoff.wait Runtime.Backoff.default_linear info.rng
+        backoff_wait info Runtime.Backoff.default_linear
           ~attempt:(min info.succ_aborts 4));
     on_commit = (fun _ -> ());
   }
@@ -97,7 +105,7 @@ let polka () =
         end
         else begin
           attacker.conflict_waits <- attacker.conflict_waits + 1;
-          Runtime.Backoff.wait Runtime.Backoff.default_exponential attacker.rng
+          backoff_wait attacker Runtime.Backoff.default_exponential
             ~attempt:attacker.conflict_waits;
           Wait
         end);
@@ -108,7 +116,7 @@ let polka () =
            re-killed forever; uncapped attempts let the exponential window
            grow past the length of the longest transactions, which is what
            breaks mutual-kill livelocks between equal-priority giants. *)
-        Runtime.Backoff.wait Runtime.Backoff.default_exponential info.rng
+        backoff_wait info Runtime.Backoff.default_exponential
           ~attempt:info.succ_aborts);
     on_commit = (fun _ -> ());
   }
@@ -135,14 +143,14 @@ let karma () =
         end
         else begin
           attacker.conflict_waits <- attacker.conflict_waits + 1;
-          Runtime.Backoff.wait Runtime.Backoff.default_exponential attacker.rng
+          backoff_wait attacker Runtime.Backoff.default_exponential
             ~attempt:attacker.conflict_waits;
           Wait
         end);
     on_rollback =
       (fun info ->
         note_rollback info;
-        Runtime.Backoff.wait Runtime.Backoff.default_exponential info.rng
+        backoff_wait info Runtime.Backoff.default_exponential
           ~attempt:info.succ_aborts);
     on_commit = (fun info -> info.karma <- 0);
   }
@@ -164,7 +172,7 @@ let timestamp () =
         if attacker.cm_ts >= victim.cm_ts then Abort_self
         else if attacker.conflict_waits < grace then begin
           attacker.conflict_waits <- attacker.conflict_waits + 1;
-          Runtime.Backoff.wait Runtime.Backoff.default_exponential attacker.rng
+          backoff_wait attacker Runtime.Backoff.default_exponential
             ~attempt:attacker.conflict_waits;
           Wait
         end
@@ -175,7 +183,7 @@ let timestamp () =
     on_rollback =
       (fun info ->
         note_rollback info;
-        Runtime.Backoff.wait Runtime.Backoff.default_linear info.rng
+        backoff_wait info Runtime.Backoff.default_linear
           ~attempt:(min info.succ_aborts 6));
     on_commit = (fun _ -> ());
   }
@@ -199,8 +207,10 @@ let two_phase ~wn ~backoff () =
         if not restart then info.cm_ts <- max_int);
     on_write =
       (fun info ~writes ->
-        if info.cm_ts = max_int && writes = wn then
-          info.cm_ts <- Runtime.Tmatomic.incr_get clock);
+        if info.cm_ts = max_int && writes = wn then begin
+          info.cm_ts <- Runtime.Tmatomic.incr_get clock;
+          if !Obs.Metrics.on then Obs.Metrics.on_cm_phase_shift ~tid:info.tid
+        end);
     resolve =
       (fun ~attacker ~victim ->
         if attacker.cm_ts = max_int then Abort_self
@@ -213,16 +223,44 @@ let two_phase ~wn ~backoff () =
       (fun info ->
         note_rollback info;
         if backoff then
-          Runtime.Backoff.wait Runtime.Backoff.default_linear info.rng
+          backoff_wait info Runtime.Backoff.default_linear
             ~attempt:info.succ_aborts);
     on_commit = (fun _ -> ());
   }
 
-let make = function
-  | Timid -> timid ()
-  | Greedy -> greedy ()
-  | Serializer -> serializer ()
-  | Polka -> polka ()
-  | Karma -> karma ()
-  | Timestamp -> timestamp ()
-  | Two_phase { wn; backoff } -> two_phase ~wn ~backoff ()
+(* Observability wrapper: report each conflict resolution to the trace
+   recorder and the metrics registry.  Applied centrally so every manager
+   and every engine gets CM-decision events without per-engine wiring.
+   [resolve] only runs on conflicts — never on the fast path — so the two
+   flag loads per call cost nothing measurable. *)
+let instrument t =
+  let resolve ~attacker ~victim =
+    let d = t.resolve ~attacker ~victim in
+    if !Stm_intf.Trace.enabled || !Obs.Metrics.on then begin
+      let decision : Stm_intf.Trace.cm_decision =
+        match d with
+        | Abort_self -> Cm_abort_self
+        | Wait -> Cm_wait
+        | Killed_victim -> Cm_kill
+      in
+      if !Stm_intf.Trace.enabled then
+        Stm_intf.Trace.on_cm_decision ~tid:attacker.tid ~victim:victim.tid
+          ~decision;
+      if !Obs.Metrics.on then
+        Obs.Metrics.on_cm_decision ~tid:attacker.tid ~victim:victim.tid
+          ~decision
+    end;
+    d
+  in
+  { t with resolve }
+
+let make spec =
+  instrument
+    (match spec with
+    | Timid -> timid ()
+    | Greedy -> greedy ()
+    | Serializer -> serializer ()
+    | Polka -> polka ()
+    | Karma -> karma ()
+    | Timestamp -> timestamp ()
+    | Two_phase { wn; backoff } -> two_phase ~wn ~backoff ())

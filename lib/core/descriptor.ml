@@ -21,6 +21,9 @@ type t = {
   mutable depth : int;  (** flat-nesting depth; only depth 0 commits *)
   mutable savepoint : savepoint option;
       (** active closed-nesting scope (at most one level deep) *)
+  mutable start_cycles : int;
+      (** virtual time at attempt start; an abort charges
+          [now - start_cycles] to [Stats.wasted] *)
 }
 
 (** Snapshot of the transaction logs at the start of a closed-nested scope
@@ -46,6 +49,7 @@ let create ~tid ~seed =
     sp_undo_present = Stm_intf.Ivec.create ();
     depth = 0;
     savepoint = None;
+    start_cycles = 0;
   }
 
 let clear_sp_undo d =

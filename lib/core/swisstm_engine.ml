@@ -22,6 +22,7 @@ type t = {
   cm : Cm.Cm_intf.t;
   descs : Descriptor.t array;
   stats : Stats.t;
+  eid : int;  (** metrics-registry engine id *)
   privatization_safe : bool;
   debug_no_validation : bool;
   active : Runtime.Tmatomic.t array;
@@ -45,6 +46,7 @@ let create ?(config = Swisstm_config.default) heap =
       Array.init Stats.max_threads (fun tid ->
           Descriptor.create ~tid ~seed:config.seed);
     stats = Stats.create ();
+    eid = Obs.Metrics.register_engine name;
     privatization_safe = config.privatization_safe;
     debug_no_validation = config.debug_no_validation;
     active = Array.init Stats.max_threads (fun _ -> Runtime.Tmatomic.make max_int);
@@ -57,6 +59,15 @@ let release_w_locks t (d : Descriptor.t) =
     (fun idx -> Runtime.Tmatomic.set (Lock_table.w_lock t.locks idx) Lock_table.w_unlocked)
     d.acq_stripes
 
+(* The contention manager may back off inside [on_rollback]/[resolve];
+   harvest the txinfo counter delta into [Stats] so [s_backoffs] reflects
+   this engine's share. *)
+let cm_rollback t (d : Descriptor.t) =
+  let b0 = d.info.Cm.Cm_intf.backoffs in
+  t.cm.on_rollback d.info;
+  let db = d.info.Cm.Cm_intf.backoffs - b0 in
+  if db > 0 then Stats.backoff t.stats ~tid:d.tid ~n:db
+
 (** Roll back: release held w-locks, record the abort, let the contention
     manager back off, and unwind to the retry loop.  R-locks are only ever
     held inside [commit], which restores them itself before calling this.
@@ -67,6 +78,8 @@ let release_w_locks t (d : Descriptor.t) =
     retries.  Validation failures and kills condemn the whole transaction
     (the stale read may predate the scope). *)
 let rollback t (d : Descriptor.t) reason =
+  if !Runtime.Exec.prof_on then
+    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
   match (d.savepoint, reason) with
   | Some sp, Tx_signal.Ww_conflict ->
       (* release only the w-locks acquired inside the scope *)
@@ -89,17 +102,20 @@ let rollback t (d : Descriptor.t) reason =
       if !Trace.enabled then Trace.on_scope_abort ~tid:d.tid;
       Stats.abort t.stats ~tid:d.tid reason;
       Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
-      t.cm.on_rollback d.info;
+      cm_rollback t d;
       raise Tx_signal.Inner_abort
   | _ ->
       release_w_locks t d;
       if t.privatization_safe then
         Runtime.Tmatomic.set t.active.(d.tid) max_int;
-      if !Trace.enabled then Trace.on_abort ~tid:d.tid;
+      if !Trace.enabled then Trace.on_abort ~tid:d.tid ~reason;
       Stats.abort t.stats ~tid:d.tid reason;
+      Stats.wasted t.stats ~tid:d.tid
+        ~cycles:(max 0 (Runtime.Exec.now () - d.start_cycles));
+      if !Obs.Metrics.on then Obs.Metrics.on_tx_abort ~tid:d.tid ~reason;
       Descriptor.clear_logs d;
       Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
-      t.cm.on_rollback d.info;
+      cm_rollback t d;
       Tx_signal.abort ()
 
 let check_kill t (d : Descriptor.t) =
@@ -113,6 +129,16 @@ let check_kill t (d : Descriptor.t) =
 let validate t (d : Descriptor.t) =
   if t.debug_no_validation then true
   else begin
+  (* Attribute validation cycles to their own phase, whichever phase
+     (read, write or commit) triggered it. *)
+  let prof_prev =
+    if !Runtime.Exec.prof_on then begin
+      let p = Runtime.Exec.get_phase d.tid in
+      Runtime.Exec.set_phase d.tid Runtime.Exec.ph_validate;
+      p
+    end
+    else 0
+  in
   let costs = Runtime.Costs.get () in
   let n = Ivec.length d.read_stripes in
   let ok = ref true in
@@ -137,6 +163,7 @@ let validate t (d : Descriptor.t) =
     end;
     incr i
   done;
+  if !Runtime.Exec.prof_on then Runtime.Exec.set_phase d.tid prof_prev;
   !ok
   end
 
@@ -264,8 +291,14 @@ let write_word t (d : Descriptor.t) addr value =
     let rec acquire wv =
       if wv <> Lock_table.w_unlocked then begin
         check_kill t d;
+        if !Obs.Metrics.on then
+          Obs.Metrics.on_stripe_conflict ~eid:t.eid ~stripe:idx;
         let victim = (t.descs.(Lock_table.w_owner_of wv)).info in
-        match t.cm.resolve ~attacker:d.info ~victim with
+        let b0 = d.info.Cm.Cm_intf.backoffs in
+        let decision = t.cm.resolve ~attacker:d.info ~victim in
+        let db = d.info.Cm.Cm_intf.backoffs - b0 in
+        if db > 0 then Stats.backoff t.stats ~tid:d.tid ~n:db;
+        match decision with
         | Cm.Cm_intf.Abort_self -> rollback t d Tx_signal.Ww_conflict
         | Cm.Cm_intf.Wait | Cm.Cm_intf.Killed_victim ->
             Stats.wait t.stats ~tid:d.tid;
@@ -295,6 +328,8 @@ let write_word t (d : Descriptor.t) addr value =
 (* --- commit ------------------------------------------------------------ *)
 
 let commit t (d : Descriptor.t) =
+  if !Runtime.Exec.prof_on then
+    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
   let costs = Runtime.Costs.get () in
   Runtime.Exec.tick costs.tx_end;
   if Descriptor.is_read_only d then begin
@@ -302,11 +337,13 @@ let commit t (d : Descriptor.t) =
       Runtime.Tmatomic.set t.active.(d.tid) max_int;
     if !Trace.enabled then Trace.on_commit ~tid:d.tid;
     Stats.commit t.stats ~tid:d.tid;
+    if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
     Descriptor.clear_logs d;
     t.cm.on_commit d.info
   end
   else begin
     check_kill t d;
+    if !Obs.Metrics.on then Obs.Metrics.on_commit_start ~tid:d.tid;
     (* Lock the r-locks of every written stripe to freeze readers. *)
     Ivec.iter
       (fun idx ->
@@ -342,6 +379,7 @@ let commit t (d : Descriptor.t) =
       Runtime.Tmatomic.set t.active.(d.tid) max_int;
     if !Trace.enabled then Trace.on_commit ~tid:d.tid;
     Stats.commit t.stats ~tid:d.tid;
+    if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
     Descriptor.clear_logs d;
     t.cm.on_commit d.info;
     (* an update commit may have privatized data: wait out older readers *)
@@ -353,12 +391,18 @@ let commit t (d : Descriptor.t) =
 let start t (d : Descriptor.t) ~restart =
   (* Begin is recorded BEFORE the snapshot is taken (Trace contract). *)
   if !Trace.enabled then Trace.on_begin ~tid:d.tid;
+  if !Runtime.Exec.prof_on then
+    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
+  d.start_cycles <- Runtime.Exec.now ();
+  if !Obs.Metrics.on then Obs.Metrics.on_tx_begin ~eid:t.eid ~tid:d.tid;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
   Descriptor.clear_logs d;
   d.valid_ts <- Runtime.Tmatomic.get t.commit_ts;
   if t.privatization_safe then
     Runtime.Tmatomic.set t.active.(d.tid) d.valid_ts;
-  t.cm.on_start d.info ~restart
+  t.cm.on_start d.info ~restart;
+  if !Runtime.Exec.prof_on then
+    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_other
 
 (** Release everything on a non-[Abort] exception escaping the body, so a
     user bug cannot wedge the lock table. *)
@@ -440,13 +484,29 @@ let engine ?config heap : Engine.t =
         {
           Engine.read =
             (fun addr ->
-              let v = read_word t d addr in
-              if !Trace.enabled then Trace.on_read ~tid ~addr ~value:v;
-              v);
+              (* One combined check on the everything-off fast path; the
+                 individual collector flags are only consulted behind it. *)
+              if !Runtime.Exec.hooks_on then begin
+                if !Runtime.Exec.prof_on then
+                  Runtime.Exec.set_phase tid Runtime.Exec.ph_read;
+                let v = read_word t d addr in
+                if !Runtime.Exec.prof_on then
+                  Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
+                if !Trace.enabled then Trace.on_read ~tid ~addr ~value:v;
+                v
+              end
+              else read_word t d addr);
           write =
             (fun addr v ->
-              write_word t d addr v;
-              if !Trace.enabled then Trace.on_write ~tid ~addr ~value:v);
+              if !Runtime.Exec.hooks_on then begin
+                if !Runtime.Exec.prof_on then
+                  Runtime.Exec.set_phase tid Runtime.Exec.ph_write;
+                write_word t d addr v;
+                if !Runtime.Exec.prof_on then
+                  Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
+                if !Trace.enabled then Trace.on_write ~tid ~addr ~value:v
+              end
+              else write_word t d addr v);
           alloc = (fun n -> Memory.Heap.alloc heap n);
         })
   in

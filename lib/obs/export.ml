@@ -1,0 +1,164 @@
+(* Chrome trace_event ("catapult") exporter.
+
+   Converts recorded [Stm_intf.Trace] event streams into the JSON object
+   format chrome://tracing and Perfetto accept: one X (complete) slice
+   per transaction attempt, instant events for reads/writes/CM decisions,
+   and process_name metadata.  Multi-engine traces map each engine to its
+   own pid so Perfetto shows one process lane per engine.
+
+   Simulated cycles are converted to trace microseconds at the simulated
+   clock rate (2.4 GHz, matching the paper's 2.33 GHz-class machine close
+   enough for a timeline display). *)
+
+open Stm_intf
+
+let cycles_per_us = 2400.
+
+let us cycles = float_of_int cycles /. cycles_per_us
+
+let base_fields ~ph ~name ~pid ~tid ~ts rest =
+  Json.Obj
+    (("name", Json.Str name)
+    :: ("ph", Json.Str ph)
+    :: ("pid", Json.Int pid)
+    :: ("tid", Json.Int tid)
+    :: ("ts", Json.Float (us ts))
+    :: rest)
+
+let instant ~name ~pid ~tid ~ts args =
+  base_fields ~ph:"i" ~name ~pid ~tid ~ts
+    [ ("s", Json.Str "t"); ("args", Json.Obj args) ]
+
+let slice ~pid ~tid ~ts ~dur ~outcome =
+  base_fields ~ph:"X" ~name:"tx" ~pid ~tid ~ts
+    [
+      ("dur", Json.Float (us (max dur 0)));
+      ("cat", Json.Str "tx");
+      ("args", Json.Obj [ ("outcome", Json.Str outcome) ]);
+    ]
+
+let process_name ~pid name =
+  Json.Obj
+    [
+      ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+(* One engine's event stream -> trace events, appended to [out] (a reversed
+   accumulator).  Attempt slices come from pairing each Begin with the next
+   Commit/Abort of the same tid; a Begin still open when the stream ends is
+   emitted as an "outcome: live" slice so truncated runs stay visible. *)
+let section_events ~pid (events : Trace.event array) out =
+  let open_begin = Hashtbl.create 16 in
+  let last_time = ref 0 in
+  let emit e = out := e :: !out in
+  Array.iter
+    (fun (ev : Trace.event) ->
+      (match ev with
+      | Begin { time; _ }
+      | Read { time; _ }
+      | Write { time; _ }
+      | Commit { time; _ }
+      | Abort { time; _ }
+      | CmDecision { time; _ } -> if time > !last_time then last_time := time);
+      match ev with
+      | Begin { tid; time } -> Hashtbl.replace open_begin tid time
+      | Commit { tid; time } -> (
+          match Hashtbl.find_opt open_begin tid with
+          | Some t0 ->
+              Hashtbl.remove open_begin tid;
+              emit (slice ~pid ~tid ~ts:t0 ~dur:(time - t0) ~outcome:"commit")
+          | None -> ())
+      | Abort { tid; reason; time } -> (
+          match Hashtbl.find_opt open_begin tid with
+          | Some t0 ->
+              Hashtbl.remove open_begin tid;
+              emit
+                (slice ~pid ~tid ~ts:t0 ~dur:(time - t0)
+                   ~outcome:("abort:" ^ Tx_signal.reason_label reason))
+          | None -> ())
+      | Read { tid; addr; value; time } ->
+          emit
+            (instant ~name:"R" ~pid ~tid ~ts:time
+               [ ("addr", Json.Int addr); ("value", Json.Int value) ])
+      | Write { tid; addr; value; time } ->
+          emit
+            (instant ~name:"W" ~pid ~tid ~ts:time
+               [ ("addr", Json.Int addr); ("value", Json.Int value) ])
+      | CmDecision { tid; victim; decision; time } ->
+          emit
+            (instant
+               ~name:("cm:" ^ Trace.cm_decision_label decision)
+               ~pid ~tid ~ts:time
+               [ ("victim", Json.Int victim) ]))
+    events;
+  Hashtbl.iter
+    (fun tid t0 ->
+      emit (slice ~pid ~tid ~ts:t0 ~dur:(!last_time - t0) ~outcome:"live"))
+    open_begin
+
+(** Build a catapult trace from one event stream per engine.  Engines map
+    to distinct pids (1-based, in list order). *)
+let catapult (sections : (string * Trace.event array) list) =
+  let out = ref [] in
+  List.iteri
+    (fun i (name, events) ->
+      let pid = i + 1 in
+      out := process_name ~pid name :: !out;
+      section_events ~pid events out)
+    sections;
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !out));
+      ("displayTimeUnit", Json.Str "ns");
+    ]
+
+let write_file path sections =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.to_channel oc (catapult sections);
+      output_char oc '\n')
+
+(* --- schema check ------------------------------------------------------ *)
+
+let check_event i (e : Json.t) =
+  let str k = Option.bind (Json.member k e) Json.to_str in
+  let has_num k =
+    match Json.member k e with
+    | Some (Json.Int _ | Json.Float _) -> true
+    | _ -> false
+  in
+  let fail msg = Error (Printf.sprintf "event %d: %s" i msg) in
+  match str "ph" with
+  | None -> fail "missing ph"
+  | Some ph -> (
+      if str "name" = None then fail "missing name"
+      else if not (has_num "pid" && has_num "tid") then fail "missing pid/tid"
+      else
+        match ph with
+        | "M" -> Ok ()
+        | "X" ->
+            if not (has_num "ts" && has_num "dur") then fail "X needs ts+dur"
+            else Ok ()
+        | "i" -> if not (has_num "ts") then fail "i needs ts" else Ok ()
+        | _ -> fail ("unknown ph " ^ ph))
+
+(** Structural check that a parsed trace is catapult-shaped: a
+    [traceEvents] array whose members all carry the fields their [ph]
+    kind requires.  This is what [stm_run obs-check] and the round-trip
+    test assert after parsing the written file back. *)
+let validate_catapult (j : Json.t) =
+  match Option.bind (Json.member "traceEvents" j) Json.to_list with
+  | None -> Error "missing traceEvents array"
+  | Some events ->
+      let rec go i = function
+        | [] -> Ok ()
+        | e :: tl -> (
+            match check_event i e with Ok () -> go (i + 1) tl | err -> err)
+      in
+      if events = [] then Error "empty traceEvents" else go 0 events

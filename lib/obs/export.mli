@@ -1,0 +1,19 @@
+(** Chrome trace_event ("catapult") exporter for recorded traces.
+
+    Output opens in chrome://tracing and Perfetto: one process lane per
+    engine (pid-per-section), one X slice per transaction attempt
+    (outcome commit / abort:reason / live), instant events for reads,
+    writes and CM decisions.  Simulated cycles convert to trace
+    microseconds at 2.4 GHz. *)
+
+val cycles_per_us : float
+
+val catapult : (string * Stm_intf.Trace.event array) list -> Json.t
+(** [catapult [(engine_name, events); ...]] — sections map to pids 1.. in
+    order. *)
+
+val write_file : string -> (string * Stm_intf.Trace.event array) list -> unit
+
+val validate_catapult : Json.t -> (unit, string) result
+(** Structural schema check on a parsed trace (used by [obs-check] and
+    the round-trip test). *)

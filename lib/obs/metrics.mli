@@ -1,0 +1,71 @@
+(** Metrics registry: typed counters and log2-bucketed latency histograms.
+
+    Off by default.  Engine call sites guard every hook with
+    [if !Metrics.on then ...] (one load + one branch when off), and no
+    hook charges simulated cycles, so metered and unmetered runs take
+    bit-identical schedules. *)
+
+(** Log2-bucketed histograms of non-negative integer samples. *)
+module Hist : sig
+  type t
+
+  val n_buckets : int
+
+  val create : unit -> t
+
+  val bucket_of : int -> int
+  (** 0 for values [<= 0]; number of significant bits otherwise
+      ([bucket_of 1 = 1], [bucket_of max_int = 62]). *)
+
+  val bucket_upper : int -> int
+  (** Inclusive upper bound of a bucket: [0] for bucket 0, [2^b - 1]
+      otherwise. *)
+
+  val observe : t -> int -> unit
+  val reset : t -> unit
+  val count : t -> int
+  val sum : t -> int
+  val max_value : t -> int
+  val mean : t -> float
+  val bucket : t -> int -> int
+
+  val approx_quantile : t -> float -> int
+  (** Upper bound of the smallest bucket prefix holding the quantile —
+      log2-granular, for reporting. *)
+
+  val to_json : t -> Json.t
+end
+
+val on : bool ref
+(** The hook guard.  Use {!enable}/{!disable} rather than flipping it
+    directly so the runtime back-off/scheduler hooks stay in sync. *)
+
+val register_engine : string -> int
+(** Idempotent by name; the returned eid stays valid across {!reset}. *)
+
+val registered : unit -> string list
+(** Registered engine names, oldest first. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Zero all counters, histograms and heat maps; registrations survive. *)
+
+(** {2 Engine hooks} — guard with [if !Metrics.on]. *)
+
+val on_tx_begin : eid:int -> tid:int -> unit
+val on_commit_start : tid:int -> unit
+val on_tx_commit : tid:int -> unit
+val on_tx_abort : tid:int -> reason:Stm_intf.Tx_signal.abort_reason -> unit
+val on_stripe_conflict : eid:int -> stripe:int -> unit
+
+val on_cm_decision :
+  tid:int -> victim:int -> decision:Stm_intf.Trace.cm_decision -> unit
+
+val on_cm_phase_shift : tid:int -> unit
+
+(** {2 Reporting} *)
+
+val pp : Format.formatter -> unit -> unit
+val to_json : unit -> Json.t

@@ -1,0 +1,67 @@
+(* Simulated-time profiler front-end.
+
+   The accounting itself lives in [Runtime.Exec] (every charged cycle
+   flows through tick/tick_as/pause, so instrumenting those attributes
+   ALL simulated time by construction); this module owns the on/off
+   switch, snapshots the per-(thread, phase) matrix, and renders the
+   phase-breakdown table.  Per-engine attribution is by harvest: callers
+   [reset] before and [snapshot] after each engine's run. *)
+
+open Runtime
+
+let n_phases = 7 (* Exec reserves 8 slots; slot 7 is unused padding *)
+
+let phase_names =
+  [| "other"; "read"; "write"; "validate"; "commit"; "spin"; "backoff" |]
+
+type snapshot = { cycles : int array (* indexed by phase *) }
+
+let enable () =
+  Exec.prof_on := true;
+  Exec.hooks_on := true
+
+let disable () =
+  Exec.prof_on := false;
+  Exec.hooks_on := !Stm_intf.Trace.enabled
+
+let reset () = Exec.prof_reset ()
+
+let snapshot () =
+  let cycles = Array.make n_phases 0 in
+  for tid = 0 to Exec.prof_threads - 1 do
+    for p = 0 to n_phases - 1 do
+      cycles.(p) <- cycles.(p) + Exec.prof_read ~tid ~phase:p
+    done
+  done;
+  { cycles }
+
+let total s = Array.fold_left ( + ) 0 s.cycles
+
+let add a b = { cycles = Array.mapi (fun i c -> c + b.cycles.(i)) a.cycles }
+
+let pct s p =
+  let t = total s in
+  if t = 0 then 0. else 100. *. float_of_int s.cycles.(p) /. float_of_int t
+
+(** One row per phase: cycles and share of total. *)
+let pp ppf s =
+  Format.fprintf ppf "    %-10s %14s %7s@\n" "phase" "cycles" "share";
+  Array.iteri
+    (fun p name ->
+      if s.cycles.(p) > 0 then
+        Format.fprintf ppf "    %-10s %14d %6.1f%%@\n" name s.cycles.(p)
+          (pct s p))
+    phase_names;
+  Format.fprintf ppf "    %-10s %14d@\n" "total" (total s)
+
+let to_json s =
+  Json.Obj
+    [
+      ("total", Json.Int (total s));
+      ( "phases",
+        Json.Obj
+          (Array.to_list
+             (Array.mapi
+                (fun p name -> (name, Json.Int s.cycles.(p)))
+                phase_names)) );
+    ]

@@ -34,11 +34,75 @@ let blocked_yield = ref false
 
 let in_sim () = !cur >= 0
 
+(* --- simulated-time profiler backend (read by lib/obs) ----------------
+
+   Every charged cycle flows through [tick]/[tick_as]/[pause], so
+   accounting here — rather than at the hundreds of engine call sites —
+   attributes ALL of simulated time to a phase by construction.  Engines
+   declare phase regions with [set_phase] (guarded by [prof_on] at the
+   call site); [pause] self-attributes to the spin phase and
+   [Backoff.wait_cycles] to the back-off phase via [tick_as].  When
+   [prof_on] is false the cost is one load + one predictable branch per
+   tick, mirroring the Trace hook discipline.  The profiler charges no
+   cycles of its own, so profiled and unprofiled runs take bit-identical
+   schedules. *)
+
+let prof_threads = 64
+let n_phases = 8 (* power of two for cheap indexing; slot 7 is unused *)
+let ph_other = 0 (* application compute between/inside transactions *)
+let ph_read = 1
+let ph_write = 2
+let ph_validate = 3
+let ph_commit = 4 (* includes tx begin/end bookkeeping *)
+let ph_spin = 5
+let ph_backoff = 6
+let prof_on = ref false
+
+(* OR of the per-access annotation collectors (profiler, trace recording).
+   Engine [tx_ops] wrappers test this ONE flag on their read/write fast
+   path and only consult [prof_on] / [Trace.enabled] individually behind
+   it, so the everything-off cost per access stays a single load + branch
+   — the same as the trace-only discipline this layer extends.  Maintained
+   by [Trace.start]/[stop] and [Obs.Profile.enable]/[disable]. *)
+let hooks_on = ref false
+
+let prof_phase = Array.make prof_threads ph_other
+let prof_cycles = Array.make (prof_threads * n_phases) 0
+
+let set_phase tid p = prof_phase.(tid land (prof_threads - 1)) <- p
+let get_phase tid = prof_phase.(tid land (prof_threads - 1))
+let prof_read ~tid ~phase = prof_cycles.((tid land (prof_threads - 1)) * n_phases + phase)
+
+let prof_reset () =
+  Array.fill prof_cycles 0 (Array.length prof_cycles) 0;
+  Array.fill prof_phase 0 prof_threads ph_other
+
+let prof_add c n =
+  let s = c land (prof_threads - 1) in
+  let i = (s * n_phases) + prof_phase.(s) in
+  prof_cycles.(i) <- prof_cycles.(i) + n
+
+let prof_add_as c p n =
+  let i = ((c land (prof_threads - 1)) * n_phases) + p in
+  prof_cycles.(i) <- prof_cycles.(i) + n
+
 (** Charge [n] virtual cycles to the calling simulated thread; no-op in
     native mode.  May transfer control to another simulated thread. *)
 let tick n =
   let c = !cur in
   if c >= 0 then begin
+    if !prof_on then prof_add c n;
+    let v = !vtimes in
+    v.(c) <- v.(c) + n;
+    if v.(c) > !next_deadline then Effect.perform Yield
+  end
+
+(** Like [tick], but attributes the cycles to phase [p] regardless of the
+    thread's current phase (used by the back-off wait). *)
+let tick_as p n =
+  let c = !cur in
+  if c >= 0 then begin
+    if !prof_on then prof_add_as c p n;
     let v = !vtimes in
     v.(c) <- v.(c) + n;
     if v.(c) > !next_deadline then Effect.perform Yield
@@ -71,8 +135,10 @@ let now () =
 let pause () =
   let c = !cur in
   if c >= 0 then begin
+    let p = (Costs.get ()).pause in
+    if !prof_on then prof_add_as c ph_spin p;
     let v = !vtimes in
-    v.(c) <- v.(c) + (Costs.get ()).pause;
+    v.(c) <- v.(c) + p;
     (* A spinning thread must always let the lock owner run, even when the
        spinner is still the earliest thread. *)
     blocked_yield := true;

@@ -27,6 +27,62 @@ val pause : unit -> unit
 val set_native_tid : int -> unit
 (** Register the calling domain's logical thread id (native mode). *)
 
+(** {2 Simulated-time profiler backend}
+
+    Every charged cycle flows through {!tick}/{!tick_as}/{!pause}, so the
+    accounting lives here and attributes all of simulated time to a phase
+    by construction.  [lib/obs] installs nothing: it flips {!prof_on} and
+    reads the matrix back with {!prof_read}.  Engines declare phase
+    regions with {!set_phase}, guarding each call with [if !prof_on] so
+    the profiler-off fast path costs one load + one predictable branch.
+    The profiler charges no cycles of its own: profiled and unprofiled
+    runs take bit-identical schedules.  Sim-only ([tick] is a no-op
+    natively, so nothing accumulates in native mode). *)
+
+val prof_on : bool ref
+
+val hooks_on : bool ref
+(** OR of the per-access annotation collectors (profiler, trace
+    recording).  Engine read/write wrappers test only this flag on the
+    fast path and consult [prof_on] / [Trace.enabled] individually behind
+    it, keeping the everything-off cost at one load + branch per access.
+    Maintained by [Trace.start]/[stop] and [Obs.Profile.enable]/
+    [disable]; do not flip directly. *)
+
+val prof_threads : int
+val n_phases : int
+
+val ph_other : int
+(** Application compute (the phase engines restore on leaving an op). *)
+
+val ph_read : int
+val ph_write : int
+val ph_validate : int
+
+val ph_commit : int
+(** Commit processing, including tx begin/end bookkeeping overhead. *)
+
+val ph_spin : int
+(** Charged automatically by {!pause}. *)
+
+val ph_backoff : int
+(** Charged automatically by [Backoff.wait_cycles] via {!tick_as}. *)
+
+val set_phase : int -> int -> unit
+(** [set_phase tid phase] — callers must guard with [if !prof_on]. *)
+
+val get_phase : int -> int
+
+val tick_as : int -> int -> unit
+(** [tick_as phase n] charges like {!tick} but attributes to [phase]
+    regardless of the calling thread's current phase. *)
+
+val prof_read : tid:int -> phase:int -> int
+(** Accumulated cycles for one (thread, phase) cell. *)
+
+val prof_reset : unit -> unit
+(** Zero the matrix and reset every thread's phase to {!ph_other}. *)
+
 (**/**)
 
 (* Scheduler internals shared with {!Sim}; not part of the public API. *)

@@ -77,9 +77,17 @@ let make_handler st tid =
         | _ -> None);
   }
 
+(* Observability hook (installed by lib/obs): called with the thread id on
+   every dispatch decision, before the thread is resumed.  Same ref-pair
+   discipline as the Trace hooks: one load + one branch when off, and the
+   hook must not charge cycles or touch scheduler state. *)
+let on_dispatch : (int -> unit) ref = ref (fun _ -> ())
+let on_dispatch_enabled = ref false
+
 (* Resume thread [tid] until it yields or finishes; decrement [alive] when
    it finished.  Shared by every policy loop. *)
 let step st bodies alive tid =
+  if !on_dispatch_enabled then !on_dispatch tid;
   Exec.cur := tid;
   Exec.blocked_yield := false;
   (match st.conts.(tid) with

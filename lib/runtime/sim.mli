@@ -52,3 +52,10 @@ val run_threads :
   ?cap_cycles:int -> ?policy:policy -> threads:int -> (int -> unit) -> int
 (** [run_threads ~threads body] runs [body tid] on each thread and returns
     the simulated makespan (max final virtual time). *)
+
+val on_dispatch : (int -> unit) ref
+(** Observability hook, fired with the thread id on every scheduler
+    dispatch when {!on_dispatch_enabled} is set (installed by [lib/obs]).
+    The hook must not charge cycles or touch scheduler state. *)
+
+val on_dispatch_enabled : bool ref

@@ -12,11 +12,18 @@ type t = {
   heap : Memory.Heap.t;
   lock : Runtime.Tmatomic.t;
   stats : Stats.t;
+  eid : int;  (* observability engine id *)
 }
 
 let name = "glock"
 
-let create heap = { heap; lock = Runtime.Tmatomic.make 0; stats = Stats.create () }
+let create heap =
+  {
+    heap;
+    lock = Runtime.Tmatomic.make 0;
+    stats = Stats.create ();
+    eid = Obs.Metrics.register_engine name;
+  }
 
 let acquire t ~tid =
   let rec go () =
@@ -41,16 +48,38 @@ let engine heap : Engine.t =
       Engine.read =
         (fun addr ->
           Stats.read t.stats ~tid;
-          Runtime.Exec.tick (costs ()).mem;
-          let v = Memory.Heap.unsafe_read t.heap addr in
-          if !Trace.enabled then Trace.on_read ~tid ~addr ~value:v;
-          v);
+          (* One combined check on the everything-off fast path; the
+             individual collector flags are only consulted behind it. *)
+          if !Runtime.Exec.hooks_on then begin
+            if !Runtime.Exec.prof_on then
+              Runtime.Exec.set_phase tid Runtime.Exec.ph_read;
+            Runtime.Exec.tick (costs ()).mem;
+            let v = Memory.Heap.unsafe_read t.heap addr in
+            if !Runtime.Exec.prof_on then
+              Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
+            if !Trace.enabled then Trace.on_read ~tid ~addr ~value:v;
+            v
+          end
+          else begin
+            Runtime.Exec.tick (costs ()).mem;
+            Memory.Heap.unsafe_read t.heap addr
+          end);
       write =
         (fun addr v ->
           Stats.write t.stats ~tid;
-          Runtime.Exec.tick (costs ()).mem;
-          Memory.Heap.unsafe_write t.heap addr v;
-          if !Trace.enabled then Trace.on_write ~tid ~addr ~value:v);
+          if !Runtime.Exec.hooks_on then begin
+            if !Runtime.Exec.prof_on then
+              Runtime.Exec.set_phase tid Runtime.Exec.ph_write;
+            Runtime.Exec.tick (costs ()).mem;
+            Memory.Heap.unsafe_write t.heap addr v;
+            if !Runtime.Exec.prof_on then
+              Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
+            if !Trace.enabled then Trace.on_write ~tid ~addr ~value:v
+          end
+          else begin
+            Runtime.Exec.tick (costs ()).mem;
+            Memory.Heap.unsafe_write t.heap addr v
+          end);
       alloc = (fun n -> Memory.Heap.alloc heap n);
     }
   in
@@ -67,18 +96,28 @@ let engine heap : Engine.t =
         else begin
           (* Begin recorded before the lock (= snapshot) is taken. *)
           if !Trace.enabled then Trace.on_begin ~tid;
+          if !Runtime.Exec.prof_on then
+            Runtime.Exec.set_phase tid Runtime.Exec.ph_commit;
+          if !Obs.Metrics.on then Obs.Metrics.on_tx_begin ~eid:t.eid ~tid;
           Runtime.Exec.tick (costs ()).tx_begin;
           acquire t ~tid;
+          if !Runtime.Exec.prof_on then
+            Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
           depth.(tid) <- 1;
           Fun.protect
             ~finally:(fun () ->
               depth.(tid) <- 0;
+              if !Runtime.Exec.prof_on then
+                Runtime.Exec.set_phase tid Runtime.Exec.ph_commit;
               release t;
-              Runtime.Exec.tick (costs ()).tx_end)
+              Runtime.Exec.tick (costs ()).tx_end;
+              if !Runtime.Exec.prof_on then
+                Runtime.Exec.set_phase tid Runtime.Exec.ph_other)
             (fun () ->
               let v = f (ops tid) in
               if !Trace.enabled then Trace.on_commit ~tid;
               Stats.commit t.stats ~tid;
+              if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid;
               v)
         end);
     stats = (fun () -> Stats.snapshot t.stats);

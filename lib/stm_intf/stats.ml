@@ -12,6 +12,8 @@ type t = {
   aborts_rw : int array;
   aborts_killed : int array;
   waits : int array;
+  backoffs : int array;
+  cycles_wasted : int array;
   reads : int array;
   writes : int array;
 }
@@ -22,6 +24,8 @@ type snapshot = {
   s_aborts_rw : int;
   s_aborts_killed : int;
   s_waits : int;
+  s_backoffs : int;
+  s_cycles_wasted : int;
   s_reads : int;
   s_writes : int;
 }
@@ -33,6 +37,8 @@ let create () =
     aborts_rw = Array.make max_threads 0;
     aborts_killed = Array.make max_threads 0;
     waits = Array.make max_threads 0;
+    backoffs = Array.make max_threads 0;
+    cycles_wasted = Array.make max_threads 0;
     reads = Array.make max_threads 0;
     writes = Array.make max_threads 0;
   }
@@ -44,6 +50,14 @@ let commit t ~tid = bump t.commits tid
 let wait t ~tid = bump t.waits tid
 let read t ~tid = bump t.reads tid
 let write t ~tid = bump t.writes tid
+
+let backoff t ~tid ~n =
+  let s = slot tid in
+  t.backoffs.(s) <- t.backoffs.(s) + n
+
+let wasted t ~tid ~cycles =
+  let s = slot tid in
+  t.cycles_wasted.(s) <- t.cycles_wasted.(s) + cycles
 
 let abort t ~tid (reason : Tx_signal.abort_reason) =
   match reason with
@@ -60,6 +74,8 @@ let snapshot t =
     s_aborts_rw = sum t.aborts_rw;
     s_aborts_killed = sum t.aborts_killed;
     s_waits = sum t.waits;
+    s_backoffs = sum t.backoffs;
+    s_cycles_wasted = sum t.cycles_wasted;
     s_reads = sum t.reads;
     s_writes = sum t.writes;
   }
@@ -71,6 +87,8 @@ let reset t =
   z t.aborts_rw;
   z t.aborts_killed;
   z t.waits;
+  z t.backoffs;
+  z t.cycles_wasted;
   z t.reads;
   z t.writes
 
@@ -82,9 +100,10 @@ let abort_rate s =
 
 let pp ppf s =
   Format.fprintf ppf
-    "commits=%d aborts(w/w=%d r/w=%d killed=%d) waits=%d reads=%d writes=%d"
+    "commits=%d aborts(w/w=%d r/w=%d killed=%d) waits=%d backoffs=%d \
+     wasted=%d reads=%d writes=%d"
     s.s_commits s.s_aborts_ww s.s_aborts_rw s.s_aborts_killed s.s_waits
-    s.s_reads s.s_writes
+    s.s_backoffs s.s_cycles_wasted s.s_reads s.s_writes
 
 (** Sum two snapshots (multi-phase benchmarks). *)
 let add a b =
@@ -94,6 +113,8 @@ let add a b =
     s_aborts_rw = a.s_aborts_rw + b.s_aborts_rw;
     s_aborts_killed = a.s_aborts_killed + b.s_aborts_killed;
     s_waits = a.s_waits + b.s_waits;
+    s_backoffs = a.s_backoffs + b.s_backoffs;
+    s_cycles_wasted = a.s_cycles_wasted + b.s_cycles_wasted;
     s_reads = a.s_reads + b.s_reads;
     s_writes = a.s_writes + b.s_writes;
   }

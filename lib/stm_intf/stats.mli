@@ -10,6 +10,8 @@ type snapshot = {
   s_aborts_rw : int;  (** read-set validation failures *)
   s_aborts_killed : int;  (** remote aborts by a contention manager *)
   s_waits : int;  (** spin-wait iterations *)
+  s_backoffs : int;  (** contention-manager back-off waits taken *)
+  s_cycles_wasted : int;  (** simulated cycles discarded by aborts *)
   s_reads : int;
   s_writes : int;
 }
@@ -21,6 +23,12 @@ val abort : t -> tid:int -> Tx_signal.abort_reason -> unit
 val wait : t -> tid:int -> unit
 val read : t -> tid:int -> unit
 val write : t -> tid:int -> unit
+
+val backoff : t -> tid:int -> n:int -> unit
+(** Count [n] back-off waits (distinct from spin-wait iterations). *)
+
+val wasted : t -> tid:int -> cycles:int -> unit
+(** Charge the simulated cycles an aborted attempt burned. *)
 
 val snapshot : t -> snapshot
 val reset : t -> unit

@@ -33,19 +33,37 @@
    all simulated threads share one domain.  Recording a native multi-domain
    run would race on the log. *)
 
+(* What a contention manager decided when asked to resolve a conflict.
+   Defined here (not in lib/cm) so the trace layer stays below the CM
+   layer in the dependency order; lib/cm maps its own decision type onto
+   this one when emitting the event. *)
+type cm_decision = Cm_abort_self | Cm_wait | Cm_kill
+
 type event =
   | Begin of { tid : int; time : int }
   | Read of { tid : int; addr : int; value : int; time : int }
   | Write of { tid : int; addr : int; value : int; time : int }
   | Commit of { tid : int; time : int }
-  | Abort of { tid : int; time : int }
+  | Abort of { tid : int; reason : Tx_signal.abort_reason; time : int }
+  | CmDecision of {
+      tid : int;  (** the attacker — the thread that hit the conflict *)
+      victim : int;  (** the owner it collided with *)
+      decision : cm_decision;
+      time : int;
+    }
 
 let event_tid = function
   | Begin { tid; _ }
   | Read { tid; _ }
   | Write { tid; _ }
   | Commit { tid; _ }
-  | Abort { tid; _ } -> tid
+  | Abort { tid; _ }
+  | CmDecision { tid; _ } -> tid
+
+let cm_decision_label = function
+  | Cm_abort_self -> "abort-self"
+  | Cm_wait -> "wait"
+  | Cm_kill -> "kill"
 
 let pp_event ppf = function
   | Begin { tid; time } -> Format.fprintf ppf "B(t%d@%d)" tid time
@@ -54,7 +72,11 @@ let pp_event ppf = function
   | Write { tid; addr; value; time } ->
       Format.fprintf ppf "W(t%d,%d:=%d@%d)" tid addr value time
   | Commit { tid; time } -> Format.fprintf ppf "C(t%d@%d)" tid time
-  | Abort { tid; time } -> Format.fprintf ppf "A(t%d@%d)" tid time
+  | Abort { tid; reason; time } ->
+      Format.fprintf ppf "A(t%d,%s@%d)" tid (Tx_signal.reason_label reason) time
+  | CmDecision { tid; victim; decision; time } ->
+      Format.fprintf ppf "CM(t%d->t%d,%s@%d)" tid victim
+        (cm_decision_label decision) time
 
 (* The flag is dereferenced directly by engine call sites:
      if !Trace.enabled then Trace.on_read ~tid ~addr ~value
@@ -75,10 +97,12 @@ let start () =
   log := [];
   n_events := 0;
   scope_aborts_ctr := 0;
-  enabled := true
+  enabled := true;
+  Runtime.Exec.hooks_on := true
 
 let stop () =
   enabled := false;
+  Runtime.Exec.hooks_on := !Runtime.Exec.prof_on;
   let events = Array.make !n_events (Commit { tid = 0; time = 0 }) in
   let rec fill i = function
     | [] -> ()
@@ -109,8 +133,12 @@ let on_write ~tid ~addr ~value =
 let on_commit ~tid =
   if !enabled then push (Commit { tid; time = Runtime.Exec.now () })
 
-let on_abort ~tid =
-  if !enabled then push (Abort { tid; time = Runtime.Exec.now () })
+let on_abort ~tid ~reason =
+  if !enabled then push (Abort { tid; reason; time = Runtime.Exec.now () })
+
+let on_cm_decision ~tid ~victim ~decision =
+  if !enabled then
+    push (CmDecision { tid; victim; decision; time = Runtime.Exec.now () })
 
 let on_scope_abort ~tid =
   ignore tid;

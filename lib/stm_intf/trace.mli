@@ -7,15 +7,25 @@
     only.  See trace.ml for the event-placement contract that makes the
     derived real-time edges sound. *)
 
+type cm_decision = Cm_abort_self | Cm_wait | Cm_kill
+(** What a contention manager decided at a conflict (emitted by lib/cm). *)
+
 type event =
   | Begin of { tid : int; time : int }
   | Read of { tid : int; addr : int; value : int; time : int }
   | Write of { tid : int; addr : int; value : int; time : int }
   | Commit of { tid : int; time : int }
-  | Abort of { tid : int; time : int }
+  | Abort of { tid : int; reason : Tx_signal.abort_reason; time : int }
+  | CmDecision of {
+      tid : int;  (** the attacker — the thread that hit the conflict *)
+      victim : int;  (** the owner it collided with *)
+      decision : cm_decision;
+      time : int;
+    }
 
 val event_tid : event -> int
 val pp_event : Format.formatter -> event -> unit
+val cm_decision_label : cm_decision -> string
 
 val enabled : bool ref
 (** Engine call sites guard hooks with [if !Trace.enabled then ...] so the
@@ -39,5 +49,6 @@ val on_begin : tid:int -> unit
 val on_read : tid:int -> addr:int -> value:int -> unit
 val on_write : tid:int -> addr:int -> value:int -> unit
 val on_commit : tid:int -> unit
-val on_abort : tid:int -> unit
+val on_abort : tid:int -> reason:Tx_signal.abort_reason -> unit
+val on_cm_decision : tid:int -> victim:int -> decision:cm_decision -> unit
 val on_scope_abort : tid:int -> unit

@@ -59,6 +59,7 @@ type desc = {
   acq_saved : Ivec.t;
   acq_version : Wlog.t;
   mutable depth : int;
+  mutable start_cycles : int;  (* virtual time at attempt start *)
 }
 
 type t = {
@@ -70,6 +71,7 @@ type t = {
   clock : Runtime.Tmatomic.t;
   descs : desc array;
   stats : Stats.t;
+  eid : int;  (* metrics-registry engine id *)
   backoff : Runtime.Backoff.policy;
   max_chain : int;
   snapshot_reads : Runtime.Tmatomic.t;  (** telemetry: old-version serves *)
@@ -110,8 +112,10 @@ let create ?(config = default_config) heap =
             acq_saved = Ivec.create ();
             acq_version = Wlog.create ~bits:4 ();
             depth = 0;
+            start_cycles = 0;
           });
     stats = Stats.create ();
+    eid = Obs.Metrics.register_engine name;
     backoff = Runtime.Backoff.default_linear;
     max_chain = config.max_chain;
     snapshot_reads = Runtime.Tmatomic.make 0;
@@ -127,11 +131,17 @@ let clear_logs d =
   d.snapshot <- false
 
 let rollback t d reason =
-  if !Trace.enabled then Trace.on_abort ~tid:d.tid;
+  if !Runtime.Exec.prof_on then
+    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
+  if !Trace.enabled then Trace.on_abort ~tid:d.tid ~reason;
   Stats.abort t.stats ~tid:d.tid reason;
+  Stats.wasted t.stats ~tid:d.tid
+    ~cycles:(max 0 (Runtime.Exec.now () - d.start_cycles));
+  if !Obs.Metrics.on then Obs.Metrics.on_tx_abort ~tid:d.tid ~reason;
   clear_logs d;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
   Cm.Cm_intf.note_rollback d.info;
+  Stats.backoff t.stats ~tid:d.tid ~n:1;
   Runtime.Backoff.wait t.backoff d.info.rng ~attempt:(min d.info.succ_aborts 4);
   Tx_signal.abort ()
 
@@ -295,15 +305,19 @@ let gv4_bump t ~rv =
   else (Runtime.Tmatomic.get t.clock, false)
 
 let commit t d =
+  if !Runtime.Exec.prof_on then
+    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
   let costs = Runtime.Costs.get () in
   Runtime.Exec.tick costs.tx_end;
   if Wlog.is_empty d.wset then begin
     if !Trace.enabled then Trace.on_commit ~tid:d.tid;
     Stats.commit t.stats ~tid:d.tid;
+    if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
     clear_logs d;
     d.allow_snapshot <- true
   end
   else begin
+    if !Obs.Metrics.on then Obs.Metrics.on_commit_start ~tid:d.tid;
     let n = Ivec.length d.wstripes in
     let i = ref 0 in
     (try
@@ -321,10 +335,16 @@ let commit t d =
          end
        done
      with Exit ->
+       (* [!i] indexes the stripe whose lock we lost — the conflict site. *)
+       if !Obs.Metrics.on then
+         Obs.Metrics.on_stripe_conflict ~eid:t.eid
+           ~stripe:(Ivec.unsafe_get d.wstripes !i);
        release_acquired t d ~upto:!i;
        rollback t d Tx_signal.Ww_conflict);
     let wv, quiescent = gv4_bump t ~rv:d.rv in
     if not quiescent then begin
+      if !Runtime.Exec.prof_on then
+        Runtime.Exec.set_phase d.tid Runtime.Exec.ph_validate;
       let ok = ref true in
       let j = ref 0 in
       let nr = Ivec.length d.read_stripes in
@@ -346,7 +366,9 @@ let commit t d =
       if not !ok then begin
         release_acquired t d ~upto:n;
         rollback t d Tx_signal.Rw_validation
-      end
+      end;
+      if !Runtime.Exec.prof_on then
+        Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit
     end;
     (* preserve the overwritten values, then write back *)
     Ivec.iter (fun idx -> push_version_record t d idx ~new_version:wv) d.wstripes;
@@ -360,6 +382,7 @@ let commit t d =
       d.wstripes;
     if !Trace.enabled then Trace.on_commit ~tid:d.tid;
     Stats.commit t.stats ~tid:d.tid;
+    if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
     clear_logs d;
     d.allow_snapshot <- true
   end
@@ -367,11 +390,17 @@ let commit t d =
 let start t d ~restart =
   (* Begin is recorded BEFORE the snapshot is taken (Trace contract). *)
   if !Trace.enabled then Trace.on_begin ~tid:d.tid;
+  if !Runtime.Exec.prof_on then
+    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
+  d.start_cycles <- Runtime.Exec.now ();
+  if !Obs.Metrics.on then Obs.Metrics.on_tx_begin ~eid:t.eid ~tid:d.tid;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
   clear_logs d;
   Cm.Cm_intf.note_start d.info ~restart;
   if not restart then d.allow_snapshot <- true;
-  d.rv <- Runtime.Tmatomic.get t.clock
+  d.rv <- Runtime.Tmatomic.get t.clock;
+  if !Runtime.Exec.prof_on then
+    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_other
 
 let emergency_release d =
   clear_logs d;
@@ -416,13 +445,29 @@ let engine ?config heap : Engine.t =
         {
           Engine.read =
             (fun addr ->
-              let v = read_word t d addr in
-              if !Trace.enabled then Trace.on_read ~tid ~addr ~value:v;
-              v);
+              (* One combined check on the everything-off fast path; the
+                 individual collector flags are only consulted behind it. *)
+              if !Runtime.Exec.hooks_on then begin
+                if !Runtime.Exec.prof_on then
+                  Runtime.Exec.set_phase tid Runtime.Exec.ph_read;
+                let v = read_word t d addr in
+                if !Runtime.Exec.prof_on then
+                  Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
+                if !Trace.enabled then Trace.on_read ~tid ~addr ~value:v;
+                v
+              end
+              else read_word t d addr);
           write =
             (fun addr v ->
-              write_word t d addr v;
-              if !Trace.enabled then Trace.on_write ~tid ~addr ~value:v);
+              if !Runtime.Exec.hooks_on then begin
+                if !Runtime.Exec.prof_on then
+                  Runtime.Exec.set_phase tid Runtime.Exec.ph_write;
+                write_word t d addr v;
+                if !Runtime.Exec.prof_on then
+                  Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
+                if !Trace.enabled then Trace.on_write ~tid ~addr ~value:v
+              end
+              else write_word t d addr v);
           alloc = (fun n -> Memory.Heap.alloc heap n);
         })
   in

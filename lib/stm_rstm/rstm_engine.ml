@@ -63,6 +63,7 @@ type desc = {
   wstripe_seen : Wlog.t;
   acq : Ivec.t;  (* stripes whose [owner] we hold *)
   mutable depth : int;
+  mutable start_cycles : int;  (* virtual time at attempt start *)
 }
 
 type t = {
@@ -76,6 +77,7 @@ type t = {
   config : config;
   descs : desc array;
   stats : Stats.t;
+  eid : int;  (* observability engine id *)
 }
 
 let name_of_config c =
@@ -120,8 +122,10 @@ let create ?(config = default_config) heap =
             wstripe_seen = Wlog.create ();
             acq = Ivec.create ();
             depth = 0;
+            start_cycles = 0;
           });
     stats = Stats.create ();
+    eid = Obs.Metrics.register_engine (name_of_config config);
   }
 
 let clear_logs d =
@@ -161,15 +165,35 @@ let release_owned t d =
       Runtime.Tmatomic.set t.owners.(idx) 0)
     d.acq
 
+(* The contention manager's backoff waits bump [info.backoffs]; harvest the
+   delta into [Stats] around each call so [s_backoffs] attributes them. *)
+let cm_rollback t (d : desc) =
+  let b0 = d.info.Cm.Cm_intf.backoffs in
+  t.cm.on_rollback d.info;
+  let db = d.info.Cm.Cm_intf.backoffs - b0 in
+  if db > 0 then Stats.backoff t.stats ~tid:d.tid ~n:db
+
 let rollback t d reason =
+  if !Runtime.Exec.prof_on then
+    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
   release_owned t d;
   retract_visible t d;
-  if !Trace.enabled then Trace.on_abort ~tid:d.tid;
+  if !Trace.enabled then Trace.on_abort ~tid:d.tid ~reason;
   Stats.abort t.stats ~tid:d.tid reason;
+  Stats.wasted t.stats ~tid:d.tid
+    ~cycles:(max 0 (Runtime.Exec.now () - d.start_cycles));
+  if !Obs.Metrics.on then Obs.Metrics.on_tx_abort ~tid:d.tid ~reason;
   clear_logs d;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
-  t.cm.on_rollback d.info;
+  cm_rollback t d;
   Tx_signal.abort ()
+
+let cm_resolve t (d : desc) ~victim =
+  let b0 = d.info.Cm.Cm_intf.backoffs in
+  let decision = t.cm.resolve ~attacker:d.info ~victim in
+  let db = d.info.Cm.Cm_intf.backoffs - b0 in
+  if db > 0 then Stats.backoff t.stats ~tid:d.tid ~n:db;
+  decision
 
 let check_kill t d =
   if Cm.Cm_intf.kill_requested d.info then rollback t d Tx_signal.Killed
@@ -196,6 +220,14 @@ let wait_unbusy t d idx =
    arbitrates — either we roll back, or the victim gets killed and notices
    in its own wait loops. *)
 let validate t d =
+  let prof_prev =
+    if !Runtime.Exec.prof_on then begin
+      let p = Runtime.Exec.get_phase d.tid in
+      Runtime.Exec.set_phase d.tid Runtime.Exec.ph_validate;
+      p
+    end
+    else 0
+  in
   let costs = Runtime.Costs.get () in
   let n = Ivec.length d.read_stripes in
   let ok = ref true in
@@ -214,7 +246,7 @@ let validate t d =
           check_kill t d;
           (if ov <> 0 then
              let victim = (t.descs.(ov - 1)).info in
-             match t.cm.resolve ~attacker:d.info ~victim with
+             match cm_resolve t d ~victim with
              | Cm.Cm_intf.Abort_self -> rollback t d Tx_signal.Rw_validation
              | Cm.Cm_intf.Wait | Cm.Cm_intf.Killed_victim -> ());
           Stats.wait t.stats ~tid:d.tid;
@@ -227,6 +259,7 @@ let validate t d =
     if version_of lv <> logged then ok := false;
     incr i
   done;
+  if !Runtime.Exec.prof_on then Runtime.Exec.set_phase d.tid prof_prev;
   !ok
 
 (* Commit-counter heuristic: revalidate the read set only when some update
@@ -246,8 +279,9 @@ let rec contend t d idx ~reason =
   let ov = Runtime.Tmatomic.get t.owners.(idx) in
   if ov <> 0 && ov <> d.tid + 1 then begin
     check_kill t d;
+    if !Obs.Metrics.on then Obs.Metrics.on_stripe_conflict ~eid:t.eid ~stripe:idx;
     let victim = (t.descs.(ov - 1)).info in
-    match t.cm.resolve ~attacker:d.info ~victim with
+    match cm_resolve t d ~victim with
     | Cm.Cm_intf.Abort_self -> rollback t d reason
     | Cm.Cm_intf.Wait | Cm.Cm_intf.Killed_victim ->
         Stats.wait t.stats ~tid:d.tid;
@@ -342,7 +376,7 @@ let drain_readers t d idx =
         log2 b 0
       in
       let victim = (t.descs.(victim_tid)).info in
-      (match t.cm.resolve ~attacker:d.info ~victim with
+      (match cm_resolve t d ~victim with
       | Cm.Cm_intf.Abort_self -> rollback t d Tx_signal.Rw_validation
       | Cm.Cm_intf.Wait | Cm.Cm_intf.Killed_victim ->
           Stats.wait t.stats ~tid:d.tid;
@@ -384,6 +418,8 @@ let write_word t d addr value =
   Wlog.replace d.wset addr value
 
 let commit t d =
+  if !Runtime.Exec.prof_on then
+    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
   let costs = Runtime.Costs.get () in
   Runtime.Exec.tick costs.tx_end;
   check_kill t d;
@@ -393,10 +429,12 @@ let commit t d =
     retract_visible t d;
     if !Trace.enabled then Trace.on_commit ~tid:d.tid;
     Stats.commit t.stats ~tid:d.tid;
+    if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
     clear_logs d;
     t.cm.on_commit d.info
   end
   else begin
+    if !Obs.Metrics.on then Obs.Metrics.on_commit_start ~tid:d.tid;
     (* Lazy mode acquires its whole write set now. *)
     if t.config.acquire = Lazy then
       Ivec.iter
@@ -433,6 +471,7 @@ let commit t d =
     retract_visible t d;
     if !Trace.enabled then Trace.on_commit ~tid:d.tid;
     Stats.commit t.stats ~tid:d.tid;
+    if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
     clear_logs d;
     t.cm.on_commit d.info
   end
@@ -440,10 +479,16 @@ let commit t d =
 let start t d ~restart =
   (* Begin is recorded BEFORE the snapshot is taken (Trace contract). *)
   if !Trace.enabled then Trace.on_begin ~tid:d.tid;
+  if !Runtime.Exec.prof_on then
+    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
+  d.start_cycles <- Runtime.Exec.now ();
+  if !Obs.Metrics.on then Obs.Metrics.on_tx_begin ~eid:t.eid ~tid:d.tid;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
   clear_logs d;
   t.cm.on_start d.info ~restart;
-  d.snap <- Runtime.Tmatomic.get t.counter
+  d.snap <- Runtime.Tmatomic.get t.counter;
+  if !Runtime.Exec.prof_on then
+    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_other
 
 let emergency_release t d =
   release_owned t d;
@@ -488,13 +533,29 @@ let engine ?config heap : Engine.t =
         {
           Engine.read =
             (fun addr ->
-              let v = read_word t d addr in
-              if !Trace.enabled then Trace.on_read ~tid ~addr ~value:v;
-              v);
+              (* One combined check on the everything-off fast path; the
+                 individual collector flags are only consulted behind it. *)
+              if !Runtime.Exec.hooks_on then begin
+                if !Runtime.Exec.prof_on then
+                  Runtime.Exec.set_phase tid Runtime.Exec.ph_read;
+                let v = read_word t d addr in
+                if !Runtime.Exec.prof_on then
+                  Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
+                if !Trace.enabled then Trace.on_read ~tid ~addr ~value:v;
+                v
+              end
+              else read_word t d addr);
           write =
             (fun addr v ->
-              write_word t d addr v;
-              if !Trace.enabled then Trace.on_write ~tid ~addr ~value:v);
+              if !Runtime.Exec.hooks_on then begin
+                if !Runtime.Exec.prof_on then
+                  Runtime.Exec.set_phase tid Runtime.Exec.ph_write;
+                write_word t d addr v;
+                if !Runtime.Exec.prof_on then
+                  Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
+                if !Trace.enabled then Trace.on_write ~tid ~addr ~value:v
+              end
+              else write_word t d addr v);
           alloc = (fun n -> Memory.Heap.alloc heap n);
         })
   in

@@ -36,6 +36,7 @@ type desc = {
          entry a free pass *)
   wset : Wlog.t;
   mutable depth : int;
+  mutable start_cycles : int;  (* virtual time at attempt start *)
 }
 
 type t = {
@@ -45,6 +46,7 @@ type t = {
   clock : Runtime.Tmatomic.t;
   descs : desc array;
   stats : Stats.t;
+  eid : int;  (* metrics-registry engine id *)
   backoff : Runtime.Backoff.policy;
 }
 
@@ -80,8 +82,10 @@ let create ?(config = default_config) heap =
             acq_version = Wlog.create ~bits:4 ();
             wset = Wlog.create ();
             depth = 0;
+            start_cycles = 0;
           });
     stats = Stats.create ();
+    eid = Obs.Metrics.register_engine name;
     backoff = Runtime.Backoff.default_linear;
   }
 
@@ -103,17 +107,33 @@ let release_restoring t d =
   done
 
 let rollback t d reason =
+  if !Runtime.Exec.prof_on then
+    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
   release_restoring t d;
-  if !Trace.enabled then Trace.on_abort ~tid:d.tid;
+  if !Trace.enabled then Trace.on_abort ~tid:d.tid ~reason;
   Stats.abort t.stats ~tid:d.tid reason;
+  Stats.wasted t.stats ~tid:d.tid
+    ~cycles:(max 0 (Runtime.Exec.now () - d.start_cycles));
+  if !Obs.Metrics.on then Obs.Metrics.on_tx_abort ~tid:d.tid ~reason;
   clear_logs d;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
   Cm.Cm_intf.note_rollback d.info;
   (* short bounded back-off: the stock TL2/TinySTM retry policy *)
+  Stats.backoff t.stats ~tid:d.tid ~n:1;
   Runtime.Backoff.wait t.backoff d.info.rng ~attempt:(min d.info.succ_aborts 4);
   Tx_signal.abort ()
 
 let validate t d =
+  (* Attribute validation cycles to their own phase, whichever phase
+     (read, write or commit) triggered it. *)
+  let prof_prev =
+    if !Runtime.Exec.prof_on then begin
+      let p = Runtime.Exec.get_phase d.tid in
+      Runtime.Exec.set_phase d.tid Runtime.Exec.ph_validate;
+      p
+    end
+    else 0
+  in
   let costs = Runtime.Costs.get () in
   let n = Ivec.length d.read_stripes in
   let ok = ref true in
@@ -136,6 +156,7 @@ let validate t d =
      else if version_of lv <> logged then ok := false);
     incr i
   done;
+  if !Runtime.Exec.prof_on then Runtime.Exec.set_phase d.tid prof_prev;
   !ok
 
 let extend t d =
@@ -164,9 +185,12 @@ let read_word t d addr =
         Memory.Heap.unsafe_read t.heap addr
       end
     end
-    else
+    else begin
       (* Encounter-time r/w conflict: timid — the reader aborts at once. *)
+      if !Obs.Metrics.on then
+        Obs.Metrics.on_stripe_conflict ~eid:t.eid ~stripe:idx;
       rollback t d Tx_signal.Rw_validation
+    end
   end
   else begin
     Runtime.Exec.tick costs.mem;
@@ -195,9 +219,12 @@ let write_word t d addr value =
   end
   else begin
     let rec acquire lv =
-      if is_locked lv then
+      if is_locked lv then begin
         (* Encounter-time w/w conflict: timid — abort the attacker. *)
+        if !Obs.Metrics.on then
+          Obs.Metrics.on_stripe_conflict ~eid:t.eid ~stripe:idx;
         rollback t d Tx_signal.Ww_conflict
+      end
       else if not (Runtime.Tmatomic.cas lock ~expect:lv ~replace:mine) then
         acquire (Runtime.Tmatomic.get lock)
       else begin
@@ -214,14 +241,18 @@ let write_word t d addr value =
   end
 
 let commit t d =
+  if !Runtime.Exec.prof_on then
+    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
   let costs = Runtime.Costs.get () in
   Runtime.Exec.tick costs.tx_end;
   if Ivec.length d.acq_stripes = 0 then begin
     if !Trace.enabled then Trace.on_commit ~tid:d.tid;
     Stats.commit t.stats ~tid:d.tid;
+    if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
     clear_logs d
   end
   else begin
+    if !Obs.Metrics.on then Obs.Metrics.on_commit_start ~tid:d.tid;
     let ts = Runtime.Tmatomic.incr_get t.clock in
     if ts > d.valid_ts + 1 && not (validate t d) then
       rollback t d Tx_signal.Rw_validation;
@@ -235,16 +266,23 @@ let commit t d =
       d.acq_stripes;
     if !Trace.enabled then Trace.on_commit ~tid:d.tid;
     Stats.commit t.stats ~tid:d.tid;
+    if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
     clear_logs d
   end
 
 let start t d ~restart =
   (* Begin is recorded BEFORE the snapshot is taken (Trace contract). *)
   if !Trace.enabled then Trace.on_begin ~tid:d.tid;
+  if !Runtime.Exec.prof_on then
+    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
+  d.start_cycles <- Runtime.Exec.now ();
+  if !Obs.Metrics.on then Obs.Metrics.on_tx_begin ~eid:t.eid ~tid:d.tid;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
   clear_logs d;
   Cm.Cm_intf.note_start d.info ~restart;
-  d.valid_ts <- Runtime.Tmatomic.get t.clock
+  d.valid_ts <- Runtime.Tmatomic.get t.clock;
+  if !Runtime.Exec.prof_on then
+    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_other
 
 let emergency_release t d =
   release_restoring t d;
@@ -287,13 +325,29 @@ let engine ?config heap : Engine.t =
         {
           Engine.read =
             (fun addr ->
-              let v = read_word t d addr in
-              if !Trace.enabled then Trace.on_read ~tid ~addr ~value:v;
-              v);
+              (* One combined check on the everything-off fast path; the
+                 individual collector flags are only consulted behind it. *)
+              if !Runtime.Exec.hooks_on then begin
+                if !Runtime.Exec.prof_on then
+                  Runtime.Exec.set_phase tid Runtime.Exec.ph_read;
+                let v = read_word t d addr in
+                if !Runtime.Exec.prof_on then
+                  Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
+                if !Trace.enabled then Trace.on_read ~tid ~addr ~value:v;
+                v
+              end
+              else read_word t d addr);
           write =
             (fun addr v ->
-              write_word t d addr v;
-              if !Trace.enabled then Trace.on_write ~tid ~addr ~value:v);
+              if !Runtime.Exec.hooks_on then begin
+                if !Runtime.Exec.prof_on then
+                  Runtime.Exec.set_phase tid Runtime.Exec.ph_write;
+                write_word t d addr v;
+                if !Runtime.Exec.prof_on then
+                  Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
+                if !Trace.enabled then Trace.on_write ~tid ~addr ~value:v
+              end
+              else write_word t d addr v);
           alloc = (fun n -> Memory.Heap.alloc heap n);
         })
   in

@@ -8,7 +8,8 @@ let b tid = Stm_intf.Trace.Begin { tid; time = 0 }
 let r tid addr value = Stm_intf.Trace.Read { tid; addr; value; time = 0 }
 let w tid addr value = Stm_intf.Trace.Write { tid; addr; value; time = 0 }
 let c tid = Stm_intf.Trace.Commit { tid; time = 0 }
-let a tid = Stm_intf.Trace.Abort { tid; time = 0 }
+let a tid =
+  Stm_intf.Trace.Abort { tid; reason = Stm_intf.Tx_signal.Ww_conflict; time = 0 }
 
 let verdict ?level ?(scope_aborts = 0) ~init ~final evs =
   Check.Opacity.check ?level ~events:(Array.of_list evs) ~scope_aborts ~init

@@ -7,4 +7,5 @@ let () =
    @ Test_engines.suite @ Test_atomicity.suite @ Test_rbtree.suite
    @ Test_stmbench7.suite @ Test_leetm.suite @ Test_stamp.suite
    @ Test_extensions.suite @ Test_differential.suite @ Test_harness.suite
-   @ Test_native.suite @ Test_check.suite @ Test_corpus.suite)
+   @ Test_native.suite @ Test_check.suite @ Test_corpus.suite
+   @ Test_obs.suite)
