@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: all build test bench check fuzz-smoke obs-smoke clean
+.PHONY: all build test bench check fuzz-smoke obs-smoke fault-smoke clean
 
 all: build
 
@@ -15,13 +15,15 @@ bench:
 
 # CI gate: full build, full test suite, a perf-gate smoke run (write-log
 # fast path >= 20% better than Hashtbl, observability-off overhead <= 2%
-# vs the PR-2 baseline, sb7 cycles bit-identical to PR-2), the
-# observability smoke, and the fuzz smoke.
+# vs the PR-2 baseline, sb7 cycles bit-identical to the frozen PR-4
+# matrix), the observability smoke, the fuzz smoke, and the
+# fault-injection smoke.
 check: build
 	dune runtest
 	dune exec bench/perf_gate.exe -- --smoke --out /tmp/bench_gate_smoke.json
 	$(MAKE) obs-smoke
 	$(MAKE) fuzz-smoke
+	$(MAKE) fault-smoke
 
 # Observability smoke (seconds): metrics + profiler + trace export on a
 # 2-thread contended micro over swisstm and tl2, with the emitted JSON
@@ -37,6 +39,16 @@ fuzz-smoke: build
 	dune exec bin/stm_fuzz.exe -- --engine tl2 --policy random --seeds 8 --progs 3
 	dune exec bin/stm_fuzz.exe -- --engine mvstm --policy pct --seeds 8 --progs 3
 	dune exec bin/stm_fuzz.exe -- --self-check --policy random --seeds 8 --progs 10
+
+# Fault-injection smoke (seconds): a deterministic abort storm over a hot
+# 8-thread workload; the adaptive CM must bound every thread's worst
+# consecutive-abort run by its escalation budget K while timid/two-phase
+# demonstrably do not.  Also fuzzes one engine per family under the storm
+# (injected faults must never break opacity).
+fault-smoke: build
+	dune exec bin/fault_smoke.exe
+	dune exec bin/stm_fuzz.exe -- --inject --engine swisstm-adaptive --seeds 6 --progs 3
+	dune exec bin/stm_fuzz.exe -- --inject --engine tl2 --seeds 6 --progs 3
 
 clean:
 	dune clean

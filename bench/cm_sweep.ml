@@ -1,0 +1,71 @@
+(* CM sweep (extends Figure 12): timid vs two-phase vs adaptive inside
+   SwissTM on STMBench7.  Two questions per workload/thread-count cell:
+
+   - throughput: does adaptive throttling cost anything when contention is
+     benign, and does it help when contention is pathological?
+   - starvation: the worst consecutive-abort run of any thread.  Fixed
+     policies leave this unbounded; adaptive must keep it within its
+     escalation budget K (the property [make fault-smoke] asserts under an
+     injected abort storm — here we report it under organic contention). *)
+
+open Bench_common
+
+let policies =
+  [
+    ("timid", Engines.with_cm Cm.Cm_intf.Timid Engines.swisstm);
+    ("two-phase", Engines.swisstm);
+    ("adaptive", Engines.with_cm Cm.Cm_intf.default_adaptive Engines.swisstm);
+  ]
+
+let run () =
+  section "CM sweep: timid / two-phase / adaptive (SwissTM), STMBench7";
+  let workloads =
+    [ Stmbench7.Sb7_bench.Read_write; Stmbench7.Sb7_bench.Write_dominated ]
+  in
+  let results =
+    List.map
+      (fun workload ->
+        ( workload,
+          List.map
+            (fun (pname, spec) ->
+              ( pname,
+                List.map
+                  (fun t ->
+                    Stmbench7.Sb7_bench.run ~spec ~workload ~threads:t
+                      ~duration_cycles:(sb7_duration ()) ())
+                  threads ))
+            policies ))
+      workloads
+  in
+  let columns = List.map (fun t -> Printf.sprintf "%dT" t) threads in
+  List.iter
+    (fun (workload, per_policy) ->
+      let wname = Stmbench7.Sb7_bench.workload_name workload in
+      Harness.Report.print
+        (Harness.Report.make
+           ~title:(Printf.sprintf "%s: throughput" wname)
+           ~unit_:"ktx/s" ~columns
+           (List.map
+              (fun (pname, runs) ->
+                {
+                  Harness.Report.label = pname;
+                  cells = Array.of_list (List.map ktps runs);
+                })
+              per_policy));
+      Harness.Report.print
+        (Harness.Report.make
+           ~title:(Printf.sprintf "%s: worst consecutive-abort run" wname)
+           ~unit_:"aborts" ~columns
+           (List.map
+              (fun (pname, runs) ->
+                {
+                  Harness.Report.label = pname;
+                  cells =
+                    Array.of_list
+                      (List.map
+                         (fun (r : Harness.Workload.result) ->
+                           float_of_int r.stats.s_max_consecutive_aborts)
+                         runs);
+                })
+              per_policy)))
+    results

@@ -28,6 +28,7 @@ let all : (string * string * (unit -> unit)) list =
     ("micro", "Bechamel per-op overhead", Micro.run);
     ("ablations", "Extensions: nesting, multi-versioning, privatization, CMs", Ablations.run);
     ("fairness", "Extension: long-transaction latency / starvation", Fairness.run);
+    ("cm-sweep", "Extension: timid vs two-phase vs adaptive CM", Cm_sweep.run);
   ]
 
 let () =

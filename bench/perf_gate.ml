@@ -47,25 +47,36 @@ let required_improvement_pct = 20.0
    short batches, two process runs).  The PR-3 hook guards must stay
    within [obs_overhead_limit_pct] of it.  Transient machine load
    inflates a whole measurement by more than the bar, so the gate
-   re-measures up to [obs_max_attempts] times (short pause between) and
+   re-measures up to [obs_max_attempts] times (pause between) and
    gates on the best attempt: a quiet window recovers the true floor,
    while a real off-path regression shifts the floor itself and fails
    every attempt.  A wlog-only calibration loop (untouched since PR 1)
-   is timed in the same windows as a load diagnostic. *)
+   is timed in the same windows as a load diagnostic.  In `make check`
+   the gate runs right after the fully parallel test suite, so the
+   first few windows routinely land on a still-hot machine: eight
+   attempts with a one-second settle keep the false-failure rate down
+   without weakening the bar (a real regression still fails all
+   eight). *)
 let pr2_swisstm_rw_ns = 1198.0
 let obs_overhead_limit_pct = 2.0
-let obs_max_attempts = 5
+let obs_max_attempts = 8
 
-(* Frozen PR-2 smoke-mode sb7 simulated cycles (3 workloads x 4 engines x
+(* Frozen PR-4 smoke-mode sb7 simulated cycles (3 workloads x 4 engines x
    threads [1;2], emission order).  Simulated time is deterministic, so
-   with every collector off the instrumented engines must reproduce these
-   bit for bit; any diff means an observability hook perturbed a schedule
-   or charged cycles. *)
-let pr2_sb7_smoke_cycles =
+   with every collector off — and the fault injector disarmed — the
+   instrumented engines must reproduce these bit for bit; any diff means a
+   hook perturbed a schedule or charged cycles.
+
+   Re-frozen in PR 4: the rejection-sampling fix to [Rng.int] legitimately
+   changes every workload's operation stream (the old modulo draw was
+   biased), and TL2/TinySTM/MVSTM rollback back-off moved from an inline
+   capped wait to the contention manager's policy.  Verified deterministic
+   across processes before freezing. *)
+let pr4_sb7_smoke_cycles =
   [
-    893698; 937325; 868111; 911902; 945069; 1046955; 868111; 911906;
-    1221803; 1357077; 1199020; 2020354; 1414755; 2329958; 1333839; 1355741;
-    1221704; 2485122; 1198923; 2420259; 1414698; 2824387; 1333752; 2464149;
+    899120; 963792; 873305; 937605; 951095; 1062248; 873306; 949283;
+    1270242; 2423027; 1246044; 2391863; 1468834; 2823377; 1396991; 2518006;
+    1232243; 2452665; 1209335; 2423389; 1425691; 2836294; 1344303; 2456471;
   ]
 
 let jfloat f =
@@ -299,7 +310,7 @@ let () =
           "  attempt %d/%d: rw %.1f ns (%+.1f%%) over the bar, re-measuring \
            after a pause...\n%!"
           attempt obs_max_attempts rw_ns pct;
-        Unix.sleepf 0.3;
+        Unix.sleepf 1.0;
         let rw_ns', cal_ns' = measure_rw_cal () in
         go (attempt + 1) (Float.min rw_ns rw_ns', Float.min cal_ns cal_ns')
       end
@@ -340,10 +351,10 @@ let () =
   let sb7_identity_ok =
     (not !smoke)
     || List.map (fun (_, _, _, _, cycles, _) -> cycles) s
-       = pr2_sb7_smoke_cycles
+       = pr4_sb7_smoke_cycles
   in
   if !smoke then
-    Printf.printf "  sb7 cycles vs frozen PR-2 matrix: %s\n%!"
+    Printf.printf "  sb7 cycles vs frozen PR-4 matrix: %s\n%!"
       (if sb7_identity_ok then "bit-identical" else "DIVERGED");
   let buf = Buffer.create 4096 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -423,7 +434,7 @@ let () =
   end;
   if not sb7_identity_ok then begin
     Printf.eprintf
-      "perf_gate: FAIL sb7 simulated cycles diverged from the frozen PR-2 \
+      "perf_gate: FAIL sb7 simulated cycles diverged from the frozen PR-4 \
        matrix (observability hooks perturbed a schedule)\n";
     fail := true
   end;
@@ -432,4 +443,4 @@ let () =
     "perf_gate: OK (improvements >= %.0f%%, obs-off overhead %+.1f%% <= \
      %.0f%%%s)\n%!"
     required_improvement_pct obs_overhead_pct obs_overhead_limit_pct
-    (if !smoke then ", sb7 cycles bit-identical to PR-2" else "")
+    (if !smoke then ", sb7 cycles bit-identical to PR-4" else "")

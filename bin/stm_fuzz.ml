@@ -14,6 +14,8 @@ let cells = ref 8
 let corpus = ref []
 let self_check = ref false
 let verbose = ref false
+let inject = ref false
+let inject_seed = ref 7
 
 let speclist =
   [
@@ -31,6 +33,11 @@ let speclist =
      "FILE  replay a stored (engine, policy, program) triple; repeatable");
     ("--self-check", Arg.Set self_check,
      "  fuzz the broken swisstm variant and require the checker to catch it");
+    ("--inject", Arg.Set inject,
+     "  arm the abort-storm fault injector: every run also faces spurious \
+      aborts, holder stalls and stretched commits, and must stay opaque");
+    ("--inject-seed", Arg.Set_int inject_seed,
+     "N  fault-stream seed for --inject (default 7)");
     ("-v", Arg.Set verbose, "  verbose (report undecided runs)");
   ]
 
@@ -65,6 +72,12 @@ let fuzz_engine ?stop_after ~name spec =
 
 let () =
   Arg.parse speclist (fun a -> die "stray argument %S" a) usage;
+  (* Injected faults are ordinary aborts/stalls from the engines' point of
+     view, so every history must still pass the checker; the storm only
+     drives the runs into rarer schedules (kill paths, long retry chains,
+     escalation). *)
+  if !inject then
+    Runtime.Inject.arm ~seed:!inject_seed Runtime.Inject.abort_storm;
   if !corpus <> [] then begin
     let bad = ref 0 in
     List.iter

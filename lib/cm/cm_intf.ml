@@ -23,7 +23,14 @@ type txinfo = {
   mutable backoffs : int;
       (** back-off waits taken on behalf of this thread (statistics only;
           engines harvest the delta into [Stats.backoff]) *)
+  mutable contention : int;
+      (** EWMA of this thread's abort rate, fixed-point scaled by
+          {!contention_scale} (1024 = every attempt aborts).  Maintained by
+          the adaptive manager; other managers leave it at 0 *)
 }
+
+(* Fixed-point scale of [contention]: 1024 = an abort on every attempt. *)
+let contention_scale = 1024
 
 let make_txinfo ~tid ~seed =
   {
@@ -37,6 +44,7 @@ let make_txinfo ~tid ~seed =
     attempts = 0;
     karma = 0;
     backoffs = 0;
+    contention = 0;
   }
 
 (** What the attacker should do about a write/write conflict. *)
@@ -52,6 +60,25 @@ type t = {
   resolve : attacker:txinfo -> victim:txinfo -> decision;
   on_rollback : txinfo -> unit;
   on_commit : txinfo -> unit;
+  pre_attempt : txinfo -> escalated:bool -> unit;
+      (** Called by engines before each attempt, outside any snapshot or
+          lock: this is where the adaptive manager serializes
+          high-contention offenders behind its condition token (the call
+          may block).  [escalated] is true when the caller holds — or is
+          about to take — the engine's irrevocability token; an escalated
+          thread must never wait for the throttle token (it is already
+          serialized more strongly, and waiting could deadlock against a
+          throttled thread parked at the engine's start gate). *)
+  escalate_after : int;
+      (** Engines escalate a transaction to irrevocable execution once
+          [succ_aborts] reaches this budget; [max_int] = never.  This is
+          the K in the bound the escalation enforces on
+          [Stats.s_max_consecutive_aborts]. *)
+  on_quit : txinfo -> unit;
+      (** Called from the engines' emergency-release path when a foreign
+          exception abandons a transaction: drop any throttle state (the
+          adaptive manager releases its condition token here) so a user
+          bug cannot wedge other throttled threads. *)
 }
 
 (** Specification of a manager; [Factory.make] instantiates it with fresh
@@ -70,6 +97,14 @@ type spec =
   | Two_phase of { wn : int; backoff : bool }
       (** the paper's manager: timid until the [wn]-th write, then Greedy;
           randomized linear back-off after rollback unless [backoff=false] *)
+  | Adaptive of { wn : int; threshold : int; escalate_after : int }
+      (** two-phase conflict resolution plus adaptive throttling: each
+          thread keeps an abort-rate EWMA ([txinfo.contention], scaled by
+          {!contention_scale}); once it reaches [threshold] the thread is
+          serialized behind a condition token until it commits.  Engines
+          additionally escalate to irrevocable execution after
+          [escalate_after] consecutive aborts, bounding
+          [Stats.s_max_consecutive_aborts]. *)
 
 let spec_name = function
   | Timid -> "timid"
@@ -81,8 +116,11 @@ let spec_name = function
   | Two_phase { wn; backoff } ->
       if backoff then Printf.sprintf "two-phase(wn=%d)" wn
       else Printf.sprintf "two-phase(wn=%d,nobackoff)" wn
+  | Adaptive { wn; threshold; escalate_after } ->
+      Printf.sprintf "adaptive(wn=%d,thr=%d,k=%d)" wn threshold escalate_after
 
 let default_two_phase = Two_phase { wn = 10; backoff = true }
+let default_adaptive = Adaptive { wn = 10; threshold = 512; escalate_after = 8 }
 
 (* Shared helpers *)
 

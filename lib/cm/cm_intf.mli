@@ -19,7 +19,14 @@ type txinfo = {
   mutable attempts : int;  (** attempts of the current transaction *)
   mutable karma : int;  (** work carried across aborts (Karma) *)
   mutable backoffs : int;  (** back-off waits taken (statistics only) *)
+  mutable contention : int;
+      (** abort-rate EWMA, fixed-point scaled by {!contention_scale};
+          maintained by the adaptive manager, 0 elsewhere *)
 }
+
+val contention_scale : int
+(** Fixed-point scale of [txinfo.contention]: this value = an abort on
+    every attempt. *)
 
 val make_txinfo : tid:int -> seed:int -> txinfo
 
@@ -35,6 +42,16 @@ type t = {
   resolve : attacker:txinfo -> victim:txinfo -> decision;
   on_rollback : txinfo -> unit;
   on_commit : txinfo -> unit;
+  pre_attempt : txinfo -> escalated:bool -> unit;
+      (** Called before each attempt, outside any snapshot or lock; may
+          block (the adaptive manager serializes high-contention threads
+          here).  [escalated] callers must never be made to wait. *)
+  escalate_after : int;
+      (** consecutive-abort budget before engines escalate the
+          transaction to irrevocable execution; [max_int] = never *)
+  on_quit : txinfo -> unit;
+      (** Emergency-release hook: drop any throttle state when a foreign
+          exception abandons the transaction. *)
 }
 
 type spec =
@@ -47,9 +64,16 @@ type spec =
   | Two_phase of { wn : int; backoff : bool }
       (** the paper's manager (Algorithm 2): timid until the [wn]-th
           write, then Greedy; randomized linear back-off on rollback *)
+  | Adaptive of { wn : int; threshold : int; escalate_after : int }
+      (** two-phase resolution plus adaptive throttling: threads whose
+          abort-rate EWMA reaches [threshold] (of {!contention_scale})
+          serialize behind a condition token; engines escalate to
+          irrevocable execution after [escalate_after] consecutive
+          aborts *)
 
 val spec_name : spec -> string
 val default_two_phase : spec
+val default_adaptive : spec
 
 val kill_requested : txinfo -> bool
 val clear_kill : txinfo -> unit

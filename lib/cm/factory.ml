@@ -13,6 +13,10 @@ let backoff_wait info policy ~attempt =
   info.backoffs <- info.backoffs + 1;
   Runtime.Backoff.wait policy info.rng ~attempt
 
+(* Defaults for the managers that neither throttle nor escalate. *)
+let no_pre_attempt _ ~escalated:_ = ()
+let no_quit _ = ()
+
 (* --- Timid: always abort the attacker, optionally after a tiny random
    back-off (the TL2 / TinySTM default behaviour). --- *)
 let timid () =
@@ -30,6 +34,9 @@ let timid () =
         backoff_wait info Runtime.Backoff.default_linear
           ~attempt:info.succ_aborts);
     on_commit = (fun _ -> ());
+    pre_attempt = no_pre_attempt;
+    escalate_after = max_int;
+    on_quit = no_quit;
   }
 
 (* --- Greedy: a unique monotonically increasing timestamp at transaction
@@ -59,6 +66,9 @@ let greedy () =
         backoff_wait info Runtime.Backoff.default_linear
           ~attempt:(min info.succ_aborts 4));
     on_commit = (fun _ -> ());
+    pre_attempt = no_pre_attempt;
+    escalate_after = max_int;
+    on_quit = no_quit;
   }
 
 (* --- Serializer: Greedy re-timestamped on every restart; loses Greedy's
@@ -85,6 +95,9 @@ let serializer () =
         backoff_wait info Runtime.Backoff.default_linear
           ~attempt:(min info.succ_aborts 4));
     on_commit = (fun _ -> ());
+    pre_attempt = no_pre_attempt;
+    escalate_after = max_int;
+    on_quit = no_quit;
   }
 
 (* --- Polka: priority = number of locations accessed so far; on conflict
@@ -119,6 +132,9 @@ let polka () =
         backoff_wait info Runtime.Backoff.default_exponential
           ~attempt:info.succ_aborts);
     on_commit = (fun _ -> ());
+    pre_attempt = no_pre_attempt;
+    escalate_after = max_int;
+    on_quit = no_quit;
   }
 
 (* --- Karma (Scherer & Scott, CSJP'04): like Polka but the priority is
@@ -153,6 +169,9 @@ let karma () =
         backoff_wait info Runtime.Backoff.default_exponential
           ~attempt:info.succ_aborts);
     on_commit = (fun info -> info.karma <- 0);
+    pre_attempt = no_pre_attempt;
+    escalate_after = max_int;
+    on_quit = no_quit;
   }
 
 (* --- Timestamp (Scherer & Scott): the older transaction wins, but the
@@ -186,6 +205,9 @@ let timestamp () =
         backoff_wait info Runtime.Backoff.default_linear
           ~attempt:(min info.succ_aborts 6));
     on_commit = (fun _ -> ());
+    pre_attempt = no_pre_attempt;
+    escalate_after = max_int;
+    on_quit = no_quit;
   }
 
 (* --- The paper's two-phase manager (Algorithm 2).
@@ -226,6 +248,95 @@ let two_phase ~wn ~backoff () =
           backoff_wait info Runtime.Backoff.default_linear
             ~attempt:info.succ_aborts);
     on_commit = (fun _ -> ());
+    pre_attempt = no_pre_attempt;
+    escalate_after = max_int;
+    on_quit = no_quit;
+  }
+
+(* --- Adaptive: two-phase conflict resolution plus contention throttling
+   (graceful degradation, paper §5 "stretching" discussion).
+
+   Each thread maintains an abort-rate EWMA in [txinfo.contention]
+   (fixed-point, [contention_scale] = certain abort; alpha = 1/8): rollback
+   moves it an eighth of the way towards the ceiling, commit decays it by an
+   eighth.  Once the estimate crosses [threshold], the thread is a proven
+   offender and [pre_attempt] serializes it behind a condition token held
+   until its commit, so at most one high-contention transaction runs at a
+   time while well-behaved threads proceed untouched.
+
+   The manager also publishes [escalate_after]: engines escalate a
+   transaction to irrevocable execution (cm_ts = 0) after that many
+   consecutive aborts.  [resolve] treats cm_ts = 0 as an absolute winner
+   and never selects it as a kill victim, which is what makes the
+   escalated attempt's write/write conflicts always resolve in its favor.
+
+   Deadlock discipline: an escalated thread must never wait for the
+   throttle token (it releases any it holds instead) — otherwise it could
+   deadlock against a throttled thread parked at the engine's start gate
+   waiting for the irrevocability token. *)
+let adaptive ~wn ~threshold ~escalate_after () =
+  let clock = Runtime.Tmatomic.make 0 in
+  let throttle = Runtime.Tmatomic.make 0 in
+  (* 0 = free, tid + 1 = throttled offender *)
+  let holds info = Runtime.Tmatomic.unsafe_get throttle = info.tid + 1 in
+  let release info = if holds info then Runtime.Tmatomic.set throttle 0 in
+  let acquire info =
+    if not (holds info) then begin
+      if !Obs.Metrics.on then Obs.Metrics.on_cm_throttle ~tid:info.tid;
+      let rec go () =
+        if Runtime.Tmatomic.get throttle <> 0 then begin
+          Runtime.Exec.pause ();
+          go ()
+        end
+        else if
+          not (Runtime.Tmatomic.cas throttle ~expect:0 ~replace:(info.tid + 1))
+        then go ()
+      in
+      go ()
+    end
+  in
+  {
+    name = spec_name (Adaptive { wn; threshold; escalate_after });
+    on_start =
+      (fun info ~restart ->
+        note_start info ~restart;
+        if not restart then info.cm_ts <- max_int);
+    on_write =
+      (fun info ~writes ->
+        if info.cm_ts = max_int && writes = wn then begin
+          info.cm_ts <- Runtime.Tmatomic.incr_get clock;
+          if !Obs.Metrics.on then Obs.Metrics.on_cm_phase_shift ~tid:info.tid
+        end);
+    resolve =
+      (fun ~attacker ~victim ->
+        if victim.cm_ts = 0 then Abort_self
+        else if attacker.cm_ts = 0 then begin
+          request_kill victim;
+          Killed_victim
+        end
+        else if attacker.cm_ts = max_int then Abort_self
+        else if victim.cm_ts < attacker.cm_ts then Abort_self
+        else begin
+          request_kill victim;
+          Killed_victim
+        end);
+    on_rollback =
+      (fun info ->
+        note_rollback info;
+        info.contention <-
+          info.contention + ((contention_scale - info.contention) / 8);
+        backoff_wait info Runtime.Backoff.default_linear
+          ~attempt:info.succ_aborts);
+    on_commit =
+      (fun info ->
+        info.contention <- info.contention - (info.contention / 8);
+        release info);
+    pre_attempt =
+      (fun info ~escalated ->
+        if escalated then release info
+        else if info.contention >= threshold then acquire info);
+    escalate_after;
+    on_quit = release;
   }
 
 (* Observability wrapper: report each conflict resolution to the trace
@@ -263,4 +374,6 @@ let make spec =
     | Polka -> polka ()
     | Karma -> karma ()
     | Timestamp -> timestamp ()
-    | Two_phase { wn; backoff } -> two_phase ~wn ~backoff ())
+    | Two_phase { wn; backoff } -> two_phase ~wn ~backoff ()
+    | Adaptive { wn; threshold; escalate_after } ->
+        adaptive ~wn ~threshold ~escalate_after ())

@@ -28,6 +28,11 @@ type t = {
   active : Runtime.Tmatomic.t array;
       (** per-thread snapshot timestamp while inside a transaction,
           [max_int] when idle — the quiescence table (paper §6) *)
+  ser : Serial.t;
+      (** irrevocability token: held by a transaction escalated after
+          [cm.escalate_after] consecutive aborts (or entered via
+          [atomic_irrevocable]); everyone else defers at the start and
+          commit gates *)
 }
 
 let name = "swisstm"
@@ -50,6 +55,7 @@ let create ?(config = Swisstm_config.default) heap =
     privatization_safe = config.privatization_safe;
     debug_no_validation = config.debug_no_validation;
     active = Array.init Stats.max_threads (fun _ -> Runtime.Tmatomic.make max_int);
+    ser = Serial.create ();
   }
 
 (* --- rollback ------------------------------------------------------- *)
@@ -106,6 +112,7 @@ let rollback t (d : Descriptor.t) reason =
       raise Tx_signal.Inner_abort
   | _ ->
       release_w_locks t d;
+      Serial.exit_commit t.ser ~tid:d.tid;
       if t.privatization_safe then
         Runtime.Tmatomic.set t.active.(d.tid) max_int;
       if !Trace.enabled then Trace.on_abort ~tid:d.tid ~reason;
@@ -118,8 +125,17 @@ let rollback t (d : Descriptor.t) reason =
       cm_rollback t d;
       Tx_signal.abort ()
 
+(* The irrevocability-token holder ignores kill requests (it must win every
+   conflict); [Serial.mine] is only consulted behind the kill flag, so the
+   no-kill fast path is unchanged.  The fault injector piggybacks here: its
+   disarmed cost is the single [!Inject.on] load. *)
 let check_kill t (d : Descriptor.t) =
-  if Cm.Cm_intf.kill_requested d.info then rollback t d Tx_signal.Killed
+  if
+    Cm.Cm_intf.kill_requested d.info
+    && not (Serial.mine t.ser ~tid:d.tid)
+  then rollback t d Tx_signal.Killed;
+  if !Runtime.Inject.on && Runtime.Inject.spurious_abort ~tid:d.tid then
+    rollback t d Tx_signal.Killed
 
 (* --- validation ----------------------------------------------------- *)
 
@@ -295,7 +311,17 @@ let write_word t (d : Descriptor.t) addr value =
           Obs.Metrics.on_stripe_conflict ~eid:t.eid ~stripe:idx;
         let victim = (t.descs.(Lock_table.w_owner_of wv)).info in
         let b0 = d.info.Cm.Cm_intf.backoffs in
-        let decision = t.cm.resolve ~attacker:d.info ~victim in
+        (* The irrevocable transaction wins every conflict regardless of
+           the manager's policy: under timid-style managers Abort_self
+           would deadlock against a victim parked at the commit gate on
+           this very lock. *)
+        let decision =
+          if Serial.mine t.ser ~tid:d.tid then begin
+            Cm.Cm_intf.request_kill victim;
+            Cm.Cm_intf.Killed_victim
+          end
+          else t.cm.resolve ~attacker:d.info ~victim
+        in
         let db = d.info.Cm.Cm_intf.backoffs - b0 in
         if db > 0 then Stats.backoff t.stats ~tid:d.tid ~n:db;
         match decision with
@@ -310,6 +336,7 @@ let write_word t (d : Descriptor.t) addr value =
       then acquire (Runtime.Tmatomic.get w_lock)
     in
     acquire wv;
+    if !Runtime.Inject.on then Runtime.Inject.stall ~tid:d.tid;
     Ivec.push d.acq_stripes idx;
     Runtime.Exec.tick costs.log_append;
     record_undo d addr;
@@ -339,9 +366,17 @@ let commit t (d : Descriptor.t) =
     Stats.commit t.stats ~tid:d.tid;
     if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
     Descriptor.clear_logs d;
-    t.cm.on_commit d.info
+    t.cm.on_commit d.info;
+    Serial.release t.ser ~tid:d.tid
   end
   else begin
+    (* Commit gate: while an irrevocable transaction runs, update commits
+       must not advance [commit_ts] (that is what makes its validations
+       infallible).  The waiter still holds w-locks, so it polls its kill
+       flag — the irrevocable transaction can abort it out of the wait. *)
+    if Serial.held_by_other t.ser ~tid:d.tid then
+      Serial.gate t.ser ~tid:d.tid ~check:(fun () -> check_kill t d);
+    Serial.enter_commit t.ser ~tid:d.tid;
     check_kill t d;
     if !Obs.Metrics.on then Obs.Metrics.on_commit_start ~tid:d.tid;
     (* Lock the r-locks of every written stripe to freeze readers. *)
@@ -351,6 +386,7 @@ let commit t (d : Descriptor.t) =
         Ivec.push d.acq_saved (Runtime.Tmatomic.get r_lock);
         Runtime.Tmatomic.set r_lock Lock_table.r_locked)
       d.acq_stripes;
+    if !Runtime.Inject.on then Runtime.Inject.stretch ~tid:d.tid;
     let ts = Runtime.Tmatomic.incr_get t.commit_ts in
     if ts > d.valid_ts + 1 && not (validate t d) then begin
       (* Failed commit-time validation: restore r-locks, then roll back. *)
@@ -382,6 +418,11 @@ let commit t (d : Descriptor.t) =
     if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
     Descriptor.clear_logs d;
     t.cm.on_commit d.info;
+    (* Drop the irrevocability token before quiescing: gated threads are
+       idle (active = max_int) so quiesce cannot hang on them, but there is
+       no reason to keep them parked through the wait either. *)
+    Serial.exit_commit t.ser ~tid:d.tid;
+    Serial.release t.ser ~tid:d.tid;
     (* an update commit may have privatized data: wait out older readers *)
     quiesce t d ~ts
   end
@@ -405,13 +446,27 @@ let start t (d : Descriptor.t) ~restart =
     Runtime.Exec.set_phase d.tid Runtime.Exec.ph_other
 
 (** Release everything on a non-[Abort] exception escaping the body, so a
-    user bug cannot wedge the lock table. *)
+    user bug cannot wedge the lock table, the irrevocability token or the
+    contention manager's throttle. *)
 let emergency_release t (d : Descriptor.t) =
   release_w_locks t d;
+  Serial.exit_commit t.ser ~tid:d.tid;
+  Serial.release t.ser ~tid:d.tid;
+  t.cm.on_quit d.info;
   Descriptor.clear_logs d;
   d.depth <- 0
 
-let atomic t ~tid f =
+(* The retry driver.  Graceful degradation happens here, before each
+   attempt and outside any snapshot or lock:
+
+   - once [succ_aborts] reaches the manager's budget (or the caller asked
+     for irrevocability), acquire the token, drain in-flight commits, and
+     run with [cm_ts = 0] so every write/write conflict resolves our way;
+   - otherwise let the manager throttle us ([pre_attempt] may block) and
+     defer to any irrevocable transaction at the start gate.  A thread
+     parked there is idle — no locks, no published snapshot, kill flag
+     cleared on the next [start] — so the gate needs no kill polling. *)
+let run t ~tid ~irrevocable f =
   let d = t.descs.(tid) in
   if d.depth > 0 then begin
     (* Flat nesting: an inner atomic block joins the enclosing one. *)
@@ -420,7 +475,21 @@ let atomic t ~tid f =
   end
   else begin
     let rec attempt ~restart =
+      if
+        (irrevocable
+        || d.info.Cm.Cm_intf.succ_aborts >= t.cm.Cm.Cm_intf.escalate_after)
+        && not (Serial.mine t.ser ~tid)
+      then begin
+        if !Obs.Metrics.on then Obs.Metrics.on_escalation ~tid;
+        Serial.acquire t.ser ~tid;
+        Serial.drain t.ser ~tid
+      end;
+      let escalated = Serial.mine t.ser ~tid in
+      t.cm.pre_attempt d.info ~escalated;
+      if (not escalated) && Serial.held_by_other t.ser ~tid then
+        Serial.gate t.ser ~tid ~check:(fun () -> ());
       start t d ~restart;
+      if escalated then d.info.Cm.Cm_intf.cm_ts <- 0;
       d.depth <- 1;
       match f d with
       | v ->
@@ -438,6 +507,9 @@ let atomic t ~tid f =
     in
     attempt ~restart:false
   end
+
+let atomic t ~tid f = run t ~tid ~irrevocable:false f
+let atomic_irrevocable t ~tid f = run t ~tid ~irrevocable:true f
 
 (* --- closed nesting (paper §6 extension) -------------------------------- *)
 
@@ -514,6 +586,8 @@ let engine ?config heap : Engine.t =
     Engine.name;
     heap;
     atomic = (fun ~tid f -> atomic t ~tid (fun _ -> f ops.(tid)));
+    atomic_irrevocable =
+      (fun ~tid f -> atomic_irrevocable t ~tid (fun _ -> f ops.(tid)));
     stats = (fun () -> Stats.snapshot t.stats);
     reset_stats = (fun () -> Stats.reset t.stats);
   }

@@ -53,6 +53,18 @@ let swisstm_with ?cm ?granularity_words ?table_bits () =
       table_bits = Option.value table_bits ~default:c.table_bits;
     }
 
+(* Adaptive contention control on every engine family.  For TL2, TinySTM
+   and MVSTM the manager only owns rollback back-off, the throttle and the
+   escalation budget — their conflict resolution stays timid. *)
+let with_cm cm spec =
+  match spec with
+  | Swisstm c -> Swisstm { c with Swisstm.Swisstm_config.cm }
+  | Tl2 c -> Tl2 { c with Tl2.Tl2_engine.cm }
+  | Tinystm c -> Tinystm { c with Tinystm.Tinystm_engine.cm }
+  | Rstm c -> Rstm { c with Rstm.Rstm_engine.cm }
+  | Mvstm c -> Mvstm { c with Mvstm.Mvstm_engine.cm }
+  | Glock -> Glock
+
 let name = function
   | Swisstm c ->
       let base =
@@ -62,10 +74,18 @@ let name = function
       in
       let base = if c.debug_no_validation then base ^ "!noval" else base in
       if c.privatization_safe then base ^ "+quiescence" else base
-  | Tl2 _ -> "tl2"
-  | Tinystm _ -> "tinystm"
+  | Tl2 c ->
+      if c.Tl2.Tl2_engine.cm = Tl2.Tl2_engine.default_config.cm then "tl2"
+      else Printf.sprintf "tl2(%s)" (Cm.Cm_intf.spec_name c.cm)
+  | Tinystm c ->
+      if c.Tinystm.Tinystm_engine.cm = Tinystm.Tinystm_engine.default_config.cm
+      then "tinystm"
+      else Printf.sprintf "tinystm(%s)" (Cm.Cm_intf.spec_name c.cm)
   | Rstm c -> Rstm.Rstm_engine.name_of_config c
-  | Mvstm _ -> "mvstm"
+  | Mvstm c ->
+      if c.Mvstm.Mvstm_engine.cm = Mvstm.Mvstm_engine.default_config.cm then
+        "mvstm"
+      else Printf.sprintf "mvstm(%s)" (Cm.Cm_intf.spec_name c.cm)
   | Glock -> "glock"
 
 (* What each engine promises about the reads of *aborted* transactions.
@@ -132,6 +152,11 @@ let of_string = function
   | "mvstm" -> Some mvstm
   | "rstm-karma" -> Some (rstm_with ~cm:Cm.Cm_intf.Karma ())
   | "rstm-timestamp" -> Some (rstm_with ~cm:Cm.Cm_intf.Timestamp ())
+  | "swisstm-adaptive" -> Some (with_cm Cm.Cm_intf.default_adaptive swisstm)
+  | "tl2-adaptive" -> Some (with_cm Cm.Cm_intf.default_adaptive tl2)
+  | "tinystm-adaptive" -> Some (with_cm Cm.Cm_intf.default_adaptive tinystm)
+  | "rstm-adaptive" -> Some (with_cm Cm.Cm_intf.default_adaptive rstm)
+  | "mvstm-adaptive" -> Some (with_cm Cm.Cm_intf.default_adaptive mvstm)
   | "glock" -> Some Glock
   | _ -> None
 
@@ -139,5 +164,7 @@ let known_names =
   [
     "swisstm"; "tl2"; "tinystm"; "rstm"; "rstm-lazy"; "rstm-visible";
     "rstm-serializer"; "rstm-greedy"; "rstm-karma"; "rstm-timestamp";
-    "swisstm-timid"; "swisstm-greedy"; "swisstm-priv"; "mvstm"; "glock";
+    "swisstm-timid"; "swisstm-greedy"; "swisstm-priv"; "mvstm";
+    "swisstm-adaptive"; "tl2-adaptive"; "tinystm-adaptive"; "rstm-adaptive";
+    "mvstm-adaptive"; "glock";
   ]

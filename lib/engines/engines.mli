@@ -51,6 +51,12 @@ val swisstm_with :
   unit ->
   spec
 
+val with_cm : Cm.Cm_intf.spec -> spec -> spec
+(** Swap the contention manager of any spec ([Glock] is unchanged).  For
+    TL2/TinySTM/MVSTM the manager governs rollback back-off, the adaptive
+    throttle and the escalation budget only — conflict resolution at
+    acquisition stays timid. *)
+
 val name : spec -> string
 val make : spec -> Memory.Heap.t -> Stm_intf.Engine.t
 

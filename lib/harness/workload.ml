@@ -68,6 +68,13 @@ let run_fixed_work (engine : Stm_intf.Engine.t) ~threads step =
     ops = count_ops ops;
   }
 
+(** [with_faults ~seed ~profile f] arms the fault injector around [f] and
+    disarms it on every exit path, so an assertion failure inside a smoke
+    test cannot leak an armed injector into later, fault-free runs. *)
+let with_faults ~seed ~profile f =
+  Runtime.Inject.arm ~seed profile;
+  Fun.protect ~finally:Runtime.Inject.disarm f
+
 (** Native-mode counterpart of [run_fixed_work], used by the stress test
     suite: real [Domain]s, wall-clock measurement is not meaningful here so
     only statistics are returned. *)

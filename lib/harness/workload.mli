@@ -29,6 +29,11 @@ val run_fixed_work :
   Stm_intf.Engine.t -> threads:int -> (tid:int -> bool) -> result
 (** Threads call the step until it returns [false] (work exhausted). *)
 
+val with_faults : seed:int -> profile:Runtime.Inject.profile -> (unit -> 'a) -> 'a
+(** Arm the fault injector around the callback; disarm on every exit path
+    (including exceptions), so a failing assertion cannot leak an armed
+    injector into later fault-free runs. *)
+
 val run_fixed_work_native :
   Stm_intf.Engine.t -> threads:int -> (tid:int -> bool) -> result
 (** Same, on real [Domain]s; only statistics are meaningful. *)

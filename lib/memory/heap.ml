@@ -80,10 +80,14 @@ let alloc t n =
          small heaps stay usable down to their last words. *)
       let base = Runtime.Tmatomic.fetch_and_add t.brk chunk_words in
       let limit = min (base + chunk_words) (Array.length t.words) in
+      (* Record the claimed range even when [n] does not fit: the chunk is
+         ours whether or not this particular allocation succeeds, and its
+         in-bounds prefix must stay reachable for smaller requests.  Raising
+         first leaked a full chunk per failed retry near exhaustion. *)
+      t.chunk_next.(tid) <- min base limit;
+      t.chunk_limit.(tid) <- limit;
       if base + n > limit then
-        raise (Out_of_memory { capacity = Array.length t.words; requested = n });
-      t.chunk_next.(tid) <- base;
-      t.chunk_limit.(tid) <- limit
+        raise (Out_of_memory { capacity = Array.length t.words; requested = n })
     end;
     let addr = t.chunk_next.(tid) in
     t.chunk_next.(tid) <- addr + n;

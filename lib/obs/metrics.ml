@@ -116,6 +116,8 @@ type engine = {
   mutable cm_wait : int;  (* CM told the attacker to wait *)
   mutable cm_kill : int;  (* CM killed the victim *)
   mutable cm_shift : int;  (* CM phase transitions (e.g. timid -> greedy) *)
+  mutable cm_throttle : int;  (* adaptive-CM throttle serializations *)
+  mutable escalations : int;  (* escalations to irrevocable execution *)
   heat : (int, int ref) Hashtbl.t;  (* stripe index -> conflict count *)
 }
 
@@ -152,6 +154,8 @@ let new_engine name eid =
     cm_wait = 0;
     cm_kill = 0;
     cm_shift = 0;
+    cm_throttle = 0;
+    escalations = 0;
     heat = Hashtbl.create 64;
   }
 
@@ -226,6 +230,16 @@ let on_cm_phase_shift ~tid =
   | None -> ()
   | Some e -> e.cm_shift <- e.cm_shift + 1
 
+let on_cm_throttle ~tid =
+  match engine_of_eid cur_eid.(slot tid) with
+  | None -> ()
+  | Some e -> e.cm_throttle <- e.cm_throttle + 1
+
+let on_escalation ~tid =
+  match engine_of_eid cur_eid.(slot tid) with
+  | None -> ()
+  | Some e -> e.escalations <- e.escalations + 1
+
 (* Installed into [Runtime.Backoff.on_wait]: attribute the wait to the
    engine the waiting thread is currently running under. *)
 let record_backoff ~cycles =
@@ -270,6 +284,8 @@ let reset () =
       e.cm_wait <- 0;
       e.cm_kill <- 0;
       e.cm_shift <- 0;
+      e.cm_throttle <- 0;
+      e.escalations <- 0;
       Hashtbl.reset e.heat)
     !engines;
   Array.fill cur_eid 0 max_threads (-1);
@@ -305,8 +321,9 @@ let pp_engine ppf e =
   Format.fprintf ppf "  %s:@\n" e.name;
   Format.fprintf ppf
     "    aborts     w/w=%d r/w=%d killed=%d   cm: self=%d wait=%d kill=%d \
-     shifts=%d@\n"
-    e.ab_ww e.ab_rw e.ab_killed e.cm_self e.cm_wait e.cm_kill e.cm_shift;
+     shifts=%d throttles=%d escalations=%d@\n"
+    e.ab_ww e.ab_rw e.ab_killed e.cm_self e.cm_wait e.cm_kill e.cm_shift
+    e.cm_throttle e.escalations;
   pp_hist ppf "tx" e.tx_h;
   pp_hist ppf "commit" e.commit_h;
   pp_hist ppf "wasted" e.wasted_h;
@@ -343,6 +360,8 @@ let engine_to_json e =
             ("wait", Json.Int e.cm_wait);
             ("kill", Json.Int e.cm_kill);
             ("phase_shifts", Json.Int e.cm_shift);
+            ("throttles", Json.Int e.cm_throttle);
+            ("escalations", Json.Int e.escalations);
           ] );
       ("tx_cycles", Hist.to_json e.tx_h);
       ("commit_cycles", Hist.to_json e.commit_h);

@@ -65,6 +65,12 @@ val on_cm_decision :
 
 val on_cm_phase_shift : tid:int -> unit
 
+val on_cm_throttle : tid:int -> unit
+(** The adaptive manager serialized this thread behind its throttle. *)
+
+val on_escalation : tid:int -> unit
+(** An engine escalated this thread to irrevocable execution. *)
+
 (** {2 Reporting} *)
 
 val pp : Format.formatter -> unit -> unit

@@ -23,7 +23,11 @@ let delay policy rng ~attempt =
   match policy with
   | No_backoff -> 0
   | Linear { base; cap } ->
-      let span = min cap (base * attempt) in
+      (* Clamp before multiplying: [base * attempt] overflows to a negative
+         span for the unbounded attempt counts an abort storm produces, and
+         [Rng.int] raises on non-positive bounds. *)
+      let span = if base > 0 && attempt > cap / base then cap else base * attempt in
+      let span = min cap span in
       Rng.int rng (span + 1)
   | Exponential { base; cap } ->
       let span = min cap (base * (1 lsl min attempt 20)) in
@@ -44,7 +48,9 @@ let wait_cycles cycles =
     if !on_wait_enabled then !on_wait ~cycles;
     if Exec.in_sim () then Exec.tick_as Exec.ph_backoff cycles
     else
-      let spins = cycles / 8 in
+      (* Round up so short waits still yield the pipeline at least once;
+         [cycles / 8] silently dropped any wait under 8 cycles. *)
+      let spins = (cycles + 7) / 8 in
       for _ = 1 to spins do
         Domain.cpu_relax ()
       done

@@ -9,30 +9,49 @@ type t = { mutable state : int64 }
 
 let create seed = { state = Int64.of_int seed }
 
+(* SplitMix64 finalizer: a bijective avalanche of the whole word. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
 (** Derive a thread-local generator from a global seed and a thread id.
-    The golden-ratio increment decorrelates nearby seeds. *)
+    The seed is avalanched through a SplitMix64 finalizer before the
+    golden-ratio thread offset is added: combining the raw seed linearly
+    would alias distinct (seed, tid) pairs onto one stream (seed s at tid
+    t equals seed s+phi at tid t-1). *)
 let for_thread ~seed ~tid =
   {
     state =
       Int64.add
         (Int64.mul (Int64.of_int (tid + 1)) 0x9E3779B97F4A7C15L)
-        (Int64.of_int seed);
+        (mix64 (Int64.of_int seed));
   }
 
 let next64 t =
   let z = Int64.add t.state 0x9E3779B97F4A7C15L in
   t.state <- z;
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+  mix64 z
 
 (** Non-negative int drawn uniformly from the full 62-bit range. *)
 let bits t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
 
-(** [int t n] is uniform in [0, n). Requires [n > 0]. *)
+(** [int t n] is uniform in [0, n). Requires [n > 0].
+
+    Rejection sampling: a draw landing in the final partial block of size
+    [n] at the top of the 62-bit range is discarded, otherwise the result
+    would be biased towards small residues.  At most one extra draw is
+    needed in expectation even for the worst bound. *)
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
-  bits t mod n
+  let rec draw () =
+    let x = bits t in
+    let r = x mod n in
+    (* [x] is accepted iff it falls in a complete block, i.e. the block
+       containing it fits below 2^62: x - r + (n-1) must not overflow. *)
+    if x - r + (n - 1) < 0 then draw () else r
+  in
+  draw ()
 
 (** [float t x] is uniform in [0, x). *)
 let float t x =

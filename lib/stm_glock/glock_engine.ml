@@ -83,43 +83,49 @@ let engine heap : Engine.t =
       alloc = (fun n -> Memory.Heap.alloc heap n);
     }
   in
+  let run ~tid f =
+    if depth.(tid) > 0 then begin
+      depth.(tid) <- depth.(tid) + 1;
+      Fun.protect ~finally:(fun () -> depth.(tid) <- depth.(tid) - 1)
+        (fun () -> f (ops tid))
+    end
+    else begin
+      (* Begin recorded before the lock (= snapshot) is taken. *)
+      if !Trace.enabled then Trace.on_begin ~tid;
+      if !Runtime.Exec.prof_on then
+        Runtime.Exec.set_phase tid Runtime.Exec.ph_commit;
+      if !Obs.Metrics.on then Obs.Metrics.on_tx_begin ~eid:t.eid ~tid;
+      Runtime.Exec.tick (costs ()).tx_begin;
+      acquire t ~tid;
+      (* The only injectable fault here is a holder stall: the global lock
+         admits no aborts and no distinct commit window. *)
+      if !Runtime.Inject.on then Runtime.Inject.stall ~tid;
+      if !Runtime.Exec.prof_on then
+        Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
+      depth.(tid) <- 1;
+      Fun.protect
+        ~finally:(fun () ->
+          depth.(tid) <- 0;
+          if !Runtime.Exec.prof_on then
+            Runtime.Exec.set_phase tid Runtime.Exec.ph_commit;
+          release t;
+          Runtime.Exec.tick (costs ()).tx_end;
+          if !Runtime.Exec.prof_on then
+            Runtime.Exec.set_phase tid Runtime.Exec.ph_other)
+        (fun () ->
+          let v = f (ops tid) in
+          if !Trace.enabled then Trace.on_commit ~tid;
+          Stats.commit t.stats ~tid;
+          if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid;
+          v)
+    end
+  in
   {
     Engine.name;
     heap;
-    atomic =
-      (fun ~tid f ->
-        if depth.(tid) > 0 then begin
-          depth.(tid) <- depth.(tid) + 1;
-          Fun.protect ~finally:(fun () -> depth.(tid) <- depth.(tid) - 1)
-            (fun () -> f (ops tid))
-        end
-        else begin
-          (* Begin recorded before the lock (= snapshot) is taken. *)
-          if !Trace.enabled then Trace.on_begin ~tid;
-          if !Runtime.Exec.prof_on then
-            Runtime.Exec.set_phase tid Runtime.Exec.ph_commit;
-          if !Obs.Metrics.on then Obs.Metrics.on_tx_begin ~eid:t.eid ~tid;
-          Runtime.Exec.tick (costs ()).tx_begin;
-          acquire t ~tid;
-          if !Runtime.Exec.prof_on then
-            Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
-          depth.(tid) <- 1;
-          Fun.protect
-            ~finally:(fun () ->
-              depth.(tid) <- 0;
-              if !Runtime.Exec.prof_on then
-                Runtime.Exec.set_phase tid Runtime.Exec.ph_commit;
-              release t;
-              Runtime.Exec.tick (costs ()).tx_end;
-              if !Runtime.Exec.prof_on then
-                Runtime.Exec.set_phase tid Runtime.Exec.ph_other)
-            (fun () ->
-              let v = f (ops tid) in
-              if !Trace.enabled then Trace.on_commit ~tid;
-              Stats.commit t.stats ~tid;
-              if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid;
-              v)
-        end);
+    atomic = (fun ~tid f -> run ~tid f);
+    (* Holding the global lock already is irrevocable, single execution. *)
+    atomic_irrevocable = (fun ~tid f -> run ~tid f);
     stats = (fun () -> Stats.snapshot t.stats);
     reset_stats = (fun () -> Stats.reset t.stats);
   }

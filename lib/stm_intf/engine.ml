@@ -19,6 +19,17 @@ type t = {
   name : string;
   heap : Memory.Heap.t;
   atomic : 'a. tid:int -> (tx_ops -> 'a) -> 'a;
+  atomic_irrevocable : 'a. tid:int -> (tx_ops -> 'a) -> 'a;
+      (** Run the body as the single *irrevocable* transaction: the caller
+          acquires the engine's irrevocability token before its first
+          attempt, wins every conflict and is exempt from fault injection
+          until it commits.  At most one irrevocable transaction runs at a
+          time; others wait at the engine's start gate.  Engines also
+          escalate to this mode automatically when a transaction exceeds
+          the contention manager's consecutive-abort budget.  The body
+          contract is unchanged (it may still be re-run, e.g. when called
+          while another transaction holds the token), so side effects must
+          still be restartable. *)
   stats : unit -> Stats.snapshot;
   reset_stats : unit -> unit;
 }
@@ -26,6 +37,7 @@ type t = {
 let name t = t.name
 let heap t = t.heap
 let atomic t ~tid f = t.atomic ~tid f
+let atomic_irrevocable t ~tid f = t.atomic_irrevocable ~tid f
 let stats t = t.stats ()
 let reset_stats t = t.reset_stats ()
 

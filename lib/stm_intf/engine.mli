@@ -18,6 +18,9 @@ type t = {
   name : string;
   heap : Memory.Heap.t;
   atomic : 'a. tid:int -> (tx_ops -> 'a) -> 'a;
+  atomic_irrevocable : 'a. tid:int -> (tx_ops -> 'a) -> 'a;
+      (** Run the body as the single irrevocable transaction (see
+          {!atomic_irrevocable} the accessor). *)
   stats : unit -> Stats.snapshot;
   reset_stats : unit -> unit;
 }
@@ -27,6 +30,14 @@ val heap : t -> Memory.Heap.t
 
 val atomic : t -> tid:int -> (tx_ops -> 'a) -> 'a
 (** Run a transaction from logical thread [tid] (0 .. 61). *)
+
+val atomic_irrevocable : t -> tid:int -> (tx_ops -> 'a) -> 'a
+(** Like {!atomic}, but the transaction acquires the engine's
+    irrevocability token before its first attempt: it runs as the single
+    irrevocable transaction, wins every conflict, and is exempt from fault
+    injection until commit.  The body must still be restartable — it can
+    be re-run while the token is being acquired, and engines without
+    remote kills may retry it while pre-token transactions drain. *)
 
 val stats : t -> Stats.snapshot
 val reset_stats : t -> unit

@@ -16,6 +16,8 @@ type t = {
   cycles_wasted : int array;
   reads : int array;
   writes : int array;
+  consec_aborts : int array;  (* current run of aborts without a commit *)
+  max_consec_aborts : int array;  (* worst such run per thread *)
 }
 
 type snapshot = {
@@ -28,6 +30,9 @@ type snapshot = {
   s_cycles_wasted : int;
   s_reads : int;
   s_writes : int;
+  s_max_consecutive_aborts : int;
+      (* worst consecutive-abort run of any single thread: the starvation
+         bound the adaptive CM's escalation is required to enforce *)
 }
 
 let create () =
@@ -41,12 +46,16 @@ let create () =
     cycles_wasted = Array.make max_threads 0;
     reads = Array.make max_threads 0;
     writes = Array.make max_threads 0;
+    consec_aborts = Array.make max_threads 0;
+    max_consec_aborts = Array.make max_threads 0;
   }
 
 let slot tid = tid land (max_threads - 1)
 let bump arr tid = arr.(slot tid) <- arr.(slot tid) + 1
 
-let commit t ~tid = bump t.commits tid
+let commit t ~tid =
+  bump t.commits tid;
+  t.consec_aborts.(slot tid) <- 0
 let wait t ~tid = bump t.waits tid
 let read t ~tid = bump t.reads tid
 let write t ~tid = bump t.writes tid
@@ -60,12 +69,17 @@ let wasted t ~tid ~cycles =
   t.cycles_wasted.(s) <- t.cycles_wasted.(s) + cycles
 
 let abort t ~tid (reason : Tx_signal.abort_reason) =
-  match reason with
+  (match reason with
   | Ww_conflict -> bump t.aborts_ww tid
   | Rw_validation -> bump t.aborts_rw tid
-  | Killed -> bump t.aborts_killed tid
+  | Killed -> bump t.aborts_killed tid);
+  let s = slot tid in
+  let c = t.consec_aborts.(s) + 1 in
+  t.consec_aborts.(s) <- c;
+  if c > t.max_consec_aborts.(s) then t.max_consec_aborts.(s) <- c
 
 let sum = Array.fold_left ( + ) 0
+let peak = Array.fold_left max 0
 
 let snapshot t =
   {
@@ -78,6 +92,7 @@ let snapshot t =
     s_cycles_wasted = sum t.cycles_wasted;
     s_reads = sum t.reads;
     s_writes = sum t.writes;
+    s_max_consecutive_aborts = peak t.max_consec_aborts;
   }
 
 let reset t =
@@ -90,7 +105,9 @@ let reset t =
   z t.backoffs;
   z t.cycles_wasted;
   z t.reads;
-  z t.writes
+  z t.writes;
+  z t.consec_aborts;
+  z t.max_consec_aborts
 
 let total_aborts s = s.s_aborts_ww + s.s_aborts_rw + s.s_aborts_killed
 
@@ -101,9 +118,10 @@ let abort_rate s =
 let pp ppf s =
   Format.fprintf ppf
     "commits=%d aborts(w/w=%d r/w=%d killed=%d) waits=%d backoffs=%d \
-     wasted=%d reads=%d writes=%d"
+     wasted=%d reads=%d writes=%d maxconsec=%d"
     s.s_commits s.s_aborts_ww s.s_aborts_rw s.s_aborts_killed s.s_waits
     s.s_backoffs s.s_cycles_wasted s.s_reads s.s_writes
+    s.s_max_consecutive_aborts
 
 (** Sum two snapshots (multi-phase benchmarks). *)
 let add a b =
@@ -117,4 +135,7 @@ let add a b =
     s_cycles_wasted = a.s_cycles_wasted + b.s_cycles_wasted;
     s_reads = a.s_reads + b.s_reads;
     s_writes = a.s_writes + b.s_writes;
+    s_max_consecutive_aborts =
+      (* a maximum, not a sum: phases run back to back on the same threads *)
+      max a.s_max_consecutive_aborts b.s_max_consecutive_aborts;
   }

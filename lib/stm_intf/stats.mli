@@ -14,6 +14,9 @@ type snapshot = {
   s_cycles_wasted : int;  (** simulated cycles discarded by aborts *)
   s_reads : int;
   s_writes : int;
+  s_max_consecutive_aborts : int;
+      (** worst consecutive-abort run of any single thread — the
+          starvation bound adaptive escalation must enforce *)
 }
 
 val create : unit -> t

@@ -35,10 +35,20 @@ type config = {
   table_bits : int;
   max_chain : int;
   seed : int;
+  cm : Cm.Cm_intf.spec;
+      (* rollback/throttle policy only: conflicts stay timid at commit-time
+         acquisition, but the manager owns the retry back-off, the adaptive
+         throttle and the escalation budget *)
 }
 
 let default_config =
-  { granularity_words = 4; table_bits = 18; max_chain = 8; seed = 0xC0FFEE }
+  {
+    granularity_words = 4;
+    table_bits = 18;
+    max_chain = 8;
+    seed = 0xC0FFEE;
+    cm = Cm.Cm_intf.Timid;
+  }
 
 (* version record layout *)
 let vr_version = 0
@@ -72,7 +82,8 @@ type t = {
   descs : desc array;
   stats : Stats.t;
   eid : int;  (* metrics-registry engine id *)
-  backoff : Runtime.Backoff.policy;
+  cm : Cm.Cm_intf.t;
+  ser : Serial.t;  (* irrevocability token (escalation / explicit) *)
   max_chain : int;
   snapshot_reads : Runtime.Tmatomic.t;  (** telemetry: old-version serves *)
 }
@@ -116,7 +127,8 @@ let create ?(config = default_config) heap =
           });
     stats = Stats.create ();
     eid = Obs.Metrics.register_engine name;
-    backoff = Runtime.Backoff.default_linear;
+    cm = Cm.Factory.make config.cm;
+    ser = Serial.create ();
     max_chain = config.max_chain;
     snapshot_reads = Runtime.Tmatomic.make 0;
   }
@@ -138,11 +150,15 @@ let rollback t d reason =
   Stats.wasted t.stats ~tid:d.tid
     ~cycles:(max 0 (Runtime.Exec.now () - d.start_cycles));
   if !Obs.Metrics.on then Obs.Metrics.on_tx_abort ~tid:d.tid ~reason;
+  Serial.exit_commit t.ser ~tid:d.tid;
   clear_logs d;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
-  Cm.Cm_intf.note_rollback d.info;
-  Stats.backoff t.stats ~tid:d.tid ~n:1;
-  Runtime.Backoff.wait t.backoff d.info.rng ~attempt:(min d.info.succ_aborts 4);
+  (* The manager owns the retry back-off (the factory Timid reproduces the
+     stock linear policy); harvest its wait count into [Stats]. *)
+  let b0 = d.info.Cm.Cm_intf.backoffs in
+  t.cm.on_rollback d.info;
+  let db = d.info.Cm.Cm_intf.backoffs - b0 in
+  if db > 0 then Stats.backoff t.stats ~tid:d.tid ~n:db;
   Tx_signal.abort ()
 
 (* Reconstruct the value [addr] had at snapshot [rv] by walking the
@@ -203,6 +219,8 @@ let snapshot_read t d addr idx =
 let read_word t d addr =
   let costs = Runtime.Costs.get () in
   Stats.read t.stats ~tid:d.tid;
+  if !Runtime.Inject.on && Runtime.Inject.spurious_abort ~tid:d.tid then
+    rollback t d Tx_signal.Killed;
   let idx = Memory.Stripe.index t.stripe addr in
   let s =
     if Wlog.is_empty d.wset then -1
@@ -239,6 +257,8 @@ let read_word t d addr =
 let write_word t d addr value =
   let costs = Runtime.Costs.get () in
   Stats.write t.stats ~tid:d.tid;
+  if !Runtime.Inject.on && Runtime.Inject.spurious_abort ~tid:d.tid then
+    rollback t d Tx_signal.Killed;
   if d.snapshot then begin
     (* writes are incompatible with serving old versions: restart as a
        plain update transaction *)
@@ -314,10 +334,18 @@ let commit t d =
     Stats.commit t.stats ~tid:d.tid;
     if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
     clear_logs d;
-    d.allow_snapshot <- true
+    d.allow_snapshot <- true;
+    t.cm.on_commit d.info;
+    Serial.release t.ser ~tid:d.tid
   end
   else begin
+    (* Commit gate: freeze the clock while an irrevocable transaction
+       runs; the waiter holds no locks yet (lazy acquisition). *)
+    if Serial.held_by_other t.ser ~tid:d.tid then
+      Serial.gate t.ser ~tid:d.tid ~check:(fun () -> ());
+    Serial.enter_commit t.ser ~tid:d.tid;
     if !Obs.Metrics.on then Obs.Metrics.on_commit_start ~tid:d.tid;
+    if !Runtime.Inject.on then Runtime.Inject.stretch ~tid:d.tid;
     let n = Ivec.length d.wstripes in
     let i = ref 0 in
     (try
@@ -329,6 +357,7 @@ let commit t d =
          else if not (Runtime.Tmatomic.cas lock ~expect:lv ~replace:(locked_by d.tid))
          then raise Exit
          else begin
+           if !Runtime.Inject.on then Runtime.Inject.stall ~tid:d.tid;
            Ivec.push d.acq_saved lv;
            Wlog.replace d.acq_version idx (version_of lv);
            incr i
@@ -384,7 +413,10 @@ let commit t d =
     Stats.commit t.stats ~tid:d.tid;
     if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
     clear_logs d;
-    d.allow_snapshot <- true
+    d.allow_snapshot <- true;
+    t.cm.on_commit d.info;
+    Serial.exit_commit t.ser ~tid:d.tid;
+    Serial.release t.ser ~tid:d.tid
   end
 
 let start t d ~restart =
@@ -396,17 +428,23 @@ let start t d ~restart =
   if !Obs.Metrics.on then Obs.Metrics.on_tx_begin ~eid:t.eid ~tid:d.tid;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
   clear_logs d;
-  Cm.Cm_intf.note_start d.info ~restart;
+  t.cm.on_start d.info ~restart;
   if not restart then d.allow_snapshot <- true;
   d.rv <- Runtime.Tmatomic.get t.clock;
   if !Runtime.Exec.prof_on then
     Runtime.Exec.set_phase d.tid Runtime.Exec.ph_other
 
-let emergency_release d =
+let emergency_release t d =
+  Serial.exit_commit t.ser ~tid:d.tid;
+  Serial.release t.ser ~tid:d.tid;
+  t.cm.on_quit d.info;
   clear_logs d;
   d.depth <- 0
 
-let atomic t ~tid f =
+(* Retry driver with graceful degradation: see the SwissTM driver for the
+   escalation protocol.  Like TL2, the commit gate freezes the clock under
+   the token, so an escalated attempt cannot fail in a simulated run. *)
+let run t ~tid ~irrevocable f =
   let d = t.descs.(tid) in
   if d.depth > 0 then begin
     d.depth <- d.depth + 1;
@@ -414,7 +452,21 @@ let atomic t ~tid f =
   end
   else
     let rec attempt ~restart =
+      if
+        (irrevocable
+        || d.info.Cm.Cm_intf.succ_aborts >= t.cm.Cm.Cm_intf.escalate_after)
+        && not (Serial.mine t.ser ~tid)
+      then begin
+        if !Obs.Metrics.on then Obs.Metrics.on_escalation ~tid;
+        Serial.acquire t.ser ~tid;
+        Serial.drain t.ser ~tid
+      end;
+      let escalated = Serial.mine t.ser ~tid in
+      t.cm.pre_attempt d.info ~escalated;
+      if (not escalated) && Serial.held_by_other t.ser ~tid then
+        Serial.gate t.ser ~tid ~check:(fun () -> ());
       start t d ~restart;
+      if escalated then d.info.Cm.Cm_intf.cm_ts <- 0;
       d.depth <- 1;
       match f d with
       | v ->
@@ -427,10 +479,13 @@ let atomic t ~tid f =
           d.depth <- 0;
           attempt ~restart:true
       | exception e ->
-          emergency_release d;
+          emergency_release t d;
           raise e
     in
     attempt ~restart:false
+
+let atomic t ~tid f = run t ~tid ~irrevocable:false f
+let atomic_irrevocable t ~tid f = run t ~tid ~irrevocable:true f
 
 (** Old-version reads served so far (ablation telemetry). *)
 let snapshot_reads t = Runtime.Tmatomic.unsafe_get t.snapshot_reads
@@ -475,6 +530,8 @@ let engine ?config heap : Engine.t =
     Engine.name;
     heap;
     atomic = (fun ~tid f -> atomic t ~tid (fun _ -> f ops.(tid)));
+    atomic_irrevocable =
+      (fun ~tid f -> atomic_irrevocable t ~tid (fun _ -> f ops.(tid)));
     stats = (fun () -> Stats.snapshot t.stats);
     reset_stats = (fun () -> Stats.reset t.stats);
   }

@@ -78,6 +78,7 @@ type t = {
   descs : desc array;
   stats : Stats.t;
   eid : int;  (* observability engine id *)
+  ser : Serial.t;  (* irrevocability token (escalation / explicit) *)
 }
 
 let name_of_config c =
@@ -126,6 +127,7 @@ let create ?(config = default_config) heap =
           });
     stats = Stats.create ();
     eid = Obs.Metrics.register_engine (name_of_config config);
+    ser = Serial.create ();
   }
 
 let clear_logs d =
@@ -183,20 +185,39 @@ let rollback t d reason =
   Stats.wasted t.stats ~tid:d.tid
     ~cycles:(max 0 (Runtime.Exec.now () - d.start_cycles));
   if !Obs.Metrics.on then Obs.Metrics.on_tx_abort ~tid:d.tid ~reason;
+  Serial.exit_commit t.ser ~tid:d.tid;
   clear_logs d;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
   cm_rollback t d;
   Tx_signal.abort ()
 
 let cm_resolve t (d : desc) ~victim =
-  let b0 = d.info.Cm.Cm_intf.backoffs in
-  let decision = t.cm.resolve ~attacker:d.info ~victim in
-  let db = d.info.Cm.Cm_intf.backoffs - b0 in
-  if db > 0 then Stats.backoff t.stats ~tid:d.tid ~n:db;
-  decision
+  (* The irrevocable transaction wins every conflict regardless of the
+     manager's policy: under timid-style managers Abort_self would
+     deadlock against a victim parked at the commit gate on an object the
+     irrevocable transaction needs. *)
+  if Serial.mine t.ser ~tid:d.tid then begin
+    Cm.Cm_intf.request_kill victim;
+    Cm.Cm_intf.Killed_victim
+  end
+  else begin
+    let b0 = d.info.Cm.Cm_intf.backoffs in
+    let decision = t.cm.resolve ~attacker:d.info ~victim in
+    let db = d.info.Cm.Cm_intf.backoffs - b0 in
+    if db > 0 then Stats.backoff t.stats ~tid:d.tid ~n:db;
+    decision
+  end
 
+(* The irrevocability-token holder ignores kill requests ([Serial.mine] is
+   only consulted behind the kill flag, so the no-kill fast path is
+   unchanged); the fault injector piggybacks here behind its own guard. *)
 let check_kill t d =
-  if Cm.Cm_intf.kill_requested d.info then rollback t d Tx_signal.Killed
+  if
+    Cm.Cm_intf.kill_requested d.info
+    && not (Serial.mine t.ser ~tid:d.tid)
+  then rollback t d Tx_signal.Killed;
+  if !Runtime.Inject.on && Runtime.Inject.spurious_abort ~tid:d.tid then
+    rollback t d Tx_signal.Killed
 
 (* Spin until a stripe stops being busy (a committer is writing back). *)
 let wait_unbusy t d idx =
@@ -395,6 +416,7 @@ let acquire_stripe t d idx =
     if not (Runtime.Tmatomic.cas o ~expect:0 ~replace:(d.tid + 1)) then go ()
   in
   go ();
+  if !Runtime.Inject.on then Runtime.Inject.stall ~tid:d.tid;
   Ivec.push d.acq idx;
   (* Clone the object into the speculative copy. *)
   Runtime.Exec.tick (costs.mem * Memory.Stripe.granularity_words t.stripe);
@@ -431,10 +453,19 @@ let commit t d =
     Stats.commit t.stats ~tid:d.tid;
     if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
     clear_logs d;
-    t.cm.on_commit d.info
+    t.cm.on_commit d.info;
+    Serial.release t.ser ~tid:d.tid
   end
   else begin
+    (* Commit gate: while an irrevocable transaction runs, updates must not
+       advance the commit counter.  The waiter may hold eagerly-acquired
+       objects, so it polls its kill flag — the irrevocable transaction can
+       abort it out of the wait. *)
+    if Serial.held_by_other t.ser ~tid:d.tid then
+      Serial.gate t.ser ~tid:d.tid ~check:(fun () -> check_kill t d);
+    Serial.enter_commit t.ser ~tid:d.tid;
     if !Obs.Metrics.on then Obs.Metrics.on_commit_start ~tid:d.tid;
+    if !Runtime.Inject.on then Runtime.Inject.stretch ~tid:d.tid;
     (* Lazy mode acquires its whole write set now. *)
     if t.config.acquire = Lazy then
       Ivec.iter
@@ -473,7 +504,9 @@ let commit t d =
     Stats.commit t.stats ~tid:d.tid;
     if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
     clear_logs d;
-    t.cm.on_commit d.info
+    t.cm.on_commit d.info;
+    Serial.exit_commit t.ser ~tid:d.tid;
+    Serial.release t.ser ~tid:d.tid
   end
 
 let start t d ~restart =
@@ -493,10 +526,16 @@ let start t d ~restart =
 let emergency_release t d =
   release_owned t d;
   retract_visible t d;
+  Serial.exit_commit t.ser ~tid:d.tid;
+  Serial.release t.ser ~tid:d.tid;
+  t.cm.on_quit d.info;
   clear_logs d;
   d.depth <- 0
 
-let atomic t ~tid f =
+(* Retry driver with graceful degradation: see the SwissTM driver for the
+   escalation protocol.  RSTM's managers can kill, so the token holder
+   runs with [cm_ts = 0] and wins every encounter. *)
+let run t ~tid ~irrevocable f =
   if tid >= 62 then invalid_arg "rstm: visible-reader bitmap limits tid < 62";
   let d = t.descs.(tid) in
   if d.depth > 0 then begin
@@ -505,7 +544,21 @@ let atomic t ~tid f =
   end
   else
     let rec attempt ~restart =
+      if
+        (irrevocable
+        || d.info.Cm.Cm_intf.succ_aborts >= t.cm.Cm.Cm_intf.escalate_after)
+        && not (Serial.mine t.ser ~tid)
+      then begin
+        if !Obs.Metrics.on then Obs.Metrics.on_escalation ~tid;
+        Serial.acquire t.ser ~tid;
+        Serial.drain t.ser ~tid
+      end;
+      let escalated = Serial.mine t.ser ~tid in
+      t.cm.pre_attempt d.info ~escalated;
+      if (not escalated) && Serial.held_by_other t.ser ~tid then
+        Serial.gate t.ser ~tid ~check:(fun () -> ());
       start t d ~restart;
+      if escalated then d.info.Cm.Cm_intf.cm_ts <- 0;
       d.depth <- 1;
       match f d with
       | v ->
@@ -522,6 +575,9 @@ let atomic t ~tid f =
           raise e
     in
     attempt ~restart:false
+
+let atomic t ~tid f = run t ~tid ~irrevocable:false f
+let atomic_irrevocable t ~tid f = run t ~tid ~irrevocable:true f
 
 let engine ?config heap : Engine.t =
   let t = create ?config heap in
@@ -563,6 +619,8 @@ let engine ?config heap : Engine.t =
     Engine.name = name_of_config t.config;
     heap;
     atomic = (fun ~tid f -> atomic t ~tid (fun _ -> f ops.(tid)));
+    atomic_irrevocable =
+      (fun ~tid f -> atomic_irrevocable t ~tid (fun _ -> f ops.(tid)));
     stats = (fun () -> Stats.snapshot t.stats);
     reset_stats = (fun () -> Stats.reset t.stats);
   }

@@ -18,9 +18,18 @@
 
 open Stm_intf
 
-type config = { granularity_words : int; table_bits : int; seed : int }
+type config = {
+  granularity_words : int;
+  table_bits : int;
+  seed : int;
+  cm : Cm.Cm_intf.spec;
+      (* rollback/throttle policy only: conflicts stay timid (TinySTM never
+         kills), but the manager owns the retry back-off, the adaptive
+         throttle and the escalation budget *)
+}
 
-let default_config = { granularity_words = 4; table_bits = 18; seed = 0xC0FFEE }
+let default_config =
+  { granularity_words = 4; table_bits = 18; seed = 0xC0FFEE; cm = Cm.Cm_intf.Timid }
 
 type desc = {
   tid : int;
@@ -47,7 +56,8 @@ type t = {
   descs : desc array;
   stats : Stats.t;
   eid : int;  (* metrics-registry engine id *)
-  backoff : Runtime.Backoff.policy;
+  cm : Cm.Cm_intf.t;
+  ser : Serial.t;  (* irrevocability token (escalation / explicit) *)
 }
 
 let name = "tinystm"
@@ -86,7 +96,8 @@ let create ?(config = default_config) heap =
           });
     stats = Stats.create ();
     eid = Obs.Metrics.register_engine name;
-    backoff = Runtime.Backoff.default_linear;
+    cm = Cm.Factory.make config.cm;
+    ser = Serial.create ();
   }
 
 let clear_logs d =
@@ -115,12 +126,15 @@ let rollback t d reason =
   Stats.wasted t.stats ~tid:d.tid
     ~cycles:(max 0 (Runtime.Exec.now () - d.start_cycles));
   if !Obs.Metrics.on then Obs.Metrics.on_tx_abort ~tid:d.tid ~reason;
+  Serial.exit_commit t.ser ~tid:d.tid;
   clear_logs d;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
-  Cm.Cm_intf.note_rollback d.info;
-  (* short bounded back-off: the stock TL2/TinySTM retry policy *)
-  Stats.backoff t.stats ~tid:d.tid ~n:1;
-  Runtime.Backoff.wait t.backoff d.info.rng ~attempt:(min d.info.succ_aborts 4);
+  (* The manager owns the retry back-off (the factory Timid reproduces the
+     stock TinySTM linear policy); harvest its wait count into [Stats]. *)
+  let b0 = d.info.Cm.Cm_intf.backoffs in
+  t.cm.on_rollback d.info;
+  let db = d.info.Cm.Cm_intf.backoffs - b0 in
+  if db > 0 then Stats.backoff t.stats ~tid:d.tid ~n:db;
   Tx_signal.abort ()
 
 let validate t d =
@@ -170,6 +184,8 @@ let extend t d =
 let read_word t d addr =
   let costs = Runtime.Costs.get () in
   Stats.read t.stats ~tid:d.tid;
+  if !Runtime.Inject.on && Runtime.Inject.spurious_abort ~tid:d.tid then
+    rollback t d Tx_signal.Killed;
   let idx = Memory.Stripe.index t.stripe addr in
   let lock = t.locks.(idx) in
   let lv = Runtime.Tmatomic.get lock in
@@ -209,6 +225,8 @@ let read_word t d addr =
 let write_word t d addr value =
   let costs = Runtime.Costs.get () in
   Stats.write t.stats ~tid:d.tid;
+  if !Runtime.Inject.on && Runtime.Inject.spurious_abort ~tid:d.tid then
+    rollback t d Tx_signal.Killed;
   let idx = Memory.Stripe.index t.stripe addr in
   let lock = t.locks.(idx) in
   let mine = locked_by d.tid in
@@ -228,6 +246,7 @@ let write_word t d addr value =
       else if not (Runtime.Tmatomic.cas lock ~expect:lv ~replace:mine) then
         acquire (Runtime.Tmatomic.get lock)
       else begin
+        if !Runtime.Inject.on then Runtime.Inject.stall ~tid:d.tid;
         Ivec.push d.acq_stripes idx;
         Ivec.push d.acq_saved lv;
         Wlog.replace d.acq_version idx (version_of lv);
@@ -249,10 +268,20 @@ let commit t d =
     if !Trace.enabled then Trace.on_commit ~tid:d.tid;
     Stats.commit t.stats ~tid:d.tid;
     if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
-    clear_logs d
+    clear_logs d;
+    t.cm.on_commit d.info;
+    Serial.release t.ser ~tid:d.tid
   end
   else begin
+    (* No commit gate here: the waiter would hold encounter-time locks the
+       irrevocable transaction may need, a deadlock TinySTM cannot break
+       (it has no remote kill).  Escalation in this engine is a soft bound:
+       in-flight competitors can still commit, but each parks at the start
+       gate after its current transaction, so the escalated attempt soon
+       runs alone. *)
+    Serial.enter_commit t.ser ~tid:d.tid;
     if !Obs.Metrics.on then Obs.Metrics.on_commit_start ~tid:d.tid;
+    if !Runtime.Inject.on then Runtime.Inject.stretch ~tid:d.tid;
     let ts = Runtime.Tmatomic.incr_get t.clock in
     if ts > d.valid_ts + 1 && not (validate t d) then
       rollback t d Tx_signal.Rw_validation;
@@ -267,7 +296,10 @@ let commit t d =
     if !Trace.enabled then Trace.on_commit ~tid:d.tid;
     Stats.commit t.stats ~tid:d.tid;
     if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
-    clear_logs d
+    clear_logs d;
+    t.cm.on_commit d.info;
+    Serial.exit_commit t.ser ~tid:d.tid;
+    Serial.release t.ser ~tid:d.tid
   end
 
 let start t d ~restart =
@@ -279,17 +311,23 @@ let start t d ~restart =
   if !Obs.Metrics.on then Obs.Metrics.on_tx_begin ~eid:t.eid ~tid:d.tid;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
   clear_logs d;
-  Cm.Cm_intf.note_start d.info ~restart;
+  t.cm.on_start d.info ~restart;
   d.valid_ts <- Runtime.Tmatomic.get t.clock;
   if !Runtime.Exec.prof_on then
     Runtime.Exec.set_phase d.tid Runtime.Exec.ph_other
 
 let emergency_release t d =
   release_restoring t d;
+  Serial.exit_commit t.ser ~tid:d.tid;
+  Serial.release t.ser ~tid:d.tid;
+  t.cm.on_quit d.info;
   clear_logs d;
   d.depth <- 0
 
-let atomic t ~tid f =
+(* Retry driver with graceful degradation: see the SwissTM driver for the
+   escalation protocol.  TinySTM only has the start gate (see [commit]), so
+   the consecutive-abort bound under the token is soft rather than exact. *)
+let run t ~tid ~irrevocable f =
   let d = t.descs.(tid) in
   if d.depth > 0 then begin
     d.depth <- d.depth + 1;
@@ -297,7 +335,21 @@ let atomic t ~tid f =
   end
   else
     let rec attempt ~restart =
+      if
+        (irrevocable
+        || d.info.Cm.Cm_intf.succ_aborts >= t.cm.Cm.Cm_intf.escalate_after)
+        && not (Serial.mine t.ser ~tid)
+      then begin
+        if !Obs.Metrics.on then Obs.Metrics.on_escalation ~tid;
+        Serial.acquire t.ser ~tid;
+        Serial.drain t.ser ~tid
+      end;
+      let escalated = Serial.mine t.ser ~tid in
+      t.cm.pre_attempt d.info ~escalated;
+      if (not escalated) && Serial.held_by_other t.ser ~tid then
+        Serial.gate t.ser ~tid ~check:(fun () -> ());
       start t d ~restart;
+      if escalated then d.info.Cm.Cm_intf.cm_ts <- 0;
       d.depth <- 1;
       match f d with
       | v ->
@@ -314,6 +366,9 @@ let atomic t ~tid f =
           raise e
     in
     attempt ~restart:false
+
+let atomic t ~tid f = run t ~tid ~irrevocable:false f
+let atomic_irrevocable t ~tid f = run t ~tid ~irrevocable:true f
 
 let engine ?config heap : Engine.t =
   let t = create ?config heap in
@@ -355,6 +410,8 @@ let engine ?config heap : Engine.t =
     Engine.name;
     heap;
     atomic = (fun ~tid f -> atomic t ~tid (fun _ -> f ops.(tid)));
+    atomic_irrevocable =
+      (fun ~tid f -> atomic_irrevocable t ~tid (fun _ -> f ops.(tid)));
     stats = (fun () -> Stats.snapshot t.stats);
     reset_stats = (fun () -> Stats.reset t.stats);
   }

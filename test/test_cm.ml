@@ -137,6 +137,87 @@ let test_kill_flag_cleared_on_start () =
   Cm.Cm_intf.note_start a ~restart:true;
   Alcotest.(check bool) "cleared at (re)start" false (Cm.Cm_intf.kill_requested a)
 
+(* --- adaptive ---------------------------------------------------------- *)
+
+let adaptive_spec =
+  Cm.Cm_intf.Adaptive { wn = 10; threshold = 512; escalate_after = 8 }
+
+let test_adaptive_ewma () =
+  let cm = Cm.Factory.make adaptive_spec in
+  let a = mk_info 0 in
+  cm.on_start a ~restart:false;
+  check Alcotest.int "starts uncontended" 0 a.contention;
+  cm.on_rollback a;
+  (* alpha = 1/8 of the headroom to contention_scale *)
+  check Alcotest.int "one abort" 128 a.contention;
+  cm.on_rollback a;
+  check Alcotest.int "second abort" 240 a.contention;
+  cm.on_commit a;
+  check Alcotest.int "commit decays by 1/8" 210 a.contention;
+  for _ = 1 to 50 do
+    cm.on_rollback a
+  done;
+  Alcotest.(check bool) "saturates at the scale" true
+    (a.contention <= Cm.Cm_intf.contention_scale);
+  Alcotest.(check bool) "storm pushes past the throttle threshold" true
+    (a.contention >= 512)
+
+let test_adaptive_resolve_irrevocable_rules () =
+  let cm = Cm.Factory.make adaptive_spec in
+  let a = mk_info 0 and v = mk_info 1 in
+  cm.on_start a ~restart:false;
+  cm.on_start v ~restart:false;
+  (* cm_ts = 0 marks the irrevocable transaction: it is never killable and
+     always wins as an attacker. *)
+  v.cm_ts <- 0;
+  Alcotest.(check bool) "irrevocable victim never killed" true
+    (cm.resolve ~attacker:a ~victim:v = Cm.Cm_intf.Abort_self);
+  Alcotest.(check bool) "no kill requested" false (Cm.Cm_intf.kill_requested v);
+  v.cm_ts <- max_int;
+  a.cm_ts <- 0;
+  Alcotest.(check bool) "irrevocable attacker always wins" true
+    (cm.resolve ~attacker:a ~victim:v = Cm.Cm_intf.Killed_victim);
+  Alcotest.(check bool) "victim marked" true (Cm.Cm_intf.kill_requested v);
+  (* otherwise two-phase: phase-1 attacker stays timid *)
+  a.cm_ts <- max_int;
+  Alcotest.(check bool) "phase-1 attacker timid" true
+    (cm.resolve ~attacker:a ~victim:v = Cm.Cm_intf.Abort_self)
+
+let test_adaptive_throttle_release_paths () =
+  (* The throttle token must come free on every exit path (commit,
+     escalation, emergency quit) or a second offender deadlocks here. *)
+  let cm = Cm.Factory.make adaptive_spec in
+  let a = mk_info 0 and b = mk_info 1 in
+  cm.on_start a ~restart:false;
+  cm.on_start b ~restart:false;
+  a.contention <- 600;
+  b.contention <- 600;
+  cm.pre_attempt a ~escalated:false;
+  (* holder re-entry is idempotent, not a self-deadlock *)
+  cm.pre_attempt a ~escalated:false;
+  cm.on_commit a;
+  cm.pre_attempt b ~escalated:false;
+  (* an escalated thread releases rather than waits *)
+  cm.pre_attempt b ~escalated:true;
+  a.contention <- 600;
+  cm.pre_attempt a ~escalated:false;
+  cm.on_quit a;
+  b.contention <- 600;
+  cm.pre_attempt b ~escalated:false;
+  cm.on_quit b;
+  (* below the threshold nothing is acquired and nothing blocks *)
+  a.contention <- 0;
+  cm.pre_attempt a ~escalated:false
+
+let test_escalation_budget_exposed () =
+  check Alcotest.int "adaptive budget" 8
+    (Cm.Factory.make adaptive_spec).escalate_after;
+  check Alcotest.int "fixed managers never escalate" max_int
+    (Cm.Factory.make Cm.Cm_intf.Timid).escalate_after;
+  check Alcotest.int "two-phase never escalates" max_int
+    (Cm.Factory.make (Cm.Cm_intf.Two_phase { wn = 10; backoff = true }))
+      .escalate_after
+
 let test_succ_aborts_accounting () =
   let a = mk_info 0 in
   Cm.Cm_intf.note_start a ~restart:false;
@@ -170,5 +251,15 @@ let suite =
         Alcotest.test_case "polka: wait then kill" `Quick test_polka_waits_then_kills;
         Alcotest.test_case "kill flag lifecycle" `Quick test_kill_flag_cleared_on_start;
         Alcotest.test_case "succ-abort accounting" `Quick test_succ_aborts_accounting;
+      ] );
+    ( "adaptive-cm",
+      [
+        Alcotest.test_case "abort-rate EWMA" `Quick test_adaptive_ewma;
+        Alcotest.test_case "irrevocable resolve rules" `Quick
+          test_adaptive_resolve_irrevocable_rules;
+        Alcotest.test_case "throttle release paths" `Quick
+          test_adaptive_throttle_release_paths;
+        Alcotest.test_case "escalation budget" `Quick
+          test_escalation_budget_exposed;
       ] );
   ]

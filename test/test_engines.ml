@@ -21,6 +21,11 @@ let all_specs =
     ("rstm-serializer", Engines.rstm_with ~cm:Cm.Cm_intf.Serializer ());
     ("mvstm", Engines.mvstm);
     ("swisstm-priv", Engines.swisstm_priv_safe);
+    ("swisstm-adaptive", Engines.with_cm Cm.Cm_intf.default_adaptive Engines.swisstm);
+    ("tl2-adaptive", Engines.with_cm Cm.Cm_intf.default_adaptive Engines.tl2);
+    ("tinystm-adaptive", Engines.with_cm Cm.Cm_intf.default_adaptive Engines.tinystm);
+    ("rstm-adaptive", Engines.with_cm Cm.Cm_intf.default_adaptive Engines.rstm);
+    ("mvstm-adaptive", Engines.with_cm Cm.Cm_intf.default_adaptive Engines.mvstm);
     ("glock", Engines.Glock);
   ]
 
@@ -199,6 +204,95 @@ let test_tinystm_lock_encoding () =
   Alcotest.(check bool) "distinct owners distinct" true
     (locked_by 1 <> locked_by 2)
 
+(* --- irrevocability and escalation ------------------------------------- *)
+
+let test_irrevocable_basic spec () =
+  with_engine spec (fun heap e ->
+      let a = Memory.Heap.alloc heap 4 in
+      let v =
+        Stm_intf.Engine.atomic_irrevocable e ~tid:0 (fun tx ->
+            tx.write a 41;
+            (* a nested atomic joins the irrevocable transaction *)
+            Stm_intf.Engine.atomic e ~tid:0 (fun tx2 ->
+                tx2.write a (tx2.read a + 1));
+            tx.read a)
+      in
+      check Alcotest.int "returned value" 42 v;
+      check Alcotest.int "committed" 42 (Memory.Heap.read heap a);
+      (* the serial token must be free again for ordinary transactions
+         and for the next irrevocable one *)
+      Stm_intf.Engine.atomic e ~tid:1 (fun tx -> tx.write a 7);
+      Stm_intf.Engine.atomic_irrevocable e ~tid:1 (fun tx -> tx.write a 8);
+      check Alcotest.int "token cycles" 8 (Memory.Heap.read heap a))
+
+let test_irrevocable_concurrent spec () =
+  (* Irrevocable and ordinary transactions interleave in the simulator
+     without deadlock or lost updates. *)
+  with_engine spec (fun heap e ->
+      let cell = Memory.Heap.alloc heap 1 in
+      let per_thread = 30 in
+      ignore
+        (Runtime.Sim.run ~cap_cycles:1_000_000_000_000
+           (Array.init 3 (fun tid () ->
+                for _ = 1 to per_thread do
+                  if tid = 0 then
+                    Stm_intf.Engine.atomic_irrevocable e ~tid (fun tx ->
+                        tx.write cell (tx.read cell + 1))
+                  else
+                    Stm_intf.Engine.atomic e ~tid (fun tx ->
+                        tx.write cell (tx.read cell + 1))
+                done)));
+      check Alcotest.int "no lost updates" (3 * per_thread)
+        (Memory.Heap.read heap cell))
+
+(* The bound [make fault-smoke] enforces at scale, in miniature: under the
+   abort storm the adaptive manager's escalation keeps every thread's
+   worst consecutive-abort run within its budget K; timid does not. *)
+let storm_worst_run spec =
+  let heap = Memory.Heap.create ~words:(1 lsl 14) in
+  let base = Memory.Heap.alloc heap 32 in
+  let e = Engines.make (Engines.with_table_bits 10 spec) heap in
+  let remaining = Array.make 4 80 in
+  let r =
+    Harness.Workload.with_faults ~seed:11 ~profile:Runtime.Inject.abort_storm
+      (fun () ->
+        Harness.Workload.run_fixed_work e ~threads:4 (fun ~tid ->
+            if remaining.(tid) = 0 then false
+            else begin
+              remaining.(tid) <- remaining.(tid) - 1;
+              let rng =
+                Runtime.Rng.for_thread ~seed:(13 + remaining.(tid)) ~tid
+              in
+              Stm_intf.Engine.atomic e ~tid (fun tx ->
+                  for _ = 1 to 6 do
+                    let a = base + Runtime.Rng.int rng 32 in
+                    tx.write a (tx.read a + 1)
+                  done);
+              true
+            end))
+  in
+  check Alcotest.int "all work done" (4 * 80) r.Harness.Workload.ops;
+  r.stats.s_max_consecutive_aborts
+
+let test_escalation_bounds_storm () =
+  let k =
+    match Cm.Cm_intf.default_adaptive with
+    | Cm.Cm_intf.Adaptive { escalate_after; _ } -> escalate_after
+    | _ -> assert false
+  in
+  let bounded =
+    storm_worst_run (Engines.with_cm Cm.Cm_intf.default_adaptive Engines.swisstm)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive worst run %d <= K=%d" bounded k)
+    true (bounded <= k);
+  let unbounded =
+    storm_worst_run (Engines.with_cm Cm.Cm_intf.Timid Engines.swisstm)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "timid worst run %d > K=%d" unbounded k)
+    true (unbounded > k)
+
 let suite =
   List.map per_engine_cases all_specs
   @ [
@@ -208,4 +302,18 @@ let suite =
           Alcotest.test_case "tl2" `Quick test_tl2_lock_encoding;
           Alcotest.test_case "tinystm" `Quick test_tinystm_lock_encoding;
         ] );
+      ( "irrevocability",
+        List.concat_map
+          (fun (name, spec) ->
+            [
+              Alcotest.test_case (name ^ " basic") `Quick
+                (test_irrevocable_basic spec);
+              Alcotest.test_case (name ^ " concurrent") `Quick
+                (test_irrevocable_concurrent spec);
+            ])
+          all_specs
+        @ [
+            Alcotest.test_case "escalation bounds abort storm" `Quick
+              test_escalation_bounds_storm;
+          ] );
     ]

@@ -111,6 +111,15 @@ let test_mvstm_snapshot_serves_old_values () =
                   write = (fun a v -> Mvstm.Mvstm_engine.write_word t d a v);
                   alloc = (fun n -> Memory.Heap.alloc heap n);
                 }));
+      atomic_irrevocable =
+        (fun ~tid f ->
+          Mvstm.Mvstm_engine.atomic_irrevocable t ~tid (fun d ->
+              f
+                {
+                  Stm_intf.Engine.read = (fun a -> Mvstm.Mvstm_engine.read_word t d a);
+                  write = (fun a v -> Mvstm.Mvstm_engine.write_word t d a v);
+                  alloc = (fun n -> Memory.Heap.alloc heap n);
+                }));
       stats = (fun () -> Stm_intf.Stats.snapshot t.stats);
       reset_stats = (fun () -> Stm_intf.Stats.reset t.stats);
     }

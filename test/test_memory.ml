@@ -40,6 +40,23 @@ let test_heap_oom () =
        false
      with Memory.Heap.Out_of_memory _ -> true)
 
+let test_heap_no_chunk_burn_near_exhaustion () =
+  (* Regression: a chunk-path allocation that claims a fresh chunk and then
+     fails must still record the claimed range — raising first leaked a
+     full chunk per failed retry, so smaller requests that fit in the
+     chunk's in-bounds prefix spuriously ran out of memory. *)
+  let h = Memory.Heap.create ~words:12288 in
+  check Alcotest.int "first word" 1 (Memory.Heap.alloc h 1);
+  check Alcotest.int "fills first chunk" 2 (Memory.Heap.alloc h 8000);
+  Alcotest.(check bool) "second big alloc exhausts" true
+    (try
+       ignore (Memory.Heap.alloc h 8000);
+       false
+     with Memory.Heap.Out_of_memory _ -> true);
+  (* The failed allocation's chunk starts at 8193 and its in-bounds prefix
+     (up to 12288) must remain usable. *)
+  check Alcotest.int "prefix still reachable" 8193 (Memory.Heap.alloc h 100)
+
 let test_heap_bounds_checked () =
   let h = Memory.Heap.create ~words:64 in
   Alcotest.(check bool) "read oob rejected" true
@@ -166,6 +183,8 @@ let suite =
         Alcotest.test_case "null reserved" `Quick test_heap_null_reserved;
         Alcotest.test_case "allocations disjoint" `Quick test_heap_alloc_disjoint;
         Alcotest.test_case "out of memory" `Quick test_heap_oom;
+        Alcotest.test_case "no chunk burn near exhaustion" `Quick
+          test_heap_no_chunk_burn_near_exhaustion;
         Alcotest.test_case "bounds checked" `Quick test_heap_bounds_checked;
         Alcotest.test_case "large blocks" `Quick test_heap_large_block;
         Alcotest.test_case "per-thread sharding" `Quick

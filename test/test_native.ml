@@ -80,6 +80,60 @@ let native_rbtree () =
   | Ok _ -> ()
   | Error _ -> Alcotest.fail "red-black invariants broken natively"
 
+let native_escalation_terminates () =
+  (* Real domains under the abort storm: adaptive throttling plus
+     irrevocable escalation must keep every thread terminating (no
+     domain wedged behind the serial token or the throttle), with the
+     escalation bound holding on real hardware, not just in the
+     simulator.  Occasional irrevocable calls exercise the token under
+     preemption. *)
+  let threads = 4 in
+  let iters = 400 in
+  let heap = Memory.Heap.create ~words:(1 lsl 14) in
+  let base = Memory.Heap.alloc heap 16 in
+  let engine =
+    Engines.make (Engines.with_cm Cm.Cm_intf.default_adaptive Engines.swisstm)
+      heap
+  in
+  let r =
+    Harness.Workload.with_faults ~seed:23
+      ~profile:Runtime.Inject.abort_storm (fun () ->
+        let counters = Array.make threads 0 in
+        let domains =
+          Array.init threads (fun tid ->
+              Domain.spawn (fun () ->
+                  Runtime.Exec.set_native_tid tid;
+                  let rng = Runtime.Rng.for_thread ~seed:19 ~tid in
+                  for i = 1 to iters do
+                    let a = base + Runtime.Rng.int rng 16 in
+                    let body (tx : Stm_intf.Engine.tx_ops) =
+                      tx.write a (tx.read a + 1)
+                    in
+                    if i mod 64 = 0 then
+                      Stm_intf.Engine.atomic_irrevocable engine ~tid body
+                    else Stm_intf.Engine.atomic engine ~tid body;
+                    counters.(tid) <- counters.(tid) + 1
+                  done))
+        in
+        Array.iter Domain.join domains;
+        Array.iter
+          (fun c -> check Alcotest.int "thread completed all iterations" iters c)
+          counters;
+        Stm_intf.Engine.stats engine)
+  in
+  let total = ref 0 in
+  for i = 0 to 15 do
+    total := !total + Memory.Heap.read heap (base + i)
+  done;
+  check Alcotest.int "no lost updates under the storm" (threads * iters) !total;
+  check Alcotest.int "all committed" (threads * iters) r.s_commits;
+  (* Native preemption can interleave an abort between the budget check and
+     the escalation, so allow a small slack over the simulator's exact K. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "worst run %d bounded" r.s_max_consecutive_aborts)
+    true
+    (r.s_max_consecutive_aborts <= 8 + 4)
+
 let native_workload_harness () =
   let heap = Memory.Heap.create ~words:(1 lsl 14) in
   let cell = Memory.Heap.alloc heap 1 in
@@ -107,6 +161,8 @@ let suite =
         engines
       @ [
           Alcotest.test_case "rbtree stress" `Slow native_rbtree;
+          Alcotest.test_case "escalation terminates" `Slow
+            native_escalation_terminates;
           Alcotest.test_case "native harness" `Quick native_workload_harness;
         ] );
   ]

@@ -51,6 +51,30 @@ let test_rng_uniformity () =
         (abs (c - (n / 10)) < n / 20))
     buckets
 
+let test_rng_no_seed_tid_aliasing () =
+  (* Regression: the pre-SplitMix64 derivation added the raw seed to the
+     golden-ratio thread offset linearly, so (seed, tid) = (1, 2) and
+     (1 + 2*phi, 0) started from the same state and produced identical
+     streams.  The avalanched seed must break this family of collisions. *)
+  let a = Runtime.Rng.for_thread ~seed:1 ~tid:2 in
+  let b = Runtime.Rng.for_thread ~seed:(1 + 0x3C6EF372FE94F82A) ~tid:0 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Runtime.Rng.int a 1_000_000 = Runtime.Rng.int b 1_000_000 then incr same
+  done;
+  Alcotest.(check bool) "aliased streams now differ" true (!same < 4)
+
+let test_rng_rejection_accepts_large_bounds () =
+  (* The rejection loop must terminate and stay in bounds even when the
+     bound does not divide the 62-bit draw range (worst rejection rate is
+     just under 1/2 at bounds above 2^61). *)
+  let rng = Runtime.Rng.create 11 in
+  let n = (1 lsl 61) + 3 in
+  for _ = 1 to 50 do
+    let x = Runtime.Rng.int rng n in
+    Alcotest.(check bool) "in bounds" true (x >= 0 && x < n)
+  done
+
 let test_rng_shuffle_permutation () =
   let rng = Runtime.Rng.create 3 in
   let arr = Array.init 100 Fun.id in
@@ -250,6 +274,92 @@ let test_backoff_waits_in_sim () =
   in
   check Alcotest.int "wait charges virtual time" 12_345 t
 
+let test_backoff_linear_overflow () =
+  (* Regression: [base * attempt] overflowed to a negative span for the
+     unbounded attempt counts an abort storm produces, and [Rng.int]
+     raises on non-positive bounds. *)
+  let rng = Runtime.Rng.create 9 in
+  List.iter
+    (fun attempt ->
+      let d =
+        Runtime.Backoff.delay Runtime.Backoff.default_linear rng ~attempt
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d within cap" attempt)
+        true
+        (d >= 0 && d <= 3_000_000))
+    [ 1_000; 1_000_000; max_int / 3_000; max_int ]
+
+let test_backoff_native_short_waits () =
+  (* Native path: waits under 8 cycles used to be dropped entirely
+     ([cycles / 8] spins).  This only checks the call completes and takes
+     the native branch — the rounding itself is a code invariant. *)
+  Alcotest.(check bool) "not in sim" false (Runtime.Exec.in_sim ());
+  Runtime.Backoff.wait_cycles 1;
+  Runtime.Backoff.wait_cycles 7;
+  Runtime.Backoff.wait_cycles 8;
+  ()
+
+(* --- Inject ----------------------------------------------------------------- *)
+
+let storm = Runtime.Inject.abort_storm
+
+let test_inject_deterministic () =
+  let draws () =
+    Runtime.Inject.arm ~seed:5 storm;
+    let seq =
+      List.init 200 (fun i ->
+          Runtime.Inject.spurious_abort ~tid:(i land 3))
+    in
+    Runtime.Inject.disarm ();
+    (seq, Runtime.Inject.injected_aborts ())
+  in
+  let s1, n1 = draws () in
+  let s2, n2 = draws () in
+  Alcotest.(check (list bool)) "same fault sequence" s1 s2;
+  check Alcotest.int "same telemetry" n1 n2;
+  Alcotest.(check bool) "storm actually fires" true (n1 > 0)
+
+let test_inject_seed_changes_stream () =
+  Runtime.Inject.arm ~seed:5 storm;
+  let a = List.init 400 (fun _ -> Runtime.Inject.spurious_abort ~tid:0) in
+  Runtime.Inject.arm ~seed:6 storm;
+  let b = List.init 400 (fun _ -> Runtime.Inject.spurious_abort ~tid:0) in
+  Runtime.Inject.disarm ();
+  Alcotest.(check bool) "different seeds, different faults" true (a <> b)
+
+let test_inject_exemption () =
+  Runtime.Inject.arm ~seed:7 storm;
+  Runtime.Inject.exempt := 2;
+  let condemned = ref 0 in
+  for _ = 1 to 2_000 do
+    if Runtime.Inject.spurious_abort ~tid:2 then incr condemned;
+    Runtime.Inject.stall ~tid:2;
+    Runtime.Inject.stretch ~tid:2
+  done;
+  check Alcotest.int "exempt thread never condemned" 0 !condemned;
+  check Alcotest.int "no stalls injected" 0 (Runtime.Inject.injected_stalls ());
+  check Alcotest.int "no stretches injected" 0
+    (Runtime.Inject.injected_stretches ());
+  Runtime.Inject.disarm ();
+  Alcotest.(check bool) "disarm clears on" false !Runtime.Inject.on;
+  check Alcotest.int "disarm clears exemption" (-1) !Runtime.Inject.exempt
+
+let test_inject_storm_rate () =
+  (* abort_storm condemns roughly one access in eight. *)
+  Runtime.Inject.arm ~seed:3 storm;
+  let n = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Runtime.Inject.spurious_abort ~tid:0 then incr hits
+  done;
+  Runtime.Inject.disarm ();
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.3f near 1/8" rate)
+    true
+    (rate > 0.10 && rate < 0.15)
+
 (* --- Costs ------------------------------------------------------------------ *)
 
 let test_costs_override () =
@@ -268,6 +378,10 @@ let suite =
         Alcotest.test_case "thread streams differ" `Quick
           test_rng_thread_streams_differ;
         Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+        Alcotest.test_case "no seed/tid aliasing" `Quick
+          test_rng_no_seed_tid_aliasing;
+        Alcotest.test_case "rejection at large bounds" `Quick
+          test_rng_rejection_accepts_large_bounds;
         Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
         qtest prop_rng_bounds;
         qtest prop_rng_float_bounds;
@@ -302,6 +416,18 @@ let suite =
         qtest prop_backoff_exponential_bounds;
         Alcotest.test_case "none" `Quick test_backoff_none;
         Alcotest.test_case "wait charges time" `Quick test_backoff_waits_in_sim;
+        Alcotest.test_case "linear overflow clamped" `Quick
+          test_backoff_linear_overflow;
+        Alcotest.test_case "native short waits" `Quick
+          test_backoff_native_short_waits;
+      ] );
+    ( "inject",
+      [
+        Alcotest.test_case "deterministic" `Quick test_inject_deterministic;
+        Alcotest.test_case "seed changes stream" `Quick
+          test_inject_seed_changes_stream;
+        Alcotest.test_case "exemption" `Quick test_inject_exemption;
+        Alcotest.test_case "storm rate" `Quick test_inject_storm_rate;
       ] );
     ( "costs",
       [ Alcotest.test_case "override/reset" `Quick test_costs_override ] );
