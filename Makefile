@@ -1,6 +1,7 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: all build test bench check fuzz-smoke obs-smoke fault-smoke clean
+.PHONY: all build test bench check fuzz-smoke obs-smoke fault-smoke \
+        kernel-smoke clean
 
 all: build
 
@@ -24,6 +25,29 @@ check: build
 	$(MAKE) obs-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) fault-smoke
+	$(MAKE) kernel-smoke
+
+# Kernel smoke (seconds): the differential suite (current engines vs the
+# frozen pre-refactor behavioral snapshot, bit-identical in simulated
+# cycles), every composed design point run + fuzzed under its contract,
+# one composed point exercised end-to-end through the CLI, and the
+# line-budget guard: re-expressing the five engines over lib/kernel must
+# keep them >= 30% smaller than their pre-kernel 2576 lines.
+ENGINE_FILES = lib/core/swisstm_engine.ml lib/stm_tl2/tl2_engine.ml \
+               lib/stm_tiny/tinystm_engine.ml lib/stm_rstm/rstm_engine.ml \
+               lib/stm_mv/mvstm_engine.ml
+
+kernel-smoke: build
+	dune exec test/test_main.exe -- test kernel-differential
+	dune exec test/test_main.exe -- test kernel-composed
+	dune exec bin/stm_run.exe -- rbtree --stm k-mixed+inv+counter+redo --threads 4
+	@total=$$(cat $(ENGINE_FILES) | wc -l); \
+	 if [ $$total -gt 1803 ]; then \
+	   echo "LoC budget FAIL: engine files total $$total lines (> 1803 = 70% of the pre-kernel 2576)"; \
+	   exit 1; \
+	 else \
+	   echo "LoC budget ok: engine files total $$total lines (<= 1803)"; \
+	 fi
 
 # Observability smoke (seconds): metrics + profiler + trace export on a
 # 2-thread contended micro over swisstm and tl2, with the emitted JSON

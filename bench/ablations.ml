@@ -156,8 +156,57 @@ let run_cms () =
       Printf.printf "%-12s %18.1f %18.3f\n%!" name sb7 rb)
     cms
 
+(* --- composed kernel design points ------------------------------------ *)
+
+(* `bench ablations --list`: the full design-point registry, one row per
+   named engine the testbed can run, located in kernel axis space. *)
+let list () =
+  section "Kernel design-point registry (lib/kernel/registry.ml)";
+  Printf.printf "%-26s %-9s %-13s %-30s %s\n" "name" "kind" "contract" "axes"
+    "summary";
+  List.iter
+    (fun (e : Kernel.Registry.entry) ->
+      let kind =
+        match e.kind with
+        | Kernel.Registry.Classic _ -> "classic"
+        | Kernel.Registry.Composed -> "composed"
+      in
+      let contract =
+        match Kernel.Registry.contract e with
+        | Kernel.Axes.Opaque -> "opaque"
+        | Kernel.Axes.Serializable -> "serializable"
+      in
+      let axes =
+        match e.point with
+        | Some p -> Kernel.Axes.point_name p
+        | None -> "-"
+      in
+      Printf.printf "%-26s %-9s %-13s %-30s %s\n" e.name kind contract axes
+        e.summary)
+    Kernel.Registry.entries
+
+(* Red-black-tree throughput across every composed point next to the
+   classic engine sharing its acquisition axis, so a new combination's
+   cost is immediately attributable to the axis it moved. *)
+let run_kernel_points () =
+  section "Ablation: composed kernel design points (rbtree, 8 threads)";
+  Printf.printf "%-26s %18s\n" "engine" "rbtree [Mtx/s]";
+  List.iter
+    (fun name ->
+      match Engines.of_string name with
+      | None -> ()
+      | Some spec ->
+          let r =
+            mtps
+              (Rbtree.Rbtree_bench.run ~spec ~threads:8
+                 ~duration_cycles:(rbtree_duration ()) ())
+          in
+          Printf.printf "%-26s %18.3f\n%!" name r)
+    ([ "swisstm"; "tl2"; "tinystm"; "rstm" ] @ Engines.kernel_names)
+
 let run () =
   run_nesting ();
   run_mv ();
   run_priv ();
-  run_cms ()
+  run_cms ();
+  run_kernel_points ()

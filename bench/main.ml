@@ -32,6 +32,12 @@ let all : (string * string * (unit -> unit)) list =
   ]
 
 let () =
+  (* `bench ablations --list` (or just `bench --list`): enumerate the
+     kernel design-point registry instead of running anything. *)
+  if Array.exists (( = ) "--list") Sys.argv then begin
+    Ablations.list ();
+    exit 0
+  end;
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names

@@ -101,6 +101,24 @@ let () =
           (threads * tx_per_thread)
       end)
     cases;
+  (* The global-lock control has no contention manager to bound abort runs,
+     but it must face the same storm: spurious aborts surface as release-
+     and-retry (counted as killed aborts), stalls and stretches lengthen
+     the critical section.  Assert it completes and that each fault class
+     actually fired through its hooks. *)
+  let r, injected = storm_run Engines.Glock in
+  let killed = r.Harness.Workload.stats.s_aborts_killed in
+  let stretches = Runtime.Inject.injected_stretches () in
+  let ok =
+    r.ops = threads * tx_per_thread && killed > 0 && injected > 0
+    && stretches > 0
+  in
+  if not ok then incr failures;
+  Printf.printf
+    "  %-22s commits=%-6d aborts=%-6d injected=%-6d stretches=%-4d %s\n%!"
+    "glock (control)" r.stats.s_commits killed injected stretches
+    (if ok then "faults observed  ok"
+     else "faults not observed / incomplete  FAIL");
   if !failures = 0 then begin
     print_endline "fault-smoke PASS";
     exit 0

@@ -1,0 +1,151 @@
+(* Deterministic behavioral snapshots of an engine, used by the kernel
+   refactor's differential tests (test/test_kernel.ml).
+
+   Two probes cover the two ways a refactor can silently change behavior:
+
+   - [stats_run]: a fixed 4-thread contended workload under the
+     deterministic Earliest_first scheduler; the full stats snapshot plus
+     the simulated makespan.  Any change to lock acquisition order,
+     validation outcome, CM decisions or wait loops shows up here.
+   - [cycle_trace]: a single-thread scripted transaction sequence that
+     records [Exec.now ()] after every transactional operation and after
+     every commit.  Any change to the per-op simulated-cycle charging
+     (extra/missing Tmatomic ops or ticks) shows up as a point difference.
+
+   Values captured on the pre-refactor tree are frozen in
+   test/test_kernel.ml; the re-expressed engines must reproduce them
+   bit-identically. *)
+
+type summary = {
+  commits : int;
+  aborts_ww : int;
+  aborts_rw : int;
+  aborts_killed : int;
+  waits : int;
+  backoffs : int;
+  reads : int;
+  writes : int;
+  wasted : int;
+  elapsed : int;
+}
+
+let summary_of_stats (s : Stm_intf.Stats.snapshot) ~elapsed =
+  {
+    commits = s.s_commits;
+    aborts_ww = s.s_aborts_ww;
+    aborts_rw = s.s_aborts_rw;
+    aborts_killed = s.s_aborts_killed;
+    waits = s.s_waits;
+    backoffs = s.s_backoffs;
+    reads = s.s_reads;
+    writes = s.s_writes;
+    wasted = s.s_cycles_wasted;
+    elapsed;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "{ commits = %d; aborts_ww = %d; aborts_rw = %d; aborts_killed = %d;@ \
+     waits = %d; backoffs = %d; reads = %d; writes = %d;@ wasted = %d; \
+     elapsed = %d }"
+    s.commits s.aborts_ww s.aborts_rw s.aborts_killed s.waits s.backoffs
+    s.reads s.writes s.wasted s.elapsed
+
+(* Thread-local LCG so operation choice is independent of scheduling. *)
+let lcg st =
+  st := ((!st * 1103515245) + 12345) land 0x3FFFFFFFFFFF;
+  (!st lsr 16) land 0x3FFFFFFF
+
+let words = 64
+let txs_per_thread = 120
+
+(* A mixed workload over a small hot region: every 4th transaction is
+   read-only (exercises mvstm's snapshot-mode reads and the RO commit
+   paths); the rest do read-modify-writes crossing stripe boundaries. *)
+let stats_run (spec : Engines.spec) : summary =
+  let heap = Memory.Heap.create ~words:65536 in
+  let engine = Engines.make spec heap in
+  let step ~tid ~op =
+    let st = ref (((tid * 7919) + op + 1) * 2654435761) in
+    if op mod 4 = 0 then
+      Stm_intf.Engine.atomic engine ~tid (fun ops ->
+          let acc = ref 0 in
+          for _ = 1 to 8 do
+            acc := !acc + ops.read (lcg st mod words)
+          done;
+          ignore !acc)
+    else
+      Stm_intf.Engine.atomic engine ~tid (fun ops ->
+          for _ = 1 to 4 do
+            let a = lcg st mod words in
+            let v = ops.read a in
+            ops.write a (v + 1)
+          done)
+  in
+  let done_ops = Array.make 4 0 in
+  let body tid =
+    while done_ops.(tid) < txs_per_thread do
+      step ~tid ~op:done_ops.(tid);
+      done_ops.(tid) <- done_ops.(tid) + 1
+    done
+  in
+  let elapsed = Runtime.Sim.run_threads ~threads:4 body in
+  summary_of_stats (Stm_intf.Engine.stats engine) ~elapsed
+
+(* Single-thread scripted trace: no conflicts, so every engine follows its
+   fast paths deterministically; the trace pins the exact cycle cost of
+   begin / read (cached and fresh, same-stripe and cross-stripe) / write
+   (first and repeated) / read-after-write / RO and update commits. *)
+let cycle_trace (spec : Engines.spec) : int array =
+  let heap = Memory.Heap.create ~words:65536 in
+  let engine = Engines.make spec heap in
+  let out = ref [] in
+  let mark () = out := Runtime.Exec.now () :: !out in
+  let body _tid =
+    (* tx 1: update tx mixing reads and writes across stripes. *)
+    Stm_intf.Engine.atomic engine ~tid:0 (fun ops ->
+        mark ();
+        ignore (ops.read 0);
+        mark ();
+        ignore (ops.read 1);
+        (* same stripe at granularity >= 2 *)
+        mark ();
+        ignore (ops.read 17);
+        (* distant stripe *)
+        mark ();
+        ops.write 0 42;
+        mark ();
+        ops.write 0 43;
+        (* repeated write, log replace *)
+        mark ();
+        ops.write 33 7;
+        mark ();
+        ignore (ops.read 0);
+        (* read-after-write *)
+        mark ());
+    mark ();
+    (* tx 2: read-only transaction. *)
+    Stm_intf.Engine.atomic engine ~tid:0 (fun ops ->
+        ignore (ops.read 0);
+        ignore (ops.read 33);
+        mark ());
+    mark ();
+    (* tx 3: write-only transaction re-touching tx 1's stripes. *)
+    Stm_intf.Engine.atomic engine ~tid:0 (fun ops ->
+        ops.write 1 5;
+        ops.write 17 6;
+        mark ());
+    mark ();
+    (* tx 4: read of a freshly committed stripe (version > 0). *)
+    Stm_intf.Engine.atomic engine ~tid:0 (fun ops ->
+        ignore (ops.read 17);
+        ignore (ops.read 18);
+        mark ());
+    mark ()
+  in
+  ignore (Runtime.Sim.run_threads ~threads:1 body);
+  Array.of_list (List.rev !out)
+
+let pp_trace ppf a =
+  Format.fprintf ppf "[| %s |]"
+    (String.concat "; " (Array.to_list (Array.map string_of_int a)))

@@ -1,0 +1,29 @@
+(** Deterministic behavioral snapshots of an engine, for differential
+    testing across the kernel refactor (see test/test_kernel.ml). *)
+
+type summary = {
+  commits : int;
+  aborts_ww : int;
+  aborts_rw : int;
+  aborts_killed : int;
+  waits : int;
+  backoffs : int;
+  reads : int;
+  writes : int;
+  wasted : int;  (** simulated cycles discarded by aborted attempts *)
+  elapsed : int;  (** simulated makespan of the fixed workload *)
+}
+
+val stats_run : Engines.spec -> summary
+(** Fixed 4-thread contended workload (120 transactions per thread over a
+    64-word hot region, every 4th read-only) under the deterministic
+    Earliest_first scheduler. *)
+
+val cycle_trace : Engines.spec -> int array
+(** Single-thread scripted transaction sequence; the value of
+    [Runtime.Exec.now ()] after each transactional operation and commit.
+    Pins the exact per-op simulated-cycle charging of the engine's
+    fast paths. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+val pp_trace : Format.formatter -> int array -> unit

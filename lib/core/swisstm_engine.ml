@@ -11,7 +11,18 @@
      r-locks are taken only for the duration of commit;
    - a pluggable contention manager invoked **only** on w/w conflicts
      (paper §5: a reader never aborts a committing writer; it waits for the
-     quick commit and revalidates). *)
+     quick commit and revalidates).
+
+   In kernel axes: the mixed + invisible + incremental + redo point —
+   listed twice in the registry, since the composed twin
+   [k-mixed+inv+incr+redo] realizes the same policies on
+   [Kernel.Compose] (same axes, its own arbitration).  This file is
+   the wall-clock-gated exemption to the kernel refactor (DESIGN.md
+   §10): it keeps a private descriptor and hand-rolled begin/commit/
+   abort sequences, because routing them through the shared
+   [Kernel.Hooks]/[Kernel.Driver] — or merely switching to the kernel's
+   [Txdesc] — measurably slows its gated rw benchmark (non-flambda).
+   [test/test_kernel.ml] pins this file to its frozen snapshot. *)
 
 open Stm_intf
 

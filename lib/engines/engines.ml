@@ -11,6 +11,9 @@ type spec =
   | Rstm of Rstm.Rstm_engine.config
   | Mvstm of Mvstm.Mvstm_engine.config
   | Glock
+  | Kernel of Kernel.Compose.config
+      (* a composed design point from [Kernel.Registry] — combinations no
+         dedicated engine implements *)
 
 (* The paper's default configurations (§4): RSTM with eager conflict
    detection, invisible reads + commit-counter heuristic, Polka; TL2 with
@@ -64,6 +67,7 @@ let with_cm cm spec =
   | Rstm c -> Rstm { c with Rstm.Rstm_engine.cm }
   | Mvstm c -> Mvstm { c with Mvstm.Mvstm_engine.cm }
   | Glock -> Glock
+  | Kernel c -> Kernel { c with Kernel.Compose.cm }
 
 let name = function
   | Swisstm c ->
@@ -87,6 +91,10 @@ let name = function
         "mvstm"
       else Printf.sprintf "mvstm(%s)" (Cm.Cm_intf.spec_name c.cm)
   | Glock -> "glock"
+  | Kernel c ->
+      let base = Kernel.Compose.name_of_point c.Kernel.Compose.point in
+      if c.cm = Cm.Cm_intf.Polka then base
+      else Printf.sprintf "%s(%s)" base (Cm.Cm_intf.spec_name c.cm)
 
 (* What each engine promises about the reads of *aborted* transactions.
    Timestamp-validated engines (SwissTM, TL2, TinySTM), multi-version
@@ -102,6 +110,10 @@ type contract = Opaque | Serializable
 let contract = function
   | Rstm c when c.Rstm.Rstm_engine.visibility = Rstm.Rstm_engine.Invisible ->
       Serializable
+  | Kernel c -> (
+      match Kernel.Axes.contract_of c.Kernel.Compose.point with
+      | Kernel.Axes.Opaque -> Opaque
+      | Kernel.Axes.Serializable -> Serializable)
   | _ -> Opaque
 
 let make spec heap : Stm_intf.Engine.t =
@@ -112,6 +124,7 @@ let make spec heap : Stm_intf.Engine.t =
   | Rstm config -> Rstm.Rstm_engine.engine ~config heap
   | Mvstm config -> Mvstm.Mvstm_engine.engine ~config heap
   | Glock -> Glock.Glock_engine.engine heap
+  | Kernel config -> Kernel.Compose.engine ~config config.point heap
 
 (* Granularity override across engine families (Figure 13 / Table 2). *)
 let with_granularity gran spec =
@@ -122,6 +135,7 @@ let with_granularity gran spec =
   | Rstm c -> Rstm { c with granularity_words = gran }
   | Mvstm c -> Mvstm { c with granularity_words = gran }
   | Glock -> Glock
+  | Kernel c -> Kernel { c with granularity_words = gran }
 
 (* Smaller lock/version tables for workloads touching few addresses (the
    fuzzer builds a fresh engine per run; 2^18-entry tables dominate its
@@ -135,6 +149,16 @@ let with_table_bits bits spec =
   | Rstm c -> Rstm { c with table_bits = bits }
   | Mvstm c -> Mvstm { c with table_bits = bits }
   | Glock -> Glock
+  | Kernel c -> Kernel { c with table_bits = bits }
+
+(* Composed design points resolve through the kernel registry, so a name
+   like "k-eager-visible" is runnable everywhere a classic name is. *)
+let of_registry name =
+  match Kernel.Registry.find name with
+  | Some { Kernel.Registry.kind = Kernel.Registry.Composed; point = Some p; _ }
+    ->
+      Some (Kernel (Kernel.Compose.default_config p))
+  | _ -> None
 
 let of_string = function
   | "swisstm" -> Some swisstm
@@ -158,7 +182,13 @@ let of_string = function
   | "rstm-adaptive" -> Some (with_cm Cm.Cm_intf.default_adaptive rstm)
   | "mvstm-adaptive" -> Some (with_cm Cm.Cm_intf.default_adaptive mvstm)
   | "glock" -> Some Glock
-  | _ -> None
+  | name -> of_registry name
+
+let kernel_names =
+  List.filter_map
+    (fun (e : Kernel.Registry.entry) ->
+      match e.kind with Kernel.Registry.Composed -> Some e.name | _ -> None)
+    Kernel.Registry.entries
 
 let known_names =
   [
@@ -168,3 +198,4 @@ let known_names =
     "swisstm-adaptive"; "tl2-adaptive"; "tinystm-adaptive"; "rstm-adaptive";
     "mvstm-adaptive"; "glock";
   ]
+  @ kernel_names

@@ -10,6 +10,10 @@ type spec =
   | Rstm of Rstm.Rstm_engine.config
   | Mvstm of Mvstm.Mvstm_engine.config
   | Glock
+  | Kernel of Kernel.Compose.config
+      (** A composed design point from {!Kernel.Registry}: an axis
+          combination (acquisition × visibility × validation) that none of
+          the dedicated engines implements, run by {!Kernel.Compose}. *)
 
 val swisstm : spec
 (** The paper's SwissTM: mixed invalidation, two-phase CM, 4-word stripes. *)
@@ -79,4 +83,10 @@ val with_table_bits : int -> spec -> spec
     conflicts. *)
 
 val of_string : string -> spec option
+(** Resolves the classic names plus every composed point registered in
+    {!Kernel.Registry} (the ["k-..."] names). *)
+
+val kernel_names : string list
+(** Names of the composed (kernel-only) design points, in registry order. *)
+
 val known_names : string list

@@ -1,0 +1,501 @@
+(* The composed kernel engine: one implementation parameterized by the
+   policy axes in [Axes], covering design points none of the five classic
+   engines occupy (and, redundantly, the points they do).
+
+   Stripe metadata is a SwissTM-style split lock pair sharing one cache
+   line:
+
+   - [w_lock]  : owning writer + 1 (0 = free), CASed at acquisition time —
+     encounter time for Eager/Mixed, commit time for Lazy;
+   - [r_lock]  : (version << 1), or 1 while *frozen* — readers are held
+     off.  Freeze time is the second half of the acquisition axis: Eager
+     freezes at encounter (TinySTM-style: a writer blocks readers for its
+     whole duration), Mixed and Lazy only for the commit write-back
+     (SwissTM-style);
+   - [readers] : visible-reader bitmap (Visible mode only).
+
+   Readers that meet a long-lived freeze (Eager) or an owned stripe
+   (Visible) arbitrate through the contention manager, so no composition
+   can deadlock on a Timid manager: someone aborts.  A short commit-time
+   freeze is waited out, SwissTM's "a reader never aborts a committing
+   writer".
+
+   Validation (Invisible compositions only):
+   - [Commit_time]  : TL2 — abort reads past the snapshot, validate the
+     read set once at commit;
+   - [Incremental]  : SwissTM/TinySTM — timestamp extension at read time,
+     exact revalidation at commit;
+   - [Counter]      : RSTM — revalidate when the global commit counter
+     moved; no per-read opacity guarantee (Serializable contract).
+
+   Visible compositions need no read log at all: every write to a stripe
+   we read must drain our reader bit first, so reads stay valid by
+   construction.
+
+   Versioning is Redo only; Multi remains classic MVSTM's (the chain
+   walk is not worth generalizing — paper §6 found no advantage). *)
+
+open Stm_intf
+
+type config = {
+  point : Axes.point;
+  cm : Cm.Cm_intf.spec;
+  granularity_words : int;
+  table_bits : int;
+  seed : int;
+}
+
+let default_config point =
+  {
+    point;
+    cm = Cm.Cm_intf.Polka;
+    granularity_words = 4;
+    table_bits = 18;
+    seed = 0xC0FFEE;
+  }
+
+type t = {
+  heap : Memory.Heap.t;
+  stripe : Memory.Stripe.t;
+  w_locks : Runtime.Tmatomic.t array;
+  r_locks : Runtime.Tmatomic.t array;
+  readers : Runtime.Tmatomic.t array;
+  clock : Runtime.Tmatomic.t;
+  point : Axes.point;
+  cm : Cm.Cm_intf.t;
+  descs : Txdesc.t array;
+  stats : Stats.t;
+  eid : int;
+  ser : Serial.t;
+}
+
+let name_of_point point = "k-" ^ Axes.point_name point
+
+let r_frozen = 1
+let is_frozen rv = rv land 1 = 1
+let encode_version v = v lsl 1
+let version_of rv = rv lsr 1
+
+let create ?config point heap =
+  let config = match config with Some c -> c | None -> default_config point in
+  if point.Axes.versioning = Axes.Multi then
+    invalid_arg "Kernel.Compose: Multi versioning is classic mvstm only";
+  let stripe =
+    Memory.Stripe.create ~granularity_words:config.granularity_words
+      ~table_bits:config.table_bits ()
+  in
+  let n = Memory.Stripe.table_size stripe in
+  let lines = Array.init n (fun _ -> Runtime.Tmatomic.fresh_line ()) in
+  {
+    heap;
+    stripe;
+    w_locks = Array.init n (fun i -> Runtime.Tmatomic.make_shared lines.(i) 0);
+    r_locks = Array.init n (fun i -> Runtime.Tmatomic.make_shared lines.(i) 0);
+    readers = Array.init n (fun i -> Runtime.Tmatomic.make_shared lines.(i) 0);
+    clock = Runtime.Tmatomic.make 0;
+    point;
+    cm = Cm.Factory.make config.cm;
+    descs =
+      Array.init Stats.max_threads (fun tid ->
+          Txdesc.create ~tid ~seed:config.seed);
+    stats = Stats.create ();
+    eid = Obs.Metrics.register_engine (name_of_point point);
+    ser = Serial.create ();
+  }
+
+(* --- rollback --------------------------------------------------------- *)
+
+let retract_visible t (d : Txdesc.t) =
+  Ivec.iter
+    (fun idx ->
+      let r = t.readers.(idx) in
+      let bit = 1 lsl d.tid in
+      let rec clear () =
+        let cur = Runtime.Tmatomic.get r in
+        if cur land bit <> 0 then
+          if not (Runtime.Tmatomic.cas r ~expect:cur ~replace:(cur land lnot bit))
+          then clear ()
+      in
+      clear ())
+    d.vread_stripes
+
+(* [acq_saved] holds the pre-freeze r-lock values, aligned with the
+   frozen prefix of [acq_stripes] (all of it for Eager, none of it before
+   commit for Mixed/Lazy). *)
+let release_locks t (d : Txdesc.t) =
+  let frozen = Ivec.length d.acq_saved in
+  for i = 0 to frozen - 1 do
+    Runtime.Tmatomic.set
+      t.r_locks.(Ivec.unsafe_get d.acq_stripes i)
+      (Ivec.unsafe_get d.acq_saved i)
+  done;
+  Ivec.iter (fun idx -> Runtime.Tmatomic.set t.w_locks.(idx) 0) d.acq_stripes
+
+let rollback t (d : Txdesc.t) reason =
+  Hooks.phase_commit d.tid;
+  release_locks t d;
+  retract_visible t d;
+  Hooks.rollback ~stats:t.stats ~cm:t.cm ~ser:t.ser d ~reason
+
+let check_kill t d =
+  if Hooks.kill_due ~ser:t.ser d then rollback t d Tx_signal.Killed
+
+(* --- validation (Invisible only) --------------------------------------- *)
+
+(* [exact]: every entry must still carry the version logged at read time
+   (Incremental extension / Counter revalidation).  Non-exact (TL2): the
+   version must merely not have passed the snapshot.  A stripe we froze
+   ourselves validates against the version saved at freeze time. *)
+let validate t (d : Txdesc.t) ~exact =
+  let prof_prev = Hooks.phase_enter_validate d.tid in
+  let costs = Runtime.Costs.get () in
+  let n = Ivec.length d.read_stripes in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    Runtime.Exec.tick costs.validate_entry;
+    let idx = Ivec.unsafe_get d.read_stripes !i in
+    let logged = Ivec.unsafe_get d.read_versions !i in
+    let rv = Runtime.Tmatomic.get t.r_locks.(idx) in
+    let v =
+      if is_frozen rv then begin
+        if Runtime.Tmatomic.get t.w_locks.(idx) = d.tid + 1 then begin
+          let s = Wlog.probe d.acq_version idx in
+          if s >= 0 then Wlog.slot_value d.acq_version s else -1
+        end
+        else -1  (* frozen by another committer: conflicting *)
+      end
+      else version_of rv
+    in
+    if v < 0 then ok := false
+    else if exact then begin if v <> logged then ok := false end
+    else if v > d.valid_ts then ok := false;
+    incr i
+  done;
+  Hooks.phase_restore d.tid prof_prev;
+  !ok
+
+(* Policy reaction to a version past the snapshot, at read/write time. *)
+let settle_version t (d : Txdesc.t) version =
+  if version > d.valid_ts then
+    match t.point.Axes.validation with
+    | Axes.Commit_time ->
+        (* TL2: no extension *)
+        rollback t d Tx_signal.Rw_validation
+    | Axes.Incremental ->
+        let ts = Runtime.Tmatomic.get t.clock in
+        if validate t d ~exact:true then d.valid_ts <- ts
+        else rollback t d Tx_signal.Rw_validation
+    | Axes.Counter ->
+        (* commit-counter heuristic: revalidate, adopt the newer snapshot
+           even though individual reads may now span it (Serializable) *)
+        let cc = Runtime.Tmatomic.get t.clock in
+        if validate t d ~exact:true then d.valid_ts <- cc
+        else rollback t d Tx_signal.Rw_validation
+
+(* --- read -------------------------------------------------------------- *)
+
+(* CM-arbitrated wait on the owner of [idx] (long-lived conflicts:
+   Eager freeze, Visible read of an owned stripe, w/w encounters). *)
+let cm_wait t (d : Txdesc.t) idx ~owner ~reason =
+  check_kill t d;
+  Hooks.stripe_conflict ~eid:t.eid ~stripe:idx;
+  let victim = (t.descs.(owner - 1)).info in
+  match Hooks.cm_resolve ~stats:t.stats ~ser:t.ser ~cm:t.cm d ~victim with
+  | Cm.Cm_intf.Abort_self -> rollback t d reason
+  | Cm.Cm_intf.Wait | Cm.Cm_intf.Killed_victim ->
+      Stats.wait t.stats ~tid:d.tid;
+      Runtime.Exec.pause ()
+
+let rec read_invisible t (d : Txdesc.t) idx addr (costs : Runtime.Costs.t) =
+  let rv = Runtime.Tmatomic.get t.r_locks.(idx) in
+  if is_frozen rv then begin
+    (* Frozen by an encounter-time writer (long-lived: arbitrate) or by a
+       committer mid-write-back (short: wait it out). *)
+    let wv = Runtime.Tmatomic.get t.w_locks.(idx) in
+    if t.point.Axes.acquisition = Axes.Eager && wv <> 0 && wv <> d.tid + 1
+    then cm_wait t d idx ~owner:wv ~reason:Tx_signal.Rw_validation
+    else begin
+      Stats.wait t.stats ~tid:d.tid;
+      check_kill t d;
+      Runtime.Exec.pause ()
+    end;
+    read_invisible t d idx addr costs
+  end
+  else begin
+    Runtime.Exec.tick costs.mem;
+    let value = Memory.Heap.unsafe_read t.heap addr in
+    let rv2 = Runtime.Tmatomic.get t.r_locks.(idx) in
+    if rv2 <> rv then read_invisible t d idx addr costs
+    else begin
+      let version = version_of rv in
+      Runtime.Exec.tick costs.log_append;
+      Ivec.push d.read_stripes idx;
+      Ivec.push d.read_versions version;
+      d.info.accesses <- d.info.accesses + 1;
+      (match t.point.Axes.validation with
+      | Axes.Counter ->
+          (* revalidate whenever the commit counter moved since the last
+             look, not just when this read is past the snapshot *)
+          let cc = Runtime.Tmatomic.get t.clock in
+          if cc <> d.valid_ts then settle_version t d (d.valid_ts + 1)
+      | Axes.Commit_time | Axes.Incremental -> settle_version t d version);
+      value
+    end
+  end
+
+let rec read_visible t (d : Txdesc.t) idx addr (costs : Runtime.Costs.t) =
+  (* Announce BEFORE reading: a writer acquiring afterwards must drain our
+     bit; writers that acquired before are caught by the ownership check. *)
+  if not (Wlog.mem d.vread_seen idx) then begin
+    let r = t.readers.(idx) in
+    let bit = 1 lsl d.tid in
+    let rec announce () =
+      let cur = Runtime.Tmatomic.get r in
+      if cur land bit = 0 then
+        if not (Runtime.Tmatomic.cas r ~expect:cur ~replace:(cur lor bit)) then
+          announce ()
+    in
+    announce ();
+    Wlog.replace d.vread_seen idx 1;
+    Ivec.push d.vread_stripes idx
+  end;
+  let wv = Runtime.Tmatomic.get t.w_locks.(idx) in
+  if wv <> 0 && wv <> d.tid + 1 then begin
+    cm_wait t d idx ~owner:wv ~reason:Tx_signal.Rw_validation;
+    read_visible t d idx addr costs
+  end
+  else begin
+    let rv = Runtime.Tmatomic.get t.r_locks.(idx) in
+    if is_frozen rv then begin
+      Stats.wait t.stats ~tid:d.tid;
+      check_kill t d;
+      Runtime.Exec.pause ();
+      read_visible t d idx addr costs
+    end
+    else begin
+      Runtime.Exec.tick costs.mem;
+      let value = Memory.Heap.unsafe_read t.heap addr in
+      let rv2 = Runtime.Tmatomic.get t.r_locks.(idx) in
+      if rv2 <> rv then read_visible t d idx addr costs
+      else begin
+        d.info.accesses <- d.info.accesses + 1;
+        value
+      end
+    end
+  end
+
+let read_word t (d : Txdesc.t) addr =
+  let costs = Runtime.Costs.get () in
+  Stats.read t.stats ~tid:d.tid;
+  check_kill t d;
+  let idx = Memory.Stripe.index t.stripe addr in
+  if Runtime.Tmatomic.get t.w_locks.(idx) = d.tid + 1 then begin
+    (* Own stripe: redo log, else stable memory. *)
+    Runtime.Exec.tick costs.log_lookup;
+    let s = Wlog.probe d.wset addr in
+    if s >= 0 then Wlog.slot_value d.wset s
+    else begin
+      Runtime.Exec.tick costs.mem;
+      Memory.Heap.unsafe_read t.heap addr
+    end
+  end
+  else begin
+    (* Lazy acquisition may have buffered a write without owning. *)
+    let s =
+      if t.point.Axes.acquisition = Axes.Lazy && not (Wlog.is_empty d.wset)
+      then begin
+        Runtime.Exec.tick costs.log_lookup;
+        Wlog.probe d.wset addr
+      end
+      else -1
+    in
+    if s >= 0 then Wlog.slot_value d.wset s
+    else
+      match t.point.Axes.visibility with
+      | Axes.Invisible -> read_invisible t d idx addr costs
+      | Axes.Visible -> read_visible t d idx addr costs
+  end
+
+(* --- write ------------------------------------------------------------- *)
+
+(* Abort or wait out every visible reader of [idx] other than ourselves. *)
+let drain_readers t (d : Txdesc.t) idx =
+  let r = t.readers.(idx) in
+  let mine = 1 lsl d.tid in
+  let rec go () =
+    let cur = Runtime.Tmatomic.get r in
+    let others = cur land lnot mine in
+    if others <> 0 then begin
+      check_kill t d;
+      let victim_tid =
+        let b = others land -others in
+        let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
+        log2 b 0
+      in
+      let victim = (t.descs.(victim_tid)).info in
+      (match Hooks.cm_resolve ~stats:t.stats ~ser:t.ser ~cm:t.cm d ~victim with
+      | Cm.Cm_intf.Abort_self -> rollback t d Tx_signal.Rw_validation
+      | Cm.Cm_intf.Wait | Cm.Cm_intf.Killed_victim ->
+          Stats.wait t.stats ~tid:d.tid;
+          Runtime.Exec.pause ());
+      go ()
+    end
+  in
+  go ()
+
+(* Freeze [idx]'s r-lock (we hold its w-lock), saving the pre-freeze value
+   for abort restoration and the version for self-validation. *)
+let freeze_stripe t (d : Txdesc.t) idx =
+  let rv = Runtime.Tmatomic.get t.r_locks.(idx) in
+  Ivec.push d.acq_saved rv;
+  Wlog.replace d.acq_version idx (version_of rv);
+  Runtime.Tmatomic.set t.r_locks.(idx) r_frozen;
+  if t.point.Axes.visibility = Axes.Visible then drain_readers t d idx;
+  version_of rv
+
+(* CM-arbitrated w-lock acquisition (Eager/Mixed at encounter, Lazy at
+   commit). *)
+let acquire_w t (d : Txdesc.t) idx =
+  let w = t.w_locks.(idx) in
+  let rec go () =
+    let wv = Runtime.Tmatomic.get w in
+    if wv <> 0 && wv <> d.tid + 1 then begin
+      cm_wait t d idx ~owner:wv ~reason:Tx_signal.Ww_conflict;
+      go ()
+    end
+    else if wv = 0 then
+      if not (Runtime.Tmatomic.cas w ~expect:0 ~replace:(d.tid + 1)) then go ()
+  in
+  go ();
+  Hooks.inject_stall d;
+  Ivec.push d.acq_stripes idx;
+  t.cm.on_write d.info ~writes:(Ivec.length d.acq_stripes)
+
+let write_word t (d : Txdesc.t) addr value =
+  let costs = Runtime.Costs.get () in
+  Stats.write t.stats ~tid:d.tid;
+  check_kill t d;
+  let idx = Memory.Stripe.index t.stripe addr in
+  (match t.point.Axes.acquisition with
+  | Axes.Lazy ->
+      if not (Wlog.mem d.wstripe_seen idx) then begin
+        Wlog.replace d.wstripe_seen idx 1;
+        Ivec.push d.wstripes idx
+      end
+  | Axes.Eager | Axes.Mixed ->
+      if Runtime.Tmatomic.get t.w_locks.(idx) <> d.tid + 1 then begin
+        acquire_w t d idx;
+        let version =
+          if t.point.Axes.acquisition = Axes.Eager then freeze_stripe t d idx
+          else version_of (Runtime.Tmatomic.get t.r_locks.(idx))
+        in
+        d.info.accesses <- d.info.accesses + 1;
+        (* Opacity: the stripe may have moved past our snapshot between our
+           reads and this acquisition. *)
+        if t.point.Axes.visibility = Axes.Invisible then
+          settle_version t d version
+      end);
+  Runtime.Exec.tick costs.log_append;
+  Wlog.replace d.wset addr value
+
+(* --- commit ------------------------------------------------------------ *)
+
+let commit t (d : Txdesc.t) =
+  Hooks.commit_entry d;
+  check_kill t d;
+  let ro =
+    match t.point.Axes.acquisition with
+    | Axes.Lazy -> Wlog.is_empty d.wset
+    | Axes.Eager | Axes.Mixed -> Txdesc.is_read_only d
+  in
+  if ro then begin
+    retract_visible t d;
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
+  end
+  else begin
+    (* Eager/Mixed waiters hold encounter-time locks, so the commit gate
+       polls the kill flag (the irrevocable transaction can abort them
+       out); a Lazy waiter holds nothing but polling is harmless. *)
+    Hooks.enter_update_commit ~ser:t.ser
+      ~gate_check:(fun () -> check_kill t d)
+      d;
+    Hooks.inject_stretch d;
+    (match t.point.Axes.acquisition with
+    | Axes.Lazy ->
+        Ivec.iter
+          (fun idx ->
+            if Runtime.Tmatomic.get t.w_locks.(idx) <> d.tid + 1 then
+              acquire_w t d idx)
+          d.wstripes;
+        Ivec.iter (fun idx -> ignore (freeze_stripe t d idx)) d.acq_stripes
+    | Axes.Mixed ->
+        Ivec.iter (fun idx -> ignore (freeze_stripe t d idx)) d.acq_stripes
+    | Axes.Eager -> () (* frozen since encounter *));
+    let ts = Runtime.Tmatomic.incr_get t.clock in
+    (if
+       t.point.Axes.visibility = Axes.Invisible
+       && ts > d.valid_ts + 1
+       && not (validate t d ~exact:(t.point.Axes.validation <> Axes.Commit_time))
+     then rollback t d Tx_signal.Rw_validation);
+    Vlock.write_back ~heap:t.heap d;
+    Ivec.iter
+      (fun idx ->
+        Runtime.Tmatomic.set t.r_locks.(idx) (encode_version ts);
+        Runtime.Tmatomic.set t.w_locks.(idx) 0)
+      d.acq_stripes;
+    retract_visible t d;
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
+  end
+
+let start t (d : Txdesc.t) ~restart =
+  Hooks.tx_begin ~eid:t.eid d;
+  t.cm.on_start d.info ~restart;
+  d.valid_ts <- Runtime.Tmatomic.get t.clock;
+  Hooks.phase_other d.tid
+
+let emergency_release t (d : Txdesc.t) =
+  release_locks t d;
+  retract_visible t d;
+  Hooks.emergency ~cm:t.cm ~ser:t.ser d
+
+let driver_ops t : Txdesc.t Driver.ops =
+  {
+    Driver.ser = t.ser;
+    cm = t.cm;
+    descs = t.descs;
+    info = (fun (d : Txdesc.t) -> d.info);
+    get_depth = (fun (d : Txdesc.t) -> d.depth);
+    set_depth = (fun (d : Txdesc.t) n -> d.depth <- n);
+    start = (fun d ~restart -> start t d ~restart);
+    commit = (fun d -> commit t d);
+    emergency = (fun d -> emergency_release t d);
+  }
+
+let check_tid t tid =
+  if t.point.Axes.visibility = Axes.Visible && tid >= 62 then
+    invalid_arg "Kernel.Compose: visible-reader bitmap limits tid < 62"
+
+let atomic t ~tid f =
+  check_tid t tid;
+  Driver.run (driver_ops t) ~tid ~irrevocable:false f
+
+let atomic_irrevocable t ~tid f =
+  check_tid t tid;
+  Driver.run (driver_ops t) ~tid ~irrevocable:true f
+
+let engine ?config point heap : Engine.t =
+  let t = create ?config point heap in
+  let dops = driver_ops t in
+  let ops =
+    Package.ops_array ~heap ~descs:t.descs ~read:(read_word t)
+      ~write:(write_word t)
+  in
+  Package.make ~name:(name_of_point t.point) ~heap ~stats:t.stats ~ops
+    ~runner:
+      {
+        Package.run =
+          (fun ~tid ~irrevocable f ->
+            check_tid t tid;
+            Driver.run dops ~tid ~irrevocable f);
+      }

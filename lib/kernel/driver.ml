@@ -1,0 +1,78 @@
+(* The retry driver shared by every engine: flat nesting, graceful
+   degradation to irrevocability, and the emergency unwind.  This loop
+   was copied verbatim in all five engines; it lives here once now.
+
+   Escalation protocol (before each attempt, outside any snapshot or
+   lock):
+
+   - once [succ_aborts] reaches the manager's budget (or the caller asked
+     for irrevocability), acquire the token, drain in-flight commits, and
+     run with [cm_ts = 0] so every conflict resolves our way;
+   - otherwise let the manager throttle us ([pre_attempt] may block) and
+     defer to any irrevocable transaction at the start gate.  A thread
+     parked there is idle — no locks, no published snapshot, kill flag
+     cleared on the next [start] — so the gate needs no kill polling.
+
+   Engines register their policy entry points in an ['d ops] record once
+   at creation, so running a transaction allocates no closures beyond
+   the [attempt] loop every engine already allocated. *)
+
+open Stm_intf
+
+type 'd ops = {
+  ser : Serial.t;
+  cm : Cm.Cm_intf.t;
+  descs : 'd array;
+  info : 'd -> Cm.Cm_intf.txinfo;
+  get_depth : 'd -> int;
+  set_depth : 'd -> int -> unit;
+  start : 'd -> restart:bool -> unit;
+  commit : 'd -> unit;
+  emergency : 'd -> unit;  (** release everything on a foreign exception *)
+}
+
+let nop_gate_check () = ()
+
+let run (o : 'd ops) ~tid ~irrevocable f =
+  let d = o.descs.(tid) in
+  if o.get_depth d > 0 then begin
+    (* Flat nesting: an inner atomic block joins the enclosing one. *)
+    o.set_depth d (o.get_depth d + 1);
+    Fun.protect
+      ~finally:(fun () -> o.set_depth d (o.get_depth d - 1))
+      (fun () -> f d)
+  end
+  else
+    let info = o.info d in
+    let rec attempt ~restart =
+      if
+        (irrevocable
+        || info.Cm.Cm_intf.succ_aborts >= o.cm.Cm.Cm_intf.escalate_after)
+        && not (Serial.mine o.ser ~tid)
+      then begin
+        if !Obs.Metrics.on then Obs.Metrics.on_escalation ~tid;
+        Serial.acquire o.ser ~tid;
+        Serial.drain o.ser ~tid
+      end;
+      let escalated = Serial.mine o.ser ~tid in
+      o.cm.pre_attempt info ~escalated;
+      if (not escalated) && Serial.held_by_other o.ser ~tid then
+        Serial.gate o.ser ~tid ~check:nop_gate_check;
+      o.start d ~restart;
+      if escalated then info.Cm.Cm_intf.cm_ts <- 0;
+      o.set_depth d 1;
+      match f d with
+      | v ->
+          o.set_depth d 0;
+          (try
+             o.commit d;
+             v
+           with Tx_signal.Abort -> attempt ~restart:true)
+      | exception Tx_signal.Abort ->
+          o.set_depth d 0;
+          attempt ~restart:true
+      | exception e ->
+          o.emergency d;
+          raise e
+    in
+    attempt ~restart:false

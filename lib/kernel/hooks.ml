@@ -1,0 +1,174 @@
+(* Every Trace/Metrics/Profile/Inject call-site the engines share, plus
+   the common begin/commit/abort bookkeeping sequences, in one place.
+
+   The helpers are written so that an engine built on them charges the
+   exact same simulated cycles in the exact same order as the hand-rolled
+   code they replaced: everything here is tick-free except where a [tick]
+   is explicit, and helpers never wrap the [Tmatomic] operations engines
+   interleave between these calls.  All hook emissions sit behind the
+   collector flags, so the observability-off fast path stays a handful of
+   flag loads. *)
+
+open Stm_intf
+
+(* --- profiler phases -------------------------------------------------- *)
+
+let[@inline] phase_commit tid =
+  if !Runtime.Exec.prof_on then
+    Runtime.Exec.set_phase tid Runtime.Exec.ph_commit
+
+let[@inline] phase_other tid =
+  if !Runtime.Exec.prof_on then
+    Runtime.Exec.set_phase tid Runtime.Exec.ph_other
+
+(* Validation attributes its cycles to its own phase, whichever phase
+   (read, write or commit) triggered it; the caller restores the previous
+   phase with [phase_restore]. *)
+let[@inline] phase_enter_validate tid =
+  if !Runtime.Exec.prof_on then begin
+    let p = Runtime.Exec.get_phase tid in
+    Runtime.Exec.set_phase tid Runtime.Exec.ph_validate;
+    p
+  end
+  else 0
+
+let[@inline] phase_restore tid p =
+  if !Runtime.Exec.prof_on then Runtime.Exec.set_phase tid p
+
+(* --- fault injection -------------------------------------------------- *)
+
+(* Disarmed cost: one flag load.  [spurious_abort] consumes injector
+   randomness, so callers must preserve its position and short-circuit
+   behavior exactly. *)
+let[@inline] inject_abort (d : Txdesc.t) =
+  !Runtime.Inject.on && Runtime.Inject.spurious_abort ~tid:d.tid
+
+let[@inline] inject_stall (d : Txdesc.t) =
+  if !Runtime.Inject.on then Runtime.Inject.stall ~tid:d.tid
+
+let[@inline] inject_stretch (d : Txdesc.t) =
+  if !Runtime.Inject.on then Runtime.Inject.stretch ~tid:d.tid
+
+(* A kill is due when a contention manager requested one (the
+   irrevocability-token holder is exempt: it must win every conflict) or
+   the fault injector rolled one.  [Serial.mine] is only consulted behind
+   the kill flag, so the no-kill fast path is two flag loads. *)
+let[@inline] kill_due ~ser (d : Txdesc.t) =
+  (Cm.Cm_intf.kill_requested d.info && not (Serial.mine ser ~tid:d.tid))
+  || inject_abort d
+
+(* --- stripe conflicts ------------------------------------------------- *)
+
+let[@inline] stripe_conflict ~eid ~stripe =
+  if !Obs.Metrics.on then Obs.Metrics.on_stripe_conflict ~eid ~stripe
+
+(* --- contention-manager bridging -------------------------------------- *)
+
+(* The manager's backoff waits bump [info.backoffs]; harvest the delta
+   into [Stats] around each call so [s_backoffs] attributes them. *)
+let cm_on_rollback ~stats ~(cm : Cm.Cm_intf.t) (d : Txdesc.t) =
+  let b0 = d.info.Cm.Cm_intf.backoffs in
+  cm.on_rollback d.info;
+  let db = d.info.Cm.Cm_intf.backoffs - b0 in
+  if db > 0 then Stats.backoff stats ~tid:d.tid ~n:db
+
+(* Resolve a conflict, with the irrevocable-transaction override: the
+   token holder wins every conflict regardless of the manager's policy
+   (under timid-style managers Abort_self would deadlock against a victim
+   parked at the commit gate on a lock the holder needs). *)
+let cm_resolve ~stats ~ser ~(cm : Cm.Cm_intf.t) (d : Txdesc.t) ~victim =
+  if Serial.mine ser ~tid:d.tid then begin
+    Cm.Cm_intf.request_kill victim;
+    Cm.Cm_intf.Killed_victim
+  end
+  else begin
+    let b0 = d.info.Cm.Cm_intf.backoffs in
+    let decision = cm.resolve ~attacker:d.info ~victim in
+    let db = d.info.Cm.Cm_intf.backoffs - b0 in
+    if db > 0 then Stats.backoff stats ~tid:d.tid ~n:db;
+    decision
+  end
+
+(* --- transaction begin ------------------------------------------------ *)
+
+(* Common prefix of every engine's [start]: trace, profile phase, wasted-
+   cycle stamp, metrics, the begin tick, and the log reset.  The engine
+   finishes with its own ordering of [cm.on_start] vs the snapshot sample
+   (SwissTM samples *before* [on_start], the others after) and then
+   [phase_other]. *)
+let tx_begin ~eid (d : Txdesc.t) =
+  (* Begin is recorded BEFORE the snapshot is taken (Trace contract). *)
+  if !Trace.enabled then Trace.on_begin ~tid:d.tid;
+  phase_commit d.tid;
+  d.start_cycles <- Runtime.Exec.now ();
+  if !Obs.Metrics.on then Obs.Metrics.on_tx_begin ~eid ~tid:d.tid;
+  Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
+  Txdesc.clear_logs d
+
+(* --- commit ----------------------------------------------------------- *)
+
+(* Common prefix of every engine's [commit]: profile phase + end tick. *)
+let[@inline] commit_entry (d : Txdesc.t) =
+  phase_commit d.tid;
+  Runtime.Exec.tick (Runtime.Costs.get ()).tx_end
+
+(* Shared epilogue of every successful commit (read-only and update):
+   trace, stats, metrics, log reset, manager notification, token-state
+   cleanup.  [exit_commit] is an idempotent plain store, so calling it on
+   paths that never entered the commit section is free and harmless.
+   [allow_snapshot] is MVSTM's "may serve old versions again" latch;
+   setting it is a dead store for every other engine. *)
+let commit_done ~stats ~(cm : Cm.Cm_intf.t) ~ser (d : Txdesc.t) =
+  if !Trace.enabled then Trace.on_commit ~tid:d.tid;
+  Stats.commit stats ~tid:d.tid;
+  if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
+  Txdesc.clear_logs d;
+  d.allow_snapshot <- true;
+  cm.on_commit d.info;
+  Serial.exit_commit ser ~tid:d.tid;
+  Serial.release ser ~tid:d.tid
+
+(* Gate + commit-section entry of an update commit: defer to a running
+   irrevocable transaction, then mark ourselves committing and emit the
+   commit-start hooks.  [gate_check] polls the caller's kill flag while
+   parked (engines whose waiters hold locks must poll; lazy engines pass
+   a nop).  TinySTM passes [~gate:false]: its waiter holds encounter-time
+   locks the irrevocable transaction may need — a deadlock it cannot
+   break — so escalation there is a soft bound enforced at the start gate
+   only. *)
+let enter_update_commit ~ser ?gate_check (d : Txdesc.t) =
+  (match gate_check with
+  | Some check ->
+      if Serial.held_by_other ser ~tid:d.tid then
+        Serial.gate ser ~tid:d.tid ~check
+  | None -> ());
+  Serial.enter_commit ser ~tid:d.tid;
+  if !Obs.Metrics.on then Obs.Metrics.on_commit_start ~tid:d.tid
+
+(* --- abort ------------------------------------------------------------ *)
+
+(* Shared tail of every engine's [rollback], after the engine released
+   its locks / reader bits / privatization slot: trace, stats (including
+   the wasted-cycle charge), metrics, token-state cleanup, log reset, the
+   end tick, the manager's backoff, and the unwind.  Never returns. *)
+let rollback ~stats ~cm ~ser (d : Txdesc.t) ~reason =
+  if !Trace.enabled then Trace.on_abort ~tid:d.tid ~reason;
+  Stats.abort stats ~tid:d.tid reason;
+  Stats.wasted stats ~tid:d.tid
+    ~cycles:(max 0 (Runtime.Exec.now () - d.start_cycles));
+  if !Obs.Metrics.on then Obs.Metrics.on_tx_abort ~tid:d.tid ~reason;
+  Serial.exit_commit ser ~tid:d.tid;
+  Txdesc.clear_logs d;
+  Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
+  cm_on_rollback ~stats ~cm d;
+  Tx_signal.abort ()
+
+(* Release everything engine-independent on a non-[Abort] exception
+   escaping the body (the engine released its own locks first), so a user
+   bug cannot wedge the irrevocability token or the manager's throttle. *)
+let emergency ~(cm : Cm.Cm_intf.t) ~ser (d : Txdesc.t) =
+  Serial.exit_commit ser ~tid:d.tid;
+  Serial.release ser ~tid:d.tid;
+  cm.on_quit d.info;
+  Txdesc.clear_logs d;
+  d.depth <- 0

@@ -1,0 +1,97 @@
+(* The one transaction descriptor shared by every engine (the union of
+   the five per-engine descriptors the kernel refactor replaced).
+
+   Engines use the subset of fields their policies need; unused vectors
+   stay empty and their [clear] is O(1), so the union costs nothing on
+   the fast path.  Field roles by engine:
+
+   - [valid_ts]: SwissTM/TinySTM validation timestamp; TL2/MVSTM read
+     version [rv]; RSTM commit-counter snapshot [snap].
+   - [read_stripes]/[read_versions]: invisible-read log (TL2 logs only
+     stripes — versions are checked against [valid_ts] directly).
+   - [acq_stripes]: stripes whose write lock / ownership we hold, in
+     acquisition order ([acq_saved] the lock values to restore on abort,
+     [acq_version] stripe -> version at acquisition for validation).
+   - [wset]: word-granular redo log; [wstripes]/[wstripe_seen]: unique
+     stripes written, for lazy commit-time acquisition.
+   - [vread_stripes]/[vread_seen]: visible-reader bits we own.
+   - [sp_undo_*]/[savepoint]: SwissTM closed-nesting shadow log.
+   - [snapshot]/[allow_snapshot]: MVSTM old-version read mode. *)
+
+type savepoint = { sp_read_len : int; sp_acq_len : int }
+
+type t = {
+  (* Field order is part of the perf contract: the first fourteen fields
+     sit at the offsets the wall-clock-gated SwissTM engine's descriptor
+     always had; kernel-only additions append after them. *)
+  tid : int;
+  info : Cm.Cm_intf.txinfo;
+  mutable valid_ts : int;
+  read_stripes : Stm_intf.Ivec.t;
+  read_versions : Stm_intf.Ivec.t;
+  acq_stripes : Stm_intf.Ivec.t;
+  acq_saved : Stm_intf.Ivec.t;
+  wset : Stm_intf.Wlog.t;
+  sp_undo_addrs : Stm_intf.Ivec.t;
+  sp_undo_vals : Stm_intf.Ivec.t;
+  sp_undo_present : Stm_intf.Ivec.t;
+  mutable depth : int;
+  mutable savepoint : savepoint option;
+  mutable start_cycles : int;
+  acq_version : Stm_intf.Wlog.t;
+  wstripes : Stm_intf.Ivec.t;
+  wstripe_seen : Stm_intf.Wlog.t;
+  vread_stripes : Stm_intf.Ivec.t;
+  vread_seen : Stm_intf.Wlog.t;
+  mutable snapshot : bool;
+  mutable allow_snapshot : bool;
+}
+
+let create ~tid ~seed =
+  {
+    tid;
+    info = Cm.Cm_intf.make_txinfo ~tid ~seed;
+    valid_ts = 0;
+    read_stripes = Stm_intf.Ivec.create ();
+    read_versions = Stm_intf.Ivec.create ();
+    acq_stripes = Stm_intf.Ivec.create ();
+    acq_saved = Stm_intf.Ivec.create ();
+    acq_version = Stm_intf.Wlog.create ~bits:4 ();
+    wset = Stm_intf.Wlog.create ();
+    wstripes = Stm_intf.Ivec.create ();
+    wstripe_seen = Stm_intf.Wlog.create ();
+    vread_stripes = Stm_intf.Ivec.create ();
+    vread_seen = Stm_intf.Wlog.create ();
+    sp_undo_addrs = Stm_intf.Ivec.create ();
+    sp_undo_vals = Stm_intf.Ivec.create ();
+    sp_undo_present = Stm_intf.Ivec.create ();
+    savepoint = None;
+    snapshot = false;
+    allow_snapshot = true;
+    depth = 0;
+    start_cycles = 0;
+  }
+
+let clear_sp_undo d =
+  Stm_intf.Ivec.clear d.sp_undo_addrs;
+  Stm_intf.Ivec.clear d.sp_undo_vals;
+  Stm_intf.Ivec.clear d.sp_undo_present
+
+(* Clears every log (all O(1)); [allow_snapshot] survives — MVSTM uses it
+   to carry "this restart may not re-enter snapshot mode" across aborts. *)
+let clear_logs d =
+  d.savepoint <- None;
+  clear_sp_undo d;
+  Stm_intf.Ivec.clear d.read_stripes;
+  Stm_intf.Ivec.clear d.read_versions;
+  Stm_intf.Ivec.clear d.acq_stripes;
+  Stm_intf.Ivec.clear d.acq_saved;
+  Stm_intf.Wlog.clear d.acq_version;
+  Stm_intf.Wlog.clear d.wset;
+  Stm_intf.Ivec.clear d.wstripes;
+  Stm_intf.Wlog.clear d.wstripe_seen;
+  Stm_intf.Ivec.clear d.vread_stripes;
+  Stm_intf.Wlog.clear d.vread_seen;
+  d.snapshot <- false
+
+let is_read_only d = Stm_intf.Ivec.length d.acq_stripes = 0

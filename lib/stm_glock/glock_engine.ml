@@ -83,7 +83,7 @@ let engine heap : Engine.t =
       alloc = (fun n -> Memory.Heap.alloc heap n);
     }
   in
-  let run ~tid f =
+  let rec run ~tid f =
     if depth.(tid) > 0 then begin
       depth.(tid) <- depth.(tid) + 1;
       Fun.protect ~finally:(fun () -> depth.(tid) <- depth.(tid) - 1)
@@ -97,27 +97,44 @@ let engine heap : Engine.t =
       if !Obs.Metrics.on then Obs.Metrics.on_tx_begin ~eid:t.eid ~tid;
       Runtime.Exec.tick (costs ()).tx_begin;
       acquire t ~tid;
-      (* The only injectable fault here is a holder stall: the global lock
-         admits no aborts and no distinct commit window. *)
       if !Runtime.Inject.on then Runtime.Inject.stall ~tid;
-      if !Runtime.Exec.prof_on then
-        Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
-      depth.(tid) <- 1;
-      Fun.protect
-        ~finally:(fun () ->
-          depth.(tid) <- 0;
-          if !Runtime.Exec.prof_on then
-            Runtime.Exec.set_phase tid Runtime.Exec.ph_commit;
-          release t;
-          Runtime.Exec.tick (costs ()).tx_end;
-          if !Runtime.Exec.prof_on then
-            Runtime.Exec.set_phase tid Runtime.Exec.ph_other)
-        (fun () ->
-          let v = f (ops tid) in
-          if !Trace.enabled then Trace.on_commit ~tid;
-          Stats.commit t.stats ~tid;
-          if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid;
-          v)
+      (* A spurious abort models losing the CPU to a fault just after
+         acquisition: nothing was executed or written yet (glock has no
+         speculation), so recovery is release-and-retry from scratch. *)
+      if !Runtime.Inject.on && Runtime.Inject.spurious_abort ~tid then begin
+        release t;
+        Runtime.Exec.tick (costs ()).tx_end;
+        if !Trace.enabled then Trace.on_abort ~tid ~reason:Tx_signal.Killed;
+        Stats.abort t.stats ~tid Tx_signal.Killed;
+        if !Obs.Metrics.on then
+          Obs.Metrics.on_tx_abort ~tid ~reason:Tx_signal.Killed;
+        if !Runtime.Exec.prof_on then
+          Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
+        run ~tid f
+      end
+      else begin
+        if !Runtime.Exec.prof_on then
+          Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
+        depth.(tid) <- 1;
+        Fun.protect
+          ~finally:(fun () ->
+            depth.(tid) <- 0;
+            if !Runtime.Exec.prof_on then
+              Runtime.Exec.set_phase tid Runtime.Exec.ph_commit;
+            (* Stretch lands inside the critical section, where it delays
+               every waiter on the global lock. *)
+            if !Runtime.Inject.on then Runtime.Inject.stretch ~tid;
+            release t;
+            Runtime.Exec.tick (costs ()).tx_end;
+            if !Runtime.Exec.prof_on then
+              Runtime.Exec.set_phase tid Runtime.Exec.ph_other)
+          (fun () ->
+            let v = f (ops tid) in
+            if !Trace.enabled then Trace.on_commit ~tid;
+            Stats.commit t.stats ~tid;
+            if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid;
+            v)
+      end
     end
   in
   {

@@ -26,9 +26,15 @@
    Intended for the simulator: chain heads are plain (non-atomic) words,
    fine under the cooperative scheduler but racy on native domains (a
    native reader may briefly miss the newest record and retry via the
-   lock double-check). *)
+   lock double-check).
+
+   In kernel axes this is lazy + invisible + commit-time + MULTI
+   versioning: TL2's commit path (all in [Kernel.Vlock]) with the version-
+   chain maintenance spliced in between validation and write-back, and the
+   snapshot-mode read layered over the invisible read. *)
 
 open Stm_intf
+open Kernel
 
 type config = {
   granularity_words : int;
@@ -56,22 +62,6 @@ let vr_prev = 1
 let vr_nwords = 2
 let vr_pairs = 3
 
-type desc = {
-  tid : int;
-  info : Cm.Cm_intf.txinfo;
-  mutable rv : int;
-  mutable snapshot : bool;  (* serving old versions; write set must stay empty *)
-  mutable allow_snapshot : bool;  (* disabled after a write hits snapshot mode *)
-  read_stripes : Ivec.t;
-  wset : Wlog.t;
-  wstripes : Ivec.t;
-  wstripe_seen : Wlog.t;
-  acq_saved : Ivec.t;
-  acq_version : Wlog.t;
-  mutable depth : int;
-  mutable start_cycles : int;  (* virtual time at attempt start *)
-}
-
 type t = {
   heap : Memory.Heap.t;
   stripe : Memory.Stripe.t;
@@ -79,7 +69,7 @@ type t = {
   hist : int array;  (** per-stripe version-chain head (heap address or 0) *)
   chain_len : int array;
   clock : Runtime.Tmatomic.t;
-  descs : desc array;
+  descs : Txdesc.t array;
   stats : Stats.t;
   eid : int;  (* metrics-registry engine id *)
   cm : Cm.Cm_intf.t;
@@ -89,11 +79,6 @@ type t = {
 }
 
 let name = "mvstm"
-
-let unlocked_of_version v = v lsl 1
-let is_locked lv = lv land 1 = 1
-let version_of lv = lv lsr 1
-let locked_by tid = ((tid + 1) lsl 1) lor 1
 
 let create ?(config = default_config) heap =
   let stripe =
@@ -110,21 +95,7 @@ let create ?(config = default_config) heap =
     clock = Runtime.Tmatomic.make 0;
     descs =
       Array.init Stats.max_threads (fun tid ->
-          {
-            tid;
-            info = Cm.Cm_intf.make_txinfo ~tid ~seed:config.seed;
-            rv = 0;
-            snapshot = false;
-            allow_snapshot = true;
-            read_stripes = Ivec.create ();
-            wset = Wlog.create ();
-            wstripes = Ivec.create ();
-            wstripe_seen = Wlog.create ();
-            acq_saved = Ivec.create ();
-            acq_version = Wlog.create ~bits:4 ();
-            depth = 0;
-            start_cycles = 0;
-          });
+          Txdesc.create ~tid ~seed:config.seed);
     stats = Stats.create ();
     eid = Obs.Metrics.register_engine name;
     cm = Cm.Factory.make config.cm;
@@ -133,42 +104,19 @@ let create ?(config = default_config) heap =
     snapshot_reads = Runtime.Tmatomic.make 0;
   }
 
-let clear_logs d =
-  Ivec.clear d.read_stripes;
-  Wlog.clear d.wset;
-  Ivec.clear d.wstripes;
-  Wlog.clear d.wstripe_seen;
-  Wlog.clear d.acq_version;
-  Ivec.clear d.acq_saved;
-  d.snapshot <- false
+let rollback t (d : Txdesc.t) reason =
+  Hooks.phase_commit d.tid;
+  Hooks.rollback ~stats:t.stats ~cm:t.cm ~ser:t.ser d ~reason
 
-let rollback t d reason =
-  if !Runtime.Exec.prof_on then
-    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
-  if !Trace.enabled then Trace.on_abort ~tid:d.tid ~reason;
-  Stats.abort t.stats ~tid:d.tid reason;
-  Stats.wasted t.stats ~tid:d.tid
-    ~cycles:(max 0 (Runtime.Exec.now () - d.start_cycles));
-  if !Obs.Metrics.on then Obs.Metrics.on_tx_abort ~tid:d.tid ~reason;
-  Serial.exit_commit t.ser ~tid:d.tid;
-  clear_logs d;
-  Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
-  (* The manager owns the retry back-off (the factory Timid reproduces the
-     stock linear policy); harvest its wait count into [Stats]. *)
-  let b0 = d.info.Cm.Cm_intf.backoffs in
-  t.cm.on_rollback d.info;
-  let db = d.info.Cm.Cm_intf.backoffs - b0 in
-  if db > 0 then Stats.backoff t.stats ~tid:d.tid ~n:db;
-  Tx_signal.abort ()
-
-(* Reconstruct the value [addr] had at snapshot [rv] by walking the
-   stripe's version chain newest-to-oldest; every record newer than [rv]
-   that touched [addr] pushes the reconstruction further into the past. *)
-let snapshot_read t d addr idx =
+(* Reconstruct the value [addr] had at the snapshot by walking the
+   stripe's version chain newest-to-oldest; every record newer than the
+   snapshot that touched [addr] pushes the reconstruction further into
+   the past. *)
+let snapshot_read t (d : Txdesc.t) addr idx =
   let costs = Runtime.Costs.get () in
   let rec stable_attempt () =
     let lv = Runtime.Tmatomic.get t.locks.(idx) in
-    if is_locked lv then begin
+    if Vlock.is_locked lv then begin
       Stats.wait t.stats ~tid:d.tid;
       Runtime.Exec.pause ();
       stable_attempt ()
@@ -183,12 +131,12 @@ let snapshot_read t d addr idx =
          -1 marks a truncation point (older values were dropped). *)
       let rec walk rec_addr =
         if rec_addr = -1 then
-          (* truncated before reaching rv: the old value is gone *)
+          (* truncated before reaching the snapshot: the old value is gone *)
           rollback t d Tx_signal.Rw_validation
         else if rec_addr <> 0 then begin
           Runtime.Exec.tick (costs.mem * 2);
           let v = Memory.Heap.unsafe_read t.heap (rec_addr + vr_version) in
-          if v > d.rv then begin
+          if v > d.valid_ts then begin
             let n = Memory.Heap.unsafe_read t.heap (rec_addr + vr_nwords) in
             for k = 0 to n - 1 do
               if Memory.Heap.unsafe_read t.heap (rec_addr + vr_pairs + (2 * k)) = addr
@@ -200,11 +148,11 @@ let snapshot_read t d addr idx =
             done;
             walk (Memory.Heap.unsafe_read t.heap (rec_addr + vr_prev))
           end
-          (* records at or below rv: the reconstruction is complete *)
+          (* records at or below the snapshot: reconstruction complete *)
         end
       in
       ignore !found;
-      if version_of lv > d.rv then walk t.hist.(idx);
+      if Vlock.version_of lv > d.valid_ts then walk t.hist.(idx);
       (* re-check the stripe did not move under us *)
       let lv2 = Runtime.Tmatomic.get t.locks.(idx) in
       if lv2 <> lv then stable_attempt ()
@@ -216,11 +164,10 @@ let snapshot_read t d addr idx =
   in
   stable_attempt ()
 
-let read_word t d addr =
+let read_word t (d : Txdesc.t) addr =
   let costs = Runtime.Costs.get () in
   Stats.read t.stats ~tid:d.tid;
-  if !Runtime.Inject.on && Runtime.Inject.spurious_abort ~tid:d.tid then
-    rollback t d Tx_signal.Killed;
+  if Hooks.inject_abort d then rollback t d Tx_signal.Killed;
   let idx = Memory.Stripe.index t.stripe addr in
   let s =
     if Wlog.is_empty d.wset then -1
@@ -237,11 +184,12 @@ let read_word t d addr =
     Runtime.Exec.tick costs.mem;
     let value = Memory.Heap.unsafe_read t.heap addr in
     let lv2 = Runtime.Tmatomic.get lock in
-    if is_locked lv1 || lv1 <> lv2 || version_of lv1 > d.rv then begin
-      if d.allow_snapshot && Wlog.is_empty d.wset && not (is_locked lv1)
+    if Vlock.is_locked lv1 || lv1 <> lv2 || Vlock.version_of lv1 > d.valid_ts
+    then begin
+      if d.allow_snapshot && Wlog.is_empty d.wset && not (Vlock.is_locked lv1)
       then begin
-        (* switch to snapshot mode: prior reads were all <= rv, and
-           from now on the chains serve the rv-consistent values *)
+        (* switch to snapshot mode: prior reads were all <= the snapshot,
+           and from now on the chains serve the consistent values *)
         d.snapshot <- true;
         snapshot_read t d addr idx
       end
@@ -254,11 +202,10 @@ let read_word t d addr =
     end
   end
 
-let write_word t d addr value =
+let write_word t (d : Txdesc.t) addr value =
   let costs = Runtime.Costs.get () in
   Stats.write t.stats ~tid:d.tid;
-  if !Runtime.Inject.on && Runtime.Inject.spurious_abort ~tid:d.tid then
-    rollback t d Tx_signal.Killed;
+  if Hooks.inject_abort d then rollback t d Tx_signal.Killed;
   if d.snapshot then begin
     (* writes are incompatible with serving old versions: restart as a
        plain update transaction *)
@@ -273,16 +220,9 @@ let write_word t d addr value =
     Ivec.push d.wstripes idx
   end
 
-let release_acquired t d ~upto =
-  for i = 0 to upto - 1 do
-    Runtime.Tmatomic.set
-      t.locks.(Ivec.unsafe_get d.wstripes i)
-      (Ivec.unsafe_get d.acq_saved i)
-  done
-
 (* Record the pre-commit values of the words we are about to overwrite in
    stripe [idx]; called with the stripe lock held. *)
-let push_version_record t d idx ~new_version =
+let push_version_record t (d : Txdesc.t) idx ~new_version =
   let costs = Runtime.Costs.get () in
   let words =
     Wlog.fold
@@ -318,220 +258,69 @@ let push_version_record t d idx ~new_version =
     else t.chain_len.(idx) <- t.chain_len.(idx) + 1
   end
 
-let gv4_bump t ~rv =
-  let cur = Runtime.Tmatomic.get t.clock in
-  if Runtime.Tmatomic.cas t.clock ~expect:cur ~replace:(cur + 1) then
-    (cur + 1, cur = rv)
-  else (Runtime.Tmatomic.get t.clock, false)
-
-let commit t d =
-  if !Runtime.Exec.prof_on then
-    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
-  let costs = Runtime.Costs.get () in
-  Runtime.Exec.tick costs.tx_end;
-  if Wlog.is_empty d.wset then begin
-    if !Trace.enabled then Trace.on_commit ~tid:d.tid;
-    Stats.commit t.stats ~tid:d.tid;
-    if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
-    clear_logs d;
-    d.allow_snapshot <- true;
-    t.cm.on_commit d.info;
-    Serial.release t.ser ~tid:d.tid
-  end
+let commit t (d : Txdesc.t) =
+  Hooks.commit_entry d;
+  if Wlog.is_empty d.wset then
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
   else begin
     (* Commit gate: freeze the clock while an irrevocable transaction
        runs; the waiter holds no locks yet (lazy acquisition). *)
-    if Serial.held_by_other t.ser ~tid:d.tid then
-      Serial.gate t.ser ~tid:d.tid ~check:(fun () -> ());
-    Serial.enter_commit t.ser ~tid:d.tid;
-    if !Obs.Metrics.on then Obs.Metrics.on_commit_start ~tid:d.tid;
-    if !Runtime.Inject.on then Runtime.Inject.stretch ~tid:d.tid;
-    let n = Ivec.length d.wstripes in
-    let i = ref 0 in
-    (try
-       while !i < n do
-         let idx = Ivec.unsafe_get d.wstripes !i in
-         let lock = t.locks.(idx) in
-         let lv = Runtime.Tmatomic.get lock in
-         if is_locked lv then raise Exit
-         else if not (Runtime.Tmatomic.cas lock ~expect:lv ~replace:(locked_by d.tid))
-         then raise Exit
-         else begin
-           if !Runtime.Inject.on then Runtime.Inject.stall ~tid:d.tid;
-           Ivec.push d.acq_saved lv;
-           Wlog.replace d.acq_version idx (version_of lv);
-           incr i
-         end
-       done
-     with Exit ->
-       (* [!i] indexes the stripe whose lock we lost — the conflict site. *)
-       if !Obs.Metrics.on then
-         Obs.Metrics.on_stripe_conflict ~eid:t.eid
-           ~stripe:(Ivec.unsafe_get d.wstripes !i);
-       release_acquired t d ~upto:!i;
-       rollback t d Tx_signal.Ww_conflict);
-    let wv, quiescent = gv4_bump t ~rv:d.rv in
-    if not quiescent then begin
-      if !Runtime.Exec.prof_on then
-        Runtime.Exec.set_phase d.tid Runtime.Exec.ph_validate;
-      let ok = ref true in
-      let j = ref 0 in
-      let nr = Ivec.length d.read_stripes in
-      while !ok && !j < nr do
-        Runtime.Exec.tick costs.validate_entry;
-        let idx = Ivec.unsafe_get d.read_stripes !j in
-        let lv = Runtime.Tmatomic.get t.locks.(idx) in
-        (if is_locked lv then begin
-           if lv <> locked_by d.tid then ok := false
-           else begin
-             let s = Wlog.probe d.acq_version idx in
-             if s < 0 || Wlog.slot_value d.acq_version s > d.rv then
-               ok := false
-           end
-         end
-         else if version_of lv > d.rv then ok := false);
-        incr j
-      done;
-      if not !ok then begin
-        release_acquired t d ~upto:n;
-        rollback t d Tx_signal.Rw_validation
-      end;
-      if !Runtime.Exec.prof_on then
-        Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit
+    Hooks.enter_update_commit ~ser:t.ser ~gate_check:Driver.nop_gate_check d;
+    Hooks.inject_stretch d;
+    let conflict = Vlock.acquire_wstripes ~locks:t.locks d in
+    if conflict >= 0 then begin
+      Hooks.stripe_conflict ~eid:t.eid ~stripe:conflict;
+      rollback t d Tx_signal.Ww_conflict
+    end;
+    let wv, quiescent = Vlock.gv4_bump ~clock:t.clock ~rv:d.valid_ts in
+    if (not quiescent) && not (Vlock.validate_rv ~locks:t.locks d) then begin
+      Vlock.release_restoring ~locks:t.locks d.wstripes d.acq_saved
+        ~upto:(Ivec.length d.wstripes);
+      rollback t d Tx_signal.Rw_validation
     end;
     (* preserve the overwritten values, then write back *)
     Ivec.iter (fun idx -> push_version_record t d idx ~new_version:wv) d.wstripes;
-    Wlog.iter
-      (fun addr value ->
-        Runtime.Exec.tick costs.mem;
-        Memory.Heap.unsafe_write t.heap addr value)
-      d.wset;
-    Ivec.iter
-      (fun idx -> Runtime.Tmatomic.set t.locks.(idx) (unlocked_of_version wv))
-      d.wstripes;
-    if !Trace.enabled then Trace.on_commit ~tid:d.tid;
-    Stats.commit t.stats ~tid:d.tid;
-    if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
-    clear_logs d;
-    d.allow_snapshot <- true;
-    t.cm.on_commit d.info;
-    Serial.exit_commit t.ser ~tid:d.tid;
-    Serial.release t.ser ~tid:d.tid
+    Vlock.write_back ~heap:t.heap d;
+    Vlock.publish ~locks:t.locks d.wstripes ~version:wv;
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
   end
 
-let start t d ~restart =
-  (* Begin is recorded BEFORE the snapshot is taken (Trace contract). *)
-  if !Trace.enabled then Trace.on_begin ~tid:d.tid;
-  if !Runtime.Exec.prof_on then
-    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
-  d.start_cycles <- Runtime.Exec.now ();
-  if !Obs.Metrics.on then Obs.Metrics.on_tx_begin ~eid:t.eid ~tid:d.tid;
-  Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
-  clear_logs d;
+let start t (d : Txdesc.t) ~restart =
+  Hooks.tx_begin ~eid:t.eid d;
   t.cm.on_start d.info ~restart;
   if not restart then d.allow_snapshot <- true;
-  d.rv <- Runtime.Tmatomic.get t.clock;
-  if !Runtime.Exec.prof_on then
-    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_other
+  d.valid_ts <- Runtime.Tmatomic.get t.clock;
+  Hooks.phase_other d.tid
 
-let emergency_release t d =
-  Serial.exit_commit t.ser ~tid:d.tid;
-  Serial.release t.ser ~tid:d.tid;
-  t.cm.on_quit d.info;
-  clear_logs d;
-  d.depth <- 0
-
-(* Retry driver with graceful degradation: see the SwissTM driver for the
+(* Retry driver with graceful degradation: see [Kernel.Driver] for the
    escalation protocol.  Like TL2, the commit gate freezes the clock under
    the token, so an escalated attempt cannot fail in a simulated run. *)
-let run t ~tid ~irrevocable f =
-  let d = t.descs.(tid) in
-  if d.depth > 0 then begin
-    d.depth <- d.depth + 1;
-    Fun.protect ~finally:(fun () -> d.depth <- d.depth - 1) (fun () -> f d)
-  end
-  else
-    let rec attempt ~restart =
-      if
-        (irrevocable
-        || d.info.Cm.Cm_intf.succ_aborts >= t.cm.Cm.Cm_intf.escalate_after)
-        && not (Serial.mine t.ser ~tid)
-      then begin
-        if !Obs.Metrics.on then Obs.Metrics.on_escalation ~tid;
-        Serial.acquire t.ser ~tid;
-        Serial.drain t.ser ~tid
-      end;
-      let escalated = Serial.mine t.ser ~tid in
-      t.cm.pre_attempt d.info ~escalated;
-      if (not escalated) && Serial.held_by_other t.ser ~tid then
-        Serial.gate t.ser ~tid ~check:(fun () -> ());
-      start t d ~restart;
-      if escalated then d.info.Cm.Cm_intf.cm_ts <- 0;
-      d.depth <- 1;
-      match f d with
-      | v ->
-          d.depth <- 0;
-          (try
-             commit t d;
-             v
-           with Tx_signal.Abort -> attempt ~restart:true)
-      | exception Tx_signal.Abort ->
-          d.depth <- 0;
-          attempt ~restart:true
-      | exception e ->
-          emergency_release t d;
-          raise e
-    in
-    attempt ~restart:false
+let driver_ops t : Txdesc.t Driver.ops =
+  {
+    Driver.ser = t.ser;
+    cm = t.cm;
+    descs = t.descs;
+    info = (fun (d : Txdesc.t) -> d.info);
+    get_depth = (fun (d : Txdesc.t) -> d.depth);
+    set_depth = (fun (d : Txdesc.t) n -> d.depth <- n);
+    start = (fun d ~restart -> start t d ~restart);
+    commit = (fun d -> commit t d);
+    emergency = (fun d -> Hooks.emergency ~cm:t.cm ~ser:t.ser d);
+  }
 
-let atomic t ~tid f = run t ~tid ~irrevocable:false f
-let atomic_irrevocable t ~tid f = run t ~tid ~irrevocable:true f
+let atomic t ~tid f = Driver.run (driver_ops t) ~tid ~irrevocable:false f
+let atomic_irrevocable t ~tid f = Driver.run (driver_ops t) ~tid ~irrevocable:true f
 
 (** Old-version reads served so far (ablation telemetry). *)
 let snapshot_reads t = Runtime.Tmatomic.unsafe_get t.snapshot_reads
 
 let engine ?config heap : Engine.t =
   let t = create ?config heap in
-  (* One [tx_ops] per descriptor, built up front: the per-transaction fast
-     path allocates no closures. *)
+  let dops = driver_ops t in
   let ops =
-    Array.init Stats.max_threads (fun tid ->
-        let d = t.descs.(tid) in
-        {
-          Engine.read =
-            (fun addr ->
-              (* One combined check on the everything-off fast path; the
-                 individual collector flags are only consulted behind it. *)
-              if !Runtime.Exec.hooks_on then begin
-                if !Runtime.Exec.prof_on then
-                  Runtime.Exec.set_phase tid Runtime.Exec.ph_read;
-                let v = read_word t d addr in
-                if !Runtime.Exec.prof_on then
-                  Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
-                if !Trace.enabled then Trace.on_read ~tid ~addr ~value:v;
-                v
-              end
-              else read_word t d addr);
-          write =
-            (fun addr v ->
-              if !Runtime.Exec.hooks_on then begin
-                if !Runtime.Exec.prof_on then
-                  Runtime.Exec.set_phase tid Runtime.Exec.ph_write;
-                write_word t d addr v;
-                if !Runtime.Exec.prof_on then
-                  Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
-                if !Trace.enabled then Trace.on_write ~tid ~addr ~value:v
-              end
-              else write_word t d addr v);
-          alloc = (fun n -> Memory.Heap.alloc heap n);
-        })
+    Package.ops_array ~heap ~descs:t.descs ~read:(read_word t)
+      ~write:(write_word t)
   in
-  {
-    Engine.name;
-    heap;
-    atomic = (fun ~tid f -> atomic t ~tid (fun _ -> f ops.(tid)));
-    atomic_irrevocable =
-      (fun ~tid f -> atomic_irrevocable t ~tid (fun _ -> f ops.(tid)));
-    stats = (fun () -> Stats.snapshot t.stats);
-    reset_stats = (fun () -> Stats.reset t.stats);
-  }
+  Package.make ~name ~heap ~stats:t.stats ~ops
+    ~runner:
+      { Package.run = (fun ~tid ~irrevocable f -> Driver.run dops ~tid ~irrevocable f) }

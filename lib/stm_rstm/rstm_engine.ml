@@ -24,9 +24,14 @@
 
    Conflicts consult the contention manager on BOTH read/write and
    write/write encounters (eager conflict detection on both axes), unlike
-   SwissTM's reader-transparent w-locks. *)
+   SwissTM's reader-transparent w-locks.
+
+   In kernel axes this engine owns the {eager,lazy} x {visible,invisible}
+   quadrant with counter-heuristic validation and redo versioning; the
+   bookkeeping lives in [Kernel.Hooks] / [Kernel.Driver]. *)
 
 open Stm_intf
+open Kernel
 
 type acquire = Eager | Lazy
 type visibility = Visible | Invisible
@@ -50,22 +55,6 @@ let default_config =
     seed = 0xC0FFEE;
   }
 
-type desc = {
-  tid : int;
-  info : Cm.Cm_intf.txinfo;
-  mutable snap : int;  (* commit-counter value the read set was validated at *)
-  read_stripes : Ivec.t;  (* invisible-mode read log *)
-  read_versions : Ivec.t;
-  vread_stripes : Ivec.t;  (* visible-mode: stripes where our bit is set *)
-  vread_seen : Wlog.t;
-  wset : Wlog.t;  (* redo log: addr -> value *)
-  wstripes : Ivec.t;  (* lazy mode: unique stripes to acquire at commit *)
-  wstripe_seen : Wlog.t;
-  acq : Ivec.t;  (* stripes whose [owner] we hold *)
-  mutable depth : int;
-  mutable start_cycles : int;  (* virtual time at attempt start *)
-}
-
 type t = {
   heap : Memory.Heap.t;
   stripe : Memory.Stripe.t;
@@ -75,7 +64,7 @@ type t = {
   counter : Runtime.Tmatomic.t;  (* global commit counter *)
   cm : Cm.Cm_intf.t;
   config : config;
-  descs : desc array;
+  descs : Txdesc.t array;
   stats : Stats.t;
   eid : int;  (* observability engine id *)
   ser : Serial.t;  (* irrevocability token (escalation / explicit) *)
@@ -110,38 +99,14 @@ let create ?(config = default_config) heap =
     config;
     descs =
       Array.init Stats.max_threads (fun tid ->
-          {
-            tid;
-            info = Cm.Cm_intf.make_txinfo ~tid ~seed:config.seed;
-            snap = 0;
-            read_stripes = Ivec.create ();
-            read_versions = Ivec.create ();
-            vread_stripes = Ivec.create ();
-            vread_seen = Wlog.create ();
-            wset = Wlog.create ();
-            wstripes = Ivec.create ();
-            wstripe_seen = Wlog.create ();
-            acq = Ivec.create ();
-            depth = 0;
-            start_cycles = 0;
-          });
+          Txdesc.create ~tid ~seed:config.seed);
     stats = Stats.create ();
     eid = Obs.Metrics.register_engine (name_of_config config);
     ser = Serial.create ();
   }
 
-let clear_logs d =
-  Ivec.clear d.read_stripes;
-  Ivec.clear d.read_versions;
-  Ivec.clear d.vread_stripes;
-  Wlog.clear d.vread_seen;
-  Wlog.clear d.wset;
-  Ivec.clear d.wstripes;
-  Wlog.clear d.wstripe_seen;
-  Ivec.clear d.acq
-
 (* Clear our visible-reader bits (commit and abort paths). *)
-let retract_visible t d =
+let retract_visible t (d : Txdesc.t) =
   Ivec.iter
     (fun idx ->
       let r = t.readers.(idx) in
@@ -155,7 +120,7 @@ let retract_visible t d =
       clear ())
     d.vread_stripes
 
-let release_owned t d =
+let release_owned t (d : Txdesc.t) =
   Ivec.iter
     (fun idx ->
       (* A rollback can land mid-commit (remote kill noticed while
@@ -165,62 +130,19 @@ let release_owned t d =
       let lv = Runtime.Tmatomic.unsafe_get v in
       if busy lv then Runtime.Tmatomic.set v (lv land lnot 1);
       Runtime.Tmatomic.set t.owners.(idx) 0)
-    d.acq
+    d.acq_stripes
 
-(* The contention manager's backoff waits bump [info.backoffs]; harvest the
-   delta into [Stats] around each call so [s_backoffs] attributes them. *)
-let cm_rollback t (d : desc) =
-  let b0 = d.info.Cm.Cm_intf.backoffs in
-  t.cm.on_rollback d.info;
-  let db = d.info.Cm.Cm_intf.backoffs - b0 in
-  if db > 0 then Stats.backoff t.stats ~tid:d.tid ~n:db
-
-let rollback t d reason =
-  if !Runtime.Exec.prof_on then
-    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
+let rollback t (d : Txdesc.t) reason =
+  Hooks.phase_commit d.tid;
   release_owned t d;
   retract_visible t d;
-  if !Trace.enabled then Trace.on_abort ~tid:d.tid ~reason;
-  Stats.abort t.stats ~tid:d.tid reason;
-  Stats.wasted t.stats ~tid:d.tid
-    ~cycles:(max 0 (Runtime.Exec.now () - d.start_cycles));
-  if !Obs.Metrics.on then Obs.Metrics.on_tx_abort ~tid:d.tid ~reason;
-  Serial.exit_commit t.ser ~tid:d.tid;
-  clear_logs d;
-  Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
-  cm_rollback t d;
-  Tx_signal.abort ()
+  Hooks.rollback ~stats:t.stats ~cm:t.cm ~ser:t.ser d ~reason
 
-let cm_resolve t (d : desc) ~victim =
-  (* The irrevocable transaction wins every conflict regardless of the
-     manager's policy: under timid-style managers Abort_self would
-     deadlock against a victim parked at the commit gate on an object the
-     irrevocable transaction needs. *)
-  if Serial.mine t.ser ~tid:d.tid then begin
-    Cm.Cm_intf.request_kill victim;
-    Cm.Cm_intf.Killed_victim
-  end
-  else begin
-    let b0 = d.info.Cm.Cm_intf.backoffs in
-    let decision = t.cm.resolve ~attacker:d.info ~victim in
-    let db = d.info.Cm.Cm_intf.backoffs - b0 in
-    if db > 0 then Stats.backoff t.stats ~tid:d.tid ~n:db;
-    decision
-  end
-
-(* The irrevocability-token holder ignores kill requests ([Serial.mine] is
-   only consulted behind the kill flag, so the no-kill fast path is
-   unchanged); the fault injector piggybacks here behind its own guard. *)
 let check_kill t d =
-  if
-    Cm.Cm_intf.kill_requested d.info
-    && not (Serial.mine t.ser ~tid:d.tid)
-  then rollback t d Tx_signal.Killed;
-  if !Runtime.Inject.on && Runtime.Inject.spurious_abort ~tid:d.tid then
-    rollback t d Tx_signal.Killed
+  if Hooks.kill_due ~ser:t.ser d then rollback t d Tx_signal.Killed
 
 (* Spin until a stripe stops being busy (a committer is writing back). *)
-let wait_unbusy t d idx =
+let wait_unbusy t (d : Txdesc.t) idx =
   let v = t.versions.(idx) in
   let rec go lv =
     if busy lv then begin
@@ -240,15 +162,8 @@ let wait_unbusy t d idx =
    against each other's frozen stripes, so the contention manager
    arbitrates — either we roll back, or the victim gets killed and notices
    in its own wait loops. *)
-let validate t d =
-  let prof_prev =
-    if !Runtime.Exec.prof_on then begin
-      let p = Runtime.Exec.get_phase d.tid in
-      Runtime.Exec.set_phase d.tid Runtime.Exec.ph_validate;
-      p
-    end
-    else 0
-  in
+let validate t (d : Txdesc.t) =
+  let prof_prev = Hooks.phase_enter_validate d.tid in
   let costs = Runtime.Costs.get () in
   let n = Ivec.length d.read_stripes in
   let ok = ref true in
@@ -267,7 +182,8 @@ let validate t d =
           check_kill t d;
           (if ov <> 0 then
              let victim = (t.descs.(ov - 1)).info in
-             match cm_resolve t d ~victim with
+             match Hooks.cm_resolve ~stats:t.stats ~ser:t.ser ~cm:t.cm d ~victim
+             with
              | Cm.Cm_intf.Abort_self -> rollback t d Tx_signal.Rw_validation
              | Cm.Cm_intf.Wait | Cm.Cm_intf.Killed_victim -> ());
           Stats.wait t.stats ~tid:d.tid;
@@ -280,29 +196,29 @@ let validate t d =
     if version_of lv <> logged then ok := false;
     incr i
   done;
-  if !Runtime.Exec.prof_on then Runtime.Exec.set_phase d.tid prof_prev;
+  Hooks.phase_restore d.tid prof_prev;
   !ok
 
 (* Commit-counter heuristic: revalidate the read set only when some update
    transaction committed since we last looked. *)
-let maybe_validate t d =
+let maybe_validate t (d : Txdesc.t) =
   if t.config.visibility = Invisible then begin
     let cc = Runtime.Tmatomic.get t.counter in
-    if cc <> d.snap then begin
+    if cc <> d.valid_ts then begin
       if not (validate t d) then rollback t d Tx_signal.Rw_validation;
-      d.snap <- cc
+      d.valid_ts <- cc
     end
   end
 
 (* Resolve a conflict against the owner of [idx]; returns when the stripe
    is no longer owned by that victim (or aborts/unwinds). *)
-let rec contend t d idx ~reason =
+let rec contend t (d : Txdesc.t) idx ~reason =
   let ov = Runtime.Tmatomic.get t.owners.(idx) in
   if ov <> 0 && ov <> d.tid + 1 then begin
     check_kill t d;
-    if !Obs.Metrics.on then Obs.Metrics.on_stripe_conflict ~eid:t.eid ~stripe:idx;
+    Hooks.stripe_conflict ~eid:t.eid ~stripe:idx;
     let victim = (t.descs.(ov - 1)).info in
-    match cm_resolve t d ~victim with
+    match Hooks.cm_resolve ~stats:t.stats ~ser:t.ser ~cm:t.cm d ~victim with
     | Cm.Cm_intf.Abort_self -> rollback t d reason
     | Cm.Cm_intf.Wait | Cm.Cm_intf.Killed_victim ->
         Stats.wait t.stats ~tid:d.tid;
@@ -310,7 +226,7 @@ let rec contend t d idx ~reason =
         contend t d idx ~reason
   end
 
-let read_word t d addr =
+let read_word t (d : Txdesc.t) addr =
   let costs = Runtime.Costs.get () in
   Stats.read t.stats ~tid:d.tid;
   check_kill t d;
@@ -382,7 +298,7 @@ let read_word t d addr =
   end
 
 (* Abort or wait out every visible reader of [idx] other than ourselves. *)
-let drain_readers t d idx =
+let drain_readers t (d : Txdesc.t) idx =
   let r = t.readers.(idx) in
   let mine = 1 lsl d.tid in
   let rec go () =
@@ -397,7 +313,7 @@ let drain_readers t d idx =
         log2 b 0
       in
       let victim = (t.descs.(victim_tid)).info in
-      (match cm_resolve t d ~victim with
+      (match Hooks.cm_resolve ~stats:t.stats ~ser:t.ser ~cm:t.cm d ~victim with
       | Cm.Cm_intf.Abort_self -> rollback t d Tx_signal.Rw_validation
       | Cm.Cm_intf.Wait | Cm.Cm_intf.Killed_victim ->
           Stats.wait t.stats ~tid:d.tid;
@@ -408,7 +324,7 @@ let drain_readers t d idx =
   go ()
 
 (* Acquire ownership of [idx]; pays the RSTM object-clone cost. *)
-let acquire_stripe t d idx =
+let acquire_stripe t (d : Txdesc.t) idx =
   let costs = Runtime.Costs.get () in
   let o = t.owners.(idx) in
   let rec go () =
@@ -416,21 +332,23 @@ let acquire_stripe t d idx =
     if not (Runtime.Tmatomic.cas o ~expect:0 ~replace:(d.tid + 1)) then go ()
   in
   go ();
-  if !Runtime.Inject.on then Runtime.Inject.stall ~tid:d.tid;
-  Ivec.push d.acq idx;
+  Hooks.inject_stall d;
+  Ivec.push d.acq_stripes idx;
   (* Clone the object into the speculative copy. *)
   Runtime.Exec.tick (costs.mem * Memory.Stripe.granularity_words t.stripe);
   if t.config.visibility = Visible then drain_readers t d idx;
   d.info.accesses <- d.info.accesses + 1;
-  t.cm.on_write d.info ~writes:(Ivec.length d.acq)
+  t.cm.on_write d.info ~writes:(Ivec.length d.acq_stripes)
 
-let write_word t d addr value =
+let write_word t (d : Txdesc.t) addr value =
   let costs = Runtime.Costs.get () in
   Stats.write t.stats ~tid:d.tid;
   check_kill t d;
   let idx = Memory.Stripe.index t.stripe addr in
   (match t.config.acquire with
-  | Eager -> if Runtime.Tmatomic.get t.owners.(idx) <> d.tid + 1 then acquire_stripe t d idx
+  | Eager ->
+      if Runtime.Tmatomic.get t.owners.(idx) <> d.tid + 1 then
+        acquire_stripe t d idx
   | Lazy ->
       if not (Wlog.mem d.wstripe_seen idx) then begin
         Wlog.replace d.wstripe_seen idx 1;
@@ -439,33 +357,24 @@ let write_word t d addr value =
   Runtime.Exec.tick costs.log_append;
   Wlog.replace d.wset addr value
 
-let commit t d =
-  if !Runtime.Exec.prof_on then
-    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
-  let costs = Runtime.Costs.get () in
-  Runtime.Exec.tick costs.tx_end;
+let commit t (d : Txdesc.t) =
+  Hooks.commit_entry d;
   check_kill t d;
   if Wlog.is_empty d.wset then begin
     (* Read-only commit: every read was validated by the counter heuristic;
        retract visible-reader bits and finish. *)
     retract_visible t d;
-    if !Trace.enabled then Trace.on_commit ~tid:d.tid;
-    Stats.commit t.stats ~tid:d.tid;
-    if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
-    clear_logs d;
-    t.cm.on_commit d.info;
-    Serial.release t.ser ~tid:d.tid
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
   end
   else begin
     (* Commit gate: while an irrevocable transaction runs, updates must not
        advance the commit counter.  The waiter may hold eagerly-acquired
        objects, so it polls its kill flag — the irrevocable transaction can
        abort it out of the wait. *)
-    if Serial.held_by_other t.ser ~tid:d.tid then
-      Serial.gate t.ser ~tid:d.tid ~check:(fun () -> check_kill t d);
-    Serial.enter_commit t.ser ~tid:d.tid;
-    if !Obs.Metrics.on then Obs.Metrics.on_commit_start ~tid:d.tid;
-    if !Runtime.Inject.on then Runtime.Inject.stretch ~tid:d.tid;
+    Hooks.enter_update_commit ~ser:t.ser
+      ~gate_check:(fun () -> check_kill t d)
+      d;
+    Hooks.inject_stretch d;
     (* Lazy mode acquires its whole write set now. *)
     if t.config.acquire = Lazy then
       Ivec.iter
@@ -478,7 +387,7 @@ let commit t d =
       (fun idx ->
         let v = t.versions.(idx) in
         Runtime.Tmatomic.set v (Runtime.Tmatomic.get v lor 1))
-      d.acq;
+      d.acq_stripes;
     let cc = Runtime.Tmatomic.incr_get t.counter in
     (if t.config.visibility = Invisible && not (validate t d) then begin
        (* Unfreeze with the old version, release, abort. *)
@@ -486,9 +395,10 @@ let commit t d =
          (fun idx ->
            let v = t.versions.(idx) in
            Runtime.Tmatomic.set v (Runtime.Tmatomic.get v land lnot 1))
-         d.acq;
+         d.acq_stripes;
        rollback t d Tx_signal.Rw_validation
      end);
+    let costs = Runtime.Costs.get () in
     Wlog.iter
       (fun addr value ->
         Runtime.Exec.tick costs.mem;
@@ -498,129 +408,61 @@ let commit t d =
       (fun idx ->
         Runtime.Tmatomic.set t.versions.(idx) (encode_version cc);
         Runtime.Tmatomic.set t.owners.(idx) 0)
-      d.acq;
+      d.acq_stripes;
     retract_visible t d;
-    if !Trace.enabled then Trace.on_commit ~tid:d.tid;
-    Stats.commit t.stats ~tid:d.tid;
-    if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
-    clear_logs d;
-    t.cm.on_commit d.info;
-    Serial.exit_commit t.ser ~tid:d.tid;
-    Serial.release t.ser ~tid:d.tid
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
   end
 
-let start t d ~restart =
-  (* Begin is recorded BEFORE the snapshot is taken (Trace contract). *)
-  if !Trace.enabled then Trace.on_begin ~tid:d.tid;
-  if !Runtime.Exec.prof_on then
-    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
-  d.start_cycles <- Runtime.Exec.now ();
-  if !Obs.Metrics.on then Obs.Metrics.on_tx_begin ~eid:t.eid ~tid:d.tid;
-  Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
-  clear_logs d;
+let start t (d : Txdesc.t) ~restart =
+  Hooks.tx_begin ~eid:t.eid d;
   t.cm.on_start d.info ~restart;
-  d.snap <- Runtime.Tmatomic.get t.counter;
-  if !Runtime.Exec.prof_on then
-    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_other
+  d.valid_ts <- Runtime.Tmatomic.get t.counter;
+  Hooks.phase_other d.tid
 
-let emergency_release t d =
+let emergency_release t (d : Txdesc.t) =
   release_owned t d;
   retract_visible t d;
-  Serial.exit_commit t.ser ~tid:d.tid;
-  Serial.release t.ser ~tid:d.tid;
-  t.cm.on_quit d.info;
-  clear_logs d;
-  d.depth <- 0
+  Hooks.emergency ~cm:t.cm ~ser:t.ser d
 
-(* Retry driver with graceful degradation: see the SwissTM driver for the
+(* Retry driver with graceful degradation: see [Kernel.Driver] for the
    escalation protocol.  RSTM's managers can kill, so the token holder
    runs with [cm_ts = 0] and wins every encounter. *)
-let run t ~tid ~irrevocable f =
-  if tid >= 62 then invalid_arg "rstm: visible-reader bitmap limits tid < 62";
-  let d = t.descs.(tid) in
-  if d.depth > 0 then begin
-    d.depth <- d.depth + 1;
-    Fun.protect ~finally:(fun () -> d.depth <- d.depth - 1) (fun () -> f d)
-  end
-  else
-    let rec attempt ~restart =
-      if
-        (irrevocable
-        || d.info.Cm.Cm_intf.succ_aborts >= t.cm.Cm.Cm_intf.escalate_after)
-        && not (Serial.mine t.ser ~tid)
-      then begin
-        if !Obs.Metrics.on then Obs.Metrics.on_escalation ~tid;
-        Serial.acquire t.ser ~tid;
-        Serial.drain t.ser ~tid
-      end;
-      let escalated = Serial.mine t.ser ~tid in
-      t.cm.pre_attempt d.info ~escalated;
-      if (not escalated) && Serial.held_by_other t.ser ~tid then
-        Serial.gate t.ser ~tid ~check:(fun () -> ());
-      start t d ~restart;
-      if escalated then d.info.Cm.Cm_intf.cm_ts <- 0;
-      d.depth <- 1;
-      match f d with
-      | v ->
-          d.depth <- 0;
-          (try
-             commit t d;
-             v
-           with Tx_signal.Abort -> attempt ~restart:true)
-      | exception Tx_signal.Abort ->
-          d.depth <- 0;
-          attempt ~restart:true
-      | exception e ->
-          emergency_release t d;
-          raise e
-    in
-    attempt ~restart:false
+let driver_ops t : Txdesc.t Driver.ops =
+  {
+    Driver.ser = t.ser;
+    cm = t.cm;
+    descs = t.descs;
+    info = (fun (d : Txdesc.t) -> d.info);
+    get_depth = (fun (d : Txdesc.t) -> d.depth);
+    set_depth = (fun (d : Txdesc.t) n -> d.depth <- n);
+    start = (fun d ~restart -> start t d ~restart);
+    commit = (fun d -> commit t d);
+    emergency = (fun d -> emergency_release t d);
+  }
 
-let atomic t ~tid f = run t ~tid ~irrevocable:false f
-let atomic_irrevocable t ~tid f = run t ~tid ~irrevocable:true f
+let check_tid tid =
+  if tid >= 62 then invalid_arg "rstm: visible-reader bitmap limits tid < 62"
+
+let atomic t ~tid f =
+  check_tid tid;
+  Driver.run (driver_ops t) ~tid ~irrevocable:false f
+
+let atomic_irrevocable t ~tid f =
+  check_tid tid;
+  Driver.run (driver_ops t) ~tid ~irrevocable:true f
 
 let engine ?config heap : Engine.t =
   let t = create ?config heap in
-  (* One [tx_ops] per descriptor, built up front: the per-transaction fast
-     path allocates no closures. *)
+  let dops = driver_ops t in
   let ops =
-    Array.init Stats.max_threads (fun tid ->
-        let d = t.descs.(tid) in
-        {
-          Engine.read =
-            (fun addr ->
-              (* One combined check on the everything-off fast path; the
-                 individual collector flags are only consulted behind it. *)
-              if !Runtime.Exec.hooks_on then begin
-                if !Runtime.Exec.prof_on then
-                  Runtime.Exec.set_phase tid Runtime.Exec.ph_read;
-                let v = read_word t d addr in
-                if !Runtime.Exec.prof_on then
-                  Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
-                if !Trace.enabled then Trace.on_read ~tid ~addr ~value:v;
-                v
-              end
-              else read_word t d addr);
-          write =
-            (fun addr v ->
-              if !Runtime.Exec.hooks_on then begin
-                if !Runtime.Exec.prof_on then
-                  Runtime.Exec.set_phase tid Runtime.Exec.ph_write;
-                write_word t d addr v;
-                if !Runtime.Exec.prof_on then
-                  Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
-                if !Trace.enabled then Trace.on_write ~tid ~addr ~value:v
-              end
-              else write_word t d addr v);
-          alloc = (fun n -> Memory.Heap.alloc heap n);
-        })
+    Package.ops_array ~heap ~descs:t.descs ~read:(read_word t)
+      ~write:(write_word t)
   in
-  {
-    Engine.name = name_of_config t.config;
-    heap;
-    atomic = (fun ~tid f -> atomic t ~tid (fun _ -> f ops.(tid)));
-    atomic_irrevocable =
-      (fun ~tid f -> atomic_irrevocable t ~tid (fun _ -> f ops.(tid)));
-    stats = (fun () -> Stats.snapshot t.stats);
-    reset_stats = (fun () -> Stats.reset t.stats);
-  }
+  Package.make ~name:(name_of_config t.config) ~heap ~stats:t.stats ~ops
+    ~runner:
+      {
+        Package.run =
+          (fun ~tid ~irrevocable f ->
+            check_tid tid;
+            Driver.run dops ~tid ~irrevocable f);
+      }

@@ -14,9 +14,13 @@
      duration;
    - commit increments the global clock, validates if needed, writes back
      and releases with the new version; aborts restore the version saved at
-     acquisition time. *)
+     acquisition time.
+
+   In kernel axes this is eager + invisible + incremental + redo; exact
+   validation/extension and the lock encoding live in [Kernel.Vlock]. *)
 
 open Stm_intf
+open Kernel
 
 type config = {
   granularity_words : int;
@@ -31,29 +35,12 @@ type config = {
 let default_config =
   { granularity_words = 4; table_bits = 18; seed = 0xC0FFEE; cm = Cm.Cm_intf.Timid }
 
-type desc = {
-  tid : int;
-  info : Cm.Cm_intf.txinfo;
-  mutable valid_ts : int;
-  read_stripes : Ivec.t;
-  read_versions : Ivec.t;
-  acq_stripes : Ivec.t;
-  acq_saved : Ivec.t;  (* lock value (version) at acquisition, for abort *)
-  acq_version : Wlog.t;
-      (* stripe -> version at acquisition; validation of a read-log entry
-         for a stripe we now own must compare against this, not give the
-         entry a free pass *)
-  wset : Wlog.t;
-  mutable depth : int;
-  mutable start_cycles : int;  (* virtual time at attempt start *)
-}
-
 type t = {
   heap : Memory.Heap.t;
   stripe : Memory.Stripe.t;
   locks : Runtime.Tmatomic.t array;
   clock : Runtime.Tmatomic.t;
-  descs : desc array;
+  descs : Txdesc.t array;
   stats : Stats.t;
   eid : int;  (* metrics-registry engine id *)
   cm : Cm.Cm_intf.t;
@@ -61,11 +48,6 @@ type t = {
 }
 
 let name = "tinystm"
-
-let unlocked_of_version v = v lsl 1
-let is_locked lv = lv land 1 = 1
-let version_of lv = lv lsr 1
-let locked_by tid = ((tid + 1) lsl 1) lor 1
 
 let create ?(config = default_config) heap =
   let stripe =
@@ -81,116 +63,32 @@ let create ?(config = default_config) heap =
     clock = Runtime.Tmatomic.make 0;
     descs =
       Array.init Stats.max_threads (fun tid ->
-          {
-            tid;
-            info = Cm.Cm_intf.make_txinfo ~tid ~seed:config.seed;
-            valid_ts = 0;
-            read_stripes = Ivec.create ();
-            read_versions = Ivec.create ();
-            acq_stripes = Ivec.create ();
-            acq_saved = Ivec.create ();
-            acq_version = Wlog.create ~bits:4 ();
-            wset = Wlog.create ();
-            depth = 0;
-            start_cycles = 0;
-          });
+          Txdesc.create ~tid ~seed:config.seed);
     stats = Stats.create ();
     eid = Obs.Metrics.register_engine name;
     cm = Cm.Factory.make config.cm;
     ser = Serial.create ();
   }
 
-let clear_logs d =
-  Ivec.clear d.read_stripes;
-  Ivec.clear d.read_versions;
-  Ivec.clear d.acq_stripes;
-  Ivec.clear d.acq_saved;
-  Wlog.clear d.acq_version;
-  Wlog.clear d.wset
+(* Abort path: restore the pre-acquisition version into every lock we
+   own (encounter-time acquisition — [acq_stripes] tracks them all). *)
+let rollback t (d : Txdesc.t) reason =
+  Hooks.phase_commit d.tid;
+  Vlock.release_restoring ~locks:t.locks d.acq_stripes d.acq_saved
+    ~upto:(Ivec.length d.acq_stripes);
+  Hooks.rollback ~stats:t.stats ~cm:t.cm ~ser:t.ser d ~reason
 
-(* Abort path: restore the pre-acquisition version into every lock we own. *)
-let release_restoring t d =
-  let n = Ivec.length d.acq_stripes in
-  for i = 0 to n - 1 do
-    Runtime.Tmatomic.set
-      t.locks.(Ivec.unsafe_get d.acq_stripes i)
-      (Ivec.unsafe_get d.acq_saved i)
-  done
+let extend t d = Vlock.extend_exact ~locks:t.locks ~clock:t.clock d
 
-let rollback t d reason =
-  if !Runtime.Exec.prof_on then
-    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
-  release_restoring t d;
-  if !Trace.enabled then Trace.on_abort ~tid:d.tid ~reason;
-  Stats.abort t.stats ~tid:d.tid reason;
-  Stats.wasted t.stats ~tid:d.tid
-    ~cycles:(max 0 (Runtime.Exec.now () - d.start_cycles));
-  if !Obs.Metrics.on then Obs.Metrics.on_tx_abort ~tid:d.tid ~reason;
-  Serial.exit_commit t.ser ~tid:d.tid;
-  clear_logs d;
-  Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
-  (* The manager owns the retry back-off (the factory Timid reproduces the
-     stock TinySTM linear policy); harvest its wait count into [Stats]. *)
-  let b0 = d.info.Cm.Cm_intf.backoffs in
-  t.cm.on_rollback d.info;
-  let db = d.info.Cm.Cm_intf.backoffs - b0 in
-  if db > 0 then Stats.backoff t.stats ~tid:d.tid ~n:db;
-  Tx_signal.abort ()
-
-let validate t d =
-  (* Attribute validation cycles to their own phase, whichever phase
-     (read, write or commit) triggered it. *)
-  let prof_prev =
-    if !Runtime.Exec.prof_on then begin
-      let p = Runtime.Exec.get_phase d.tid in
-      Runtime.Exec.set_phase d.tid Runtime.Exec.ph_validate;
-      p
-    end
-    else 0
-  in
-  let costs = Runtime.Costs.get () in
-  let n = Ivec.length d.read_stripes in
-  let ok = ref true in
-  let i = ref 0 in
-  while !ok && !i < n do
-    Runtime.Exec.tick costs.validate_entry;
-    let idx = Ivec.unsafe_get d.read_stripes !i in
-    let logged = Ivec.unsafe_get d.read_versions !i in
-    let lv = Runtime.Tmatomic.get t.locks.(idx) in
-    (if is_locked lv then begin
-       if lv <> locked_by d.tid then ok := false
-       else begin
-         (* We own this stripe: the read is valid only if the version we
-            logged is the one the stripe still had when we acquired it. *)
-         let s = Wlog.probe d.acq_version idx in
-         if s < 0 || Wlog.slot_value d.acq_version s <> logged then
-           ok := false
-       end
-     end
-     else if version_of lv <> logged then ok := false);
-    incr i
-  done;
-  if !Runtime.Exec.prof_on then Runtime.Exec.set_phase d.tid prof_prev;
-  !ok
-
-let extend t d =
-  let ts = Runtime.Tmatomic.get t.clock in
-  if validate t d then begin
-    d.valid_ts <- ts;
-    true
-  end
-  else false
-
-let read_word t d addr =
+let read_word t (d : Txdesc.t) addr =
   let costs = Runtime.Costs.get () in
   Stats.read t.stats ~tid:d.tid;
-  if !Runtime.Inject.on && Runtime.Inject.spurious_abort ~tid:d.tid then
-    rollback t d Tx_signal.Killed;
+  if Hooks.inject_abort d then rollback t d Tx_signal.Killed;
   let idx = Memory.Stripe.index t.stripe addr in
   let lock = t.locks.(idx) in
   let lv = Runtime.Tmatomic.get lock in
-  if is_locked lv then begin
-    if lv = locked_by d.tid then begin
+  if Vlock.is_locked lv then begin
+    if lv = Vlock.locked_by d.tid then begin
       (* Read-after-write: serve from the redo log / stable memory; the
          bloom filter lets the miss case skip the probe. *)
       Runtime.Exec.tick costs.log_lookup;
@@ -203,8 +101,7 @@ let read_word t d addr =
     end
     else begin
       (* Encounter-time r/w conflict: timid — the reader aborts at once. *)
-      if !Obs.Metrics.on then
-        Obs.Metrics.on_stripe_conflict ~eid:t.eid ~stripe:idx;
+      Hooks.stripe_conflict ~eid:t.eid ~stripe:idx;
       rollback t d Tx_signal.Rw_validation
     end
   end
@@ -213,7 +110,7 @@ let read_word t d addr =
     let value = Memory.Heap.unsafe_read t.heap addr in
     let lv2 = Runtime.Tmatomic.get lock in
     if lv2 <> lv then rollback t d Tx_signal.Rw_validation;
-    let version = version_of lv in
+    let version = Vlock.version_of lv in
     Runtime.Exec.tick costs.log_append;
     Ivec.push d.read_stripes idx;
     Ivec.push d.read_versions version;
@@ -222,14 +119,13 @@ let read_word t d addr =
     value
   end
 
-let write_word t d addr value =
+let write_word t (d : Txdesc.t) addr value =
   let costs = Runtime.Costs.get () in
   Stats.write t.stats ~tid:d.tid;
-  if !Runtime.Inject.on && Runtime.Inject.spurious_abort ~tid:d.tid then
-    rollback t d Tx_signal.Killed;
+  if Hooks.inject_abort d then rollback t d Tx_signal.Killed;
   let idx = Memory.Stripe.index t.stripe addr in
   let lock = t.locks.(idx) in
-  let mine = locked_by d.tid in
+  let mine = Vlock.locked_by d.tid in
   let lv = Runtime.Tmatomic.get lock in
   if lv = mine then begin
     Runtime.Exec.tick costs.log_append;
@@ -237,20 +133,19 @@ let write_word t d addr value =
   end
   else begin
     let rec acquire lv =
-      if is_locked lv then begin
+      if Vlock.is_locked lv then begin
         (* Encounter-time w/w conflict: timid — abort the attacker. *)
-        if !Obs.Metrics.on then
-          Obs.Metrics.on_stripe_conflict ~eid:t.eid ~stripe:idx;
+        Hooks.stripe_conflict ~eid:t.eid ~stripe:idx;
         rollback t d Tx_signal.Ww_conflict
       end
       else if not (Runtime.Tmatomic.cas lock ~expect:lv ~replace:mine) then
         acquire (Runtime.Tmatomic.get lock)
       else begin
-        if !Runtime.Inject.on then Runtime.Inject.stall ~tid:d.tid;
+        Hooks.inject_stall d;
         Ivec.push d.acq_stripes idx;
         Ivec.push d.acq_saved lv;
-        Wlog.replace d.acq_version idx (version_of lv);
-        if version_of lv > d.valid_ts && not (extend t d) then
+        Wlog.replace d.acq_version idx (Vlock.version_of lv);
+        if Vlock.version_of lv > d.valid_ts && not (extend t d) then
           rollback t d Tx_signal.Rw_validation
       end
     in
@@ -259,19 +154,10 @@ let write_word t d addr value =
     Wlog.replace d.wset addr value
   end
 
-let commit t d =
-  if !Runtime.Exec.prof_on then
-    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
-  let costs = Runtime.Costs.get () in
-  Runtime.Exec.tick costs.tx_end;
-  if Ivec.length d.acq_stripes = 0 then begin
-    if !Trace.enabled then Trace.on_commit ~tid:d.tid;
-    Stats.commit t.stats ~tid:d.tid;
-    if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
-    clear_logs d;
-    t.cm.on_commit d.info;
-    Serial.release t.ser ~tid:d.tid
-  end
+let commit t (d : Txdesc.t) =
+  Hooks.commit_entry d;
+  if Txdesc.is_read_only d then
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
   else begin
     (* No commit gate here: the waiter would hold encounter-time locks the
        irrevocable transaction may need, a deadlock TinySTM cannot break
@@ -279,139 +165,53 @@ let commit t d =
        in-flight competitors can still commit, but each parks at the start
        gate after its current transaction, so the escalated attempt soon
        runs alone. *)
-    Serial.enter_commit t.ser ~tid:d.tid;
-    if !Obs.Metrics.on then Obs.Metrics.on_commit_start ~tid:d.tid;
-    if !Runtime.Inject.on then Runtime.Inject.stretch ~tid:d.tid;
+    Hooks.enter_update_commit ~ser:t.ser d;
+    Hooks.inject_stretch d;
     let ts = Runtime.Tmatomic.incr_get t.clock in
-    if ts > d.valid_ts + 1 && not (validate t d) then
+    if ts > d.valid_ts + 1 && not (Vlock.validate_exact ~locks:t.locks d) then
       rollback t d Tx_signal.Rw_validation;
-    Wlog.iter
-      (fun addr value ->
-        Runtime.Exec.tick costs.mem;
-        Memory.Heap.unsafe_write t.heap addr value)
-      d.wset;
-    Ivec.iter
-      (fun idx -> Runtime.Tmatomic.set t.locks.(idx) (unlocked_of_version ts))
-      d.acq_stripes;
-    if !Trace.enabled then Trace.on_commit ~tid:d.tid;
-    Stats.commit t.stats ~tid:d.tid;
-    if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
-    clear_logs d;
-    t.cm.on_commit d.info;
-    Serial.exit_commit t.ser ~tid:d.tid;
-    Serial.release t.ser ~tid:d.tid
+    Vlock.write_back ~heap:t.heap d;
+    Vlock.publish ~locks:t.locks d.acq_stripes ~version:ts;
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
   end
 
-let start t d ~restart =
-  (* Begin is recorded BEFORE the snapshot is taken (Trace contract). *)
-  if !Trace.enabled then Trace.on_begin ~tid:d.tid;
-  if !Runtime.Exec.prof_on then
-    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
-  d.start_cycles <- Runtime.Exec.now ();
-  if !Obs.Metrics.on then Obs.Metrics.on_tx_begin ~eid:t.eid ~tid:d.tid;
-  Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
-  clear_logs d;
+let start t (d : Txdesc.t) ~restart =
+  Hooks.tx_begin ~eid:t.eid d;
   t.cm.on_start d.info ~restart;
   d.valid_ts <- Runtime.Tmatomic.get t.clock;
-  if !Runtime.Exec.prof_on then
-    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_other
+  Hooks.phase_other d.tid
 
-let emergency_release t d =
-  release_restoring t d;
-  Serial.exit_commit t.ser ~tid:d.tid;
-  Serial.release t.ser ~tid:d.tid;
-  t.cm.on_quit d.info;
-  clear_logs d;
-  d.depth <- 0
+let emergency_release t (d : Txdesc.t) =
+  Vlock.release_restoring ~locks:t.locks d.acq_stripes d.acq_saved
+    ~upto:(Ivec.length d.acq_stripes);
+  Hooks.emergency ~cm:t.cm ~ser:t.ser d
 
-(* Retry driver with graceful degradation: see the SwissTM driver for the
+(* Retry driver with graceful degradation: see [Kernel.Driver] for the
    escalation protocol.  TinySTM only has the start gate (see [commit]), so
    the consecutive-abort bound under the token is soft rather than exact. *)
-let run t ~tid ~irrevocable f =
-  let d = t.descs.(tid) in
-  if d.depth > 0 then begin
-    d.depth <- d.depth + 1;
-    Fun.protect ~finally:(fun () -> d.depth <- d.depth - 1) (fun () -> f d)
-  end
-  else
-    let rec attempt ~restart =
-      if
-        (irrevocable
-        || d.info.Cm.Cm_intf.succ_aborts >= t.cm.Cm.Cm_intf.escalate_after)
-        && not (Serial.mine t.ser ~tid)
-      then begin
-        if !Obs.Metrics.on then Obs.Metrics.on_escalation ~tid;
-        Serial.acquire t.ser ~tid;
-        Serial.drain t.ser ~tid
-      end;
-      let escalated = Serial.mine t.ser ~tid in
-      t.cm.pre_attempt d.info ~escalated;
-      if (not escalated) && Serial.held_by_other t.ser ~tid then
-        Serial.gate t.ser ~tid ~check:(fun () -> ());
-      start t d ~restart;
-      if escalated then d.info.Cm.Cm_intf.cm_ts <- 0;
-      d.depth <- 1;
-      match f d with
-      | v ->
-          d.depth <- 0;
-          (try
-             commit t d;
-             v
-           with Tx_signal.Abort -> attempt ~restart:true)
-      | exception Tx_signal.Abort ->
-          d.depth <- 0;
-          attempt ~restart:true
-      | exception e ->
-          emergency_release t d;
-          raise e
-    in
-    attempt ~restart:false
+let driver_ops t : Txdesc.t Driver.ops =
+  {
+    Driver.ser = t.ser;
+    cm = t.cm;
+    descs = t.descs;
+    info = (fun (d : Txdesc.t) -> d.info);
+    get_depth = (fun (d : Txdesc.t) -> d.depth);
+    set_depth = (fun (d : Txdesc.t) n -> d.depth <- n);
+    start = (fun d ~restart -> start t d ~restart);
+    commit = (fun d -> commit t d);
+    emergency = (fun d -> emergency_release t d);
+  }
 
-let atomic t ~tid f = run t ~tid ~irrevocable:false f
-let atomic_irrevocable t ~tid f = run t ~tid ~irrevocable:true f
+let atomic t ~tid f = Driver.run (driver_ops t) ~tid ~irrevocable:false f
+let atomic_irrevocable t ~tid f = Driver.run (driver_ops t) ~tid ~irrevocable:true f
 
 let engine ?config heap : Engine.t =
   let t = create ?config heap in
-  (* One [tx_ops] per descriptor, built up front: the per-transaction fast
-     path allocates no closures. *)
+  let dops = driver_ops t in
   let ops =
-    Array.init Stats.max_threads (fun tid ->
-        let d = t.descs.(tid) in
-        {
-          Engine.read =
-            (fun addr ->
-              (* One combined check on the everything-off fast path; the
-                 individual collector flags are only consulted behind it. *)
-              if !Runtime.Exec.hooks_on then begin
-                if !Runtime.Exec.prof_on then
-                  Runtime.Exec.set_phase tid Runtime.Exec.ph_read;
-                let v = read_word t d addr in
-                if !Runtime.Exec.prof_on then
-                  Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
-                if !Trace.enabled then Trace.on_read ~tid ~addr ~value:v;
-                v
-              end
-              else read_word t d addr);
-          write =
-            (fun addr v ->
-              if !Runtime.Exec.hooks_on then begin
-                if !Runtime.Exec.prof_on then
-                  Runtime.Exec.set_phase tid Runtime.Exec.ph_write;
-                write_word t d addr v;
-                if !Runtime.Exec.prof_on then
-                  Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
-                if !Trace.enabled then Trace.on_write ~tid ~addr ~value:v
-              end
-              else write_word t d addr v);
-          alloc = (fun n -> Memory.Heap.alloc heap n);
-        })
+    Package.ops_array ~heap ~descs:t.descs ~read:(read_word t)
+      ~write:(write_word t)
   in
-  {
-    Engine.name;
-    heap;
-    atomic = (fun ~tid f -> atomic t ~tid (fun _ -> f ops.(tid)));
-    atomic_irrevocable =
-      (fun ~tid f -> atomic_irrevocable t ~tid (fun _ -> f ops.(tid)));
-    stats = (fun () -> Stats.snapshot t.stats);
-    reset_stats = (fun () -> Stats.reset t.stats);
-  }
+  Package.make ~name ~heap ~stats:t.stats ~ops
+    ~runner:
+      { Package.run = (fun ~tid ~irrevocable f -> Driver.run dops ~tid ~irrevocable f) }

@@ -5,18 +5,25 @@
 
    - one versioned lock per stripe: unlocked = version << 1;
      locked = ((owner+1) << 1) | 1;
-   - [start]: sample the clock into [rv];
+   - [start]: sample the clock into [valid_ts];
    - [read]: redo-log lookup, then lock/word/lock double read; abort if the
-     stripe is locked or its version exceeds [rv] (TL2 has *no* timestamp
-     extension — that is one of the differences from TinySTM/SwissTM);
+     stripe is locked or its version exceeds the snapshot (TL2 has *no*
+     timestamp extension — that is one of the differences from
+     TinySTM/SwissTM);
    - [write]: buffer in the redo log only — write/write conflicts stay
      undetected until commit, which is precisely the behaviour the paper
      blames for TL2's wasted work on long transactions (Figure 6a);
    - [commit]: acquire all write locks (abort on any conflict — timid),
      bump the clock GV4-style, validate the read set, write back, release
-     with the new version. *)
+     with the new version.
+
+   In kernel axes this is lazy + invisible + commit-time + redo; the
+   policy mechanics (versioned locks, GV4, commit acquisition, snapshot
+   validation) live in [Kernel.Vlock] and the bookkeeping in
+   [Kernel.Hooks] / [Kernel.Driver]. *)
 
 open Stm_intf
+open Kernel
 
 type config = {
   granularity_words : int;
@@ -31,28 +38,12 @@ type config = {
 let default_config =
   { granularity_words = 4; table_bits = 18; seed = 0xC0FFEE; cm = Cm.Cm_intf.Timid }
 
-type desc = {
-  tid : int;
-  info : Cm.Cm_intf.txinfo;  (* used for back-off bookkeeping *)
-  mutable rv : int;  (* read version: clock sample at start *)
-  read_stripes : Ivec.t;
-  wset : Wlog.t;  (* redo log: addr -> value *)
-  wstripes : Ivec.t;  (* unique stripes written, in first-write order *)
-  wstripe_seen : Wlog.t;  (* stripe membership for [wstripes] *)
-  acq_saved : Ivec.t;  (* lock values saved during commit acquisition *)
-  acq_version : Wlog.t;
-      (* stripe -> version at commit-time acquisition; a read-log entry for
-         a stripe we locked ourselves validates against this *)
-  mutable depth : int;
-  mutable start_cycles : int;  (* virtual time at attempt start *)
-}
-
 type t = {
   heap : Memory.Heap.t;
   stripe : Memory.Stripe.t;
   locks : Runtime.Tmatomic.t array;
   clock : Runtime.Tmatomic.t;
-  descs : desc array;
+  descs : Txdesc.t array;
   stats : Stats.t;
   eid : int;  (* metrics-registry engine id *)
   cm : Cm.Cm_intf.t;
@@ -60,11 +51,6 @@ type t = {
 }
 
 let name = "tl2"
-
-let unlocked_of_version v = v lsl 1
-let is_locked lv = lv land 1 = 1
-let version_of lv = lv lsr 1
-let locked_by tid = ((tid + 1) lsl 1) lor 1
 
 let create ?(config = default_config) heap =
   let stripe =
@@ -80,57 +66,21 @@ let create ?(config = default_config) heap =
     clock = Runtime.Tmatomic.make 0;
     descs =
       Array.init Stats.max_threads (fun tid ->
-          {
-            tid;
-            info = Cm.Cm_intf.make_txinfo ~tid ~seed:config.seed;
-            rv = 0;
-            read_stripes = Ivec.create ();
-            wset = Wlog.create ();
-            wstripes = Ivec.create ();
-            wstripe_seen = Wlog.create ();
-            acq_saved = Ivec.create ();
-            acq_version = Wlog.create ~bits:4 ();
-            depth = 0;
-            start_cycles = 0;
-          });
+          Txdesc.create ~tid ~seed:config.seed);
     stats = Stats.create ();
     eid = Obs.Metrics.register_engine name;
     cm = Cm.Factory.make config.cm;
     ser = Serial.create ();
   }
 
-let clear_logs d =
-  Ivec.clear d.read_stripes;
-  Wlog.clear d.wset;
-  Ivec.clear d.wstripes;
-  Wlog.clear d.wstripe_seen;
-  Wlog.clear d.acq_version;
-  Ivec.clear d.acq_saved
+let rollback t (d : Txdesc.t) reason =
+  Hooks.phase_commit d.tid;
+  Hooks.rollback ~stats:t.stats ~cm:t.cm ~ser:t.ser d ~reason
 
-let rollback t d reason =
-  if !Runtime.Exec.prof_on then
-    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
-  if !Trace.enabled then Trace.on_abort ~tid:d.tid ~reason;
-  Stats.abort t.stats ~tid:d.tid reason;
-  Stats.wasted t.stats ~tid:d.tid
-    ~cycles:(max 0 (Runtime.Exec.now () - d.start_cycles));
-  if !Obs.Metrics.on then Obs.Metrics.on_tx_abort ~tid:d.tid ~reason;
-  Serial.exit_commit t.ser ~tid:d.tid;
-  clear_logs d;
-  Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
-  (* The manager owns the retry back-off (the factory Timid reproduces the
-     stock TL2 linear policy); harvest its wait count into [Stats]. *)
-  let b0 = d.info.Cm.Cm_intf.backoffs in
-  t.cm.on_rollback d.info;
-  let db = d.info.Cm.Cm_intf.backoffs - b0 in
-  if db > 0 then Stats.backoff t.stats ~tid:d.tid ~n:db;
-  Tx_signal.abort ()
-
-let read_word t d addr =
+let read_word t (d : Txdesc.t) addr =
   let costs = Runtime.Costs.get () in
   Stats.read t.stats ~tid:d.tid;
-  if !Runtime.Inject.on && Runtime.Inject.spurious_abort ~tid:d.tid then
-    rollback t d Tx_signal.Killed;
+  if Hooks.inject_abort d then rollback t d Tx_signal.Killed;
   let idx = Memory.Stripe.index t.stripe addr in
   (* Redo-log lookup; free for read-only transactions, and [Wlog]'s bloom
      filter makes the common miss cheap for update ones (TL2's own
@@ -149,7 +99,8 @@ let read_word t d addr =
     Runtime.Exec.tick costs.mem;
     let value = Memory.Heap.unsafe_read t.heap addr in
     let lv2 = Runtime.Tmatomic.get lock in
-    if is_locked lv1 || lv1 <> lv2 || version_of lv1 > d.rv then
+    if Vlock.is_locked lv1 || lv1 <> lv2 || Vlock.version_of lv1 > d.valid_ts
+    then
       (* Locked or moved past our snapshot: TL2 aborts (no extension). *)
       rollback t d Tx_signal.Rw_validation;
     Runtime.Exec.tick costs.log_append;
@@ -157,11 +108,10 @@ let read_word t d addr =
     value
   end
 
-let write_word t d addr value =
+let write_word t (d : Txdesc.t) addr value =
   let costs = Runtime.Costs.get () in
   Stats.write t.stats ~tid:d.tid;
-  if !Runtime.Inject.on && Runtime.Inject.spurious_abort ~tid:d.tid then
-    rollback t d Tx_signal.Killed;
+  if Hooks.inject_abort d then rollback t d Tx_signal.Killed;
   Runtime.Exec.tick costs.log_append;
   Wlog.replace d.wset addr value;
   let idx = Memory.Stripe.index t.stripe addr in
@@ -170,234 +120,69 @@ let write_word t d addr value =
     Ivec.push d.wstripes idx
   end
 
-let release_acquired t d ~upto =
-  for i = 0 to upto - 1 do
-    Runtime.Tmatomic.set
-      t.locks.(Ivec.unsafe_get d.wstripes i)
-      (Ivec.unsafe_get d.acq_saved i)
-  done
-
-(* GV4 clock bump: try to CAS the sampled value forward; on failure another
-   committer already advanced the clock and its value can be reused, saving
-   a second RMW on the hot line.  Returns the commit version and whether the
-   read set provably cannot have been invalidated: that is the case exactly
-   when OUR CAS advanced the clock from OUR start value [rv] (so no update
-   transaction committed in between).  A reused value equal to rv+1 gives no
-   such guarantee — some other transaction committed with it. *)
-let gv4_bump t ~rv =
-  let cur = Runtime.Tmatomic.get t.clock in
-  if Runtime.Tmatomic.cas t.clock ~expect:cur ~replace:(cur + 1) then
-    (cur + 1, cur = rv)
-  else (Runtime.Tmatomic.get t.clock, false)
-
-let commit t d =
-  if !Runtime.Exec.prof_on then
-    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
-  let costs = Runtime.Costs.get () in
-  Runtime.Exec.tick costs.tx_end;
-  if Wlog.is_empty d.wset then begin
-    (* Read-only: every read was validated against [rv]; nothing to do. *)
-    if !Trace.enabled then Trace.on_commit ~tid:d.tid;
-    Stats.commit t.stats ~tid:d.tid;
-    if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
-    clear_logs d;
-    t.cm.on_commit d.info;
-    Serial.release t.ser ~tid:d.tid
-  end
+let commit t (d : Txdesc.t) =
+  Hooks.commit_entry d;
+  if Wlog.is_empty d.wset then
+    (* Read-only: every read was validated against the snapshot. *)
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
   else begin
     (* Commit gate: an irrevocable transaction must see a frozen clock.
        The waiter holds no locks yet (lazy acquisition), so a plain spin
        is deadlock-free and needs no kill polling. *)
-    if Serial.held_by_other t.ser ~tid:d.tid then
-      Serial.gate t.ser ~tid:d.tid ~check:(fun () -> ());
-    Serial.enter_commit t.ser ~tid:d.tid;
-    if !Obs.Metrics.on then Obs.Metrics.on_commit_start ~tid:d.tid;
-    if !Runtime.Inject.on then Runtime.Inject.stretch ~tid:d.tid;
+    Hooks.enter_update_commit ~ser:t.ser ~gate_check:Driver.nop_gate_check d;
+    Hooks.inject_stretch d;
     (* Acquire every write lock; any conflict aborts (timid). *)
-    let n = Ivec.length d.wstripes in
-    let i = ref 0 in
-    (try
-       while !i < n do
-         let idx = Ivec.unsafe_get d.wstripes !i in
-         let lock = t.locks.(idx) in
-         let lv = Runtime.Tmatomic.get lock in
-         if is_locked lv then raise Exit
-         else if not (Runtime.Tmatomic.cas lock ~expect:lv ~replace:(locked_by d.tid))
-         then raise Exit
-         else begin
-           if !Runtime.Inject.on then Runtime.Inject.stall ~tid:d.tid;
-           Ivec.push d.acq_saved lv;
-           Wlog.replace d.acq_version idx (version_of lv);
-           incr i
-         end
-       done
-     with Exit ->
-       (* [!i] indexes the stripe whose lock we lost — the conflict site. *)
-       if !Obs.Metrics.on then
-         Obs.Metrics.on_stripe_conflict ~eid:t.eid
-           ~stripe:(Ivec.unsafe_get d.wstripes !i);
-       release_acquired t d ~upto:!i;
-       rollback t d Tx_signal.Ww_conflict);
-    let wv, quiescent = gv4_bump t ~rv:d.rv in
-    (* Validate the read set unless nobody else committed since start. *)
-    if not quiescent then begin
-      if !Runtime.Exec.prof_on then
-        Runtime.Exec.set_phase d.tid Runtime.Exec.ph_validate;
-      let ok = ref true in
-      let j = ref 0 in
-      let nr = Ivec.length d.read_stripes in
-      while !ok && !j < nr do
-        Runtime.Exec.tick costs.validate_entry;
-        let idx = Ivec.unsafe_get d.read_stripes !j in
-        let lv = Runtime.Tmatomic.get t.locks.(idx) in
-        (if is_locked lv then begin
-           if lv <> locked_by d.tid then ok := false
-           else begin
-             (* We hold this lock for commit: the read is valid only if the
-                version at acquisition had not passed our snapshot. *)
-             let s = Wlog.probe d.acq_version idx in
-             if s < 0 || Wlog.slot_value d.acq_version s > d.rv then
-               ok := false
-           end
-         end
-         else if version_of lv > d.rv then ok := false);
-        incr j
-      done;
-      if not !ok then begin
-        release_acquired t d ~upto:n;
-        rollback t d Tx_signal.Rw_validation
-      end;
-      if !Runtime.Exec.prof_on then
-        Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit
+    let conflict = Vlock.acquire_wstripes ~locks:t.locks d in
+    if conflict >= 0 then begin
+      Hooks.stripe_conflict ~eid:t.eid ~stripe:conflict;
+      rollback t d Tx_signal.Ww_conflict
     end;
-    Wlog.iter
-      (fun addr value ->
-        Runtime.Exec.tick costs.mem;
-        Memory.Heap.unsafe_write t.heap addr value)
-      d.wset;
-    Ivec.iter
-      (fun idx -> Runtime.Tmatomic.set t.locks.(idx) (unlocked_of_version wv))
-      d.wstripes;
-    if !Trace.enabled then Trace.on_commit ~tid:d.tid;
-    Stats.commit t.stats ~tid:d.tid;
-    if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
-    clear_logs d;
-    t.cm.on_commit d.info;
-    Serial.exit_commit t.ser ~tid:d.tid;
-    Serial.release t.ser ~tid:d.tid
+    let wv, quiescent = Vlock.gv4_bump ~clock:t.clock ~rv:d.valid_ts in
+    (* Validate the read set unless nobody else committed since start. *)
+    if (not quiescent) && not (Vlock.validate_rv ~locks:t.locks d) then begin
+      Vlock.release_restoring ~locks:t.locks d.wstripes d.acq_saved
+        ~upto:(Ivec.length d.wstripes);
+      rollback t d Tx_signal.Rw_validation
+    end;
+    Vlock.write_back ~heap:t.heap d;
+    Vlock.publish ~locks:t.locks d.wstripes ~version:wv;
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
   end
 
-let start t d ~restart =
-  (* Begin is recorded BEFORE the snapshot is taken (Trace contract). *)
-  if !Trace.enabled then Trace.on_begin ~tid:d.tid;
-  if !Runtime.Exec.prof_on then
-    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
-  d.start_cycles <- Runtime.Exec.now ();
-  if !Obs.Metrics.on then Obs.Metrics.on_tx_begin ~eid:t.eid ~tid:d.tid;
-  Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
-  clear_logs d;
+let start t (d : Txdesc.t) ~restart =
+  Hooks.tx_begin ~eid:t.eid d;
   t.cm.on_start d.info ~restart;
-  d.rv <- Runtime.Tmatomic.get t.clock;
-  if !Runtime.Exec.prof_on then
-    Runtime.Exec.set_phase d.tid Runtime.Exec.ph_other
+  d.valid_ts <- Runtime.Tmatomic.get t.clock;
+  Hooks.phase_other d.tid
 
-let emergency_release t d =
-  Serial.exit_commit t.ser ~tid:d.tid;
-  Serial.release t.ser ~tid:d.tid;
-  t.cm.on_quit d.info;
-  clear_logs d;
-  d.depth <- 0
-
-(* Retry driver with graceful degradation: see the SwissTM driver for the
+(* Retry driver with graceful degradation: see [Kernel.Driver] for the
    escalation protocol.  Under the irrevocability token TL2's attempt
    cannot fail in a simulated run — the commit gate freezes the clock, so
    no read validation can observe a newer version and no commit-time lock
    can be held by anyone else once in-flight commits drained. *)
-let run t ~tid ~irrevocable f =
-  let d = t.descs.(tid) in
-  if d.depth > 0 then begin
-    d.depth <- d.depth + 1;
-    Fun.protect ~finally:(fun () -> d.depth <- d.depth - 1) (fun () -> f d)
-  end
-  else
-    let rec attempt ~restart =
-      if
-        (irrevocable
-        || d.info.Cm.Cm_intf.succ_aborts >= t.cm.Cm.Cm_intf.escalate_after)
-        && not (Serial.mine t.ser ~tid)
-      then begin
-        if !Obs.Metrics.on then Obs.Metrics.on_escalation ~tid;
-        Serial.acquire t.ser ~tid;
-        Serial.drain t.ser ~tid
-      end;
-      let escalated = Serial.mine t.ser ~tid in
-      t.cm.pre_attempt d.info ~escalated;
-      if (not escalated) && Serial.held_by_other t.ser ~tid then
-        Serial.gate t.ser ~tid ~check:(fun () -> ());
-      start t d ~restart;
-      if escalated then d.info.Cm.Cm_intf.cm_ts <- 0;
-      d.depth <- 1;
-      match f d with
-      | v ->
-          d.depth <- 0;
-          (try
-             commit t d;
-             v
-           with Tx_signal.Abort -> attempt ~restart:true)
-      | exception Tx_signal.Abort ->
-          d.depth <- 0;
-          attempt ~restart:true
-      | exception e ->
-          emergency_release t d;
-          raise e
-    in
-    attempt ~restart:false
+let driver_ops t : Txdesc.t Driver.ops =
+  {
+    Driver.ser = t.ser;
+    cm = t.cm;
+    descs = t.descs;
+    info = (fun (d : Txdesc.t) -> d.info);
+    get_depth = (fun (d : Txdesc.t) -> d.depth);
+    set_depth = (fun (d : Txdesc.t) n -> d.depth <- n);
+    start = (fun d ~restart -> start t d ~restart);
+    commit = (fun d -> commit t d);
+    emergency = (fun d -> Hooks.emergency ~cm:t.cm ~ser:t.ser d);
+  }
 
-let atomic t ~tid f = run t ~tid ~irrevocable:false f
-let atomic_irrevocable t ~tid f = run t ~tid ~irrevocable:true f
+let atomic t ~tid f = Driver.run (driver_ops t) ~tid ~irrevocable:false f
+let atomic_irrevocable t ~tid f = Driver.run (driver_ops t) ~tid ~irrevocable:true f
 
 let engine ?config heap : Engine.t =
   let t = create ?config heap in
-  (* One [tx_ops] per descriptor, built up front: the per-transaction fast
-     path allocates no closures. *)
+  let dops = driver_ops t in
   let ops =
-    Array.init Stats.max_threads (fun tid ->
-        let d = t.descs.(tid) in
-        {
-          Engine.read =
-            (fun addr ->
-              (* One combined check on the everything-off fast path; the
-                 individual collector flags are only consulted behind it. *)
-              if !Runtime.Exec.hooks_on then begin
-                if !Runtime.Exec.prof_on then
-                  Runtime.Exec.set_phase tid Runtime.Exec.ph_read;
-                let v = read_word t d addr in
-                if !Runtime.Exec.prof_on then
-                  Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
-                if !Trace.enabled then Trace.on_read ~tid ~addr ~value:v;
-                v
-              end
-              else read_word t d addr);
-          write =
-            (fun addr v ->
-              if !Runtime.Exec.hooks_on then begin
-                if !Runtime.Exec.prof_on then
-                  Runtime.Exec.set_phase tid Runtime.Exec.ph_write;
-                write_word t d addr v;
-                if !Runtime.Exec.prof_on then
-                  Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
-                if !Trace.enabled then Trace.on_write ~tid ~addr ~value:v
-              end
-              else write_word t d addr v);
-          alloc = (fun n -> Memory.Heap.alloc heap n);
-        })
+    Package.ops_array ~heap ~descs:t.descs ~read:(read_word t)
+      ~write:(write_word t)
   in
-  {
-    Engine.name;
-    heap;
-    atomic = (fun ~tid f -> atomic t ~tid (fun _ -> f ops.(tid)));
-    atomic_irrevocable =
-      (fun ~tid f -> atomic_irrevocable t ~tid (fun _ -> f ops.(tid)));
-    stats = (fun () -> Stats.snapshot t.stats);
-    reset_stats = (fun () -> Stats.reset t.stats);
-  }
+  Package.make ~name ~heap ~stats:t.stats ~ops
+    ~runner:
+      { Package.run = (fun ~tid ~irrevocable f -> Driver.run dops ~tid ~irrevocable f) }

@@ -190,15 +190,16 @@ let test_swisstm_lock_encoding () =
   check Alcotest.int "w owner roundtrip" 5
     (Swisstm.Lock_table.w_owner_of (Swisstm.Lock_table.encode_w_owner 5))
 
+(* Both TL2 and TinySTM share the kernel's versioned-lock encoding. *)
 let test_tl2_lock_encoding () =
-  let open Tl2.Tl2_engine in
+  let open Kernel.Vlock in
   check Alcotest.int "version roundtrip" 99 (version_of (unlocked_of_version 99));
   Alcotest.(check bool) "unlocked not locked" false
     (is_locked (unlocked_of_version 99));
   Alcotest.(check bool) "locked" true (is_locked (locked_by 3))
 
 let test_tinystm_lock_encoding () =
-  let open Tinystm.Tinystm_engine in
+  let open Kernel.Vlock in
   check Alcotest.int "version roundtrip" 41 (version_of (unlocked_of_version 41));
   Alcotest.(check bool) "locked" true (is_locked (locked_by 0));
   Alcotest.(check bool) "distinct owners distinct" true
