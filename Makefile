@@ -1,7 +1,7 @@
 # Convenience targets; the source of truth is dune.
 
 .PHONY: all build test bench check fuzz-smoke obs-smoke fault-smoke \
-        kernel-smoke clean
+        kernel-smoke epoch-smoke pool-smoke clean
 
 all: build
 
@@ -26,6 +26,8 @@ check: build
 	$(MAKE) fuzz-smoke
 	$(MAKE) fault-smoke
 	$(MAKE) kernel-smoke
+	$(MAKE) epoch-smoke
+	$(MAKE) pool-smoke
 
 # Kernel smoke (seconds): the differential suite (current engines vs the
 # frozen pre-refactor behavioral snapshot, bit-identical in simulated
@@ -48,6 +50,16 @@ kernel-smoke: build
 	 else \
 	   echo "LoC budget ok: engine files total $$total lines (<= 1803)"; \
 	 fi
+	@fail=0; \
+	 for spec in lib/core/swisstm_engine.ml:605 lib/stm_tl2/tl2_engine.ml:189 \
+	             lib/stm_tiny/tinystm_engine.ml:218 lib/stm_rstm/rstm_engine.ml:469 \
+	             lib/stm_mv/mvstm_engine.ml:327; do \
+	   f=$${spec%%:*}; cap=$${spec##*:}; n=$$(wc -l < $$f); \
+	   if [ $$n -gt $$cap ]; then \
+	     echo "LoC budget FAIL: $$f is $$n lines (> its PR-5 cap $$cap)"; fail=1; \
+	   fi; \
+	 done; \
+	 if [ $$fail -ne 0 ]; then exit 1; else echo "LoC budget ok: every engine file within its PR-5 cap"; fi
 
 # Observability smoke (seconds): metrics + profiler + trace export on a
 # 2-thread contended micro over swisstm and tl2, with the emitted JSON
@@ -62,6 +74,7 @@ fuzz-smoke: build
 	dune exec bin/stm_fuzz.exe -- --engine swisstm --policy pct --seeds 8 --progs 3
 	dune exec bin/stm_fuzz.exe -- --engine tl2 --policy random --seeds 8 --progs 3
 	dune exec bin/stm_fuzz.exe -- --engine mvstm --policy pct --seeds 8 --progs 3
+	dune exec bin/stm_fuzz.exe -- --epochs --engine swisstm-priv-epoch --policy pct --seeds 8 --progs 3
 	dune exec bin/stm_fuzz.exe -- --self-check --policy random --seeds 8 --progs 10
 
 # Fault-injection smoke (seconds): a deterministic abort storm over a hot
@@ -73,6 +86,17 @@ fault-smoke: build
 	dune exec bin/fault_smoke.exe
 	dune exec bin/stm_fuzz.exe -- --inject --engine swisstm-adaptive --seeds 6 --progs 3
 	dune exec bin/stm_fuzz.exe -- --inject --engine tl2 --seeds 6 --progs 3
+	dune exec bin/stm_fuzz.exe -- --inject --epochs --engine swisstm-priv-epoch --seeds 6 --progs 3
+
+# Memory smokes (seconds, native domains): epoch-smoke drives a
+# privatizing writer against a snapshot-holding reader and requires zero
+# use-after-reclaim observations with the reclaimer armed; pool-smoke
+# builds and drops engines until the descriptor pools report recycling.
+epoch-smoke: build
+	dune exec bin/epoch_smoke.exe -- epoch
+
+pool-smoke: build
+	dune exec bin/epoch_smoke.exe -- pool
 
 clean:
 	dune clean

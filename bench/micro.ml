@@ -50,6 +50,22 @@ let raw_test name spec =
              done;
              ignore (tx.read (base + 128) : int))))
 
+(* Read-heavy mix (PR 6): 2 writes then 16 reads, 2 of which hit the
+   write log — the shape the allocation-free read set targets. *)
+let raw_16r2w_test name spec =
+  let heap = Memory.Heap.create ~words:(1 lsl 16) in
+  let base = Memory.Heap.alloc heap 256 in
+  let engine = Engines.make spec heap in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         Stm_intf.Engine.atomic engine ~tid:0 (fun tx ->
+             for i = 0 to 1 do
+               tx.write (base + i) i
+             done;
+             for i = 0 to 15 do
+               ignore (tx.read (base + i) : int)
+             done)))
+
 let run_one test =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
@@ -62,8 +78,8 @@ let run_one test =
 let run () =
   Bench_common.section
     "Micro (Bechamel, real time): single-threaded transaction overhead";
-  Printf.printf "%-10s %18s %18s %18s %18s\n" "engine" "ro-8reads[ns]"
-    "rw-8r8w[ns]" "wo-8writes[ns]" "raw-8w8r[ns]";
+  Printf.printf "%-10s %15s %15s %15s %15s %15s\n" "engine" "ro-8reads[ns]"
+    "rw-8r8w[ns]" "wo-8writes[ns]" "raw-8w8r[ns]" "raw-16r2w[ns]";
   List.iter
     (fun (name, spec) ->
       let time label test =
@@ -79,5 +95,7 @@ let run () =
       let rw = time "rw" (tx_test "rw" spec ~reads:8 ~writes:8) in
       let wo = time "wo" (tx_test "wo" spec ~reads:0 ~writes:8) in
       let raw = time "raw" (raw_test "raw" spec) in
-      Printf.printf "%-10s %18.1f %18.1f %18.1f %18.1f\n%!" name ro rw wo raw)
+      let raw16 = time "raw-16r2w" (raw_16r2w_test "raw-16r2w" spec) in
+      Printf.printf "%-10s %15.1f %15.1f %15.1f %15.1f %15.1f\n%!" name ro rw
+        wo raw raw16)
     engines

@@ -17,22 +17,32 @@
      ktps, simulated elapsed cycles and abort rate — cycle numbers are
      deterministic, so any diff against a previous BENCH_PR*.json flags a
      cost-model change.
+   - "privatization_sim" (PR 6): deterministic privatization penalty —
+     the sb7 read mix at 8 simulated threads under plain swisstm, the §6
+     quiescence barrier and the epoch reclaimer (DESIGN.md §12).
+   - "privatization_native" (PR 6): the same three variants running a
+     read-mix + privatize/free workload on real [Domain]s, wall-clock.
+   - "gauges" (PR 6): the descriptor-pool / heap free-list / epoch
+     counters accumulated over the whole gate run.
 
    The gate exits non-zero when the wlog fast path or the swisstm rw micro
-   regresses below the 20 % improvement bar.
+   regresses below the 20 % improvement bar, when the PR-6 raw-speed work
+   regresses below 10 % vs the PR-5 rw floor, when epoch-based
+   privatization costs more than 15 % on the simulated read mix, or when
+   the native epoch runs show no grace-period progress / undrained limbo.
 
      dune exec bench/perf_gate.exe                  # full matrix
      dune exec bench/perf_gate.exe -- --smoke       # quick CI smoke
      dune exec bench/perf_gate.exe -- --out f.json  *)
 
 let smoke = ref false
-let out = ref "BENCH_PR1.json"
+let out = ref "BENCH_PR6.json"
 
 let () =
   Arg.parse
     [
       ("--smoke", Arg.Set smoke, " quick mode: fewer iterations and threads");
-      ("--out", Arg.Set_string out, "FILE output path (default BENCH_PR1.json)");
+      ("--out", Arg.Set_string out, "FILE output path (default BENCH_PR6.json)");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "perf_gate [--smoke] [--out FILE]"
@@ -60,6 +70,29 @@ let required_improvement_pct = 20.0
 let pr2_swisstm_rw_ns = 1198.0
 let obs_overhead_limit_pct = 2.0
 let obs_max_attempts = 8
+
+(* PR-5 baseline for the PR-6 raw-speed gate: swisstm rw-8r8w ns/tx at
+   commit 9b03156, measured with the SAME methodology as the
+   observability gate above (fresh process, min over 30 alternated
+   5000-iteration batches) — so the gate reuses that measurement and its
+   retry machinery rather than the noisier bechamel-style micro section.
+   The PR-6 pooled-descriptor / allocation-free-read-set work must beat
+   it by [pr5_required_improvement_pct]. *)
+let pr5_swisstm_rw_ns = 1210.0
+let pr5_required_improvement_pct = 10.0
+
+(* Privatization gate (PR 6): with the epoch reclaimer standing in for
+   the §6 quiescence barrier, the read-mix privatization penalty may be
+   at most 15 % vs plain (privatization-UNSAFE) swisstm.  Quiescence
+   measured −34 % on this mix (EXPERIMENTS.md); epochs must recover most
+   of it.  Checked twice: deterministically on the simulated sb7 read mix
+   at 8 threads (the EXPERIMENTS.md methodology — exact, no retries), and
+   on real domains as a wall-clock corroboration (noisy on a small
+   machine, so that half re-measures over alternated rounds and keeps
+   each variant's best run). *)
+let epoch_penalty_floor_pct = -15.0
+let priv_min_rounds = 3
+let priv_max_attempts = 6
 
 (* Frozen PR-4 smoke-mode sb7 simulated cycles (3 workloads x 4 engines x
    threads [1;2], emission order).  Simulated time is deterministic, so
@@ -169,7 +202,7 @@ let engines =
     ("glock", Engines.Glock);
   ]
 
-let micro_shapes = [ "ro"; "rw"; "wo"; "raw" ]
+let micro_shapes = [ "ro"; "rw"; "wo"; "raw"; "raw-16r2w" ]
 
 let micro_tx engine base shape =
   let open Stm_intf in
@@ -201,6 +234,17 @@ let micro_tx engine base shape =
             ignore (tx.Engine.read (base + i) : int)
           done;
           ignore (tx.Engine.read (base + 128) : int))
+  | "raw-16r2w" ->
+      (* Read-heavy mix (PR 6): 2 writes then 16 reads, 2 of which hit
+         the write log — the shape the allocation-free read set and the
+         epoch work target. *)
+      Engine.atomic engine ~tid:0 (fun tx ->
+          for i = 0 to 1 do
+            tx.Engine.write (base + i) i
+          done;
+          for i = 0 to 15 do
+            ignore (tx.Engine.read (base + i) : int)
+          done)
   | _ -> assert false
 
 let micro ~iters =
@@ -260,6 +304,129 @@ let sb7 ~threads ~duration_cycles =
         sb7_engines)
     sb7_workloads
 
+(* ---------- section 4: privatization penalty (PR 6) ---------- *)
+
+(* Deterministic half of the privatization gate: the sb7 read mix at 8
+   simulated threads — the measurement behind EXPERIMENTS.md's "−34 % on
+   the read mix" quiescence figure.  Epoch announcements are plain
+   (uncharged) atomics and [Heap.free]'s deferral happens off the
+   simulated clock, so the +epochs engine must track plain swisstm here
+   while +quiescence keeps paying the commit-time barrier.  Simulated
+   cycles are deterministic: these ktps never move between runs, so the
+   epoch-penalty bound can be tight without any retry machinery. *)
+let sim_priv ~duration_cycles =
+  let run spec =
+    Bench_common.ktps
+      (Stmbench7.Sb7_bench.run ~spec
+         ~workload:Stmbench7.Sb7_bench.Read_dominated ~threads:8
+         ~duration_cycles ())
+  in
+  ( run Engines.swisstm,
+    run Engines.swisstm_priv_safe,
+    run Engines.swisstm_priv_epoch )
+
+(* Wall-clock, real [Domain]s: each of 4 domains runs a read-mix loop
+   over its own 16-word block (16 reads + 2 writes per transaction) and
+   every 16th transaction privatizes the block — swaps a fresh block
+   into its handle inside a transaction, then frees the old block
+   outside it.  Domains never share blocks, so the cost measured is
+   purely the safety mechanism: plain swisstm commits immediately
+   (privatization-UNSAFE — acceptable here because no domain ever reads
+   another's block), +quiescence pays the §6 commit-time barrier, and
+   +epochs pays one announcement per boundary while [Heap.free] defers
+   the block to the limbo list.  Returns transactions per second. *)
+let native_priv_tps ~spec ~epochs ~txs =
+  let n_domains = 4 in
+  let block_words = 16 in
+  let heap = Memory.Heap.create ~words:(1 lsl 16) in
+  let handles = Memory.Heap.alloc heap n_domains in
+  for d = 0 to n_domains - 1 do
+    Memory.Heap.write heap (handles + d) (Memory.Heap.alloc heap block_words)
+  done;
+  (* Small lock table: the workload touches a few dozen stripes, and the
+     default 2^18-entry table's allocation leaves GC debt that the timed
+     region would pay unevenly across variants. *)
+  let engine = Engines.make (Engines.with_table_bits 12 spec) heap in
+  if epochs then Memory.Epoch.arm ();
+  let t0 = now () in
+  let doms =
+    Array.init n_domains (fun tid ->
+        Domain.spawn (fun () ->
+            Runtime.Exec.set_native_tid tid;
+            if epochs then Memory.Epoch.online ~tid;
+            let open Stm_intf in
+            for it = 1 to txs do
+              if it land 15 = 0 then begin
+                (* Privatize: publish a fresh block, free the old one. *)
+                let fresh = Memory.Heap.alloc heap block_words in
+                let old =
+                  Engine.atomic engine ~tid (fun tx ->
+                      let o = tx.Engine.read (handles + tid) in
+                      tx.Engine.write (handles + tid) fresh;
+                      o)
+                in
+                Memory.Heap.free heap old block_words
+              end
+              else
+                Engine.atomic engine ~tid (fun tx ->
+                    let b = tx.Engine.read (handles + tid) in
+                    let acc = ref 0 in
+                    for i = 0 to block_words - 1 do
+                      acc := !acc + tx.Engine.read (b + i)
+                    done;
+                    tx.Engine.write b !acc;
+                    tx.Engine.write (b + 1) it)
+            done;
+            if epochs then Memory.Epoch.offline ~tid))
+  in
+  Array.iter Domain.join doms;
+  let dt = now () -. t0 in
+  if epochs then Memory.Epoch.disarm ();
+  float_of_int (n_domains * txs) /. dt
+
+let native_priv ~txs =
+  (* Throwaway run first: domain spawn and GC warm-up dominate a short
+     first native run and would skew whichever variant went first. *)
+  ignore
+    (native_priv_tps ~spec:Engines.swisstm ~epochs:false ~txs:(txs / 4)
+      : float);
+  (* One alternated round: each variant measured once.  Warm-up and load
+     drift are monotone across a round, so comparing within a round and
+     keeping each variant's best across several rounds is what makes the
+     penalty numbers mean anything (sequential best-of runs showed the
+     *later* variant consistently 30–40 % faster, whichever it was). *)
+  let one () =
+    let base = native_priv_tps ~spec:Engines.swisstm ~epochs:false ~txs in
+    let quiesce =
+      native_priv_tps ~spec:Engines.swisstm_priv_safe ~epochs:false ~txs
+    in
+    let epoch =
+      native_priv_tps ~spec:Engines.swisstm_priv_epoch ~epochs:true ~txs
+    in
+    (base, quiesce, epoch)
+  in
+  let combine (a, b, c) (a', b', c') =
+    (Float.max a a', Float.max b b', Float.max c c')
+  in
+  let penalty v base = (v -. base) /. base *. 100. in
+  (* Always at least [priv_min_rounds] rounds; keep going (up to
+     [priv_max_attempts]) only while the gate would fail — a load burst
+     that hits one variant's window would otherwise fake a penalty. *)
+  let rec go attempt ((base, _, epoch) as acc) =
+    let ok = penalty epoch base >= epoch_penalty_floor_pct in
+    if attempt >= priv_min_rounds && (ok || attempt >= priv_max_attempts)
+    then (acc, attempt)
+    else begin
+      if not ok then
+        Printf.printf
+          "  round %d/%d: epoch penalty %.1f%% under the floor, \
+           re-measuring...\n%!"
+          attempt priv_max_attempts (penalty epoch base);
+      go (attempt + 1) (combine acc (one ()))
+    end
+  in
+  go 1 (one ())
+
 (* ---------- JSON emission ---------- *)
 
 let () =
@@ -303,12 +470,21 @@ let () =
   let obs_rw_ns, obs_cal_ns, obs_attempts =
     let rec go attempt (rw_ns, cal_ns) =
       let pct = (rw_ns -. pr2_swisstm_rw_ns) /. pr2_swisstm_rw_ns *. 100. in
-      if pct <= obs_overhead_limit_pct || attempt >= obs_max_attempts then
-        (rw_ns, cal_ns, attempt)
+      (* The PR-6 raw-speed gate reuses this measurement (same
+         methodology as its frozen PR-5 baseline), so a load burst that
+         would fake *either* failure earns a re-measure. *)
+      let pr5_ok =
+        (pr5_swisstm_rw_ns -. rw_ns) /. pr5_swisstm_rw_ns *. 100.
+        >= pr5_required_improvement_pct
+      in
+      if
+        (pct <= obs_overhead_limit_pct && pr5_ok)
+        || attempt >= obs_max_attempts
+      then (rw_ns, cal_ns, attempt)
       else begin
         Printf.printf
-          "  attempt %d/%d: rw %.1f ns (%+.1f%%) over the bar, re-measuring \
-           after a pause...\n%!"
+          "  attempt %d/%d: rw %.1f ns (%+.1f%% vs PR-2) over a bar, \
+           re-measuring after a pause...\n%!"
           attempt obs_max_attempts rw_ns pct;
         Unix.sleepf 1.0;
         let rw_ns', cal_ns' = measure_rw_cal () in
@@ -325,6 +501,12 @@ let () =
      %d attempt%s)\n%!"
     obs_rw_ns pr2_swisstm_rw_ns obs_overhead_pct obs_cal_ns obs_attempts
     (if obs_attempts = 1 then "" else "s");
+  let pr5_imp =
+    (pr5_swisstm_rw_ns -. obs_rw_ns) /. pr5_swisstm_rw_ns *. 100.
+  in
+  Printf.printf
+    "  swisstm rw vs PR-5 baseline %.1f ns: %.1f%% better (need >= %.0f%%)\n%!"
+    pr5_swisstm_rw_ns pr5_imp pr5_required_improvement_pct;
   Printf.printf "perf_gate: wlog fast path...\n%!";
   let wl_ns, ht_ns, wl_imp = wlog_fastpath ~iters:fast_iters in
   Printf.printf "  wlog %.1f ns/tx, hashtbl %.1f ns/tx (%.1f%% better)\n%!"
@@ -356,10 +538,52 @@ let () =
   if !smoke then
     Printf.printf "  sb7 cycles vs frozen PR-4 matrix: %s\n%!"
       (if sb7_identity_ok then "bit-identical" else "DIVERGED");
+  Printf.printf "perf_gate: privatization penalty (simulated, 8 threads)...\n%!";
+  let sim_plain, sim_quiesce, sim_epoch =
+    sim_priv ~duration_cycles:(if !smoke then 400_000 else 2_000_000)
+  in
+  let sim_penalty v = (v -. sim_plain) /. sim_plain *. 100. in
+  let sim_quiesce_penalty = sim_penalty sim_quiesce in
+  let sim_epoch_penalty = sim_penalty sim_epoch in
+  Printf.printf
+    "  plain %.1f ktps, +quiescence %.1f ktps (%+.1f%%), +epochs %.1f ktps \
+     (%+.1f%%)\n%!"
+    sim_plain sim_quiesce sim_quiesce_penalty sim_epoch sim_epoch_penalty;
+  Printf.printf "perf_gate: native privatization (4 domains)...\n%!";
+  let priv_txs = if !smoke then 2_000 else 6_000 in
+  let adv0 = Memory.Epoch.advances () in
+  let def0 = Memory.Epoch.deferred () in
+  let rec0 = Memory.Epoch.reclaimed () in
+  let (priv_base, priv_quiesce, priv_epoch), priv_attempts =
+    native_priv ~txs:priv_txs
+  in
+  let priv_penalty v = (v -. priv_base) /. priv_base *. 100. in
+  let quiesce_penalty = priv_penalty priv_quiesce in
+  let epoch_penalty = priv_penalty priv_epoch in
+  Printf.printf
+    "  plain %.0f tx/s, +quiescence %.0f tx/s (%+.1f%%), +epochs %.0f tx/s \
+     (%+.1f%%), %d attempt%s; epoch advances %d, deferred %d, reclaimed %d\n%!"
+    priv_base priv_quiesce quiesce_penalty priv_epoch epoch_penalty
+    priv_attempts
+    (if priv_attempts = 1 then "" else "s")
+    (Memory.Epoch.advances ())
+    (Memory.Epoch.deferred ())
+    (Memory.Epoch.reclaimed ());
+  (* Liveness invariants of the native runs (the wall-clock *percentage*
+     stays informational — scheduler noise on a small machine makes it
+     an unreliable bar, unlike the simulated one above): grace periods
+     actually advanced, blocks were actually deferred, and [disarm]
+     handed every limbo block back to the free lists. *)
+  let epoch_live_ok =
+    Memory.Epoch.advances () > adv0
+    && Memory.Epoch.deferred () > def0
+    && Memory.Epoch.deferred () - def0 = Memory.Epoch.reclaimed () - rec0
+  in
+  let gauges = Obs.Metrics.gauge_values () in
   let buf = Buffer.create 4096 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   bpf "{\n";
-  bpf "  \"schema\": \"swisstm-repro/perf-gate/1\",\n";
+  bpf "  \"schema\": \"swisstm-repro/perf-gate/2\",\n";
   bpf "  \"mode\": \"%s\",\n" (if !smoke then "smoke" else "full");
   bpf "  \"wlog_fastpath\": {\n";
   bpf "    \"wlog_ns_per_tx\": %s,\n" (jfloat wl_ns);
@@ -385,6 +609,12 @@ let () =
     "    \"note\": \"seed number was bechamel-measured; the apples-to-apples \
      check is `dune exec bench/main.exe -- micro` vs the seed commit\"\n";
   bpf "  },\n";
+  bpf "  \"swisstm_rw_vs_pr5\": {\n";
+  bpf "    \"pr5_ns_per_tx\": %s,\n" (jfloat pr5_swisstm_rw_ns);
+  bpf "    \"current_ns_per_tx\": %s,\n" (jfloat obs_rw_ns);
+  bpf "    \"improvement_pct\": %s,\n" (jfloat pr5_imp);
+  bpf "    \"required_pct\": %s\n" (jfloat pr5_required_improvement_pct);
+  bpf "  },\n";
   bpf "  \"observability\": {\n";
   bpf "    \"off_rw_ns_per_tx\": %s,\n" (jfloat obs_rw_ns);
   bpf "    \"cal_ns_per_tx\": %s,\n" (jfloat obs_cal_ns);
@@ -403,7 +633,35 @@ let () =
         w e t (jfloat ktps) cycles (jfloat ar)
         (if i < List.length s - 1 then "," else ""))
     s;
-  bpf "  ]\n";
+  bpf "  ],\n";
+  bpf "  \"privatization_sim\": {\n";
+  bpf "    \"workload\": \"sb7 read_dominated\",\n";
+  bpf "    \"threads\": 8,\n";
+  bpf "    \"plain_ktps\": %s,\n" (jfloat sim_plain);
+  bpf "    \"quiescence_ktps\": %s,\n" (jfloat sim_quiesce);
+  bpf "    \"epoch_ktps\": %s,\n" (jfloat sim_epoch);
+  bpf "    \"quiescence_penalty_pct\": %s,\n" (jfloat sim_quiesce_penalty);
+  bpf "    \"epoch_penalty_pct\": %s,\n" (jfloat sim_epoch_penalty);
+  bpf "    \"epoch_penalty_floor_pct\": %s\n" (jfloat epoch_penalty_floor_pct);
+  bpf "  },\n";
+  bpf "  \"privatization_native\": {\n";
+  bpf "    \"domains\": 4,\n";
+  bpf "    \"txs_per_domain\": %d,\n" priv_txs;
+  bpf "    \"plain_tps\": %s,\n" (jfloat priv_base);
+  bpf "    \"quiescence_tps\": %s,\n" (jfloat priv_quiesce);
+  bpf "    \"epoch_tps\": %s,\n" (jfloat priv_epoch);
+  bpf "    \"quiescence_penalty_pct\": %s,\n" (jfloat quiesce_penalty);
+  bpf "    \"epoch_penalty_pct\": %s,\n" (jfloat epoch_penalty);
+  bpf "    \"epoch_liveness_ok\": %b,\n" epoch_live_ok;
+  bpf "    \"measure_attempts\": %d\n" priv_attempts;
+  bpf "  },\n";
+  bpf "  \"gauges\": {\n";
+  List.iteri
+    (fun i (name, v) ->
+      bpf "    \"%s\": %d%s\n" name v
+        (if i < List.length gauges - 1 then "," else ""))
+    gauges;
+  bpf "  }\n";
   bpf "}\n";
   let oc = open_out !out in
   output_string oc (Buffer.contents buf);
@@ -432,6 +690,31 @@ let () =
       obs_attempts;
     fail := true
   end;
+  if pr5_imp < pr5_required_improvement_pct then begin
+    Printf.eprintf
+      "perf_gate: FAIL swisstm rw %.1f ns only %.1f%% better than the PR-5 \
+       baseline %.1f ns (need >= %.0f%%, best of %d attempts)\n"
+      obs_rw_ns pr5_imp pr5_swisstm_rw_ns pr5_required_improvement_pct
+      obs_attempts;
+    fail := true
+  end;
+  if sim_epoch_penalty < epoch_penalty_floor_pct then begin
+    Printf.eprintf
+      "perf_gate: FAIL simulated epoch privatization penalty %.1f%% on the \
+       sb7 read mix is under the %.0f%% floor (quiescence reference: \
+       %.1f%%)\n"
+      sim_epoch_penalty epoch_penalty_floor_pct sim_quiesce_penalty;
+    fail := true
+  end;
+  if not epoch_live_ok then begin
+    Printf.eprintf
+      "perf_gate: FAIL native epoch reclaimer: no grace-period progress or \
+       undrained limbo blocks (advances +%d, deferred +%d, reclaimed +%d)\n"
+      (Memory.Epoch.advances () - adv0)
+      (Memory.Epoch.deferred () - def0)
+      (Memory.Epoch.reclaimed () - rec0);
+    fail := true
+  end;
   if not sb7_identity_ok then begin
     Printf.eprintf
       "perf_gate: FAIL sb7 simulated cycles diverged from the frozen PR-4 \
@@ -440,7 +723,9 @@ let () =
   end;
   if !fail then exit 1;
   Printf.printf
-    "perf_gate: OK (improvements >= %.0f%%, obs-off overhead %+.1f%% <= \
-     %.0f%%%s)\n%!"
-    required_improvement_pct obs_overhead_pct obs_overhead_limit_pct
+    "perf_gate: OK (improvements >= %.0f%%, rw %.1f%% better than PR-5, \
+     obs-off overhead %+.1f%% <= %.0f%%, epoch privatization %+.1f%% sim / \
+     %+.1f%% native%s)\n%!"
+    required_improvement_pct pr5_imp obs_overhead_pct obs_overhead_limit_pct
+    sim_epoch_penalty epoch_penalty
     (if !smoke then ", sb7 cycles bit-identical to PR-4" else "")

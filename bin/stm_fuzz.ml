@@ -16,6 +16,7 @@ let self_check = ref false
 let verbose = ref false
 let inject = ref false
 let inject_seed = ref 7
+let epochs = ref false
 
 let speclist =
   [
@@ -38,6 +39,9 @@ let speclist =
       aborts, holder stalls and stretched commits, and must stay opaque");
     ("--inject-seed", Arg.Set_int inject_seed,
      "N  fault-stream seed for --inject (default 7)");
+    ("--epochs", Arg.Set epochs,
+     "  arm the epoch reclaimer and the heap free-guard for every run \
+      (epoch-wired engines announce; frees defer through limbo)");
     ("-v", Arg.Set verbose, "  verbose (report undecided runs)");
   ]
 
@@ -78,6 +82,13 @@ let () =
      escalation). *)
   if !inject then
     Runtime.Inject.arm ~seed:!inject_seed Runtime.Inject.abort_storm;
+  (* Epoch announcements are plain atomics (no simulated cycles), so arming
+     must not change any history; the runs merely exercise the reclaimer
+     and the double-free guard underneath the checker. *)
+  if !epochs then begin
+    Memory.Heap.guard_on := true;
+    Memory.Epoch.arm ()
+  end;
   if !corpus <> [] then begin
     let bad = ref 0 in
     List.iter

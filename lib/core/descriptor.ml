@@ -1,17 +1,18 @@
 (* Per-thread SwissTM transaction descriptor (paper §3: "transaction
    descriptor tx").
 
-   Holds the validation timestamp, the read log (stripe index + observed
-   version per read), the set of stripes whose w-locks the transaction owns,
-   and the word-granular redo log.  One descriptor per logical thread,
-   reused across transactions. *)
+   Holds the validation timestamp, the read log ([Rset] journal of
+   (stripe index, observed version) pairs), the set of stripes whose
+   w-locks the transaction owns, and the word-granular redo log.  One
+   descriptor per logical thread, reused across transactions — and,
+   with pooling (DESIGN.md §12), across engine instances too. *)
 
 type t = {
   tid : int;
   info : Cm.Cm_intf.txinfo;
   mutable valid_ts : int;  (** tx.valid-ts: commit-ts value last validated *)
-  read_stripes : Stm_intf.Ivec.t;  (** read log: stripe indices *)
-  read_versions : Stm_intf.Ivec.t;  (** read log: versions observed *)
+  rset : Stm_intf.Rset.t;
+      (** read log: (stripe index, version observed) journal *)
   acq_stripes : Stm_intf.Ivec.t;  (** stripes whose w-lock we hold *)
   acq_saved : Stm_intf.Ivec.t;  (** r-lock values saved while commit-locking *)
   wset : Stm_intf.Wlog.t;  (** redo log: word address -> new value *)
@@ -24,6 +25,9 @@ type t = {
   mutable start_cycles : int;
       (** virtual time at attempt start; an abort charges
           [now - start_cycles] to [Stats.wasted] *)
+  mutable pool_gen : int;
+      (** pool generation stamp: even = checked out, odd = in the free
+          list; guards against double release *)
 }
 
 (** Snapshot of the transaction logs at the start of a closed-nested scope
@@ -39,8 +43,7 @@ let create ~tid ~seed =
     tid;
     info = Cm.Cm_intf.make_txinfo ~tid ~seed;
     valid_ts = 0;
-    read_stripes = Stm_intf.Ivec.create ();
-    read_versions = Stm_intf.Ivec.create ();
+    rset = Stm_intf.Rset.create ();
     acq_stripes = Stm_intf.Ivec.create ();
     acq_saved = Stm_intf.Ivec.create ();
     wset = Stm_intf.Wlog.create ();
@@ -50,6 +53,7 @@ let create ~tid ~seed =
     depth = 0;
     savepoint = None;
     start_cycles = 0;
+    pool_gen = 0;
   }
 
 let clear_sp_undo d =
@@ -60,10 +64,72 @@ let clear_sp_undo d =
 let clear_logs d =
   d.savepoint <- None;
   clear_sp_undo d;
-  Stm_intf.Ivec.clear d.read_stripes;
-  Stm_intf.Ivec.clear d.read_versions;
+  Stm_intf.Rset.clear d.rset;
   Stm_intf.Ivec.clear d.acq_stripes;
   Stm_intf.Ivec.clear d.acq_saved;
   Stm_intf.Wlog.clear d.wset
 
 let is_read_only d = Stm_intf.Ivec.length d.acq_stripes = 0
+
+(* --- descriptor pool (DESIGN.md §12) ----------------------------------- *)
+
+(* Twin of [Kernel.Txdesc.Pool] for swisstm's private descriptor (the
+   wall-clock exemption keeps its own type, so it needs its own free
+   lists).  [acquire] resets a recycled descriptor to exactly the state
+   [create] produces — including the RNG stream and the kill flag's
+   modelled cache line — so simulated cycle traces are independent of
+   when the GC recycles descriptors. *)
+module Pool = struct
+  let lock = Mutex.create ()
+  let free : t list array = Array.make Stm_intf.Stats.max_threads []
+  let hits = ref 0
+  let misses = ref 0
+  let double_releases = ref 0
+
+  let reset d ~seed =
+    clear_logs d;
+    d.valid_ts <- 0;
+    d.depth <- 0;
+    d.start_cycles <- 0;
+    Cm.Cm_intf.reset_txinfo d.info ~seed
+
+  let acquire ~tid ~seed =
+    Mutex.lock lock;
+    match free.(tid) with
+    | d :: rest ->
+        free.(tid) <- rest;
+        incr hits;
+        Mutex.unlock lock;
+        d.pool_gen <- d.pool_gen + 1;
+        reset d ~seed;
+        d
+    | [] ->
+        incr misses;
+        Mutex.unlock lock;
+        create ~tid ~seed
+
+  let release d =
+    Mutex.lock lock;
+    if d.pool_gen land 1 = 1 then incr double_releases
+    else begin
+      d.pool_gen <- d.pool_gen + 1;
+      free.(d.tid) <- d :: free.(d.tid)
+    end;
+    Mutex.unlock lock
+
+  let () =
+    Obs.Metrics.register_gauge "desc_pool_hits" (fun () -> !hits);
+    Obs.Metrics.register_gauge "desc_pool_misses" (fun () -> !misses);
+    Obs.Metrics.register_gauge "desc_pool_double_releases" (fun () ->
+        !double_releases)
+end
+
+(** Pool-backed descriptor table; descriptors return to the pool when the
+    table is collected (engines have no explicit close). *)
+let make_descs ~seed () =
+  let descs =
+    Array.init Stm_intf.Stats.max_threads (fun tid ->
+        Pool.acquire ~tid ~seed)
+  in
+  Gc.finalise (Array.iter Pool.release) descs;
+  descs

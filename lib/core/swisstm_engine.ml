@@ -1,49 +1,47 @@
 (* SwissTM — the paper's Algorithm 1 + Algorithm 2.
 
-   Lock- and word-based STM with:
-   - invisible reads validated against a global commit counter
-     ([commit_ts]), with timestamp *extension* on successful revalidation;
-   - *eager* write/write conflict detection: writers acquire a stripe's
-     w-lock with a CAS at their first write (encounter time), so a doomed
-     transaction learns about a w/w conflict immediately;
-   - *lazy* read/write conflict detection: readers are never blocked by a
-     w-lock holder (they read the old value from memory — redo logging);
-     r-locks are taken only for the duration of commit;
-   - a pluggable contention manager invoked **only** on w/w conflicts
-     (paper §5: a reader never aborts a committing writer; it waits for the
-     quick commit and revalidates).
+   Lock- and word-based STM: invisible reads validated against a global
+   commit counter ([commit_ts]) with timestamp *extension* on successful
+   revalidation; *eager* w/w conflict detection (writers CAS a stripe's
+   w-lock at their first write, so a doomed transaction learns of the
+   conflict immediately); *lazy* r/w detection (readers are never blocked
+   by a w-lock holder — redo logging; r-locks are held only during
+   commit); a pluggable contention manager invoked **only** on w/w
+   conflicts (paper §5: a reader never aborts a committing writer).
 
-   In kernel axes: the mixed + invisible + incremental + redo point —
-   listed twice in the registry, since the composed twin
-   [k-mixed+inv+incr+redo] realizes the same policies on
-   [Kernel.Compose] (same axes, its own arbitration).  This file is
-   the wall-clock-gated exemption to the kernel refactor (DESIGN.md
-   §10): it keeps a private descriptor and hand-rolled begin/commit/
-   abort sequences, because routing them through the shared
-   [Kernel.Hooks]/[Kernel.Driver] — or merely switching to the kernel's
-   [Txdesc] — measurably slows its gated rw benchmark (non-flambda).
-   [test/test_kernel.ml] pins this file to its frozen snapshot. *)
+   In kernel axes: the mixed + invisible + incremental + redo point; the
+   composed twin [k-mixed+inv+incr+redo] realizes the same policies on
+   [Kernel.Compose].  This file is the wall-clock-gated exemption to the
+   kernel refactor (DESIGN.md §10): it keeps a private descriptor and
+   hand-rolled begin/commit/abort sequences, because routing them through
+   [Kernel.Hooks]/[Kernel.Driver] — or the kernel's [Txdesc] — measurably
+   slows its gated rw benchmark (non-flambda).  [test/test_kernel.ml]
+   pins this file to its frozen behavioral snapshot. *)
 
 open Stm_intf
 
 type t = {
   heap : Memory.Heap.t;
   locks : Lock_table.t;
+  r_locks : Runtime.Tmatomic.t array;  (** = [locks.r_locks], cached *)
+  w_locks : Runtime.Tmatomic.t array;  (** = [locks.w_locks], cached *)
+  shift : int;  (** log2 stripe granularity: [index = (addr lsr shift) land imask] *)
+  imask : int;  (** lock-table index mask *)
   commit_ts : Runtime.Tmatomic.t;
   cm : Cm.Cm_intf.t;
   descs : Descriptor.t array;
   stats : Stats.t;
   eid : int;  (** metrics-registry engine id *)
   privatization_safe : bool;
+  privatization_epochs : bool;
+      (** boundaries announce to [Memory.Epoch]; commit never waits *)
   debug_no_validation : bool;
   active : Runtime.Tmatomic.t array;
-      (** per-thread snapshot timestamp while inside a transaction,
-          [max_int] when idle — the quiescence table (paper §6) *)
+      (** snapshot ts while in a tx, [max_int] idle — quiescence table §6 *)
   ser : Serial.t;
-      (** irrevocability token: held by a transaction escalated after
-          [cm.escalate_after] consecutive aborts (or entered via
-          [atomic_irrevocable]); everyone else defers at the start and
-          commit gates *)
+      (** irrevocability token, held by a transaction escalated after
+          [cm.escalate_after] consecutive aborts (or [atomic_irrevocable]);
+          everyone else defers at the start and commit gates *)
 }
 
 let name = "swisstm"
@@ -53,17 +51,21 @@ let create ?(config = Swisstm_config.default) heap =
     Memory.Stripe.create ~granularity_words:config.Swisstm_config.granularity_words
       ~table_bits:config.table_bits ()
   in
+  let locks = Lock_table.create stripe in
   {
     heap;
-    locks = Lock_table.create stripe;
+    locks;
+    r_locks = locks.Lock_table.r_locks;
+    w_locks = locks.Lock_table.w_locks;
+    shift = Memory.Stripe.log2_granularity stripe;
+    imask = Memory.Stripe.index_mask stripe;
     commit_ts = Runtime.Tmatomic.make 0;
     cm = Cm.Factory.make config.cm;
-    descs =
-      Array.init Stats.max_threads (fun tid ->
-          Descriptor.create ~tid ~seed:config.seed);
+    descs = Descriptor.make_descs ~seed:config.seed ();
     stats = Stats.create ();
     eid = Obs.Metrics.register_engine name;
     privatization_safe = config.privatization_safe;
+    privatization_epochs = config.privatization_epochs;
     debug_no_validation = config.debug_no_validation;
     active = Array.init Stats.max_threads (fun _ -> Runtime.Tmatomic.make max_int);
     ser = Serial.create ();
@@ -72,27 +74,27 @@ let create ?(config = Swisstm_config.default) heap =
 (* --- rollback ------------------------------------------------------- *)
 
 let release_w_locks t (d : Descriptor.t) =
-  Ivec.iter
-    (fun idx -> Runtime.Tmatomic.set (Lock_table.w_lock t.locks idx) Lock_table.w_unlocked)
-    d.acq_stripes
+  let n = Ivec.length d.acq_stripes in
+  for i = 0 to n - 1 do
+    Runtime.Tmatomic.set
+      (Array.unsafe_get t.w_locks (Ivec.unsafe_get d.acq_stripes i))
+      Lock_table.w_unlocked
+  done
 
-(* The contention manager may back off inside [on_rollback]/[resolve];
-   harvest the txinfo counter delta into [Stats] so [s_backoffs] reflects
-   this engine's share. *)
+(* The CM may back off inside [on_rollback]/[resolve]; harvest the txinfo
+   counter delta into [Stats] so [s_backoffs] reflects this engine. *)
 let cm_rollback t (d : Descriptor.t) =
   let b0 = d.info.Cm.Cm_intf.backoffs in
   t.cm.on_rollback d.info;
   let db = d.info.Cm.Cm_intf.backoffs - b0 in
   if db > 0 then Stats.backoff t.stats ~tid:d.tid ~n:db
 
-(** Roll back: release held w-locks, record the abort, let the contention
-    manager back off, and unwind to the retry loop.  R-locks are only ever
-    held inside [commit], which restores them itself before calling this.
-
-    Closed nesting (paper §6): a write/write conflict raised inside an
-    active nested scope only concerns state acquired within that scope, so
-    the logs are rolled back to the savepoint and just the inner scope
-    retries.  Validation failures and kills condemn the whole transaction
+(** Roll back: release held w-locks, record the abort, let the CM back
+    off, and unwind to the retry loop.  R-locks are only held inside
+    [commit], which restores them itself first.  Closed nesting (§6): a
+    w/w conflict inside an active nested scope only concerns state
+    acquired there, so logs roll back to the savepoint and just the scope
+    retries; validation failures and kills condemn the whole transaction
     (the stale read may predate the scope). *)
 let rollback t (d : Descriptor.t) reason =
   if !Runtime.Exec.prof_on then
@@ -103,12 +105,11 @@ let rollback t (d : Descriptor.t) reason =
       let n = Ivec.length d.acq_stripes in
       for i = sp.sp_acq_len to n - 1 do
         Runtime.Tmatomic.set
-          (Lock_table.w_lock t.locks (Ivec.unsafe_get d.acq_stripes i))
+          (Array.unsafe_get t.w_locks (Ivec.unsafe_get d.acq_stripes i))
           Lock_table.w_unlocked
       done;
       Ivec.truncate d.acq_stripes sp.sp_acq_len;
-      Ivec.truncate d.read_stripes sp.sp_read_len;
-      Ivec.truncate d.read_versions sp.sp_read_len;
+      Rset.truncate d.rset sp.sp_read_len;
       for i = Ivec.length d.sp_undo_addrs - 1 downto 0 do
         let addr = Ivec.unsafe_get d.sp_undo_addrs i in
         if Ivec.unsafe_get d.sp_undo_present i = 1 then
@@ -134,30 +135,28 @@ let rollback t (d : Descriptor.t) reason =
       Descriptor.clear_logs d;
       Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
       cm_rollback t d;
+      if t.privatization_epochs && !Memory.Heap.epoch_on then
+        Memory.Epoch.quiescent ~tid:d.tid;
       Tx_signal.abort ()
 
-(* The irrevocability-token holder ignores kill requests (it must win every
-   conflict); [Serial.mine] is only consulted behind the kill flag, so the
-   no-kill fast path is unchanged.  The fault injector piggybacks here: its
+(* The token holder ignores kill requests (it must win every conflict);
+   [Serial.mine] is consulted only behind the kill flag, keeping the
+   no-kill fast path unchanged.  The fault injector piggybacks here: its
    disarmed cost is the single [!Inject.on] load. *)
 let check_kill t (d : Descriptor.t) =
-  if
-    Cm.Cm_intf.kill_requested d.info
-    && not (Serial.mine t.ser ~tid:d.tid)
+  if Cm.Cm_intf.kill_requested d.info && not (Serial.mine t.ser ~tid:d.tid)
   then rollback t d Tx_signal.Killed;
   if !Runtime.Inject.on && Runtime.Inject.spurious_abort ~tid:d.tid then
     rollback t d Tx_signal.Killed
 
 (* --- validation ----------------------------------------------------- *)
 
-(** [validate t d] re-checks every read-log entry: the stripe's r-lock must
-    still hold the version observed at read time, or be locked by [d]
-    itself (its own commit-time r-lock).  Paper, function validate. *)
+(** Re-check every read-log entry: the stripe's r-lock must still hold the
+    version observed at read, or be [d]'s own commit-time r-lock. *)
 let validate t (d : Descriptor.t) =
   if t.debug_no_validation then true
   else begin
-  (* Attribute validation cycles to their own phase, whichever phase
-     (read, write or commit) triggered it. *)
+  (* attribute validation cycles to their own phase, whoever triggered it *)
   let prof_prev =
     if !Runtime.Exec.prof_on then begin
       let p = Runtime.Exec.get_phase d.tid in
@@ -167,50 +166,50 @@ let validate t (d : Descriptor.t) =
     else 0
   in
   let costs = Runtime.Costs.get () in
-  let n = Ivec.length d.read_stripes in
+  (* hot loop, in-engine by design (wall-clock exemption): walk the [Rset]
+     journal directly, stride 2 over the interleaved pairs *)
+  let rs = d.rset in
+  let n = rs.Rset.len lsl 1 in
+  let data = rs.Rset.data in
   let ok = ref true in
-  let i = ref 0 in
-  while !ok && !i < n do
+  let j = ref 0 in
+  while !ok && !j < n do
     Runtime.Exec.tick costs.validate_entry;
-    let idx = Ivec.unsafe_get d.read_stripes !i in
-    let logged = Ivec.unsafe_get d.read_versions !i in
-    let cur = Runtime.Tmatomic.get (Lock_table.r_lock t.locks idx) in
+    let idx = Array.unsafe_get data !j in
+    let logged = Array.unsafe_get data (!j + 1) in
+    let cur = Runtime.Tmatomic.get (Array.unsafe_get t.r_locks idx) in
     if cur <> Lock_table.encode_version logged then begin
       (* A mismatch is fine only when the r-lock is commit-locked by *us*
-         (we hold the stripe's w-lock and froze it ourselves).  Merely
-         owning the w-lock is NOT enough: the version may have moved
-         between our read and our acquisition, in which case this read is
-         stale and the transaction must abort. *)
+         (we hold the stripe's w-lock and froze it).  Merely owning the
+         w-lock is NOT enough: the version may have moved between our read
+         and our acquisition, making this read stale. *)
       if
         not
           (cur = Lock_table.r_locked
-          && Runtime.Tmatomic.get (Lock_table.w_lock t.locks idx)
+          && Runtime.Tmatomic.get (Array.unsafe_get t.w_locks idx)
              = Lock_table.encode_w_owner d.tid)
       then ok := false
     end;
-    incr i
+    j := !j + 2
   done;
   if !Runtime.Exec.prof_on then Runtime.Exec.set_phase d.tid prof_prev;
   !ok
   end
 
-(** Extend the validation timestamp (paper, function extend): if the read
-    set is still valid, advance valid-ts to the current commit-ts. *)
+(** Paper's extend: if the read set is still valid, advance valid-ts. *)
 let extend t (d : Descriptor.t) =
   let ts = Runtime.Tmatomic.get t.commit_ts in
   if validate t d then begin
     d.valid_ts <- ts;
-    (* quiescence: publishing our newer snapshot releases waiting
-       committers (they only wait for transactions older than them) *)
+    (* publishing our newer snapshot releases waiting committers *)
     if t.privatization_safe then Runtime.Tmatomic.set t.active.(d.tid) ts;
     true
   end
   else false
 
-(* Quiescence barrier (paper §6): wait until no in-flight transaction has a
-   snapshot older than [ts].  Once they all validated past [ts] (or
-   finished), memory we made private can never be read through stale
-   transactional snapshots. *)
+(* Quiescence barrier (paper §6): wait until no in-flight transaction has
+   a snapshot older than [ts]; after that, memory we made private can
+   never be read through stale transactional snapshots. *)
 let quiesce t (d : Descriptor.t) ~ts =
   if t.privatization_safe then
     Array.iteri
@@ -225,10 +224,9 @@ let quiesce t (d : Descriptor.t) ~ts =
 (* --- read ------------------------------------------------------------ *)
 
 (* Consistent double-read of (r-lock, word, r-lock); spin while a
-   committing writer holds the r-lock.  Note: a stripe merely *w-locked*
-   by another transaction does not stop us — that is the lazy read/write
-   side of mixed invalidation.  A module-level recursion (rather than a
-   local closure returning a tuple) keeps the per-read fast path
+   committing writer holds the r-lock (a stripe merely *w-locked* by
+   another transaction does not stop us — the lazy r/w side of mixed
+   invalidation).  Module-level recursion keeps the fast path
    allocation-free. *)
 let rec read_fresh t (d : Descriptor.t) r_lock idx addr
     (costs : Runtime.Costs.t) =
@@ -247,8 +245,17 @@ let rec read_fresh t (d : Descriptor.t) r_lock idx addr
     else begin
       let version = Lock_table.version_of rv in
       Runtime.Exec.tick costs.log_append;
-      Ivec.push d.read_stripes idx;
-      Ivec.push d.read_versions version;
+      (* in-engine append fast path; [Rset.push] only on the growth step *)
+      let rs = d.rset in
+      let len = rs.Rset.len in
+      let data = rs.Rset.data in
+      let j = len lsl 1 in
+      if j < Array.length data then begin
+        Array.unsafe_set data j idx;
+        Array.unsafe_set data (j + 1) version;
+        rs.Rset.len <- len + 1
+      end
+      else Rset.push rs idx version;
       d.info.accesses <- d.info.accesses + 1;
       if version > d.valid_ts && not (extend t d) then
         rollback t d Tx_signal.Rw_validation;
@@ -260,13 +267,12 @@ let read_word t (d : Descriptor.t) addr =
   let costs = Runtime.Costs.get () in
   Stats.read t.stats ~tid:d.tid;
   check_kill t d;
-  let idx = Lock_table.index t.locks addr in
-  let wv = Runtime.Tmatomic.get (Lock_table.w_lock t.locks idx) in
+  let idx = (addr lsr t.shift) land t.imask in
+  let wv = Runtime.Tmatomic.get (Array.unsafe_get t.w_locks idx) in
   if wv = Lock_table.encode_w_owner d.tid then begin
     (* Read-after-write: return the redo-log value if this word was
-       written; otherwise memory is stable (we own the stripe).  The
-       bloom filter inside [Wlog.probe] makes the miss case (a read of an
-       owned stripe's unwritten word) skip the probe loop entirely. *)
+       written; otherwise memory is stable (we own the stripe).  The bloom
+       filter inside [Wlog.probe] lets the miss case skip the probe. *)
     Runtime.Exec.tick costs.log_lookup;
     let s = Wlog.probe d.wset addr in
     if s >= 0 then Wlog.slot_value d.wset s
@@ -275,15 +281,13 @@ let read_word t (d : Descriptor.t) addr =
       Memory.Heap.unsafe_read t.heap addr
     end
   end
-  else read_fresh t d (Lock_table.r_lock t.locks idx) idx addr costs
+  else read_fresh t d (Array.unsafe_get t.r_locks idx) idx addr costs
 
 (* --- write ------------------------------------------------------------ *)
 
 (* Closed nesting: remember what the redo log held for [addr] before the
-   inner scope shadows it, so a partial rollback can restore it.  The
-   Wlog mark stamp makes the "already shadow-logged this scope?" check
-   O(1) — this used to be a [List.mem_assoc] scan, O(n²) over the scope's
-   writes. *)
+   inner scope shadows it, so a partial rollback can restore it.  The Wlog
+   mark stamp makes the "already shadow-logged this scope?" check O(1). *)
 let record_undo (d : Descriptor.t) addr =
   match d.savepoint with
   | None -> ()
@@ -303,8 +307,8 @@ let write_word t (d : Descriptor.t) addr value =
   let costs = Runtime.Costs.get () in
   Stats.write t.stats ~tid:d.tid;
   check_kill t d;
-  let idx = Lock_table.index t.locks addr in
-  let w_lock = Lock_table.w_lock t.locks idx in
+  let idx = (addr lsr t.shift) land t.imask in
+  let w_lock = Array.unsafe_get t.w_locks idx in
   let mine = Lock_table.encode_w_owner d.tid in
   let wv = Runtime.Tmatomic.get w_lock in
   if wv = mine then begin
@@ -313,8 +317,7 @@ let write_word t (d : Descriptor.t) addr value =
     Wlog.replace d.wset addr value
   end
   else begin
-    (* Acquire the stripe eagerly; on conflict, defer to the contention
-       manager (paper, write-word lines 24–30). *)
+    (* acquire eagerly; on conflict defer to the CM (write-word 24–30) *)
     let rec acquire wv =
       if wv <> Lock_table.w_unlocked then begin
         check_kill t d;
@@ -322,10 +325,9 @@ let write_word t (d : Descriptor.t) addr value =
           Obs.Metrics.on_stripe_conflict ~eid:t.eid ~stripe:idx;
         let victim = (t.descs.(Lock_table.w_owner_of wv)).info in
         let b0 = d.info.Cm.Cm_intf.backoffs in
-        (* The irrevocable transaction wins every conflict regardless of
-           the manager's policy: under timid-style managers Abort_self
-           would deadlock against a victim parked at the commit gate on
-           this very lock. *)
+        (* The irrevocable transaction wins every conflict: under
+           timid-style managers Abort_self would deadlock against a victim
+           parked at the commit gate on this very lock. *)
         let decision =
           if Serial.mine t.ser ~tid:d.tid then begin
             Cm.Cm_intf.request_kill victim;
@@ -354,7 +356,7 @@ let write_word t (d : Descriptor.t) addr value =
     Wlog.replace d.wset addr value;
     d.info.accesses <- d.info.accesses + 1;
     (* Opacity: if the stripe moved past our snapshot, revalidate. *)
-    let rv = Runtime.Tmatomic.get (Lock_table.r_lock t.locks idx) in
+    let rv = Runtime.Tmatomic.get (Array.unsafe_get t.r_locks idx) in
     if
       (not (Lock_table.is_r_locked rv))
       && Lock_table.version_of rv > d.valid_ts
@@ -378,33 +380,35 @@ let commit t (d : Descriptor.t) =
     if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
     Descriptor.clear_logs d;
     t.cm.on_commit d.info;
-    Serial.release t.ser ~tid:d.tid
+    Serial.release t.ser ~tid:d.tid;
+    if t.privatization_epochs && !Memory.Heap.epoch_on then
+      Memory.Epoch.quiescent ~tid:d.tid
   end
   else begin
     (* Commit gate: while an irrevocable transaction runs, update commits
-       must not advance [commit_ts] (that is what makes its validations
-       infallible).  The waiter still holds w-locks, so it polls its kill
-       flag — the irrevocable transaction can abort it out of the wait. *)
+       must not advance [commit_ts].  The waiter still holds w-locks, so
+       it polls its kill flag (the token holder can abort it out). *)
     if Serial.held_by_other t.ser ~tid:d.tid then
       Serial.gate t.ser ~tid:d.tid ~check:(fun () -> check_kill t d);
     Serial.enter_commit t.ser ~tid:d.tid;
     check_kill t d;
     if !Obs.Metrics.on then Obs.Metrics.on_commit_start ~tid:d.tid;
     (* Lock the r-locks of every written stripe to freeze readers. *)
-    Ivec.iter
-      (fun idx ->
-        let r_lock = Lock_table.r_lock t.locks idx in
-        Ivec.push d.acq_saved (Runtime.Tmatomic.get r_lock);
-        Runtime.Tmatomic.set r_lock Lock_table.r_locked)
-      d.acq_stripes;
+    let n_acq = Ivec.length d.acq_stripes in
+    for i = 0 to n_acq - 1 do
+      let r_lock =
+        Array.unsafe_get t.r_locks (Ivec.unsafe_get d.acq_stripes i)
+      in
+      Ivec.push d.acq_saved (Runtime.Tmatomic.get r_lock);
+      Runtime.Tmatomic.set r_lock Lock_table.r_locked
+    done;
     if !Runtime.Inject.on then Runtime.Inject.stretch ~tid:d.tid;
     let ts = Runtime.Tmatomic.incr_get t.commit_ts in
     if ts > d.valid_ts + 1 && not (validate t d) then begin
       (* Failed commit-time validation: restore r-locks, then roll back. *)
-      let n = Ivec.length d.acq_stripes in
-      for i = 0 to n - 1 do
+      for i = 0 to n_acq - 1 do
         Runtime.Tmatomic.set
-          (Lock_table.r_lock t.locks (Ivec.unsafe_get d.acq_stripes i))
+          (Array.unsafe_get t.r_locks (Ivec.unsafe_get d.acq_stripes i))
           (Ivec.unsafe_get d.acq_saved i)
       done;
       rollback t d Tx_signal.Rw_validation
@@ -416,12 +420,12 @@ let commit t (d : Descriptor.t) =
         Memory.Heap.unsafe_write t.heap addr value)
       d.wset;
     (* ...then publish the new version and release both locks. *)
-    Ivec.iter
-      (fun idx ->
-        Runtime.Tmatomic.set (Lock_table.r_lock t.locks idx)
-          (Lock_table.encode_version ts);
-        Runtime.Tmatomic.set (Lock_table.w_lock t.locks idx) Lock_table.w_unlocked)
-      d.acq_stripes;
+    let ver = Lock_table.encode_version ts in
+    for i = 0 to n_acq - 1 do
+      let idx = Ivec.unsafe_get d.acq_stripes i in
+      Runtime.Tmatomic.set (Array.unsafe_get t.r_locks idx) ver;
+      Runtime.Tmatomic.set (Array.unsafe_get t.w_locks idx) Lock_table.w_unlocked
+    done;
     if t.privatization_safe then
       Runtime.Tmatomic.set t.active.(d.tid) max_int;
     if !Trace.enabled then Trace.on_commit ~tid:d.tid;
@@ -429,13 +433,15 @@ let commit t (d : Descriptor.t) =
     if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
     Descriptor.clear_logs d;
     t.cm.on_commit d.info;
-    (* Drop the irrevocability token before quiescing: gated threads are
-       idle (active = max_int) so quiesce cannot hang on them, but there is
-       no reason to keep them parked through the wait either. *)
+    (* Drop the token before quiescing: gated threads are idle
+       (active = max_int) so quiesce cannot hang on them. *)
     Serial.exit_commit t.ser ~tid:d.tid;
     Serial.release t.ser ~tid:d.tid;
-    (* an update commit may have privatized data: wait out older readers *)
-    quiesce t d ~ts
+    (* an update commit may have privatized data: wait out older readers —
+       or, under epochs, merely announce (no waiting on any path) *)
+    quiesce t d ~ts;
+    if t.privatization_epochs && !Memory.Heap.epoch_on then
+      Memory.Epoch.quiescent ~tid:d.tid
   end
 
 (* --- transaction driver ------------------------------------------------ *)
@@ -449,6 +455,9 @@ let start t (d : Descriptor.t) ~restart =
   if !Obs.Metrics.on then Obs.Metrics.on_tx_begin ~eid:t.eid ~tid:d.tid;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
   Descriptor.clear_logs d;
+  (* epoch privatization: a begin is a quiescent point (no snapshot yet) *)
+  if t.privatization_epochs && !Memory.Heap.epoch_on then
+    Memory.Epoch.quiescent ~tid:d.tid;
   d.valid_ts <- Runtime.Tmatomic.get t.commit_ts;
   if t.privatization_safe then
     Runtime.Tmatomic.set t.active.(d.tid) d.valid_ts;
@@ -457,8 +466,7 @@ let start t (d : Descriptor.t) ~restart =
     Runtime.Exec.set_phase d.tid Runtime.Exec.ph_other
 
 (** Release everything on a non-[Abort] exception escaping the body, so a
-    user bug cannot wedge the lock table, the irrevocability token or the
-    contention manager's throttle. *)
+    user bug cannot wedge locks, the token or the CM throttle. *)
 let emergency_release t (d : Descriptor.t) =
   release_w_locks t d;
   Serial.exit_commit t.ser ~tid:d.tid;
@@ -468,15 +476,13 @@ let emergency_release t (d : Descriptor.t) =
   d.depth <- 0
 
 (* The retry driver.  Graceful degradation happens here, before each
-   attempt and outside any snapshot or lock:
-
-   - once [succ_aborts] reaches the manager's budget (or the caller asked
-     for irrevocability), acquire the token, drain in-flight commits, and
-     run with [cm_ts = 0] so every write/write conflict resolves our way;
-   - otherwise let the manager throttle us ([pre_attempt] may block) and
-     defer to any irrevocable transaction at the start gate.  A thread
-     parked there is idle — no locks, no published snapshot, kill flag
-     cleared on the next [start] — so the gate needs no kill polling. *)
+   attempt and outside any snapshot or lock: once [succ_aborts] reaches
+   the manager's budget (or the caller asked for irrevocability), acquire
+   the token, drain in-flight commits, and run with [cm_ts = 0] so every
+   w/w conflict resolves our way; otherwise let the manager throttle us
+   ([pre_attempt] may block) and defer to any irrevocable transaction at
+   the start gate.  A thread parked there is idle — no locks, no published
+   snapshot — so the gate needs no kill polling. *)
 let run t ~tid ~irrevocable f =
   let d = t.descs.(tid) in
   if d.depth > 0 then begin
@@ -524,16 +530,13 @@ let atomic_irrevocable t ~tid f = run t ~tid ~irrevocable:true f
 
 (* --- closed nesting (paper §6 extension) -------------------------------- *)
 
-(** [atomic_closed t d f] runs [f] as a closed-nested scope of the current
-    transaction of descriptor [d]: a write/write conflict inside the scope
-    rolls back and retries only the scope.  Must be called from inside
-    [atomic]; one level deep (inner scopes flatten). *)
+(** [atomic_closed d f] runs [f] as a closed-nested scope of descriptor
+    [d]'s transaction: a w/w conflict inside the scope rolls back and
+    retries only the scope.  Call from inside [atomic]; one level deep. *)
 let atomic_closed (d : Descriptor.t) f =
   if d.depth = 0 then invalid_arg "atomic_closed: no enclosing transaction";
   match d.savepoint with
-  | Some _ ->
-      (* already inside a scope: flatten *)
-      f d
+  | Some _ -> f d (* already inside a scope: flatten *)
   | None ->
       let rec attempt () =
         Wlog.bump_mark d.wset;
@@ -541,7 +544,7 @@ let atomic_closed (d : Descriptor.t) f =
         d.savepoint <-
           Some
             {
-              Descriptor.sp_read_len = Ivec.length d.read_stripes;
+              Descriptor.sp_read_len = Rset.length d.rset;
               sp_acq_len = Ivec.length d.acq_stripes;
             };
         match f d with
@@ -559,16 +562,14 @@ let atomic_closed (d : Descriptor.t) f =
 
 let engine ?config heap : Engine.t =
   let t = create ?config heap in
-  (* One [tx_ops] per descriptor, built up front: the per-transaction fast
-     path allocates no closures. *)
+  (* one [tx_ops] per descriptor, built up front: no per-tx closures *)
   let ops =
     Array.init Stats.max_threads (fun tid ->
         let d = t.descs.(tid) in
         {
           Engine.read =
             (fun addr ->
-              (* One combined check on the everything-off fast path; the
-                 individual collector flags are only consulted behind it. *)
+              (* one combined check on the everything-off fast path *)
               if !Runtime.Exec.hooks_on then begin
                 if !Runtime.Exec.prof_on then
                   Runtime.Exec.set_phase tid Runtime.Exec.ph_read;

@@ -95,9 +95,7 @@ let create ?config point heap =
     clock = Runtime.Tmatomic.make 0;
     point;
     cm = Cm.Factory.make config.cm;
-    descs =
-      Array.init Stats.max_threads (fun tid ->
-          Txdesc.create ~tid ~seed:config.seed);
+    descs = Driver.make_descs ~seed:config.seed ();
     stats = Stats.create ();
     eid = Obs.Metrics.register_engine (name_of_point point);
     ser = Serial.create ();
@@ -106,8 +104,8 @@ let create ?config point heap =
 (* --- rollback --------------------------------------------------------- *)
 
 let retract_visible t (d : Txdesc.t) =
-  Ivec.iter
-    (fun idx ->
+  Rset.iter
+    (fun idx _ ->
       let r = t.readers.(idx) in
       let bit = 1 lsl d.tid in
       let rec clear () =
@@ -117,7 +115,7 @@ let retract_visible t (d : Txdesc.t) =
           then clear ()
       in
       clear ())
-    d.vread_stripes
+    d.vreads
 
 (* [acq_saved] holds the pre-freeze r-lock values, aligned with the
    frozen prefix of [acq_stripes] (all of it for Eager, none of it before
@@ -149,13 +147,13 @@ let check_kill t d =
 let validate t (d : Txdesc.t) ~exact =
   let prof_prev = Hooks.phase_enter_validate d.tid in
   let costs = Runtime.Costs.get () in
-  let n = Ivec.length d.read_stripes in
+  let n = Rset.length d.rset in
   let ok = ref true in
   let i = ref 0 in
   while !ok && !i < n do
     Runtime.Exec.tick costs.validate_entry;
-    let idx = Ivec.unsafe_get d.read_stripes !i in
-    let logged = Ivec.unsafe_get d.read_versions !i in
+    let idx = Rset.key d.rset !i in
+    let logged = Rset.value d.rset !i in
     let rv = Runtime.Tmatomic.get t.r_locks.(idx) in
     let v =
       if is_frozen rv then begin
@@ -230,8 +228,7 @@ let rec read_invisible t (d : Txdesc.t) idx addr (costs : Runtime.Costs.t) =
     else begin
       let version = version_of rv in
       Runtime.Exec.tick costs.log_append;
-      Ivec.push d.read_stripes idx;
-      Ivec.push d.read_versions version;
+      Rset.push d.rset idx version;
       d.info.accesses <- d.info.accesses + 1;
       (match t.point.Axes.validation with
       | Axes.Counter ->
@@ -247,7 +244,7 @@ let rec read_invisible t (d : Txdesc.t) idx addr (costs : Runtime.Costs.t) =
 let rec read_visible t (d : Txdesc.t) idx addr (costs : Runtime.Costs.t) =
   (* Announce BEFORE reading: a writer acquiring afterwards must drain our
      bit; writers that acquired before are caught by the ownership check. *)
-  if not (Wlog.mem d.vread_seen idx) then begin
+  if not (Rset.mem d.vreads idx) then begin
     let r = t.readers.(idx) in
     let bit = 1 lsl d.tid in
     let rec announce () =
@@ -257,8 +254,7 @@ let rec read_visible t (d : Txdesc.t) idx addr (costs : Runtime.Costs.t) =
           announce ()
     in
     announce ();
-    Wlog.replace d.vread_seen idx 1;
-    Ivec.push d.vread_stripes idx
+    ignore (Rset.add_unique d.vreads idx 0 : bool)
   end;
   let wv = Runtime.Tmatomic.get t.w_locks.(idx) in
   if wv <> 0 && wv <> d.tid + 1 then begin
@@ -378,11 +374,7 @@ let write_word t (d : Txdesc.t) addr value =
   check_kill t d;
   let idx = Memory.Stripe.index t.stripe addr in
   (match t.point.Axes.acquisition with
-  | Axes.Lazy ->
-      if not (Wlog.mem d.wstripe_seen idx) then begin
-        Wlog.replace d.wstripe_seen idx 1;
-        Ivec.push d.wstripes idx
-      end
+  | Axes.Lazy -> ignore (Rset.add_unique d.wstripes idx 0 : bool)
   | Axes.Eager | Axes.Mixed ->
       if Runtime.Tmatomic.get t.w_locks.(idx) <> d.tid + 1 then begin
         acquire_w t d idx;
@@ -423,8 +415,8 @@ let commit t (d : Txdesc.t) =
     Hooks.inject_stretch d;
     (match t.point.Axes.acquisition with
     | Axes.Lazy ->
-        Ivec.iter
-          (fun idx ->
+        Rset.iter
+          (fun idx _ ->
             if Runtime.Tmatomic.get t.w_locks.(idx) <> d.tid + 1 then
               acquire_w t d idx)
           d.wstripes;

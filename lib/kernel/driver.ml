@@ -33,6 +33,17 @@ type 'd ops = {
 
 let nop_gate_check () = ()
 
+(** Pool-backed descriptor table: one descriptor per logical thread,
+    acquired from {!Txdesc.Pool} (recycled across engine instances) and
+    returned when the table is collected — engines have no explicit
+    close, so the finaliser is the release point. *)
+let make_descs ~seed () =
+  let descs =
+    Array.init Stats.max_threads (fun tid -> Txdesc.Pool.acquire ~tid ~seed)
+  in
+  Gc.finalise (Array.iter Txdesc.Pool.release) descs;
+  descs
+
 let run (o : 'd ops) ~tid ~irrevocable f =
   let d = o.descs.(tid) in
   if o.get_depth d > 0 then begin

@@ -103,7 +103,11 @@ let tx_begin ~eid (d : Txdesc.t) =
   d.start_cycles <- Runtime.Exec.now ();
   if !Obs.Metrics.on then Obs.Metrics.on_tx_begin ~eid ~tid:d.tid;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
-  Txdesc.clear_logs d
+  Txdesc.clear_logs d;
+  (* With the epoch reclaimer armed, a begin is a quiescent point: no
+     snapshot is held yet.  Disarmed cost: one flag load; the
+     announcement itself is cycle-free (plain atomics). *)
+  if !Memory.Heap.epoch_on then Memory.Epoch.quiescent ~tid:d.tid
 
 (* --- commit ----------------------------------------------------------- *)
 
@@ -126,7 +130,8 @@ let commit_done ~stats ~(cm : Cm.Cm_intf.t) ~ser (d : Txdesc.t) =
   d.allow_snapshot <- true;
   cm.on_commit d.info;
   Serial.exit_commit ser ~tid:d.tid;
-  Serial.release ser ~tid:d.tid
+  Serial.release ser ~tid:d.tid;
+  if !Memory.Heap.epoch_on then Memory.Epoch.quiescent ~tid:d.tid
 
 (* Gate + commit-section entry of an update commit: defer to a running
    irrevocable transaction, then mark ourselves committing and emit the
@@ -161,6 +166,7 @@ let rollback ~stats ~cm ~ser (d : Txdesc.t) ~reason =
   Txdesc.clear_logs d;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
   cm_on_rollback ~stats ~cm d;
+  if !Memory.Heap.epoch_on then Memory.Epoch.quiescent ~tid:d.tid;
   Tx_signal.abort ()
 
 (* Release everything engine-independent on a non-[Abort] exception

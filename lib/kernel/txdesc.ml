@@ -1,34 +1,34 @@
 (* The one transaction descriptor shared by every engine (the union of
    the five per-engine descriptors the kernel refactor replaced).
 
-   Engines use the subset of fields their policies need; unused vectors
+   Engines use the subset of fields their policies need; unused sets
    stay empty and their [clear] is O(1), so the union costs nothing on
    the fast path.  Field roles by engine:
 
    - [valid_ts]: SwissTM/TinySTM validation timestamp; TL2/MVSTM read
      version [rv]; RSTM commit-counter snapshot [snap].
-   - [read_stripes]/[read_versions]: invisible-read log (TL2 logs only
-     stripes — versions are checked against [valid_ts] directly).
+   - [rset]: invisible-read journal of (stripe, version) pairs (TL2 and
+     MVSTM log version 0 — their versions are checked against [valid_ts]
+     directly, never re-read from the journal).
    - [acq_stripes]: stripes whose write lock / ownership we hold, in
      acquisition order ([acq_saved] the lock values to restore on abort,
      [acq_version] stripe -> version at acquisition for validation).
-   - [wset]: word-granular redo log; [wstripes]/[wstripe_seen]: unique
-     stripes written, for lazy commit-time acquisition.
-   - [vread_stripes]/[vread_seen]: visible-reader bits we own.
+   - [wset]: word-granular redo log; [wstripes]: unique stripes written
+     (index-mode dedup), for lazy commit-time acquisition.
+   - [vreads]: visible-reader bits we own (index-mode dedup).
    - [sp_undo_*]/[savepoint]: SwissTM closed-nesting shadow log.
    - [snapshot]/[allow_snapshot]: MVSTM old-version read mode. *)
 
 type savepoint = { sp_read_len : int; sp_acq_len : int }
 
 type t = {
-  (* Field order is part of the perf contract: the first fourteen fields
-     sit at the offsets the wall-clock-gated SwissTM engine's descriptor
-     always had; kernel-only additions append after them. *)
+  (* Field order is part of the perf contract: the leading fields sit at
+     the offsets the wall-clock-gated SwissTM engine's descriptor always
+     had; kernel-only additions append after them. *)
   tid : int;
   info : Cm.Cm_intf.txinfo;
   mutable valid_ts : int;
-  read_stripes : Stm_intf.Ivec.t;
-  read_versions : Stm_intf.Ivec.t;
+  rset : Stm_intf.Rset.t;
   acq_stripes : Stm_intf.Ivec.t;
   acq_saved : Stm_intf.Ivec.t;
   wset : Stm_intf.Wlog.t;
@@ -39,12 +39,14 @@ type t = {
   mutable savepoint : savepoint option;
   mutable start_cycles : int;
   acq_version : Stm_intf.Wlog.t;
-  wstripes : Stm_intf.Ivec.t;
-  wstripe_seen : Stm_intf.Wlog.t;
-  vread_stripes : Stm_intf.Ivec.t;
-  vread_seen : Stm_intf.Wlog.t;
+  wstripes : Stm_intf.Rset.t;
+  vreads : Stm_intf.Rset.t;
   mutable snapshot : bool;
   mutable allow_snapshot : bool;
+  mutable pool_gen : int;
+      (** pool generation stamp: even = checked out, odd = in the free
+          list; bumped on every transfer, so a double release is
+          detectable instead of corrupting the free list *)
 }
 
 let create ~tid ~seed =
@@ -52,16 +54,13 @@ let create ~tid ~seed =
     tid;
     info = Cm.Cm_intf.make_txinfo ~tid ~seed;
     valid_ts = 0;
-    read_stripes = Stm_intf.Ivec.create ();
-    read_versions = Stm_intf.Ivec.create ();
+    rset = Stm_intf.Rset.create ();
     acq_stripes = Stm_intf.Ivec.create ();
     acq_saved = Stm_intf.Ivec.create ();
     acq_version = Stm_intf.Wlog.create ~bits:4 ();
     wset = Stm_intf.Wlog.create ();
-    wstripes = Stm_intf.Ivec.create ();
-    wstripe_seen = Stm_intf.Wlog.create ();
-    vread_stripes = Stm_intf.Ivec.create ();
-    vread_seen = Stm_intf.Wlog.create ();
+    wstripes = Stm_intf.Rset.create ~bits:4 ();
+    vreads = Stm_intf.Rset.create ~bits:4 ();
     sp_undo_addrs = Stm_intf.Ivec.create ();
     sp_undo_vals = Stm_intf.Ivec.create ();
     sp_undo_present = Stm_intf.Ivec.create ();
@@ -70,6 +69,7 @@ let create ~tid ~seed =
     allow_snapshot = true;
     depth = 0;
     start_cycles = 0;
+    pool_gen = 0;
   }
 
 let clear_sp_undo d =
@@ -82,16 +82,72 @@ let clear_sp_undo d =
 let clear_logs d =
   d.savepoint <- None;
   clear_sp_undo d;
-  Stm_intf.Ivec.clear d.read_stripes;
-  Stm_intf.Ivec.clear d.read_versions;
+  Stm_intf.Rset.clear d.rset;
   Stm_intf.Ivec.clear d.acq_stripes;
   Stm_intf.Ivec.clear d.acq_saved;
   Stm_intf.Wlog.clear d.acq_version;
   Stm_intf.Wlog.clear d.wset;
-  Stm_intf.Ivec.clear d.wstripes;
-  Stm_intf.Wlog.clear d.wstripe_seen;
-  Stm_intf.Ivec.clear d.vread_stripes;
-  Stm_intf.Wlog.clear d.vread_seen;
+  Stm_intf.Rset.clear d.wstripes;
+  Stm_intf.Rset.clear d.vreads;
   d.snapshot <- false
 
 let is_read_only d = Stm_intf.Ivec.length d.acq_stripes = 0
+
+(* --- descriptor pool (DESIGN.md §12) ----------------------------------- *)
+
+(* Engines are created far more often than logical threads exist (every
+   test, benchmark column and composed point builds a fresh instance), and
+   each descriptor owns several growable logs.  Recycling descriptors
+   across instances makes engine creation allocation-free in the steady
+   state and keeps the logs' grown capacities warm.
+
+   [acquire] resets a recycled descriptor to exactly the state [create]
+   produces — logs, timestamps, the RNG stream, the kill flag and its
+   modelled cache line — so pooled and fresh descriptors are
+   indistinguishable and simulated cycle traces stay deterministic no
+   matter when the GC returns descriptors to the pool. *)
+module Pool = struct
+  let lock = Mutex.create ()
+  let free : t list array = Array.make Stm_intf.Stats.max_threads []
+  let hits = ref 0
+  let misses = ref 0
+  let double_releases = ref 0
+
+  let reset d ~seed =
+    clear_logs d;
+    d.valid_ts <- 0;
+    d.depth <- 0;
+    d.start_cycles <- 0;
+    d.allow_snapshot <- true;
+    Cm.Cm_intf.reset_txinfo d.info ~seed
+
+  let acquire ~tid ~seed =
+    Mutex.lock lock;
+    match free.(tid) with
+    | d :: rest ->
+        free.(tid) <- rest;
+        incr hits;
+        Mutex.unlock lock;
+        d.pool_gen <- d.pool_gen + 1;
+        reset d ~seed;
+        d
+    | [] ->
+        incr misses;
+        Mutex.unlock lock;
+        create ~tid ~seed
+
+  let release d =
+    Mutex.lock lock;
+    if d.pool_gen land 1 = 1 then incr double_releases
+    else begin
+      d.pool_gen <- d.pool_gen + 1;
+      free.(d.tid) <- d :: free.(d.tid)
+    end;
+    Mutex.unlock lock
+
+  let () =
+    Obs.Metrics.register_gauge "txdesc_pool_hits" (fun () -> !hits);
+    Obs.Metrics.register_gauge "txdesc_pool_misses" (fun () -> !misses);
+    Obs.Metrics.register_gauge "txdesc_pool_double_releases" (fun () ->
+        !double_releases)
+end

@@ -3,7 +3,10 @@
    stripe, unlocked = version << 1, locked = ((owner + 1) << 1) | 1.
 
    Each helper reproduces, tick for tick, the code block it replaced;
-   see the equivalence argument in DESIGN.md §10. *)
+   see the equivalence argument in DESIGN.md §10.  Read sets and lazy
+   write-stripe sets live in [Rset] journals (insertion order), so every
+   loop here indexes the journal directly — same iteration order as the
+   PR-5 [Ivec] pairs they replaced. *)
 
 open Stm_intf
 
@@ -27,12 +30,19 @@ let gv4_bump ~clock ~rv =
   else (Runtime.Tmatomic.get clock, false)
 
 (* Restore saved lock values over the first [upto] entries of [stripes]
-   (commit-time acquisition backout / encounter-time abort path). *)
+   (encounter-time abort path: [acq_stripes]/[acq_saved]). *)
 let release_restoring ~(locks : Runtime.Tmatomic.t array) stripes saved ~upto =
   for i = 0 to upto - 1 do
     Runtime.Tmatomic.set
       locks.(Ivec.unsafe_get stripes i)
       (Ivec.unsafe_get saved i)
+  done
+
+(* Same, over a lazy write-stripe journal (commit-time acquisition
+   backout: [wstripes]/[acq_saved]). *)
+let release_wstripes ~(locks : Runtime.Tmatomic.t array) wstripes saved ~upto =
+  for i = 0 to upto - 1 do
+    Runtime.Tmatomic.set locks.(Rset.key wstripes i) (Ivec.unsafe_get saved i)
   done
 
 (* Lazy commit-time acquisition (TL2/MVSTM): lock every written stripe,
@@ -41,12 +51,12 @@ let release_restoring ~(locks : Runtime.Tmatomic.t array) stripes saved ~upto =
    and the CONFLICTING stripe index is returned (the caller emits the
    conflict metric and rolls back); -1 on success. *)
 let acquire_wstripes ~locks (d : Txdesc.t) =
-  let n = Ivec.length d.wstripes in
+  let n = Rset.length d.wstripes in
   let i = ref 0 in
   let conflict = ref (-1) in
   (try
      while !i < n do
-       let idx = Ivec.unsafe_get d.wstripes !i in
+       let idx = Rset.key d.wstripes !i in
        let lock = locks.(idx) in
        let lv = Runtime.Tmatomic.get lock in
        if is_locked lv then raise Exit
@@ -62,8 +72,8 @@ let acquire_wstripes ~locks (d : Txdesc.t) =
      done
    with Exit ->
      (* [!i] indexes the stripe whose lock we lost — the conflict site. *)
-     conflict := Ivec.unsafe_get d.wstripes !i;
-     release_restoring ~locks d.wstripes d.acq_saved ~upto:!i);
+     conflict := Rset.key d.wstripes !i;
+     release_wstripes ~locks d.wstripes d.acq_saved ~upto:!i);
   !conflict
 
 (* TL2/MVSTM commit-time validation against the snapshot [d.valid_ts]:
@@ -77,10 +87,10 @@ let validate_rv ~locks (d : Txdesc.t) =
   let costs = Runtime.Costs.get () in
   let ok = ref true in
   let j = ref 0 in
-  let nr = Ivec.length d.read_stripes in
+  let nr = Rset.length d.rset in
   while !ok && !j < nr do
     Runtime.Exec.tick costs.validate_entry;
-    let idx = Ivec.unsafe_get d.read_stripes !j in
+    let idx = Rset.key d.rset !j in
     let lv = Runtime.Tmatomic.get locks.(idx) in
     (if is_locked lv then begin
        if lv <> locked_by d.tid then ok := false
@@ -97,21 +107,21 @@ let validate_rv ~locks (d : Txdesc.t) =
     Runtime.Exec.set_phase d.tid Runtime.Exec.ph_commit;
   !ok
 
-(* TinySTM-style exact validation: every read-log entry must still carry
-   the version observed at read time ([read_versions] is populated); a
-   stripe we own encounter-time validates against the version at
-   acquisition.  Attribute the cycles to the validate phase, restoring
-   whichever phase (read, write or commit) triggered it. *)
+(* TinySTM-style exact validation: every read-journal pair must still
+   carry the version observed at read time; a stripe we own
+   encounter-time validates against the version at acquisition.
+   Attribute the cycles to the validate phase, restoring whichever phase
+   (read, write or commit) triggered it. *)
 let validate_exact ~locks (d : Txdesc.t) =
   let prof_prev = Hooks.phase_enter_validate d.tid in
   let costs = Runtime.Costs.get () in
-  let n = Ivec.length d.read_stripes in
+  let n = Rset.length d.rset in
   let ok = ref true in
   let i = ref 0 in
   while !ok && !i < n do
     Runtime.Exec.tick costs.validate_entry;
-    let idx = Ivec.unsafe_get d.read_stripes !i in
-    let logged = Ivec.unsafe_get d.read_versions !i in
+    let idx = Rset.key d.rset !i in
+    let logged = Rset.value d.rset !i in
     let lv = Runtime.Tmatomic.get locks.(idx) in
     (if is_locked lv then begin
        if lv <> locked_by d.tid then ok := false
@@ -153,3 +163,10 @@ let publish ~(locks : Runtime.Tmatomic.t array) stripes ~version =
   Ivec.iter
     (fun idx -> Runtime.Tmatomic.set locks.(idx) (unlocked_of_version version))
     stripes
+
+(* Same, over a lazy write-stripe journal. *)
+let publish_wstripes ~(locks : Runtime.Tmatomic.t array) wstripes ~version =
+  let v = unlocked_of_version version in
+  for i = 0 to Rset.length wstripes - 1 do
+    Runtime.Tmatomic.set locks.(Rset.key wstripes i) v
+  done

@@ -1,0 +1,38 @@
+(** Quiescent-state-based epoch reclamation for privatized memory
+    (DESIGN.md §12).
+
+    Threads announce transaction boundaries ({!quiescent}); frees issued
+    through [Heap.free] while the reclaimer is armed are deferred to a
+    per-thread limbo list and recycled once every online thread has
+    announced an epoch at least two generations past the free — the
+    epoch alternative to SwissTM's §6 commit-time quiescence barrier.
+    Announcements are plain atomics: no simulated cycles, no waiting on
+    any transactional path. *)
+
+val arm : unit -> unit
+(** Start deferring [Heap.free] through the reclaimer. *)
+
+val disarm : unit -> unit
+(** Stop deferring and {!drain}.  Caller asserts global quiescence. *)
+
+val online : tid:int -> unit
+(** Join the protocol; the thread must then announce regularly. *)
+
+val offline : tid:int -> unit
+(** Leave the protocol (a parked thread must not stall grace periods). *)
+
+val quiescent : tid:int -> unit
+(** Announce that [tid] holds no transactional snapshot right now. *)
+
+val drain : unit -> unit
+(** Reclaim all limbo blocks.  Caller asserts global quiescence. *)
+
+val current : unit -> int
+(** The current global epoch. *)
+
+(** {2 Gauges} (process-wide; surfaced through [Obs.Metrics]) *)
+
+val advances : unit -> int
+val deferred : unit -> int
+val reclaimed : unit -> int
+val limbo_depth : unit -> int

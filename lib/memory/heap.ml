@@ -14,18 +14,29 @@
 
    Allocation is a bump pointer sharded into per-thread chunks so that
    parallel allocation does not create a synthetic hot spot.  Memory
-   allocated by transactions that later abort is leaked, as in TL2's simple
-   mode; [free] would be a no-op and is deliberately not provided. *)
+   allocated by transactions that later abort is leaked, as in TL2's
+   simple mode.
+
+   [free] recycles privatized blocks through per-thread exact-size free
+   lists (sizes 1..[max_free_words]; larger blocks are leaked and
+   counted).  A freed block's first word threads the list, so the lists
+   cost no storage.  When the epoch reclaimer is armed ([epoch_on],
+   installed by [Epoch.arm] — a hook reference, since [Epoch] sits above
+   this module), [free] defers the block to the caller's limbo list
+   instead and it reaches [free_now] only after a grace period. *)
 
 type t = {
   words : int array;
   brk : Runtime.Tmatomic.t;  (* next unshared word *)
   chunk_next : int array;  (* per-thread bump pointer *)
   chunk_limit : int array;  (* per-thread chunk end *)
+  free_heads : int array;  (* per-thread size-class free lists *)
+  guard_tbl : (int, unit) Hashtbl.t;  (* addresses currently freed *)
 }
 
 let chunk_words = 8192
 let max_threads = 64
+let max_free_words = 64
 
 exception Out_of_memory of { capacity : int; requested : int }
 
@@ -38,6 +49,8 @@ let create ~words =
     brk = Runtime.Tmatomic.make 1 (* skip the null word *);
     chunk_next = Array.make max_threads 0;
     chunk_limit = Array.make max_threads 0;
+    free_heads = Array.make (max_threads * max_free_words) 0;
+    guard_tbl = Hashtbl.create 64;
   }
 
 let capacity t = Array.length t.words
@@ -61,11 +74,91 @@ let write t addr v =
 let unsafe_read t addr = Array.unsafe_get t.words addr
 let unsafe_write t addr v = Array.unsafe_set t.words addr v
 
+(* --- free lists and epoch hooks (DESIGN.md §12) ------------------------ *)
+
+(* Process-wide counters (across heaps), surfaced as [Obs.Metrics]
+   gauges.  Plain non-atomic increments: they are diagnostics, and a
+   rare lost update under native races costs nothing. *)
+let frees = ref 0
+let reuses = ref 0
+let leaked_frees = ref 0
+let double_frees = ref 0
+
+let frees_total () = !frees
+let reuses_total () = !reuses
+let leaked_frees_total () = !leaked_frees
+let double_frees_total () = !double_frees
+
+(* Debug guard: when on, [free] records the address and refuses a second
+   free of a block that has not been re-allocated since — the classic
+   use-after-privatization bug a stale transactional snapshot causes.
+   Off by default: the table admission is a hash insert per free. *)
+let guard_on = ref false
+
+(* [true] = this free is a double free: count and drop it. *)
+let guard_hit t addr =
+  if Hashtbl.mem t.guard_tbl addr then begin
+    incr double_frees;
+    true
+  end
+  else begin
+    Hashtbl.add t.guard_tbl addr ();
+    false
+  end
+
+(* Epoch-reclaimer hooks, installed by [Epoch.arm].  References rather
+   than direct calls: [Epoch] depends on [Heap] (it hands grace-expired
+   blocks back to [free_now]), so [Heap] cannot name it. *)
+let epoch_on = ref false
+let epoch_defer : (t -> int -> int -> unit) ref = ref (fun _ _ _ -> ())
+
+(** Immediate reclamation: thread the block onto the caller's exact-size
+    free list.  Only safe when no other thread can still hold a
+    transactional snapshot of the block — callers go through {!free},
+    which defers to the epoch reclaimer when it is armed. *)
+let free_now t addr n =
+  if n >= 1 && n <= max_free_words then begin
+    let tid = Runtime.Exec.self () land (max_threads - 1) in
+    let s = (tid * max_free_words) + (n - 1) in
+    Array.unsafe_set t.words addr (Array.unsafe_get t.free_heads s);
+    Array.unsafe_set t.free_heads s addr
+  end
+  else incr leaked_frees
+
+(** Free [n] words at [addr].  With the epoch reclaimer armed the block
+    goes to the caller's limbo list and is recycled only after a grace
+    period; otherwise it is recycled immediately (the caller asserts
+    quiescence, e.g. after SwissTM's commit-time quiescence barrier). *)
+let free t addr n =
+  if n <= 0 then invalid_arg "Heap.free: size must be positive";
+  check t addr;
+  incr frees;
+  if !guard_on && guard_hit t addr then ()
+  else if !epoch_on then !epoch_defer t addr n
+  else free_now t addr n
+
 (** Allocate [n] words and return the address of the first.  Thread-safe;
-    the caller's logical thread id shards the bump pointer. *)
-let alloc t n =
+    the caller's logical thread id shards the bump pointer.  Exact-size
+    free-list hits are recycled (and re-zeroed) before the bump pointer
+    advances. *)
+let rec alloc t n =
   if n <= 0 then invalid_arg "Heap.alloc: size must be positive";
   let tid = Runtime.Exec.self () land (max_threads - 1) in
+  if n <= max_free_words then begin
+    let s = (tid * max_free_words) + (n - 1) in
+    let head = Array.unsafe_get t.free_heads s in
+    if head <> 0 then begin
+      Array.unsafe_set t.free_heads s (Array.unsafe_get t.words head);
+      Array.fill t.words head n 0;
+      incr reuses;
+      if !guard_on then Hashtbl.remove t.guard_tbl head;
+      head
+    end
+    else alloc_fresh t tid n
+  end
+  else alloc_fresh t tid n
+
+and alloc_fresh t tid n =
   if n > chunk_words then begin
     (* Large block: grab it directly from the shared break. *)
     let addr = Runtime.Tmatomic.fetch_and_add t.brk n in

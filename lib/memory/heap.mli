@@ -26,13 +26,42 @@ val write : t -> int -> int -> unit
 val alloc : t -> int -> int
 (** [alloc t n] returns n fresh zeroed words.  Thread-safe (per-thread
     sharded bump pointer); words allocated by transactions that abort are
-    leaked, as in TL2's simple allocator. *)
+    leaked, as in TL2's simple allocator.  Freed blocks of the exact size
+    are recycled before the bump pointer advances. *)
+
+val free : t -> int -> int -> unit
+(** [free t addr n] returns the [n]-word block at [addr] to the
+    allocator.  With the epoch reclaimer armed ({!Epoch.arm}) the block
+    sits in the caller's limbo list until a grace period passes;
+    otherwise it is recycled immediately and the caller asserts no other
+    thread still holds a transactional snapshot of it.  Blocks larger
+    than [max_free_words] (64) are leaked and counted. *)
+
+val max_free_words : int
 
 val used : t -> int
 (** Upper bound on words handed out. *)
+
+val guard_on : bool ref
+(** Debug guard: record freed addresses and count (rather than execute)
+    a double free of a block not re-allocated in between.  Surfaced as
+    the [heap_double_frees] metrics gauge. *)
+
+(** {2 Allocator gauges} (process-wide, across heaps) *)
+
+val frees_total : unit -> int
+val reuses_total : unit -> int
+val leaked_frees_total : unit -> int
+val double_frees_total : unit -> int
 
 (**/**)
 
 (* Unchecked accessors for engine internals (addresses pre-validated). *)
 val unsafe_read : t -> int -> int
 val unsafe_write : t -> int -> int -> unit
+
+(* Epoch-reclaimer plumbing ([Epoch] installs the hooks; benchmarks and
+   tests may call [free_now] directly under their own quiescence). *)
+val free_now : t -> int -> int -> unit
+val epoch_on : bool ref
+val epoch_defer : (t -> int -> int -> unit) ref

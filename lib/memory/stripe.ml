@@ -33,6 +33,12 @@ let create ?(granularity_words = 4) ?(table_bits = 18) () =
 let granularity_words t = 1 lsl t.log2_gran
 let table_size t = 1 lsl t.table_bits
 
+(* Raw mapping parameters, for engines that inline [index] in their hot
+   paths (the wall-clock-gated swisstm engine caches both in its own
+   record and computes [(addr lsr shift) land mask] in-line). *)
+let log2_granularity t = t.log2_gran
+let index_mask t = t.mask
+
 (** Lock-table index covering word address [addr]. *)
 let index t addr = (addr lsr t.log2_gran) land t.mask
 

@@ -254,6 +254,32 @@ let record_dispatch tid =
     sched_last_tid := tid
   end
 
+(* --- gauges ------------------------------------------------------------ *)
+
+(* Monotone counters owned by lower layers (descriptor pools, the epoch
+   reclaimer) that cannot depend on [Obs]: they register a read-out
+   thunk here and the reporting paths sample it.  Gauges are cumulative
+   process-wide totals, so [reset] does not touch them. *)
+let gauges : (string * (unit -> int)) list ref = ref []
+
+let register_gauge name f =
+  if not (List.mem_assoc name !gauges) then gauges := (name, f) :: !gauges
+
+let gauge_values () =
+  List.rev_map (fun (name, f) -> (name, f ())) !gauges
+
+(* The memory layer sits below [Obs] and cannot register itself; its
+   allocator and epoch-reclaimer counters are adopted here. *)
+let () =
+  register_gauge "heap_frees" Memory.Heap.frees_total;
+  register_gauge "heap_free_reuses" Memory.Heap.reuses_total;
+  register_gauge "heap_leaked_frees" Memory.Heap.leaked_frees_total;
+  register_gauge "heap_double_frees" Memory.Heap.double_frees_total;
+  register_gauge "epoch_advances" Memory.Epoch.advances;
+  register_gauge "epoch_deferred" Memory.Epoch.deferred;
+  register_gauge "epoch_reclaimed" Memory.Epoch.reclaimed;
+  register_gauge "epoch_limbo_depth" Memory.Epoch.limbo_depth
+
 (* --- lifecycle --------------------------------------------------------- *)
 
 let enable () =
@@ -340,7 +366,13 @@ let pp ppf () =
   List.iter (pp_engine ppf) (List.rev !engines);
   if !sched_dispatches > 0 then
     Format.fprintf ppf "  sched: dispatches=%d switches=%d@\n"
-      !sched_dispatches !sched_switches
+      !sched_dispatches !sched_switches;
+  match gauge_values () with
+  | [] -> ()
+  | gs ->
+      Format.fprintf ppf "  gauges:";
+      List.iter (fun (n, v) -> Format.fprintf ppf " %s=%d" n v) gs;
+      Format.fprintf ppf "@\n"
 
 let engine_to_json e =
   Json.Obj
@@ -386,4 +418,7 @@ let to_json () =
             ("dispatches", Json.Int !sched_dispatches);
             ("switches", Json.Int !sched_switches);
           ] );
+      ( "gauges",
+        Json.Obj
+          (List.map (fun (n, v) -> (n, Json.Int v)) (gauge_values ())) );
     ]

@@ -71,6 +71,17 @@ val on_cm_throttle : tid:int -> unit
 val on_escalation : tid:int -> unit
 (** An engine escalated this thread to irrevocable execution. *)
 
+(** {2 Gauges} *)
+
+val register_gauge : string -> (unit -> int) -> unit
+(** Register a named read-out thunk sampled by {!pp}/{!to_json}
+    (descriptor-pool and epoch-reclamation counters live in layers below
+    [Obs]).  Idempotent by name.  Gauges are cumulative process-wide
+    totals; {!reset} leaves them alone. *)
+
+val gauge_values : unit -> (string * int) list
+(** Sample every registered gauge, registration order. *)
+
 (** {2 Reporting} *)
 
 val pp : Format.formatter -> unit -> unit

@@ -20,13 +20,18 @@ let mix64 z =
     golden-ratio thread offset is added: combining the raw seed linearly
     would alias distinct (seed, tid) pairs onto one stream (seed s at tid
     t equals seed s+phi at tid t-1). *)
-let for_thread ~seed ~tid =
-  {
-    state =
-      Int64.add
-        (Int64.mul (Int64.of_int (tid + 1)) 0x9E3779B97F4A7C15L)
-        (mix64 (Int64.of_int seed));
-  }
+let thread_state ~seed ~tid =
+  Int64.add
+    (Int64.mul (Int64.of_int (tid + 1)) 0x9E3779B97F4A7C15L)
+    (mix64 (Int64.of_int seed))
+
+let for_thread ~seed ~tid = { state = thread_state ~seed ~tid }
+
+(** Reset an existing generator in place to the stream a fresh
+    [for_thread ~seed ~tid] would produce.  Descriptor pooling reuses
+    txinfo records across engine instances; reseeding keeps a pooled
+    descriptor's stream identical to a freshly-created one. *)
+let reseed t ~seed ~tid = t.state <- thread_state ~seed ~tid
 
 let next64 t =
   let z = Int64.add t.state 0x9E3779B97F4A7C15L in

@@ -50,15 +50,20 @@ let create () =
     max_consec_aborts = Array.make max_threads 0;
   }
 
-let slot tid = tid land (max_threads - 1)
-let bump arr tid = arr.(slot tid) <- arr.(slot tid) + 1
+let[@inline] slot tid = tid land (max_threads - 1)
+
+(* [slot] keeps the index in bounds by construction, so the bump skips
+   the bounds check: counters sit on every transactional read and write. *)
+let[@inline] bump arr tid =
+  let s = slot tid in
+  Array.unsafe_set arr s (Array.unsafe_get arr s + 1)
 
 let commit t ~tid =
   bump t.commits tid;
   t.consec_aborts.(slot tid) <- 0
-let wait t ~tid = bump t.waits tid
-let read t ~tid = bump t.reads tid
-let write t ~tid = bump t.writes tid
+let[@inline] wait t ~tid = bump t.waits tid
+let[@inline] read t ~tid = bump t.reads tid
+let[@inline] write t ~tid = bump t.writes tid
 
 let backoff t ~tid ~n =
   let s = slot tid in

@@ -97,9 +97,7 @@ let create ?(config = default_config) heap =
     counter = Runtime.Tmatomic.make 0;
     cm = Cm.Factory.make config.cm;
     config;
-    descs =
-      Array.init Stats.max_threads (fun tid ->
-          Txdesc.create ~tid ~seed:config.seed);
+    descs = Driver.make_descs ~seed:config.seed ();
     stats = Stats.create ();
     eid = Obs.Metrics.register_engine (name_of_config config);
     ser = Serial.create ();
@@ -107,8 +105,8 @@ let create ?(config = default_config) heap =
 
 (* Clear our visible-reader bits (commit and abort paths). *)
 let retract_visible t (d : Txdesc.t) =
-  Ivec.iter
-    (fun idx ->
+  Rset.iter
+    (fun idx _ ->
       let r = t.readers.(idx) in
       let bit = 1 lsl d.tid in
       let rec clear () =
@@ -118,7 +116,7 @@ let retract_visible t (d : Txdesc.t) =
           then clear ()
       in
       clear ())
-    d.vread_stripes
+    d.vreads
 
 let release_owned t (d : Txdesc.t) =
   Ivec.iter
@@ -165,13 +163,13 @@ let wait_unbusy t (d : Txdesc.t) idx =
 let validate t (d : Txdesc.t) =
   let prof_prev = Hooks.phase_enter_validate d.tid in
   let costs = Runtime.Costs.get () in
-  let n = Ivec.length d.read_stripes in
+  let n = Rset.length d.rset in
   let ok = ref true in
   let i = ref 0 in
   while !ok && !i < n do
     Runtime.Exec.tick costs.validate_entry;
-    let idx = Ivec.unsafe_get d.read_stripes !i in
-    let logged = Ivec.unsafe_get d.read_versions !i in
+    let idx = Rset.key d.rset !i in
+    let logged = Rset.value d.rset !i in
     let rec settle () =
       let lv = Runtime.Tmatomic.get t.versions.(idx) in
       if not (busy lv) then lv
@@ -258,7 +256,7 @@ let read_word t (d : Txdesc.t) addr =
            below.  Either side of the race is covered. *)
         (match t.config.visibility with
         | Visible ->
-            if not (Wlog.mem d.vread_seen idx) then begin
+            if not (Rset.mem d.vreads idx) then begin
               let r = t.readers.(idx) in
               let bit = 1 lsl d.tid in
               let rec announce () =
@@ -270,8 +268,7 @@ let read_word t (d : Txdesc.t) addr =
                   then announce ()
               in
               announce ();
-              Wlog.replace d.vread_seen idx 1;
-              Ivec.push d.vread_stripes idx
+              ignore (Rset.add_unique d.vreads idx 0 : bool)
             end
         | Invisible -> ());
         (* Eager conflict detection on the read/write axis: an owned object
@@ -289,8 +286,7 @@ let read_word t (d : Txdesc.t) addr =
         (match t.config.visibility with
         | Invisible ->
             Runtime.Exec.tick costs.log_append;
-            Ivec.push d.read_stripes idx;
-            Ivec.push d.read_versions version;
+            Rset.push d.rset idx version;
             maybe_validate t d
         | Visible -> ());
         value
@@ -349,11 +345,7 @@ let write_word t (d : Txdesc.t) addr value =
   | Eager ->
       if Runtime.Tmatomic.get t.owners.(idx) <> d.tid + 1 then
         acquire_stripe t d idx
-  | Lazy ->
-      if not (Wlog.mem d.wstripe_seen idx) then begin
-        Wlog.replace d.wstripe_seen idx 1;
-        Ivec.push d.wstripes idx
-      end);
+  | Lazy -> ignore (Rset.add_unique d.wstripes idx 0 : bool));
   Runtime.Exec.tick costs.log_append;
   Wlog.replace d.wset addr value
 
@@ -377,8 +369,8 @@ let commit t (d : Txdesc.t) =
     Hooks.inject_stretch d;
     (* Lazy mode acquires its whole write set now. *)
     if t.config.acquire = Lazy then
-      Ivec.iter
-        (fun idx ->
+      Rset.iter
+        (fun idx _ ->
           if Runtime.Tmatomic.get t.owners.(idx) <> d.tid + 1 then
             acquire_stripe t d idx)
         d.wstripes;

@@ -61,9 +61,7 @@ let create ?(config = default_config) heap =
       Array.init (Memory.Stripe.table_size stripe) (fun _ ->
           Runtime.Tmatomic.make 0);
     clock = Runtime.Tmatomic.make 0;
-    descs =
-      Array.init Stats.max_threads (fun tid ->
-          Txdesc.create ~tid ~seed:config.seed);
+    descs = Driver.make_descs ~seed:config.seed ();
     stats = Stats.create ();
     eid = Obs.Metrics.register_engine name;
     cm = Cm.Factory.make config.cm;
@@ -112,8 +110,7 @@ let read_word t (d : Txdesc.t) addr =
     if lv2 <> lv then rollback t d Tx_signal.Rw_validation;
     let version = Vlock.version_of lv in
     Runtime.Exec.tick costs.log_append;
-    Ivec.push d.read_stripes idx;
-    Ivec.push d.read_versions version;
+    Rset.push d.rset idx version;
     if version > d.valid_ts && not (extend t d) then
       rollback t d Tx_signal.Rw_validation;
     value

@@ -64,9 +64,7 @@ let create ?(config = default_config) heap =
       Array.init (Memory.Stripe.table_size stripe) (fun _ ->
           Runtime.Tmatomic.make 0);
     clock = Runtime.Tmatomic.make 0;
-    descs =
-      Array.init Stats.max_threads (fun tid ->
-          Txdesc.create ~tid ~seed:config.seed);
+    descs = Driver.make_descs ~seed:config.seed ();
     stats = Stats.create ();
     eid = Obs.Metrics.register_engine name;
     cm = Cm.Factory.make config.cm;
@@ -104,7 +102,7 @@ let read_word t (d : Txdesc.t) addr =
       (* Locked or moved past our snapshot: TL2 aborts (no extension). *)
       rollback t d Tx_signal.Rw_validation;
     Runtime.Exec.tick costs.log_append;
-    Ivec.push d.read_stripes idx;
+    Rset.push d.rset idx 0;
     value
   end
 
@@ -115,10 +113,7 @@ let write_word t (d : Txdesc.t) addr value =
   Runtime.Exec.tick costs.log_append;
   Wlog.replace d.wset addr value;
   let idx = Memory.Stripe.index t.stripe addr in
-  if not (Wlog.mem d.wstripe_seen idx) then begin
-    Wlog.replace d.wstripe_seen idx 1;
-    Ivec.push d.wstripes idx
-  end
+  ignore (Rset.add_unique d.wstripes idx 0 : bool)
 
 let commit t (d : Txdesc.t) =
   Hooks.commit_entry d;
@@ -140,12 +135,12 @@ let commit t (d : Txdesc.t) =
     let wv, quiescent = Vlock.gv4_bump ~clock:t.clock ~rv:d.valid_ts in
     (* Validate the read set unless nobody else committed since start. *)
     if (not quiescent) && not (Vlock.validate_rv ~locks:t.locks d) then begin
-      Vlock.release_restoring ~locks:t.locks d.wstripes d.acq_saved
-        ~upto:(Ivec.length d.wstripes);
+      Vlock.release_wstripes ~locks:t.locks d.wstripes d.acq_saved
+        ~upto:(Rset.length d.wstripes);
       rollback t d Tx_signal.Rw_validation
     end;
     Vlock.write_back ~heap:t.heap d;
-    Vlock.publish ~locks:t.locks d.wstripes ~version:wv;
+    Vlock.publish_wstripes ~locks:t.locks d.wstripes ~version:wv;
     Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
   end
 

@@ -2,7 +2,7 @@
 
 let () =
   Alcotest.run "swisstm-repro"
-    (Test_runtime.suite @ Test_wlog.suite @ Test_memory.suite
+    (Test_runtime.suite @ Test_wlog.suite @ Test_rset.suite @ Test_memory.suite
    @ Test_txds.suite @ Test_cm.suite
    @ Test_engines.suite @ Test_atomicity.suite @ Test_rbtree.suite
    @ Test_stmbench7.suite @ Test_leetm.suite @ Test_stamp.suite

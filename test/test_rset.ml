@@ -1,0 +1,234 @@
+(* Rset: the allocation-free read/ownership set behind every engine's read
+   set, lazy write-stripe set and visible-reader set.  Unit tests for both
+   modes (journal appends, index dedup), the generation-stamped O(1) clear,
+   and inline growth; QCheck differentials against naive list references —
+   one per mode, since a value is used in exactly one mode. *)
+
+open Stm_intf
+
+let check = Alcotest.check
+
+(* ---------- unit: journal mode ---------- *)
+
+let test_journal_basics () =
+  let t = Rset.create () in
+  check Alcotest.bool "fresh empty" true (Rset.is_empty t);
+  check Alcotest.int "fresh len" 0 (Rset.length t);
+  Rset.push t 42 7;
+  Rset.push t 9 1;
+  Rset.push t 42 8;
+  (* duplicates allowed: a read set logs every read *)
+  check Alcotest.int "len counts duplicates" 3 (Rset.length t);
+  check Alcotest.int "key 0" 42 (Rset.key t 0);
+  check Alcotest.int "value 0" 7 (Rset.value t 0);
+  check Alcotest.int "key 2" 42 (Rset.key t 2);
+  check Alcotest.int "value 2" 8 (Rset.value t 2);
+  let seen = ref [] in
+  Rset.iter (fun k v -> seen := (k, v) :: !seen) t;
+  check
+    Alcotest.(list (pair int int))
+    "iter = insertion order"
+    [ (42, 7); (9, 1); (42, 8) ]
+    (List.rev !seen);
+  Rset.truncate t 1;
+  check Alcotest.int "truncated" 1 (Rset.length t);
+  check Alcotest.int "survivor" 42 (Rset.key t 0);
+  Rset.clear t;
+  check Alcotest.bool "cleared" true (Rset.is_empty t)
+
+let test_journal_growth () =
+  (* tiny initial capacity: force repeated journal doubling *)
+  let t = Rset.create ~bits:2 () in
+  for i = 0 to 9_999 do
+    Rset.push t i (i * 3)
+  done;
+  check Alcotest.int "len after growth" 10_000 (Rset.length t);
+  for i = 0 to 9_999 do
+    if Rset.key t i <> i || Rset.value t i <> i * 3 then
+      Alcotest.failf "pair %d corrupted by growth" i
+  done
+
+(* ---------- unit: index mode ---------- *)
+
+let test_index_basics () =
+  let t = Rset.create () in
+  check Alcotest.bool "first insert" true (Rset.add_unique t 42 0);
+  check Alcotest.bool "dup rejected" false (Rset.add_unique t 42 0);
+  check Alcotest.bool "second key" true (Rset.add_unique t 7 1);
+  check Alcotest.int "journal holds unique keys" 2 (Rset.length t);
+  check Alcotest.bool "mem hit" true (Rset.mem t 42);
+  check Alcotest.bool "mem hit 2" true (Rset.mem t 7);
+  check Alcotest.bool "mem miss" false (Rset.mem t 5);
+  let order = ref [] in
+  Rset.iter (fun k _ -> order := k :: !order) t;
+  check
+    Alcotest.(list int)
+    "journal = first-insertion order" [ 42; 7 ] (List.rev !order)
+
+let test_index_growth () =
+  let t = Rset.create ~bits:2 () in
+  for i = 0 to 4_999 do
+    check Alcotest.bool "insert" true (Rset.add_unique t (i * 37) i)
+  done;
+  for i = 0 to 4_999 do
+    if not (Rset.mem t (i * 37)) then Alcotest.failf "key %d lost by growth" i;
+    if Rset.add_unique t (i * 37) 0 then
+      Alcotest.failf "key %d duplicated after growth" i
+  done;
+  check Alcotest.int "len" 5_000 (Rset.length t);
+  check Alcotest.bool "near miss" false (Rset.mem t 38)
+
+(* ---------- unit: clear / generation reuse ---------- *)
+
+let test_clear_generations () =
+  let t = Rset.create ~bits:2 () in
+  (* many clear cycles re-using the same slots: stale generations must
+     never resurrect old keys, and growth across generations must work *)
+  for round = 1 to 200 do
+    check Alcotest.bool
+      (Printf.sprintf "round %d starts empty" round)
+      true (Rset.is_empty t);
+    check Alcotest.bool "stale key invisible" false (Rset.mem t round);
+    for i = 0 to 15 do
+      check Alcotest.bool "insert" true
+        (Rset.add_unique t (round + (i * 1000)) (round * i))
+    done;
+    check Alcotest.int "len" 16 (Rset.length t);
+    for i = 0 to 15 do
+      check Alcotest.bool "hit" true (Rset.mem t (round + (i * 1000)));
+      check Alcotest.int "value" (round * i) (Rset.value t i)
+    done;
+    Rset.clear t
+  done
+
+(* ---------- property: journal mode vs naive pair list ---------- *)
+
+type jop = Push of int * int | Trunc of int | JClear
+
+let jop_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map2 (fun k v -> Push (k, v)) (int_bound 500) (int_bound 10_000));
+        (1, map (fun n -> Trunc n) (int_bound 40));
+        (1, return JClear);
+      ])
+
+let pp_jop = function
+  | Push (k, v) -> Printf.sprintf "Push(%d,%d)" k v
+  | Trunc n -> Printf.sprintf "Trunc %d" n
+  | JClear -> "Clear"
+
+let jops_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map pp_jop l))
+    QCheck.Gen.(list_size (int_bound 400) jop_gen)
+
+let journal_same_as_reference ops =
+  let t = Rset.create ~bits:2 () in
+  let r = ref [] (* newest first *) in
+  List.iter
+    (fun op ->
+      (match op with
+      | Push (k, v) ->
+          Rset.push t k v;
+          r := (k, v) :: !r
+      | Trunc n ->
+          let n = min n (Rset.length t) in
+          Rset.truncate t n;
+          let keep = List.rev !r in
+          r := List.rev (List.filteri (fun i _ -> i < n) keep)
+      | JClear ->
+          Rset.clear t;
+          r := []);
+      let expect = List.rev !r in
+      if Rset.length t <> List.length expect then
+        QCheck.Test.fail_reportf "length: rset=%d ref=%d" (Rset.length t)
+          (List.length expect);
+      List.iteri
+        (fun i (k, v) ->
+          if Rset.key t i <> k || Rset.value t i <> v then
+            QCheck.Test.fail_reportf "pair %d: rset=(%d,%d) ref=(%d,%d)" i
+              (Rset.key t i) (Rset.value t i) k v)
+        expect)
+    ops;
+  true
+
+let journal_differential =
+  QCheck.Test.make ~count:300 ~name:"rset journal matches reference list"
+    jops_arb journal_same_as_reference
+
+(* ---------- property: index mode vs naive set + order list ---------- *)
+
+type iop = Add of int * int | IClear
+
+let iop_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (8, map2 (fun k v -> Add (k, v)) (int_bound 300) (int_bound 10_000));
+        (1, return IClear);
+      ])
+
+let pp_iop = function
+  | Add (k, v) -> Printf.sprintf "Add(%d,%d)" k v
+  | IClear -> "Clear"
+
+let iops_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map pp_iop l))
+    QCheck.Gen.(list_size (int_bound 400) iop_gen)
+
+let index_same_as_reference ops =
+  let t = Rset.create ~bits:2 () in
+  let r = ref [] (* first-insertion order, newest first *) in
+  List.iter
+    (fun op ->
+      (match op with
+      | Add (k, v) ->
+          let fresh = not (List.mem_assoc k !r) in
+          let inserted = Rset.add_unique t k v in
+          if inserted <> fresh then
+            QCheck.Test.fail_reportf "add_unique %d: rset=%b ref=%b" k
+              inserted fresh;
+          if fresh then r := (k, v) :: !r
+      | IClear ->
+          Rset.clear t;
+          r := []);
+      let expect = List.rev !r in
+      if Rset.length t <> List.length expect then
+        QCheck.Test.fail_reportf "length: rset=%d ref=%d" (Rset.length t)
+          (List.length expect);
+      (* membership agrees on a window covering hits and misses *)
+      for k = 0 to 310 do
+        if Rset.mem t k <> List.mem_assoc k !r then
+          QCheck.Test.fail_reportf "mem %d: rset=%b ref=%b" k (Rset.mem t k)
+            (List.mem_assoc k !r)
+      done;
+      (* journal preserves first-insertion order with first values *)
+      List.iteri
+        (fun i (k, v) ->
+          if Rset.key t i <> k || Rset.value t i <> v then
+            QCheck.Test.fail_reportf "pair %d: rset=(%d,%d) ref=(%d,%d)" i
+              (Rset.key t i) (Rset.value t i) k v)
+        expect)
+    ops;
+  true
+
+let index_differential =
+  QCheck.Test.make ~count:300 ~name:"rset index matches reference set"
+    iops_arb index_same_as_reference
+
+let suite =
+  [
+    ( "rset",
+      [
+        Alcotest.test_case "journal-basics" `Quick test_journal_basics;
+        Alcotest.test_case "journal-growth" `Quick test_journal_growth;
+        Alcotest.test_case "index-basics" `Quick test_index_basics;
+        Alcotest.test_case "index-growth" `Quick test_index_growth;
+        Alcotest.test_case "clear-generations" `Quick test_clear_generations;
+        QCheck_alcotest.to_alcotest journal_differential;
+        QCheck_alcotest.to_alcotest index_differential;
+      ] );
+  ]
