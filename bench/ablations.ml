@@ -202,7 +202,8 @@ let run_kernel_points () =
                  ~duration_cycles:(rbtree_duration ()) ())
           in
           Printf.printf "%-26s %18.3f\n%!" name r)
-    ([ "swisstm"; "tl2"; "tinystm"; "rstm" ] @ Engines.kernel_names)
+    ([ "swisstm"; "tl2"; "tinystm"; "rstm"; "norec"; "tlrw" ]
+    @ Engines.kernel_names)
 
 let run () =
   run_nesting ();

@@ -1,0 +1,13 @@
+(* Stand-alone crossover gate (make norec-smoke): run the NOrec-vs-TL2
+   matrix at smoke or full duration and fail the process if any leg of
+   the crossover shape is violated.  perf_gate embeds the same checks
+   (plus the JSON emission); this entry point is the seconds-fast CI
+   hook. *)
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  if Crossover.gate ~smoke () then print_endline "crossover gate: PASS"
+  else begin
+    print_endline "crossover gate: FAIL";
+    exit 1
+  end

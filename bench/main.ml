@@ -27,6 +27,7 @@ let all : (string * string * (unit -> unit)) list =
     ("tbl2", "Table 2: per-benchmark granularity", Tbl2.run);
     ("micro", "Bechamel per-op overhead", Micro.run);
     ("ablations", "Extensions: nesting, multi-versioning, privatization, CMs", Ablations.run);
+    ("crossover", "Extension: NOrec vs TL2 commit-serialization crossover", Crossover.run);
     ("fairness", "Extension: long-transaction latency / starvation", Fairness.run);
     ("cm-sweep", "Extension: timid vs two-phase vs adaptive CM", Cm_sweep.run);
   ]

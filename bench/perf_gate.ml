@@ -22,6 +22,9 @@
      quiescence barrier and the epoch reclaimer (DESIGN.md §12).
    - "privatization_native" (PR 6): the same three variants running a
      read-mix + privatize/free workload on real [Domain]s, wall-clock.
+   - "crossover" (PR 7): the NOrec-vs-TL2 matrix (bench/crossover.ml) —
+     deterministic simulated ktps per thread count plus the three named
+     shape checks (NOrec ahead at 1 and 2 threads, behind at the top).
    - "gauges" (PR 6): the descriptor-pool / heap free-list / epoch
      counters accumulated over the whole gate run.
 
@@ -36,13 +39,13 @@
      dune exec bench/perf_gate.exe -- --out f.json  *)
 
 let smoke = ref false
-let out = ref "BENCH_PR6.json"
+let out = ref "BENCH_PR7.json"
 
 let () =
   Arg.parse
     [
       ("--smoke", Arg.Set smoke, " quick mode: fewer iterations and threads");
-      ("--out", Arg.Set_string out, "FILE output path (default BENCH_PR6.json)");
+      ("--out", Arg.Set_string out, "FILE output path (default BENCH_PR7.json)");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "perf_gate [--smoke] [--out FILE]"
@@ -579,11 +582,24 @@ let () =
     && Memory.Epoch.deferred () > def0
     && Memory.Epoch.deferred () - def0 = Memory.Epoch.reclaimed () - rec0
   in
+  Printf.printf "perf_gate: norec-vs-tl2 crossover (%s)...\n%!"
+    (if !smoke then "smoke" else "full");
+  let xo_rows =
+    Crossover.matrix ~duration_cycles:(Crossover.duration_cycles ~smoke:!smoke)
+      ()
+  in
+  Crossover.print_rows xo_rows;
+  let xo_checks = Crossover.shape_checks xo_rows in
+  List.iter
+    (fun (name, ok) ->
+      Printf.printf "  crossover %-18s %s\n%!" name (if ok then "ok" else "FAIL"))
+    xo_checks;
+  let xo_ok = List.for_all snd xo_checks in
   let gauges = Obs.Metrics.gauge_values () in
   let buf = Buffer.create 4096 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   bpf "{\n";
-  bpf "  \"schema\": \"swisstm-repro/perf-gate/2\",\n";
+  bpf "  \"schema\": \"swisstm-repro/perf-gate/3\",\n";
   bpf "  \"mode\": \"%s\",\n" (if !smoke then "smoke" else "full");
   bpf "  \"wlog_fastpath\": {\n";
   bpf "    \"wlog_ns_per_tx\": %s,\n" (jfloat wl_ns);
@@ -655,6 +671,26 @@ let () =
   bpf "    \"epoch_liveness_ok\": %b,\n" epoch_live_ok;
   bpf "    \"measure_attempts\": %d\n" priv_attempts;
   bpf "  },\n";
+  bpf "  \"crossover\": {\n";
+  bpf "    \"thread_counts\": [%s],\n"
+    (String.concat ", " (List.map string_of_int Crossover.thread_counts));
+  bpf "    \"ktps\": {\n";
+  List.iteri
+    (fun i (r : Crossover.row) ->
+      bpf "      \"%s\": [%s]%s\n" r.Crossover.engine
+        (String.concat ", "
+           (List.map jfloat (Array.to_list r.Crossover.ktps)))
+        (if i < List.length xo_rows - 1 then "," else ""))
+    xo_rows;
+  bpf "    },\n";
+  bpf "    \"shape\": {\n";
+  List.iteri
+    (fun i (name, ok) ->
+      bpf "      \"%s\": %b%s\n" name ok
+        (if i < List.length xo_checks - 1 then "," else ""))
+    xo_checks;
+  bpf "    }\n";
+  bpf "  },\n";
   bpf "  \"gauges\": {\n";
   List.iteri
     (fun i (name, v) ->
@@ -715,6 +751,15 @@ let () =
       (Memory.Epoch.reclaimed () - rec0);
     fail := true
   end;
+  if not xo_ok then begin
+    Printf.eprintf
+      "perf_gate: FAIL norec-vs-tl2 crossover shape violated (%s)\n"
+      (String.concat ", "
+         (List.filter_map
+            (fun (n, ok) -> if ok then None else Some n)
+            xo_checks));
+    fail := true
+  end;
   if not sb7_identity_ok then begin
     Printf.eprintf
       "perf_gate: FAIL sb7 simulated cycles diverged from the frozen PR-4 \
@@ -725,7 +770,7 @@ let () =
   Printf.printf
     "perf_gate: OK (improvements >= %.0f%%, rw %.1f%% better than PR-5, \
      obs-off overhead %+.1f%% <= %.0f%%, epoch privatization %+.1f%% sim / \
-     %+.1f%% native%s)\n%!"
+     %+.1f%% native, norec crossover shape holds%s)\n%!"
     required_improvement_pct pr5_imp obs_overhead_pct obs_overhead_limit_pct
     sim_epoch_penalty epoch_penalty
     (if !smoke then ", sb7 cycles bit-identical to PR-4" else "")

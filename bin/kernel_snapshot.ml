@@ -5,12 +5,14 @@
    and compares, so no separate `--check` mode is needed. *)
 
 (* Composed kernel points are printed too when asked ([--all]), but the
-   frozen differential table in test/test_kernel.ml covers the classic
-   names only: composed points have no pre-refactor baseline to hold. *)
+   frozen differential table in test/test_kernel.ml covers the dedicated
+   engine names only: composed points have no pre-refactor baseline to
+   hold.  norec/tlrw joined the frozen set in PR 7 (captured at their
+   introduction, so later refactors are held to bit-identical behavior). *)
 let classic_names =
   [
     "swisstm"; "swisstm-priv"; "tl2"; "tinystm"; "rstm"; "rstm-lazy";
-    "rstm-visible"; "mvstm"; "glock";
+    "rstm-visible"; "mvstm"; "glock"; "norec"; "tlrw";
   ]
 
 let names =

@@ -11,6 +11,8 @@ type spec =
   | Rstm of Rstm.Rstm_engine.config
   | Mvstm of Mvstm.Mvstm_engine.config
   | Glock
+  | Norec of Kernel.Norec.config
+  | Tlrw of Kernel.Tlrw.config
   | Kernel of Kernel.Compose.config
       (* a composed design point from [Kernel.Registry] — combinations no
          dedicated engine implements *)
@@ -25,6 +27,12 @@ let rstm = Rstm Rstm.Rstm_engine.default_config
 
 (* §6 extensions: multi-version reads; quiescence-based privatization. *)
 let mvstm = Mvstm Mvstm.Mvstm_engine.default_config
+
+(* PR 7: the metadata-free corner (NOrec — global sequence lock,
+   value-based revalidation, timid) and its blocking dual (TLRW-style
+   read-write bytelocks, Polka arbitration). *)
+let norec = Norec Kernel.Norec.default_config
+let tlrw = Tlrw Kernel.Tlrw.default_config
 
 let swisstm_priv_safe =
   Swisstm { Swisstm.Swisstm_config.default with privatization_safe = true }
@@ -74,6 +82,8 @@ let with_cm cm spec =
   | Rstm c -> Rstm { c with Rstm.Rstm_engine.cm }
   | Mvstm c -> Mvstm { c with Mvstm.Mvstm_engine.cm }
   | Glock -> Glock
+  | Norec c -> Norec { c with Kernel.Norec.cm }
+  | Tlrw c -> Tlrw { c with Kernel.Tlrw.cm }
   | Kernel c -> Kernel { c with Kernel.Compose.cm }
 
 let name = function
@@ -99,6 +109,12 @@ let name = function
         "mvstm"
       else Printf.sprintf "mvstm(%s)" (Cm.Cm_intf.spec_name c.cm)
   | Glock -> "glock"
+  | Norec c ->
+      if c.Kernel.Norec.cm = Kernel.Norec.default_config.cm then "norec"
+      else Printf.sprintf "norec(%s)" (Cm.Cm_intf.spec_name c.cm)
+  | Tlrw c ->
+      if c.Kernel.Tlrw.cm = Kernel.Tlrw.default_config.cm then "tlrw"
+      else Printf.sprintf "tlrw(%s)" (Cm.Cm_intf.spec_name c.cm)
   | Kernel c ->
       let base = Kernel.Compose.name_of_point c.Kernel.Compose.point in
       if c.cm = Cm.Cm_intf.Polka then base
@@ -118,6 +134,11 @@ type contract = Opaque | Serializable
 let contract = function
   | Rstm c when c.Rstm.Rstm_engine.visibility = Rstm.Rstm_engine.Invisible ->
       Serializable
+  (* Both PR-7 engines are opaque (the wildcard would already say so;
+     spelled out because it is their contract's load-bearing claim):
+     norec admits a read only while the whole value journal is proven
+     consistent with one snapshot; tlrw reads are lock-protected. *)
+  | Norec _ | Tlrw _ -> Opaque
   | Kernel c -> (
       match Kernel.Axes.contract_of c.Kernel.Compose.point with
       | Kernel.Axes.Opaque -> Opaque
@@ -132,6 +153,8 @@ let make spec heap : Stm_intf.Engine.t =
   | Rstm config -> Rstm.Rstm_engine.engine ~config heap
   | Mvstm config -> Mvstm.Mvstm_engine.engine ~config heap
   | Glock -> Glock.Glock_engine.engine heap
+  | Norec config -> Kernel.Norec.engine ~config heap
+  | Tlrw config -> Kernel.Tlrw.engine ~config heap
   | Kernel config -> Kernel.Compose.engine ~config config.point heap
 
 (* Granularity override across engine families (Figure 13 / Table 2). *)
@@ -143,6 +166,8 @@ let with_granularity gran spec =
   | Rstm c -> Rstm { c with granularity_words = gran }
   | Mvstm c -> Mvstm { c with granularity_words = gran }
   | Glock -> Glock
+  | Norec c -> Norec c (* no stripes: validation is per-address *)
+  | Tlrw c -> Tlrw { c with Kernel.Tlrw.granularity_words = gran }
   | Kernel c -> Kernel { c with granularity_words = gran }
 
 (* Smaller lock/version tables for workloads touching few addresses (the
@@ -157,6 +182,8 @@ let with_table_bits bits spec =
   | Rstm c -> Rstm { c with table_bits = bits }
   | Mvstm c -> Mvstm { c with table_bits = bits }
   | Glock -> Glock
+  | Norec c -> Norec c (* no lock table at all *)
+  | Tlrw c -> Tlrw { c with Kernel.Tlrw.table_bits = bits }
   | Kernel c -> Kernel { c with table_bits = bits }
 
 (* Composed design points resolve through the kernel registry, so a name
@@ -191,6 +218,10 @@ let of_string = function
   | "rstm-adaptive" -> Some (with_cm Cm.Cm_intf.default_adaptive rstm)
   | "mvstm-adaptive" -> Some (with_cm Cm.Cm_intf.default_adaptive mvstm)
   | "glock" -> Some Glock
+  | "norec" -> Some norec
+  | "tlrw" -> Some tlrw
+  | "norec-adaptive" -> Some (with_cm Cm.Cm_intf.default_adaptive norec)
+  | "tlrw-adaptive" -> Some (with_cm Cm.Cm_intf.default_adaptive tlrw)
   | name -> of_registry name
 
 let kernel_names =
@@ -207,5 +238,6 @@ let known_names =
     "mvstm";
     "swisstm-adaptive"; "tl2-adaptive"; "tinystm-adaptive"; "rstm-adaptive";
     "mvstm-adaptive"; "glock";
+    "norec"; "tlrw"; "norec-adaptive"; "tlrw-adaptive";
   ]
   @ kernel_names

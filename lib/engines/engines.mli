@@ -10,6 +10,8 @@ type spec =
   | Rstm of Rstm.Rstm_engine.config
   | Mvstm of Mvstm.Mvstm_engine.config
   | Glock
+  | Norec of Kernel.Norec.config
+  | Tlrw of Kernel.Tlrw.config
   | Kernel of Kernel.Compose.config
       (** A composed design point from {!Kernel.Registry}: an axis
           combination (acquisition × visibility × validation) that none of
@@ -31,6 +33,17 @@ val rstm : spec
 val mvstm : spec
 (** Multi-version extension (paper §6): TL2-style updates plus version
     chains serving consistent old snapshots to read-only transactions. *)
+
+val norec : spec
+(** NOrec ({!Kernel.Norec}): no per-location metadata — one global
+    sequence lock, (address, value) read journal revalidated whenever the
+    sequence moves, redo write-back under the lock.  Opaque.  Timid by
+    default (there are no lock conflicts to arbitrate). *)
+
+val tlrw : spec
+(** TLRW-style bytelocks ({!Kernel.Tlrw}): per-stripe owner word + reader
+    bitmap, readers blocking-visible, writers drain readers at encounter
+    time.  No clock, no validation; opaque by construction.  Polka. *)
 
 val swisstm_priv_safe : spec
 (** SwissTM with the §6 quiescence barrier (privatization-safe commits). *)

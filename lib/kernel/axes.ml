@@ -8,11 +8,17 @@
      readers at encounter time (TinySTM); [Mixed] takes the write lock
      eagerly but freezes readers only for the duration of commit
      (SwissTM's eager w/w + lazy r/w split); [Lazy] buffers writes and
-     acquires everything at commit (TL2).
+     acquires everything at commit (TL2); [Seqlock] is the metadata-free
+     corner — no per-stripe locks at all, one global sequence lock taken
+     for the duration of commit write-back (NOrec); [Bytelock] guards
+     each stripe with a read-write lock — readers announce in per-stripe
+     reader slots, writers own the stripe and drain readers at encounter
+     time (TLRW).
    - [visibility]: whether readers announce themselves.  [Invisible]
      readers keep a private read log and validate; [Visible] readers CAS
      themselves into a shared per-stripe reader bitmap, and writers must
-     drain them before publishing (RSTM's visible-read mode).
+     drain them before publishing (RSTM's visible-read mode; [Bytelock]'s
+     read slots are the same idea made blocking).
    - [validation]: how invisible reads are kept consistent.
      [Commit_time] validates the read set once, at commit, against the
      snapshot (TL2 — no extension); [Incremental] revalidates on every
@@ -20,14 +26,18 @@
      (TinySTM/SwissTM's LSA-style extension); [Counter] only revalidates
      when the global commit counter moved (RSTM's heuristic — cheap but
      doomed transactions can observe inconsistent state, so the contract
-     weakens to serializability).
+     weakens to serializability); [Value] logs (address, value) pairs
+     and revalidates by re-reading whenever the global sequence number
+     moves (NOrec — needs no per-location version at all, and stays
+     opaque: reads are only admitted while the whole journal is proven
+     consistent with one memory snapshot).
    - [versioning]: [Redo] keeps a single version plus a redo log;
      [Multi] additionally maintains per-stripe version chains so
      read-only transactions can be served old values (MVSTM). *)
 
-type acquisition = Eager | Mixed | Lazy
+type acquisition = Eager | Mixed | Lazy | Seqlock | Bytelock
 type visibility = Invisible | Visible
-type validation = Commit_time | Incremental | Counter
+type validation = Commit_time | Incremental | Counter | Value
 type versioning = Redo | Multi
 
 type point = {
@@ -41,6 +51,8 @@ let acquisition_name = function
   | Eager -> "eager"
   | Mixed -> "mixed"
   | Lazy -> "lazy"
+  | Seqlock -> "seqlock"
+  | Bytelock -> "bytelock"
 
 let visibility_name = function Invisible -> "inv" | Visible -> "vis"
 
@@ -48,6 +60,7 @@ let validation_name = function
   | Commit_time -> "commit"
   | Incremental -> "incr"
   | Counter -> "counter"
+  | Value -> "value"
 
 let versioning_name = function Redo -> "redo" | Multi -> "multi"
 
@@ -111,4 +124,28 @@ let mvstm_point =
     visibility = Invisible;
     validation = Commit_time;
     versioning = Multi;
+  }
+
+(* The metadata-free corner (NOrec, PPoPP 2010): reads are invisible but
+   validated by value, and the only lock in the system is the global
+   sequence lock.  Opaque — every read is admitted only while the whole
+   value journal is consistent with one snapshot. *)
+let norec_point =
+  {
+    acquisition = Seqlock;
+    visibility = Invisible;
+    validation = Value;
+    versioning = Redo;
+  }
+
+(* TLRW-style read-write bytelocks: reads are visible (blocking reader
+   slots), writers drain them at encounter time, so no validation ever
+   runs — the validation coordinate is moot and recorded as
+   [Commit_time] (the vacuous policy for a lock-protected read set). *)
+let tlrw_point =
+  {
+    acquisition = Bytelock;
+    visibility = Visible;
+    validation = Commit_time;
+    versioning = Redo;
   }

@@ -33,9 +33,23 @@
    construction.
 
    Versioning is Redo only; Multi remains classic MVSTM's (the chain
-   walk is not worth generalizing — paper §6 found no advantage). *)
+   walk is not worth generalizing — paper §6 found no advantage).  The
+   PR-7 axis values are likewise dedicated-engine-only: Seqlock/Value is
+   [Norec] (there are no per-stripe locks to compose) and Bytelock is
+   [Tlrw].  [create] rejects every such point with [Unreachable_point]
+   (a *named* error carrying a stable message), so sweeps that probe the
+   full axis product can skip them deterministically instead of dying on
+   an anonymous [Invalid_argument]. *)
 
 open Stm_intf
+
+exception Unreachable_point of string
+
+let unreachable point why =
+  raise
+    (Unreachable_point
+       (Printf.sprintf "Kernel.Compose cannot run %s: %s"
+          (Axes.point_name point) why))
 
 type config = {
   point : Axes.point;
@@ -79,7 +93,18 @@ let version_of rv = rv lsr 1
 let create ?config point heap =
   let config = match config with Some c -> c | None -> default_config point in
   if point.Axes.versioning = Axes.Multi then
-    invalid_arg "Kernel.Compose: Multi versioning is classic mvstm only";
+    unreachable point "Multi versioning is the dedicated mvstm engine only";
+  (match point.Axes.acquisition with
+  | Axes.Seqlock ->
+      unreachable point
+        "the global sequence lock is the dedicated norec engine only"
+  | Axes.Bytelock ->
+      unreachable point
+        "read-write bytelocks are the dedicated tlrw engine only"
+  | Axes.Eager | Axes.Mixed | Axes.Lazy -> ());
+  if point.Axes.validation = Axes.Value then
+    unreachable point
+      "value-based validation needs the global sequence lock (norec only)";
   let stripe =
     Memory.Stripe.create ~granularity_words:config.granularity_words
       ~table_bits:config.table_bits ()
@@ -190,6 +215,7 @@ let settle_version t (d : Txdesc.t) version =
         let cc = Runtime.Tmatomic.get t.clock in
         if validate t d ~exact:true then d.valid_ts <- cc
         else rollback t d Tx_signal.Rw_validation
+    | Axes.Value -> assert false (* rejected by [create] *)
 
 (* --- read -------------------------------------------------------------- *)
 
@@ -236,7 +262,8 @@ let rec read_invisible t (d : Txdesc.t) idx addr (costs : Runtime.Costs.t) =
              look, not just when this read is past the snapshot *)
           let cc = Runtime.Tmatomic.get t.clock in
           if cc <> d.valid_ts then settle_version t d (d.valid_ts + 1)
-      | Axes.Commit_time | Axes.Incremental -> settle_version t d version);
+      | Axes.Commit_time | Axes.Incremental -> settle_version t d version
+      | Axes.Value -> assert false (* rejected by [create] *));
       value
     end
   end
@@ -374,6 +401,7 @@ let write_word t (d : Txdesc.t) addr value =
   check_kill t d;
   let idx = Memory.Stripe.index t.stripe addr in
   (match t.point.Axes.acquisition with
+  | Axes.Seqlock | Axes.Bytelock -> assert false (* rejected by [create] *)
   | Axes.Lazy -> ignore (Rset.add_unique d.wstripes idx 0 : bool)
   | Axes.Eager | Axes.Mixed ->
       if Runtime.Tmatomic.get t.w_locks.(idx) <> d.tid + 1 then begin
@@ -398,6 +426,7 @@ let commit t (d : Txdesc.t) =
   check_kill t d;
   let ro =
     match t.point.Axes.acquisition with
+    | Axes.Seqlock | Axes.Bytelock -> assert false (* rejected by [create] *)
     | Axes.Lazy -> Wlog.is_empty d.wset
     | Axes.Eager | Axes.Mixed -> Txdesc.is_read_only d
   in
@@ -414,6 +443,7 @@ let commit t (d : Txdesc.t) =
       d;
     Hooks.inject_stretch d;
     (match t.point.Axes.acquisition with
+    | Axes.Seqlock | Axes.Bytelock -> assert false (* rejected by [create] *)
     | Axes.Lazy ->
         Rset.iter
           (fun idx _ ->

@@ -47,6 +47,12 @@ let entries =
       point = None;
       summary = "single global lock, no speculation (control)";
     };
+    (* PR 7: the metadata-free corner and its blocking dual, both
+       dedicated engines (their axis values are Compose-unreachable) *)
+    classic "norec" Axes.norec_point
+      "metadata-free: one global sequence lock, value-based revalidation";
+    classic "tlrw" Axes.tlrw_point
+      "read-write bytelocks: blocking visible reads, no clock, no validation";
     (* new combinations only the composed kernel engine reaches *)
     composed
       (k Axes.Eager Axes.Invisible Axes.Commit_time)

@@ -1,0 +1,40 @@
+(* The NOrec global sequence lock: one word of shared metadata for the
+   whole heap.  Even values count commits and mean "free"; odd means a
+   committer is mid-write-back.  Every transaction polls this single
+   [Tmatomic] line — that concentration is the design's point (zero
+   per-location metadata, trivial read instrumentation) and its cost
+   (commit serialization, one hot line), and the simulator's MESI line
+   model prices both: a foreign commit turns the next poll into a cache
+   miss, and back-to-back committers queue on the line. *)
+
+type t = { seq : Runtime.Tmatomic.t }
+
+let create () = { seq = Runtime.Tmatomic.make 0 }
+let[@inline] is_locked v = v land 1 = 1
+
+(* Current value, locked or not (one charged atomic load). *)
+let[@inline] read t = Runtime.Tmatomic.get t.seq
+
+let[@inline] moved t ~since = Runtime.Tmatomic.get t.seq <> since
+
+(* Sample an unlocked value, spinning out any in-flight write-back.
+   [on_spin] runs between pauses (kill-flag polling and wait stats). *)
+let rec snapshot t ~on_spin =
+  let v = Runtime.Tmatomic.get t.seq in
+  if is_locked v then begin
+    on_spin ();
+    Runtime.Exec.pause ();
+    snapshot t ~on_spin
+  end
+  else v
+
+(* Single-CAS acquisition from the caller's validated snapshot [s]: the
+   CAS succeeds iff the sequence still equals [s], which doubles as the
+   final conflict check — nothing can have committed since the snapshot
+   was last proven consistent. *)
+let[@inline] try_acquire t ~snapshot:s =
+  Runtime.Tmatomic.cas t.seq ~expect:s ~replace:(s + 1)
+
+(* Release after write-back: publish the next even value.  A plain store
+   suffices — only the lock holder advances an odd sequence. *)
+let[@inline] release t ~snapshot:s = Runtime.Tmatomic.set t.seq (s + 2)

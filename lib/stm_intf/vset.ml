@@ -1,0 +1,21 @@
+(* Value-based read set: a thin view of [Rset]'s journal mode where the
+   payload is the observed value rather than a lock-table version.  See
+   vset.mli for the NOrec revalidation contract. *)
+
+type t = Rset.t
+
+let create = Rset.create
+let length = Rset.length
+let is_empty = Rset.is_empty
+let clear = Rset.clear
+let log = Rset.push
+let addr = Rset.key
+let value = Rset.value
+let iter = Rset.iter
+
+let revalidate ~read t =
+  let n = Rset.length t in
+  let rec go i =
+    i >= n || (read (Rset.key t i) = Rset.value t i && go (i + 1))
+  in
+  go 0

@@ -1,0 +1,47 @@
+(** Value-based read set (NOrec: Dalessandro/Spear/Scott, PPoPP 2010):
+    an insertion-ordered journal of (address, value) pairs over the
+    allocation-free {!Rset} substrate.  Where {!Rset} journals
+    (stripe, version) pairs for lock-table validation, a [Vset] logs the
+    {e values} the transaction observed; {!revalidate} re-reads each
+    address and compares, so consistency needs no per-location metadata
+    at all.
+
+    [type t = Rset.t] on purpose: the kernel descriptor's [rset] field
+    doubles as the value journal for value-validating engines, so the
+    descriptor union gains no field and the generation-stamped O(1)
+    {!clear} carries over unchanged. *)
+
+type t = Rset.t
+
+val create : ?bits:int -> unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** O(1) generation bump: pairs logged before the clear never participate
+    in a later {!revalidate} (no rehash, no zeroing). *)
+
+val log : t -> int -> int -> unit
+(** [log t addr value] appends a pair (journal mode: duplicates allowed —
+    NOrec logs every read, including re-reads of the same address, and
+    each logged observation is re-checked independently). *)
+
+val addr : t -> int -> int
+(** [addr t i] is the address of the [i]th pair, unchecked; [i] must be
+    below {!length}. *)
+
+val value : t -> int -> int
+(** [value t i] is the logged value of the [i]th pair, unchecked. *)
+
+val iter : (int -> int -> unit) -> t -> unit
+(** Journal order = insertion order. *)
+
+val revalidate : read:(int -> int) -> t -> bool
+(** [revalidate ~read t] re-reads every logged address through [read] and
+    compares against the logged value, in journal order, stopping at the
+    first mismatch.  Value-based by construction: a location that changed
+    A→B→A since the original read passes — and must, because the
+    resulting memory state is indistinguishable from no write at all, so
+    there are no ABA false positives.  [read] is the engine's charged
+    heap read, so simulated cycles land exactly where the engine
+    interleaves them. *)

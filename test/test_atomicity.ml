@@ -23,6 +23,8 @@ let all_specs =
     ("rstm-timestamp", Engines.rstm_with ~cm:Cm.Cm_intf.Timestamp ());
     ("mvstm", Engines.mvstm);
     ("swisstm-priv", Engines.swisstm_priv_safe);
+    ("norec", Engines.norec);
+    ("tlrw", Engines.tlrw);
     ("glock", Engines.Glock);
   ]
 
@@ -170,6 +172,8 @@ let sched_specs =
     ("rstm-eager-inv", Engines.rstm);
     ("rstm-eager-vis", Engines.rstm_with ~visibility:Rstm.Rstm_engine.Visible ());
     ("mvstm", Engines.mvstm);
+    ("norec", Engines.norec);
+    ("tlrw", Engines.tlrw);
     ("glock", Engines.Glock);
   ]
 

@@ -81,6 +81,18 @@ let frozen =
         ~reads:2400 ~writes:1440 ~wasted:0 ~elapsed:1586468,
       [| 415; 418; 421; 424; 427; 430; 433; 436; 467; 530; 561; 624; 655;
          718; 749 |] );
+    (* norec/tlrw joined in PR 7 — captured at introduction, so these rows
+       freeze the engines' behavior from their first commit onward. *)
+    ( "norec",
+      summary ~commits:480 ~ww:0 ~rw:50 ~killed:0 ~waits:176 ~backoffs:50
+        ~reads:2592 ~writes:1618 ~wasted:900889 ~elapsed:670602,
+      [| 150; 164; 178; 192; 202; 212; 222; 236; 538; 597; 627; 678; 741;
+         800; 830 |] );
+    ( "tlrw",
+      summary ~commits:480 ~ww:0 ~rw:0 ~killed:269 ~waits:21987 ~backoffs:890
+        ~reads:3132 ~writes:1836 ~wasted:2087261 ~elapsed:1415960,
+      [| 30; 420; 425; 815; 854; 865; 1262; 1277; 1369; 1463; 1547; 1655;
+         1693; 1760; 1817 |] );
   ]
 
 let spec_of name =
@@ -164,16 +176,32 @@ let test_registry_coverage () =
          e.point = Some Kernel.Axes.swisstm_point)
        composed)
 
-let test_multi_rejected () =
-  (* Multi-versioning stays classic mvstm's: the composed engine refuses. *)
-  let p =
-    { Kernel.Axes.tl2_point with Kernel.Axes.versioning = Kernel.Axes.Multi }
+(* Axis combinations [Kernel.Compose] cannot run must fail by NAME —
+   a named exception whose message says which point was refused and which
+   dedicated engine owns it, not a bare [Invalid_argument]. *)
+let test_unreachable_points () =
+  let check_refused label point why =
+    Alcotest.check_raises label
+      (Kernel.Compose.Unreachable_point
+         (Printf.sprintf "Kernel.Compose cannot run %s: %s"
+            (Kernel.Axes.point_name point)
+            why))
+      (fun () ->
+        ignore (Kernel.Compose.engine point (Memory.Heap.create ~words:1024)))
   in
-  Alcotest.check_raises "Multi versioning rejected"
-    (Invalid_argument "Kernel.Compose: Multi versioning is classic mvstm only")
-    (fun () ->
-      ignore
-        (Kernel.Compose.engine p (Memory.Heap.create ~words:1024)))
+  check_refused "Multi versioning rejected"
+    { Kernel.Axes.tl2_point with Kernel.Axes.versioning = Kernel.Axes.Multi }
+    "Multi versioning is the dedicated mvstm engine only";
+  check_refused "Seqlock acquisition rejected" Kernel.Axes.norec_point
+    "the global sequence lock is the dedicated norec engine only";
+  check_refused "Bytelock acquisition rejected" Kernel.Axes.tlrw_point
+    "read-write bytelocks are the dedicated tlrw engine only";
+  check_refused "Value validation rejected"
+    {
+      Kernel.Axes.tl2_point with
+      Kernel.Axes.validation = Kernel.Axes.Value;
+    }
+    "value-based validation needs the global sequence lock (norec only)"
 
 let suite =
   [
@@ -198,6 +226,7 @@ let suite =
       @ [
           Alcotest.test_case "registry coverage" `Quick
             test_registry_coverage;
-          Alcotest.test_case "multi rejected" `Quick test_multi_rejected;
+          Alcotest.test_case "unreachable points rejected" `Quick
+            test_unreachable_points;
         ] );
   ]

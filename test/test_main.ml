@@ -8,4 +8,4 @@ let () =
    @ Test_stmbench7.suite @ Test_leetm.suite @ Test_stamp.suite
    @ Test_extensions.suite @ Test_differential.suite @ Test_harness.suite
    @ Test_native.suite @ Test_check.suite @ Test_corpus.suite
-   @ Test_obs.suite @ Test_kernel.suite)
+   @ Test_obs.suite @ Test_kernel.suite @ Test_norec.suite)
