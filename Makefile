@@ -1,7 +1,7 @@
 # Convenience targets; the source of truth is dune.
 
 .PHONY: all build test bench check fuzz-smoke obs-smoke fault-smoke \
-        kernel-smoke epoch-smoke pool-smoke norec-smoke clean
+        kernel-smoke epoch-smoke pool-smoke norec-smoke service-smoke clean
 
 all: build
 
@@ -29,6 +29,7 @@ check: build
 	$(MAKE) epoch-smoke
 	$(MAKE) pool-smoke
 	$(MAKE) norec-smoke
+	$(MAKE) service-smoke
 
 # Kernel smoke (seconds): the differential suite (current engines vs the
 # frozen pre-refactor behavioral snapshot, bit-identical in simulated
@@ -104,11 +105,22 @@ fault-smoke: build
 # suites (norec/tlrw vs glock and norec vs tl2 over random programs and
 # perturbed schedules) and the deterministic NOrec-vs-TL2 crossover shape
 # gate at smoke duration.  perf_gate embeds the same crossover checks at
-# full duration into BENCH_PR7.json.
+# full duration into BENCH_PR8.json.
 norec-smoke: build
 	dune exec test/test_main.exe -- test norec
 	dune exec test/test_main.exe -- test norec-differential
 	dune exec bench/crossover_gate.exe -- --smoke
+
+# Service smoke (seconds): the open-system SLO gate (monotone goodput
+# ladder, adaptive-bounds-tail under the overload ramp, SLO collectors
+# charge zero simulated cycles) run TWICE in separate processes; the
+# emitted sidecars — which embed every SLO window of every run — must be
+# bit-identical, proving the whole harness deterministic.
+service-smoke: build
+	dune exec bench/service_gate.exe -- --smoke --out /tmp/svc_smoke_a.json
+	dune exec bench/service_gate.exe -- --smoke --out /tmp/svc_smoke_b.json
+	cmp /tmp/svc_smoke_a.json /tmp/svc_smoke_b.json
+	@echo "service-smoke: SLO JSON bit-identical across processes"
 
 epoch-smoke: build
 	dune exec bin/epoch_smoke.exe -- epoch

@@ -30,6 +30,7 @@ let all : (string * string * (unit -> unit)) list =
     ("crossover", "Extension: NOrec vs TL2 commit-serialization crossover", Crossover.run);
     ("fairness", "Extension: long-transaction latency / starvation", Fairness.run);
     ("cm-sweep", "Extension: timid vs two-phase vs adaptive CM", Cm_sweep.run);
+    ("service", "Extension: open-system SLO latency/goodput curves", Service_bench.run);
   ]
 
 let () =

@@ -24,13 +24,14 @@ let () =
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "obs_report [--smoke]"
 
+(* Every registered engine — classic names, -adaptive variants, the PR-7
+   NOrec/TLRW family and the composed kernel points — resolved through the
+   registry so a newly added engine shows up in the sidecars without
+   touching this file. *)
 let engines =
-  [
-    ("swisstm", Bench_common.swisstm);
-    ("tl2", Bench_common.tl2);
-    ("tinystm", Bench_common.tinystm);
-    ("rstm", Bench_common.rstm_serializer);
-  ]
+  List.filter_map
+    (fun n -> Option.map (fun s -> (n, s)) (Engines.of_string n))
+    Engines.known_names
 
 let stats_json (s : Stm_intf.Stats.snapshot) =
   Obs.Json.Obj

@@ -39,13 +39,13 @@
      dune exec bench/perf_gate.exe -- --out f.json  *)
 
 let smoke = ref false
-let out = ref "BENCH_PR7.json"
+let out = ref "BENCH_PR8.json"
 
 let () =
   Arg.parse
     [
       ("--smoke", Arg.Set smoke, " quick mode: fewer iterations and threads");
-      ("--out", Arg.Set_string out, "FILE output path (default BENCH_PR7.json)");
+      ("--out", Arg.Set_string out, "FILE output path (default BENCH_PR8.json)");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "perf_gate [--smoke] [--out FILE]"
@@ -113,6 +113,25 @@ let pr4_sb7_smoke_cycles =
     899120; 963792; 873305; 937605; 951095; 1062248; 873306; 949283;
     1270242; 2423027; 1246044; 2391863; 1468834; 2823377; 1396991; 2518006;
     1232243; 2452665; 1209335; 2423389; 1425691; 2836294; 1344303; 2456471;
+  ]
+
+(* Frozen PR-8 smoke-mode service ramp columns
+   (engine, offered, completed, elapsed_cycles, p50, p999,
+   tail_amplification_x1000, retries), in [Service_bench.ramp_engines]
+   order.  The open-system harness is a deterministic function of
+   (engine, config, seed) — `make service-smoke` additionally proves the
+   full SLO JSON bit-identical across two processes — so these must
+   reproduce exactly; a diff means an arrival stream, a scheduler hook
+   or an SLO collector perturbed a schedule. *)
+let pr8_service_smoke : (string * int * int * int * int * int * int * int) list
+    =
+  [
+    ("swisstm", 986, 986, 1551512, 2687, 127036, 47278, 239);
+    ("swisstm-adaptive", 986, 986, 1545670, 2431, 132903, 54670, 186);
+    ("tl2", 986, 986, 1533404, 3775, 111350, 29496, 542);
+    ("tl2-adaptive", 986, 986, 1527883, 3583, 102049, 28481, 429);
+    ("norec", 986, 986, 2249819, 233471, 823039, 3525, 180);
+    ("norec-adaptive", 986, 986, 2232003, 212991, 819699, 3848, 186);
   ]
 
 let jfloat f =
@@ -595,6 +614,32 @@ let () =
       Printf.printf "  crossover %-18s %s\n%!" name (if ok then "ok" else "FAIL"))
     xo_checks;
   let xo_ok = List.for_all snd xo_checks in
+  Printf.printf "perf_gate: open-system service SLO (%s)...\n%!"
+    (if !smoke then "smoke" else "full");
+  let svc_ok, svc_rows, _svc_json = Service_bench.gate ~smoke:!smoke () in
+  let svc_tuples =
+    List.map
+      (fun (n, (r : Service_bench.row)) ->
+        ( n,
+          r.Service_bench.offered,
+          r.Service_bench.completed,
+          r.Service_bench.elapsed_cycles,
+          r.Service_bench.p50,
+          r.Service_bench.p999,
+          r.Service_bench.tail_x1000,
+          r.Service_bench.retries ))
+      svc_rows
+  in
+  let svc_identity_ok = (not !smoke) || svc_tuples = pr8_service_smoke in
+  if !smoke && not svc_identity_ok then begin
+    Printf.printf
+      "  service columns diverged from the frozen PR-8 matrix; current:\n";
+    List.iter
+      (fun (n, o, c, e, p50, p999, amp, rt) ->
+        Printf.printf "    (%S, %d, %d, %d, %d, %d, %d, %d);\n" n o c e p50
+          p999 amp rt)
+      svc_tuples
+  end;
   let gauges = Obs.Metrics.gauge_values () in
   let buf = Buffer.create 4096 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -691,6 +736,22 @@ let () =
     xo_checks;
   bpf "    }\n";
   bpf "  },\n";
+  bpf "  \"service\": {\n";
+  bpf "    \"rows\": [\n";
+  List.iteri
+    (fun i (n, o, c, e, p50, p999, amp, rt) ->
+      bpf
+        "      { \"engine\": \"%s\", \"offered\": %d, \"completed\": %d, \
+         \"elapsed_cycles\": %d, \"p50\": %d, \"p999\": %d, \
+         \"tail_amplification_x1000\": %d, \"retries\": %d }%s\n"
+        n o c e p50 p999 amp rt
+        (if i < List.length svc_tuples - 1 then "," else ""))
+    svc_tuples;
+  bpf "    ],\n";
+  bpf "    \"checks_ok\": %b,\n" svc_ok;
+  bpf "    \"identity_checked\": %b,\n" !smoke;
+  bpf "    \"identity_ok\": %b\n" svc_identity_ok;
+  bpf "  },\n";
   bpf "  \"gauges\": {\n";
   List.iteri
     (fun i (name, v) ->
@@ -766,11 +827,23 @@ let () =
        matrix (observability hooks perturbed a schedule)\n";
     fail := true
   end;
+  if not svc_ok then begin
+    Printf.eprintf
+      "perf_gate: FAIL service SLO checks (monotone goodput / adaptive tail \
+       bound / zero perturbation — see rows above)\n";
+    fail := true
+  end;
+  if not svc_identity_ok then begin
+    Printf.eprintf
+      "perf_gate: FAIL service columns diverged from the frozen PR-8 matrix \
+       (see the current tuples above)\n";
+    fail := true
+  end;
   if !fail then exit 1;
   Printf.printf
     "perf_gate: OK (improvements >= %.0f%%, rw %.1f%% better than PR-5, \
      obs-off overhead %+.1f%% <= %.0f%%, epoch privatization %+.1f%% sim / \
-     %+.1f%% native, norec crossover shape holds%s)\n%!"
+     %+.1f%% native, norec crossover shape holds, service SLO gates hold%s)\n%!"
     required_improvement_pct pr5_imp obs_overhead_pct obs_overhead_limit_pct
     sim_epoch_penalty epoch_penalty
     (if !smoke then ", sb7 cycles bit-identical to PR-4" else "")

@@ -1,0 +1,29 @@
+(* Stand-alone service gate (make service-smoke): run the open-system
+   SLO harness at smoke or full scale, write the JSON sidecar, and fail
+   the process if the goodput curve is non-monotone or no adaptive
+   engine bounds the tail below its non-adaptive twin.
+
+   `make service-smoke` runs this twice with different --out paths and
+   cmp(1)s the files: the sidecar embeds every SLO window of every run,
+   so bit-identical output across processes is the determinism proof. *)
+
+let () =
+  let smoke = ref false in
+  let out = ref "OBS_SERVICE.json" in
+  Arg.parse
+    [
+      ("--smoke", Arg.Set smoke, " quick mode: short windows, fewer engines");
+      ("--out", Arg.Set_string out, "FILE sidecar path (default OBS_SERVICE.json)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "service_gate [--smoke] [--out FILE]";
+  let ok, _, json = Service_bench.gate ~smoke:!smoke () in
+  let oc = open_out !out in
+  Obs.Json.to_channel oc json;
+  close_out oc;
+  Printf.printf "service gate: wrote %s\n%!" !out;
+  if ok then print_endline "service gate: PASS"
+  else begin
+    print_endline "service gate: FAIL";
+    exit 1
+  end

@@ -5,12 +5,14 @@
      stm_run lee    --board memory --stm tinystm --threads 2
      stm_run stamp  --app intruder --stm swisstm --threads 8
      stm_run list
-     stm_run --profile --metrics              # six-engine demo micro
+     stm_run --profile --metrics              # all-engine demo micro
      stm_run sb7 --trace-out sb7.trace.json   # Chrome/Perfetto trace
 
    Prints one summary line per run plus the abort/commit breakdown.
    The observability flags (--metrics, --profile, --trace-out) work on
-   every benchmark subcommand and on the default six-engine demo. *)
+   every benchmark subcommand and on the default all-engine demo.
+   `stm_run service` drives the open-system SLO harness (--slo,
+   --slo-out, --trace-window). *)
 
 open Cmdliner
 
@@ -226,15 +228,13 @@ let stamp_cmd =
 
 (* --- demo (default command) ---------------------------------------------- *)
 
+(* Every registered engine, by registry name — including the -adaptive
+   CM variants, norec/tlrw and the composed kernel points — so the demo
+   (and obs-check below) can never silently drop a newly added engine. *)
 let demo_specs =
-  [
-    Engines.swisstm;
-    Engines.tl2;
-    Engines.tinystm;
-    Engines.rstm;
-    Engines.mvstm;
-    Engines.Glock;
-  ]
+  List.filter_map
+    (fun n -> Option.map (fun s -> (n, s)) (Engines.of_string n))
+    Engines.known_names
 
 (* Small contended counter-array micro: enough conflicts at 2 threads to
    exercise aborts, backoff and CM decisions on every engine. *)
@@ -258,7 +258,7 @@ let demo obs threads =
   end;
   let sections = ref [] in
   List.iter
-    (fun spec ->
+    (fun (name, spec) ->
       if obs.profile then begin
         Obs.Profile.reset ();
         Obs.Profile.enable ()
@@ -266,9 +266,9 @@ let demo obs threads =
       if obs.trace_out <> None then Stm_intf.Trace.start ();
       let r = demo_micro spec ~threads ~duration_cycles:300_000 in
       if obs.trace_out <> None then
-        sections := (Engines.name spec, Stm_intf.Trace.stop ()) :: !sections;
-      Printf.printf "%-28s ops=%-6d elapsed=%d cycles\n" (Engines.name spec)
-        r.ops r.elapsed_cycles;
+        sections := (name, Stm_intf.Trace.stop ()) :: !sections;
+      Printf.printf "%-28s ops=%-6d elapsed=%d cycles\n" name r.ops
+        r.elapsed_cycles;
       Format.printf "  %a@." Stm_intf.Stats.pp r.stats;
       if obs.profile then begin
         Format.printf "%a@." Obs.Profile.pp (Obs.Profile.snapshot ());
@@ -302,12 +302,17 @@ let obs_check_cmd =
     Obs.Profile.enable ();
     let sections = ref [] in
     List.iter
-      (fun spec ->
+      (fun name ->
+        let spec =
+          match Engines.of_string name with
+          | Some s -> s
+          | None -> failwith ("obs-check: unknown engine " ^ name)
+        in
         Stm_intf.Trace.start ();
         let r = demo_micro spec ~threads:2 ~duration_cycles:100_000 in
-        sections := (Engines.name spec, Stm_intf.Trace.stop ()) :: !sections;
-        if r.ops = 0 then fail "%s: demo micro made no progress" (Engines.name spec))
-      [ Engines.swisstm; Engines.tl2 ];
+        sections := (name, Stm_intf.Trace.stop ()) :: !sections;
+        if r.ops = 0 then fail "%s: demo micro made no progress" name)
+      [ "swisstm"; "tl2"; "norec"; "swisstm-adaptive" ];
     Obs.Profile.disable ();
     Obs.Metrics.disable ();
     (* profile: the run must have attributed cycles to named phases *)
@@ -333,6 +338,37 @@ let obs_check_cmd =
             if not found then fail "metrics json: engine %s missing" name)
           [ "swisstm"; "tl2" ]
     | _ -> fail "metrics json: missing engines list");
+    (* gauges: the PR-6 allocator/reclaimer/pool read-outs must stay
+       wired into [Metrics.gauge_values] — a missing name means a layer
+       below Obs silently lost its registration, and the demo above
+       built engines so the descriptor pools must show traffic *)
+    let gauges = Obs.Metrics.gauge_values () in
+    let gauge name =
+      match List.assoc_opt name gauges with
+      | Some v -> v
+      | None ->
+          fail "gauges: %s missing from Metrics.gauge_values" name;
+          0
+    in
+    List.iter
+      (fun name -> ignore (gauge name : int))
+      [
+        "heap_frees"; "heap_free_reuses"; "heap_leaked_frees";
+        "heap_double_frees"; "epoch_advances"; "epoch_deferred";
+        "epoch_reclaimed"; "epoch_limbo_depth"; "desc_pool_hits";
+        "desc_pool_misses"; "desc_pool_double_releases"; "txdesc_pool_hits";
+        "txdesc_pool_misses"; "txdesc_pool_double_releases";
+      ];
+    if gauge "desc_pool_hits" + gauge "desc_pool_misses" = 0 then
+      fail "gauges: descriptor pool shows no traffic after engine runs";
+    if gauge "txdesc_pool_hits" + gauge "txdesc_pool_misses" = 0 then
+      fail "gauges: kernel txdesc pool shows no traffic after engine runs";
+    if gauge "heap_double_frees" <> 0 then
+      fail "gauges: heap_double_frees = %d (guard tripped)"
+        (gauge "heap_double_frees");
+    (match Obs.Json.member "gauges" mj with
+    | Some (Obs.Json.Obj _) -> ()
+    | _ -> fail "metrics json: missing gauges object");
     (* trace: write a real file, parse it back, schema-check *)
     let path = Filename.temp_file "stm_obs_check" ".trace.json" in
     Obs.Export.write_file path (List.rev !sections);
@@ -359,6 +395,148 @@ let obs_check_cmd =
        ~doc:"Smoke-test the observability layer (CI; exits 1 on failure)")
     Term.(const run $ const ())
 
+(* --- service (open-system SLO harness) ------------------------------------ *)
+
+let service_cmd =
+  let run spec threads rate duration users keys theta seed slo slo_out
+      trace_window trace_out =
+    let duration_cycles = duration * 1_000_000 in
+    let cfg =
+      {
+        Harness.Service.default with
+        threads;
+        users;
+        keys;
+        theta;
+        arrivals = Harness.Arrival.Poisson { per_mcycle = rate };
+        duration_cycles;
+        window_cycles = max 1 (duration_cycles / 8);
+        seed;
+        trace_window;
+      }
+    in
+    let r = Harness.Service.run spec cfg in
+    Printf.printf
+      "service  engine=%s threads=%d  offered=%d completed=%d  \
+       elapsed=%d cycles  offered=%.0f/Mcyc goodput=%.0f/Mcyc\n"
+      (Engines.name spec) threads r.Harness.Service.offered
+      r.Harness.Service.completed r.Harness.Service.elapsed_cycles
+      (Harness.Service.offered_per_mcycle r)
+      (Harness.Service.goodput_per_mcycle r);
+    Format.printf "  %a@." Stm_intf.Stats.pp r.Harness.Service.stats;
+    (match r.Harness.Service.summary with
+    | Some s ->
+        Printf.printf
+          "  response cycles: p50=%d p95=%d p99.9=%d max=%d  tail-amp=%.2f\n"
+          s.Obs.Slo.s_p50 s.Obs.Slo.s_p95 s.Obs.Slo.s_p999 s.Obs.Slo.s_max
+          s.Obs.Slo.s_tail_amplification;
+        let tot =
+          s.Obs.Slo.s_queue_cycles + s.Obs.Slo.s_abort_cycles
+          + s.Obs.Slo.s_backoff_cycles + s.Obs.Slo.s_exec_cycles
+        in
+        if tot > 0 then
+          Printf.printf
+            "  attribution: queue %d%%  aborted-work %d%%  backoff %d%%  \
+             exec %d%%  (retries %d, escalations %d, throttles %d)\n"
+            (100 * s.Obs.Slo.s_queue_cycles / tot)
+            (100 * s.Obs.Slo.s_abort_cycles / tot)
+            (100 * s.Obs.Slo.s_backoff_cycles / tot)
+            (100 * s.Obs.Slo.s_exec_cycles / tot)
+            s.Obs.Slo.s_retries s.Obs.Slo.s_escalations s.Obs.Slo.s_throttles
+    | None -> ());
+    if slo then begin
+      Printf.printf "  windows (%d cycles each):\n" cfg.window_cycles;
+      Printf.printf "    %-10s %8s %8s %10s %10s %10s %7s %6s\n" "start"
+        "offered" "done" "p50" "p95" "p99.9" "retry" "slow";
+      List.iter
+        (fun (w : Obs.Slo.window) ->
+          Printf.printf "    %-10d %8d %8d %10d %10d %10d %7d %6d\n"
+            w.w_start w.w_arrivals w.w_completions w.w_p50 w.w_p95 w.w_p999
+            w.w_retries w.w_slow)
+        r.Harness.Service.windows
+    end;
+    (match (slo_out, r.Harness.Service.slo_json) with
+    | Some path, Some j ->
+        let oc = open_out path in
+        Obs.Json.to_channel oc j;
+        close_out oc;
+        Printf.printf "slo: wrote %s\n" path
+    | _ -> ());
+    match (trace_out, r.Harness.Service.trace) with
+    | Some path, Some (label, events) ->
+        Obs.Export.write_file path [ (label, events) ];
+        Printf.printf "trace: wrote %s (%d events of window %s)\n" path
+          (Array.length events) label
+    | Some _, None ->
+        Printf.printf
+          "trace: nothing recorded (pass --trace-window and make sure the \
+           run reaches that window)\n"
+    | None, _ -> ()
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 700.
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Offered load: Poisson arrivals per simulated megacycle.")
+  in
+  let users_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "users" ] ~docv:"N" ~doc:"Simulated user population.")
+  in
+  let keys_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "keys" ] ~docv:"N" ~doc:"Inventory size (words).")
+  in
+  let theta_arg =
+    Arg.(
+      value & opt float 0.9
+      & info [ "theta" ] ~docv:"T" ~doc:"Zipf skew of key popularity.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Run seed.")
+  in
+  let slo_arg =
+    Arg.(
+      value & flag
+      & info [ "slo" ]
+          ~doc:"Print the per-window SLO table (offered/goodput and response \
+                percentiles per window).")
+  in
+  let slo_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slo-out" ] ~docv:"FILE"
+          ~doc:"Write the windowed SLO report as JSON.")
+  in
+  let trace_window_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-window" ] ~docv:"W"
+          ~doc:"Record the transactional event stream during SLO window W \
+                (combine with --trace-out).")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the traced window as Chrome trace_event JSON.")
+  in
+  Cmd.v
+    (Cmd.info "service"
+       ~doc:
+         "Open-system service harness: Poisson arrivals over a \
+          session/inventory store, with windowed SLO percentiles and \
+          abort-attribution.")
+    Term.(
+      const run $ stm_arg $ threads_arg $ rate_arg $ duration_arg $ users_arg
+      $ keys_arg $ theta_arg $ seed_arg $ slo_arg $ slo_out_arg
+      $ trace_window_arg $ trace_out_arg)
+
 (* --- list ----------------------------------------------------------------- *)
 
 let list_cmd =
@@ -376,10 +554,18 @@ let () =
     Cmd.info "stm_run" ~version:"1.0"
       ~doc:
         "SwissTM reproduction: run any benchmark under any STM engine.  With \
-         no subcommand, runs a contended demo micro across all six engines \
+         no subcommand, runs a contended demo micro across every registered engine \
          (combine with --profile / --metrics / --trace-out)."
   in
   exit
     (Cmd.eval
        (Cmd.group ~default:demo_term info
-          [ rbtree_cmd; sb7_cmd; lee_cmd; stamp_cmd; obs_check_cmd; list_cmd ]))
+          [
+             rbtree_cmd;
+             sb7_cmd;
+             lee_cmd;
+             stamp_cmd;
+             obs_check_cmd;
+             service_cmd;
+             list_cmd;
+           ]))

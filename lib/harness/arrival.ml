@@ -1,0 +1,175 @@
+(* Deterministic arrival processes over simulated time.
+
+   Generators are pure functions of (spec, seed, stream): each stream
+   draws from its own [Runtime.Rng] (SplitMix64 via [for_thread]), so
+   arrival streams are decorrelated from every other consumer of
+   randomness in the run and identical across scheduling policies.
+
+   Internally times advance as floats (exponential sampling) and are
+   reported as int cycles; the float stream is itself deterministic, so
+   the int stream is too. *)
+
+open Runtime
+
+type spec =
+  | Poisson of { per_mcycle : float }
+  | Onoff of { per_mcycle_on : float; on_cycles : int; off_cycles : int }
+  | Stages of (int * spec) list
+
+type simple =
+  | P of float (* rate per mcycle *)
+  | O of float * float * float (* rate_on, mean on, mean off *)
+
+type t = {
+  rng : Rng.t;
+  mutable now : float;
+  mutable cur : simple;
+  mutable boundary : float; (* end of the current stage *)
+  mutable stages : (int * spec) list; (* stages after the current one *)
+  mutable phase_on : bool;
+  mutable phase_end : float;
+  mutable last : int; (* last reported arrival, for monotonicity *)
+}
+
+let check_rate r = if not (r > 0.) then invalid_arg "Arrival: rate <= 0"
+
+let simple_of = function
+  | Poisson { per_mcycle } ->
+      check_rate per_mcycle;
+      P per_mcycle
+  | Onoff { per_mcycle_on; on_cycles; off_cycles } ->
+      check_rate per_mcycle_on;
+      if on_cycles <= 0 || off_cycles <= 0 then
+        invalid_arg "Arrival: ON/OFF period <= 0";
+      O (per_mcycle_on, float_of_int on_cycles, float_of_int off_cycles)
+  | Stages _ -> invalid_arg "Arrival: nested Stages"
+
+(* Mean of an exponential with the given mean; Rng.float is in [0, 1)
+   so the log argument stays in (0, 1]. *)
+let exp_sample rng mean = -.mean *. log (1. -. Rng.float rng 1.0)
+
+let mean_inter rate = 1e6 /. rate
+
+let enter t s =
+  t.cur <- s;
+  match s with
+  | P _ -> ()
+  | O (_, on_m, _) ->
+      t.phase_on <- true;
+      t.phase_end <- t.now +. exp_sample t.rng on_m
+
+let create ?(stream = 0) ~seed spec =
+  let rng = Rng.for_thread ~seed ~tid:stream in
+  let t =
+    {
+      rng;
+      now = 0.;
+      cur = P 1.;
+      boundary = infinity;
+      stages = [];
+      phase_on = true;
+      phase_end = 0.;
+      last = 0;
+    }
+  in
+  (match spec with
+  | Stages [] -> invalid_arg "Arrival: empty Stages"
+  | Stages ((u, s) :: rest) ->
+      List.fold_left
+        (fun prev (u', _) ->
+          if u' <= prev then invalid_arg "Arrival: Stages not increasing";
+          u')
+        u rest
+      |> ignore;
+      t.stages <- rest;
+      t.boundary <- (if rest = [] then infinity else float_of_int u);
+      enter t (simple_of s)
+  | s ->
+      t.boundary <- infinity;
+      enter t (simple_of s));
+  t
+
+let rec next_float t =
+  match t.cur with
+  | P rate ->
+      let a = t.now +. exp_sample t.rng (mean_inter rate) in
+      if a >= t.boundary then next_stage t
+      else begin
+        t.now <- a;
+        a
+      end
+  | O (rate, on_m, off_m) ->
+      if t.phase_on then begin
+        let a = t.now +. exp_sample t.rng (mean_inter rate) in
+        if a >= t.boundary then next_stage t
+        else if a >= t.phase_end then begin
+          (* burst ended before this arrival: go silent, then retry *)
+          t.now <- t.phase_end;
+          t.phase_on <- false;
+          t.phase_end <- t.now +. exp_sample t.rng off_m;
+          next_float t
+        end
+        else begin
+          t.now <- a;
+          a
+        end
+      end
+      else if t.phase_end >= t.boundary then next_stage t
+      else begin
+        t.now <- t.phase_end;
+        t.phase_on <- true;
+        t.phase_end <- t.now +. exp_sample t.rng on_m;
+        next_float t
+      end
+
+and next_stage t =
+  match t.stages with
+  | [] ->
+      (* last stage runs forever (boundary = infinity), so a finite
+         boundary crossing always has a successor *)
+      assert false
+  | (u, s) :: rest ->
+      t.now <- t.boundary;
+      t.stages <- rest;
+      t.boundary <- (if rest = [] then infinity else float_of_int u);
+      enter t (simple_of s);
+      next_float t
+
+let next t =
+  let a = int_of_float (next_float t) in
+  let a = if a < t.last then t.last else a in
+  t.last <- a;
+  a
+
+let generate ?(stream = 0) ~seed ~until spec =
+  let t = create ~stream ~seed spec in
+  let acc = ref [] in
+  let continue = ref true in
+  while !continue do
+    let a = next t in
+    if a < until then acc := a :: !acc else continue := false
+  done;
+  Array.of_list (List.rev !acc)
+
+let rec mean_rate_per_mcycle = function
+  | Poisson { per_mcycle } -> per_mcycle
+  | Onoff { per_mcycle_on; on_cycles; off_cycles } ->
+      per_mcycle_on
+      *. (float_of_int on_cycles /. float_of_int (on_cycles + off_cycles))
+  | Stages [] -> 0.
+  | Stages l -> mean_rate_per_mcycle (snd (List.nth l (List.length l - 1)))
+
+let rec pp_spec ppf = function
+  | Poisson { per_mcycle } ->
+      Format.fprintf ppf "poisson(%.1f/Mcyc)" per_mcycle
+  | Onoff { per_mcycle_on; on_cycles; off_cycles } ->
+      Format.fprintf ppf "onoff(%.1f/Mcyc, on=%d, off=%d)" per_mcycle_on
+        on_cycles off_cycles
+  | Stages l ->
+      Format.fprintf ppf "stages[";
+      List.iteri
+        (fun i (u, s) ->
+          if i > 0 then Format.fprintf ppf "; ";
+          Format.fprintf ppf "%a until %d" pp_spec s u)
+        l;
+      Format.fprintf ppf "]"

@@ -1,0 +1,46 @@
+(** Deterministic arrival processes for open-system runs.
+
+    A process is a generator of monotonically non-decreasing arrival
+    times in simulated cycles, driven by {!Runtime.Rng} (SplitMix64), so
+    a given [(spec, seed, stream)] always produces the same stream —
+    independent of scheduling policy and of anything else the run does
+    with randomness (each stream gets its own decorrelated generator).
+
+    Rates are expressed as requests per million simulated cycles
+    ([per_mcycle]), which keeps specs readable at the cycle counts the
+    simulator actually runs. *)
+
+type spec =
+  | Poisson of { per_mcycle : float }
+      (** Exponential inter-arrival times with the given mean rate. *)
+  | Onoff of {
+      per_mcycle_on : float;
+      on_cycles : int;
+      off_cycles : int;
+    }
+      (** Bursty ON/OFF: Poisson at [per_mcycle_on] during ON periods,
+          silent during OFF periods (period lengths exponential with the
+          given means). *)
+  | Stages of (int * spec) list
+      (** Piecewise schedule: [(until_cycles, spec)] pairs, consumed in
+          order — used for overload ramps.  The last stage runs forever;
+          the list must be non-empty with increasing boundaries. *)
+
+type t
+
+val create : ?stream:int -> seed:int -> spec -> t
+(** [create ~seed spec] starts a fresh process at time 0.  Distinct
+    [stream] values (default 0) yield decorrelated streams for the same
+    seed. *)
+
+val next : t -> int
+(** Next arrival time in simulated cycles; non-decreasing across calls. *)
+
+val generate : ?stream:int -> seed:int -> until:int -> spec -> int array
+(** All arrivals strictly before [until], in order. *)
+
+val mean_rate_per_mcycle : spec -> float
+(** Long-run offered rate implied by the spec (Stages: rate of the last
+    stage, the steady state an overload ramp settles into). *)
+
+val pp_spec : Format.formatter -> spec -> unit

@@ -1,0 +1,48 @@
+(* Zipfian sampling by inverse CDF over precomputed cumulative weights.
+
+   O(n) floats at build time, O(log n) per draw.  The CDF depends only
+   on (n, theta) and draws only on the (seed, stream) generator, so the
+   key stream is deterministic and decorrelated from other consumers of
+   randomness. *)
+
+open Runtime
+
+type t = {
+  rng : Rng.t;
+  n : int;
+  theta : float;
+  cum : float array; (* cum.(i) = P(key <= i), cum.(n-1) = 1. *)
+}
+
+let create ?(stream = 0) ~seed ~n ~theta () =
+  if n <= 0 then invalid_arg "Zipf.create: n <= 0";
+  if theta < 0. then invalid_arg "Zipf.create: theta < 0";
+  let cum = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1. /. Float.pow (float_of_int (i + 1)) theta);
+    cum.(i) <- !acc
+  done;
+  let z = !acc in
+  for i = 0 to n - 1 do
+    cum.(i) <- cum.(i) /. z
+  done;
+  cum.(n - 1) <- 1.;
+  { rng = Rng.for_thread ~seed ~tid:stream; n; theta; cum }
+
+let next t =
+  let u = Rng.float t.rng 1.0 in
+  (* smallest i with cum.(i) > u *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let n t = t.n
+let theta t = t.theta
+
+let expected_freq t i =
+  if i < 0 || i >= t.n then invalid_arg "Zipf.expected_freq";
+  if i = 0 then t.cum.(0) else t.cum.(i) -. t.cum.(i - 1)

@@ -1,0 +1,22 @@
+(** Zipfian key-popularity sampler.
+
+    Rank [r] (1-based) is drawn with probability proportional to
+    [1 / r^theta]; [theta = 0] degenerates to uniform, [theta ~ 0.99] is
+    the classic YCSB skew.  Sampling is a binary search over precomputed
+    cumulative weights — deterministic for a given (seed, stream) and
+    cheap enough for per-request use. *)
+
+type t
+
+val create : ?stream:int -> seed:int -> n:int -> theta:float -> unit -> t
+(** Sampler over keys [0 .. n-1] (key 0 is the hottest).  Distinct
+    [stream] values give decorrelated streams for the same seed. *)
+
+val next : t -> int
+(** Draw one key. *)
+
+val n : t -> int
+val theta : t -> float
+
+val expected_freq : t -> int -> float
+(** Probability mass of a key — for rank-frequency tests. *)

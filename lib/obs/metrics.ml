@@ -134,6 +134,43 @@ let cur_eid = Array.make max_threads (-1)
 let tx_start = Array.make max_threads 0
 let commit_start = Array.make max_threads (-1)
 
+(* Per-thread request attribution (PR 8): cumulative abort/retry cost
+   since the last [att_clear], harvested by [Obs.Slo] to attribute a slow
+   service request's response time to its causes.  Fed from the existing
+   hooks below — no new engine call sites, so the no-perturbation
+   contract is untouched. *)
+type attribution = {
+  a_retries : int;  (** aborted attempts *)
+  a_wasted_cycles : int;  (** cycles discarded by those attempts *)
+  a_backoff_cycles : int;  (** CM back-off waits *)
+  a_escalations : int;  (** serial-token escalations *)
+  a_throttles : int;  (** adaptive-CM throttle serializations *)
+}
+
+let att_retries = Array.make max_threads 0
+let att_wasted = Array.make max_threads 0
+let att_backoff = Array.make max_threads 0
+let att_escal = Array.make max_threads 0
+let att_throttle = Array.make max_threads 0
+
+let att_clear ~tid =
+  let s = slot tid in
+  att_retries.(s) <- 0;
+  att_wasted.(s) <- 0;
+  att_backoff.(s) <- 0;
+  att_escal.(s) <- 0;
+  att_throttle.(s) <- 0
+
+let att_read ~tid =
+  let s = slot tid in
+  {
+    a_retries = att_retries.(s);
+    a_wasted_cycles = att_wasted.(s);
+    a_backoff_cycles = att_backoff.(s);
+    a_escalations = att_escal.(s);
+    a_throttles = att_throttle.(s);
+  }
+
 (* Scheduler counters (fed by the Sim dispatch hook). *)
 let sched_dispatches = ref 0
 let sched_switches = ref 0
@@ -198,6 +235,8 @@ let on_tx_commit ~tid =
 
 let on_tx_abort ~tid ~(reason : Stm_intf.Tx_signal.abort_reason) =
   let s = slot tid in
+  att_retries.(s) <- att_retries.(s) + 1;
+  att_wasted.(s) <- att_wasted.(s) + (Runtime.Exec.now () - tx_start.(s));
   match engine_of_eid cur_eid.(s) with
   | None -> ()
   | Some e ->
@@ -231,19 +270,25 @@ let on_cm_phase_shift ~tid =
   | Some e -> e.cm_shift <- e.cm_shift + 1
 
 let on_cm_throttle ~tid =
-  match engine_of_eid cur_eid.(slot tid) with
+  let s = slot tid in
+  att_throttle.(s) <- att_throttle.(s) + 1;
+  match engine_of_eid cur_eid.(s) with
   | None -> ()
   | Some e -> e.cm_throttle <- e.cm_throttle + 1
 
 let on_escalation ~tid =
-  match engine_of_eid cur_eid.(slot tid) with
+  let s = slot tid in
+  att_escal.(s) <- att_escal.(s) + 1;
+  match engine_of_eid cur_eid.(s) with
   | None -> ()
   | Some e -> e.escalations <- e.escalations + 1
 
 (* Installed into [Runtime.Backoff.on_wait]: attribute the wait to the
    engine the waiting thread is currently running under. *)
 let record_backoff ~cycles =
-  match engine_of_eid cur_eid.(slot (Runtime.Exec.self ())) with
+  let s = slot (Runtime.Exec.self ()) in
+  att_backoff.(s) <- att_backoff.(s) + cycles;
+  match engine_of_eid cur_eid.(s) with
   | None -> ()
   | Some e -> Hist.observe e.backoff_h cycles
 
@@ -317,6 +362,11 @@ let reset () =
   Array.fill cur_eid 0 max_threads (-1);
   Array.fill tx_start 0 max_threads 0;
   Array.fill commit_start 0 max_threads (-1);
+  Array.fill att_retries 0 max_threads 0;
+  Array.fill att_wasted 0 max_threads 0;
+  Array.fill att_backoff 0 max_threads 0;
+  Array.fill att_escal 0 max_threads 0;
+  Array.fill att_throttle 0 max_threads 0;
   sched_dispatches := 0;
   sched_switches := 0;
   sched_last_tid := -1

@@ -71,6 +71,24 @@ val on_cm_throttle : tid:int -> unit
 val on_escalation : tid:int -> unit
 (** An engine escalated this thread to irrevocable execution. *)
 
+(** {2 Per-request attribution} — harvested by [Obs.Slo].
+
+    Cumulative per-thread abort/retry cost since the last {!att_clear},
+    fed from the hooks above (no additional engine call sites).  The
+    service harness clears at request dispatch and reads at completion to
+    attribute the request's response time to its causes. *)
+
+type attribution = {
+  a_retries : int;  (** aborted attempts *)
+  a_wasted_cycles : int;  (** cycles discarded by those attempts *)
+  a_backoff_cycles : int;  (** CM back-off waits *)
+  a_escalations : int;  (** serial-token escalations *)
+  a_throttles : int;  (** adaptive-CM throttle serializations *)
+}
+
+val att_clear : tid:int -> unit
+val att_read : tid:int -> attribution
+
 (** {2 Gauges} *)
 
 val register_gauge : string -> (unit -> int) -> unit

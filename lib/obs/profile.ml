@@ -9,10 +9,10 @@
 
 open Runtime
 
-let n_phases = 7 (* Exec reserves 8 slots; slot 7 is unused padding *)
+let n_phases = 8
 
 let phase_names =
-  [| "other"; "read"; "write"; "validate"; "commit"; "spin"; "backoff" |]
+  [| "other"; "read"; "write"; "validate"; "commit"; "spin"; "backoff"; "idle" |]
 
 type snapshot = { cycles : int array (* indexed by phase *) }
 

@@ -1,0 +1,407 @@
+(* Windowed SLO metrics for open-system (service) runs.
+
+   Follows the PR-3 collector discipline: OFF by default, armed around a
+   run, and no hook charges simulated cycles — an SLO-metered service run
+   takes a bit-identical schedule to an unmetered one.  The response-time
+   attribution piggybacks on [Metrics.att_*] (fed by the existing engine
+   hooks), so arming Slo requires [Metrics.enable] and adds zero new
+   engine call sites.
+
+   Percentile resolution: the service gate compares p99.9/p50 ratios
+   *between* engines, so the power-of-two buckets of [Metrics.Hist]
+   (100 % relative error) are not good enough.  [Rhist] subdivides every
+   octave into 32 buckets (~3 % relative error) and stays exact below 64;
+   everything remains integer bucket arithmetic, hence deterministic. *)
+
+(* --- sub-bucketed log2 histogram --------------------------------------- *)
+
+module Rhist = struct
+  let sub_bits = 5
+  let subs = 1 lsl sub_bits (* 32 sub-buckets per octave *)
+  let exact = 2 * subs (* values below 64 get exact buckets *)
+
+  (* Highest octave: 62 significant bits on 64-bit OCaml. *)
+  let n_buckets = exact + ((62 - sub_bits - 1) * subs)
+
+  type t = {
+    mutable count : int;
+    mutable sum : int;
+    mutable max : int;
+    buckets : int array;
+  }
+
+  let create () =
+    { count = 0; sum = 0; max = 0; buckets = Array.make n_buckets 0 }
+
+  let bits v =
+    let b = ref 0 and n = ref v in
+    while !n > 0 do
+      incr b;
+      n := !n lsr 1
+    done;
+    !b
+
+  let bucket_of v =
+    if v < 0 then 0
+    else if v < exact then v
+    else begin
+      let b = bits v in
+      let sub = (v lsr (b - sub_bits - 1)) land (subs - 1) in
+      exact + ((b - sub_bits - 2) * subs) + sub
+    end
+
+  let bucket_upper i =
+    if i < exact then i
+    else begin
+      let k = i - exact in
+      let oct = k / subs and sub = k mod subs in
+      ((subs + sub + 1) lsl (oct + 1)) - 1
+    end
+
+  let observe t v =
+    let v = if v < 0 then 0 else v in
+    t.count <- t.count + 1;
+    t.sum <- t.sum + v;
+    if v > t.max then t.max <- v;
+    let b = bucket_of v in
+    t.buckets.(b) <- t.buckets.(b) + 1
+
+  let merge_into t ~into =
+    into.count <- into.count + t.count;
+    into.sum <- into.sum + t.sum;
+    if t.max > into.max then into.max <- t.max;
+    for i = 0 to n_buckets - 1 do
+      into.buckets.(i) <- into.buckets.(i) + t.buckets.(i)
+    done
+
+  let reset t =
+    t.count <- 0;
+    t.sum <- 0;
+    t.max <- 0;
+    Array.fill t.buckets 0 n_buckets 0
+
+  let count t = t.count
+  let sum t = t.sum
+  let max_value t = t.max
+
+  (* Upper bound of the smallest bucket prefix holding quantile [q]. *)
+  let quantile t q =
+    if t.count = 0 then 0
+    else begin
+      let target = Float.to_int (Float.of_int t.count *. q +. 0.999999) in
+      let target = if target < 1 then 1 else target in
+      let acc = ref 0 and b = ref 0 in
+      while !acc < target && !b < n_buckets do
+        acc := !acc + t.buckets.(!b);
+        if !acc < target then incr b
+      done;
+      (* the histogram is never observed past its top bucket, and [max]
+         is exact, so clamp the report to it *)
+      min (bucket_upper (min !b (n_buckets - 1))) t.max
+    end
+end
+
+(* --- window store ------------------------------------------------------- *)
+
+type win = {
+  start : int;
+  mutable arrivals : int;
+  mutable completions : int;
+  resp : Rhist.t;
+  mutable queue_cycles : int;
+  mutable abort_cycles : int;
+  mutable backoff_cycles : int;
+  mutable exec_cycles : int;
+  mutable retries : int;
+  mutable escalations : int;
+  mutable throttles : int;
+  mutable slow : int;
+  mutable slow_queue : int;
+  mutable slow_abort : int;
+  mutable slow_backoff : int;
+}
+
+let on = ref false
+let win_cycles = ref 1_000_000
+let slow_cutoff = ref max_int
+let wins : win option array ref = ref [||]
+
+let window_cycles () = !win_cycles
+
+let enable ~window_cycles:wc ?slow_cutoff:(cutoff = max_int) () =
+  if wc <= 0 then invalid_arg "Slo.enable: window_cycles <= 0";
+  win_cycles := wc;
+  slow_cutoff := cutoff;
+  on := true
+
+let disable () = on := false
+
+let reset () = wins := [||]
+
+let new_win start =
+  {
+    start;
+    arrivals = 0;
+    completions = 0;
+    resp = Rhist.create ();
+    queue_cycles = 0;
+    abort_cycles = 0;
+    backoff_cycles = 0;
+    exec_cycles = 0;
+    retries = 0;
+    escalations = 0;
+    throttles = 0;
+    slow = 0;
+    slow_queue = 0;
+    slow_abort = 0;
+    slow_backoff = 0;
+  }
+
+let win_at time =
+  let i = if time < 0 then 0 else time / !win_cycles in
+  let a = !wins in
+  let n = Array.length a in
+  if i >= n then begin
+    let n' = max (i + 1) (max 8 (2 * n)) in
+    let a' = Array.make n' None in
+    Array.blit a 0 a' 0 n;
+    wins := a'
+  end;
+  match (!wins).(i) with
+  | Some w -> w
+  | None ->
+      let w = new_win (i * !win_cycles) in
+      (!wins).(i) <- Some w;
+      w
+
+(* --- harness hooks ------------------------------------------------------ *)
+
+let note_arrival ~time =
+  if !on then begin
+    let w = win_at time in
+    w.arrivals <- w.arrivals + 1
+  end
+
+let request_start ~tid = if !on then Metrics.att_clear ~tid
+
+let record ~tid ~arrival ~started ~finished =
+  if !on then begin
+    let w = win_at finished in
+    let resp = finished - arrival in
+    let queue = if started > arrival then started - arrival else 0 in
+    let att = Metrics.att_read ~tid in
+    let wasted = att.Metrics.a_wasted_cycles in
+    let backoff = att.Metrics.a_backoff_cycles in
+    let exec = max 0 (resp - queue - wasted - backoff) in
+    w.completions <- w.completions + 1;
+    Rhist.observe w.resp resp;
+    w.queue_cycles <- w.queue_cycles + queue;
+    w.abort_cycles <- w.abort_cycles + wasted;
+    w.backoff_cycles <- w.backoff_cycles + backoff;
+    w.exec_cycles <- w.exec_cycles + exec;
+    w.retries <- w.retries + att.Metrics.a_retries;
+    w.escalations <- w.escalations + att.Metrics.a_escalations;
+    w.throttles <- w.throttles + att.Metrics.a_throttles;
+    if resp >= !slow_cutoff then begin
+      w.slow <- w.slow + 1;
+      w.slow_queue <- w.slow_queue + queue;
+      w.slow_abort <- w.slow_abort + wasted;
+      w.slow_backoff <- w.slow_backoff + backoff
+    end
+  end
+
+(* --- reporting ---------------------------------------------------------- *)
+
+type window = {
+  w_start : int;
+  w_arrivals : int;
+  w_completions : int;
+  w_p50 : int;
+  w_p95 : int;
+  w_p999 : int;
+  w_max : int;
+  w_queue_cycles : int;
+  w_abort_cycles : int;
+  w_backoff_cycles : int;
+  w_exec_cycles : int;
+  w_retries : int;
+  w_escalations : int;
+  w_throttles : int;
+  w_slow : int;
+  w_slow_queue_cycles : int;
+  w_slow_abort_cycles : int;
+  w_slow_backoff_cycles : int;
+}
+
+let export (w : win) =
+  {
+    w_start = w.start;
+    w_arrivals = w.arrivals;
+    w_completions = w.completions;
+    w_p50 = Rhist.quantile w.resp 0.5;
+    w_p95 = Rhist.quantile w.resp 0.95;
+    w_p999 = Rhist.quantile w.resp 0.999;
+    w_max = Rhist.max_value w.resp;
+    w_queue_cycles = w.queue_cycles;
+    w_abort_cycles = w.abort_cycles;
+    w_backoff_cycles = w.backoff_cycles;
+    w_exec_cycles = w.exec_cycles;
+    w_retries = w.retries;
+    w_escalations = w.escalations;
+    w_throttles = w.throttles;
+    w_slow = w.slow;
+    w_slow_queue_cycles = w.slow_queue;
+    w_slow_abort_cycles = w.slow_abort;
+    w_slow_backoff_cycles = w.slow_backoff;
+  }
+
+let windows () =
+  Array.to_list !wins
+  |> List.filter_map (function
+       | Some w when w.arrivals > 0 || w.completions > 0 -> Some (export w)
+       | _ -> None)
+
+type summary = {
+  s_requests : int;
+  s_p50 : int;
+  s_p95 : int;
+  s_p999 : int;
+  s_max : int;
+  s_tail_amplification : float;
+  s_queue_cycles : int;
+  s_abort_cycles : int;
+  s_backoff_cycles : int;
+  s_exec_cycles : int;
+  s_retries : int;
+  s_escalations : int;
+  s_throttles : int;
+}
+
+let summarize ?(from_cycles = 0) ?(to_cycles = max_int) () =
+  let h = Rhist.create () in
+  let queue = ref 0
+  and ab = ref 0
+  and bo = ref 0
+  and ex = ref 0
+  and rt = ref 0
+  and esc = ref 0
+  and thr = ref 0 in
+  Array.iter
+    (function
+      | Some w when w.start >= from_cycles && w.start < to_cycles ->
+          Rhist.merge_into w.resp ~into:h;
+          queue := !queue + w.queue_cycles;
+          ab := !ab + w.abort_cycles;
+          bo := !bo + w.backoff_cycles;
+          ex := !ex + w.exec_cycles;
+          rt := !rt + w.retries;
+          esc := !esc + w.escalations;
+          thr := !thr + w.throttles
+      | _ -> ())
+    !wins;
+  let p50 = Rhist.quantile h 0.5 and p999 = Rhist.quantile h 0.999 in
+  {
+    s_requests = Rhist.count h;
+    s_p50 = p50;
+    s_p95 = Rhist.quantile h 0.95;
+    s_p999 = p999;
+    s_max = Rhist.max_value h;
+    s_tail_amplification =
+      (if p50 <= 0 then 0. else float_of_int p999 /. float_of_int p50);
+    s_queue_cycles = !queue;
+    s_abort_cycles = !ab;
+    s_backoff_cycles = !bo;
+    s_exec_cycles = !ex;
+    s_retries = !rt;
+    s_escalations = !esc;
+    s_throttles = !thr;
+  }
+
+let pp ppf () =
+  Format.fprintf ppf "slo windows (%d cycles each):@\n" !win_cycles;
+  Format.fprintf ppf
+    "    %-10s %8s %8s %10s %10s %10s %8s %6s@\n"
+    "start" "offered" "done" "p50" "p95" "p99.9" "retries" "escal";
+  List.iter
+    (fun w ->
+      Format.fprintf ppf
+        "    %-10d %8d %8d %10d %10d %10d %8d %6d@\n"
+        w.w_start w.w_arrivals w.w_completions w.w_p50 w.w_p95 w.w_p999
+        w.w_retries w.w_escalations)
+    (windows ());
+  let s = summarize () in
+  Format.fprintf ppf
+    "    overall: n=%d p50=%d p95=%d p99.9=%d max=%d tail-amp=%.2f@\n"
+    s.s_requests s.s_p50 s.s_p95 s.s_p999 s.s_max s.s_tail_amplification;
+  let tot =
+    s.s_queue_cycles + s.s_abort_cycles + s.s_backoff_cycles + s.s_exec_cycles
+  in
+  if tot > 0 then
+    Format.fprintf ppf
+      "    response cycles: queue %d (%.1f%%)  aborted %d (%.1f%%)  backoff \
+       %d (%.1f%%)  exec %d (%.1f%%)@\n"
+      s.s_queue_cycles
+      (100. *. float_of_int s.s_queue_cycles /. float_of_int tot)
+      s.s_abort_cycles
+      (100. *. float_of_int s.s_abort_cycles /. float_of_int tot)
+      s.s_backoff_cycles
+      (100. *. float_of_int s.s_backoff_cycles /. float_of_int tot)
+      s.s_exec_cycles
+      (100. *. float_of_int s.s_exec_cycles /. float_of_int tot)
+
+let window_to_json w =
+  Json.Obj
+    [
+      ("start", Json.Int w.w_start);
+      ("arrivals", Json.Int w.w_arrivals);
+      ("completions", Json.Int w.w_completions);
+      ("p50", Json.Int w.w_p50);
+      ("p95", Json.Int w.w_p95);
+      ("p999", Json.Int w.w_p999);
+      ("max", Json.Int w.w_max);
+      ( "attribution",
+        Json.Obj
+          [
+            ("queue_cycles", Json.Int w.w_queue_cycles);
+            ("abort_cycles", Json.Int w.w_abort_cycles);
+            ("backoff_cycles", Json.Int w.w_backoff_cycles);
+            ("exec_cycles", Json.Int w.w_exec_cycles);
+          ] );
+      ("retries", Json.Int w.w_retries);
+      ("escalations", Json.Int w.w_escalations);
+      ("throttles", Json.Int w.w_throttles);
+      ( "slow",
+        Json.Obj
+          [
+            ("count", Json.Int w.w_slow);
+            ("queue_cycles", Json.Int w.w_slow_queue_cycles);
+            ("abort_cycles", Json.Int w.w_slow_abort_cycles);
+            ("backoff_cycles", Json.Int w.w_slow_backoff_cycles);
+          ] );
+    ]
+
+let to_json () =
+  let s = summarize () in
+  Json.Obj
+    [
+      ("schema", Json.Str "swisstm-repro/slo/1");
+      ("window_cycles", Json.Int !win_cycles);
+      ("windows", Json.List (List.map window_to_json (windows ())));
+      ( "summary",
+        Json.Obj
+          [
+            ("requests", Json.Int s.s_requests);
+            ("p50", Json.Int s.s_p50);
+            ("p95", Json.Int s.s_p95);
+            ("p999", Json.Int s.s_p999);
+            ("max", Json.Int s.s_max);
+            ("tail_amplification", Json.Float s.s_tail_amplification);
+            ("queue_cycles", Json.Int s.s_queue_cycles);
+            ("abort_cycles", Json.Int s.s_abort_cycles);
+            ("backoff_cycles", Json.Int s.s_backoff_cycles);
+            ("exec_cycles", Json.Int s.s_exec_cycles);
+            ("retries", Json.Int s.s_retries);
+            ("escalations", Json.Int s.s_escalations);
+            ("throttles", Json.Int s.s_throttles);
+          ] );
+    ]

@@ -1,0 +1,120 @@
+(** Windowed SLO metrics for open-system (service) runs.
+
+    Collects per-window response-time distributions — response time is
+    queue wait + every aborted attempt + back-off + the committing
+    attempt — over fixed windows of simulated time, and attributes each
+    request's cycles to causes (queue / aborted work / back-off / commit)
+    using the per-thread accumulators {!Metrics.att_read} feeds from the
+    existing engine hooks.
+
+    Same contract as the rest of [Obs]: recording charges zero simulated
+    cycles, so an SLO-metered run takes a bit-identical schedule to an
+    unmetered one, and everything reported is a deterministic function of
+    (engine, workload, seed).
+
+    Response-time percentiles use a sub-bucketed log2 histogram
+    ({!Rhist}): 32 sub-buckets per octave (~3 % relative resolution), so
+    p99.9/p50 tail-amplification ratios are meaningfully comparable
+    across engines, unlike the power-of-two buckets of {!Metrics.Hist}. *)
+
+(** Sub-bucketed log2 histogram of non-negative ints: exact below 64,
+    32 sub-buckets per octave above (bounded relative error ~3 %). *)
+module Rhist : sig
+  type t
+
+  val n_buckets : int
+  val create : unit -> t
+  val bucket_of : int -> int
+  val bucket_upper : int -> int
+  (** Inclusive upper bound of a bucket; [bucket_upper (bucket_of v) >= v]. *)
+
+  val observe : t -> int -> unit
+  val merge_into : t -> into:t -> unit
+  val reset : t -> unit
+  val count : t -> int
+  val sum : t -> int
+  val max_value : t -> int
+
+  val quantile : t -> float -> int
+  (** Upper bound of the smallest bucket prefix holding the quantile. *)
+end
+
+val on : bool ref
+
+val enable : window_cycles:int -> ?slow_cutoff:int -> unit -> unit
+(** Arm the collector.  [window_cycles] is the SLO window length in
+    simulated cycles; requests whose response time reaches [slow_cutoff]
+    (default: never) additionally feed the per-window slow-request
+    attribution sums. *)
+
+val disable : unit -> unit
+val reset : unit -> unit
+
+(** {2 Harness hooks} — charge no simulated cycles. *)
+
+val note_arrival : time:int -> unit
+(** Count one offered request in the window containing [time] (the
+    service harness calls this for the whole pre-generated arrival
+    stream, so offered load is visible even for windows where the
+    saturated server completed nothing). *)
+
+val request_start : tid:int -> unit
+(** Clear the per-thread attribution accumulators at request dispatch. *)
+
+val record : tid:int -> arrival:int -> started:int -> finished:int -> unit
+(** Record one completed request: response time [finished - arrival]
+    lands in the window containing [finished], queue wait is
+    [started - arrival], and the abort/back-off/serial attribution is
+    harvested from {!Metrics.att_read}. *)
+
+(** {2 Reporting} *)
+
+type window = {
+  w_start : int;  (** window start, simulated cycles *)
+  w_arrivals : int;  (** offered requests (by arrival time) *)
+  w_completions : int;  (** goodput (by completion time) *)
+  w_p50 : int;
+  w_p95 : int;
+  w_p999 : int;
+  w_max : int;
+  w_queue_cycles : int;  (** response-time share spent queued *)
+  w_abort_cycles : int;  (** share discarded by aborted attempts *)
+  w_backoff_cycles : int;  (** share spent in CM back-off *)
+  w_exec_cycles : int;  (** remainder: useful execution + commit *)
+  w_retries : int;
+  w_escalations : int;  (** serial-token escalations *)
+  w_throttles : int;  (** adaptive-CM throttle serializations *)
+  w_slow : int;  (** completions at/over the slow cutoff *)
+  w_slow_queue_cycles : int;
+  w_slow_abort_cycles : int;
+  w_slow_backoff_cycles : int;
+}
+
+val windows : unit -> window list
+(** Non-empty windows in time order (empty trailing/leading windows with
+    neither arrivals nor completions are skipped). *)
+
+type summary = {
+  s_requests : int;
+  s_p50 : int;
+  s_p95 : int;
+  s_p999 : int;
+  s_max : int;
+  s_tail_amplification : float;  (** p99.9 / p50 (0 if no requests) *)
+  s_queue_cycles : int;
+  s_abort_cycles : int;
+  s_backoff_cycles : int;
+  s_exec_cycles : int;
+  s_retries : int;
+  s_escalations : int;
+  s_throttles : int;
+}
+
+val summarize : ?from_cycles:int -> ?to_cycles:int -> unit -> summary
+(** Merge the response-time histograms of every window whose start lies
+    in [[from_cycles, to_cycles)] (defaults: everything). *)
+
+val window_cycles : unit -> int
+val pp : Format.formatter -> unit -> unit
+val to_json : unit -> Json.t
+(** Deterministic: same run, same JSON text. *)

@@ -48,7 +48,7 @@ let in_sim () = !cur >= 0
    schedules. *)
 
 let prof_threads = 64
-let n_phases = 8 (* power of two for cheap indexing; slot 7 is unused *)
+let n_phases = 8 (* power of two for cheap indexing *)
 let ph_other = 0 (* application compute between/inside transactions *)
 let ph_read = 1
 let ph_write = 2
@@ -56,6 +56,7 @@ let ph_validate = 3
 let ph_commit = 4 (* includes tx begin/end bookkeeping *)
 let ph_spin = 5
 let ph_backoff = 6
+let ph_idle = 7 (* open-system worker waiting for the next arrival *)
 let prof_on = ref false
 
 (* OR of the per-access annotation collectors (profiler, trace recording).
@@ -106,6 +107,18 @@ let tick_as p n =
     let v = !vtimes in
     v.(c) <- v.(c) + n;
     if v.(c) > !next_deadline then Effect.perform Yield
+  end
+
+(** Advance the calling simulated thread's clock to virtual time [t]
+    (no-op if already past it, or in native mode).  The charged cycles are
+    attributed to the idle phase: this is an open-system worker waiting
+    for the next request arrival, not doing transactional work.  Used by
+    the service harness; makes offered load independent of service rate. *)
+let idle_until t =
+  let c = !cur in
+  if c >= 0 then begin
+    let d = t - (!vtimes).(c) in
+    if d > 0 then tick_as ph_idle d
   end
 
 (** Yield unconditionally (used by spin loops that made no progress). *)

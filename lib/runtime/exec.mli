@@ -68,6 +68,10 @@ val ph_spin : int
 val ph_backoff : int
 (** Charged automatically by [Backoff.wait_cycles] via {!tick_as}. *)
 
+val ph_idle : int
+(** Open-system worker idling until the next request arrival (charged by
+    {!idle_until}). *)
+
 val set_phase : int -> int -> unit
 (** [set_phase tid phase] — callers must guard with [if !prof_on]. *)
 
@@ -76,6 +80,13 @@ val get_phase : int -> int
 val tick_as : int -> int -> unit
 (** [tick_as phase n] charges like {!tick} but attributes to [phase]
     regardless of the calling thread's current phase. *)
+
+val idle_until : int -> unit
+(** Advance the calling simulated thread's virtual clock to the given
+    absolute time, attributing the gap to {!ph_idle} (no-op if the clock
+    is already past it, or natively).  The service harness uses this to
+    decouple offered load from service rate: a worker with no pending
+    request sleeps until the next arrival. *)
 
 val prof_read : tid:int -> phase:int -> int
 (** Accumulated cycles for one (thread, phase) cell. *)

@@ -109,6 +109,240 @@ let granularity_cases =
       ("mvstm", fun g -> Engines.with_granularity g Engines.mvstm);
     ]
 
+(* --- open-system generators (PR 8) -------------------------------------- *)
+
+(* Inter-arrival statistics of a generated stream. *)
+let inter_stats (a : int array) =
+  let n = Array.length a - 1 in
+  let mean = ref 0. in
+  for i = 1 to n do
+    mean := !mean +. float_of_int (a.(i) - a.(i - 1))
+  done;
+  let mean = !mean /. float_of_int n in
+  let var = ref 0. in
+  for i = 1 to n do
+    let d = float_of_int (a.(i) - a.(i - 1)) -. mean in
+    var := !var +. (d *. d)
+  done;
+  (mean, !var /. float_of_int n)
+
+let test_poisson_moments () =
+  (* Exponential inter-arrivals at 1000/Mcycle: mean 1000 cycles and
+     squared coefficient of variation 1. *)
+  let a =
+    Harness.Arrival.generate ~seed:9 ~until:5_000_000
+      (Harness.Arrival.Poisson { per_mcycle = 1000. })
+  in
+  Alcotest.(check bool) "enough samples" true (Array.length a > 4000);
+  let mean, var = inter_stats a in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean ~ 1000 (got %.1f)" mean)
+    true
+    (abs_float (mean -. 1000.) < 50.);
+  let cv2 = var /. (mean *. mean) in
+  Alcotest.(check bool)
+    (Printf.sprintf "cv^2 ~ 1 (got %.2f)" cv2)
+    true
+    (cv2 > 0.9 && cv2 < 1.1)
+
+let test_onoff_burstier_than_poisson () =
+  let p =
+    Harness.Arrival.generate ~seed:9 ~until:5_000_000
+      (Harness.Arrival.Poisson { per_mcycle = 1000. })
+  and b =
+    Harness.Arrival.generate ~seed:9 ~until:5_000_000
+      (Harness.Arrival.Onoff
+         { per_mcycle_on = 2000.; on_cycles = 50_000; off_cycles = 50_000 })
+  in
+  let pm, pv = inter_stats p and bm, bv = inter_stats b in
+  let pcv2 = pv /. (pm *. pm) and bcv2 = bv /. (bm *. bm) in
+  Alcotest.(check bool)
+    (Printf.sprintf "on/off burstier (cv^2 %.2f vs poisson %.2f)" bcv2 pcv2)
+    true (bcv2 > pcv2 +. 0.2);
+  (* Same long-run rate (2000/Mcycle at 50 % duty = 1000/Mcycle): the
+     burstiness comes from the phase structure, not from offering less. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "on/off long-run rate ~ poisson (mean gap %.1f)" bm)
+    true
+    (bm > 800. && bm < 1200.)
+
+let test_stages_ramp () =
+  let a =
+    Harness.Arrival.generate ~seed:4 ~until:200_000
+      (Harness.Arrival.Stages
+         [
+           (100_000, Harness.Arrival.Poisson { per_mcycle = 500. });
+           (200_000, Harness.Arrival.Poisson { per_mcycle = 4000. });
+         ])
+  in
+  let lo = Array.fold_left (fun n t -> if t < 100_000 then n + 1 else n) 0 a in
+  let hi = Array.length a - lo in
+  Alcotest.(check bool)
+    (Printf.sprintf "stage rates respected (%d then %d)" lo hi)
+    true
+    (lo > 20 && lo < 100 && hi > 280 && hi < 540);
+  Alcotest.(check bool) "all before until" true
+    (Array.for_all (fun t -> t < 200_000) a)
+
+let test_zipf_rank_frequency () =
+  (* Empirical log-log slope over the top ranks must track -theta. *)
+  let theta = 0.8 in
+  let z = Harness.Zipf.create ~seed:3 ~n:1000 ~theta () in
+  let counts = Array.make 1000 0 in
+  let samples = 200_000 in
+  for _ = 1 to samples do
+    let k = Harness.Zipf.next z in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "hottest key is rank 0" true
+    (Array.for_all (fun c -> c <= counts.(0)) counts);
+  let xs = ref [] in
+  for r = 0 to 49 do
+    if counts.(r) > 0 then
+      xs :=
+        (log (float_of_int (r + 1)), log (float_of_int counts.(r))) :: !xs
+  done;
+  let pts = !xs in
+  let n = float_of_int (List.length pts) in
+  let mx = List.fold_left (fun s (x, _) -> s +. x) 0. pts /. n
+  and my = List.fold_left (fun s (_, y) -> s +. y) 0. pts /. n in
+  let num =
+    List.fold_left (fun s (x, y) -> s +. ((x -. mx) *. (y -. my))) 0. pts
+  and den =
+    List.fold_left (fun s (x, _) -> s +. ((x -. mx) *. (x -. mx))) 0. pts
+  in
+  let slope = num /. den in
+  Alcotest.(check bool)
+    (Printf.sprintf "slope ~ -%.1f (got %.3f)" theta slope)
+    true
+    (abs_float (slope +. theta) < 0.1);
+  (* The analytic mass agrees with the empirical mass on the hot keys. *)
+  for r = 0 to 4 do
+    let expected = Harness.Zipf.expected_freq z r in
+    let got = float_of_int counts.(r) /. float_of_int samples in
+    Alcotest.(check bool)
+      (Printf.sprintf "rank %d mass %.4f ~ %.4f" r got expected)
+      true
+      (abs_float (got -. expected) < 0.25 *. expected)
+  done
+
+let test_equal_seeds_bit_identical () =
+  let spec =
+    Harness.Arrival.Onoff
+      { per_mcycle_on = 1500.; on_cycles = 20_000; off_cycles = 30_000 }
+  in
+  let a = Harness.Arrival.generate ~stream:3 ~seed:21 ~until:1_000_000 spec
+  and b = Harness.Arrival.generate ~stream:3 ~seed:21 ~until:1_000_000 spec in
+  Alcotest.(check (array int)) "same (seed, stream) => same stream" a b;
+  let za = Harness.Zipf.create ~stream:5 ~seed:21 ~n:512 ~theta:0.99 ()
+  and zb = Harness.Zipf.create ~stream:5 ~seed:21 ~n:512 ~theta:0.99 () in
+  for i = 1 to 256 do
+    Alcotest.(check int)
+      (Printf.sprintf "zipf draw %d" i)
+      (Harness.Zipf.next za) (Harness.Zipf.next zb)
+  done
+
+let test_streams_decorrelated () =
+  let spec = Harness.Arrival.Poisson { per_mcycle = 1000. } in
+  let a = Harness.Arrival.generate ~stream:0 ~seed:21 ~until:1_000_000 spec
+  and b = Harness.Arrival.generate ~stream:1 ~seed:21 ~until:1_000_000 spec in
+  Alcotest.(check bool) "distinct streams differ" true (a <> b);
+  (* Decorrelated, not merely shifted: few exact collisions. *)
+  let in_b = Hashtbl.create 97 in
+  Array.iter (fun t -> Hashtbl.replace in_b t ()) b;
+  let coll =
+    Array.fold_left (fun n t -> if Hashtbl.mem in_b t then n + 1 else n) 0 a
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "few collisions (%d of %d)" coll (Array.length a))
+    true
+    (coll * 10 < Array.length a)
+
+(* Frozen first arrivals / draws: any change to the generator algorithms or
+   the Rng stream layout shows up here before it silently invalidates the
+   perf_gate's frozen service columns. *)
+let test_generator_goldens () =
+  let a =
+    Harness.Arrival.generate ~seed:7 ~until:10_000_000
+      (Harness.Arrival.Poisson { per_mcycle = 1000. })
+  in
+  let prefix = Array.to_list (Array.sub a 0 8) in
+  let z = Harness.Zipf.create ~seed:7 ~n:100 ~theta:0.99 () in
+  let draws = List.init 8 (fun _ -> Harness.Zipf.next z) in
+  Alcotest.(check (list int))
+    "poisson golden prefix"
+    [ 359; 3189; 5337; 6427; 6849; 7357; 8286; 9954 ]
+    prefix;
+  Alcotest.(check (list int)) "zipf golden draws"
+    [ 2; 74; 55; 17; 2; 4; 12; 38 ]
+    draws
+
+let qcheck_arrival_props =
+  QCheck.Test.make ~count:60 ~name:"arrivals monotone, bounded, deterministic"
+    QCheck.(
+      triple (int_bound 1_000_000) (int_range 1 50) (int_bound 2))
+    (fun (seed, rate_c, stream) ->
+      let spec =
+        Harness.Arrival.Poisson { per_mcycle = float_of_int (rate_c * 100) }
+      in
+      let until = 500_000 in
+      let a = Harness.Arrival.generate ~stream ~seed ~until spec in
+      let b = Harness.Arrival.generate ~stream ~seed ~until spec in
+      let mono = ref true in
+      Array.iteri
+        (fun i t ->
+          if i > 0 && t < a.(i - 1) then mono := false;
+          if t < 0 || t >= until then mono := false)
+        a;
+      !mono && a = b)
+
+let qcheck_zipf_props =
+  QCheck.Test.make ~count:60 ~name:"zipf draws in range, deterministic"
+    QCheck.(triple (int_bound 1_000_000) (int_range 2 512) (int_bound 2))
+    (fun (seed, n, stream) ->
+      let z = Harness.Zipf.create ~stream ~seed ~n ~theta:0.9 () in
+      let z' = Harness.Zipf.create ~stream ~seed ~n ~theta:0.9 () in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let k = Harness.Zipf.next z in
+        if k < 0 || k >= n then ok := false;
+        if k <> Harness.Zipf.next z' then ok := false
+      done;
+      !ok)
+
+let test_service_deterministic () =
+  let cfg =
+    {
+      Harness.Service.default with
+      threads = 4;
+      users = 1_000;
+      keys = 64;
+      duration_cycles = 300_000;
+      window_cycles = 100_000;
+      arrivals = Harness.Arrival.Poisson { per_mcycle = 800. };
+      seed = 11;
+    }
+  in
+  let r1 = Harness.Service.run Engines.swisstm cfg in
+  let r2 = Harness.Service.run Engines.swisstm cfg in
+  let json r =
+    match r.Harness.Service.slo_json with
+    | Some j -> Obs.Json.to_string j
+    | None -> Alcotest.fail "slo_json missing"
+  in
+  Alcotest.(check string) "same config => bit-identical SLO JSON" (json r1)
+    (json r2);
+  Alcotest.(check bool) "served everything" true
+    (r1.Harness.Service.completed = r1.Harness.Service.offered
+    && r1.Harness.Service.offered > 0);
+  match r1.Harness.Service.summary with
+  | None -> Alcotest.fail "summary missing"
+  | Some s ->
+      Alcotest.(check bool) "percentiles ordered" true
+        (s.Obs.Slo.s_p50 <= s.Obs.Slo.s_p95
+        && s.Obs.Slo.s_p95 <= s.Obs.Slo.s_p999
+        && s.Obs.Slo.s_p999 <= s.Obs.Slo.s_max)
+
 let suite =
   [
     ( "harness",
@@ -118,4 +352,22 @@ let suite =
         Alcotest.test_case "report rendering" `Quick test_report_rendering;
       ] );
     ("granularity-safety", granularity_cases);
+    ( "open-system-generators",
+      [
+        Alcotest.test_case "poisson mean/variance" `Quick test_poisson_moments;
+        Alcotest.test_case "on/off burstiness" `Quick
+          test_onoff_burstier_than_poisson;
+        Alcotest.test_case "staged ramp" `Quick test_stages_ramp;
+        Alcotest.test_case "zipf rank-frequency slope" `Quick
+          test_zipf_rank_frequency;
+        Alcotest.test_case "equal seeds bit-identical" `Quick
+          test_equal_seeds_bit_identical;
+        Alcotest.test_case "streams decorrelated" `Quick
+          test_streams_decorrelated;
+        Alcotest.test_case "generator goldens" `Quick test_generator_goldens;
+        QCheck_alcotest.to_alcotest qcheck_arrival_props;
+        QCheck_alcotest.to_alcotest qcheck_zipf_props;
+        Alcotest.test_case "service run deterministic" `Quick
+          test_service_deterministic;
+      ] );
   ]
