@@ -1,7 +1,8 @@
 # Convenience targets; the source of truth is dune.
 
 .PHONY: all build test bench check fuzz-smoke obs-smoke fault-smoke \
-        kernel-smoke epoch-smoke pool-smoke norec-smoke service-smoke clean
+        kernel-smoke epoch-smoke pool-smoke norec-smoke service-smoke \
+        txds-smoke clean
 
 all: build
 
@@ -30,6 +31,7 @@ check: build
 	$(MAKE) pool-smoke
 	$(MAKE) norec-smoke
 	$(MAKE) service-smoke
+	$(MAKE) txds-smoke
 
 # Kernel smoke (seconds): the differential suite (current engines vs the
 # frozen pre-refactor behavioral snapshot, bit-identical in simulated
@@ -53,7 +55,7 @@ kernel-smoke: build
 	   echo "LoC budget ok: engine files total $$total lines (<= 1803)"; \
 	 fi
 	@fail=0; \
-	 for spec in lib/core/swisstm_engine.ml:605 lib/stm_tl2/tl2_engine.ml:189 \
+	 for spec in lib/core/swisstm_engine.ml:620 lib/stm_tl2/tl2_engine.ml:189 \
 	             lib/stm_tiny/tinystm_engine.ml:218 lib/stm_rstm/rstm_engine.ml:469 \
 	             lib/stm_mv/mvstm_engine.ml:327 \
 	             lib/kernel/norec.ml:240 lib/kernel/tlrw.ml:320 \
@@ -121,6 +123,21 @@ service-smoke: build
 	dune exec bench/service_gate.exe -- --smoke --out /tmp/svc_smoke_b.json
 	cmp /tmp/svc_smoke_a.json /tmp/svc_smoke_b.json
 	@echo "service-smoke: SLO JSON bit-identical across processes"
+
+# Boosted-collections smoke (seconds): the boosted-structure suites
+# (semantic locks + undo vs sequential models, contended invariants,
+# boosted/word composition), the free-on-remove leak regression with the
+# double-free guard and epoch reclaimer armed, the linearizability
+# self-checks, and the transaction-history fuzz (boosted map + queue
+# histories checked for strict serializability under random and PCT
+# schedules, across engines).
+txds-smoke: build
+	dune exec test/test_main.exe -- test boost
+	dune exec test/test_main.exe -- test txds_leaks
+	dune exec test/test_main.exe -- test txds_linearize
+	dune exec bin/stm_fuzz.exe -- --txds --engine swisstm --policy random --seeds 6 --progs 3
+	dune exec bin/stm_fuzz.exe -- --txds --engine swisstm --policy pct --seeds 6 --progs 3
+	dune exec bin/stm_fuzz.exe -- --txds --engine tl2 --policy pct --seeds 6 --progs 3
 
 epoch-smoke: build
 	dune exec bin/epoch_smoke.exe -- epoch

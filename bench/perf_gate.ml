@@ -25,6 +25,11 @@
    - "crossover" (PR 7): the NOrec-vs-TL2 matrix (bench/crossover.ml) —
      deterministic simulated ktps per thread count plus the three named
      shape checks (NOrec ahead at 1 and 2 threads, behind at the top).
+   - "boost" (PR 9): the boosted-vs-word collections matrix
+     (bench/boost_bench.ml) — deterministic simulated makespans for the
+     contended update mix over the boosted map/pqueue and their
+     word-transactional fallbacks, gated on boosted throughput >= word
+     at every contended thread count.
    - "gauges" (PR 6): the descriptor-pool / heap free-list / epoch
      counters accumulated over the whole gate run.
 
@@ -39,13 +44,13 @@
      dune exec bench/perf_gate.exe -- --out f.json  *)
 
 let smoke = ref false
-let out = ref "BENCH_PR8.json"
+let out = ref "BENCH_PR9.json"
 
 let () =
   Arg.parse
     [
       ("--smoke", Arg.Set smoke, " quick mode: fewer iterations and threads");
-      ("--out", Arg.Set_string out, "FILE output path (default BENCH_PR8.json)");
+      ("--out", Arg.Set_string out, "FILE output path (default BENCH_PR9.json)");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "perf_gate [--smoke] [--out FILE]"
@@ -132,6 +137,34 @@ let pr8_service_smoke : (string * int * int * int * int * int * int * int) list
     ("tl2-adaptive", 986, 986, 1527883, 3583, 102049, 28481, 429);
     ("norec", 986, 986, 2249819, 233471, 823039, 3525, 180);
     ("norec-adaptive", 986, 986, 2232003, 212991, 819699, 3848, 186);
+  ]
+
+(* Frozen PR-9 smoke-mode boosted-vs-word makespans (structure, mode,
+   threads, makespan cycles) in [Boost_bench.matrix] emission order,
+   ops_per_thread = 500.  Simulated makespans are deterministic, so any
+   diff means the boosted ops' cost charging or a schedule moved. *)
+let pr9_boost_smoke_makespans : (string * string * int * int) list =
+  [
+    ("map", "boosted", 1, 52435);
+    ("map", "word", 1, 88281);
+    ("map", "boosted", 2, 369036);
+    ("map", "word", 2, 542153);
+    ("map", "boosted", 4, 869785);
+    ("map", "word", 4, 2361158);
+    ("map", "boosted", 8, 2889764);
+    ("map", "word", 8, 7425158);
+    ("pqueue", "boosted", 1, 161571);
+    ("pqueue", "word", 1, 890480);
+    ("pqueue", "boosted", 2, 840113);
+    ("pqueue", "word", 2, 2301716);
+    ("pqueue", "boosted", 4, 422204);
+    ("pqueue", "word", 4, 6927873);
+    ("pqueue", "boosted", 8, 676158);
+    ("pqueue", "word", 8, 19190992);
+    ("list", "word", 1, 214390);
+    ("list", "word", 2, 699619);
+    ("list", "word", 4, 2024767);
+    ("list", "word", 8, 5807967);
   ]
 
 let jfloat f =
@@ -640,11 +673,42 @@ let () =
           p999 amp rt)
       svc_tuples
   end;
+  Printf.printf "perf_gate: boosted vs word collections (%s)...\n%!"
+    (if !smoke then "smoke" else "full");
+  let boost_rows =
+    Boost_bench.matrix ~ops_per_thread:(if !smoke then 500 else 2_000) ()
+  in
+  Boost_bench.print_rows boost_rows;
+  let boost_checks = Boost_bench.shape_checks boost_rows in
+  List.iter
+    (fun (name, ok) ->
+      Printf.printf "  boost %-24s %s\n%!" name (if ok then "ok" else "FAIL"))
+    boost_checks;
+  let boost_ok = List.for_all snd boost_checks in
+  let boost_tuples =
+    List.map
+      (fun (r : Boost_bench.row) ->
+        (r.Boost_bench.structure, r.Boost_bench.mode, r.Boost_bench.threads,
+         r.Boost_bench.makespan))
+      boost_rows
+  in
+  let boost_identity_ok =
+    (not !smoke)
+    || pr9_boost_smoke_makespans = []
+    || boost_tuples = pr9_boost_smoke_makespans
+  in
+  if !smoke && not boost_identity_ok then begin
+    Printf.printf
+      "  boost makespans diverged from the frozen PR-9 matrix; current:\n";
+    List.iter
+      (fun (s, m, t, c) -> Printf.printf "    (%S, %S, %d, %d);\n" s m t c)
+      boost_tuples
+  end;
   let gauges = Obs.Metrics.gauge_values () in
   let buf = Buffer.create 4096 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   bpf "{\n";
-  bpf "  \"schema\": \"swisstm-repro/perf-gate/3\",\n";
+  bpf "  \"schema\": \"swisstm-repro/perf-gate/5\",\n";
   bpf "  \"mode\": \"%s\",\n" (if !smoke then "smoke" else "full");
   bpf "  \"wlog_fastpath\": {\n";
   bpf "    \"wlog_ns_per_tx\": %s,\n" (jfloat wl_ns);
@@ -752,6 +816,30 @@ let () =
   bpf "    \"identity_checked\": %b,\n" !smoke;
   bpf "    \"identity_ok\": %b\n" svc_identity_ok;
   bpf "  },\n";
+  bpf "  \"boost\": {\n";
+  bpf "    \"rows\": [\n";
+  List.iteri
+    (fun i (r : Boost_bench.row) ->
+      bpf
+        "      { \"structure\": \"%s\", \"mode\": \"%s\", \"threads\": %d, \
+         \"ops\": %d, \"makespan_cycles\": %d, \"ktps\": %s }%s\n"
+        r.Boost_bench.structure r.Boost_bench.mode r.Boost_bench.threads
+        r.Boost_bench.total_ops r.Boost_bench.makespan
+        (jfloat (Boost_bench.ktps r))
+        (if i < List.length boost_rows - 1 then "," else ""))
+    boost_rows;
+  bpf "    ],\n";
+  bpf "    \"shape\": {\n";
+  List.iteri
+    (fun i (name, ok) ->
+      bpf "      \"%s\": %b%s\n" name ok
+        (if i < List.length boost_checks - 1 then "," else ""))
+    boost_checks;
+  bpf "    },\n";
+  bpf "    \"identity_checked\": %b,\n"
+    (!smoke && pr9_boost_smoke_makespans <> []);
+  bpf "    \"identity_ok\": %b\n" boost_identity_ok;
+  bpf "  },\n";
   bpf "  \"gauges\": {\n";
   List.iteri
     (fun i (name, v) ->
@@ -839,11 +927,28 @@ let () =
        (see the current tuples above)\n";
     fail := true
   end;
+  if not boost_ok then begin
+    Printf.eprintf
+      "perf_gate: FAIL boosted collections behind their word-STM fallback \
+       on the contended update mix (%s)\n"
+      (String.concat ", "
+         (List.filter_map
+            (fun (n, ok) -> if ok then None else Some n)
+            boost_checks));
+    fail := true
+  end;
+  if not boost_identity_ok then begin
+    Printf.eprintf
+      "perf_gate: FAIL boost makespans diverged from the frozen PR-9 matrix \
+       (see the current tuples above)\n";
+    fail := true
+  end;
   if !fail then exit 1;
   Printf.printf
     "perf_gate: OK (improvements >= %.0f%%, rw %.1f%% better than PR-5, \
      obs-off overhead %+.1f%% <= %.0f%%, epoch privatization %+.1f%% sim / \
-     %+.1f%% native, norec crossover shape holds, service SLO gates hold%s)\n%!"
+     %+.1f%% native, norec crossover shape holds, service SLO gates hold, \
+     boosted collections ahead of word-STM under contention%s)\n%!"
     required_improvement_pct pr5_imp obs_overhead_pct obs_overhead_limit_pct
     sim_epoch_penalty epoch_penalty
     (if !smoke then ", sb7 cycles bit-identical to PR-4" else "")

@@ -17,6 +17,7 @@ let verbose = ref false
 let inject = ref false
 let inject_seed = ref 7
 let epochs = ref false
+let txds = ref false
 
 let speclist =
   [
@@ -42,6 +43,10 @@ let speclist =
     ("--epochs", Arg.Set epochs,
      "  arm the epoch reclaimer and the heap free-guard for every run \
       (epoch-wired engines announce; frees defer through limbo)");
+    ("--txds", Arg.Set txds,
+     "  fuzz the boosted collections instead of word programs: structure x \
+      mode matrix (map/pqueue/queue, boosted/word) checked for strict \
+      serializability against pure models");
     ("-v", Arg.Set verbose, "  verbose (report undecided runs)");
   ]
 
@@ -105,6 +110,43 @@ let () =
                 Printf.printf "%-40s FAIL: %s\n%!" file m))
       (List.rev !corpus);
     exit (if !bad > 0 then 1 else 0)
+  end;
+  if !txds then begin
+    (* Boosted-collections mode: linearizability (strict serializability)
+       of semantic histories instead of word-level opacity. *)
+    let specs =
+      if !engine_arg = "all" then
+        List.filter_map
+          (fun n -> Engines.of_string n |> Option.map (fun s -> (n, s)))
+          Engines.known_names
+      else
+        match Engines.of_string !engine_arg with
+        | Some s -> [ (!engine_arg, s) ]
+        | None ->
+            die "unknown engine %S (known: %s)" !engine_arg
+              (String.concat ", " Engines.known_names)
+    in
+    let seeds = if !policy_arg = "earliest" then 1 else !seeds in
+    let total =
+      List.fold_left
+        (fun acc (name, spec) ->
+          let st =
+            Check.Txfuzz.fuzz ~spec
+              ~make_policy:(make_policy_of_family !policy_arg)
+              ~seeds ~progs:!progs ~threads:!threads ~verbose:!verbose ()
+          in
+          Printf.printf
+            "%-16s %4d txds runs, %d undecided, %d violation(s)  \
+             [linearizability]\n%!"
+            name st.runs st.undecided
+            (List.length st.failures);
+          List.iter
+            (fun (label, m) -> Printf.printf "VIOLATION %s\n%s\n%!" label m)
+            st.failures;
+          acc + List.length st.failures)
+        0 specs
+    in
+    exit (if total > 0 then 1 else 0)
   end;
   if !self_check then begin
     (* The checker must catch an engine with validation disabled within

@@ -1,0 +1,115 @@
+(* Transaction-level linearizability (strict serializability) witness
+   search for the boosted collections (DESIGN.md §15).
+
+   The opacity checker in [Opacity] works on word-level read/write
+   histories; boosted operations bypass word-level conflict detection
+   entirely (direct heap access under abstract locks), so their histories
+   must be judged against the *structure's* sequential specification
+   instead: does some total order of the committed transactions — each an
+   atomic block of semantic operations with recorded results — replay
+   correctly on a pure model, while respecting per-thread program order
+   and real-time order (transaction A completed before B began)?
+
+   The search is the classic exhaustive one with memoization on
+   (scheduled-set, model-state): at each step try every transaction whose
+   predecessors are all scheduled and whose operations replay with the
+   recorded results.  Fuzz histories are small (tens of transactions), so
+   the budget is generous; blowing it is reported as [Gave_up], never as
+   a pass. *)
+
+module type Model = sig
+  type state
+  type op
+  type result
+
+  val apply : state -> op -> result * state
+  (** Sequential specification: result of [op] in [state] + next state.
+      [state] must be pure structural data (it is used as a hash key). *)
+
+  val pp_op : op -> string
+  val pp_result : result -> string
+end
+
+module Make (M : Model) = struct
+  type txn = {
+    tid : int;
+    seq : int;  (** index in the thread's program (program order) *)
+    started : int;  (** global event stamp taken before the atomic call *)
+    ended : int;  (** global event stamp taken after it returned *)
+    ops : (M.op * M.result) list;
+  }
+
+  type verdict = Serializable | Gave_up of string | Violation of string
+
+  let pp_txn t =
+    Printf.sprintf "t%d#%d[%d..%d]{%s}" t.tid t.seq t.started t.ended
+      (String.concat "; "
+         (List.map
+            (fun (o, r) -> M.pp_op o ^ " = " ^ M.pp_result r)
+            t.ops))
+
+  let pp_history txns = String.concat "\n  " (List.map pp_txn txns)
+
+  (* Replay one transaction's operations on the model; [Some st'] iff every
+     recorded result matches. *)
+  let replay st txn =
+    let rec go st = function
+      | [] -> Some st
+      | (op, r) :: tl ->
+          let r', st' = M.apply st op in
+          if r' = r then go st' tl else None
+    in
+    go st txn.ops
+
+  exception Found
+  exception Budget
+
+  let check ?(max_steps = 500_000) ~init (txns : txn list) : verdict =
+    let txns = Array.of_list txns in
+    let n = Array.length txns in
+    if n = 0 then Serializable
+    else if n > 62 then Gave_up "history too large for bitmask search"
+    else begin
+      (* preds.(i) = bitmask of transactions that must serialize before
+         [i]: same-thread program order, and real-time order (strictly
+         completed before [i] began). *)
+      let preds = Array.make n 0 in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if j <> i then begin
+            let a = txns.(j) and b = txns.(i) in
+            if (a.tid = b.tid && a.seq < b.seq) || a.ended < b.started then
+              preds.(i) <- preds.(i) lor (1 lsl j)
+          end
+        done
+      done;
+      let visited : (int * M.state, unit) Hashtbl.t = Hashtbl.create 1024 in
+      let steps = ref 0 in
+      let full = (1 lsl n) - 1 in
+      let rec go mask st =
+        incr steps;
+        if !steps > max_steps then raise Budget;
+        if mask = full then raise Found;
+        if not (Hashtbl.mem visited (mask, st)) then begin
+          Hashtbl.add visited (mask, st) ();
+          for i = 0 to n - 1 do
+            if mask land (1 lsl i) = 0 && preds.(i) land mask = preds.(i) then
+              match replay st txns.(i) with
+              | Some st' -> go (mask lor (1 lsl i)) st'
+              | None -> ()
+          done
+        end
+      in
+      match go 0 init with
+      | () ->
+          Violation
+            (Printf.sprintf
+               "no serialization of %d transactions replays the recorded \
+                results:\n  %s"
+               n
+               (pp_history (Array.to_list txns)))
+      | exception Found -> Serializable
+      | exception Budget ->
+          Gave_up (Printf.sprintf "search budget exhausted (%d steps)" !steps)
+    end
+end

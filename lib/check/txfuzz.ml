@@ -1,0 +1,257 @@
+(* Fuzz driver for the boosted-collections linearizability contracts
+   (DESIGN.md §15).
+
+   Generates per-thread programs of small transactions — each a sequence
+   of semantic operations against ONE shared structure — runs them under
+   a perturbed schedule (the same random/PCT matrix the word-level fuzzer
+   uses), records every committed transaction's operations, results and
+   begin/return event stamps, and asks [Linearize] for a strict-
+   serializability witness against the structure's pure model.
+
+   Each structure runs in both of its modes: [`Boosted] (abstract locks +
+   semantic undo, via {!Txds.Boost.atomic}) and [`Word] (the plain
+   word-transactional fallback path, which also exercises transactional
+   [free] under contention and schedule perturbation). *)
+
+(* ---------- unified ops / results / model ---------- *)
+
+type op =
+  | Add of int * int  (* map: insert-or-update *)
+  | Remove of int  (* map *)
+  | Find of int  (* map *)
+  | Insert of int * int  (* pqueue *)
+  | Pop_min  (* pqueue *)
+  | Push of int  (* queue *)
+  | Pop  (* queue *)
+
+type result = RBool of bool | ROpt of int option | RPair of (int * int) option | RUnit
+
+module IntMap = Map.Make (Int)
+
+(* One model state type covering all three structures keeps the checker
+   monomorphic; the constructor doubles as a structure sanity check. *)
+type state =
+  | SMap of int IntMap.t
+  | SPq of (int * int) list  (* sorted ascending: the multiset *)
+  | SQueue of int list  (* front first *)
+
+module Model = struct
+  type nonrec state = state
+  type nonrec op = op
+  type nonrec result = result
+
+  let apply st op =
+    match (st, op) with
+    | SMap m, Add (k, v) -> (RBool (not (IntMap.mem k m)), SMap (IntMap.add k v m))
+    | SMap m, Remove k -> (RBool (IntMap.mem k m), SMap (IntMap.remove k m))
+    | SMap m, Find k -> (ROpt (IntMap.find_opt k m), st)
+    | SPq l, Insert (k, v) ->
+        (RUnit, SPq (List.stable_sort (fun (a, _) (b, _) -> compare a b) ((k, v) :: l)))
+    | SPq [], Pop_min -> (RPair None, st)
+    | SPq (kv :: tl), Pop_min -> (RPair (Some kv), SPq tl)
+    | SQueue q, Push v -> (RUnit, SQueue (q @ [ v ]))
+    | SQueue [], Pop -> (ROpt None, st)
+    | SQueue (v :: tl), Pop -> (ROpt (Some v), SQueue tl)
+    | _ -> invalid_arg "Txfuzz.Model.apply: op/structure mismatch"
+
+  let pp_op = function
+    | Add (k, v) -> Printf.sprintf "add(%d,%d)" k v
+    | Remove k -> Printf.sprintf "remove(%d)" k
+    | Find k -> Printf.sprintf "find(%d)" k
+    | Insert (k, v) -> Printf.sprintf "insert(%d,%d)" k v
+    | Pop_min -> "pop_min"
+    | Push v -> Printf.sprintf "push(%d)" v
+    | Pop -> "pop"
+
+  let pp_result = function
+    | RBool b -> string_of_bool b
+    | ROpt None | RPair None -> "None"
+    | ROpt (Some v) -> Printf.sprintf "Some %d" v
+    | RPair (Some (k, v)) -> Printf.sprintf "Some(%d,%d)" k v
+    | RUnit -> "()"
+end
+
+module L = Linearize.Make (Model)
+
+(* ---------- structures under test ---------- *)
+
+type structure = Smap | Spq | Squeue
+type mode = Boosted | Word
+
+let structure_name = function Smap -> "map" | Spq -> "pqueue" | Squeue -> "queue"
+let mode_name = function Boosted -> "boosted" | Word -> "word"
+
+let init_state = function
+  | Smap -> SMap IntMap.empty
+  | Spq -> SPq []
+  | Squeue -> SQueue []
+
+(* The pqueue multiset model pops the *first* entry with the minimal key;
+   duplicate keys with different values would make pop_min's value
+   ambiguous (any min-key entry is a legal answer), so the generator
+   derives the value from the key. *)
+let pq_val k = (k * 7) + 1
+
+(* ---------- program generation ---------- *)
+
+(* [progs.(tid)] = that thread's transactions, each a short op list over
+   a tiny key range so cross-thread conflicts are the norm. *)
+let gen_program rng ~structure ~threads ~txs_per_thread =
+  Array.init threads (fun _ ->
+      List.init txs_per_thread (fun _ ->
+          let len = 1 + Runtime.Rng.int rng 3 in
+          List.init len (fun _ ->
+              match structure with
+              | Smap -> (
+                  match Runtime.Rng.int rng 3 with
+                  | 0 -> Add (Runtime.Rng.int rng 8, Runtime.Rng.int rng 100)
+                  | 1 -> Remove (Runtime.Rng.int rng 8)
+                  | _ -> Find (Runtime.Rng.int rng 8))
+              | Spq ->
+                  if Runtime.Rng.chance rng 0.55 then
+                    let k = Runtime.Rng.int rng 16 in
+                    Insert (k, pq_val k)
+                  else Pop_min
+              | Squeue ->
+                  if Runtime.Rng.chance rng 0.55 then Push (Runtime.Rng.int rng 100)
+                  else Pop)))
+
+(* ---------- execution ---------- *)
+
+type instance =
+  | Imap of Txds.Tx_map.t
+  | Ipq of Txds.Tx_pqueue.t
+  | Iqueue of Txds.Tx_queue.Linked.t
+  | Iqueue_word of Txds.Tx_queue.t
+
+let make_instance heap structure mode =
+  match (structure, mode) with
+  | Smap, _ -> Imap (Txds.Tx_map.create heap ~buckets:16)
+  | Spq, _ -> Ipq (Txds.Tx_pqueue.create heap)
+  | Squeue, Boosted -> Iqueue (Txds.Tx_queue.Linked.create heap)
+  | Squeue, Word -> Iqueue_word (Txds.Tx_queue.create heap ~capacity:256)
+
+let apply_boosted inst btx op =
+  match (inst, op) with
+  | Imap m, Add (k, v) -> RBool (Txds.Tx_map.add m btx k v)
+  | Imap m, Remove k -> RBool (Txds.Tx_map.remove m btx k)
+  | Imap m, Find k -> ROpt (Txds.Tx_map.find m btx k)
+  | Ipq q, Insert (k, v) ->
+      Txds.Tx_pqueue.insert q btx k v;
+      RUnit
+  | Ipq q, Pop_min -> RPair (Txds.Tx_pqueue.pop_min q btx)
+  | Iqueue q, Push v ->
+      Txds.Tx_queue.Linked.push q btx v;
+      RUnit
+  | Iqueue q, Pop -> ROpt (Txds.Tx_queue.Linked.pop q btx)
+  | _ -> invalid_arg "Txfuzz.apply_boosted"
+
+let apply_word inst ops op =
+  match (inst, op) with
+  | Imap m, Add (k, v) -> RBool (Txds.Tx_map.Word.add m ops k v)
+  | Imap m, Remove k -> RBool (Txds.Tx_map.Word.remove m ops k)
+  | Imap m, Find k -> ROpt (Txds.Tx_map.Word.find m ops k)
+  | Ipq q, Insert (k, v) ->
+      Txds.Tx_pqueue.Word.insert q ops k v;
+      RUnit
+  | Ipq q, Pop_min -> RPair (Txds.Tx_pqueue.Word.pop_min q ops)
+  | Iqueue_word q, Push v ->
+      (* Capacity is sized past any generated program, so a full queue is
+         a harness bug, not a structure answer. *)
+      if not (Txds.Tx_queue.push ops q v) then failwith "txfuzz: ring full";
+      RUnit
+  | Iqueue_word q, Pop -> ROpt (Txds.Tx_queue.pop ops q)
+  | _ -> invalid_arg "Txfuzz.apply_word"
+
+type run_result = Lin_ok | Lin_gave_up of string | Lin_fail of string
+
+let run_once ~spec ~policy ~structure ~mode ~threads ~prog_seed () =
+  let rng = Runtime.Rng.for_thread ~seed:prog_seed ~tid:0 in
+  let progs = gen_program rng ~structure ~threads ~txs_per_thread:4 in
+  let heap = Memory.Heap.create ~words:(1 lsl 18) in
+  let engine = Engines.make spec heap in
+  let inst = make_instance heap structure mode in
+  (* Global event stamps: the sim is cooperative (one domain), so a plain
+     counter bumped at each begin/return gives the true real-time order —
+     per-thread virtual clocks are NOT comparable under window-based
+     scheduling policies. *)
+  let clock = ref 0 in
+  let stamp () =
+    incr clock;
+    !clock
+  in
+  let recorded : L.txn list ref = ref [] in
+  let body tid () =
+    List.iteri
+      (fun seq ops ->
+        let started = stamp () in
+        let results =
+          match mode with
+          | Boosted ->
+              Txds.Boost.atomic engine ~tid (fun btx ->
+                  List.map (apply_boosted inst btx) ops)
+          | Word ->
+              Stm_intf.Engine.atomic engine ~tid (fun tx ->
+                  List.map (apply_word inst tx) ops)
+        in
+        let ended = stamp () in
+        recorded :=
+          { L.tid; seq; started; ended; ops = List.combine ops results }
+          :: !recorded)
+      progs.(tid)
+  in
+  match
+    Runtime.Sim.run ~cap_cycles:50_000_000 ~policy (Array.init threads body)
+  with
+  | exception Runtime.Sim.Timeout _ -> Lin_gave_up "simulation timeout"
+  | _ -> (
+      match L.check ~init:(init_state structure) (List.rev !recorded) with
+      | L.Serializable -> Lin_ok
+      | L.Gave_up m -> Lin_gave_up m
+      | L.Violation m -> Lin_fail m)
+
+(* ---------- matrix driver ---------- *)
+
+type stats = {
+  mutable runs : int;
+  mutable undecided : int;
+  mutable failures : (string * string) list;
+      (** (case label, violation message), newest first *)
+}
+
+let structures = [ Smap; Spq; Squeue ]
+let modes = [ Boosted; Word ]
+
+(** Run the full structure x mode matrix for one engine under [seeds]
+    schedules per generated program.  [make_policy] is the schedule
+    family (random or PCT); program seeds derive from the policy seed. *)
+let fuzz ~spec ~(make_policy : int -> Runtime.Sim.policy) ~seeds ~progs
+    ~threads ?(verbose = false) () =
+  let st = { runs = 0; undecided = 0; failures = [] } in
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun mode ->
+          for prog = 0 to progs - 1 do
+            for seed = 0 to seeds - 1 do
+              let label =
+                Printf.sprintf "%s/%s/%s prog=%d seed=%d" (Engines.name spec)
+                  (structure_name structure) (mode_name mode) prog seed
+              in
+              st.runs <- st.runs + 1;
+              (match
+                 run_once ~spec ~policy:(make_policy seed) ~structure ~mode
+                   ~threads ~prog_seed:((prog * 7919) + 13) ()
+               with
+              | Lin_ok -> ()
+              | Lin_gave_up m ->
+                  st.undecided <- st.undecided + 1;
+                  if verbose then Printf.printf "  UNDECIDED %s: %s\n%!" label m
+              | Lin_fail m -> st.failures <- (label, m) :: st.failures);
+              if verbose && st.runs mod 50 = 0 then
+                Printf.printf "  ... %d txds runs\n%!" st.runs
+            done
+          done)
+        modes)
+    structures;
+  st

@@ -162,3 +162,21 @@ let note_start info ~restart =
   clear_kill info
 
 let note_rollback info = info.succ_aborts <- info.succ_aborts + 1
+
+(* --- current-transaction registry (boosting support) ------------------- *)
+
+(* Per-tid [txinfo] of the most recently started transaction.  A layer
+   that detects conflicts outside the engines' lock tables (transactional
+   boosting holds per-structure abstract locks) needs a way to aim a kill
+   request at whatever transaction a thread is currently running; engines
+   publish here at every transaction begin.  The store is guarded by a
+   physical-equality check so steady-state begins write nothing.  Entries
+   are never cleared: a kill aimed at a thread that already committed only
+   taints its *next* attempt's kill flag, which [note_start] clears. *)
+
+let current : txinfo array =
+  Array.init 64 (fun tid -> make_txinfo ~tid ~seed:0)
+
+let[@inline] set_current (info : txinfo) =
+  if Array.unsafe_get current info.tid != info then
+    Array.unsafe_set current info.tid info

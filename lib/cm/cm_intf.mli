@@ -84,3 +84,15 @@ val clear_kill : txinfo -> unit
 val request_kill : txinfo -> unit
 val note_start : txinfo -> restart:bool -> unit
 val note_rollback : txinfo -> unit
+
+val current : txinfo array
+(** Per-tid [txinfo] of the most recently started transaction (engines
+    publish at begin); lets layers above the engines — the boosted
+    collections' abstract-lock arbitration — aim {!request_kill} at a
+    thread's in-flight transaction.  Entries may be stale: a kill aimed at
+    a finished transaction is absorbed by the next start's kill-flag
+    clear. *)
+
+val set_current : txinfo -> unit
+(** Publish [info] as its thread's current transaction (physical-equality
+    guarded store; free in the steady state). *)

@@ -25,6 +25,9 @@ type t = {
   mutable start_cycles : int;
       (** virtual time at attempt start; an abort charges
           [now - start_cycles] to [Stats.wasted] *)
+  frees : Stm_intf.Ivec.t;
+      (** buffered transactional frees, interleaved (addr, words) pairs;
+          executed through [Memory.Heap.free] at commit, dropped on abort *)
   mutable pool_gen : int;
       (** pool generation stamp: even = checked out, odd = in the free
           list; guards against double release *)
@@ -53,8 +56,29 @@ let create ~tid ~seed =
     depth = 0;
     savepoint = None;
     start_cycles = 0;
+    frees = Stm_intf.Ivec.create ();
     pool_gen = 0;
   }
+
+(* Transactional free: buffer now, execute at commit, drop on abort. *)
+let buffer_free d addr words =
+  Stm_intf.Ivec.push d.frees addr;
+  Stm_intf.Ivec.push d.frees words
+
+(* Cycle-free; the never-freeing case is one length check, keeping the
+   frozen cycle traces of free-less workloads bit-identical. *)
+let flush_frees ~heap d =
+  let n = Stm_intf.Ivec.length d.frees in
+  if n > 0 then begin
+    let i = ref 0 in
+    while !i < n do
+      Memory.Heap.free heap
+        (Stm_intf.Ivec.unsafe_get d.frees !i)
+        (Stm_intf.Ivec.unsafe_get d.frees (!i + 1));
+      i := !i + 2
+    done;
+    Stm_intf.Ivec.clear d.frees
+  end
 
 let clear_sp_undo d =
   Stm_intf.Ivec.clear d.sp_undo_addrs;
@@ -67,7 +91,8 @@ let clear_logs d =
   Stm_intf.Rset.clear d.rset;
   Stm_intf.Ivec.clear d.acq_stripes;
   Stm_intf.Ivec.clear d.acq_saved;
-  Stm_intf.Wlog.clear d.wset
+  Stm_intf.Wlog.clear d.wset;
+  Stm_intf.Ivec.clear d.frees
 
 let is_read_only d = Stm_intf.Ivec.length d.acq_stripes = 0
 

@@ -133,6 +133,7 @@ let rollback t (d : Descriptor.t) reason =
         ~cycles:(max 0 (Runtime.Exec.now () - d.start_cycles));
       if !Obs.Metrics.on then Obs.Metrics.on_tx_abort ~tid:d.tid ~reason;
       Descriptor.clear_logs d;
+      Tx_signal.cleanup ~tid:d.tid;
       Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
       cm_rollback t d;
       if t.privatization_epochs && !Memory.Heap.epoch_on then
@@ -378,6 +379,7 @@ let commit t (d : Descriptor.t) =
     if !Trace.enabled then Trace.on_commit ~tid:d.tid;
     Stats.commit t.stats ~tid:d.tid;
     if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
+    Descriptor.flush_frees ~heap:t.heap d;
     Descriptor.clear_logs d;
     t.cm.on_commit d.info;
     Serial.release t.ser ~tid:d.tid;
@@ -431,6 +433,7 @@ let commit t (d : Descriptor.t) =
     if !Trace.enabled then Trace.on_commit ~tid:d.tid;
     Stats.commit t.stats ~tid:d.tid;
     if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
+    Descriptor.flush_frees ~heap:t.heap d;
     Descriptor.clear_logs d;
     t.cm.on_commit d.info;
     (* Drop the token before quiescing: gated threads are idle
@@ -455,6 +458,7 @@ let start t (d : Descriptor.t) ~restart =
   if !Obs.Metrics.on then Obs.Metrics.on_tx_begin ~eid:t.eid ~tid:d.tid;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
   Descriptor.clear_logs d;
+  Cm.Cm_intf.set_current d.info;
   (* epoch privatization: a begin is a quiescent point (no snapshot yet) *)
   if t.privatization_epochs && !Memory.Heap.epoch_on then
     Memory.Epoch.quiescent ~tid:d.tid;
@@ -517,6 +521,12 @@ let run t ~tid ~irrevocable f =
            with Tx_signal.Abort -> attempt ~restart:true)
       | exception Tx_signal.Abort ->
           d.depth <- 0;
+          attempt ~restart:true
+      | exception Tx_signal.Retry ->
+          (* body-raised abort request: route through our own rollback *)
+          d.depth <- 0;
+          d.savepoint <- None;
+          (try rollback t d Tx_signal.Killed with Tx_signal.Abort -> ());
           attempt ~restart:true
       | exception e ->
           emergency_release t d;
@@ -592,6 +602,7 @@ let engine ?config heap : Engine.t =
               end
               else write_word t d addr v);
           alloc = (fun n -> Memory.Heap.alloc heap n);
+          free = (fun addr n -> Descriptor.buffer_free d addr n);
         })
   in
   {

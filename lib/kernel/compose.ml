@@ -432,13 +432,13 @@ let commit t (d : Txdesc.t) =
   in
   if ro then begin
     retract_visible t d;
-    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser ~heap:t.heap d
   end
   else begin
     (* Eager/Mixed waiters hold encounter-time locks, so the commit gate
        polls the kill flag (the irrevocable transaction can abort them
        out); a Lazy waiter holds nothing but polling is harmless. *)
-    Hooks.enter_update_commit ~ser:t.ser
+    Hooks.enter_update_commit ~stats:t.stats ~cm:t.cm ~ser:t.ser
       ~gate_check:(fun () -> check_kill t d)
       d;
     Hooks.inject_stretch d;
@@ -467,7 +467,7 @@ let commit t (d : Txdesc.t) =
         Runtime.Tmatomic.set t.w_locks.(idx) 0)
       d.acq_stripes;
     retract_visible t d;
-    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser ~heap:t.heap d
   end
 
 let start t (d : Txdesc.t) ~restart =
@@ -492,6 +492,7 @@ let driver_ops t : Txdesc.t Driver.ops =
     start = (fun d ~restart -> start t d ~restart);
     commit = (fun d -> commit t d);
     emergency = (fun d -> emergency_release t d);
+    user_abort = (fun d -> rollback t d Tx_signal.Killed);
   }
 
 let check_tid t tid =
@@ -511,7 +512,7 @@ let engine ?config point heap : Engine.t =
   let dops = driver_ops t in
   let ops =
     Package.ops_array ~heap ~descs:t.descs ~read:(read_word t)
-      ~write:(write_word t)
+      ~write:(write_word t) ~free:Txdesc.buffer_free
   in
   Package.make ~name:(name_of_point t.point) ~heap ~stats:t.stats ~ops
     ~runner:

@@ -29,6 +29,11 @@ type 'd ops = {
   start : 'd -> restart:bool -> unit;
   commit : 'd -> unit;
   emergency : 'd -> unit;  (** release everything on a foreign exception *)
+  user_abort : 'd -> unit;
+      (** route a body-raised {!Tx_signal.Retry} through the engine's own
+          rollback (reason [Killed]): locks release, the CM backs off and
+          [succ_aborts] advances, so semantic conflicts feed the same
+          escalation budget as word-level ones.  Must raise [Abort]. *)
 }
 
 let nop_gate_check () = ()
@@ -81,6 +86,12 @@ let run (o : 'd ops) ~tid ~irrevocable f =
            with Tx_signal.Abort -> attempt ~restart:true)
       | exception Tx_signal.Abort ->
           o.set_depth d 0;
+          attempt ~restart:true
+      | exception Tx_signal.Retry ->
+          (* User-level abort request (boosting's semantic conflicts):
+             unlike [Abort], the engine's rollback has NOT run yet. *)
+          o.set_depth d 0;
+          (try o.user_abort d with Tx_signal.Abort -> ());
           attempt ~restart:true
       | exception e ->
           o.emergency d;

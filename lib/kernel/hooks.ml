@@ -104,6 +104,10 @@ let tx_begin ~eid (d : Txdesc.t) =
   if !Obs.Metrics.on then Obs.Metrics.on_tx_begin ~eid ~tid:d.tid;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_begin;
   Txdesc.clear_logs d;
+  (* Publish as the thread's current transaction so abstract-lock
+     arbitration (boosting) can aim kills at us; physical-equality guarded
+     store, free in the steady state. *)
+  Cm.Cm_intf.set_current d.info;
   (* With the epoch reclaimer armed, a begin is a quiescent point: no
      snapshot is held yet.  Disarmed cost: one flag load; the
      announcement itself is cycle-free (plain atomics). *)
@@ -122,10 +126,14 @@ let[@inline] commit_entry (d : Txdesc.t) =
    paths that never entered the commit section is free and harmless.
    [allow_snapshot] is MVSTM's "may serve old versions again" latch;
    setting it is a dead store for every other engine. *)
-let commit_done ~stats ~(cm : Cm.Cm_intf.t) ~ser (d : Txdesc.t) =
+let commit_done ~stats ~(cm : Cm.Cm_intf.t) ~ser ~heap (d : Txdesc.t) =
   if !Trace.enabled then Trace.on_commit ~tid:d.tid;
   Stats.commit stats ~tid:d.tid;
   if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid:d.tid;
+  (* The commit is now certain: execute the buffered transactional frees
+     (epoch limbo when the reclaimer is armed, immediate recycling
+     otherwise).  Cycle-free; the free-less case is one length check. *)
+  Txdesc.flush_frees ~heap d;
   Txdesc.clear_logs d;
   d.allow_snapshot <- true;
   cm.on_commit d.info;
@@ -133,29 +141,15 @@ let commit_done ~stats ~(cm : Cm.Cm_intf.t) ~ser (d : Txdesc.t) =
   Serial.release ser ~tid:d.tid;
   if !Memory.Heap.epoch_on then Memory.Epoch.quiescent ~tid:d.tid
 
-(* Gate + commit-section entry of an update commit: defer to a running
-   irrevocable transaction, then mark ourselves committing and emit the
-   commit-start hooks.  [gate_check] polls the caller's kill flag while
-   parked (engines whose waiters hold locks must poll; lazy engines pass
-   a nop).  TinySTM passes [~gate:false]: its waiter holds encounter-time
-   locks the irrevocable transaction may need — a deadlock it cannot
-   break — so escalation there is a soft bound enforced at the start gate
-   only. *)
-let enter_update_commit ~ser ?gate_check (d : Txdesc.t) =
-  (match gate_check with
-  | Some check ->
-      if Serial.held_by_other ser ~tid:d.tid then
-        Serial.gate ser ~tid:d.tid ~check
-  | None -> ());
-  Serial.enter_commit ser ~tid:d.tid;
-  if !Obs.Metrics.on then Obs.Metrics.on_commit_start ~tid:d.tid
-
 (* --- abort ------------------------------------------------------------ *)
 
 (* Shared tail of every engine's [rollback], after the engine released
    its locks / reader bits / privatization slot: trace, stats (including
    the wasted-cycle charge), metrics, token-state cleanup, log reset, the
-   end tick, the manager's backoff, and the unwind.  Never returns. *)
+   layered cleanup (boosting's semantic undo + abstract-lock release —
+   before the CM back-off, so abstract locks never stay held across a
+   sleep), the end tick, the manager's backoff, and the unwind.  Never
+   returns. *)
 let rollback ~stats ~cm ~ser (d : Txdesc.t) ~reason =
   if !Trace.enabled then Trace.on_abort ~tid:d.tid ~reason;
   Stats.abort stats ~tid:d.tid reason;
@@ -164,10 +158,41 @@ let rollback ~stats ~cm ~ser (d : Txdesc.t) ~reason =
   if !Obs.Metrics.on then Obs.Metrics.on_tx_abort ~tid:d.tid ~reason;
   Serial.exit_commit ser ~tid:d.tid;
   Txdesc.clear_logs d;
+  Tx_signal.cleanup ~tid:d.tid;
   Runtime.Exec.tick (Runtime.Costs.get ()).tx_end;
   cm_on_rollback ~stats ~cm d;
   if !Memory.Heap.epoch_on then Memory.Epoch.quiescent ~tid:d.tid;
   Tx_signal.abort ()
+
+(* Gate + commit-section entry of an update commit: defer to a running
+   irrevocable transaction, then mark ourselves committing and emit the
+   commit-start hooks.  [gate_check] polls the caller's kill flag while
+   parked (engines whose waiters hold locks must poll; lazy engines pass
+   a nop).  TinySTM passes no gate at all: its waiter holds encounter-time
+   locks the irrevocable transaction may need — a deadlock it cannot
+   break — so escalation there is a soft bound enforced at the start gate
+   only.  A *boosted* transaction parked here holds abstract locks even
+   when it holds no word locks, so the gate additionally honors kill
+   requests for threads flagged in [Tx_signal.boost_busy] — otherwise a
+   spinning abstract-lock acquirer could never dislodge a parked waiter
+   (livelock). *)
+let enter_update_commit ~stats ~(cm : Cm.Cm_intf.t) ~ser ?gate_check
+    (d : Txdesc.t) =
+  (match gate_check with
+  | Some check ->
+      if Serial.held_by_other ser ~tid:d.tid then
+        let check () =
+          check ();
+          if
+            !Tx_signal.cleanup_on
+            && Tx_signal.boost_busy.(d.tid)
+            && Cm.Cm_intf.kill_requested d.info
+          then rollback ~stats ~cm ~ser d ~reason:Tx_signal.Killed
+        in
+        Serial.gate ser ~tid:d.tid ~check
+  | None -> ());
+  Serial.enter_commit ser ~tid:d.tid;
+  if !Obs.Metrics.on then Obs.Metrics.on_commit_start ~tid:d.tid
 
 (* Release everything engine-independent on a non-[Abort] exception
    escaping the body (the engine released its own locks first), so a user

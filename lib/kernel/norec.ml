@@ -140,11 +140,11 @@ let commit t (d : Txdesc.t) =
   if Wlog.is_empty d.wset then
     (* Read-only: the journal was proven consistent at [d.valid_ts];
        nothing to publish, nothing to release. *)
-    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser ~heap:t.heap d
   else begin
     (* A waiter at the irrevocability gate holds nothing, but polling
        the kill flag while parked is harmless and keeps storms moving. *)
-    Hooks.enter_update_commit ~ser:t.ser
+    Hooks.enter_update_commit ~stats:t.stats ~cm:t.cm ~ser:t.ser
       ~gate_check:(fun () -> check_kill t d)
       d;
     Hooks.inject_stretch d;
@@ -158,7 +158,7 @@ let commit t (d : Txdesc.t) =
     Hooks.inject_stall d;
     Vlock.write_back ~heap:t.heap d;
     Seqlock.release t.seqlock ~snapshot:d.valid_ts;
-    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser ~heap:t.heap d
   end
 
 (* [start] must not abort (the driver calls it outside its retry guard),
@@ -183,6 +183,7 @@ let driver_ops t : Txdesc.t Driver.ops =
     start = (fun d ~restart -> start t d ~restart);
     commit = (fun d -> commit t d);
     emergency = (fun d -> Hooks.emergency ~cm:t.cm ~ser:t.ser d);
+    user_abort = (fun d -> rollback t d Tx_signal.Killed);
   }
 
 let engine ?config heap : Engine.t =
@@ -190,7 +191,7 @@ let engine ?config heap : Engine.t =
   let dops = driver_ops t in
   let ops =
     Package.ops_array ~heap ~descs:t.descs ~read:(read_word t)
-      ~write:(write_word t)
+      ~write:(write_word t) ~free:Txdesc.buffer_free
   in
   Package.make ~name ~heap ~stats:t.stats ~ops
     ~runner:

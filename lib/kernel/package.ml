@@ -12,7 +12,7 @@
 open Stm_intf
 
 let ops_array ~heap ~(descs : 'd array) ~(read : 'd -> int -> int)
-    ~(write : 'd -> int -> int -> unit) =
+    ~(write : 'd -> int -> int -> unit) ~(free : 'd -> int -> int -> unit) =
   Array.init Stats.max_threads (fun tid ->
       let d = descs.(tid) in
       {
@@ -40,6 +40,7 @@ let ops_array ~heap ~(descs : 'd array) ~(read : 'd -> int -> int)
             end
             else write d addr v);
         alloc = (fun n -> Memory.Heap.alloc heap n);
+        free = (fun addr n -> free d addr n);
       })
 
 (* [Engine.t]'s atomic fields are polymorphic, so the runner must come

@@ -216,19 +216,19 @@ let commit t (d : Txdesc.t) =
   check_kill t d;
   if Txdesc.is_read_only d then begin
     retract_visible t d;
-    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser ~heap:t.heap d
   end
   else begin
     (* Waiters hold reader slots and owner words, so the commit gate
        polls the kill flag (the irrevocable transaction aborts them out). *)
-    Hooks.enter_update_commit ~ser:t.ser
+    Hooks.enter_update_commit ~stats:t.stats ~cm:t.cm ~ser:t.ser
       ~gate_check:(fun () -> check_kill t d)
       d;
     Hooks.inject_stretch d;
     Vlock.write_back ~heap:t.heap d;
     release_owners t d;
     retract_visible t d;
-    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser ~heap:t.heap d
   end
 
 let start t (d : Txdesc.t) ~restart =
@@ -252,6 +252,7 @@ let driver_ops t : Txdesc.t Driver.ops =
     start = (fun d ~restart -> start t d ~restart);
     commit = (fun d -> commit t d);
     emergency = (fun d -> emergency_release t d);
+    user_abort = (fun d -> rollback t d Tx_signal.Killed);
   }
 
 let check_tid tid =
@@ -262,7 +263,7 @@ let engine ?config heap : Engine.t =
   let dops = driver_ops t in
   let ops =
     Package.ops_array ~heap ~descs:t.descs ~read:(read_word t)
-      ~write:(write_word t)
+      ~write:(write_word t) ~free:Txdesc.buffer_free
   in
   Package.make ~name ~heap ~stats:t.stats ~ops
     ~runner:

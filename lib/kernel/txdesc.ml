@@ -43,6 +43,9 @@ type t = {
   vreads : Stm_intf.Rset.t;
   mutable snapshot : bool;
   mutable allow_snapshot : bool;
+  frees : Stm_intf.Ivec.t;
+      (** buffered transactional frees, interleaved (addr, words) pairs;
+          executed through [Memory.Heap.free] at commit, dropped on abort *)
   mutable pool_gen : int;
       (** pool generation stamp: even = checked out, odd = in the free
           list; bumped on every transfer, so a double release is
@@ -67,10 +70,32 @@ let create ~tid ~seed =
     savepoint = None;
     snapshot = false;
     allow_snapshot = true;
+    frees = Stm_intf.Ivec.create ();
     depth = 0;
     start_cycles = 0;
     pool_gen = 0;
   }
+
+(* Transactional free: buffer now, execute at commit, drop on abort. *)
+let buffer_free d addr words =
+  Stm_intf.Ivec.push d.frees addr;
+  Stm_intf.Ivec.push d.frees words
+
+(* Execute the buffered frees of a committing transaction.  Cycle-free
+   (plain heap bookkeeping), so engines that never free keep bit-identical
+   schedules: the empty case is one length check. *)
+let flush_frees ~heap d =
+  let n = Stm_intf.Ivec.length d.frees in
+  if n > 0 then begin
+    let i = ref 0 in
+    while !i < n do
+      Memory.Heap.free heap
+        (Stm_intf.Ivec.unsafe_get d.frees !i)
+        (Stm_intf.Ivec.unsafe_get d.frees (!i + 1));
+      i := !i + 2
+    done;
+    Stm_intf.Ivec.clear d.frees
+  end
 
 let clear_sp_undo d =
   Stm_intf.Ivec.clear d.sp_undo_addrs;
@@ -89,6 +114,7 @@ let clear_logs d =
   Stm_intf.Wlog.clear d.wset;
   Stm_intf.Rset.clear d.wstripes;
   Stm_intf.Rset.clear d.vreads;
+  Stm_intf.Ivec.clear d.frees;
   d.snapshot <- false
 
 let is_read_only d = Stm_intf.Ivec.length d.acq_stripes = 0

@@ -115,6 +115,7 @@ let run ?(params = default) ~spec ~threads () =
       Stm_intf.Engine.read = (fun a -> Memory.Heap.read t.heap a);
       write = (fun a v -> Memory.Heap.write t.heap a v);
       alloc = (fun n -> Memory.Heap.alloc t.heap n);
+      free = (fun a n -> Memory.Heap.free t.heap a n);
     }
   in
   let ok = ref true in

@@ -76,6 +76,7 @@ let setup ?(params = default) () =
       Stm_intf.Engine.read = (fun a -> Memory.Heap.read heap a);
       write = (fun a v -> Memory.Heap.write heap a v);
       alloc = (fun n -> Memory.Heap.alloc heap n);
+      free = (fun a n -> Memory.Heap.free heap a n);
     }
   in
   Array.iter

@@ -81,6 +81,10 @@ let engine heap : Engine.t =
             Memory.Heap.unsafe_write t.heap addr v
           end);
       alloc = (fun n -> Memory.Heap.alloc heap n);
+      (* Direct execution under the global lock: like its writes, glock's
+         frees take effect immediately (its only abort is injected before
+         the body runs, so there is never anything to roll back). *)
+      free = (fun addr n -> Memory.Heap.free heap addr n);
     }
   in
   let rec run ~tid f =
@@ -116,24 +120,35 @@ let engine heap : Engine.t =
         if !Runtime.Exec.prof_on then
           Runtime.Exec.set_phase tid Runtime.Exec.ph_other;
         depth.(tid) <- 1;
-        Fun.protect
-          ~finally:(fun () ->
-            depth.(tid) <- 0;
-            if !Runtime.Exec.prof_on then
-              Runtime.Exec.set_phase tid Runtime.Exec.ph_commit;
-            (* Stretch lands inside the critical section, where it delays
-               every waiter on the global lock. *)
-            if !Runtime.Inject.on then Runtime.Inject.stretch ~tid;
-            release t;
-            Runtime.Exec.tick (costs ()).tx_end;
-            if !Runtime.Exec.prof_on then
-              Runtime.Exec.set_phase tid Runtime.Exec.ph_other)
-          (fun () ->
-            let v = f (ops tid) in
-            if !Trace.enabled then Trace.on_commit ~tid;
-            Stats.commit t.stats ~tid;
-            if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid;
-            v)
+        match
+          Fun.protect
+            ~finally:(fun () ->
+              depth.(tid) <- 0;
+              if !Runtime.Exec.prof_on then
+                Runtime.Exec.set_phase tid Runtime.Exec.ph_commit;
+              (* Stretch lands inside the critical section, where it delays
+                 every waiter on the global lock. *)
+              if !Runtime.Inject.on then Runtime.Inject.stretch ~tid;
+              release t;
+              Runtime.Exec.tick (costs ()).tx_end;
+              if !Runtime.Exec.prof_on then
+                Runtime.Exec.set_phase tid Runtime.Exec.ph_other)
+            (fun () ->
+              let v = f (ops tid) in
+              if !Trace.enabled then Trace.on_commit ~tid;
+              Stats.commit t.stats ~tid;
+              if !Obs.Metrics.on then Obs.Metrics.on_tx_commit ~tid;
+              v)
+        with
+        | v -> v
+        | exception Tx_signal.Retry ->
+            (* Body-raised abort request; the protector already released
+               the lock, so record the abort and re-run from scratch. *)
+            if !Trace.enabled then Trace.on_abort ~tid ~reason:Tx_signal.Killed;
+            Stats.abort t.stats ~tid Tx_signal.Killed;
+            if !Obs.Metrics.on then
+              Obs.Metrics.on_tx_abort ~tid ~reason:Tx_signal.Killed;
+            run ~tid f
       end
     end
   in

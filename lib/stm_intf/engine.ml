@@ -13,6 +13,14 @@ type tx_ops = {
   read : int -> int;  (** transactional read of a heap word *)
   write : int -> int -> unit;  (** transactional write of a heap word *)
   alloc : int -> int;  (** allocate n fresh words (leaked if the tx aborts) *)
+  free : int -> int -> unit;
+      (** [free addr n] frees n words transactionally: the request is
+          buffered in the descriptor, executed through [Memory.Heap.free]
+          only when the transaction commits (landing in epoch limbo when
+          the reclaimer is armed) and discarded on abort.  With the
+          reclaimer disarmed the block recycles immediately at commit, so
+          concurrent readers need the same quiescence argument as any
+          direct [Heap.free]. *)
 }
 
 type t = {
@@ -45,3 +53,15 @@ let reset_stats t = t.reset_stats ()
 let read (ops : tx_ops) addr = ops.read addr
 let write (ops : tx_ops) addr v = ops.write addr v
 let alloc (ops : tx_ops) n = ops.alloc n
+let free (ops : tx_ops) addr n = ops.free addr n
+
+(** Direct (non-transactional) ops over a heap, for quiescent phases:
+    setup, verification, and single-threaded replay.  [free] executes
+    immediately — the caller asserts quiescence. *)
+let direct_ops heap =
+  {
+    read = Memory.Heap.read heap;
+    write = Memory.Heap.write heap;
+    alloc = Memory.Heap.alloc heap;
+    free = Memory.Heap.free heap;
+  }

@@ -12,6 +12,10 @@ type tx_ops = {
   read : int -> int;  (** transactional read of a heap word *)
   write : int -> int -> unit;  (** transactional write of a heap word *)
   alloc : int -> int;  (** allocate n fresh words (leaked on abort) *)
+  free : int -> int -> unit;
+      (** [free addr n]: buffered in the descriptor, executed through
+          [Memory.Heap.free] at commit (epoch limbo when the reclaimer is
+          armed), discarded on abort. *)
 }
 
 type t = {
@@ -45,3 +49,8 @@ val reset_stats : t -> unit
 val read : tx_ops -> int -> int
 val write : tx_ops -> int -> int -> unit
 val alloc : tx_ops -> int -> int
+val free : tx_ops -> int -> int -> unit
+
+val direct_ops : Memory.Heap.t -> tx_ops
+(** Non-transactional ops for quiescent phases (setup, verification);
+    [free] executes immediately. *)

@@ -23,3 +23,35 @@ let reason_label = function
 exception Inner_abort
 (** Unwinds only the innermost closed-nested scope (SwissTM extension);
     caught by [atomic_closed]'s retry loop. *)
+
+exception Retry
+(** User-level abort-and-retry request: raised *inside* a transaction body
+    (the boosted-collections layer raises it when a semantic conflict
+    cannot be resolved by waiting).  Unlike {!Abort} it may be raised by
+    code outside the engine, so the retry drivers route it through the
+    engine's own rollback (releasing locks, notifying the CM, charging
+    stats) before re-attempting — which also feeds the escalation budget,
+    so a transaction that keeps losing semantic conflicts eventually runs
+    irrevocably. *)
+
+let retry () = raise Retry
+
+(* --- layered abort cleanup (DESIGN.md §15) ----------------------------- *)
+
+(* A layer above the engines (transactional boosting) may hold state that
+   must unwind with the transaction: abstract locks and a semantic undo
+   log.  Engines cannot know about it, so every rollback path calls
+   [cleanup] just after clearing the word-level logs and *before* the
+   CM back-off, ensuring abstract locks release before the thread sleeps
+   or parks.  Off by default: the disarmed cost is one flag load. *)
+
+let cleanup_on = ref false
+let cleanup_hook : (int -> unit) ref = ref (fun _ -> ())
+let[@inline] cleanup ~tid = if !cleanup_on then !cleanup_hook tid
+
+(* Per-tid "holds boosted state" flags (sized like [Stats.max_threads];
+   hardcoded to avoid a module cycle with [Stats]).  Lazy engines' commit
+   gates consult this: their parked waiters hold no word locks, but a
+   boosted waiter still holds abstract locks, so it must honor kill
+   requests while parked. *)
+let boost_busy = Array.make 64 false

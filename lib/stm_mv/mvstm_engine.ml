@@ -256,11 +256,11 @@ let push_version_record t (d : Txdesc.t) idx ~new_version =
 let commit t (d : Txdesc.t) =
   Hooks.commit_entry d;
   if Wlog.is_empty d.wset then
-    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser ~heap:t.heap d
   else begin
     (* Commit gate: freeze the clock while an irrevocable transaction
        runs; the waiter holds no locks yet (lazy acquisition). *)
-    Hooks.enter_update_commit ~ser:t.ser ~gate_check:Driver.nop_gate_check d;
+    Hooks.enter_update_commit ~stats:t.stats ~cm:t.cm ~ser:t.ser ~gate_check:Driver.nop_gate_check d;
     Hooks.inject_stretch d;
     let conflict = Vlock.acquire_wstripes ~locks:t.locks d in
     if conflict >= 0 then begin
@@ -279,7 +279,7 @@ let commit t (d : Txdesc.t) =
       d.wstripes;
     Vlock.write_back ~heap:t.heap d;
     Vlock.publish_wstripes ~locks:t.locks d.wstripes ~version:wv;
-    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser ~heap:t.heap d
   end
 
 let start t (d : Txdesc.t) ~restart =
@@ -303,6 +303,7 @@ let driver_ops t : Txdesc.t Driver.ops =
     start = (fun d ~restart -> start t d ~restart);
     commit = (fun d -> commit t d);
     emergency = (fun d -> Hooks.emergency ~cm:t.cm ~ser:t.ser d);
+    user_abort = (fun d -> rollback t d Tx_signal.Killed);
   }
 
 let atomic t ~tid f = Driver.run (driver_ops t) ~tid ~irrevocable:false f
@@ -316,7 +317,7 @@ let engine ?config heap : Engine.t =
   let dops = driver_ops t in
   let ops =
     Package.ops_array ~heap ~descs:t.descs ~read:(read_word t)
-      ~write:(write_word t)
+      ~write:(write_word t) ~free:Txdesc.buffer_free
   in
   Package.make ~name ~heap ~stats:t.stats ~ops
     ~runner:

@@ -356,14 +356,14 @@ let commit t (d : Txdesc.t) =
     (* Read-only commit: every read was validated by the counter heuristic;
        retract visible-reader bits and finish. *)
     retract_visible t d;
-    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser ~heap:t.heap d
   end
   else begin
     (* Commit gate: while an irrevocable transaction runs, updates must not
        advance the commit counter.  The waiter may hold eagerly-acquired
        objects, so it polls its kill flag — the irrevocable transaction can
        abort it out of the wait. *)
-    Hooks.enter_update_commit ~ser:t.ser
+    Hooks.enter_update_commit ~stats:t.stats ~cm:t.cm ~ser:t.ser
       ~gate_check:(fun () -> check_kill t d)
       d;
     Hooks.inject_stretch d;
@@ -402,7 +402,7 @@ let commit t (d : Txdesc.t) =
         Runtime.Tmatomic.set t.owners.(idx) 0)
       d.acq_stripes;
     retract_visible t d;
-    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser ~heap:t.heap d
   end
 
 let start t (d : Txdesc.t) ~restart =
@@ -430,6 +430,7 @@ let driver_ops t : Txdesc.t Driver.ops =
     start = (fun d ~restart -> start t d ~restart);
     commit = (fun d -> commit t d);
     emergency = (fun d -> emergency_release t d);
+    user_abort = (fun d -> rollback t d Tx_signal.Killed);
   }
 
 let check_tid tid =
@@ -448,7 +449,7 @@ let engine ?config heap : Engine.t =
   let dops = driver_ops t in
   let ops =
     Package.ops_array ~heap ~descs:t.descs ~read:(read_word t)
-      ~write:(write_word t)
+      ~write:(write_word t) ~free:Txdesc.buffer_free
   in
   Package.make ~name:(name_of_config t.config) ~heap ~stats:t.stats ~ops
     ~runner:

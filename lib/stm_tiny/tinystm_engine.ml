@@ -154,7 +154,7 @@ let write_word t (d : Txdesc.t) addr value =
 let commit t (d : Txdesc.t) =
   Hooks.commit_entry d;
   if Txdesc.is_read_only d then
-    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser ~heap:t.heap d
   else begin
     (* No commit gate here: the waiter would hold encounter-time locks the
        irrevocable transaction may need, a deadlock TinySTM cannot break
@@ -162,14 +162,14 @@ let commit t (d : Txdesc.t) =
        in-flight competitors can still commit, but each parks at the start
        gate after its current transaction, so the escalated attempt soon
        runs alone. *)
-    Hooks.enter_update_commit ~ser:t.ser d;
+    Hooks.enter_update_commit ~stats:t.stats ~cm:t.cm ~ser:t.ser d;
     Hooks.inject_stretch d;
     let ts = Runtime.Tmatomic.incr_get t.clock in
     if ts > d.valid_ts + 1 && not (Vlock.validate_exact ~locks:t.locks d) then
       rollback t d Tx_signal.Rw_validation;
     Vlock.write_back ~heap:t.heap d;
     Vlock.publish ~locks:t.locks d.acq_stripes ~version:ts;
-    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser ~heap:t.heap d
   end
 
 let start t (d : Txdesc.t) ~restart =
@@ -197,6 +197,7 @@ let driver_ops t : Txdesc.t Driver.ops =
     start = (fun d ~restart -> start t d ~restart);
     commit = (fun d -> commit t d);
     emergency = (fun d -> emergency_release t d);
+    user_abort = (fun d -> rollback t d Tx_signal.Killed);
   }
 
 let atomic t ~tid f = Driver.run (driver_ops t) ~tid ~irrevocable:false f
@@ -207,7 +208,7 @@ let engine ?config heap : Engine.t =
   let dops = driver_ops t in
   let ops =
     Package.ops_array ~heap ~descs:t.descs ~read:(read_word t)
-      ~write:(write_word t)
+      ~write:(write_word t) ~free:Txdesc.buffer_free
   in
   Package.make ~name ~heap ~stats:t.stats ~ops
     ~runner:

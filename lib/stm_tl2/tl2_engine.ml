@@ -119,12 +119,12 @@ let commit t (d : Txdesc.t) =
   Hooks.commit_entry d;
   if Wlog.is_empty d.wset then
     (* Read-only: every read was validated against the snapshot. *)
-    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser ~heap:t.heap d
   else begin
     (* Commit gate: an irrevocable transaction must see a frozen clock.
        The waiter holds no locks yet (lazy acquisition), so a plain spin
        is deadlock-free and needs no kill polling. *)
-    Hooks.enter_update_commit ~ser:t.ser ~gate_check:Driver.nop_gate_check d;
+    Hooks.enter_update_commit ~stats:t.stats ~cm:t.cm ~ser:t.ser ~gate_check:Driver.nop_gate_check d;
     Hooks.inject_stretch d;
     (* Acquire every write lock; any conflict aborts (timid). *)
     let conflict = Vlock.acquire_wstripes ~locks:t.locks d in
@@ -141,7 +141,7 @@ let commit t (d : Txdesc.t) =
     end;
     Vlock.write_back ~heap:t.heap d;
     Vlock.publish_wstripes ~locks:t.locks d.wstripes ~version:wv;
-    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser d
+    Hooks.commit_done ~stats:t.stats ~cm:t.cm ~ser:t.ser ~heap:t.heap d
   end
 
 let start t (d : Txdesc.t) ~restart =
@@ -166,6 +166,7 @@ let driver_ops t : Txdesc.t Driver.ops =
     start = (fun d ~restart -> start t d ~restart);
     commit = (fun d -> commit t d);
     emergency = (fun d -> Hooks.emergency ~cm:t.cm ~ser:t.ser d);
+    user_abort = (fun d -> rollback t d Tx_signal.Killed);
   }
 
 let atomic t ~tid f = Driver.run (driver_ops t) ~tid ~irrevocable:false f
@@ -176,7 +177,7 @@ let engine ?config heap : Engine.t =
   let dops = driver_ops t in
   let ops =
     Package.ops_array ~heap ~descs:t.descs ~read:(read_word t)
-      ~write:(write_word t)
+      ~write:(write_word t) ~free:Txdesc.buffer_free
   in
   Package.make ~name ~heap ~stats:t.stats ~ops
     ~runner:

@@ -1,0 +1,327 @@
+(* Transactional boosting core (DESIGN.md §15; Herlihy & Koskinen,
+   PPoPP'08; Proust).
+
+   A boosted structure detects conflicts *semantically*: each operation
+   acquires an abstract lock covering the operations it does not commute
+   with (per-key locks for map lookups/updates, endpoint locks for queue
+   push/pop, a min-lock for priority-queue pop_min), applies its effect
+   eagerly with direct heap access, and logs the *inverse operation* in a
+   LIFO undo log.  Abstract locks are two-phase — held until the enclosing
+   transaction commits or aborts — so non-commuting operations of live
+   transactions serialize, while commuting ones (different keys, opposite
+   queue ends) run in parallel that word-level conflict detection would
+   serialize on the physical representation.
+
+   Layering contract with the engines (all plumbed in this PR):
+
+   - every boosted operation runs inside an engine transaction started by
+     {!atomic}, which must be the *outermost* atomic block of the thread;
+   - abort paths: engine rollbacks call {!Tx_signal.cleanup}, which replays
+     the undo log and releases the abstract locks *before* the CM back-off,
+     so no abstract lock is ever held across a sleep or park;
+   - semantic conflicts that cannot be resolved by waiting raise
+     {!Tx_signal.Retry}; the retry drivers route it through the engine's
+     own rollback, so semantic aborts feed the same CM back-off and
+     escalation budget as word-level ones (a transaction that keeps losing
+     abstract-lock fights eventually runs irrevocably and wins);
+   - arbitration goes through the contention machinery: a spinning
+     acquirer aims {!Cm.Cm_intf.request_kill} at the owner's in-flight
+     transaction (published in {!Cm.Cm_intf.current}), and every boosted
+     operation — and the acquire spin itself — polls its own kill flag;
+   - lazy engines' commit gates poll kills for threads flagged in
+     {!Tx_signal.boost_busy}, because a boosted waiter parked there still
+     holds abstract locks even though it holds no word locks.
+
+   Direct heap accesses are charged [Costs.mem] per word through
+   {!hread}/{!hwrite} so boosted-vs-plain benchmark comparisons stay fair:
+   boosting saves validation and logging, not memory traffic. *)
+
+open Stm_intf
+
+(* --- counters (observability) ------------------------------------------ *)
+
+let ops_count = ref 0
+let acquires = ref 0
+let acquire_spins = ref 0
+let kills_sent = ref 0
+let retries = ref 0
+let undos_replayed = ref 0
+let commit_frees = ref 0
+
+let () =
+  Obs.Metrics.register_gauge "boost_ops" (fun () -> !ops_count);
+  Obs.Metrics.register_gauge "boost_acquires" (fun () -> !acquires);
+  Obs.Metrics.register_gauge "boost_acquire_spins" (fun () -> !acquire_spins);
+  Obs.Metrics.register_gauge "boost_kills" (fun () -> !kills_sent);
+  Obs.Metrics.register_gauge "boost_retries" (fun () -> !retries);
+  Obs.Metrics.register_gauge "boost_undos" (fun () -> !undos_replayed);
+  Obs.Metrics.register_gauge "boost_commit_frees" (fun () -> !commit_frees)
+
+(* --- abstract-lock tables ---------------------------------------------- *)
+
+(* One atomic cell per slot; 0 = free, [tid + 1] = owner.  The cells are
+   [Tmatomic], so lock traffic pays modelled coherence costs like any
+   engine lock table. *)
+type table = { cells : Runtime.Tmatomic.t array; mask : int }
+
+let make_table ~slots =
+  if slots <= 0 || slots land (slots - 1) <> 0 then
+    invalid_arg "Boost.make_table: slots must be a power of two";
+  { cells = Array.init slots (fun _ -> Runtime.Tmatomic.make 0); mask = slots - 1 }
+
+(* Same multiplicative hash as [Tx_hashmap] so a map's lock table and its
+   bucket array agree on slot assignment when sized equally. *)
+let key_slot t k = (k * 0x9E3779B1) lsr 11 land t.mask
+
+(* --- per-thread frames -------------------------------------------------- *)
+
+type frame = {
+  tid : int;
+  mutable active : bool;  (** inside a {!atomic} body *)
+  mutable held : Runtime.Tmatomic.t list;  (** abstract locks we own *)
+  mutable undo : (unit -> unit) list;  (** inverse ops, LIFO *)
+  mutable commits : (unit -> unit) list;  (** deferred effects, reversed *)
+  mutable frees : (int * int) list;  (** (addr, words) freed at commit *)
+}
+
+let frames =
+  Array.init Stats.max_threads (fun tid ->
+      { tid; active = false; held = []; undo = []; commits = []; frees = [] })
+
+(* Abort-path unwind, installed as [Tx_signal.cleanup_hook]: replay the
+   inverse operations newest-first, then release the abstract locks.  The
+   frame stays [active] — the engine is about to re-run the body.
+   Idempotent: an empty frame is a no-op, so the hook is safe on every
+   rollback of every engine once armed. *)
+let unwind tid =
+  let fr = frames.(tid) in
+  List.iter
+    (fun inv ->
+      incr undos_replayed;
+      inv ())
+    fr.undo;
+  fr.undo <- [];
+  fr.commits <- [];
+  fr.frees <- [];
+  List.iter (fun cell -> Runtime.Tmatomic.set cell 0) fr.held;
+  fr.held <- []
+
+let armed = ref false
+
+let arm () =
+  if not !armed then begin
+    armed := true;
+    Tx_signal.cleanup_hook := unwind;
+    Tx_signal.cleanup_on := true
+  end
+
+(* --- transaction handle ------------------------------------------------- *)
+
+(* What a boosted operation needs: identity, the heap for direct access,
+   and the engine's word ops so boosted structures compose with plain
+   word-transactional reads/writes in the same transaction. *)
+type tx = { tid : int; heap : Memory.Heap.t; ops : Engine.tx_ops }
+
+(* Direct heap access, charged like an engine's in-place access. *)
+let[@inline] hread tx addr =
+  Runtime.Exec.tick (Runtime.Costs.get ()).Runtime.Costs.mem;
+  Memory.Heap.read tx.heap addr
+
+let[@inline] hwrite tx addr v =
+  Runtime.Exec.tick (Runtime.Costs.get ()).Runtime.Costs.mem;
+  Memory.Heap.write tx.heap addr v
+
+let halloc tx n = Memory.Heap.alloc tx.heap n
+
+(* --- semantic logs ------------------------------------------------------ *)
+
+let log_undo tx inv =
+  let fr = frames.(tx.tid) in
+  fr.undo <- inv :: fr.undo
+
+let on_commit tx eff =
+  let fr = frames.(tx.tid) in
+  fr.commits <- eff :: fr.commits
+
+let defer_free tx addr words =
+  let fr = frames.(tx.tid) in
+  fr.frees <- (addr, words) :: fr.frees
+
+(* --- conflict arbitration ----------------------------------------------- *)
+
+(* Poll our own kill flag (local line, cost-free) and the fault injector.
+   The irrevocability-token holder is exempt from both: it must win. *)
+let[@inline] self_abort_due ~tid =
+  !Runtime.Inject.exempt <> tid
+  && (Cm.Cm_intf.kill_requested Cm.Cm_intf.current.(tid)
+     || (!Runtime.Inject.on && Runtime.Inject.spurious_abort ~tid))
+
+(* Entry check of every boosted operation: honor a pending kill (or an
+   injected fault) by retrying through the engine rollback, which replays
+   our undo log and releases our abstract locks. *)
+let op_entry tx =
+  incr ops_count;
+  if self_abort_due ~tid:tx.tid then begin
+    incr retries;
+    Tx_signal.retry ()
+  end
+
+(* Spin budget before aiming a kill at the owner; total budget before
+   giving up and retrying ourselves.  Escalation guarantees progress:
+   a transaction that keeps retrying eventually runs irrevocably, where
+   it is exempt from kills and wins every arbitration. *)
+let kill_after = 32
+let retry_after = 256
+
+(* Kill on power-of-two spin counts only (32, 64, 128): a victim that was
+   already killed needs time to roll back, sit out its CM backoff and
+   re-execute; re-killing it every spin iteration re-arms its kill flag
+   just as it recovers and melts an isolated conflict into a kill storm
+   (observed as a 45-kill episode on the pqueue bench before spacing). *)
+let kill_due spins = spins >= kill_after && spins land (spins - 1) = 0
+
+let acquire tx (t : table) slot =
+  let tid = tx.tid in
+  let cell = t.cells.(slot land t.mask) in
+  let me = tid + 1 in
+  let fr = frames.(tid) in
+  let rec go spins =
+    let v = Runtime.Tmatomic.get cell in
+    if v = me then ()  (* reentrant: already ours, held to commit *)
+    else if v = 0 && Runtime.Tmatomic.cas cell ~expect:0 ~replace:me then begin
+      incr acquires;
+      fr.held <- cell :: fr.held
+    end
+    else begin
+      (* Owned by another transaction: wait, then fight through the CM. *)
+      incr acquire_spins;
+      if self_abort_due ~tid then begin
+        incr retries;
+        Tx_signal.retry ()
+      end;
+      if spins >= retry_after then begin
+        incr retries;
+        Tx_signal.retry ()
+      end;
+      (if kill_due spins && v > 0 then
+         let owner = v - 1 in
+         if !Runtime.Inject.exempt <> owner then begin
+           incr kills_sent;
+           Cm.Cm_intf.request_kill Cm.Cm_intf.current.(owner)
+         end);
+      Runtime.Exec.pause ();
+      go (spins + 1)
+    end
+  in
+  go 0
+
+let acquire_key tx t k = acquire tx t (key_slot t k)
+
+(* One step of a bounded wait on a foreign *in-flight* operation that is
+   not an abstract lock (e.g. an uncommitted node tag): poll our own kill
+   flag, aim a kill at [owner] after [kill_after] steps, give up and
+   retry ourselves after [retry_after].  Returns the new step count. *)
+let wait_step tx ~owner spins =
+  incr acquire_spins;
+  if self_abort_due ~tid:tx.tid || spins >= retry_after then begin
+    incr retries;
+    Tx_signal.retry ()
+  end;
+  (if kill_due spins && owner >= 0 && !Runtime.Inject.exempt <> owner then begin
+     incr kills_sent;
+     Cm.Cm_intf.request_kill Cm.Cm_intf.current.(owner)
+   end);
+  Runtime.Exec.pause ();
+  spins + 1
+
+(* Does this thread's transaction currently own the slot's lock? *)
+let holds tx (t : table) slot =
+  Runtime.Tmatomic.unsafe_get t.cells.(slot land t.mask) = tx.tid + 1
+
+(* Current owner tid of a slot, or -1 when free (uncharged peek). *)
+let owner_of (t : table) slot =
+  Runtime.Tmatomic.unsafe_get t.cells.(slot land t.mask) - 1
+
+(* --- brief structural locks --------------------------------------------- *)
+
+(* A short spinlock protecting a structure's physical shape during one
+   operation — NOT two-phase, released before the operation returns, and
+   never held across an abort point (no [retry], no [op_entry], no engine
+   call inside the critical section).
+
+   The spin backs off exponentially between probes.  The lock line is the
+   hottest word of a boosted structure, and the coherence model charges
+   queuing penalties to lines whose misses arrive back-to-back
+   (tmatomic.ml): a tight TTAS loop turns every handoff into a string of
+   amplified misses — for holder and waiter both, since the holder's
+   release also misses once a waiter has probed — and convoys the whole
+   structure.  Spacing the probes keeps the line cool; the cap stays well
+   under the coherence queue window so a free lock is still picked up
+   promptly. *)
+let lock_brief (cell : Runtime.Tmatomic.t) ~tid =
+  let me = tid + 1 in
+  let rec go backoff =
+    if Runtime.Tmatomic.get cell = 0
+       && Runtime.Tmatomic.cas cell ~expect:0 ~replace:me
+    then ()
+    else begin
+      for _ = 1 to backoff do
+        Runtime.Exec.pause ()
+      done;
+      go (min (backoff * 2) 32)
+    end
+  in
+  go 1
+
+let unlock_brief (cell : Runtime.Tmatomic.t) = Runtime.Tmatomic.set cell 0
+
+(* --- commit flush ------------------------------------------------------- *)
+
+(* Runs after the engine transaction committed: the semantic effects are
+   now certain.  Deferred effects run in registration order, freed blocks
+   go to the heap (epoch limbo when the reclaimer is armed) while the
+   abstract locks are still held, then the locks release. *)
+let commit_flush heap fr =
+  List.iter (fun eff -> eff ()) (List.rev fr.commits);
+  fr.commits <- [];
+  List.iter
+    (fun (addr, words) ->
+      incr commit_frees;
+      Memory.Heap.free heap addr words)
+    fr.frees;
+  fr.frees <- [];
+  fr.undo <- [];
+  List.iter (fun cell -> Runtime.Tmatomic.set cell 0) fr.held;
+  fr.held <- []
+
+(* --- the boosted atomic block ------------------------------------------- *)
+
+(* Must be the thread's *outermost* atomic block: the abstract locks and
+   the undo log unwind with the whole engine transaction, so a boosted
+   block nested inside a plain [Engine.atomic] would release semantic
+   state that an enclosing abort still depends on.  Nested [atomic] calls
+   through *this* function flat-nest like the engines do. *)
+let atomic eng ~tid f =
+  arm ();
+  let fr = frames.(tid) in
+  if fr.active then Engine.atomic eng ~tid (fun ops -> f { tid; heap = Engine.heap eng; ops })
+  else begin
+    fr.active <- true;
+    Tx_signal.boost_busy.(tid) <- true;
+    match
+      Engine.atomic eng ~tid (fun ops -> f { tid; heap = Engine.heap eng; ops })
+    with
+    | v ->
+        commit_flush (Engine.heap eng) fr;
+        fr.active <- false;
+        Tx_signal.boost_busy.(tid) <- false;
+        v
+    | exception e ->
+        (* Foreign exception: the engine ran its emergency release (which
+           does not call the cleanup hook); unwind the semantic layer here
+           so a user bug cannot leave abstract locks held. *)
+        unwind tid;
+        fr.active <- false;
+        Tx_signal.boost_busy.(tid) <- false;
+        raise e
+  end

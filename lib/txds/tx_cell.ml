@@ -46,7 +46,11 @@ module Array = struct
     check t i;
     write tx (t.base + i) v
 
-  let update tx t i f = set tx t i (f (get tx t i))
+  (* One bounds check, one address computation (get+set did both twice). *)
+  let update tx t i f =
+    check t i;
+    let a = t.base + i in
+    write tx a (f (read tx a))
 
   (** Transactional fold over the whole array (one consistent snapshot). *)
   let fold tx t f init =

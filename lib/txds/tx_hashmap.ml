@@ -69,6 +69,7 @@ let remove t tx k =
     else if read tx (node + f_key) = k then begin
       let next = read tx (node + f_next) in
       (if prev = 0 then write tx b next else write tx (prev + f_next) next);
+      free tx node node_words;
       true
     end
     else go node (read tx (node + f_next))

@@ -10,6 +10,13 @@ val node_words : int
 val create : Memory.Heap.t -> buckets:int -> t
 (** Non-transactional allocation (setup time). *)
 
+val slot : t -> int -> int
+(** Bucket index of a key; exposed so {!Tx_map}'s abstract-lock table
+    (sized like the bucket array) agrees on slot assignment. *)
+
+val bucket_addr : t -> int -> int
+(** Heap address of a key's bucket head word. *)
+
 val find : t -> Stm_intf.Engine.tx_ops -> int -> int option
 val mem : t -> Stm_intf.Engine.tx_ops -> int -> bool
 

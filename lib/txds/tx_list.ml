@@ -21,18 +21,25 @@ let create heap =
 (** [insert tx t k v] adds [k] keeping the list sorted; returns [false] if
     [k] was already present (value untouched). *)
 let insert tx t k v =
+  let link prev node =
+    let fresh = alloc tx node_words in
+    write tx (fresh + f_key) k;
+    write tx (fresh + f_val) v;
+    write tx (fresh + f_next) node;
+    (if prev = 0 then write tx t.head fresh
+     else write tx (prev + f_next) fresh);
+    true
+  in
+  (* One key read per node: the old shape re-read [node + f_key] on the
+     equality arm, doubling the read-set footprint (and false-conflict
+     surface) of every traversal step. *)
   let rec go prev node =
-    if node = 0 || read tx (node + f_key) > k then begin
-      let fresh = alloc tx node_words in
-      write tx (fresh + f_key) k;
-      write tx (fresh + f_val) v;
-      write tx (fresh + f_next) node;
-      (if prev = 0 then write tx t.head fresh
-       else write tx (prev + f_next) fresh);
-      true
-    end
-    else if read tx (node + f_key) = k then false
-    else go node (read tx (node + f_next))
+    if node = 0 then link prev node
+    else
+      let nk = read tx (node + f_key) in
+      if nk > k then link prev node
+      else if nk = k then false
+      else go node (read tx (node + f_next))
   in
   go 0 (read tx t.head)
 
@@ -58,6 +65,9 @@ let remove tx t k =
         let next = read tx (node + f_next) in
         (if prev = 0 then write tx t.head next
          else write tx (prev + f_next) next);
+        (* Unlinked nodes go back to the heap if the commit sticks:
+           buffered transactional free (epoch limbo when armed). *)
+        free tx node node_words;
         true
       end
       else if nk > k then false
@@ -71,7 +81,9 @@ let pop_min tx t =
   if node = 0 then None
   else begin
     write tx t.head (read tx (node + f_next));
-    Some (read tx (node + f_key), read tx (node + f_val))
+    let kv = (read tx (node + f_key), read tx (node + f_val)) in
+    free tx node node_words;
+    Some kv
   end
 
 let length tx t =

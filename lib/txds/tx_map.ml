@@ -1,0 +1,120 @@
+(* Boosted transactional hash map (DESIGN.md §15).
+
+   Same physical layout as {!Tx_hashmap} — a power-of-two bucket array of
+   singly linked [key; value; next] nodes — but conflict detection is
+   semantic: every operation acquires the abstract lock of its key's
+   bucket (held to commit), applies its effect with direct heap access,
+   and logs the inverse operation.  Operations on different buckets
+   commute and run fully in parallel; word-level STM would instead abort
+   on bucket-array false sharing and version-clock conflicts.
+
+   Because the bucket lock covers every key that hashes to it, no other
+   transaction can observe an uncommitted node — readers of the bucket
+   block on the same lock — so nodes need no commit tags.
+
+   The [Word] submodule is the composition fallback: the same structure
+   driven through the engine's word-transactional ops, for transactions
+   that must mix map accesses with arbitrary word reads/writes under
+   engine-level conflict detection.  A given structure instance must be
+   driven through one mode per concurrent phase: boosted operations
+   bypass the engine's locks, so mixing modes on live data loses
+   isolation between the two populations. *)
+
+let f_key = 0
+let f_val = 1
+let f_next = 2
+let node_words = 3
+
+type t = { h : Tx_hashmap.t; locks : Boost.table }
+
+let create heap ~buckets =
+  { h = Tx_hashmap.create heap ~buckets; locks = Boost.make_table ~slots:buckets }
+
+let bucket_addr t k = Tx_hashmap.bucket_addr t.h k
+
+(* Acquire the abstract lock for [k]'s bucket; the table and the bucket
+   array are sized equally, so [key_slot] and [Tx_hashmap.slot] agree. *)
+let lock_key tx t k = Boost.acquire_key tx t.locks k
+
+let rec find_node tx node k =
+  if node = 0 then 0
+  else if Boost.hread tx (node + f_key) = k then node
+  else find_node tx (Boost.hread tx (node + f_next)) k
+
+let find t tx k =
+  Boost.op_entry tx;
+  lock_key tx t k;
+  let n = find_node tx (Boost.hread tx (bucket_addr t k)) k in
+  if n = 0 then None else Some (Boost.hread tx (n + f_val))
+
+let mem t tx k =
+  Boost.op_entry tx;
+  lock_key tx t k;
+  find_node tx (Boost.hread tx (bucket_addr t k)) k <> 0
+
+(** [add t tx k v] inserts or updates; returns [true] if [k] was new.
+    Inverse: restore the old value, or unlink the fresh node and free it
+    (the node was never visible to another transaction — the bucket lock
+    blocked them — so the free needs no grace period beyond the heap's
+    own epoch limbo). *)
+let add t tx k v =
+  Boost.op_entry tx;
+  lock_key tx t k;
+  let b = bucket_addr t k in
+  let head = Boost.hread tx b in
+  let n = find_node tx head k in
+  if n <> 0 then begin
+    let old = Boost.hread tx (n + f_val) in
+    if old <> v then begin
+      Boost.hwrite tx (n + f_val) v;
+      Boost.log_undo tx (fun () -> Boost.hwrite tx (n + f_val) old)
+    end;
+    false
+  end
+  else begin
+    let node = Boost.halloc tx node_words in
+    Boost.hwrite tx (node + f_key) k;
+    Boost.hwrite tx (node + f_val) v;
+    Boost.hwrite tx (node + f_next) head;
+    Boost.hwrite tx b node;
+    Boost.log_undo tx (fun () ->
+        Boost.hwrite tx b head;
+        Memory.Heap.free tx.heap node node_words);
+    true
+  end
+
+(** [remove t tx k] unlinks [k]'s node; returns [true] if present.
+    Inverse: relink the node where it was; the free is deferred to
+    commit. *)
+let remove t tx k =
+  Boost.op_entry tx;
+  lock_key tx t k;
+  let b = bucket_addr t k in
+  let rec go prev node =
+    if node = 0 then false
+    else if Boost.hread tx (node + f_key) = k then begin
+      let next = Boost.hread tx (node + f_next) in
+      let link = if prev = 0 then b else prev + f_next in
+      Boost.hwrite tx link next;
+      Boost.log_undo tx (fun () -> Boost.hwrite tx link node);
+      Boost.defer_free tx node node_words;
+      true
+    end
+    else go node (Boost.hread tx (node + f_next))
+  in
+  go 0 (Boost.hread tx b)
+
+(* --- word-transactional fallback (composition) -------------------------- *)
+
+module Word = struct
+  let find t ops k = Tx_hashmap.find t.h ops k
+  let mem t ops k = Tx_hashmap.mem t.h ops k
+  let add t ops k v = Tx_hashmap.add t.h ops k v
+  let remove t ops k = Tx_hashmap.remove t.h ops k
+  let fold t ops f init = Tx_hashmap.fold t.h ops f init
+  let cardinal t ops = Tx_hashmap.cardinal t.h ops
+end
+
+(* --- quiescent verification --------------------------------------------- *)
+
+let bindings_quiescent t heap = Tx_hashmap.bindings_quiescent t.h heap

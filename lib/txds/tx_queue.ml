@@ -21,6 +21,10 @@ let create heap ~capacity =
   Memory.Heap.write heap (base + f_cap) capacity;
   { base }
 
+(* The one place ring indices wrap; push/pop/push_quiescent all go
+   through it rather than repeating the [mod] logic. *)
+let slot_addr t ~cap i = t.base + slots + (i mod cap)
+
 let length tx t =
   read tx (t.base + f_tail) - read tx (t.base + f_head)
 
@@ -33,7 +37,7 @@ let push tx t v =
   let tail = read tx (t.base + f_tail) in
   if tail - head >= cap then false
   else begin
-    write tx (t.base + slots + (tail mod cap)) v;
+    write tx (slot_addr t ~cap tail) v;
     write tx (t.base + f_tail) (tail + 1);
     true
   end
@@ -45,10 +49,127 @@ let pop tx t =
   if tail = head then None
   else begin
     let cap = read tx (t.base + f_cap) in
-    let v = read tx (t.base + slots + (head mod cap)) in
+    let v = read tx (slot_addr t ~cap head) in
     write tx (t.base + f_head) (head + 1);
     Some v
   end
+
+(* --- boosted linked queue (DESIGN.md §15) ------------------------------- *)
+
+(* Two-lock Michael–Scott queue with a permanent dummy node, boosted:
+   [push] acquires the tail endpoint's abstract lock, [pop] the head's
+   (both held to commit), so pushers and poppers of a non-empty queue run
+   in parallel — the word-based ring above instead serializes them on the
+   head/tail counter words (the paper's Figure 11 hot spot).
+
+   Nodes are [value; next; tag]; the tag is [tid+1] until the pushing
+   transaction commits, 0 after, so a popper that reaches an uncommitted
+   node waits its pusher out (bounded, then kill, then retry) instead of
+   returning a dirty value.  A pop that observes emptiness acquires BOTH
+   endpoint locks: "the queue was empty" is invalidated by any concurrent
+   push, so the observation must serialize against pushers too.
+
+   Inverses: push is undone by restoring the tail pointer and the old
+   tail's next link (and freeing the node); pop is undone by restoring the
+   head pointer.  Pop frees the outgoing dummy at commit.
+
+   The word-based composition fallback for queues is the ring buffer
+   above — same FIFO contract under engine-level conflict detection. *)
+
+module Linked = struct
+  let f_qval = 0
+  let f_qnext = 1
+  let f_qtag = 2
+  let qnode_words = 3
+  let l_head = 0  (* abstract-lock slot: pop endpoint *)
+  let l_tail = 1  (* abstract-lock slot: push endpoint *)
+
+  type t = { base : int; locks : Boost.table }
+  (* [base] = head-pointer word, [base+1] = tail-pointer word. *)
+
+  let create heap =
+    let base = Memory.Heap.alloc heap 2 in
+    let dummy = Memory.Heap.alloc heap qnode_words in
+    Memory.Heap.write heap (dummy + f_qval) 0;
+    Memory.Heap.write heap (dummy + f_qnext) 0;
+    Memory.Heap.write heap (dummy + f_qtag) 0;
+    Memory.Heap.write heap base dummy;
+    Memory.Heap.write heap (base + 1) dummy;
+    { base; locks = Boost.make_table ~slots:2 }
+
+  let push t tx v =
+    Boost.op_entry tx;
+    Boost.acquire tx t.locks l_tail;
+    let node = Boost.halloc tx qnode_words in
+    Boost.hwrite tx (node + f_qval) v;
+    Boost.hwrite tx (node + f_qnext) 0;
+    Boost.hwrite tx (node + f_qtag) (tx.tid + 1);
+    let tl = Boost.hread tx (t.base + 1) in
+    Boost.hwrite tx (tl + f_qnext) node;
+    Boost.hwrite tx (t.base + 1) node;
+    Boost.log_undo tx (fun () ->
+        Boost.hwrite tx (t.base + 1) tl;
+        Boost.hwrite tx (tl + f_qnext) 0;
+        Memory.Heap.free tx.heap node qnode_words);
+    Boost.on_commit tx (fun () -> Memory.Heap.write tx.heap (node + f_qtag) 0)
+
+  let pop t tx =
+    Boost.op_entry tx;
+    Boost.acquire tx t.locks l_head;
+    let rec attempt spins =
+      let dummy = Boost.hread tx t.base in
+      let first = Boost.hread tx (dummy + f_qnext) in
+      if first = 0 then begin
+        (* Empty so far; the observation only holds if no push is in
+           flight, so take the tail lock too and re-check. *)
+        Boost.acquire tx t.locks l_tail;
+        if Boost.hread tx (dummy + f_qnext) = 0 then None else attempt spins
+      end
+      else
+        let tag = Boost.hread tx (first + f_qtag) in
+        if tag <> 0 && tag <> tx.tid + 1 then
+          (* Front element is a foreign uncommitted push: its fate decides
+             our answer. *)
+          attempt (Boost.wait_step tx ~owner:(tag - 1) spins)
+        else begin
+          let v = Boost.hread tx (first + f_qval) in
+          Boost.hwrite tx t.base first;  (* [first] becomes the new dummy *)
+          Boost.log_undo tx (fun () -> Boost.hwrite tx t.base dummy);
+          Boost.defer_free tx dummy qnode_words;
+          Some v
+        end
+    in
+    attempt 0
+
+  let is_empty t tx =
+    Boost.op_entry tx;
+    Boost.acquire tx t.locks l_head;
+    let rec attempt spins =
+      let dummy = Boost.hread tx t.base in
+      let first = Boost.hread tx (dummy + f_qnext) in
+      if first = 0 then begin
+        Boost.acquire tx t.locks l_tail;
+        Boost.hread tx (dummy + f_qnext) = 0 || attempt spins
+      end
+      else
+        let tag = Boost.hread tx (first + f_qtag) in
+        if tag <> 0 && tag <> tx.tid + 1 then
+          attempt (Boost.wait_step tx ~owner:(tag - 1) spins)
+        else false
+    in
+    attempt 0
+
+  let to_list_quiescent heap t =
+    let rec go node acc =
+      if node = 0 then List.rev acc
+      else
+        go
+          (Memory.Heap.read heap (node + f_qnext))
+          (Memory.Heap.read heap (node + f_qval) :: acc)
+    in
+    let dummy = Memory.Heap.read heap t.base in
+    go (Memory.Heap.read heap (dummy + f_qnext)) []
+end
 
 (* Non-transactional fill for benchmark setup. *)
 let push_quiescent heap t v =
@@ -57,7 +178,7 @@ let push_quiescent heap t v =
   let tail = Memory.Heap.read heap (t.base + f_tail) in
   if tail - head >= cap then false
   else begin
-    Memory.Heap.write heap (t.base + slots + (tail mod cap)) v;
+    Memory.Heap.write heap (slot_addr t ~cap tail) v;
     Memory.Heap.write heap (t.base + f_tail) (tail + 1);
     true
   end

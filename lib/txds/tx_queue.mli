@@ -16,3 +16,22 @@ val pop : Stm_intf.Engine.tx_ops -> t -> int option
 
 val push_quiescent : Memory.Heap.t -> t -> int -> bool
 (** Non-transactional fill for benchmark setup. *)
+
+(** Boosted two-lock linked queue: push and pop acquire the endpoint
+    abstract locks (held to commit), so producers and consumers of a
+    non-empty queue run in parallel where the ring above serializes them
+    on the counter words.  Must be driven from inside {!Boost.atomic}. *)
+module Linked : sig
+  type t
+
+  val create : Memory.Heap.t -> t
+
+  val push : t -> Boost.tx -> int -> unit
+  val pop : t -> Boost.tx -> int option
+
+  val is_empty : t -> Boost.tx -> bool
+  (** Observing emptiness acquires both endpoint locks (a concurrent push
+      invalidates the answer). *)
+
+  val to_list_quiescent : Memory.Heap.t -> t -> int list
+end

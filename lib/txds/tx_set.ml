@@ -1,0 +1,26 @@
+(* Boosted transactional int set: a unit-valued {!Tx_map}.
+
+   Same abstract-lock discipline — one lock per bucket, held to commit,
+   inverse operations logged — with the set-flavored API the STAMP
+   kernels want (membership tables, visited sets). *)
+
+type t = { m : Tx_map.t }
+
+let create heap ~buckets = { m = Tx_map.create heap ~buckets }
+let mem t tx k = Tx_map.mem t.m tx k
+
+(** [add t tx k] returns [true] iff [k] was absent. *)
+let add t tx k = Tx_map.add t.m tx k 0
+
+(** [remove t tx k] returns [true] iff [k] was present. *)
+let remove t tx k = Tx_map.remove t.m tx k
+
+module Word = struct
+  let mem t ops k = Tx_map.Word.mem t.m ops k
+  let add t ops k = Tx_map.Word.add t.m ops k 0
+  let remove t ops k = Tx_map.Word.remove t.m ops k
+  let cardinal t ops = Tx_map.Word.cardinal t.m ops
+end
+
+let elements_quiescent t heap =
+  List.sort compare (List.map fst (Tx_map.bindings_quiescent t.m heap))

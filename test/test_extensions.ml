@@ -110,6 +110,7 @@ let test_mvstm_snapshot_serves_old_values () =
                   Stm_intf.Engine.read = (fun a -> Mvstm.Mvstm_engine.read_word t d a);
                   write = (fun a v -> Mvstm.Mvstm_engine.write_word t d a v);
                   alloc = (fun n -> Memory.Heap.alloc heap n);
+                  free = (fun a n -> Kernel.Txdesc.buffer_free d a n);
                 }));
       atomic_irrevocable =
         (fun ~tid f ->
@@ -119,6 +120,7 @@ let test_mvstm_snapshot_serves_old_values () =
                   Stm_intf.Engine.read = (fun a -> Mvstm.Mvstm_engine.read_word t d a);
                   write = (fun a v -> Mvstm.Mvstm_engine.write_word t d a v);
                   alloc = (fun n -> Memory.Heap.alloc heap n);
+                  free = (fun a n -> Kernel.Txdesc.buffer_free d a n);
                 }));
       stats = (fun () -> Stm_intf.Stats.snapshot t.stats);
       reset_stats = (fun () -> Stm_intf.Stats.reset t.stats);

@@ -305,3 +305,464 @@ let suite =
           Alcotest.test_case "array concurrent" `Quick test_cell_array_concurrent;
         ] );
     ]
+
+(* --- boosted collections (DESIGN.md §15) -------------------------------- *)
+
+let boosted engine ~tid f = Txds.Boost.atomic engine ~tid f
+
+let test_boosted_map_model () =
+  (* Sequential boosted map against Hashtbl: results and final bindings. *)
+  with_engine (fun heap engine ->
+      let m = Txds.Tx_map.create heap ~buckets:32 in
+      let model : (int, int) Hashtbl.t = Hashtbl.create 32 in
+      let rng = Runtime.Rng.for_thread ~seed:42 ~tid:0 in
+      ignore
+        (Runtime.Sim.run
+           [|
+             (fun () ->
+               for _ = 1 to 400 do
+                 let k = Runtime.Rng.int rng 32 in
+                 match Runtime.Rng.int rng 3 with
+                 | 0 ->
+                     let v = Runtime.Rng.int rng 1000 in
+                     let fresh = boosted engine ~tid:0 (fun tx -> Txds.Tx_map.add m tx k v) in
+                     if fresh <> not (Hashtbl.mem model k) then failwith "add result";
+                     Hashtbl.replace model k v
+                 | 1 ->
+                     let removed =
+                       boosted engine ~tid:0 (fun tx -> Txds.Tx_map.remove m tx k)
+                     in
+                     if removed <> Hashtbl.mem model k then failwith "remove result";
+                     Hashtbl.remove model k
+                 | _ ->
+                     if
+                       boosted engine ~tid:0 (fun tx -> Txds.Tx_map.find m tx k)
+                       <> Hashtbl.find_opt model k
+                     then failwith "find result"
+               done);
+           |]);
+      let expected =
+        List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [])
+      in
+      check
+        Alcotest.(list (pair int int))
+        "final bindings" expected
+        (List.sort compare (Txds.Tx_map.bindings_quiescent m heap)))
+
+let test_boosted_map_contended () =
+  (* All threads fight over 8 keys; afterwards the map must still be a
+     function, and every value must be some thread's id. *)
+  with_engine (fun heap engine ->
+      let m = Txds.Tx_map.create heap ~buckets:16 in
+      let body tid () =
+        let rng = Runtime.Rng.for_thread ~seed:23 ~tid in
+        for _ = 1 to 250 do
+          let k = Runtime.Rng.int rng 8 in
+          if Runtime.Rng.chance rng 0.5 then
+            ignore (boosted engine ~tid (fun tx -> Txds.Tx_map.add m tx k tid) : bool)
+          else
+            ignore (boosted engine ~tid (fun tx -> Txds.Tx_map.remove m tx k) : bool)
+        done
+      in
+      ignore (Runtime.Sim.run (Array.init 4 body));
+      let bindings = Txds.Tx_map.bindings_quiescent m heap in
+      let keys = List.map fst bindings in
+      check Alcotest.int "no duplicate keys"
+        (List.length (List.sort_uniq compare keys))
+        (List.length keys);
+      List.iter
+        (fun (_, v) ->
+          Alcotest.(check bool) "value is a writer tid" true (v >= 0 && v < 4))
+        bindings)
+
+let test_boosted_set_ops () =
+  with_engine (fun heap engine ->
+      let s = Txds.Tx_set.create heap ~buckets:16 in
+      Alcotest.(check bool) "add fresh" true
+        (boosted engine ~tid:0 (fun tx -> Txds.Tx_set.add s tx 7));
+      Alcotest.(check bool) "add dup" false
+        (boosted engine ~tid:0 (fun tx -> Txds.Tx_set.add s tx 7));
+      Alcotest.(check bool) "mem" true
+        (boosted engine ~tid:0 (fun tx -> Txds.Tx_set.mem s tx 7));
+      Alcotest.(check bool) "remove" true
+        (boosted engine ~tid:0 (fun tx -> Txds.Tx_set.remove s tx 7));
+      check Alcotest.(list int) "empty" [] (Txds.Tx_set.elements_quiescent s heap))
+
+let test_boosted_queue_fifo () =
+  with_engine (fun heap engine ->
+      let q = Txds.Tx_queue.Linked.create heap in
+      boosted engine ~tid:0 (fun tx ->
+          for i = 1 to 10 do
+            Txds.Tx_queue.Linked.push q tx i
+          done);
+      for i = 1 to 10 do
+        check Alcotest.(option int) "fifo order" (Some i)
+          (boosted engine ~tid:0 (fun tx -> Txds.Tx_queue.Linked.pop q tx))
+      done;
+      check Alcotest.(option int) "empty" None
+        (boosted engine ~tid:0 (fun tx -> Txds.Tx_queue.Linked.pop q tx));
+      Alcotest.(check bool) "is_empty" true
+        (boosted engine ~tid:0 (fun tx -> Txds.Tx_queue.Linked.is_empty q tx)))
+
+let test_boosted_queue_concurrent_drain () =
+  (* Every pushed element is popped exactly once across threads; pushers
+     and poppers hold opposite endpoint locks, so they overlap. *)
+  with_engine (fun heap engine ->
+      let q = Txds.Tx_queue.Linked.create heap in
+      let n = 300 in
+      let seen = Array.make (n + 1) 0 in
+      let popped = ref 0 in
+      let body tid () =
+        if tid < 2 then
+          (* producers: interleaved halves of [1..n] *)
+          for i = 0 to (n / 2) - 1 do
+            boosted engine ~tid (fun tx ->
+                Txds.Tx_queue.Linked.push q tx ((i * 2) + tid + 1))
+          done
+        else
+          while !popped < n do
+            match boosted engine ~tid (fun tx -> Txds.Tx_queue.Linked.pop q tx) with
+            | Some v ->
+                seen.(v) <- seen.(v) + 1;
+                incr popped
+            | None -> ()
+          done
+      in
+      ignore (Runtime.Sim.run (Array.init 4 body));
+      for i = 1 to n do
+        check Alcotest.int (Printf.sprintf "element %d popped once" i) 1 seen.(i)
+      done;
+      check Alcotest.(list int) "queue drained" []
+        (Txds.Tx_queue.Linked.to_list_quiescent heap q))
+
+let test_boosted_pqueue_heapsort () =
+  with_engine (fun heap engine ->
+      let pq = Txds.Tx_pqueue.create heap in
+      let keys = [ 9; 3; 7; 1; 8; 1; 5; 2; 6; 4 ] in
+      boosted engine ~tid:0 (fun tx ->
+          List.iter (fun k -> Txds.Tx_pqueue.insert pq tx k (k * 10)) keys);
+      let out = ref [] in
+      let rec drain () =
+        match boosted engine ~tid:0 (fun tx -> Txds.Tx_pqueue.pop_min pq tx) with
+        | Some (k, v) ->
+            check Alcotest.int "value rides along" (k * 10) v;
+            out := k :: !out;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      check Alcotest.(list int) "heapsort" (List.sort compare keys) (List.rev !out))
+
+let test_boosted_pqueue_conservation () =
+  (* Concurrent insert/pop churn conserves the multiset: everything
+     seeded or inserted is either popped exactly once or still present. *)
+  with_engine (fun heap engine ->
+      let pq = Txds.Tx_pqueue.create heap in
+      for i = 1 to 8 do
+        boosted engine ~tid:0 (fun tx -> Txds.Tx_pqueue.insert pq tx (1000 + i) 0)
+      done;
+      let popped = Array.make 4 [] in
+      let inserted = Array.make 4 [] in
+      let body tid () =
+        let rng = Runtime.Rng.for_thread ~seed:5 ~tid in
+        for _ = 1 to 120 do
+          let k = Runtime.Rng.int rng 500 in
+          boosted engine ~tid (fun tx -> Txds.Tx_pqueue.insert pq tx k 0);
+          (* record only committed effects: the atomic returned *)
+          inserted.(tid) <- k :: inserted.(tid);
+          match boosted engine ~tid (fun tx -> Txds.Tx_pqueue.pop_min pq tx) with
+          | Some (k', _) -> popped.(tid) <- k' :: popped.(tid)
+          | None -> Alcotest.fail "pop_min on seeded pqueue returned None"
+        done
+      in
+      ignore (Runtime.Sim.run (Array.init 4 body));
+      let all_in =
+        List.sort compare
+          (List.init 8 (fun i -> 1001 + i)
+          @ List.concat (Array.to_list inserted))
+      in
+      let all_out =
+        List.sort compare
+          (List.concat (Array.to_list popped)
+          @ List.map fst (Txds.Tx_pqueue.to_sorted_list_quiescent pq heap))
+      in
+      check Alcotest.(list int) "multiset conserved" all_in all_out)
+
+let test_boosted_word_composition () =
+  (* One transaction mixes a boosted map update with word-transactional
+     cell accesses through [tx.ops]: engine-level aborts on the cell must
+     roll the boosted increment back in lockstep (semantic undo), keeping
+     the cross-structure invariant  cell + sum(map values) = 0. *)
+  with_engine (fun heap engine ->
+      let m = Txds.Tx_map.create heap ~buckets:16 in
+      let cell = Txds.Tx_cell.create heap ~init:0 in
+      let body tid () =
+        for _ = 1 to 150 do
+          boosted engine ~tid (fun tx ->
+              let cur =
+                Option.value ~default:0 (Txds.Tx_map.find m tx tid)
+              in
+              ignore (Txds.Tx_map.add m tx tid (cur + 1) : bool);
+              Txds.Tx_cell.update tx.Txds.Boost.ops cell (fun v -> v - 1))
+        done
+      in
+      ignore (Runtime.Sim.run (Array.init 4 body));
+      let map_sum =
+        List.fold_left (fun a (_, v) -> a + v) 0 (Txds.Tx_map.bindings_quiescent m heap)
+      in
+      check Alcotest.int "per-key counts" 600 map_sum;
+      check Alcotest.int "invariant conserved" (-600) (Txds.Tx_cell.peek heap cell))
+
+(* --- QCheck differentials under schedule perturbation ------------------- *)
+
+(* Boosted map, 3 threads on disjoint key ranges under a QCheck-chosen
+   Random schedule: per-thread results must match a per-thread Hashtbl
+   (disjoint keys commute), and the union must survive quiescently. *)
+let prop_boosted_map_differential =
+  QCheck.Test.make ~name:"boosted Tx_map = Hashtbl under random schedules"
+    ~count:15
+    QCheck.(pair small_nat (list_of_size (QCheck.Gen.int_range 10 60) small_nat))
+    (fun (sched_seed, script) ->
+      with_engine (fun heap engine ->
+          let m = Txds.Tx_map.create heap ~buckets:64 in
+          let ok = Array.make 3 true in
+          let models = Array.init 3 (fun _ -> Hashtbl.create 16) in
+          let body tid () =
+            let model = models.(tid) in
+            List.iteri
+              (fun i x ->
+                let k = (tid * 100) + (x mod 16) in
+                if i land 1 = 0 then begin
+                  let fresh =
+                    boosted engine ~tid (fun tx -> Txds.Tx_map.add m tx k x)
+                  in
+                  if fresh <> not (Hashtbl.mem model k) then ok.(tid) <- false;
+                  Hashtbl.replace model k x
+                end
+                else begin
+                  let removed =
+                    boosted engine ~tid (fun tx -> Txds.Tx_map.remove m tx k)
+                  in
+                  if removed <> Hashtbl.mem model k then ok.(tid) <- false;
+                  Hashtbl.remove model k
+                end)
+              script
+          in
+          ignore
+            (Runtime.Sim.run
+               ~policy:(Runtime.Sim.Random
+                          { seed = sched_seed; window = 1_000; quantum = 100 })
+               (Array.init 3 body));
+          let expected =
+            List.sort compare
+              (Array.to_list models
+              |> List.concat_map (fun h ->
+                     Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []))
+          in
+          Array.for_all Fun.id ok
+          && List.sort compare (Txds.Tx_map.bindings_quiescent m heap) = expected))
+
+(* Boosted pqueue, popper + background inserter of strictly larger keys
+   under a QCheck-chosen Random schedule: the popper always gets back
+   exactly the small key it just inserted (its key is the unique global
+   minimum at that point), whatever the interleaving; afterwards exactly
+   the large keys remain. *)
+let prop_boosted_pqueue_differential =
+  QCheck.Test.make ~name:"boosted Tx_pqueue = sorted-list model under random schedules"
+    ~count:15
+    QCheck.(pair small_nat (list_of_size (QCheck.Gen.int_range 5 40) (int_range 0 99)))
+    (fun (sched_seed, small_keys) ->
+      with_engine (fun heap engine ->
+          let pq = Txds.Tx_pqueue.create heap in
+          let ok = ref true in
+          let n_large = List.length small_keys in
+          let body tid () =
+            if tid = 0 then
+              List.iter
+                (fun k ->
+                  boosted engine ~tid (fun tx ->
+                      Txds.Tx_pqueue.insert pq tx k (k + 7);
+                      match Txds.Tx_pqueue.pop_min pq tx with
+                      | Some (k', v') -> if (k', v') <> (k, k + 7) then ok := false
+                      | None -> ok := false))
+                small_keys
+            else
+              for i = 1 to n_large do
+                boosted engine ~tid (fun tx ->
+                    Txds.Tx_pqueue.insert pq tx (1000 + (tid * 1000) + i) 0)
+              done
+          in
+          ignore
+            (Runtime.Sim.run
+               ~policy:(Runtime.Sim.Random
+                          { seed = sched_seed; window = 1_000; quantum = 100 })
+               (Array.init 3 body));
+          let expect =
+            List.sort compare
+              (List.init n_large (fun i -> 1000 + 1000 + (i + 1))
+              @ List.init n_large (fun i -> 1000 + 2000 + (i + 1)))
+          in
+          !ok
+          && List.map fst (Txds.Tx_pqueue.to_sorted_list_quiescent pq heap)
+             = expect))
+
+(* --- leak regression (satellite: transactional free) -------------------- *)
+
+(* Identical churn phases over every freeing structure with the epoch
+   reclaimer armed: after the warm-up phase has stocked the free lists,
+   further phases must allocate entirely from recycled blocks — the bump
+   pointer (Heap.used) must not move at all.  Before transactional free,
+   every remove/pop leaked its node and this failed by thousands of
+   words per phase. *)
+let test_leak_regression () =
+  with_engine (fun heap engine ->
+      Memory.Heap.guard_on := true;
+      Memory.Epoch.arm ();
+      Fun.protect
+        ~finally:(fun () ->
+          Memory.Epoch.disarm ();
+          Memory.Heap.guard_on := false)
+        (fun () ->
+          let l = Txds.Tx_list.create heap in
+          let hm = Txds.Tx_hashmap.create heap ~buckets:64 in
+          let m = Txds.Tx_map.create heap ~buckets:64 in
+          let pq = Txds.Tx_pqueue.create heap in
+          let lq = Txds.Tx_queue.Linked.create heap in
+          (* Seeds keep pop_min/pop from ever observing emptiness, so every
+             iteration frees exactly what it allocates. *)
+          ignore (Runtime.Sim.run [|
+            (fun () ->
+              for i = 1 to 8 do
+                boosted engine ~tid:0 (fun tx ->
+                    Txds.Tx_pqueue.insert pq tx (100_000 + i) 0;
+                    Txds.Tx_queue.Linked.push lq tx i)
+              done) |]);
+          let churn () =
+            (* Free-list locality: a block returns to the free list of the
+               thread that FREED it (per-tid exact-size lists), so the churn
+               keeps allocator and freer on the same thread — the map uses
+               per-thread keys, and the structures whose pop hands out
+               another thread's node (pqueue min, FIFO head) churn on one
+               thread.  Cross-thread drift would bump-allocate fresh chunks
+               and fail the growth assertion for the wrong reason. *)
+            let body tid () =
+              for i = 1 to 120 do
+                let k = (tid * 1_000) + i in
+                boosted engine ~tid (fun tx ->
+                    ignore (Txds.Tx_map.add m tx k k : bool));
+                boosted engine ~tid (fun tx ->
+                    ignore (Txds.Tx_map.remove m tx k : bool));
+                if tid = 0 then begin
+                  (* word path: engine allocs leak on abort by contract, so
+                     the word-path churn stays conflict-free on one thread *)
+                  Stm_intf.Engine.atomic engine ~tid (fun tx ->
+                      ignore (Txds.Tx_list.insert tx l k k : bool);
+                      ignore (Txds.Tx_hashmap.add hm tx k k : bool));
+                  Stm_intf.Engine.atomic engine ~tid (fun tx ->
+                      ignore (Txds.Tx_list.remove tx l k : bool);
+                      ignore (Txds.Tx_hashmap.remove hm tx k : bool));
+                  boosted engine ~tid (fun tx ->
+                      Txds.Tx_pqueue.insert pq tx (k land 255) 0;
+                      Txds.Tx_queue.Linked.push lq tx k);
+                  boosted engine ~tid (fun tx ->
+                      (match Txds.Tx_pqueue.pop_min pq tx with
+                      | Some _ -> ()
+                      | None -> Alcotest.fail "pqueue ran dry");
+                      match Txds.Tx_queue.Linked.pop lq tx with
+                      | Some _ -> ()
+                      | None -> Alcotest.fail "queue ran dry")
+                end
+              done
+            in
+            ignore (Runtime.Sim.run (Array.init 4 body));
+            Memory.Epoch.drain ()
+          in
+          churn ();
+          (* warm-up done: free lists stocked *)
+          let used0 = Memory.Heap.used heap in
+          churn ();
+          churn ();
+          let gauges = Obs.Metrics.gauge_values () in
+          let gauge name =
+            match List.assoc_opt name gauges with
+            | Some v -> v
+            | None -> Alcotest.fail (Printf.sprintf "gauge %s missing" name)
+          in
+          check Alcotest.int "zero net heap growth across churn phases" 0
+            (Memory.Heap.used heap - used0);
+          check Alcotest.int "no double frees" 0 (gauge "heap_double_frees");
+          check Alcotest.int "limbo drained" 0 (gauge "epoch_limbo_depth");
+          Alcotest.(check bool) "frees actually recycled" true
+            (gauge "heap_free_reuses" > 0)))
+
+(* --- linearizability checker self-test ---------------------------------- *)
+
+(* The fuzz matrix passing means little unless the checker can fail: feed
+   it a history where two transactions both popped the single seeded
+   element — no serialization replays that. *)
+let test_linearize_catches_double_pop () =
+  let module L = Check.Txfuzz.L in
+  let txn tid started ended ops = { L.tid; seq = 0; started; ended; ops } in
+  let bad =
+    [
+      txn 0 1 4 [ (Check.Txfuzz.Pop, Check.Txfuzz.ROpt (Some 1)) ];
+      txn 1 2 5 [ (Check.Txfuzz.Pop, Check.Txfuzz.ROpt (Some 1)) ];
+    ]
+  in
+  (match L.check ~init:(Check.Txfuzz.SQueue [ 1 ]) bad with
+  | L.Violation _ -> ()
+  | L.Serializable -> Alcotest.fail "double pop slipped past the checker"
+  | L.Gave_up m -> Alcotest.fail ("checker gave up: " ^ m));
+  (* and the same history with distinct results is fine *)
+  let good =
+    [
+      txn 0 1 4 [ (Check.Txfuzz.Pop, Check.Txfuzz.ROpt (Some 1)) ];
+      txn 1 2 5 [ (Check.Txfuzz.Pop, Check.Txfuzz.ROpt None) ];
+    ]
+  in
+  match L.check ~init:(Check.Txfuzz.SQueue [ 1 ]) good with
+  | L.Serializable -> ()
+  | L.Violation m -> Alcotest.fail m
+  | L.Gave_up m -> Alcotest.fail ("checker gave up: " ^ m)
+
+let test_txds_fuzz_smoke () =
+  (* One in-process slice of the stm_fuzz --txds matrix: swisstm under a
+     perturbed random schedule, all structures, both modes. *)
+  let st =
+    Check.Txfuzz.fuzz ~spec:Engines.swisstm
+      ~make_policy:(fun seed ->
+        Runtime.Sim.Random { seed; window = 1_000; quantum = 150 })
+      ~seeds:2 ~progs:2 ~threads:3 ()
+  in
+  check Alcotest.int "no violations" 0 (List.length st.failures);
+  check Alcotest.int "runs" (3 * 2 * 2 * 2) st.runs
+
+let suite =
+  suite
+  @ [
+      ( "boost",
+        [
+          Alcotest.test_case "map vs model (sequential)" `Quick
+            test_boosted_map_model;
+          Alcotest.test_case "map contended" `Quick test_boosted_map_contended;
+          Alcotest.test_case "set ops" `Quick test_boosted_set_ops;
+          Alcotest.test_case "queue fifo" `Quick test_boosted_queue_fifo;
+          Alcotest.test_case "queue concurrent drain" `Quick
+            test_boosted_queue_concurrent_drain;
+          Alcotest.test_case "pqueue heapsort" `Quick test_boosted_pqueue_heapsort;
+          Alcotest.test_case "pqueue conservation" `Quick
+            test_boosted_pqueue_conservation;
+          Alcotest.test_case "boosted/word composition" `Quick
+            test_boosted_word_composition;
+          qtest prop_boosted_map_differential;
+          qtest prop_boosted_pqueue_differential;
+        ] );
+      ( "txds_leaks",
+        [ Alcotest.test_case "churn: zero net heap growth" `Quick test_leak_regression ] );
+      ( "txds_linearize",
+        [
+          Alcotest.test_case "checker catches double pop" `Quick
+            test_linearize_catches_double_pop;
+          Alcotest.test_case "fuzz matrix smoke" `Quick test_txds_fuzz_smoke;
+        ] );
+    ]
