@@ -2,7 +2,7 @@
 
 .PHONY: all build test bench check fuzz-smoke obs-smoke fault-smoke \
         kernel-smoke epoch-smoke pool-smoke norec-smoke service-smoke \
-        txds-smoke clean
+        scale-smoke txds-smoke clean
 
 all: build
 
@@ -31,6 +31,7 @@ check: build
 	$(MAKE) pool-smoke
 	$(MAKE) norec-smoke
 	$(MAKE) service-smoke
+	$(MAKE) scale-smoke
 	$(MAKE) txds-smoke
 
 # Kernel smoke (seconds): the differential suite (current engines vs the
@@ -123,6 +124,18 @@ service-smoke: build
 	dune exec bench/service_gate.exe -- --smoke --out /tmp/svc_smoke_b.json
 	cmp /tmp/svc_smoke_a.json /tmp/svc_smoke_b.json
 	@echo "service-smoke: SLO JSON bit-identical across processes"
+
+# Scale smoke (tens of seconds): the 64-512-core NUMA sweep (sb7 mixes
+# over a 32-core-socket topology, the Figure-13 granularity subset, the
+# work-stealing task mode, the RSTM thread-cap refusal) run TWICE in
+# separate processes; the emitted sidecars — which embed every cell's
+# simulated cycles and per-socket hit/miss/steal counters — must be
+# bit-identical, proving the topology + stealing layer deterministic.
+scale-smoke: build
+	dune exec bench/scale_gate.exe -- --smoke --out /tmp/scale_smoke_a.json
+	dune exec bench/scale_gate.exe -- --smoke --out /tmp/scale_smoke_b.json
+	cmp /tmp/scale_smoke_a.json /tmp/scale_smoke_b.json
+	@echo "scale-smoke: scale JSON bit-identical across processes"
 
 # Boosted-collections smoke (seconds): the boosted-structure suites
 # (semantic locks + undo vs sequential models, contended invariants,

@@ -31,6 +31,7 @@ let all : (string * string * (unit -> unit)) list =
     ("fairness", "Extension: long-transaction latency / starvation", Fairness.run);
     ("cm-sweep", "Extension: timid vs two-phase vs adaptive CM", Cm_sweep.run);
     ("service", "Extension: open-system SLO latency/goodput curves", Service_bench.run);
+    ("scale", "Extension: 64-512 cores on a NUMA topology + work stealing", Scale.run);
   ]
 
 let () =

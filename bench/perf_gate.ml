@@ -30,6 +30,9 @@
      contended update mix over the boosted map/pqueue and their
      word-transactional fallbacks, gated on boosted throughput >= word
      at every contended thread count.
+   - "scale" (PR 10): the NUMA scale columns — smoke-mode sb7 read-write
+     cycles at 64-512 simulated cores on the 32-core-socket topology
+     (bench/scale.ml), frozen and checked bit-identical in both modes.
    - "gauges" (PR 6): the descriptor-pool / heap free-list / epoch
      counters accumulated over the whole gate run.
 
@@ -44,13 +47,13 @@
      dune exec bench/perf_gate.exe -- --out f.json  *)
 
 let smoke = ref false
-let out = ref "BENCH_PR9.json"
+let out = ref "BENCH_PR10.json"
 
 let () =
   Arg.parse
     [
       ("--smoke", Arg.Set smoke, " quick mode: fewer iterations and threads");
-      ("--out", Arg.Set_string out, "FILE output path (default BENCH_PR9.json)");
+      ("--out", Arg.Set_string out, "FILE output path (default BENCH_PR10.json)");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "perf_gate [--smoke] [--out FILE]"
@@ -165,6 +168,31 @@ let pr9_boost_smoke_makespans : (string * string * int * int) list =
     ("list", "word", 2, 699619);
     ("list", "word", 4, 2024767);
     ("list", "word", 8, 5807967);
+  ]
+
+(* Frozen PR-10 scale columns: smoke-mode sb7 read-write cycles at 64-512
+   simulated cores on the 32-core-socket NUMA topology (engine x cores,
+   [Scale.matrix ~smoke:true] emission order).  Deterministic function of
+   (topology, engine, seed) — `make scale-smoke` proves the full sidecar
+   bit-identical across processes — so these must reproduce exactly; a
+   diff means the distance cost model, the reader sets, the directory
+   queuing or a scheduler moved.  Both gate modes run the smoke matrix:
+   it is the frozen column set, full-scale numbers live in `bench
+   scale`. *)
+let pr10_scale_smoke : (string * string * int * int) list =
+  [
+    ("read_write", "SwissTM", 64, 1971715);
+    ("read_write", "SwissTM", 128, 4327593);
+    ("read_write", "SwissTM", 256, 8292391);
+    ("read_write", "SwissTM", 512, 11300845);
+    ("read_write", "TinySTM", 64, 2097212);
+    ("read_write", "TinySTM", 128, 4553200);
+    ("read_write", "TinySTM", 256, 9797380);
+    ("read_write", "TinySTM", 512, 10250155);
+    ("read_write", "TL2", 64, 1920644);
+    ("read_write", "TL2", 128, 3437363);
+    ("read_write", "TL2", 256, 6425989);
+    ("read_write", "TL2", 512, 8986119);
   ]
 
 let jfloat f =
@@ -704,11 +732,28 @@ let () =
       (fun (s, m, t, c) -> Printf.printf "    (%S, %S, %d, %d);\n" s m t c)
       boost_tuples
   end;
+  Printf.printf "perf_gate: NUMA scale columns (smoke matrix)...\n%!";
+  let scale_rows = Scale.matrix ~smoke:true () in
+  let scale_tuples =
+    List.map
+      (fun (r : Scale.row) ->
+        (r.Scale.workload, r.Scale.engine, r.Scale.cores, r.Scale.elapsed_cycles))
+      scale_rows
+  in
+  let scale_identity_ok = scale_tuples = pr10_scale_smoke in
+  Printf.printf "  scale cycles vs frozen PR-10 columns: %s\n%!"
+    (if scale_identity_ok then "bit-identical" else "DIVERGED");
+  if not scale_identity_ok then begin
+    Printf.printf "  current:\n";
+    List.iter
+      (fun (w, e, c, cy) -> Printf.printf "    (%S, %S, %d, %d);\n" w e c cy)
+      scale_tuples
+  end;
   let gauges = Obs.Metrics.gauge_values () in
   let buf = Buffer.create 4096 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   bpf "{\n";
-  bpf "  \"schema\": \"swisstm-repro/perf-gate/5\",\n";
+  bpf "  \"schema\": \"swisstm-repro/perf-gate/6\",\n";
   bpf "  \"mode\": \"%s\",\n" (if !smoke then "smoke" else "full");
   bpf "  \"wlog_fastpath\": {\n";
   bpf "    \"wlog_ns_per_tx\": %s,\n" (jfloat wl_ns);
@@ -840,6 +885,20 @@ let () =
     (!smoke && pr9_boost_smoke_makespans <> []);
   bpf "    \"identity_ok\": %b\n" boost_identity_ok;
   bpf "  },\n";
+  bpf "  \"scale\": {\n";
+  bpf "    \"cores_per_socket\": %d,\n" Scale.cores_per_socket;
+  bpf "    \"rows\": [\n";
+  List.iteri
+    (fun i (w, e, c, cy) ->
+      bpf
+        "      { \"workload\": \"%s\", \"engine\": \"%s\", \"cores\": %d, \
+         \"elapsed_cycles\": %d }%s\n"
+        w e c cy
+        (if i < List.length scale_tuples - 1 then "," else ""))
+    scale_tuples;
+  bpf "    ],\n";
+  bpf "    \"identity_ok\": %b\n" scale_identity_ok;
+  bpf "  },\n";
   bpf "  \"gauges\": {\n";
   List.iteri
     (fun i (name, v) ->
@@ -943,12 +1002,19 @@ let () =
        (see the current tuples above)\n";
     fail := true
   end;
+  if not scale_identity_ok then begin
+    Printf.eprintf
+      "perf_gate: FAIL NUMA scale cycles diverged from the frozen PR-10 \
+       columns (see the current tuples above)\n";
+    fail := true
+  end;
   if !fail then exit 1;
   Printf.printf
     "perf_gate: OK (improvements >= %.0f%%, rw %.1f%% better than PR-5, \
      obs-off overhead %+.1f%% <= %.0f%%, epoch privatization %+.1f%% sim / \
      %+.1f%% native, norec crossover shape holds, service SLO gates hold, \
-     boosted collections ahead of word-STM under contention%s)\n%!"
+     boosted collections ahead of word-STM under contention, NUMA scale \
+     columns bit-identical to PR-10%s)\n%!"
     required_improvement_pct pr5_imp obs_overhead_pct obs_overhead_limit_pct
     sim_epoch_penalty epoch_penalty
     (if !smoke then ", sb7 cycles bit-identical to PR-4" else "")

@@ -1,0 +1,37 @@
+(* Stand-alone scale gate (make scale-smoke): run the 64-512-core NUMA
+   sweep at smoke or full scale, write the JSON sidecar, and fail the
+   process if any scale check does (per-socket counters populated, steals
+   observed and surfaced, task mode drains, RSTM refuses 64 threads by
+   name).
+
+   `make scale-smoke` runs this twice with different --out paths and
+   cmp(1)s the files: the sidecar embeds every cell's simulated cycles
+   and per-socket counters, so bit-identical output across processes is
+   the determinism proof for the whole topology + stealing layer. *)
+
+let () =
+  let smoke = ref false in
+  let out = ref "BENCH_SCALE.json" in
+  Arg.parse
+    [
+      ("--smoke", Arg.Set smoke, " quick mode: short durations, one sb7 mix");
+      ( "--out",
+        Arg.Set_string out,
+        "FILE sidecar path (default BENCH_SCALE.json)" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "scale_gate [--smoke] [--out FILE]";
+  let ok, rep, json = Scale.gate ~smoke:!smoke () in
+  let oc = open_out !out in
+  Obs.Json.to_channel oc json;
+  close_out oc;
+  List.iter
+    (fun (n, okc) ->
+      Printf.printf "scale gate: %-20s %s\n" n (if okc then "ok" else "FAIL"))
+    rep.Scale.checks;
+  Printf.printf "scale gate: wrote %s\n%!" !out;
+  if ok then print_endline "scale gate: PASS"
+  else begin
+    print_endline "scale gate: FAIL";
+    exit 1
+  end

@@ -27,6 +27,11 @@ type txinfo = {
       (** EWMA of this thread's abort rate, fixed-point scaled by
           {!contention_scale} (1024 = every attempt aborts).  Maintained by
           the adaptive manager; other managers leave it at 0 *)
+  mutable steals : int;
+      (** tasks stolen onto this thread by the work-stealing scheduler
+          ([Runtime.Steal]) since the txinfo was last reset: a migrated
+          task already paid its cross-socket transfer, so priority-based
+          managers credit it ({!steal_priority_bonus} accesses each) *)
 }
 
 (* Fixed-point scale of [contention]: 1024 = an abort on every attempt. *)
@@ -45,6 +50,7 @@ let make_txinfo ~tid ~seed =
     karma = 0;
     backoffs = 0;
     contention = 0;
+    steals = 0;
   }
 
 (** Reset a pooled [txinfo] in place to the state [make_txinfo] returns:
@@ -62,7 +68,8 @@ let reset_txinfo info ~seed =
   info.attempts <- 0;
   info.karma <- 0;
   info.backoffs <- 0;
-  info.contention <- 0
+  info.contention <- 0;
+  info.steals <- 0
 
 (** What the attacker should do about a write/write conflict. *)
 type decision =
@@ -163,6 +170,10 @@ let note_start info ~restart =
 
 let note_rollback info = info.succ_aborts <- info.succ_aborts + 1
 
+(* Each migration is worth this many accesses of Polka/Karma priority:
+   roughly the cost ratio of a cross-socket transfer to a local access. *)
+let steal_priority_bonus = 8
+
 (* --- current-transaction registry (boosting support) ------------------- *)
 
 (* Per-tid [txinfo] of the most recently started transaction.  A layer
@@ -175,8 +186,21 @@ let note_rollback info = info.succ_aborts <- info.succ_aborts + 1
    taints its *next* attempt's kill flag, which [note_start] clears. *)
 
 let current : txinfo array =
-  Array.init 64 (fun tid -> make_txinfo ~tid ~seed:0)
+  Array.init Stm_intf.Stats.max_threads (fun tid -> make_txinfo ~tid ~seed:0)
 
 let[@inline] set_current (info : txinfo) =
   if Array.unsafe_get current info.tid != info then
     Array.unsafe_set current info.tid info
+
+(* Steal surfacing: the harness installs [Runtime.Steal.on_steal] to call
+   this, so a migrated task's next conflicts see the migration (the
+   priority managers credit [steal_priority_bonus] per steal).  Aimed at
+   the thread's current txinfo — the per-tid descriptor engines publish
+   at every begin — so it survives the next [note_start]'s counter
+   resets only through the dedicated [steals] field, which [note_start]
+   deliberately leaves alone (it is cleared with the descriptor). *)
+let note_steal ~tid =
+  if tid >= 0 && tid < Array.length current then begin
+    let info = current.(tid) in
+    info.steals <- info.steals + 1
+  end

@@ -22,11 +22,18 @@ type txinfo = {
   mutable contention : int;
       (** abort-rate EWMA, fixed-point scaled by {!contention_scale};
           maintained by the adaptive manager, 0 elsewhere *)
+  mutable steals : int;
+      (** tasks stolen onto this thread ([Runtime.Steal]); priority
+          managers credit {!steal_priority_bonus} accesses each *)
 }
 
 val contention_scale : int
 (** Fixed-point scale of [txinfo.contention]: this value = an abort on
     every attempt. *)
+
+val steal_priority_bonus : int
+(** Polka/Karma priority credited per stolen task: a migrated task
+    already paid its cross-socket transfer. *)
 
 val make_txinfo : tid:int -> seed:int -> txinfo
 
@@ -96,3 +103,7 @@ val current : txinfo array
 val set_current : txinfo -> unit
 (** Publish [info] as its thread's current transaction (physical-equality
     guarded store; free in the steady state). *)
+
+val note_steal : tid:int -> unit
+(** Record a stolen task against [tid]'s current txinfo; installed as
+    [Runtime.Steal.on_steal] by the task-parallel harness. *)

@@ -111,7 +111,9 @@ let polka () =
     on_write = (fun _ ~writes:_ -> ());
     resolve =
       (fun ~attacker ~victim ->
-        if attacker.accesses + attacker.conflict_waits >= victim.accesses
+        (* a migrated (stolen) task carries pre-paid transfer work *)
+        let prio i = i.accesses + (steal_priority_bonus * i.steals) in
+        if prio attacker + attacker.conflict_waits >= prio victim
         then begin
           request_kill victim;
           Killed_victim
@@ -152,7 +154,9 @@ let karma () =
     on_write = (fun _ ~writes:_ -> ());
     resolve =
       (fun ~attacker ~victim ->
-        let prio i = i.karma + i.accesses in
+        let prio i =
+          i.karma + i.accesses + (steal_priority_bonus * i.steals)
+        in
         if prio attacker + attacker.conflict_waits >= prio victim then begin
           request_kill victim;
           Killed_victim

@@ -11,6 +11,12 @@ type t = {
   granularity_words : int;
   table_bits : int;
   seed : int;
+  quiesce_slots : int;
+      (** size of the §6 quiescence table — the engine's thread cap when
+          [privatization_safe] is set (a committer scans every slot, so
+          the table must stay as small as the run needs; the scan is
+          charged).  Tids at or beyond it raise
+          [Engine.Unsupported_thread_count].  Irrelevant otherwise. *)
   privatization_safe : bool;
       (** §6 extension: quiescence at commit — every committing update
           transaction waits until all transactions that started before its
@@ -34,6 +40,7 @@ let default =
     granularity_words = 4;
     table_bits = 18;
     seed = 0xC0FFEE;
+    quiesce_slots = 64;
     privatization_safe = false;
     privatization_epochs = false;
     debug_no_validation = false;
@@ -42,3 +49,4 @@ let default =
 let with_cm cm t = { t with cm }
 let with_granularity granularity_words t = { t with granularity_words }
 let with_seed seed t = { t with seed }
+let with_quiesce_slots quiesce_slots t = { t with quiesce_slots }

@@ -67,7 +67,7 @@ let create ?(config = Swisstm_config.default) heap =
     privatization_safe = config.privatization_safe;
     privatization_epochs = config.privatization_epochs;
     debug_no_validation = config.debug_no_validation;
-    active = Array.init Stats.max_threads (fun _ -> Runtime.Tmatomic.make max_int);
+    active = Array.init config.quiesce_slots (fun _ -> Runtime.Tmatomic.make max_int);
     ser = Serial.create ();
   }
 
@@ -488,6 +488,10 @@ let emergency_release t (d : Descriptor.t) =
    the start gate.  A thread parked there is idle — no locks, no published
    snapshot — so the gate needs no kill polling. *)
 let run t ~tid ~irrevocable f =
+  (* The quiescence table is a hard per-engine thread cap. *)
+  if t.privatization_safe then
+    Engine.check_tid_limit ~engine:"swisstm-priv"
+      ~limit:(Array.length t.active) tid;
   let d = t.descs.(tid) in
   if d.depth > 0 then begin
     (* Flat nesting: an inner atomic block joins the enclosing one. *)

@@ -1,0 +1,105 @@
+(* Task-parallel workload mode (DESIGN.md §16): transactional *tasks*
+   scheduled over per-core work-stealing deques ([Runtime.Steal]) instead
+   of a fixed per-thread operation loop.
+
+   Each simulated thread is a worker pinned to its core.  A worker loops:
+   pop the own deque (cheap), else one seeded stealing round over the
+   other cores (probes and transfers charged by NUMA distance); run the
+   task; repeat.  Tasks may [spawn] subtasks onto the running worker's
+   deque — the Manticore vproc shape.  An idle worker whose stealing
+   round came up empty performs a blocked yield, so scheduler policies
+   treat it like any other spinner; it retires once every task completed.
+
+   Steals are surfaced: [Runtime.Steal.on_steal] is installed to bump the
+   thief's per-socket counter in [Runtime.Topology] (Obs reads those) and
+   to credit the thief's current transaction through
+   [Cm.Cm_intf.note_steal], so priority-based contention managers see
+   migrations.  Everything is deterministic given [seed]: the sim is
+   single-threaded and victim selection uses per-core streams. *)
+
+type ctx = {
+  tid : int;  (** worker thread = core running the task *)
+  spawn : (ctx -> unit) -> unit;  (** push a subtask onto this core *)
+}
+
+type result = {
+  threads : int;
+  elapsed_cycles : int;  (** simulated makespan *)
+  tasks : int;  (** tasks executed (initial + spawned) *)
+  steals : int;  (** successful steals *)
+  probes : int;  (** steal probes, successful or not *)
+  stats : Stm_intf.Stats.snapshot option;
+      (** engine statistics when [run] was given an engine to reset/read *)
+}
+
+(* Install the steal-surfacing hook for the duration of [f]. *)
+let with_steal_hook f =
+  let saved = !Runtime.Steal.on_steal in
+  (Runtime.Steal.on_steal :=
+     fun ~thief ~victim:_ -> Cm.Cm_intf.note_steal ~tid:thief);
+  Fun.protect ~finally:(fun () -> Runtime.Steal.on_steal := saved) f
+
+(** [run ~threads ~tasks body] executes [tasks] initial tasks — task [i]
+    is [body ~task:i ctx], seeded round-robin across the workers' deques
+    — to completion under work stealing and returns the makespan and
+    steal counts.  [engine]'s stats are reset before and snapshotted
+    after when provided.  Deterministic given [seed] and the policy. *)
+let run ?cap_cycles ?policy ?(seed = 0) ?engine ~threads ~tasks
+    (body : task:int -> ctx -> unit) =
+  if threads <= 0 then invalid_arg "Taskpar.run: threads must be positive";
+  Option.iter Stm_intf.Engine.reset_stats engine;
+  let pool = Runtime.Steal.create ~seed ~cores:threads () in
+  let executed = ref 0 in
+  let remaining = ref 0 in
+  (* A task's [ctx] binds the core *executing* it (read at run time, so a
+     stolen task's subtasks land on the thief), and [spawn] pushes onto
+     that core's own deque. *)
+  let rec enqueue ~core fn =
+    incr remaining;
+    Runtime.Steal.push pool ~core (fun () ->
+        let me = Runtime.Exec.self () in
+        fn { tid = me; spawn = (fun sub -> enqueue ~core:me sub) };
+        incr executed;
+        decr remaining)
+  in
+  (* Round-robin seeding: task i starts on core [i mod threads]. *)
+  for i = 0 to tasks - 1 do
+    enqueue ~core:(i mod threads) (fun ctx -> body ~task:i ctx)
+  done;
+  let worker tid =
+    let rec loop () =
+      if !remaining > 0 then begin
+        match Runtime.Steal.acquire pool ~core:tid with
+        | Some task ->
+            task ();
+            loop ()
+        | None ->
+            (* Nothing anywhere this round; tasks still running elsewhere
+               may finish or spawn.  [pause] charges spin cycles (virtual
+               time must advance) and flags a blocked yield so priority
+               policies demote the idler. *)
+            Runtime.Exec.pause ();
+            loop ()
+      end
+    in
+    loop ()
+  in
+  let elapsed =
+    with_steal_hook (fun () ->
+        Runtime.Sim.run_threads ?cap_cycles ?policy ~threads worker)
+  in
+  {
+    threads;
+    elapsed_cycles = elapsed;
+    tasks = !executed;
+    steals = Runtime.Steal.steals pool;
+    probes = Runtime.Steal.probes pool;
+    stats = Option.map Stm_intf.Engine.stats engine;
+  }
+
+let elapsed_seconds r = Runtime.Costs.seconds_of_cycles r.elapsed_cycles
+
+(** Completed tasks per second of simulated time. *)
+let throughput r =
+  let s = elapsed_seconds r in
+  if s <= 0. then 0. else float_of_int r.tasks /. s

@@ -1,0 +1,42 @@
+(** Task-parallel workload mode: transactional tasks over the per-core
+    work-stealing deques of [Runtime.Steal] (DESIGN.md §16).
+
+    Workers pop their own deque, steal by NUMA-distance-charged probes
+    when empty, and retire when every task (initial and spawned) has
+    completed.  Steals are surfaced to [Runtime.Topology]'s per-socket
+    counters and to the contention manager via [Cm.Cm_intf.note_steal].
+    Deterministic given [seed] and the scheduler policy. *)
+
+type ctx = {
+  tid : int;  (** worker thread = core running the task *)
+  spawn : (ctx -> unit) -> unit;  (** push a subtask onto this core *)
+}
+
+type result = {
+  threads : int;
+  elapsed_cycles : int;  (** simulated makespan *)
+  tasks : int;  (** tasks executed (initial + spawned) *)
+  steals : int;  (** successful steals *)
+  probes : int;  (** steal probes, successful or not *)
+  stats : Stm_intf.Stats.snapshot option;
+      (** engine statistics when [run] was given an engine *)
+}
+
+val run :
+  ?cap_cycles:int ->
+  ?policy:Runtime.Sim.policy ->
+  ?seed:int ->
+  ?engine:Stm_intf.Engine.t ->
+  threads:int ->
+  tasks:int ->
+  (task:int -> ctx -> unit) ->
+  result
+(** [run ~threads ~tasks body] seeds task [i] (= [body ~task:i]) onto
+    core [i mod threads] and drives all tasks to completion under work
+    stealing.  [engine]'s stats are reset before and snapshotted after
+    when provided. *)
+
+val elapsed_seconds : result -> float
+
+val throughput : result -> float
+(** Completed tasks per second of simulated time. *)

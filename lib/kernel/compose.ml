@@ -496,8 +496,8 @@ let driver_ops t : Txdesc.t Driver.ops =
   }
 
 let check_tid t tid =
-  if t.point.Axes.visibility = Axes.Visible && tid >= 62 then
-    invalid_arg "Kernel.Compose: visible-reader bitmap limits tid < 62"
+  if t.point.Axes.visibility = Axes.Visible then
+    Engine.check_tid_limit ~engine:"kernel-compose-visible" ~limit:62 tid
 
 let atomic t ~tid f =
   check_tid t tid;

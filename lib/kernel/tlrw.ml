@@ -255,8 +255,7 @@ let driver_ops t : Txdesc.t Driver.ops =
     user_abort = (fun d -> rollback t d Tx_signal.Killed);
   }
 
-let check_tid tid =
-  if tid >= 62 then invalid_arg "Kernel.Tlrw: reader bitmap limits tid < 62"
+let check_tid tid = Engine.check_tid_limit ~engine:name ~limit:62 tid
 
 let engine ?config heap : Engine.t =
   let t = create ?config heap in

@@ -33,7 +33,7 @@
    wall-clock machinery (its target is native privatization), charges no
    simulated cycles, and must never perturb a simulated schedule. *)
 
-let max_threads = 64
+let max_threads = Runtime.Topology.max_cores
 let offline_epoch = -1
 
 type record = { ep : int; h : Heap.t; addr : int; n : int }

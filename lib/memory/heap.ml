@@ -35,7 +35,7 @@ type t = {
 }
 
 let chunk_words = 8192
-let max_threads = 64
+let max_threads = Runtime.Topology.max_cores
 let max_free_words = 64
 
 exception Out_of_memory of { capacity : int; requested : int }

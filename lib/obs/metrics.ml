@@ -123,7 +123,7 @@ type engine = {
 
 let on = ref false
 
-let max_threads = 64
+let max_threads = Runtime.Topology.max_cores
 let slot tid = tid land (max_threads - 1)
 
 let engines : engine list ref = ref [] (* newest first *)
@@ -411,12 +411,44 @@ let pp_engine ppf e =
       List.iter (fun (s, c) -> Format.fprintf ppf " %d:%d" s c) top;
       Format.fprintf ppf "@\n"
 
+(* Per-socket coherence/steal counters, maintained (uncharged) by the
+   runtime's cost-model fast paths; adopted here so every Obs consumer
+   sees them next to the engine metrics. *)
+let per_socket () = Runtime.Topology.socket_counters ()
+
+let pp_sockets ppf () =
+  let s = per_socket () in
+  let any = Array.exists (fun (h, m, st) -> h + m + st > 0) s in
+  if Array.length s > 1 || any then begin
+    Format.fprintf ppf "  sockets (%a):@\n" Runtime.Topology.pp
+      (Runtime.Topology.get ());
+    Array.iteri
+      (fun i (h, m, st) ->
+        Format.fprintf ppf "    s%d: hits=%d misses=%d steals=%d@\n" i h m st)
+      s
+  end
+
+let sockets_to_json () =
+  Json.List
+    (Array.to_list
+       (Array.mapi
+          (fun i (h, m, st) ->
+            Json.Obj
+              [
+                ("socket", Json.Int i);
+                ("hits", Json.Int h);
+                ("misses", Json.Int m);
+                ("steals", Json.Int st);
+              ])
+          (per_socket ())))
+
 let pp ppf () =
   Format.fprintf ppf "metrics:@\n";
   List.iter (pp_engine ppf) (List.rev !engines);
   if !sched_dispatches > 0 then
     Format.fprintf ppf "  sched: dispatches=%d switches=%d@\n"
       !sched_dispatches !sched_switches;
+  pp_sockets ppf ();
   match gauge_values () with
   | [] -> ()
   | gs ->
@@ -468,6 +500,7 @@ let to_json () =
             ("dispatches", Json.Int !sched_dispatches);
             ("switches", Json.Int !sched_switches);
           ] );
+      ("sockets", sockets_to_json ());
       ( "gauges",
         Json.Obj
           (List.map (fun (n, v) -> (n, Json.Int v)) (gauge_values ())) );

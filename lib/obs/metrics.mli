@@ -100,6 +100,14 @@ val register_gauge : string -> (unit -> int) -> unit
 val gauge_values : unit -> (string * int) list
 (** Sample every registered gauge, registration order. *)
 
+(** {2 Per-socket coherence counters} *)
+
+val per_socket : unit -> (int * int * int) array
+(** [(hits, misses, steals)] per socket of the current
+    [Runtime.Topology], maintained uncharged by the runtime cost model;
+    reset via [Runtime.Topology.reset_counters] (topology changes reset
+    them implicitly).  Included in {!pp}/{!to_json}. *)
+
 (** {2 Reporting} *)
 
 val pp : Format.formatter -> unit -> unit

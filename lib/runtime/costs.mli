@@ -9,7 +9,11 @@
 type t = {
   mem : int;  (** plain heap word access *)
   atomic_hit : int;  (** atomic access, line already local *)
-  cache_miss : int;  (** access to a remote cache line *)
+  miss_local : int;  (** line refetched from this core's own hierarchy *)
+  miss_socket : int;
+      (** line transferred from another core on the same socket (the old
+          flat-model [cache_miss]; sole miss cost under a flat topology) *)
+  miss_cross : int;  (** line transferred from a remote socket *)
   cas : int;  (** extra cost of a read-modify-write *)
   log_append : int;  (** appending a read/write-log entry *)
   log_lookup : int;  (** redo-log lookup (read-after-write) *)
@@ -32,5 +36,6 @@ val seconds_of_cycles : int -> float
 val pp : Format.formatter -> t -> unit
 
 val apply_env : unit -> unit
-(** Re-read the [SWISSTM_COSTS] override ("mem=3,cache_miss=200,...");
-    applied once automatically at program start. *)
+(** Re-read the [SWISSTM_COSTS] override ("mem=3,miss_socket=200,...";
+    the pre-topology key "cache_miss" aliases [miss_socket]); applied
+    once automatically at program start. *)

@@ -47,7 +47,7 @@ let in_sim () = !cur >= 0
    cycles of its own, so profiled and unprofiled runs take bit-identical
    schedules. *)
 
-let prof_threads = 64
+let prof_threads = Topology.max_cores
 let n_phases = 8 (* power of two for cheap indexing *)
 let ph_other = 0 (* application compute between/inside transactions *)
 let ph_read = 1

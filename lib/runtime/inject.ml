@@ -56,7 +56,7 @@ let on = ref false
    spares one fault. *)
 let exempt = ref (-1)
 
-let max_threads = 64
+let max_threads = Topology.max_cores
 let cfg = ref abort_storm
 let rngs = Array.init max_threads (fun tid -> Rng.for_thread ~seed:0 ~tid)
 

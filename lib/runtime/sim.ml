@@ -66,7 +66,10 @@ type state = {
 let make_handler st tid =
   {
     Effect.Deep.retc = (fun () -> st.finished.(tid) <- true);
-    exnc = (fun e -> raise e);
+    exnc =
+      (fun e ->
+        (* re-raise with the thread body's backtrace, not this frame's *)
+        Printexc.raise_with_backtrace e (Printexc.get_raw_backtrace ()));
     effc =
       (fun (type a) (eff : a Effect.t) ->
         match eff with
@@ -106,7 +109,220 @@ let step st bodies alive tid =
   Exec.cur := -1;
   if st.finished.(tid) then decr alive
 
-(* --- policy loops ------------------------------------------------------ *)
+(* --- indexed heap ------------------------------------------------------ *)
+
+(* Indexed binary heap over thread ids under a pluggable strict total
+   order.  Replaces the O(n) per-dispatch scans below: at 512 simulated
+   threads the scans made every policy loop quadratic in the schedule
+   length.  Only the just-stepped thread's key ever changes (its clock
+   moved, or PCT demoted it), so each dispatch costs one O(log n) [fix]
+   plus O(1) reads — and the orders used are exactly the scans'
+   tie-breaks, so schedules are bit-identical (gated by the
+   heap-vs-scan differential test and the frozen sb7 matrix). *)
+module Iheap = struct
+  type t = {
+    heap : int array;  (* position -> tid *)
+    pos : int array;  (* tid -> position, -1 once removed *)
+    less : int -> int -> bool;
+    mutable size : int;
+  }
+
+  let swap h i j =
+    let a = h.heap.(i) and b = h.heap.(j) in
+    h.heap.(i) <- b;
+    h.heap.(j) <- a;
+    h.pos.(b) <- i;
+    h.pos.(a) <- j
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if h.less h.heap.(i) h.heap.(p) then begin
+        swap h i p;
+        sift_up h p
+      end
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 in
+    if l < h.size then begin
+      let m =
+        if l + 1 < h.size && h.less h.heap.(l + 1) h.heap.(l) then l + 1
+        else l
+      in
+      if h.less h.heap.(m) h.heap.(i) then begin
+        swap h i m;
+        sift_down h m
+      end
+    end
+
+  let make n less =
+    let h =
+      {
+        heap = Array.init n (fun i -> i);
+        pos = Array.init n (fun i -> i);
+        less;
+        size = n;
+      }
+    in
+    for i = (n / 2) - 1 downto 0 do
+      sift_down h i
+    done;
+    h
+
+  let min h = h.heap.(0)
+
+  (* Restore the invariant after tid's key changed in either direction. *)
+  let fix h tid =
+    sift_down h h.pos.(tid);
+    sift_up h h.pos.(tid)
+
+  let remove h tid =
+    let i = h.pos.(tid) in
+    let last = h.size - 1 in
+    h.size <- last;
+    h.pos.(tid) <- -1;
+    if i <> last then begin
+      let moved = h.heap.(last) in
+      h.heap.(i) <- moved;
+      h.pos.(moved) <- i;
+      fix h moved
+    end
+end
+
+(* --- policy loops (heap dispatch) -------------------------------------- *)
+
+(* The scans pick the smallest (vtime, tid) pair; the same lexicographic
+   order keyed into the heap reproduces their selection exactly. *)
+let vtime_less st a b =
+  let ta = st.vtimes.(a) and tb = st.vtimes.(b) in
+  ta < tb || (ta = tb && a < b)
+
+let run_earliest_heap st bodies alive n cap_cycles =
+  let h = Iheap.make n (vtime_less st) in
+  while !alive > 0 do
+    let best = Iheap.min h in
+    let best_t = st.vtimes.(best) in
+    if best_t > cap_cycles then raise (Timeout best_t);
+    (* The second-smallest element under the heap's total order is one of
+       the root's children, and — the order being vtime-major — carries
+       the second-smallest vtime (the scan's [second]). *)
+    let second = ref max_int in
+    if h.Iheap.size > 1 then second := st.vtimes.(h.Iheap.heap.(1));
+    if h.Iheap.size > 2 then
+      second := Stdlib.min !second st.vtimes.(h.Iheap.heap.(2));
+    Exec.next_deadline := Stdlib.min !second cap_cycles;
+    step st bodies alive best;
+    if st.finished.(best) then Iheap.remove h best else Iheap.fix h best
+  done
+
+let run_random_heap st bodies alive n cap_cycles ~seed ~window ~quantum =
+  let rng = Rng.create seed in
+  let h = Iheap.make n (vtime_less st) in
+  let cand = Array.make n 0 in
+  while !alive > 0 do
+    let min_t = st.vtimes.(Iheap.min h) in
+    if min_t > cap_cycles then raise (Timeout min_t);
+    let limit = min_t + window in
+    (* Collect the candidate set by descending the heap and pruning where
+       the clock passes [limit] (clocks are nondecreasing along any
+       root-to-leaf path), then sort by tid so the pick index means the
+       same thing as under the scan's ascending-tid enumeration. *)
+    let count = ref 0 in
+    let rec visit i =
+      if i < h.Iheap.size then begin
+        let tid = h.Iheap.heap.(i) in
+        if st.vtimes.(tid) <= limit then begin
+          cand.(!count) <- tid;
+          incr count;
+          visit ((2 * i) + 1);
+          visit ((2 * i) + 2)
+        end
+      end
+    in
+    visit 0;
+    for i = 1 to !count - 1 do
+      let x = cand.(i) in
+      let j = ref i in
+      while !j > 0 && cand.(!j - 1) > x do
+        cand.(!j) <- cand.(!j - 1);
+        decr j
+      done;
+      cand.(!j) <- x
+    done;
+    let pick = Rng.int rng !count in
+    let tid = cand.(pick) in
+    Exec.next_deadline :=
+      Stdlib.min (st.vtimes.(tid) + 1 + Rng.int rng quantum) cap_cycles;
+    step st bodies alive tid;
+    if st.finished.(tid) then Iheap.remove h tid else Iheap.fix h tid
+  done
+
+let run_pct_heap st bodies alive n cap_cycles ~seed ~depth ~horizon =
+  let rng = Rng.create seed in
+  let prio = Array.init n (fun i -> i) in
+  Rng.shuffle rng prio;
+  let floor_prio = ref (-1) in
+  let change_points =
+    Array.init (max 0 (depth - 1)) (fun _ -> Rng.int rng horizon)
+  in
+  Array.sort compare change_points;
+  let next_change = ref 0 in
+  let progressed = ref 0 in
+  let lag = 4 * horizon in
+  (* Two heaps: clocks for the timeout/lag minimum, priorities for the
+     selection.  Priorities are unique by construction (a permutation,
+     then strictly decreasing fresh values), so the max needs no
+     tie-break. *)
+  let vh = Iheap.make n (vtime_less st) in
+  let ph = Iheap.make n (fun a b -> prio.(a) > prio.(b)) in
+  while !alive > 0 do
+    let min_t = st.vtimes.(Iheap.min vh) in
+    if min_t > cap_cycles then raise (Timeout min_t);
+    let tid = Iheap.min ph in
+    let until_change =
+      if !next_change < Array.length change_points then
+        max 1 (change_points.(!next_change) - !progressed)
+      else max_int
+    in
+    let before = st.vtimes.(tid) in
+    let lag_deadline = min_t + lag in
+    let change_deadline =
+      if until_change = max_int then max_int else before + until_change
+    in
+    Exec.next_deadline :=
+      Stdlib.min (Stdlib.min change_deadline lag_deadline) cap_cycles;
+    step st bodies alive tid;
+    progressed := !progressed + (st.vtimes.(tid) - before);
+    let fin = st.finished.(tid) in
+    if fin then begin
+      Iheap.remove vh tid;
+      Iheap.remove ph tid
+    end
+    else Iheap.fix vh tid;
+    if
+      !next_change < Array.length change_points
+      && !progressed >= change_points.(!next_change)
+    then begin
+      prio.(tid) <- !floor_prio;
+      decr floor_prio;
+      incr next_change;
+      if not fin then Iheap.fix ph tid
+    end
+    else if
+      (not fin) && (!Exec.blocked_yield || st.vtimes.(tid) >= lag_deadline)
+    then begin
+      prio.(tid) <- !floor_prio;
+      decr floor_prio;
+      Iheap.fix ph tid
+    end
+  done
+
+(* --- policy loops (legacy linear scans) --------------------------------
+
+   Kept verbatim as the reference implementation: the heap-vs-scan
+   differential test asserts bit-identical schedules at n <= 8, and the
+   frozen sb7 smoke matrix pins the heap path to what these produced. *)
 
 (* The benchmark policy: always the earliest live thread, preempted when it
    ticks past the second-earliest clock. *)
@@ -241,9 +457,13 @@ let run_pct st bodies alive n cap_cycles ~seed ~depth ~horizon =
     simulated scheduler and returns the final per-thread virtual times.
     [cap_cycles] (default 10^12) bounds any thread's virtual clock and turns
     livelocks into a [Timeout].  [policy] selects the schedule (default
-    {!Earliest_first}); all policies are deterministic given their seed. *)
+    {!Earliest_first}); all policies are deterministic given their seed.
+    [dispatch] selects the dispatcher implementation: the indexed heap
+    (default) or the legacy linear scans it replaced — both produce
+    bit-identical schedules (the scans are kept as the reference for the
+    differential gate). *)
 let run ?(cap_cycles = 1_000_000_000_000) ?(policy = Earliest_first)
-    (bodies : (unit -> unit) array) =
+    ?(dispatch = `Heap) (bodies : (unit -> unit) array) =
   if Exec.in_sim () then raise Nested_simulation;
   let n = Array.length bodies in
   if n = 0 then [||]
@@ -265,19 +485,25 @@ let run ?(cap_cycles = 1_000_000_000_000) ?(policy = Earliest_first)
     in
     Fun.protect ~finally:cleanup (fun () ->
         let alive = ref n in
-        (match policy with
-        | Earliest_first -> run_earliest st bodies alive n cap_cycles
-        | Random { seed; window; quantum } ->
+        (match (policy, dispatch) with
+        | Earliest_first, `Heap -> run_earliest_heap st bodies alive n cap_cycles
+        | Earliest_first, `Scan -> run_earliest st bodies alive n cap_cycles
+        | Random { seed; window; quantum }, `Heap ->
+            run_random_heap st bodies alive n cap_cycles ~seed ~window ~quantum
+        | Random { seed; window; quantum }, `Scan ->
             run_random st bodies alive n cap_cycles ~seed ~window ~quantum
-        | Pct { seed; depth; horizon } ->
+        | Pct { seed; depth; horizon }, `Heap ->
+            run_pct_heap st bodies alive n cap_cycles ~seed ~depth ~horizon
+        | Pct { seed; depth; horizon }, `Scan ->
             run_pct st bodies alive n cap_cycles ~seed ~depth ~horizon);
         Array.copy st.vtimes)
   end
 
 (** Convenience wrapper: run [threads] copies of [body tid] and return the
     maximum final virtual time (the simulated makespan, in cycles). *)
-let run_threads ?cap_cycles ?policy ~threads body =
+let run_threads ?cap_cycles ?policy ?dispatch ~threads body =
   let vts =
-    run ?cap_cycles ?policy (Array.init threads (fun tid () -> body tid))
+    run ?cap_cycles ?policy ?dispatch
+      (Array.init threads (fun tid () -> body tid))
   in
   Array.fold_left max 0 vts

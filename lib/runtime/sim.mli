@@ -43,13 +43,26 @@ val pct_policy : ?depth:int -> ?horizon:int -> int -> policy
 val policy_name : policy -> string
 (** Short printable form, e.g. ["earliest"], ["random:42"]. *)
 
-val run : ?cap_cycles:int -> ?policy:policy -> (unit -> unit) array -> int array
+val run :
+  ?cap_cycles:int ->
+  ?policy:policy ->
+  ?dispatch:[ `Heap | `Scan ] ->
+  (unit -> unit) array ->
+  int array
 (** [run bodies] executes all bodies to completion and returns final
     per-thread virtual times (cycles).  [cap_cycles] defaults to 10^12;
-    [policy] defaults to {!Earliest_first}. *)
+    [policy] defaults to {!Earliest_first}.  [dispatch] (default
+    [`Heap]) picks the O(log n) indexed-heap dispatcher or the legacy
+    O(n) scans; the two are bit-identical (differentially tested), the
+    scans exist only as the reference implementation. *)
 
 val run_threads :
-  ?cap_cycles:int -> ?policy:policy -> threads:int -> (int -> unit) -> int
+  ?cap_cycles:int ->
+  ?policy:policy ->
+  ?dispatch:[ `Heap | `Scan ] ->
+  threads:int ->
+  (int -> unit) ->
+  int
 (** [run_threads ~threads body] runs [body tid] on each thread and returns
     the simulated makespan (max final virtual time). *)
 

@@ -1,0 +1,45 @@
+(** Per-core work-stealing deques for transactional tasks (DESIGN.md §16).
+
+    Manticore-vproc shape: each simulated core owns a deque of thunks;
+    the owner pushes/pops at the bottom (LIFO), thieves take from the top
+    (FIFO).  The simulator is single-threaded, so the point is the cost
+    model, not synchronisation: popping locally costs [mem], probing a
+    victim costs a same-socket or cross-socket miss by distance, and a
+    successful steal pays one more transfer, bumps the thief socket's
+    steal counter and fires {!on_steal}.  Victim order is a seeded
+    per-core rotation — schedules are deterministic given the seed. *)
+
+type task = unit -> unit
+type t
+
+val create : ?seed:int -> cores:int -> unit -> t
+(** One deque and one victim-selection stream per core.  Raises
+    [Invalid_argument] if [cores] is non-positive or exceeds
+    [Topology.max_cores]. *)
+
+val push : t -> core:int -> task -> unit
+(** Owner push at the bottom of [core]'s deque (uncharged: spawning is
+    accounted by the caller). *)
+
+val pop_own : t -> core:int -> task option
+(** Owner pop at the bottom; charges [Costs.mem]. *)
+
+val try_steal : t -> core:int -> task option
+(** One stealing round: probe up to 32 other cores in a seeded circular
+    rotation, each probe charged by distance; take from the first
+    non-empty victim (one more distance-charged transfer).  [None] after
+    a fruitless round. *)
+
+val acquire : t -> core:int -> task option
+(** [pop_own] first, then [try_steal]. *)
+
+val pending : t -> int
+(** Tasks pushed and not yet taken, across all deques. *)
+
+val steals : t -> int
+val probes : t -> int
+
+val on_steal : (thief:int -> victim:int -> unit) ref
+(** Fired on every successful steal, after the costs were charged.
+    Installed by the harness layer to surface migrations to the CM and
+    Obs; must not charge cycles. *)

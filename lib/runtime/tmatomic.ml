@@ -12,18 +12,43 @@
    mechanism that reproduces the paper's hot-spot effects (Greedy's shared
    timestamp counter, Figure 10; the intruder queue head, Figure 11).
 
+   Under a multi-socket [Topology] a miss is additionally distance-keyed
+   (DESIGN.md §16): a line last touched by this very core is refetched at
+   [miss_local], a transfer from a same-socket core costs [miss_socket],
+   and a cross-socket transfer costs [miss_cross] plus a queuing penalty
+   at the directory of the line's *home socket* (first-touch policy).
+   Under the default flat topology the only miss cost is [miss_socket] —
+   bit-identical to the pre-topology model.
+
    In native mode the model fields are never touched and operations reduce
    to plain [Atomic] calls (real caches provide the behaviour). *)
 
+(* The reader set is a bitset over simulated thread ids: the low 63 tids
+   live in one immediate [readers] word, tids >= 63 in a lazily allocated
+   overflow array ([Topology.max_cores] needs 8 more 63-bit words).  Runs
+   that never exceed 63 threads never allocate the overflow, so the hot
+   paths of every existing gate are unchanged.  The pre-refactor code
+   masked the tid to six bits ([1 lsl (c land 63)]), silently aliasing
+   threads >= 64 onto the low bits — distinct threads shared reader bits
+   and were charged phantom hits, so >64-thread runs were *wrong*, not
+   just unscaled. *)
+
+let bits_per_word = 63
+let hi_words = (Topology.max_cores - bits_per_word + bits_per_word - 1) / bits_per_word
+
 type line = {
   mutable owner : int;  (** last writing thread, or -1 *)
-  mutable readers : int;  (** bitmask of threads that read since last write *)
+  mutable readers : int;  (** bitmask of threads < 63 that read since last write *)
+  mutable readers_hi : int array;
+      (** overflow reader words for tids >= 63; [||] until one appears *)
   mutable last_miss : int;  (** virtual time of the last coherence miss *)
   mutable queue : int;  (** back-to-back misses: queuing on a hot line *)
   mutable last_accessor : int;
       (** consecutive accesses by one thread to one line cost ~a register
           compare, not a fresh L1 probe — this is what makes SwissTM's
           two-locks-in-one-entry layout nearly as cheap as a single lock *)
+  mutable home : int;
+      (** home socket (first-touch), or -1; only read multi-socket *)
 }
 
 type t = { v : int Atomic.t; line : line }
@@ -35,10 +60,65 @@ let fresh_line () =
   {
     owner = -1;
     readers = 0;
+    readers_hi = [||];
     last_miss = -(1 lsl 50);
     queue = 0;
     last_accessor = -1;
+    home = -1;
   }
+
+(* --- reader-set helpers ------------------------------------------------- *)
+
+let[@inline] reader_mem line c =
+  if c < bits_per_word then line.readers land (1 lsl c) <> 0
+  else
+    let hi = line.readers_hi in
+    let w = (c - bits_per_word) / bits_per_word in
+    w < Array.length hi
+    && hi.(w) land (1 lsl ((c - bits_per_word) mod bits_per_word)) <> 0
+
+let reader_add line c =
+  if c < bits_per_word then line.readers <- line.readers lor (1 lsl c)
+  else begin
+    if Array.length line.readers_hi = 0 then
+      line.readers_hi <- Array.make hi_words 0;
+    let w = (c - bits_per_word) / bits_per_word in
+    line.readers_hi.(w) <-
+      line.readers_hi.(w) lor (1 lsl ((c - bits_per_word) mod bits_per_word))
+  end
+
+(* Is [c] the sole reader?  (The exclusivity test for cheap writes.) *)
+let only_reader line c =
+  let hi = line.readers_hi in
+  let hi_clear_except w_keep bit_keep =
+    let ok = ref true in
+    for w = 0 to Array.length hi - 1 do
+      let expect = if w = w_keep then bit_keep else 0 in
+      if hi.(w) <> expect then ok := false
+    done;
+    !ok
+  in
+  if c < bits_per_word then
+    line.readers = 1 lsl c && hi_clear_except (-1) 0
+  else
+    line.readers = 0
+    && Array.length hi > 0
+    && hi_clear_except
+         ((c - bits_per_word) / bits_per_word)
+         (1 lsl ((c - bits_per_word) mod bits_per_word))
+
+(* Clear the set and leave [c] as the only reader (a write invalidates
+   every other copy). *)
+let set_sole_reader line c =
+  if Array.length line.readers_hi > 0 then
+    Array.fill line.readers_hi 0 (Array.length line.readers_hi) 0;
+  if c < bits_per_word then line.readers <- 1 lsl c
+  else begin
+    line.readers <- 0;
+    reader_add line c
+  end
+
+(* --- miss costs --------------------------------------------------------- *)
 
 (* A line whose coherence misses arrive within [queue_window] virtual
    cycles of each other is being fought over by several cores; each
@@ -49,13 +129,41 @@ let fresh_line () =
 let queue_window = 1000
 let max_queue = 16
 
-let miss_cost (costs : Costs.t) line =
-  let now = Exec.now () in
+let[@inline] bump_queue line now =
   if now - line.last_miss < queue_window then
     line.queue <- min (line.queue + 1) max_queue
   else line.queue <- 0;
-  line.last_miss <- now;
-  costs.cache_miss * (1 + line.queue)
+  line.last_miss <- now
+
+(* Flat topology: one miss cost, exactly the pre-topology model. *)
+let miss_cost_flat (costs : Costs.t) line =
+  bump_queue line (Exec.now ());
+  costs.miss_socket * (1 + line.queue)
+
+(* Multi-socket: key the transfer on where the line last was.  The first
+   toucher becomes the line's home socket; cross-socket transfers queue
+   at the home socket's directory on top of the per-line queue. *)
+let miss_cost_numa (costs : Costs.t) line c =
+  let now = Exec.now () in
+  bump_queue line now;
+  let sock = Topology.socket_of_tid c in
+  if line.home < 0 then line.home <- sock;
+  let base =
+    let la = line.last_accessor in
+    if la = c then costs.miss_local
+    else if la < 0 then
+      (* Cold miss: served from the home socket's memory. *)
+      if line.home = sock then costs.miss_socket else costs.miss_cross
+    else if Topology.socket_of_tid la = sock then costs.miss_socket
+    else
+      let q = Topology.dir_charge ~socket:line.home ~now in
+      costs.miss_cross + costs.miss_cross * q / 4
+  in
+  base * (1 + line.queue)
+
+let[@inline] miss_cost costs line c =
+  if Topology.is_flat () then miss_cost_flat costs line
+  else miss_cost_numa costs line c
 
 let make init = { v = Atomic.make init; line = fresh_line () }
 
@@ -67,15 +175,19 @@ let charge_read t =
   if c >= 0 then begin
     let costs = Costs.get () in
     let line = t.line in
-    let bit = 1 lsl (c land 63) in
-    if line.readers land bit <> 0 then begin
+    if reader_mem line c then begin
+      Topology.count_hit ~socket:(Topology.socket_of_tid c);
       Exec.tick (if line.last_accessor = c then 1 else costs.atomic_hit);
       line.last_accessor <- c
     end
     else begin
-      line.readers <- line.readers lor bit;
+      Topology.count_miss ~socket:(Topology.socket_of_tid c);
+      (* Price the transfer against the PREVIOUS accessor, then record
+         ourselves; state is settled before the tick can yield. *)
+      let cost = miss_cost costs line c in
+      reader_add line c;
       line.last_accessor <- c;
-      Exec.tick (miss_cost costs line)
+      Exec.tick cost
     end
   end
 
@@ -84,15 +196,19 @@ let charge_write t ~rmw =
   if c >= 0 then begin
     let costs = Costs.get () in
     let line = t.line in
-    let bit = 1 lsl (c land 63) in
-    let exclusive = line.owner = c && line.readers = bit in
+    let exclusive = line.owner = c && only_reader line c in
     let base =
-      if exclusive then
+      if exclusive then begin
+        Topology.count_hit ~socket:(Topology.socket_of_tid c);
         if line.last_accessor = c then 1 else costs.atomic_hit
-      else miss_cost costs line
+      end
+      else begin
+        Topology.count_miss ~socket:(Topology.socket_of_tid c);
+        miss_cost costs line c
+      end
     in
     line.owner <- c;
-    line.readers <- bit;
+    set_sole_reader line c;
     line.last_accessor <- c;
     Exec.tick (base + if rmw then costs.cas else 0)
   end
@@ -131,6 +247,8 @@ let reset_line t =
   let l = t.line in
   l.owner <- -1;
   l.readers <- 0;
+  l.readers_hi <- [||];
   l.last_miss <- -(1 lsl 50);
   l.queue <- 0;
-  l.last_accessor <- -1
+  l.last_accessor <- -1;
+  l.home <- -1

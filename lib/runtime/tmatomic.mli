@@ -6,7 +6,13 @@
     mechanism behind the paper's hot-spot results (Figures 10 and 11).
 
     Cells created with {!make_shared} share one modelled cache line, like
-    SwissTM's adjacent r/w lock pair or RSTM's object header. *)
+    SwissTM's adjacent r/w lock pair or RSTM's object header.
+
+    Under a multi-socket {!Topology} misses are distance-keyed
+    (local / same-socket / cross-socket, with a directory queuing penalty
+    at the line's first-touch home socket); under the default flat
+    topology the model is bit-identical to the pre-topology one.  The
+    reader set is exact up to [Topology.max_cores] threads. *)
 
 type line
 type t

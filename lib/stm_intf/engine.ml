@@ -9,6 +9,16 @@
    not perform irrevocable side effects.  They must also let the internal
    [Tx_signal.Abort] exception propagate. *)
 
+exception
+  Unsupported_thread_count of { engine : string; tid : int; limit : int }
+
+(* Engines whose metadata packs per-thread state into machine words
+   (visible-reader bitmaps) cannot serve arbitrarily many threads; they
+   must refuse loudly rather than silently corrupt the bitmap. *)
+let check_tid_limit ~engine ~limit tid =
+  if tid < 0 || tid >= limit then
+    raise (Unsupported_thread_count { engine; tid; limit })
+
 type tx_ops = {
   read : int -> int;  (** transactional read of a heap word *)
   write : int -> int -> unit;  (** transactional write of a heap word *)

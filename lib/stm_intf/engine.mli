@@ -8,6 +8,18 @@
     Transaction bodies must be restartable (no irrevocable side effects)
     and must let the internal {!Tx_signal.Abort} exception propagate. *)
 
+exception
+  Unsupported_thread_count of { engine : string; tid : int; limit : int }
+(** Raised by engines whose metadata packs per-thread state into machine
+    words (visible-reader bitmaps: tlrw, rstm, composed Visible points)
+    when asked to run a thread id at or beyond their cap — loud refusal
+    instead of silent bitmap corruption.  [Stats.max_threads] is 512;
+    these engines stop far earlier. *)
+
+val check_tid_limit : engine:string -> limit:int -> int -> unit
+(** [check_tid_limit ~engine ~limit tid] raises
+    {!Unsupported_thread_count} unless [0 <= tid < limit]. *)
+
 type tx_ops = {
   read : int -> int;  (** transactional read of a heap word *)
   write : int -> int -> unit;  (** transactional write of a heap word *)

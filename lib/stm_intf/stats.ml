@@ -4,7 +4,10 @@
    writes only its own slot, so no synchronisation is needed and counting
    does not perturb the cache model. *)
 
-let max_threads = 64
+(* Must stay a power of two ([slot] masks) and within the topology's core
+   ceiling (thread tids index per-socket placement). *)
+let max_threads = 512
+let () = assert (max_threads <= Runtime.Topology.max_cores)
 
 type t = {
   commits : int array;

@@ -49,9 +49,9 @@ let cleanup_on = ref false
 let cleanup_hook : (int -> unit) ref = ref (fun _ -> ())
 let[@inline] cleanup ~tid = if !cleanup_on then !cleanup_hook tid
 
-(* Per-tid "holds boosted state" flags (sized like [Stats.max_threads];
-   hardcoded to avoid a module cycle with [Stats]).  Lazy engines' commit
-   gates consult this: their parked waiters hold no word locks, but a
-   boosted waiter still holds abstract locks, so it must honor kill
-   requests while parked. *)
-let boost_busy = Array.make 64 false
+(* Per-tid "holds boosted state" flags (sized off [Runtime.Topology]
+   rather than [Stats.max_threads], which would be a module cycle).
+   Lazy engines' commit gates consult this: their parked waiters hold no
+   word locks, but a boosted waiter still holds abstract locks, so it
+   must honor kill requests while parked. *)
+let boost_busy = Array.make Runtime.Topology.max_cores false

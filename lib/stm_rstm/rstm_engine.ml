@@ -433,8 +433,7 @@ let driver_ops t : Txdesc.t Driver.ops =
     user_abort = (fun d -> rollback t d Tx_signal.Killed);
   }
 
-let check_tid tid =
-  if tid >= 62 then invalid_arg "rstm: visible-reader bitmap limits tid < 62"
+let check_tid tid = Engine.check_tid_limit ~engine:"rstm" ~limit:62 tid
 
 let atomic t ~tid f =
   check_tid tid;

@@ -180,7 +180,7 @@ let test_tmatomic_read_miss_then_hit () =
   in
   (* First access misses; an immediately repeated access by the same
      thread takes the ~free local fast path. *)
-  check Alcotest.int "miss + local re-access" (costs.cache_miss + 1) t
+  check Alcotest.int "miss + local re-access" (costs.miss_socket + 1) t
 
 let test_tmatomic_write_invalidate () =
   let a = Runtime.Tmatomic.make 0 in
@@ -206,7 +206,7 @@ let test_tmatomic_write_invalidate () =
   Alcotest.(check bool)
     (Printf.sprintf "second read misses after remote write (%d)" !t0_second_read)
     true
-    (!t0_second_read >= costs.cache_miss)
+    (!t0_second_read >= costs.miss_socket)
 
 let test_tmatomic_shared_line () =
   let line = Runtime.Tmatomic.fresh_line () in
@@ -218,7 +218,7 @@ let test_tmatomic_shared_line () =
         ignore (Runtime.Tmatomic.get b))
   in
   check Alcotest.int "second cell on same line is a local re-access"
-    (costs.cache_miss + 1) t
+    (costs.miss_socket + 1) t
 
 let test_tmatomic_semantics () =
   let a = Runtime.Tmatomic.make 10 in
@@ -459,7 +459,7 @@ let test_costs_env () =
   Unix.putenv "SWISSTM_COSTS" "mem=42,cache_miss=99,bogus=1";
   Runtime.Costs.apply_env ();
   Alcotest.(check int) "mem overridden" 42 (Runtime.Costs.get ()).mem;
-  Alcotest.(check int) "miss overridden" 99 (Runtime.Costs.get ()).cache_miss;
+  Alcotest.(check int) "miss overridden" 99 (Runtime.Costs.get ()).miss_socket;
   Unix.putenv "SWISSTM_COSTS" "";
   Runtime.Costs.reset ();
   Alcotest.(check int) "reset" Runtime.Costs.default.mem (Runtime.Costs.get ()).mem
@@ -469,4 +469,356 @@ let suite =
   @ [
       ("ivec", [ Alcotest.test_case "basic ops" `Quick test_ivec ]);
       ("costs-env", [ Alcotest.test_case "SWISSTM_COSTS" `Quick test_costs_env ]);
+    ]
+
+(* --- Topology (PR 10) --------------------------------------------------- *)
+
+(* Every topology test restores the flat default: the topology is a
+   process-wide setting and the rest of the suite depends on it. *)
+let with_topology topo f =
+  Runtime.Topology.set topo;
+  Fun.protect ~finally:Runtime.Topology.reset f
+
+let test_topology_make_validation () =
+  let bad label f =
+    Alcotest.(check bool) label true
+      (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  bad "zero sockets" (fun () ->
+      Runtime.Topology.make ~sockets:0 ~cores_per_socket:4);
+  bad "zero cores per socket" (fun () ->
+      Runtime.Topology.make ~sockets:4 ~cores_per_socket:0);
+  bad "product over max_cores" (fun () ->
+      Runtime.Topology.make ~sockets:64 ~cores_per_socket:64);
+  let t = Runtime.Topology.make ~sockets:4 ~cores_per_socket:32 in
+  check Alcotest.int "cores" 128 (Runtime.Topology.cores t);
+  check Alcotest.int "flat spans max_cores" Runtime.Topology.max_cores
+    (Runtime.Topology.cores Runtime.Topology.flat)
+
+let test_topology_placement () =
+  with_topology (Runtime.Topology.make ~sockets:4 ~cores_per_socket:32)
+    (fun () ->
+      Alcotest.(check bool) "not flat" false (Runtime.Topology.is_flat ());
+      check Alcotest.int "tid 0 on socket 0" 0 (Runtime.Topology.socket_of_tid 0);
+      check Alcotest.int "tid 31 on socket 0" 0
+        (Runtime.Topology.socket_of_tid 31);
+      check Alcotest.int "tid 32 on socket 1" 1
+        (Runtime.Topology.socket_of_tid 32);
+      check Alcotest.int "tid 127 on socket 3" 3
+        (Runtime.Topology.socket_of_tid 127);
+      (* tids wrap onto cores mod cores: placement is total over all tids *)
+      check Alcotest.int "tid 128 wraps to core 0" 0
+        (Runtime.Topology.core_of_tid 128);
+      check Alcotest.int "tid 128 wraps to socket 0" 0
+        (Runtime.Topology.socket_of_tid 128));
+  Alcotest.(check bool) "flat restored" true (Runtime.Topology.is_flat ())
+
+let test_topology_socket_counters () =
+  with_topology (Runtime.Topology.make ~sockets:2 ~cores_per_socket:4)
+    (fun () ->
+      Runtime.Topology.count_hit ~socket:0;
+      Runtime.Topology.count_hit ~socket:0;
+      Runtime.Topology.count_miss ~socket:1;
+      Runtime.Topology.count_steal ~socket:1;
+      check
+        Alcotest.(array (triple int int int))
+        "per-socket counters" [| (2, 0, 0); (0, 1, 1) |]
+        (Runtime.Topology.socket_counters ());
+      (* [set] must reset counters and directory state: two identical runs
+         never share queuing history. *)
+      Runtime.Topology.set (Runtime.Topology.make ~sockets:2 ~cores_per_socket:4);
+      check
+        Alcotest.(array (triple int int int))
+        "set resets counters" [| (0, 0, 0); (0, 0, 0) |]
+        (Runtime.Topology.socket_counters ()))
+
+(* A multi-socket topology whose active threads all sit on one socket must
+   charge exactly the flat model: this is the degeneracy that keeps the
+   frozen <=8-thread gates meaningful under the new cost model.  The
+   workload keeps writer and reader roles separate so every miss is a
+   same-socket transfer (la <> c) in both models. *)
+let ping_pong_vtimes ?(tick_scale = 1) ~reader_tid () =
+  let cell = Runtime.Tmatomic.make 0 in
+  let body tid () =
+    if tid = 0 then
+      for i = 1 to 40 do
+        Runtime.Exec.tick (150 * tick_scale);
+        Runtime.Tmatomic.set cell i
+      done
+    else if tid = reader_tid then
+      for _ = 1 to 40 do
+        Runtime.Exec.tick (170 * tick_scale);
+        ignore (Runtime.Tmatomic.get cell)
+      done
+  in
+  Runtime.Sim.run (Array.init (reader_tid + 1) body)
+
+let test_topology_single_socket_degeneracy () =
+  let flat = ping_pong_vtimes ~reader_tid:1 () in
+  let numa =
+    with_topology (Runtime.Topology.make ~sockets:16 ~cores_per_socket:32)
+      (fun () -> ping_pong_vtimes ~reader_tid:1 ())
+  in
+  check Alcotest.(array int) "same-socket run bit-identical to flat" flat numa
+
+let test_topology_cross_socket_costs_more () =
+  (* Sparse ticks (beyond the hot-line queue window) so the comparison is
+     pure transfer distance, not queue dynamics. *)
+  let same_socket =
+    with_topology (Runtime.Topology.make ~sockets:16 ~cores_per_socket:32)
+      (fun () -> ping_pong_vtimes ~tick_scale:10 ~reader_tid:1 ())
+  in
+  let cross_socket =
+    with_topology (Runtime.Topology.make ~sockets:16 ~cores_per_socket:32)
+      (fun () -> ping_pong_vtimes ~tick_scale:10 ~reader_tid:32 ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "cross-socket reader slower (%d > %d)"
+       cross_socket.(32) same_socket.(1))
+    true
+    (cross_socket.(32) > same_socket.(1))
+
+(* Regression for the pre-PR-10 reader bitmask: [1 lsl (c land 63)]
+   silently aliased tid 64 onto tid 0's reader bit, so after a read by
+   tid 64, tid 0 was charged a phantom hit on a line it never touched.
+   With the real reader set, tid 0's first read must be a full miss. *)
+let test_tmatomic_no_tid_aliasing_at_65_threads () =
+  let cell = Runtime.Tmatomic.make 7 in
+  let excl = Runtime.Tmatomic.make 0 in
+  let tid0_read = ref 0 and tid64_reread = ref 0 and tid64_rewrite = ref 0 in
+  let body tid () =
+    if tid = 64 then begin
+      ignore (Runtime.Tmatomic.get cell);
+      let b = Runtime.Exec.now () in
+      ignore (Runtime.Tmatomic.get cell);
+      tid64_reread := Runtime.Exec.now () - b;
+      (* Exclusivity must also work through the overflow words: a second
+         write by the sole owner/reader is a local hit. *)
+      Runtime.Tmatomic.set excl 1;
+      let b = Runtime.Exec.now () in
+      Runtime.Tmatomic.set excl 2;
+      tid64_rewrite := Runtime.Exec.now () - b
+    end
+    else if tid = 0 then begin
+      Runtime.Exec.tick 2_000;
+      let b = Runtime.Exec.now () in
+      ignore (Runtime.Tmatomic.get cell);
+      tid0_read := Runtime.Exec.now () - b
+    end
+  in
+  ignore (Runtime.Sim.run (Array.init 65 body));
+  Alcotest.(check bool)
+    (Printf.sprintf "tid 0 pays a real miss after tid 64's read (%d)"
+       !tid0_read)
+    true
+    (!tid0_read >= costs.miss_socket);
+  Alcotest.(check bool)
+    (Printf.sprintf "tid 64 re-read is a hit (%d)" !tid64_reread)
+    true
+    (!tid64_reread <= costs.atomic_hit);
+  check Alcotest.int "tid 64 exclusive re-write is local" 1 !tid64_rewrite
+
+(* Distance must be monotone: for any same-socket reader r1 and
+   cross-socket reader r2 of a line homed at socket 0, r1's transfer is
+   cheaper.  Reads are spaced > queue_window apart so the per-line queue
+   stays cold and the costs are pure distance. *)
+let prop_distance_monotone =
+  QCheck.Test.make ~name:"NUMA distance costs are monotone" ~count:25
+    QCheck.(pair (int_range 1 31) (int_range 32 511))
+    (fun (r1, r2) ->
+      with_topology (Runtime.Topology.make ~sockets:16 ~cores_per_socket:32)
+        (fun () ->
+          let cell = Runtime.Tmatomic.make 0 in
+          let cost1 = ref 0 and cost2 = ref 0 in
+          let body tid () =
+            if tid = 0 then ignore (Runtime.Tmatomic.get cell)
+            else if tid = r1 then begin
+              Runtime.Exec.tick 2_000;
+              let b = Runtime.Exec.now () in
+              ignore (Runtime.Tmatomic.get cell);
+              cost1 := Runtime.Exec.now () - b
+            end
+            else if tid = r2 then begin
+              Runtime.Exec.tick 10_000;
+              let b = Runtime.Exec.now () in
+              ignore (Runtime.Tmatomic.get cell);
+              cost2 := Runtime.Exec.now () - b
+            end
+          in
+          ignore (Runtime.Sim.run (Array.init (r2 + 1) body));
+          !cost1 = costs.miss_socket
+          && !cost2 >= costs.miss_cross
+          && !cost1 < !cost2))
+
+let test_costs_distance_ordering () =
+  Alcotest.(check bool) "miss_local <= miss_socket <= miss_cross" true
+    (costs.miss_local <= costs.miss_socket
+    && costs.miss_socket <= costs.miss_cross)
+
+(* --- Sim dispatch (PR 10) ------------------------------------------------ *)
+
+(* The indexed-heap dispatcher replaced the O(n) scans; the scans survive
+   as the reference implementation.  Under every policy the two must
+   produce the same dispatch sequence and the same final vtimes. *)
+let dispatch_trace ~policy ~dispatch =
+  let buf = Buffer.create 256 in
+  let saved_hook = !Runtime.Sim.on_dispatch in
+  let saved_enabled = !Runtime.Sim.on_dispatch_enabled in
+  Runtime.Sim.on_dispatch :=
+    (fun tid -> Buffer.add_string buf (string_of_int tid ^ ";"));
+  Runtime.Sim.on_dispatch_enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Runtime.Sim.on_dispatch := saved_hook;
+      Runtime.Sim.on_dispatch_enabled := saved_enabled)
+    (fun () ->
+      let body tid () =
+        let rng = Runtime.Rng.for_thread ~seed:11 ~tid in
+        for _ = 1 to 30 do
+          Runtime.Exec.tick (1 + Runtime.Rng.int rng 400);
+          if Runtime.Rng.int rng 4 = 0 then Runtime.Exec.pause ()
+        done
+      in
+      let vts = Runtime.Sim.run ~policy ~dispatch (Array.init 8 body) in
+      (Buffer.contents buf, vts))
+
+let test_sim_heap_matches_scan () =
+  List.iter
+    (fun (name, policy) ->
+      let heap_trace, heap_vts = dispatch_trace ~policy ~dispatch:`Heap in
+      let scan_trace, scan_vts = dispatch_trace ~policy ~dispatch:`Scan in
+      check Alcotest.string (name ^ ": same dispatch sequence") scan_trace
+        heap_trace;
+      check Alcotest.(array int) (name ^ ": same final vtimes") scan_vts
+        heap_vts)
+    [
+      ("earliest", Runtime.Sim.Earliest_first);
+      ("random", Runtime.Sim.random_policy 3);
+      ("pct", Runtime.Sim.pct_policy 5);
+    ]
+
+(* --- Steal (PR 10) ------------------------------------------------------- *)
+
+let test_steal_create_validation () =
+  let bad label cores =
+    Alcotest.(check bool) label true
+      (try
+         ignore (Runtime.Steal.create ~cores ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  bad "zero cores" 0;
+  bad "over max_cores" (Runtime.Topology.max_cores + 1)
+
+let test_steal_order_and_counters () =
+  (* Owner end is LIFO, thief end is FIFO: with two tasks on core 1, a
+     thief takes the oldest and the owner keeps the newest. *)
+  Fun.protect ~finally:Runtime.Topology.reset_counters (fun () ->
+      let t = Runtime.Steal.create ~cores:2 () in
+      let log = ref [] in
+      let task name = fun () -> log := name :: !log in
+      Runtime.Steal.push t ~core:1 (task "old");
+      Runtime.Steal.push t ~core:1 (task "new");
+      check Alcotest.int "two pending" 2 (Runtime.Steal.pending t);
+      check Alcotest.bool "own deque of core 0 empty" true
+        (Runtime.Steal.pop_own t ~core:0 = None);
+      (match Runtime.Steal.try_steal t ~core:0 with
+      | Some task -> task ()
+      | None -> Alcotest.fail "steal from the only victim must succeed");
+      (match Runtime.Steal.pop_own t ~core:1 with
+      | Some task -> task ()
+      | None -> Alcotest.fail "owner pop must find the remaining task");
+      check Alcotest.(list string) "thief took oldest, owner newest"
+        [ "new"; "old" ] !log;
+      check Alcotest.int "none pending" 0 (Runtime.Steal.pending t);
+      check Alcotest.int "one steal" 1 (Runtime.Steal.steals t);
+      Alcotest.(check bool) "probes counted" true (Runtime.Steal.probes t >= 1))
+
+let test_steal_probe_budget () =
+  (* A fruitless round is bounded: at 512 cores an idle thief probes 32
+     victims, not 511 — otherwise probe misses dwarf the balanced work. *)
+  Fun.protect ~finally:Runtime.Topology.reset_counters (fun () ->
+      let t = Runtime.Steal.create ~cores:512 () in
+      check Alcotest.bool "fruitless" true
+        (Runtime.Steal.try_steal t ~core:0 = None);
+      check Alcotest.int "probe budget capped at 32" 32
+        (Runtime.Steal.probes t);
+      let small = Runtime.Steal.create ~cores:8 () in
+      check Alcotest.bool "fruitless small" true
+        (Runtime.Steal.try_steal small ~core:3 = None);
+      check Alcotest.int "small round probes all 7 victims" 7
+        (Runtime.Steal.probes small))
+
+(* Task-parallel mode end to end: equal seeds must reproduce the same
+   makespan, steal count and probe count, and a skewed task mix on two
+   sockets must actually migrate work. *)
+let taskpar_run ~threads ~tasks =
+  with_topology
+    (Runtime.Topology.make ~sockets:(threads / 32) ~cores_per_socket:32)
+    (fun () ->
+      Harness.Taskpar.run ~seed:7 ~threads ~tasks (fun ~task ctx ->
+          for _ = 1 to 1 + (task mod 4) do
+            Runtime.Exec.tick ((1 + (task mod 7)) * 300)
+          done;
+          if task mod 5 = 0 then
+            ctx.Harness.Taskpar.spawn (fun _ -> Runtime.Exec.tick 500)))
+
+let test_taskpar_deterministic () =
+  let a = taskpar_run ~threads:64 ~tasks:192 in
+  let b = taskpar_run ~threads:64 ~tasks:192 in
+  check Alcotest.int "same makespan" a.Harness.Taskpar.elapsed_cycles
+    b.Harness.Taskpar.elapsed_cycles;
+  check Alcotest.int "same steals" a.steals b.steals;
+  check Alcotest.int "same probes" a.probes b.probes;
+  check Alcotest.int "all tasks ran (initial + spawned)" (192 + 39) a.tasks;
+  Alcotest.(check bool) "skewed mix migrates work" true (a.steals > 0);
+  Alcotest.(check bool) "probes dominate steals" true (a.probes >= a.steals)
+
+let test_taskpar_128_cores_with_spawns () =
+  (* Regression: [Steal.pop_own] used to charge its cycle tick before
+     removing the task; the tick yields, a thief stole the task in the
+     window, and the deque's bottom ran below top (Invalid_argument) on
+     spawning runs at high core counts.  This shape must just complete. *)
+  let r = taskpar_run ~threads:128 ~tasks:256 in
+  check Alcotest.int "all tasks ran" (256 + 52) r.Harness.Taskpar.tasks;
+  check Alcotest.int "threads as asked" 128 r.threads;
+  Alcotest.(check bool) "makespan positive" true (r.elapsed_cycles > 0)
+
+let suite =
+  suite
+  @ [
+      ( "topology",
+        [
+          Alcotest.test_case "make validation" `Quick
+            test_topology_make_validation;
+          Alcotest.test_case "tid placement" `Quick test_topology_placement;
+          Alcotest.test_case "socket counters" `Quick
+            test_topology_socket_counters;
+          Alcotest.test_case "single-socket degeneracy" `Quick
+            test_topology_single_socket_degeneracy;
+          Alcotest.test_case "cross-socket costs more" `Quick
+            test_topology_cross_socket_costs_more;
+          Alcotest.test_case "no tid aliasing at 65 threads" `Quick
+            test_tmatomic_no_tid_aliasing_at_65_threads;
+          Alcotest.test_case "distance ordering" `Quick
+            test_costs_distance_ordering;
+          qtest prop_distance_monotone;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "heap matches scan under all policies" `Quick
+            test_sim_heap_matches_scan;
+        ] );
+      ( "steal",
+        [
+          Alcotest.test_case "create validation" `Quick
+            test_steal_create_validation;
+          Alcotest.test_case "deque order and counters" `Quick
+            test_steal_order_and_counters;
+          Alcotest.test_case "probe budget" `Quick test_steal_probe_budget;
+          Alcotest.test_case "taskpar deterministic" `Quick
+            test_taskpar_deterministic;
+          Alcotest.test_case "taskpar 128 cores with spawns" `Quick
+            test_taskpar_128_cores_with_spawns;
+        ] );
     ]
